@@ -1,0 +1,85 @@
+"""Ablation A5 — does path minimization actually save routing effort?
+
+The paper's contribution III: "optimize the number of flow channels among
+devices to save routing efforts."  This bench closes the claim end to end:
+synthesize the same workload with and without the path term in the
+objective, place both chips, *route* both chips
+(:mod:`repro.layout.router`), and compare total channel length and edge
+congestion.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.assays import gene_expression_assay
+from repro.hls import SynthesisSpec, Weights, synthesize
+from repro.layout import GridPlacer, route_chip
+
+ASSAY = gene_expression_assay(cells=5)
+
+BASE = SynthesisSpec(
+    max_devices=12, threshold=5, time_limit=10, max_iterations=1,
+)
+VARIANTS = {
+    "paths_on": BASE.weights,
+    "paths_off": Weights(
+        time=BASE.weights.time, area=BASE.weights.area,
+        processing=BASE.weights.processing, paths=0.0,
+    ),
+}
+
+_STATE = {}
+
+
+def _run(variant: str):
+    if variant not in _STATE:
+        spec = dataclasses.replace(BASE, weights=VARIANTS[variant])
+        result = synthesize(ASSAY, spec)
+        devices = sorted(result.devices)
+        usage = {}
+        binding = result.schedule.binding
+        for parent, child in ASSAY.edges:
+            a, b = binding[parent], binding[child]
+            if a != b:
+                key = (a, b) if a <= b else (b, a)
+                usage[key] = usage.get(key, 0) + 1
+        placement = GridPlacer(iterations=4000, seed=3).place(
+            devices, usage
+        )
+        routing = route_chip(placement, set(usage))
+        _STATE[variant] = (result, routing)
+    return _STATE[variant]
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_variant(variant, benchmark):
+    result, routing = benchmark.pedantic(
+        _run, args=(variant,), rounds=1, iterations=1
+    )
+    result.validate()
+    assert len(routing.routes) == result.num_paths
+
+
+def test_path_minimization_saves_routing(benchmark, record_rows):
+    (on_result, on_routing), (off_result, off_routing) = benchmark.pedantic(
+        lambda: (_run("paths_on"), _run("paths_off")), rounds=1, iterations=1
+    )
+    lines = [
+        f"{'variant':<10} {'#paths':>7} {'channel len':>12} "
+        f"{'max congestion':>15} {'shared edges':>13}",
+        f"{'paths on':<10} {on_result.num_paths:>7} "
+        f"{on_routing.total_length:>12} {on_routing.max_congestion:>15} "
+        f"{on_routing.shared_edges:>13}",
+        f"{'paths off':<10} {off_result.num_paths:>7} "
+        f"{off_routing.total_length:>12} {off_routing.max_congestion:>15} "
+        f"{off_routing.shared_edges:>13}",
+    ]
+    record_rows("ablation_routing", "\n".join(lines))
+    # The path term must not increase path count, and routed channel
+    # length tracks path count.
+    assert on_result.num_paths <= off_result.num_paths
+    if on_result.num_paths < off_result.num_paths:
+        assert on_routing.total_length <= off_routing.total_length

@@ -1,0 +1,95 @@
+"""Ablation A4 — ILP backend comparison (HiGHS vs own branch-and-bound).
+
+The paper solves with Gurobi; we provide HiGHS (via SciPy) and a
+self-contained pure-Python branch-and-bound over an own simplex.  This
+bench cross-checks that both find the same optimum on real (small) layer
+models, and measures their speed difference.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.hls import SynthesisSpec, synthesize
+from repro.hls.milp_model import LayerProblem, build_layer_model
+from repro.operations import AssayBuilder, Fixed, Operation
+
+
+def small_layer_problem():
+    ops = [
+        Operation("a", Fixed(4), accessories=frozenset({"pump"})),
+        Operation("b", Fixed(6), accessories=frozenset({"pump"})),
+        Operation("c", Fixed(3), accessories=frozenset({"optical_system"})),
+    ]
+    edges = [("a", "c")]
+    return LayerProblem(
+        layer_index=0,
+        ops=ops,
+        in_layer_edges=edges,
+        edge_transport={e: 2 for e in edges},
+        release={"a": 2, "b": 0, "c": 0},
+        fixed_devices=[],
+        free_slots=3,
+    )
+
+
+SPEC = SynthesisSpec(max_devices=3, time_limit=30)
+
+
+@pytest.mark.parametrize("backend", ["highs", "bnb"])
+def test_backend_speed(backend, benchmark):
+    problem = small_layer_problem()
+
+    def solve():
+        layer_model = build_layer_model(problem, SPEC)
+        return layer_model.model.solve(backend=backend, time_limit=30)
+
+    solution = benchmark(solve)
+    assert solution.status.has_solution
+
+
+def test_backends_agree_on_layer_model(benchmark, record_rows):
+    problem = small_layer_problem()
+
+    def solve_both():
+        out = {}
+        for backend in ("highs", "bnb"):
+            layer_model = build_layer_model(problem, SPEC)
+            solution = layer_model.model.solve(backend=backend, time_limit=60)
+            assert solution.status.name == "OPTIMAL"
+            out[backend] = solution.objective
+        return out
+
+    objectives = benchmark.pedantic(solve_both, rounds=1, iterations=1)
+    record_rows(
+        "ablation_solvers",
+        "layer-model optimum per backend: "
+        + ", ".join(f"{k}={v:.1f}" for k, v in objectives.items()),
+    )
+    assert objectives["highs"] == pytest.approx(objectives["bnb"], abs=1e-4)
+
+
+def test_full_synthesis_on_bnb(benchmark, record_rows):
+    """A complete (tiny) synthesis run entirely on the pure-Python stack."""
+    b = AssayBuilder("bnb-e2e")
+    load = b.op("load", 3, container="chamber")
+    cap = b.op("cap", 4, indeterminate=True,
+               accessories=["cell_trap"], after=[load])
+    b.op("read", 2, accessories=["optical_system"], after=[cap])
+    assay = b.build()
+
+    spec = SynthesisSpec(
+        max_devices=4, threshold=1, time_limit=60, max_iterations=1,
+        backend="bnb",
+    )
+    result = benchmark.pedantic(
+        lambda: synthesize(assay, spec), rounds=1, iterations=1
+    )
+    result.validate()
+    record_rows(
+        "ablation_solvers_e2e",
+        f"pure-python synthesis: {result.makespan_expression}, "
+        f"{result.num_devices} devices",
+    )

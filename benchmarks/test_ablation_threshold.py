@@ -1,0 +1,59 @@
+"""Ablation A1 — the indeterminate threshold ``t``.
+
+The threshold trades layer count against per-layer parallelism: a small
+``t`` gives many small layers (more real-time decision points, smaller
+ILPs), a large ``t`` packs indeterminate operations together (fewer layers,
+more devices needed for the parallel tail).  Measured on a reduced case-2
+workload so every configuration solves exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.assays import gene_expression_assay
+from repro.hls import SynthesisSpec, synthesize
+from repro.layering import layer_assay
+
+ASSAY = gene_expression_assay(cells=6)  # 42 ops, 6 indeterminate
+THRESHOLDS = (1, 2, 3, 6)
+
+_RESULTS = {}
+
+
+def _run(threshold: int):
+    if threshold not in _RESULTS:
+        spec = SynthesisSpec(
+            max_devices=15, threshold=threshold, time_limit=10,
+            max_iterations=1,
+        )
+        _RESULTS[threshold] = synthesize(ASSAY, spec)
+    return _RESULTS[threshold]
+
+
+@pytest.mark.parametrize("threshold", THRESHOLDS)
+def test_threshold(threshold, benchmark):
+    result = benchmark.pedantic(
+        _run, args=(threshold,), rounds=1, iterations=1
+    )
+    layering = layer_assay(ASSAY, threshold)
+    for layer in layering.layers:
+        assert len(layer.indeterminate_uids) <= threshold
+    result.validate()
+
+
+def test_threshold_report(benchmark, record_rows):
+    benchmark.pedantic(lambda: [_run(t) for t in THRESHOLDS],
+                       rounds=1, iterations=1)
+    lines = [f"{'t':>3} {'layers':>7} {'makespan':>9} {'#D':>4} {'#P':>4}"]
+    for threshold in THRESHOLDS:
+        result = _run(threshold)
+        lines.append(
+            f"{threshold:>3} {result.layering.num_layers:>7} "
+            f"{result.makespan_expression:>9} {result.num_devices:>4} "
+            f"{result.num_paths:>4}"
+        )
+    record_rows("ablation_threshold", "\n".join(lines))
+    # More layers with smaller t (monotone non-increasing layer count).
+    layer_counts = [_run(t).layering.num_layers for t in THRESHOLDS]
+    assert layer_counts == sorted(layer_counts, reverse=True)

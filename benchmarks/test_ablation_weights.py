@@ -1,0 +1,64 @@
+"""Ablation A2 — objective weight coefficients (paper Sec. 4.3).
+
+The paper leaves C_t/C_a/C_pr/C_p to the user.  This ablation shows the
+knobs work: a time-dominant weighting parallelizes onto more devices, an
+area-dominant weighting serializes onto fewer, and a path-dominant
+weighting minimizes inter-device channels.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.assays import kinase_assay
+from repro.hls import SynthesisSpec, Weights, synthesize
+
+ASSAY = kinase_assay()  # 16 ops, no indeterminate
+
+PROFILES = {
+    "time":  Weights(time=200.0, area=1.0, processing=1.0, paths=1.0),
+    "area":  Weights(time=1.0, area=50.0, processing=50.0, paths=1.0),
+    "paths": Weights(time=1.0, area=1.0, processing=1.0, paths=100.0),
+}
+
+_RESULTS = {}
+
+
+def _run(profile: str):
+    if profile not in _RESULTS:
+        spec = SynthesisSpec(
+            max_devices=25, threshold=10, time_limit=15, max_iterations=1,
+            weights=PROFILES[profile],
+        )
+        _RESULTS[profile] = synthesize(ASSAY, spec)
+    return _RESULTS[profile]
+
+
+@pytest.mark.parametrize("profile", sorted(PROFILES))
+def test_profile(profile, benchmark):
+    result = benchmark.pedantic(_run, args=(profile,), rounds=1, iterations=1)
+    result.validate()
+
+
+def test_weight_tradeoffs(benchmark, record_rows):
+    benchmark.pedantic(lambda: [_run(p) for p in PROFILES],
+                       rounds=1, iterations=1)
+    lines = [f"{'profile':<8} {'makespan':>9} {'#D':>4} {'#P':>4}"]
+    for profile in PROFILES:
+        r = _run(profile)
+        lines.append(
+            f"{profile:<8} {r.makespan_expression:>9} "
+            f"{r.num_devices:>4} {r.num_paths:>4}"
+        )
+    record_rows("ablation_weights", "\n".join(lines))
+
+    time_r, area_r, path_r = _run("time"), _run("area"), _run("paths")
+    # Time-dominant: fastest schedule of the three.
+    assert time_r.fixed_makespan <= area_r.fixed_makespan
+    assert time_r.fixed_makespan <= path_r.fixed_makespan
+    # Area-dominant: fewest devices.
+    assert area_r.num_devices <= time_r.num_devices
+    # Path-dominant: fewest transportation paths.
+    assert path_r.num_paths <= time_r.num_paths

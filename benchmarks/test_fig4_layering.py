@@ -1,0 +1,57 @@
+"""Fig. 4 — the layering algorithm (dependency-based allocation).
+
+Fig. 4 illustrates an algorithm rather than a measurement; the bench
+(a) replays the figure's selection logic and (b) measures the layering
+algorithm's throughput on the real benchmark assays and on large random
+DAGs (it must stay negligible next to the ILP solves).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.assays import benchmark_assay, random_assay
+from repro.layering import layer_assay
+from repro.operations import AssayBuilder
+
+
+def fig4_assay():
+    b = AssayBuilder("fig4")
+    o1 = b.op("o1", 2)
+    oa = b.op("oa", 5, indeterminate=True, after=[o1])
+    o2 = b.op("o2", 2, after=[oa])
+    b.op("ob", 5, indeterminate=True, after=[o2])
+    b.op("side", 2)
+    return b.build()
+
+
+def test_fig4_selection(benchmark, record_rows):
+    result = benchmark(lambda: layer_assay(fig4_assay(), threshold=10))
+    lines = ["Fig.4 layering walkthrough:"]
+    for layer in result.layers:
+        lines.append(
+            f"  layer {layer.index}: {', '.join(layer.uids)} "
+            f"(indeterminate: {', '.join(layer.indeterminate_uids) or '-'})"
+        )
+    record_rows("fig4_layering", "\n".join(lines))
+    assert result.layer_of["oa"] == 0
+    assert result.layer_of["ob"] == 1
+
+
+@pytest.mark.parametrize("case", [1, 2, 3])
+def test_benchmark_assays(case, benchmark):
+    assay = benchmark_assay(case)
+    result = benchmark(lambda: layer_assay(assay, threshold=10))
+    expected_ind_layers = {1: 0, 2: 1, 3: 2}[case]
+    ind_layers = [l for l in result.layers if l.indeterminate_uids]
+    assert len(ind_layers) == expected_ind_layers
+
+
+@pytest.mark.parametrize("num_ops", [100, 400])
+def test_large_random_dags(num_ops, benchmark):
+    assay = random_assay(
+        num_ops, seed=13, edge_probability=0.02,
+        indeterminate_fraction=0.2,
+    )
+    result = benchmark(lambda: layer_assay(assay, threshold=10))
+    result.validate()

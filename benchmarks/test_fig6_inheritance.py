@@ -1,0 +1,68 @@
+"""Fig. 6 — device-inheritance risk repaired by progressive re-synthesis.
+
+Fig. 6(b): when the cheaper-container operation comes first, forward
+synthesis integrates a chamber that the later ring operation cannot reuse.
+Re-synthesis makes the posterior layer's ring visible to the earlier layer.
+The bench measures both orderings and asserts the repair.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hls import SynthesisSpec, synthesize
+from repro.operations import AssayBuilder
+
+
+def fig6_assay(o1_first: bool):
+    b = AssayBuilder("fig6")
+    if o1_first:
+        first = b.op("o1", 6, container="ring",
+                     accessories=["sieve_valve", "pump"])
+    else:
+        first = b.op("o2", 6, accessories=["sieve_valve"])
+    gate = b.op("gate", 4, indeterminate=True, after=[first])
+    if o1_first:
+        b.op("o2", 6, accessories=["sieve_valve"], after=[gate])
+    else:
+        b.op("o1", 6, container="ring",
+             accessories=["sieve_valve", "pump"], after=[gate])
+    return b.build()
+
+
+SPEC = SynthesisSpec(max_devices=3, threshold=1, time_limit=10,
+                     max_iterations=2)
+
+
+def test_fig6_repair(benchmark, record_rows):
+    def run():
+        good = synthesize(
+            fig6_assay(o1_first=True),
+            dataclasses.replace(SPEC, max_iterations=0),
+        )
+        bad_initial = synthesize(
+            fig6_assay(o1_first=False),
+            dataclasses.replace(SPEC, max_iterations=0),
+        )
+        repaired = synthesize(fig6_assay(o1_first=False), SPEC)
+        return good, bad_initial, repaired
+
+    good, bad_initial, repaired = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    lines = [
+        "Fig.6 inheritance scenarios (makespan / devices / paths):",
+        f"  (a) o1 first, forward only : {good.fixed_makespan}m / "
+        f"{good.num_devices} / {good.num_paths}",
+        f"  (b) o2 first, forward only : {bad_initial.fixed_makespan}m / "
+        f"{bad_initial.num_devices} / {bad_initial.num_paths}",
+        f"  (b) + progressive re-synth : {repaired.fixed_makespan}m / "
+        f"{repaired.num_devices} / {repaired.num_paths}",
+    ]
+    record_rows("fig6_inheritance", "\n".join(lines))
+
+    # Forward-only with the bad order wastes a device (or a path);
+    # re-synthesis recovers the good-order quality.
+    assert repaired.fixed_makespan <= bad_initial.fixed_makespan
+    assert repaired.num_devices <= bad_initial.num_devices
+    assert repaired.schedule.binding["o1"] == repaired.schedule.binding["o2"]

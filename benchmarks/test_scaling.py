@@ -1,0 +1,77 @@
+"""Extension experiment — scaling of synthesis with assay size.
+
+Sweeps the gene-expression workload from 2 to 8 parallel pipelines and
+reports makespan / devices / solve status, showing how the per-layer ILP
+degrades gracefully into time-limited incumbents (and the greedy floor) as
+layers grow — the practical behaviour a user of this tool needs to know.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.assays import gene_expression_assay
+from repro.assays.chip_assay import chip_assay
+from repro.hls import SynthesisSpec, synthesize
+
+SIZES = (2, 4, 8)
+_RESULTS = {}
+
+
+def _run(cells: int):
+    if cells not in _RESULTS:
+        assay = gene_expression_assay(cells=cells)
+        spec = SynthesisSpec(
+            max_devices=3 * cells, threshold=cells, time_limit=8,
+            max_iterations=1,
+        )
+        _RESULTS[cells] = synthesize(assay, spec)
+    return _RESULTS[cells]
+
+
+@pytest.mark.parametrize("cells", SIZES)
+def test_scale(cells, benchmark):
+    result = benchmark.pedantic(_run, args=(cells,), rounds=1, iterations=1)
+    result.validate()
+    assert len(result.assay) == 7 * cells
+
+
+def test_scaling_report(benchmark, record_rows):
+    benchmark.pedantic(lambda: [_run(c) for c in SIZES],
+                       rounds=1, iterations=1)
+    lines = [f"{'pipelines':>9} {'#ops':>5} {'makespan':>10} {'#D':>4} "
+             f"{'statuses'}"]
+    for cells in SIZES:
+        r = _run(cells)
+        lines.append(
+            f"{cells:>9} {len(r.assay):>5} {r.makespan_expression:>10} "
+            f"{r.num_devices:>4} {r.history[-1].layer_statuses}"
+        )
+    record_rows("scaling", "\n".join(lines))
+    # Makespan grows sub-linearly in pipeline count when devices scale
+    # along (parallel pipelines), never super-linearly by more than the
+    # solver-noise margin.
+    small, large = _run(SIZES[0]), _run(SIZES[-1])
+    ratio = large.fixed_makespan / small.fixed_makespan
+    assert ratio <= SIZES[-1] / SIZES[0]
+
+
+def test_chip_assay_synthesizes(benchmark, record_rows):
+    """The fourth (extension) workload runs end to end."""
+    assay = chip_assay(samples=3)
+
+    def run():
+        spec = SynthesisSpec(
+            max_devices=12, threshold=3, time_limit=10, max_iterations=1,
+        )
+        return synthesize(assay, spec)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result.validate()
+    record_rows(
+        "chip_assay",
+        f"ChIP x3: {result.makespan_expression}, "
+        f"{result.num_devices} devices, {result.num_paths} paths, "
+        f"statuses {result.history[-1].layer_statuses}",
+    )
+    assert result.makespan_expression.endswith("+I_1")

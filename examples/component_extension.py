@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Extending the component catalog: a droplet-on-demand electrode array.
+
+The paper's central pitch is that a *component-oriented* description "can
+easily be extended and thus adapted to continuous biological innovations"
+(contribution I).  This example registers a brand-new accessory type —
+a dielectrophoresis (DEP) electrode array — and synthesizes an assay that
+uses it, without touching a single line of library code.
+
+Run with::
+
+    python examples/component_extension.py
+"""
+
+import dataclasses
+
+from repro import AssayBuilder, SynthesisSpec, synthesize
+from repro.components import Accessory, standard_registry
+from repro.components.costs import default_cost_model
+
+
+def main() -> None:
+    # 1. Register the new accessory.  Short code must be unique; 'e' is
+    #    free (p/h/o/s/c are taken by the standard five).
+    registry = standard_registry()
+    dep_array = registry.register(
+        Accessory(
+            "dep_electrodes", "e",
+            "dielectrophoresis electrode array for label-free cell sorting",
+        )
+    )
+    print(f"registered: {dep_array.name} ({dep_array.description})")
+
+    # 2. Price it.  Electrode arrays need an extra metal layer: expensive.
+    costs = default_cost_model()
+    costs.accessory_processing["dep_electrodes"] = 7.0
+
+    # 3. Use it like any built-in component.
+    b = AssayBuilder("dep-sorting")
+    load = b.op("load_cells", 4, container="chamber", capacity="medium")
+    sort = b.op(
+        "dep_sort", 12, container="chamber", capacity="medium",
+        accessories=["dep_electrodes", "pump"], function="sort",
+        after=[load],
+    )
+    collect = b.op(
+        "collect", 3, container="chamber", capacity="small",
+        accessories=["pump"], after=[sort],
+    )
+    b.op(
+        "verify", 2, accessories=["optical_system", "dep_electrodes"],
+        capacity="small", after=[collect],
+    )
+    assay = b.build()
+
+    spec = SynthesisSpec(
+        max_devices=5, time_limit=10.0, registry=registry, cost_model=costs,
+    )
+    result = synthesize(assay, spec)
+
+    print(f"\nexecution time: {result.makespan_expression}")
+    for uid, device in sorted(result.devices.items()):
+        marker = " <-- carries the new accessory" if (
+            "dep_electrodes" in device.accessories
+        ) else ""
+        print(f"  {device}{marker}")
+
+    # 4. The cover-binding rule applies to new components too: 'verify'
+    #    (optical + DEP) and 'dep_sort' (DEP + pump) could share a device
+    #    integrating the union — the ILP decides by cost.
+    conv = synthesize(
+        assay,
+        dataclasses.replace(
+            spec,
+            binding_mode=__import__("repro").BindingMode.EXACT,
+        ),
+    )
+    print(
+        f"\ncomponent-oriented: {result.num_devices} devices / "
+        f"{result.fixed_makespan}m;  conventional exact-matching: "
+        f"{conv.num_devices} devices / {conv.fixed_makespan}m"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Why hybrid scheduling: compare against the fully-static alternative.
+
+Operations with indeterminate duration (single-cell capture) cannot sit in
+a fixed time slot.  A purely static scheduler must budget the *worst case*
+for each of them; the hybrid schedule instead ends its layer the moment the
+last capture actually succeeds.  This example quantifies the difference on
+the RT-qPCR benchmark (reduced scale) by Monte-Carlo simulation.
+
+Run with::
+
+    python examples/hybrid_vs_static.py
+"""
+
+import statistics
+
+from repro import SynthesisSpec, synthesize
+from repro.assays import rtqpcr_assay
+from repro.runtime import RetryModel, execute_schedule
+
+
+def main() -> None:
+    assay = rtqpcr_assay(cells=4)  # 24 ops, 4 indeterminate captures
+    spec = SynthesisSpec(
+        max_devices=12, threshold=4, time_limit=15.0, max_iterations=1,
+    )
+    result = synthesize(assay, spec)
+    print(f"scheduled: {result.makespan_expression} "
+          f"({result.num_devices} devices)")
+
+    retry = RetryModel(success_probability=0.53, max_attempts=12)
+    runs = [
+        execute_schedule(result.schedule, retry, seed=s) for s in range(200)
+    ]
+    makespans = [r.makespan for r in runs]
+
+    # The static alternative must reserve worst-case slots: every capture
+    # op budgeted at max_attempts * minimum duration.
+    worst_extra = 0
+    for layer in result.schedule.layers:
+        ind = [p for p in layer.placements.values() if p.indeterminate]
+        if ind:
+            worst_extra += max(
+                (retry.max_attempts - 1) * p.duration for p in ind
+            )
+    static_makespan = result.fixed_makespan + worst_extra
+
+    print(f"\nMonte-Carlo over {len(runs)} runs:")
+    print(f"  hybrid mean makespan : {statistics.mean(makespans):8.1f}m")
+    print(f"  hybrid 95th pct      : "
+          f"{sorted(makespans)[int(0.95 * len(makespans))]:8.1f}m")
+    print(f"  hybrid worst         : {max(makespans):8.1f}m")
+    print(f"  static worst-case    : {static_makespan:8.1f}m")
+    saving = 1 - statistics.mean(makespans) / static_makespan
+    print(f"\nhybrid scheduling saves {saving:.0%} of chip time on average "
+          "versus worst-case static reservation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: describe an assay, synthesize it, inspect the result.
+
+A minimal PCR-style protocol: sample loading, rotary mixing, thermocycling,
+fluorescence readout.  Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import AssayBuilder, SynthesisSpec, synthesize
+from repro.io import render_gantt
+
+
+def main() -> None:
+    # 1. Describe the protocol as component-oriented operations: each op
+    #    states the container, capacity, and accessories it needs — not a
+    #    functional "type".
+    b = AssayBuilder("pcr-demo")
+    load = b.op(
+        "load_sample", 3,
+        container="chamber", capacity="small", function="load",
+    )
+    mix = b.op(
+        "mix_reagents", 8,
+        container="ring", accessories=["pump"], function="mix",
+        after=[load],
+    )
+    amplify = b.op(
+        "thermocycle", 35,
+        accessories=["heating_pad"], function="heat",
+        after=[mix],
+    )
+    b.op(
+        "read_fluorescence", 2,
+        accessories=["optical_system"], function="detect",
+        after=[amplify],
+    )
+    assay = b.build()
+
+    # 2. Synthesize: the engine decides which devices to integrate on the
+    #    chip, binds every operation, and schedules the whole assay.
+    spec = SynthesisSpec(max_devices=5, time_limit=10.0)
+    result = synthesize(assay, spec)
+
+    # 3. Inspect.
+    print(f"assay          : {assay.name} ({len(assay)} operations)")
+    print(f"execution time : {result.makespan_expression}")
+    print(f"devices used   : {result.num_devices}")
+    for uid, device in sorted(result.devices.items()):
+        ops_on_device = [
+            op for op, dev in result.schedule.binding.items() if dev == uid
+        ]
+        print(f"   {device}  runs {', '.join(ops_on_device)}")
+    print(f"flow paths     : {result.num_paths}")
+    print()
+    print(render_gantt(result.schedule))
+
+
+if __name__ == "__main__":
+    main()

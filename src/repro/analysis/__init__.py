@@ -1,0 +1,30 @@
+"""Post-synthesis analysis: utilization, critical paths, storage demand."""
+
+from .bounds import BoundsReport, LayerBound, makespan_bounds
+from .critical_path import CriticalPath, critical_path
+from .storage import StorageReport, StoredReagent, storage_report
+from .stats import (
+    DeviceUtilization,
+    objective_value,
+    ScheduleStats,
+    device_utilization,
+    parallelism_profile,
+    schedule_stats,
+)
+
+__all__ = [
+    "BoundsReport",
+    "LayerBound",
+    "makespan_bounds",
+    "StorageReport",
+    "StoredReagent",
+    "storage_report",
+    "CriticalPath",
+    "critical_path",
+    "DeviceUtilization",
+    "ScheduleStats",
+    "device_utilization",
+    "objective_value",
+    "parallelism_profile",
+    "schedule_stats",
+]

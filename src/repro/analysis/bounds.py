@@ -1,0 +1,101 @@
+"""Makespan lower bounds and optimality-gap reporting.
+
+Two classic bounds certify how far a hybrid schedule can be from optimal
+*without* re-solving anything:
+
+* **critical-path bound** — the duration(+transport)-weighted longest
+  dependency chain of a layer; no amount of hardware beats it;
+* **work bound** — total scheduled work divided by the device cap: even
+  perfect packing onto ``|D|`` devices cannot finish faster.
+
+The per-layer gap ``(makespan − max(bounds)) / makespan`` tells a user
+whether a long schedule is the solver's fault (large gap → raise the time
+limit) or the problem's (gap ≈ 0 → buy a bigger chip or restructure the
+protocol).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from .critical_path import critical_path
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hls.synthesizer import SynthesisResult
+
+
+@dataclass(frozen=True)
+class LayerBound:
+    """Lower-bound certificate for one layer."""
+
+    layer_index: int
+    makespan: int
+    critical_path_bound: int
+    work_bound: int
+
+    @property
+    def bound(self) -> int:
+        return max(self.critical_path_bound, self.work_bound)
+
+    @property
+    def gap(self) -> float:
+        """Relative optimality gap; 0 means provably optimal makespan."""
+        if self.makespan <= 0:
+            return 0.0
+        return max(0.0, (self.makespan - self.bound) / self.makespan)
+
+
+@dataclass(frozen=True)
+class BoundsReport:
+    """Per-layer bounds plus the whole-schedule aggregate."""
+
+    layers: tuple[LayerBound, ...]
+
+    @property
+    def total_makespan(self) -> int:
+        return sum(b.makespan for b in self.layers)
+
+    @property
+    def total_bound(self) -> int:
+        return sum(b.bound for b in self.layers)
+
+    @property
+    def total_gap(self) -> float:
+        if self.total_makespan <= 0:
+            return 0.0
+        return max(
+            0.0,
+            (self.total_makespan - self.total_bound) / self.total_makespan,
+        )
+
+
+def makespan_bounds(result: "SynthesisResult") -> BoundsReport:
+    """Compute per-layer lower bounds for a synthesis result."""
+    assay = result.assay
+    transport = result.edge_transport
+    max_devices = result.spec.max_devices
+
+    layer_bounds = []
+    for layer in result.schedule.layers:
+        uids = list(layer.placements)
+        sub = assay.subset(uids)
+        sub_transport = {
+            (p, c): t for (p, c), t in transport.items()
+            if p in layer.placements and c in layer.placements
+        }
+        cp = critical_path(sub, sub_transport)
+        total_work = sum(
+            p.duration for p in layer.placements.values()
+        )
+        work_bound = math.ceil(total_work / max_devices) if uids else 0
+        layer_bounds.append(
+            LayerBound(
+                layer_index=layer.index,
+                makespan=layer.makespan,
+                critical_path_bound=cp.length_with_transport,
+                work_bound=work_bound,
+            )
+        )
+    return BoundsReport(layers=tuple(layer_bounds))

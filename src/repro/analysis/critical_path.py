@@ -1,0 +1,72 @@
+"""Critical-path analysis of assays and schedules.
+
+The critical path lower-bounds the achievable makespan regardless of how
+many devices the chip integrates: no schedule can beat the longest
+duration-weighted dependency chain.  Useful both to sanity-check synthesis
+results (``schedule makespan >= critical path``) and to tell users when
+adding devices cannot help anymore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..operations.assay import Assay
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """The longest duration-weighted chain of an assay."""
+
+    uids: tuple[str, ...]
+    length: int
+    #: length including per-edge transportation estimates, when provided.
+    length_with_transport: int
+
+    def __len__(self) -> int:
+        return len(self.uids)
+
+
+def critical_path(
+    assay: Assay,
+    edge_transport: dict[tuple[str, str], int] | None = None,
+) -> CriticalPath:
+    """Longest chain by scheduled durations (+ optional transport times)."""
+    transport = edge_transport or {}
+    order = assay.topological_order()
+
+    # Longest path ending at each node, with and without transport.
+    best: dict[str, int] = {}
+    best_t: dict[str, int] = {}
+    pred: dict[str, str | None] = {}
+    for uid in order:
+        op = assay[uid]
+        best[uid] = op.duration.scheduled
+        best_t[uid] = op.duration.scheduled
+        pred[uid] = None
+        for parent in assay.parents(uid):
+            via = best[parent] + op.duration.scheduled
+            via_t = (
+                best_t[parent]
+                + transport.get((parent, uid), 0)
+                + op.duration.scheduled
+            )
+            if via_t > best_t[uid]:
+                best_t[uid] = via_t
+                pred[uid] = parent
+            if via > best[uid]:
+                best[uid] = via
+
+    if not order:
+        return CriticalPath(uids=(), length=0, length_with_transport=0)
+
+    tail = max(order, key=lambda uid: best_t[uid])
+    chain = [tail]
+    while pred[chain[-1]] is not None:
+        chain.append(pred[chain[-1]])  # type: ignore[arg-type]
+    chain.reverse()
+    return CriticalPath(
+        uids=tuple(chain),
+        length=max(best.values()),
+        length_with_transport=best_t[tail],
+    )

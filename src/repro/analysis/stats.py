@@ -1,0 +1,152 @@
+"""Schedule statistics.
+
+Quantifies the paper's qualitative claims — "our method ... balances the
+usage of chip resources, so that more operations can be executed in
+parallel" — as measurable numbers: per-device busy fractions, the
+layer-by-layer parallelism profile, and aggregate utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..hls.schedule import HybridSchedule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hls.synthesizer import SynthesisResult
+
+
+@dataclass(frozen=True)
+class DeviceUtilization:
+    """Busy statistics of one device over the fixed parts of the schedule."""
+
+    device_uid: str
+    busy_time: int
+    num_operations: int
+    #: busy_time / total fixed makespan (0 when the schedule is empty).
+    utilization: float
+
+
+@dataclass
+class ScheduleStats:
+    """Aggregate schedule metrics."""
+
+    fixed_makespan: int
+    num_operations: int
+    num_devices: int
+    num_layers: int
+    total_busy_time: int
+    #: mean of the per-device utilizations.
+    mean_utilization: float
+    #: max ops executing simultaneously (fixed parts only).
+    peak_parallelism: int
+    #: busy-time imbalance: max device busy / mean device busy (1 = even).
+    balance_ratio: float
+    per_device: list[DeviceUtilization] = field(default_factory=list)
+
+
+def device_utilization(schedule: HybridSchedule) -> list[DeviceUtilization]:
+    """Busy time per device across all layers (scheduled durations only)."""
+    makespan = schedule.fixed_makespan
+    busy: dict[str, int] = {}
+    count: dict[str, int] = {}
+    for layer in schedule.layers:
+        for placement in layer.placements.values():
+            busy[placement.device_uid] = (
+                busy.get(placement.device_uid, 0) + placement.duration
+            )
+            count[placement.device_uid] = (
+                count.get(placement.device_uid, 0) + 1
+            )
+    return [
+        DeviceUtilization(
+            device_uid=uid,
+            busy_time=busy[uid],
+            num_operations=count[uid],
+            utilization=busy[uid] / makespan if makespan else 0.0,
+        )
+        for uid in sorted(busy)
+    ]
+
+
+def parallelism_profile(schedule: HybridSchedule) -> list[int]:
+    """Concurrent-operation count at every (global) time unit.
+
+    Layers are laid out back to back at their scheduled makespans; the
+    indeterminate tails are counted at their minimum durations.
+    """
+    profile: list[int] = []
+    for layer in schedule.layers:
+        span = layer.makespan
+        counts = [0] * span
+        for placement in layer.placements.values():
+            for t in range(placement.start, min(placement.end, span)):
+                counts[t] += 1
+        profile.extend(counts)
+    return profile
+
+
+def schedule_stats(schedule: HybridSchedule) -> ScheduleStats:
+    """Aggregate metrics; see :class:`ScheduleStats`."""
+    per_device = device_utilization(schedule)
+    profile = parallelism_profile(schedule)
+    busy_values = [d.busy_time for d in per_device]
+    mean_busy = sum(busy_values) / len(busy_values) if busy_values else 0.0
+    return ScheduleStats(
+        fixed_makespan=schedule.fixed_makespan,
+        num_operations=sum(len(layer) for layer in schedule.layers),
+        num_devices=len(per_device),
+        num_layers=len(schedule.layers),
+        total_busy_time=sum(busy_values),
+        mean_utilization=(
+            sum(d.utilization for d in per_device) / len(per_device)
+            if per_device
+            else 0.0
+        ),
+        peak_parallelism=max(profile, default=0),
+        balance_ratio=(
+            max(busy_values) / mean_busy if mean_busy else 1.0
+        ),
+        per_device=per_device,
+    )
+
+
+def objective_value(result: "SynthesisResult") -> float:
+    """The paper's weighted objective evaluated on a finished result:
+    ``C_t·sum_t + C_a·sum_a + C_pr·sum_pr + C_p·sum_p`` (Sec. 4.3).
+
+    Uses the result's own spec weights and cost model.  Note the per-layer
+    ILPs optimize layer makespans independently, so this global value is
+    what the synthesis *achieved*, not necessarily a per-layer optimum sum.
+    """
+    spec = result.spec
+    weights = spec.weights
+    costs = spec.cost_model
+    area = sum(d.area(costs) for d in result.devices.values())
+    processing = sum(d.processing_cost(costs) for d in result.devices.values())
+    return (
+        weights.time * result.fixed_makespan
+        + weights.area * area
+        + weights.processing * processing
+        + weights.paths * result.num_paths
+    )
+
+
+def format_stats(stats: ScheduleStats) -> str:
+    """Human-readable multi-line report."""
+    lines = [
+        f"makespan (fixed) : {stats.fixed_makespan}",
+        f"operations       : {stats.num_operations}",
+        f"devices          : {stats.num_devices}",
+        f"layers           : {stats.num_layers}",
+        f"mean utilization : {stats.mean_utilization:.1%}",
+        f"peak parallelism : {stats.peak_parallelism}",
+        f"balance ratio    : {stats.balance_ratio:.2f}",
+    ]
+    for d in stats.per_device:
+        lines.append(
+            f"  {d.device_uid:>8}: busy {d.busy_time:>5} "
+            f"({d.utilization:.1%}), {d.num_operations} ops"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Extension workload — microfluidic chromatin immunoprecipitation (ChIP).
+
+Wu et al., "Automated microfluidic chromatin immunoprecipitation from
+2,000 cells", Lab on a Chip 2009 — the paper's reference [14], cited for
+operations that need precise time control.  Not part of the paper's
+evaluation; included as a fourth, wash-dominated workload: ChIP spends
+most of its chip time cycling antibody-bead washes behind sieve valves,
+stressing device reuse very differently from the capture-dominated
+benchmarks.
+
+One run is 9 operations with 1 indeterminate (antibody-chromatin binding
+is verified by bead fluorescence before proceeding).
+"""
+
+from __future__ import annotations
+
+from ..operations.assay import Assay
+from ..operations.builder import AssayBuilder
+
+
+def chip_protocol() -> Assay:
+    """One ChIP run (9 operations, 1 indeterminate)."""
+    b = AssayBuilder("chip")
+    lyse = b.op(
+        "lyse_cells", 10, container="chamber", capacity="medium",
+        function="lyse",
+    )
+    shear = b.op(
+        "shear_chromatin", 15, container="ring", capacity="medium",
+        accessories=["pump"], function="mix", after=[lyse],
+    )
+    load_beads = b.op(
+        "load_ab_beads", 5, container="chamber", capacity="small",
+        accessories=["sieve_valve", "pump"], function="load",
+    )
+    # Antibody-chromatin binding: long mixing over the bead column with
+    # fluorescence verification -> indeterminate.
+    bind = b.op(
+        "bind_chromatin", 45, indeterminate=True, container="chamber",
+        capacity="medium",
+        accessories=["sieve_valve", "pump", "optical_system"],
+        function="mix", after=[shear, load_beads],
+    )
+    wash1 = b.op(
+        "wash_low_salt", 8, container="chamber", capacity="small",
+        accessories=["sieve_valve"], function="wash", after=[bind],
+    )
+    wash2 = b.op(
+        "wash_high_salt", 8, container="chamber", capacity="small",
+        accessories=["sieve_valve"], function="wash", after=[wash1],
+    )
+    wash3 = b.op(
+        "wash_licl", 8, container="chamber", capacity="small",
+        accessories=["sieve_valve"], function="wash", after=[wash2],
+    )
+    elute = b.op(
+        "elute_reverse_crosslink", 30, container="chamber", capacity="small",
+        accessories=["sieve_valve", "heating_pad"], function="heat",
+        after=[wash3],
+    )
+    b.op(
+        "purify_dna", 12, container="chamber", capacity="small",
+        accessories=["sieve_valve", "pump"], function="wash", after=[elute],
+    )
+    return b.build()
+
+
+def chip_assay(samples: int = 4) -> Assay:
+    """``samples`` parallel ChIP runs (default 36 ops, 4 indeterminate)."""
+    assay = chip_protocol().replicate(samples)
+    assay.name = "chromatin-immunoprecipitation"
+    return assay

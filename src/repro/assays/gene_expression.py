@@ -1,0 +1,68 @@
+"""Case 2 — single-cell gene expression profiling (Zhong et al., LoC 2008).
+
+The chip of the paper's Fig. 1: mixers integrated with cell-separation
+modules.  Single human embryonic stem cells are isolated in the U-shaped
+cell-separation part of a ring mixer (the separation valves close off part
+of the mixer's flow channel), lysed, their mRNA captured on bead columns,
+washed, reverse-transcribed into cDNA on a heated chamber, purified, and
+collected for detection.
+
+Cell isolation is **indeterminate**: whether exactly one cell was captured
+must be verified (fluorescent imaging, ~53 % single-cell success rate per
+attempt), so the operation reruns until it succeeds.
+
+One pipeline is 7 operations with 1 indeterminate; the paper replicates to
+70 operations / 10 indeterminate (10 single cells processed in parallel).
+"""
+
+from __future__ import annotations
+
+from ..operations.assay import Assay
+from ..operations.builder import AssayBuilder
+
+PAPER_NUM_OPS = 70
+PAPER_NUM_INDETERMINATE = 10
+
+
+def gene_expression_protocol() -> Assay:
+    """One single-cell pipeline (7 operations, 1 indeterminate)."""
+    b = AssayBuilder("geneexpr")
+    # Cell isolation in the cell-separation module of a ring mixer: the
+    # operation monopolizes the ring (Fig. 1(b)) — bound to a mixer despite
+    # not being a mixing operation.
+    capture = b.op(
+        "capture_cell", 8, indeterminate=True, container="ring",
+        capacity="small", accessories=["pump"], function="capture",
+    )
+    lyse = b.op(
+        "lyse", 6, container="chamber", capacity="small",
+        function="lyse", after=[capture],
+    )
+    capture_mrna = b.op(
+        "capture_mrna", 12, container="chamber", capacity="small",
+        accessories=["sieve_valve"], function="capture", after=[lyse],
+    )
+    wash = b.op(
+        "wash", 8, container="chamber", capacity="small",
+        accessories=["sieve_valve"], function="wash", after=[capture_mrna],
+    )
+    cdna = b.op(
+        "synthesize_cdna", 40, container="chamber", capacity="small",
+        accessories=["heating_pad"], function="heat", after=[wash],
+    )
+    purify = b.op(
+        "purify", 10, container="chamber", capacity="small",
+        accessories=["sieve_valve", "pump"], function="wash", after=[cdna],
+    )
+    b.op(
+        "collect", 4, container="chamber", capacity="small",
+        accessories=["optical_system"], function="detect", after=[purify],
+    )
+    return b.build()
+
+
+def gene_expression_assay(cells: int = 10) -> Assay:
+    """The paper's case 2: ``cells`` parallel pipelines (default 70 ops)."""
+    assay = gene_expression_protocol().replicate(cells)
+    assay.name = "gene-expression-profiling"
+    return assay

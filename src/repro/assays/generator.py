@@ -1,0 +1,74 @@
+"""Parameterized random assay generator.
+
+Used by property-based tests and stress benchmarks: generates valid DAGs of
+component-oriented operations with controllable size, dependency density,
+and indeterminate-operation fraction.  Deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..components.containers import Capacity, ContainerKind, allowed_capacities
+from ..operations.assay import Assay
+from ..operations.duration import Fixed, Indeterminate
+from ..operations.operation import Operation
+
+_ACCESSORY_POOL = (
+    "pump",
+    "heating_pad",
+    "optical_system",
+    "sieve_valve",
+    "cell_trap",
+)
+
+
+def random_assay(
+    num_ops: int = 20,
+    *,
+    seed: int = 0,
+    edge_probability: float = 0.15,
+    indeterminate_fraction: float = 0.15,
+    max_duration: int = 30,
+    max_accessories: int = 2,
+) -> Assay:
+    """Generate a random valid assay.
+
+    Edges only go from lower to higher op index, so the result is always a
+    DAG.  An operation marked indeterminate keeps its forward edges (its
+    descendants simply land in later layers).
+    """
+    rng = random.Random(seed)
+    assay = Assay(f"random-{seed}-{num_ops}")
+
+    for i in range(num_ops):
+        indeterminate = rng.random() < indeterminate_fraction
+        duration = max(1, rng.randint(1, max_duration))
+        kind = rng.choice([None, ContainerKind.RING, ContainerKind.CHAMBER])
+        if kind is None:
+            capacity = rng.choice(list(Capacity))
+        else:
+            capacity = rng.choice(list(allowed_capacities(kind)))
+        accessories = frozenset(
+            rng.sample(_ACCESSORY_POOL, rng.randint(0, max_accessories))
+        )
+        assay.add(
+            Operation(
+                uid=f"op{i}",
+                duration=(
+                    Indeterminate(duration) if indeterminate else Fixed(duration)
+                ),
+                capacity=capacity,
+                container=kind,
+                accessories=accessories,
+                function=rng.choice(
+                    ["mix", "heat", "detect", "wash", "capture", "culture"]
+                ),
+            )
+        )
+
+    for i in range(num_ops):
+        for j in range(i + 1, num_ops):
+            if rng.random() < edge_probability:
+                assay.add_dependency(f"op{i}", f"op{j}")
+    return assay

@@ -1,0 +1,70 @@
+"""Case 1 — kinase activity radioassay (Fang et al., Cancer Res. 2010).
+
+The chip of the paper's Fig. 2: bead columns are formed behind sieve
+valves, a large liquid sample is mixed through the column by the flow
+reversal protocol (mixing *without* a mixer — the motivating example of the
+component-oriented concept), followed by washing, elution, on-chip
+neutralization, incubation with the radioactive ATP probe, and readout.
+
+One assay run is 8 operations; the paper replicates to 16 operations
+(2 parallel patient samples) with **no indeterminate operations**.
+"""
+
+from __future__ import annotations
+
+from ..operations.assay import Assay
+from ..operations.builder import AssayBuilder
+
+#: Operation count the paper reports for this case.
+PAPER_NUM_OPS = 16
+PAPER_NUM_INDETERMINATE = 0
+
+
+def kinase_protocol() -> Assay:
+    """One run of the kinase radioassay protocol (8 operations)."""
+    b = AssayBuilder("kinase")
+    load_beads = b.op(
+        "load_beads", 5, container="chamber", capacity="small",
+        accessories=["sieve_valve", "pump"], function="load",
+    )
+    load_sample = b.op(
+        "load_sample", 4, container="chamber", capacity="medium",
+        function="load",
+    )
+    # Flow-reversal mixing through the bead column (Fig. 2(b)-(e)): a
+    # chamber with sieve valves and a pump, NOT a ring mixer.
+    mix = b.op(
+        "mix_flow_reversal", 30, container="chamber", capacity="medium",
+        accessories=["sieve_valve", "pump"], function="mix",
+        after=[load_beads, load_sample],
+    )
+    wash = b.op(
+        "wash", 10, container="chamber", capacity="small",
+        accessories=["sieve_valve"], function="wash", after=[mix],
+    )
+    elute = b.op(
+        "elute", 8, container="chamber", capacity="small",
+        accessories=["sieve_valve", "pump"], function="elute", after=[wash],
+    )
+    # Neutralization is a plain mixing step; the container kind is left
+    # open — it may run in a ring mixer or any suitable chamber.
+    neutralize = b.op(
+        "neutralize", 6, capacity="small", accessories=["pump"],
+        function="mix", after=[elute],
+    )
+    incubate = b.op(
+        "incubate", 25, container="chamber", capacity="small",
+        accessories=["heating_pad"], function="heat", after=[neutralize],
+    )
+    b.op(
+        "detect", 6, container="chamber", capacity="small",
+        accessories=["optical_system"], function="detect", after=[incubate],
+    )
+    return b.build()
+
+
+def kinase_assay(samples: int = 2) -> Assay:
+    """The paper's case 1: ``samples`` parallel runs (default 16 ops)."""
+    assay = kinase_protocol().replicate(samples)
+    assay.name = "kinase-radioassay"
+    return assay

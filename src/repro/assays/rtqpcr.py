@@ -1,0 +1,60 @@
+"""Case 3 — high-throughput single-cell RT-qPCR (White et al., PNAS 2011).
+
+Hundreds of single cells are captured in passive cell traps, washed, lysed,
+reverse-transcribed, and quantified by qPCR with real-time fluorescence
+readout.  Capture is **indeterminate** (single-cell occupancy must be
+verified); qPCR thermocycling needs *precise time control* (the paper's
+argument for pre-generated schedules, Sec. 1) and both a heating pad and an
+optical system on the same device.
+
+One pipeline is 6 operations with 1 indeterminate; the paper replicates to
+120 operations / 20 indeterminate (20 cells).  With the indeterminate
+threshold at 10, layering yields two indeterminate layers — the
+``+I_1+I_2`` makespan of Table 2.
+"""
+
+from __future__ import annotations
+
+from ..operations.assay import Assay
+from ..operations.builder import AssayBuilder
+
+PAPER_NUM_OPS = 120
+PAPER_NUM_INDETERMINATE = 20
+
+
+def rtqpcr_protocol() -> Assay:
+    """One single-cell RT-qPCR pipeline (6 operations, 1 indeterminate)."""
+    b = AssayBuilder("rtqpcr")
+    capture = b.op(
+        "capture_cell", 6, indeterminate=True, container="chamber",
+        capacity="tiny", accessories=["cell_trap"], function="capture",
+    )
+    wash = b.op(
+        "wash", 5, container="chamber", capacity="tiny",
+        accessories=["sieve_valve"], function="wash", after=[capture],
+    )
+    lyse = b.op(
+        "lyse", 8, container="chamber", capacity="tiny",
+        function="lyse", after=[wash],
+    )
+    rt = b.op(
+        "reverse_transcribe", 45, container="chamber", capacity="small",
+        accessories=["heating_pad"], function="heat", after=[lyse],
+    )
+    qpcr = b.op(
+        "qpcr", 35, container="ring", capacity="small",
+        accessories=["heating_pad", "optical_system", "pump"],
+        function="heat", after=[rt],
+    )
+    b.op(
+        "analyze", 4, container="chamber", capacity="small",
+        accessories=["optical_system"], function="detect", after=[qpcr],
+    )
+    return b.build()
+
+
+def rtqpcr_assay(cells: int = 20) -> Assay:
+    """The paper's case 3: ``cells`` parallel pipelines (default 120 ops)."""
+    assay = rtqpcr_protocol().replicate(cells)
+    assay.name = "single-cell-rtqpcr"
+    return assay

@@ -1,0 +1,11 @@
+"""Baseline synthesis methods for comparison (paper Sec. 5)."""
+
+from .conventional import conventional_spec, synthesize_conventional
+from .types import classify_by_function, classify_by_signature
+
+__all__ = [
+    "conventional_spec",
+    "synthesize_conventional",
+    "classify_by_function",
+    "classify_by_signature",
+]

@@ -1,0 +1,49 @@
+"""Operation/device type classification for the conventional baseline.
+
+The original fluidic-instruction-set standard [2] classifies operations and
+devices by *functionality* (mix, heat, detect, ...).  The paper's evaluation
+modifies it — "classifying operations and devices according to their
+component requirements instead of functionality" — because the pure
+functional standard cannot express modern operations at all.  Both
+classifications are provided here: functional classes for display and
+analysis, signature classes as the actual binding domain of the baseline.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..operations.assay import Assay
+from ..operations.operation import Operation
+
+
+def classify_by_function(assay: Assay) -> dict[str, list[Operation]]:
+    """Group operations by their ``function`` label.
+
+    Unlabeled operations group under ``"(unspecified)"``.
+    """
+    groups: dict[str, list[Operation]] = defaultdict(list)
+    for op in assay:
+        groups[op.function or "(unspecified)"].append(op)
+    return dict(groups)
+
+
+def classify_by_signature(assay: Assay) -> dict[tuple, list[Operation]]:
+    """Group operations by component-requirement signature.
+
+    Each distinct signature is one "type" of the modified conventional
+    method: a device instantiated for the type serves only operations of the
+    same type (exact matching).
+    """
+    groups: dict[tuple, list[Operation]] = defaultdict(list)
+    for op in assay:
+        groups[op.requirement_signature()].append(op)
+    return dict(groups)
+
+
+def signature_label(signature: tuple) -> str:
+    """Compact human-readable form of a requirement signature."""
+    container, capacity, accessories = signature
+    kind = container or "any"
+    acc = ",".join(accessories) if accessories else "-"
+    return f"{kind}/{capacity}[{acc}]"

@@ -1,0 +1,237 @@
+"""Command-line interface.
+
+Usage examples::
+
+    repro-hls synthesize my_assay.json --max-devices 25 --out result.json
+    repro-hls synthesize my_assay.json --conventional --gantt
+    repro-hls layer my_assay.json --threshold 10
+    repro-hls table2 --cases 1 --time-limit 10
+    repro-hls table3 --cases 2 3
+    repro-hls demo
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .assays import benchmark_assay
+from .baselines import synthesize_conventional
+from .errors import ReproError
+from .experiments import format_table2, format_table3, run_table2, run_table3
+from .experiments.table2 import default_spec
+from .hls import SynthesisSpec, synthesize
+from .io import load_assay, render_gantt, save_result
+from .layering import layer_assay
+
+
+def _spec_from_args(args: argparse.Namespace) -> SynthesisSpec:
+    return SynthesisSpec(
+        max_devices=args.max_devices,
+        threshold=args.threshold,
+        time_limit=args.time_limit,
+        max_iterations=args.max_iterations,
+        backend=args.backend,
+    )
+
+
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--max-devices", type=int, default=25, help="|D| cap")
+    parser.add_argument(
+        "--threshold", type=int, default=10,
+        help="max indeterminate operations per layer (t)",
+    )
+    parser.add_argument(
+        "--time-limit", type=float, default=20.0,
+        help="seconds per layer ILP solve",
+    )
+    parser.add_argument("--max-iterations", type=int, default=2)
+    parser.add_argument(
+        "--backend", default="auto", choices=("auto", "highs", "bnb")
+    )
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    assay = load_assay(args.assay)
+    spec = _spec_from_args(args)
+    if args.conventional:
+        result = synthesize_conventional(assay, spec)
+    else:
+        result = synthesize(assay, spec)
+    print(f"assay          : {assay.name} ({len(assay)} ops)")
+    print(f"execution time : {result.makespan_expression}")
+    print(f"devices        : {result.num_devices}")
+    print(f"paths          : {result.num_paths}")
+    for record in result.history:
+        print(
+            f"  {record.label:<9} makespan={record.fixed_makespan} "
+            f"devices={record.num_devices} paths={record.num_paths}"
+        )
+    if args.gantt:
+        print()
+        print(render_gantt(result.schedule))
+    if args.out:
+        save_result(result, args.out)
+        print(f"result written to {args.out}")
+    return 0
+
+
+def _cmd_layer(args: argparse.Namespace) -> int:
+    assay = load_assay(args.assay)
+    layering = layer_assay(assay, args.threshold)
+    print(f"{layering.num_layers} layer(s) for {assay.name}")
+    for layer in layering.layers:
+        ind = ", ".join(layer.indeterminate_uids) or "-"
+        print(f"  layer {layer.index}: {len(layer)} ops, indeterminate: {ind}")
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    spec = default_spec(time_limit=args.time_limit)
+    rows = run_table2(spec, cases=tuple(args.cases))
+    print(format_table2(rows))
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    spec = default_spec(time_limit=args.time_limit)
+    rows = run_table3(spec, cases=tuple(args.cases))
+    print(format_table3(rows))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .analysis import schedule_stats, storage_report
+    from .analysis.stats import format_stats
+
+    assay = load_assay(args.assay)
+    result = synthesize(assay, _spec_from_args(args))
+    print(format_stats(schedule_stats(result.schedule)))
+    report = storage_report(result)
+    print(f"storage crossings: {report.total_crossings} "
+          f"(peak demand {report.peak_demand})")
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    from .io import assay_to_dot, chip_to_dot
+    from .layering import layer_assay as _layer
+
+    assay = load_assay(args.assay)
+    if args.view == "assay":
+        layering = _layer(assay, args.threshold) if args.layers else None
+        print(assay_to_dot(assay, layering))
+        return 0
+    result = synthesize(assay, _spec_from_args(args))
+    print(chip_to_dot(result))
+    return 0
+
+
+def _cmd_place(args: argparse.Namespace) -> int:
+    from .layout import GridPlacer, layout_refined_transport
+
+    assay = load_assay(args.assay)
+    result = synthesize(assay, _spec_from_args(args))
+    estimator = layout_refined_transport(
+        assay, result.spec, result.schedule.binding,
+        placer=GridPlacer(seed=args.seed),
+    )
+    placement = estimator.last_placement
+    if placement is None:
+        print("all operations share one device; nothing to place")
+        return 0
+    print(placement.layout.render())
+    print(f"\nweighted channel length: {placement.cost:g} "
+          f"(improved {placement.improvement:.0%} over the initial grid)")
+    for pair, dist in sorted(placement.distances.items()):
+        usage = estimator.path_usage.get(pair, 0)
+        print(f"  {pair[0]} <-> {pair[1]}: distance {dist}, usage {usage}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    assay = benchmark_assay(1)
+    spec = default_spec(time_limit=args.time_limit)
+    result = synthesize(assay, spec)
+    print(render_gantt(result.schedule))
+    print(f"\nexecution time {result.makespan_expression}, "
+          f"{result.num_devices} devices, {result.num_paths} paths")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-hls",
+        description=(
+            "Component-oriented high-level synthesis for continuous-flow "
+            "microfluidics with hybrid scheduling (DAC 2017 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_syn = sub.add_parser("synthesize", help="synthesize an assay JSON file")
+    p_syn.add_argument("assay", help="path to assay JSON")
+    p_syn.add_argument("--conventional", action="store_true",
+                       help="use the conventional (exact-matching) baseline")
+    p_syn.add_argument("--gantt", action="store_true", help="print a Gantt chart")
+    p_syn.add_argument("--out", help="write result JSON here")
+    _add_spec_arguments(p_syn)
+    p_syn.set_defaults(func=_cmd_synthesize)
+
+    p_layer = sub.add_parser("layer", help="show the layering of an assay")
+    p_layer.add_argument("assay")
+    p_layer.add_argument("--threshold", type=int, default=10)
+    p_layer.set_defaults(func=_cmd_layer)
+
+    p_t2 = sub.add_parser("table2", help="regenerate the paper's Table 2")
+    p_t2.add_argument("--cases", type=int, nargs="+", default=[1, 2, 3])
+    p_t2.add_argument("--time-limit", type=float, default=20.0)
+    p_t2.set_defaults(func=_cmd_table2)
+
+    p_t3 = sub.add_parser("table3", help="regenerate the paper's Table 3")
+    p_t3.add_argument("--cases", type=int, nargs="+", default=[2, 3])
+    p_t3.add_argument("--time-limit", type=float, default=20.0)
+    p_t3.set_defaults(func=_cmd_table3)
+
+    p_stats = sub.add_parser(
+        "stats", help="synthesize an assay and print schedule statistics"
+    )
+    p_stats.add_argument("assay")
+    _add_spec_arguments(p_stats)
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_dot = sub.add_parser("dot", help="export Graphviz DOT views")
+    p_dot.add_argument("assay")
+    p_dot.add_argument("--view", choices=("assay", "chip"), default="assay")
+    p_dot.add_argument("--layers", action="store_true",
+                       help="cluster the assay view by layer")
+    _add_spec_arguments(p_dot)
+    p_dot.set_defaults(func=_cmd_dot)
+
+    p_place = sub.add_parser(
+        "place", help="synthesize and place devices on a grid"
+    )
+    p_place.add_argument("assay")
+    p_place.add_argument("--seed", type=int, default=0)
+    _add_spec_arguments(p_place)
+    p_place.set_defaults(func=_cmd_place)
+
+    p_demo = sub.add_parser("demo", help="synthesize benchmark case 1 and show it")
+    p_demo.add_argument("--time-limit", type=float, default=10.0)
+    p_demo.set_defaults(func=_cmd_demo)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Microfluidic component catalog (Sec. 2.1 of the paper).
+
+Components split into two categories:
+
+* **containers** — chamber and ring; cost exclusive chip area *and*
+  processing effort (:mod:`repro.components.containers`);
+* **accessories** — pump, heating pad, optical system, sieve valve, cell
+  trap, and any user-registered extension; cost processing effort only
+  (:mod:`repro.components.accessories`).
+
+:class:`repro.components.costs.CostModel` carries the constant tables
+(``A_x``, ``A'_y``, ``Pr_z`` in the paper's objective).
+"""
+
+from .accessories import (
+    CELL_TRAP,
+    HEATING_PAD,
+    OPTICAL_SYSTEM,
+    PUMP,
+    SIEVE_VALVE,
+    Accessory,
+    AccessoryRegistry,
+    standard_registry,
+)
+from .containers import Capacity, ContainerKind, allowed_capacities
+from .costs import CostModel
+
+__all__ = [
+    "Accessory",
+    "AccessoryRegistry",
+    "standard_registry",
+    "PUMP",
+    "HEATING_PAD",
+    "OPTICAL_SYSTEM",
+    "SIEVE_VALVE",
+    "CELL_TRAP",
+    "Capacity",
+    "ContainerKind",
+    "allowed_capacities",
+    "CostModel",
+]

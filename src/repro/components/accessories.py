@@ -1,0 +1,110 @@
+"""Accessories: functionally specialized components integrated into containers.
+
+Sec. 2.1.2 of the paper reviews five accessories — pump, heating pad,
+optical system, sieve valve, cell trap — and stresses that the catalog keeps
+growing as lab-on-a-chip technology evolves.  We therefore model accessories
+as registry entries rather than a closed enum: a user introducing, say, an
+electrode array registers it once and every synthesis facility (binding
+legality, ILP variables, cost accounting) picks it up automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SpecificationError
+
+
+@dataclass(frozen=True)
+class Accessory:
+    """An accessory component type.
+
+    Attributes:
+        name: unique lowercase identifier (``"pump"``).
+        short: one/two-letter code used in ILP variable names (paper's
+            subscripts p/h/o/s/c).
+        description: human-readable summary.
+    """
+
+    name: str
+    short: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or self.name != self.name.lower():
+            raise SpecificationError(
+                f"accessory name must be non-empty lowercase, got {self.name!r}"
+            )
+
+
+#: The five accessories reviewed in the paper (subscripts p, h, o, s, c).
+PUMP = Accessory("pump", "p", "valve group providing pressure for fluid movement")
+HEATING_PAD = Accessory(
+    "heating_pad", "h", "heating layer + circuit under the flow layer"
+)
+OPTICAL_SYSTEM = Accessory(
+    "optical_system", "o", "light source + detector for detection operations"
+)
+SIEVE_VALVE = Accessory(
+    "sieve_valve", "s", "valve leaving a gap that halts large particles"
+)
+CELL_TRAP = Accessory(
+    "cell_trap", "c", "passive trap that fits and holds single cells"
+)
+
+STANDARD_ACCESSORIES = (PUMP, HEATING_PAD, OPTICAL_SYSTEM, SIEVE_VALVE, CELL_TRAP)
+
+
+@dataclass
+class AccessoryRegistry:
+    """Mutable catalog of accessory types known to a synthesis run."""
+
+    _by_name: dict[str, Accessory] = field(default_factory=dict)
+
+    def register(self, accessory: Accessory) -> Accessory:
+        """Add an accessory type; idempotent for identical re-registration."""
+        existing = self._by_name.get(accessory.name)
+        if existing is not None:
+            if existing != accessory:
+                raise SpecificationError(
+                    f"accessory {accessory.name!r} already registered with a "
+                    "different definition"
+                )
+            return existing
+        shorts = {a.short for a in self._by_name.values()}
+        if accessory.short in shorts:
+            raise SpecificationError(
+                f"accessory short code {accessory.short!r} already in use"
+            )
+        self._by_name[accessory.name] = accessory
+        return accessory
+
+    def get(self, name: str) -> Accessory:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SpecificationError(f"unknown accessory {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self):
+        return iter(self._by_name.values())
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._by_name)
+
+    def copy(self) -> "AccessoryRegistry":
+        return AccessoryRegistry(dict(self._by_name))
+
+
+def standard_registry() -> AccessoryRegistry:
+    """A fresh registry pre-populated with the paper's five accessories."""
+    registry = AccessoryRegistry()
+    for accessory in STANDARD_ACCESSORIES:
+        registry.register(accessory)
+    return registry

@@ -1,0 +1,73 @@
+"""Containers: chambers and rings, with capacity classes.
+
+The paper defines four capacity classes — *large*, *medium*, *small*,
+*tiny* — and restricts them per container kind (constraints (3)/(4)):
+a ring may be large/medium/small, a chamber medium/small/tiny.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..errors import SpecificationError
+
+
+class ContainerKind(enum.Enum):
+    """The two container components of Sec. 2.1.1."""
+
+    RING = "ring"
+    CHAMBER = "chamber"
+
+    @property
+    def short(self) -> str:
+        return "r" if self is ContainerKind.RING else "ch"
+
+
+class Capacity(enum.Enum):
+    """Container volume classes, ordered large > medium > small > tiny."""
+
+    LARGE = "large"
+    MEDIUM = "medium"
+    SMALL = "small"
+    TINY = "tiny"
+
+    @property
+    def short(self) -> str:
+        return {"large": "l", "medium": "m", "small": "s", "tiny": "t"}[self.value]
+
+    @property
+    def rank(self) -> int:
+        """Size rank; larger capacity gets the larger rank."""
+        order = [Capacity.TINY, Capacity.SMALL, Capacity.MEDIUM, Capacity.LARGE]
+        return order.index(self)
+
+
+#: Legal capacity classes per container kind (paper constraints (3)/(4)).
+_ALLOWED: dict[ContainerKind, tuple[Capacity, ...]] = {
+    ContainerKind.RING: (Capacity.LARGE, Capacity.MEDIUM, Capacity.SMALL),
+    ContainerKind.CHAMBER: (Capacity.MEDIUM, Capacity.SMALL, Capacity.TINY),
+}
+
+
+def allowed_capacities(kind: ContainerKind) -> tuple[Capacity, ...]:
+    """Capacity classes a container of ``kind`` may take."""
+    return _ALLOWED[kind]
+
+
+def check_container(kind: ContainerKind, capacity: Capacity) -> None:
+    """Raise :class:`SpecificationError` for an illegal (kind, capacity)."""
+    if capacity not in _ALLOWED[kind]:
+        legal = ", ".join(c.value for c in _ALLOWED[kind])
+        raise SpecificationError(
+            f"a {kind.value} cannot have capacity {capacity.value!r} "
+            f"(allowed: {legal})"
+        )
+
+
+def kinds_for_capacity(capacity: Capacity) -> tuple[ContainerKind, ...]:
+    """Container kinds that can realize ``capacity``.
+
+    Used when an operation leaves its container kind unspecified: the paper
+    allows binding to "either a ring or a chamber of corresponding size".
+    """
+    return tuple(k for k, caps in _ALLOWED.items() if capacity in caps)

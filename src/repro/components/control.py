@@ -1,0 +1,90 @@
+"""Control-layer complexity estimation.
+
+Continuous-flow chips are driven by a control layer of pneumatic valves
+(Sec. 2 of the paper: accessories cost "the implementation of extra chip
+ports and control channels").  This module estimates that complexity for a
+synthesized chip:
+
+* every container is isolated by valves (chamber: one per end; ring: the
+  same two plus the separation from the bus);
+* a pump is a peristaltic group of three valves [paper Sec. 2.1.2], which
+  may be sequentially connected and share one pressure source;
+* a sieve-valve accessory contributes two sieve valves (one per container
+  end, as in the Fig. 2 bead columns);
+* every transportation path needs a routing valve at each endpoint;
+* control *ports* (off-chip connections) can be shared by valves that
+  always actuate together.
+
+The numbers are first-order estimates for comparing synthesis solutions,
+not a mask-level count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from .containers import ContainerKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..devices.device import GeneralDevice
+    from ..hls.synthesizer import SynthesisResult
+
+#: valves contributed by each accessory type (unknown accessories: 1).
+_ACCESSORY_VALVES: dict[str, int] = {
+    "pump": 3,          # peristaltic triple
+    "sieve_valve": 2,   # one per container end
+    "heating_pad": 0,   # electrical, no pneumatics
+    "optical_system": 0,
+    "cell_trap": 0,     # passive structure
+}
+
+#: control ports: valves that always actuate together share a port.
+_ACCESSORY_PORTS: dict[str, int] = {
+    "pump": 3,          # three phases need three sources
+    "sieve_valve": 1,   # both sieve valves switch together
+    "heating_pad": 1,   # heater drive line
+    "optical_system": 1,
+    "cell_trap": 0,
+}
+
+
+@dataclass(frozen=True)
+class ControlEstimate:
+    """Estimated control-layer complexity of one device or a whole chip."""
+
+    valves: int
+    control_ports: int
+
+    def __add__(self, other: "ControlEstimate") -> "ControlEstimate":
+        return ControlEstimate(
+            self.valves + other.valves,
+            self.control_ports + other.control_ports,
+        )
+
+
+def device_control(device: "GeneralDevice") -> ControlEstimate:
+    """Valve/port estimate for one configured device."""
+    # Container isolation: two valves either way; a ring additionally
+    # needs the bus-separation valve pair to close the loop.
+    valves = 2 if device.container is ContainerKind.CHAMBER else 4
+    ports = 1  # the isolation valves actuate together
+    for name in device.accessories:
+        valves += _ACCESSORY_VALVES.get(name, 1)
+        ports += _ACCESSORY_PORTS.get(name, 1)
+    return ControlEstimate(valves=valves, control_ports=ports)
+
+
+def chip_control(result: "SynthesisResult") -> ControlEstimate:
+    """Valve/port estimate for a synthesized chip.
+
+    Sums device estimates and adds one routing valve per transportation
+    path endpoint (two per path, sharing one port per path).
+    """
+    total = ControlEstimate(0, 0)
+    for device in result.devices.values():
+        total = total + device_control(device)
+    routing = ControlEstimate(
+        valves=2 * result.num_paths, control_ports=result.num_paths
+    )
+    return total + routing

@@ -1,0 +1,124 @@
+"""Cost constants for containers and accessories.
+
+The paper's objective uses constant tables:
+
+* ``A_x`` — area of a ring with capacity x ∈ {large, medium, small};
+* ``A'_y`` — area of a chamber with capacity y ∈ {medium, small, tiny};
+* container processing costs (same index structure);
+* ``Pr_z`` — processing cost of accessory z.
+
+Exact values are not published; the defaults below encode the relationships
+the paper states: rings cost more area than chambers of the same capacity
+(the motivation of Fig. 6), larger capacities cost more, and accessories
+cost processing only (no area).  All values are user-overridable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SpecificationError
+from .accessories import STANDARD_ACCESSORIES
+from .containers import Capacity, ContainerKind, allowed_capacities
+
+#: Default container area units per (kind, capacity).  A ring is a chamber
+#: bent into a circle plus the circulation return — charge ~1.6x the area of
+#: the same-capacity chamber.
+_DEFAULT_AREA: dict[tuple[ContainerKind, Capacity], float] = {
+    (ContainerKind.RING, Capacity.LARGE): 16.0,
+    (ContainerKind.RING, Capacity.MEDIUM): 11.0,
+    (ContainerKind.RING, Capacity.SMALL): 8.0,
+    (ContainerKind.CHAMBER, Capacity.MEDIUM): 7.0,
+    (ContainerKind.CHAMBER, Capacity.SMALL): 5.0,
+    (ContainerKind.CHAMBER, Capacity.TINY): 3.0,
+}
+
+#: Default container processing cost (valve pairs, alignment, test effort).
+_DEFAULT_CONTAINER_PROCESSING: dict[tuple[ContainerKind, Capacity], float] = {
+    (ContainerKind.RING, Capacity.LARGE): 6.0,
+    (ContainerKind.RING, Capacity.MEDIUM): 5.0,
+    (ContainerKind.RING, Capacity.SMALL): 4.0,
+    (ContainerKind.CHAMBER, Capacity.MEDIUM): 3.0,
+    (ContainerKind.CHAMBER, Capacity.SMALL): 2.0,
+    (ContainerKind.CHAMBER, Capacity.TINY): 1.0,
+}
+
+#: Default accessory processing costs (mask fabrication, yield loss, extra
+#: ports/control channels — Sec. 2.1.2).
+_DEFAULT_ACCESSORY_PROCESSING: dict[str, float] = {
+    "pump": 3.0,
+    "heating_pad": 4.0,
+    "optical_system": 5.0,
+    "sieve_valve": 2.0,
+    "cell_trap": 2.0,
+}
+
+
+@dataclass
+class CostModel:
+    """Area and processing-cost tables used by the ILP objective.
+
+    Unknown accessories default to ``default_accessory_processing`` so that
+    newly registered accessory types work without editing the cost model.
+    """
+
+    area: dict[tuple[ContainerKind, Capacity], float] = field(
+        default_factory=lambda: dict(_DEFAULT_AREA)
+    )
+    container_processing: dict[tuple[ContainerKind, Capacity], float] = field(
+        default_factory=lambda: dict(_DEFAULT_CONTAINER_PROCESSING)
+    )
+    accessory_processing: dict[str, float] = field(
+        default_factory=lambda: dict(_DEFAULT_ACCESSORY_PROCESSING)
+    )
+    default_accessory_processing: float = 3.0
+
+    def __post_init__(self) -> None:
+        for kind in ContainerKind:
+            for capacity in allowed_capacities(kind):
+                if (kind, capacity) not in self.area:
+                    raise SpecificationError(
+                        f"cost model missing area for {kind.value}/{capacity.value}"
+                    )
+                if (kind, capacity) not in self.container_processing:
+                    raise SpecificationError(
+                        "cost model missing processing cost for "
+                        f"{kind.value}/{capacity.value}"
+                    )
+        for table in (self.area, self.container_processing, self.accessory_processing):
+            for key, value in table.items():
+                if value < 0:
+                    raise SpecificationError(f"negative cost for {key}")
+
+    def container_area(self, kind: ContainerKind, capacity: Capacity) -> float:
+        """Area ``A_x`` / ``A'_y`` of a container."""
+        try:
+            return self.area[(kind, capacity)]
+        except KeyError:
+            raise SpecificationError(
+                f"no area defined for {kind.value}/{capacity.value}"
+            ) from None
+
+    def container_cost(self, kind: ContainerKind, capacity: Capacity) -> float:
+        """Processing cost of integrating a container."""
+        try:
+            return self.container_processing[(kind, capacity)]
+        except KeyError:
+            raise SpecificationError(
+                f"no processing cost defined for {kind.value}/{capacity.value}"
+            ) from None
+
+    def accessory_cost(self, name: str) -> float:
+        """Processing cost ``Pr_z`` of integrating one accessory."""
+        return self.accessory_processing.get(name, self.default_accessory_processing)
+
+
+def default_cost_model() -> CostModel:
+    """A cost model with the library defaults (see module docstring)."""
+    model = CostModel()
+    # Guarantee the standard accessories are priced explicitly.
+    for accessory in STANDARD_ACCESSORIES:
+        model.accessory_processing.setdefault(
+            accessory.name, model.default_accessory_processing
+        )
+    return model

@@ -1,0 +1,6 @@
+"""General devices and the device inventory (set D of the ILP model)."""
+
+from .device import BindingMode, GeneralDevice
+from .inventory import DeviceInventory
+
+__all__ = ["BindingMode", "GeneralDevice", "DeviceInventory"]

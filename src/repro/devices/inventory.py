@@ -1,0 +1,110 @@
+"""The device inventory — the paper's set ``D``.
+
+``D``'s cardinality (user-given) caps how many devices may ever be
+integrated on the chip.  The inventory tracks which devices exist, which
+layer (and re-synthesis iteration) instantiated them, and enforces the cap.
+It also implements the inheritance bookkeeping of Sec. 3.2:
+
+* forward synthesis: layer ``L_i`` inherits every device built by layers
+  ``< i``;
+* re-synthesis: layer ``L_i`` inherits ``D \\ D'_i`` — all devices of the
+  previous iteration except the ones ``L_i`` itself introduced.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from ..errors import SpecificationError
+from .device import GeneralDevice
+
+
+class DeviceInventory:
+    """Devices instantiated so far, keyed by uid, with provenance."""
+
+    def __init__(self, max_devices: int) -> None:
+        if max_devices < 1:
+            raise SpecificationError(f"max_devices must be >= 1, got {max_devices}")
+        self.max_devices = max_devices
+        self._devices: dict[str, GeneralDevice] = {}
+        #: uid -> index of the layer that instantiated the device
+        self._born_in_layer: dict[str, int] = {}
+
+    # -- mutation ---------------------------------------------------------
+
+    def add(self, device: GeneralDevice, layer_index: int) -> GeneralDevice:
+        if device.uid in self._devices:
+            raise SpecificationError(f"duplicate device uid {device.uid!r}")
+        if len(self._devices) >= self.max_devices:
+            raise SpecificationError(
+                f"device cap |D|={self.max_devices} exceeded"
+            )
+        self._devices[device.uid] = device
+        self._born_in_layer[device.uid] = layer_index
+        return device
+
+    def fresh_uid(self) -> str:
+        """Next unused device uid (``d0``, ``d1``, ...)."""
+        k = len(self._devices)
+        while f"d{k}" in self._devices:
+            k += 1
+        return f"d{k}"
+
+    # -- access ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._devices)
+
+    def __iter__(self) -> Iterator[GeneralDevice]:
+        return iter(self._devices.values())
+
+    def __contains__(self, uid: str) -> bool:
+        return uid in self._devices
+
+    def __getitem__(self, uid: str) -> GeneralDevice:
+        try:
+            return self._devices[uid]
+        except KeyError:
+            raise SpecificationError(f"unknown device {uid!r}") from None
+
+    @property
+    def devices(self) -> list[GeneralDevice]:
+        return list(self._devices.values())
+
+    @property
+    def free_slots(self) -> int:
+        """How many more devices may still be integrated."""
+        return self.max_devices - len(self._devices)
+
+    def born_in(self, uid: str) -> int:
+        return self._born_in_layer[uid]
+
+    def devices_of_layer(self, layer_index: int) -> list[GeneralDevice]:
+        """``D'_i``: the devices instantiated by layer ``layer_index``."""
+        return [
+            d for uid, d in self._devices.items()
+            if self._born_in_layer[uid] == layer_index
+        ]
+
+    def inherited_for_forward(self, layer_index: int) -> list[GeneralDevice]:
+        """Devices available to layer ``layer_index`` in forward synthesis."""
+        return [
+            d for uid, d in self._devices.items()
+            if self._born_in_layer[uid] < layer_index
+        ]
+
+    def inherited_for_resynthesis(self, layer_index: int) -> list[GeneralDevice]:
+        """``D \\ D'_i``: previous-iteration devices minus the layer's own."""
+        return [
+            d for uid, d in self._devices.items()
+            if self._born_in_layer[uid] != layer_index
+        ]
+
+    def copy(self) -> "DeviceInventory":
+        clone = DeviceInventory(self.max_devices)
+        clone._devices = dict(self._devices)
+        clone._born_in_layer = dict(self._born_in_layer)
+        return clone
+
+    def __repr__(self) -> str:
+        return f"DeviceInventory({len(self)}/{self.max_devices})"

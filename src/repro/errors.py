@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while letting
+programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Structural problem in a graph (unknown node, duplicate edge, ...)."""
+
+
+class CycleError(GraphError):
+    """A directed graph expected to be acyclic contains a cycle."""
+
+    def __init__(self, cycle: list[str]):
+        self.cycle = list(cycle)
+        super().__init__(f"dependency cycle detected: {' -> '.join(self.cycle)}")
+
+
+class ModelError(ReproError):
+    """Invalid ILP model construction (bad bounds, unknown variable, ...)."""
+
+
+class SolverError(ReproError):
+    """An ILP/LP solver failed unexpectedly."""
+
+
+class InfeasibleError(SolverError):
+    """The model has no feasible solution."""
+
+
+class UnboundedError(SolverError):
+    """The model objective is unbounded."""
+
+
+class SpecificationError(ReproError):
+    """Invalid operation/device/assay specification."""
+
+
+class BindingError(ReproError):
+    """An operation cannot legally be bound to the selected device."""
+
+
+class SchedulingError(ReproError):
+    """A schedule violates a synthesis constraint."""
+
+
+class LayeringError(ReproError):
+    """The layering algorithm received an input it cannot partition."""
+
+
+class ValidationError(ReproError):
+    """A synthesized result failed independent validation."""
+
+
+class SerializationError(ReproError):
+    """JSON (de)serialization of a repro object failed."""

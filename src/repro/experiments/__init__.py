@@ -1,0 +1,16 @@
+"""Experiment harnesses regenerating the paper's tables."""
+
+from .report import format_table2, format_table3
+from .table2 import Table2Row, run_case, run_table2
+from .table3 import Table3Row, run_table3, run_table3_case
+
+__all__ = [
+    "Table2Row",
+    "run_case",
+    "run_table2",
+    "Table3Row",
+    "run_table3",
+    "run_table3_case",
+    "format_table2",
+    "format_table3",
+]

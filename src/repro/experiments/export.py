@@ -1,0 +1,41 @@
+"""CSV export of experiment rows (for external plotting tools)."""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from .table2 import Table2Row
+from .table3 import Table3Row
+
+TABLE2_FIELDS = (
+    "case", "method", "num_ops", "num_indeterminate", "exe_time",
+    "fixed_makespan", "num_devices", "num_paths", "runtime_seconds",
+)
+
+
+def table2_to_csv(rows: list[Table2Row]) -> str:
+    """Render Table 2 rows as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=TABLE2_FIELDS)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({field: getattr(row, field) for field in TABLE2_FIELDS})
+    return buffer.getvalue()
+
+
+def table3_to_csv(rows: list[Table3Row]) -> str:
+    """Render Table 3 trajectories as long-format CSV
+    (case, iteration, exe_time, devices)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["case", "iteration", "exe_time", "devices"])
+    for row in rows:
+        for k, (exe, dev) in enumerate(zip(row.exe_times, row.devices)):
+            writer.writerow([row.case, k, exe, dev])
+    return buffer.getvalue()
+
+
+def save_csv(text: str, path: "str | Path") -> None:
+    Path(path).write_text(text)

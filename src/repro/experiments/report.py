@@ -1,0 +1,60 @@
+"""Row formatting matching the paper's table layout."""
+
+from __future__ import annotations
+
+from ..units import format_runtime
+from .table2 import PAPER_TABLE2, Table2Row
+from .table3 import PAPER_TABLE3, Table3Row
+
+
+def format_table2(rows: list[Table2Row], include_paper: bool = True) -> str:
+    """Render Table 2 rows as aligned text, optionally with paper values."""
+    lines = [
+        f"{'Case':<5} {'Method':<7} {'#Op':>4} {'#Ind':>5} "
+        f"{'Exe.Time':<16} {'#D.':>4} {'#P.':>4} {'Runtime':>9}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.case:<5} {row.method:<7} {row.num_ops:>4} "
+            f"{row.num_indeterminate:>5} {row.exe_time:<16} "
+            f"{row.num_devices:>4} {row.num_paths:>4} "
+            f"{format_runtime(row.runtime_seconds):>9}"
+        )
+        if include_paper:
+            key = "conv" if row.method.startswith("Conv") else "ours"
+            exe, nd, np_ = PAPER_TABLE2[row.case][key]
+            lines.append(
+                f"{'':<5} {'(paper)':<7} {'':>4} {'':>5} {exe:<16} "
+                f"{nd:>4} {np_:>4} {'':>9}"
+            )
+    return "\n".join(lines)
+
+
+def format_table3(rows: list[Table3Row], include_paper: bool = True) -> str:
+    """Render Table 3 rows as aligned text."""
+    lines = [
+        f"{'Case':<5} {'Metric':<9} "
+        + " ".join(f"{label:>9}" for label in ("Initial", "1st Ite.", "2nd Ite."))
+        + f" {'Improve':>9}"
+    ]
+    for row in rows:
+        exe = row.exe_times + [None] * (3 - len(row.exe_times))
+        dev = row.devices + [None] * (3 - len(row.devices))
+        exe_cells = " ".join(
+            f"{(str(v) + 'm') if v is not None else '-':>9}" for v in exe[:3]
+        )
+        dev_cells = " ".join(
+            f"{v if v is not None else '-':>9}" for v in dev[:3]
+        )
+        lines.append(
+            f"{row.case:<5} {'Exe.Time':<9} {exe_cells} "
+            f"{row.total_improvement * 100:>8.2f}%"
+        )
+        lines.append(f"{'':<5} {'#D.':<9} {dev_cells} {'':>9}")
+        if include_paper:
+            paper = PAPER_TABLE3[row.case]
+            paper_exe = " ".join(f"{v}m".rjust(9) for v in paper["exe"])
+            paper_dev = " ".join(str(v).rjust(9) for v in paper["devices"])
+            lines.append(f"{'':<5} {'(paper)':<9} {paper_exe} {'':>9}")
+            lines.append(f"{'':<5} {'(paper)':<9} {paper_dev} {'':>9}")
+    return "\n".join(lines)

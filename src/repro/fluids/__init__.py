@@ -1,0 +1,27 @@
+"""Fluid-volume bookkeeping (domain substrate).
+
+The paper's capacity classes (*large/medium/small/tiny*) abstract reagent
+volumes.  This package makes the abstraction concrete: volume ranges per
+class, inference of the right capacity class from physical volumes, and a
+flow-conservation checker that walks an assay and verifies every
+operation's output actually fits its children's containers — catching
+protocol-description errors before synthesis runs.
+"""
+
+from .volumes import (
+    CAPACITY_RANGES,
+    VolumeModel,
+    capacity_for_volume,
+    volume_range,
+)
+from .flow import FlowCheckResult, VolumeSpec, check_volumes
+
+__all__ = [
+    "CAPACITY_RANGES",
+    "VolumeModel",
+    "capacity_for_volume",
+    "volume_range",
+    "FlowCheckResult",
+    "VolumeSpec",
+    "check_volumes",
+]

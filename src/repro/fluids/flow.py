@@ -1,0 +1,130 @@
+"""Volume flow checking over an assay DAG.
+
+Given per-operation volume specifications (inputs drawn fresh from chip
+ports, fractions of parent outputs consumed, output volume produced), the
+checker verifies:
+
+* every operation's working volume fits its declared capacity class;
+* parents' outputs are not over-consumed (the fractions drawn by all
+  children of an operation must not exceed 1);
+* declared capacity classes are not wastefully large (warning-level
+  finding: a smaller class would do).
+
+This runs *before* synthesis — a protocol with inconsistent volumes cannot
+bind correctly no matter how it is scheduled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SpecificationError
+from ..operations.assay import Assay
+from .volumes import VolumeModel
+
+
+@dataclass(frozen=True)
+class VolumeSpec:
+    """Volume behaviour of one operation (nanoliters).
+
+    ``fresh_input`` is reagent drawn from chip inlets; ``consumes`` maps a
+    parent uid to the fraction (0..1] of that parent's output this
+    operation takes; ``output`` is what it produces for its children.
+    """
+
+    fresh_input: float = 0.0
+    consumes: dict[str, float] = field(default_factory=dict)
+    output: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.fresh_input < 0 or self.output < 0:
+            raise SpecificationError("volumes must be non-negative")
+        for parent, fraction in self.consumes.items():
+            if not 0 < fraction <= 1:
+                raise SpecificationError(
+                    f"consume fraction for {parent!r} must be in (0, 1], "
+                    f"got {fraction}"
+                )
+
+
+@dataclass
+class FlowCheckResult:
+    """Findings of a volume check."""
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    #: computed peak working volume per operation.
+    working_volume: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+def check_volumes(
+    assay: Assay,
+    specs: dict[str, VolumeSpec],
+    model: VolumeModel | None = None,
+) -> FlowCheckResult:
+    """Check volume consistency of ``assay`` (see module docstring)."""
+    model = model or VolumeModel()
+    result = FlowCheckResult()
+
+    missing = set(assay.uids) - set(specs)
+    for uid in sorted(missing):
+        result.errors.append(f"{uid}: no volume specification")
+    if missing:
+        return result
+
+    # Outputs first (topological), then consumption checks.
+    produced: dict[str, float] = {}
+    for uid in assay.topological_order():
+        spec = specs[uid]
+        incoming = 0.0
+        for parent in assay.parents(uid):
+            fraction = spec.consumes.get(parent)
+            if fraction is None:
+                result.errors.append(
+                    f"{uid}: dependency on {parent} but no consume fraction"
+                )
+                continue
+            incoming += fraction * produced.get(parent, 0.0)
+        for named_parent in spec.consumes:
+            if named_parent not in assay.parents(uid):
+                result.errors.append(
+                    f"{uid}: consumes {named_parent!r} without a dependency"
+                )
+        working = spec.fresh_input + incoming
+        produced[uid] = spec.output
+        result.working_volume[uid] = working
+
+        op = assay[uid]
+        cap_limit = model.max_volume(op.capacity)
+        if working > cap_limit:
+            result.errors.append(
+                f"{uid}: working volume {working:g} nl exceeds its "
+                f"{op.capacity.value} container ({cap_limit:g} nl)"
+            )
+        elif working > 0:
+            fitting = model.capacity_for(working)
+            if fitting.rank < op.capacity.rank:
+                result.warnings.append(
+                    f"{uid}: declared {op.capacity.value} but "
+                    f"{fitting.value} would suffice ({working:g} nl)"
+                )
+        if spec.output > cap_limit:
+            result.errors.append(
+                f"{uid}: output {spec.output:g} nl exceeds its container"
+            )
+
+    # Over-consumption of parents.
+    for uid in assay.uids:
+        children = assay.children(uid)
+        total = sum(
+            specs[child].consumes.get(uid, 0.0) for child in children
+        )
+        if total > 1.0 + 1e-9:
+            result.errors.append(
+                f"{uid}: children consume {total:.2f}x its output"
+            )
+    return result

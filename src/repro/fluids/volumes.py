@@ -1,0 +1,86 @@
+"""Volume ranges behind the capacity classes.
+
+Defaults follow typical continuous-flow geometry (nanoliter scale):
+chambers hold single-digit to tens of nanoliters; rotary mixers reach the
+hundreds [paper refs 8, 12].  All ranges are user-overridable through
+:class:`VolumeModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..components.containers import Capacity
+from ..errors import SpecificationError
+
+#: default volume range per capacity class, in nanoliters: [min, max).
+CAPACITY_RANGES: dict[Capacity, tuple[float, float]] = {
+    Capacity.TINY: (0.0, 5.0),
+    Capacity.SMALL: (5.0, 25.0),
+    Capacity.MEDIUM: (25.0, 100.0),
+    Capacity.LARGE: (100.0, 500.0),
+}
+
+
+def volume_range(capacity: Capacity) -> tuple[float, float]:
+    """The [min, max) nanoliter range of a capacity class."""
+    return CAPACITY_RANGES[capacity]
+
+
+def capacity_for_volume(nanoliters: float) -> Capacity:
+    """Smallest capacity class that holds ``nanoliters``."""
+    if nanoliters < 0:
+        raise SpecificationError(f"negative volume {nanoliters}")
+    for capacity in (
+        Capacity.TINY, Capacity.SMALL, Capacity.MEDIUM, Capacity.LARGE
+    ):
+        lo, hi = CAPACITY_RANGES[capacity]
+        if nanoliters < hi:
+            return capacity
+    raise SpecificationError(
+        f"volume {nanoliters} nl exceeds the largest container "
+        f"({CAPACITY_RANGES[Capacity.LARGE][1]} nl)"
+    )
+
+
+@dataclass
+class VolumeModel:
+    """User-adjustable volume ranges per capacity class."""
+
+    ranges: dict[Capacity, tuple[float, float]] = field(
+        default_factory=lambda: dict(CAPACITY_RANGES)
+    )
+
+    def __post_init__(self) -> None:
+        previous_hi = 0.0
+        for capacity in (
+            Capacity.TINY, Capacity.SMALL, Capacity.MEDIUM, Capacity.LARGE
+        ):
+            if capacity not in self.ranges:
+                raise SpecificationError(f"missing range for {capacity.value}")
+            lo, hi = self.ranges[capacity]
+            if lo < 0 or hi <= lo:
+                raise SpecificationError(
+                    f"invalid range for {capacity.value}: [{lo}, {hi})"
+                )
+            if lo != previous_hi:
+                raise SpecificationError(
+                    f"ranges must tile contiguously; {capacity.value} "
+                    f"starts at {lo}, expected {previous_hi}"
+                )
+            previous_hi = hi
+
+    def capacity_for(self, nanoliters: float) -> Capacity:
+        if nanoliters < 0:
+            raise SpecificationError(f"negative volume {nanoliters}")
+        for capacity in (
+            Capacity.TINY, Capacity.SMALL, Capacity.MEDIUM, Capacity.LARGE
+        ):
+            if nanoliters < self.ranges[capacity][1]:
+                return capacity
+        raise SpecificationError(
+            f"volume {nanoliters} nl exceeds the largest container"
+        )
+
+    def max_volume(self, capacity: Capacity) -> float:
+        return self.ranges[capacity][1]

@@ -1,0 +1,17 @@
+"""Graph substrate: a small directed-graph utility and max-flow/min-cut.
+
+The synthesis engine deliberately does not depend on ``networkx`` so that the
+graph semantics used by the layering algorithm (Sec. 3.1 of the paper) are
+fully under our control and unit-tested here.
+"""
+
+from .digraph import DiGraph, topological_sort
+from .maxflow import FlowNetwork, MinCut, max_flow_min_cut
+
+__all__ = [
+    "DiGraph",
+    "topological_sort",
+    "FlowNetwork",
+    "MinCut",
+    "max_flow_min_cut",
+]

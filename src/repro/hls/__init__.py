@@ -1,0 +1,29 @@
+"""Core high-level synthesis: per-layer ILP + progressive re-synthesis.
+
+The public entry point is :func:`repro.hls.synthesizer.synthesize`, which
+takes an :class:`~repro.operations.assay.Assay` and a
+:class:`~repro.hls.spec.SynthesisSpec` and returns a
+:class:`~repro.hls.synthesizer.SynthesisResult` containing the hybrid
+schedule, the device inventory, transportation paths, and the per-iteration
+refinement history.
+"""
+
+from .schedule import HybridSchedule, LayerSchedule, OpPlacement
+from .spec import SynthesisSpec, TransportProgression, Weights
+from .synthesizer import IterationRecord, SynthesisResult, synthesize
+from .transport import TransportEstimator
+from .validate import validate_result
+
+__all__ = [
+    "HybridSchedule",
+    "LayerSchedule",
+    "OpPlacement",
+    "SynthesisSpec",
+    "TransportProgression",
+    "Weights",
+    "IterationRecord",
+    "SynthesisResult",
+    "synthesize",
+    "TransportEstimator",
+    "validate_result",
+]

@@ -1,0 +1,276 @@
+"""Greedy list-scheduling fallback for a layer.
+
+Used when the ILP hits its time limit without an incumbent (large layers on
+slow machines) so a synthesis run always produces a *valid* — if not optimal
+— hybrid schedule.  The heuristic respects every constraint the ILP
+enforces: binding legality under the active mode, dependencies with
+transportation times, device exclusivity including release margins, the
+indeterminate tail rule (14), and pairwise-distinct devices for
+indeterminate operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..devices.device import BindingMode, GeneralDevice
+from ..errors import SchedulingError
+from .decode import LayerSolveResult
+from .milp_model import LayerProblem
+from .schedule import LayerSchedule, OpPlacement
+from .spec import SynthesisSpec
+
+
+@dataclass
+class _Timeline:
+    """Busy intervals of one device within the layer."""
+
+    device: GeneralDevice
+    busy: list[tuple[int, int]] = field(default_factory=list)
+
+    def earliest_fit(self, ready: int, length: int) -> int:
+        """Earliest start >= ready such that [start, start+length) is free."""
+        start = ready
+        for lo, hi in sorted(self.busy):
+            if start + length <= lo:
+                break
+            if start < hi:
+                start = hi
+        return start
+
+    def reserve(self, start: int, length: int) -> None:
+        self.busy.append((start, start + length))
+
+
+def schedule_layer_greedy(
+    problem: LayerProblem, spec: SynthesisSpec, uid_allocator
+) -> LayerSolveResult:
+    """Greedy feasible schedule for ``problem`` (see module docstring)."""
+    mode = spec.binding_mode
+    by_uid = {op.uid: op for op in problem.ops}
+    children: dict[str, list[str]] = {op.uid: [] for op in problem.ops}
+    parents: dict[str, list[str]] = {op.uid: [] for op in problem.ops}
+    for parent, child in problem.in_layer_edges:
+        children[parent].append(child)
+        parents[child].append(parent)
+
+    timelines: dict[str, _Timeline] = {
+        d.uid: _Timeline(d) for d in problem.fixed_devices
+    }
+    new_devices: list[GeneralDevice] = []
+    slots_left = problem.free_slots
+
+    def occupancy(uid: str) -> int:
+        op = by_uid[uid]
+        return op.duration.scheduled + problem.release.get(uid, 0)
+
+    pending: set[str] = {op.uid for op in problem.ops}
+
+    def slots_reserved(exclude_uid: str = "") -> int:
+        """Slots that must stay available for still-unscheduled operations.
+
+        One slot per requirement signature among pending fixed ops that no
+        existing device can execute, plus one per pending indeterminate op
+        that cannot be matched to a *distinct* compatible device (the
+        indeterminate tail needs pairwise-different devices).
+        """
+        devices = [t.device for t in timelines.values()]
+        uncovered_sigs: set[tuple] = set()
+        for uid in pending:
+            op = by_uid[uid]
+            if uid == exclude_uid or op.is_indeterminate:
+                continue
+            if not any(d.can_execute(op, mode) for d in devices):
+                uncovered_sigs.add(op.requirement_signature())
+        matched: set[str] = set()
+        unmatched_ind = 0
+        for uid in sorted(u for u in pending if by_uid[u].is_indeterminate):
+            if uid == exclude_uid:
+                continue
+            op = by_uid[uid]
+            choice = next(
+                (
+                    d.uid for d in devices
+                    if d.uid not in matched and d.can_execute(op, mode)
+                ),
+                None,
+            )
+            if choice is None:
+                unmatched_ind += 1
+            else:
+                matched.add(choice)
+        return len(uncovered_sigs) + unmatched_ind
+
+    def create_device(op) -> str:
+        nonlocal slots_left
+        device = GeneralDevice.for_operation(uid_allocator(), op, mode)
+        timelines[device.uid] = _Timeline(device)
+        new_devices.append(device)
+        slots_left -= 1
+        return device.uid
+
+    def acquire_device(uid: str, ready: int, exclude: set[str]) -> tuple[str, int]:
+        """Choose a device and start time; creates a device if needed.
+
+        New devices are only created when enough free slots remain to still
+        cover every pending requirement (see :func:`slots_reserved`), so a
+        feasible layer never dead-ends on slot exhaustion.
+        """
+        op = by_uid[uid]
+        best: tuple[int, str] | None = None
+        for dev_uid, timeline in timelines.items():
+            if dev_uid in exclude:
+                continue
+            if not timeline.device.can_execute(op, mode):
+                continue
+            start = timeline.earliest_fit(ready, occupancy(uid))
+            if best is None or (start, dev_uid) < best:
+                best = (start, dev_uid)
+        # Prefer reuse unless a fresh device starts strictly earlier.
+        if best is not None and best[0] <= ready:
+            return best[1], best[0]
+        if best is None:
+            # Mandatory creation: reduces the reservation it consumes.
+            if slots_left > 0:
+                return create_device(op), ready
+            raise SchedulingError(
+                f"no device can execute {uid!r} and no slot left "
+                f"(|D|={spec.max_devices})"
+            )
+        # Discretionary creation (pure parallelism): keep the reservation.
+        if slots_left > 0 and slots_left - 1 >= slots_reserved(exclude_uid=uid):
+            return create_device(op), ready
+        return best[1], best[0]
+
+    # -- pass 1: fixed-duration ops in topological order -------------------
+    schedule = LayerSchedule(index=problem.layer_index)
+    binding: dict[str, str] = {}
+    finish: dict[str, int] = {}
+    order = _topo_order(problem)
+
+    for uid in order:
+        op = by_uid[uid]
+        if op.is_indeterminate:
+            continue
+        ready = max(
+            (
+                finish[p] + problem.edge_transport[(p, uid)]
+                for p in parents[uid]
+                if not by_uid[p].is_indeterminate
+            ),
+            default=0,
+        )
+        dev_uid, start = acquire_device(uid, ready, exclude=set())
+        timelines[dev_uid].reserve(start, occupancy(uid))
+        binding[uid] = dev_uid
+        finish[uid] = start + op.duration.scheduled
+        pending.discard(uid)
+        schedule.place(
+            OpPlacement(uid, dev_uid, start, op.duration.scheduled, False)
+        )
+
+    # -- pass 2: indeterminate tail --------------------------------------
+    # Each indeterminate op gets its own device and starts after its inputs;
+    # rule (14) then requires every scheduled start <= ind start + min dur.
+    ind_ops = [op for op in problem.ops if op.is_indeterminate]
+    taken: set[str] = set()
+    ind_start: dict[str, int] = {}
+
+    def sole_options_of_others(current_uid: str) -> set[str]:
+        """Devices that are the only compatible choice of another pending
+        indeterminate op — don't steal them unless unavoidable."""
+        reserved: set[str] = set()
+        for other in ind_ops:
+            if other.uid == current_uid or other.uid not in pending:
+                continue
+            options = [
+                t.device.uid for t in timelines.values()
+                if t.device.uid not in taken
+                and t.device.can_execute(other, mode)
+            ]
+            if len(options) == 1:
+                reserved.add(options[0])
+        return reserved
+
+    for op in sorted(ind_ops, key=lambda o: o.uid):
+        ready = max(
+            (
+                finish[p] + problem.edge_transport[(p, op.uid)]
+                for p in parents[op.uid]
+            ),
+            default=0,
+        )
+        avoid = taken | sole_options_of_others(op.uid)
+        try:
+            dev_uid, start = acquire_device(op.uid, ready, exclude=avoid)
+        except SchedulingError:
+            # Unavoidable: compete for the reserved devices after all.
+            dev_uid, start = acquire_device(op.uid, ready, exclude=taken)
+        # The op runs open-ended past its minimum, so its device must be
+        # clear from `start` onwards: push past every existing reservation.
+        start = timelines[dev_uid].earliest_fit(start, 10**9)
+        taken.add(dev_uid)
+        binding[op.uid] = dev_uid
+        ind_start[op.uid] = start
+        pending.discard(op.uid)
+        timelines[dev_uid].reserve(start, occupancy(op.uid))
+
+    # Enforce (14): raise indeterminate starts until every start fits below
+    # every indeterminate minimum completion.  Raising starts keeps all
+    # other constraints valid (devices are exclusive to these ops from
+    # `start` on).
+    if ind_ops:
+        fixed_latest = max(
+            (p.start for p in schedule.placements.values()), default=0
+        )
+        changed = True
+        while changed:
+            changed = False
+            latest = max(
+                [fixed_latest] + [ind_start[o.uid] for o in ind_ops]
+            )
+            for op in ind_ops:
+                needed = latest - op.duration.scheduled
+                if ind_start[op.uid] < needed:
+                    ind_start[op.uid] = needed
+                    changed = True
+        for op in ind_ops:
+            schedule.place(
+                OpPlacement(
+                    op.uid,
+                    binding[op.uid],
+                    ind_start[op.uid],
+                    op.duration.scheduled,
+                    True,
+                )
+            )
+
+    return LayerSolveResult(
+        schedule=schedule,
+        binding=binding,
+        new_devices=new_devices,
+        objective=float("nan"),
+        solver_status="heuristic",
+        solver_runtime=0.0,
+    )
+
+
+def _topo_order(problem: LayerProblem) -> list[str]:
+    """Topological order of the layer's ops (Kahn, stable by input order)."""
+    indeg = {op.uid: 0 for op in problem.ops}
+    succ: dict[str, list[str]] = {op.uid: [] for op in problem.ops}
+    for parent, child in problem.in_layer_edges:
+        indeg[child] += 1
+        succ[parent].append(child)
+    order = [uid for uid, d in indeg.items() if d == 0]
+    head = 0
+    while head < len(order):
+        uid = order[head]
+        head += 1
+        for child in succ[uid]:
+            indeg[child] -= 1
+            if indeg[child] == 0:
+                order.append(child)
+    if len(order) != len(problem.ops):
+        raise SchedulingError("cycle inside a layer")  # pragma: no cover
+    return order

@@ -1,0 +1,478 @@
+"""Per-layer ILP model construction (paper Sec. 4, constraints (1)–(21)).
+
+Each layer of the hybrid schedule is synthesized by one ILP.  The model
+variables follow Table 1 of the paper:
+
+* device configuration — for every *free device slot* (a device the layer
+  may newly integrate), binaries select one (container kind, capacity)
+  combination and any accessories.  Devices inherited from other layers /
+  the previous iteration are constants: their configuration is fixed and
+  their cost already paid.
+* ``o_d[i, j]`` — operation-to-device binding binaries (constraint (5)).
+* ``st_i`` — integer start times; ``sum_t`` — the layer makespan.
+* ``q0/q1/q2`` — the big-M disjunction binaries of constraints (10)–(13).
+* ``p_{d,d'}`` — transportation-path indicators (constraint (21)); paths
+  already integrated by other layers are free.
+
+Two deliberate deviations from the paper's formulas, both documented in
+DESIGN.md:
+
+* constraints (3)/(4) as printed force every ring to be *large* and every
+  chamber to be *tiny* (summing them with (2) over-constrains the capacity
+  one-hot).  The stated intent — ring ∈ {large, medium, small}, chamber ∈
+  {medium, small, tiny} — is encoded directly by enumerating the six legal
+  (kind, capacity) combinations as one-hot configuration binaries.
+* pairs involving an indeterminate operation cannot use the "starts after
+  completion" escape of constraint (10), because an indeterminate operation
+  has no known completion: such pairs must either finish before the
+  indeterminate operation starts or bind to different devices, and two
+  indeterminate operations must always bind to different devices (the paper
+  states they "are mapped to different devices to allow parallel
+  execution").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..components.containers import Capacity, ContainerKind, allowed_capacities
+from ..devices.device import BindingMode, GeneralDevice
+from ..errors import InfeasibleError, ModelError
+from ..ilp import LinExpr, Model, Variable
+from ..operations.operation import Operation
+from .spec import SynthesisSpec
+from .transport import path_key
+
+#: The six legal (container kind, capacity) combinations.
+LEGAL_COMBOS: tuple[tuple[ContainerKind, Capacity], ...] = tuple(
+    (kind, cap) for kind in ContainerKind for cap in allowed_capacities(kind)
+)
+
+#: Device key of a free slot.
+SlotKey = tuple[str, int]
+#: Either a fixed device uid (str) or a slot key.
+DeviceKey = "str | SlotKey"
+
+
+def slot_key(index: int) -> SlotKey:
+    return ("slot", index)
+
+
+def is_slot(key) -> bool:
+    return isinstance(key, tuple) and len(key) == 2 and key[0] == "slot"
+
+
+@dataclass
+class LayerProblem:
+    """Everything one layer's ILP needs to know."""
+
+    layer_index: int
+    ops: list[Operation]
+    #: dependency edges with both endpoints in this layer.
+    in_layer_edges: list[tuple[str, str]]
+    #: per-edge transportation estimates for ``in_layer_edges``.
+    edge_transport: dict[tuple[str, str], int]
+    #: device release margin per op (time its device stays busy shipping).
+    release: dict[str, int]
+    #: devices whose configuration is already fixed (inherited).
+    fixed_devices: list[GeneralDevice]
+    #: how many new devices this layer may integrate.
+    free_slots: int
+    #: cross-layer edges arriving here: (parent device uid, child uid).
+    incoming: list[tuple[str, str]] = field(default_factory=list)
+    #: cross-layer edges leaving here: (parent uid, child device uid); only
+    #: known during re-synthesis, empty in the first forward pass.
+    outgoing: list[tuple[str, str]] = field(default_factory=list)
+    #: transportation paths already integrated by other layers (free).
+    existing_paths: set[tuple[str, str]] = field(default_factory=set)
+
+
+@dataclass
+class LayerModel:
+    """A built ILP plus the variable handles needed for decoding."""
+
+    model: Model
+    problem: LayerProblem
+    spec: SynthesisSpec
+    horizon: int
+    device_keys: list
+    start: dict[str, Variable]
+    makespan: Variable
+    od: dict[tuple[str, object], Variable]
+    conf: dict[tuple[int, ContainerKind, Capacity], Variable]
+    acc: dict[tuple[int, str], Variable]
+    used: dict[int, Variable]
+    sig: dict[tuple[int, tuple], Variable]
+    path_vars: dict[tuple, Variable]
+
+
+def _op_combos(op: Operation) -> list[tuple[ContainerKind, Capacity]]:
+    """Legal (kind, capacity) combos that satisfy ``op``'s container spec."""
+    return [
+        (kind, op.capacity)
+        for kind in op.allowed_container_kinds
+    ]
+
+
+def _realized_combo(op_signature: tuple) -> tuple[ContainerKind, Capacity]:
+    """The concrete combo a conventional-baseline device takes for a
+    signature; chambers are preferred when the kind is open (cheaper)."""
+    container_name, capacity_name, _acc = op_signature
+    capacity = Capacity(capacity_name)
+    if container_name is not None:
+        return ContainerKind(container_name), capacity
+    if capacity in allowed_capacities(ContainerKind.CHAMBER):
+        return ContainerKind.CHAMBER, capacity
+    return ContainerKind.RING, capacity
+
+
+def _in_layer_reachability(
+    ops: list[Operation], edges: list[tuple[str, str]]
+) -> set[tuple[str, str]]:
+    """All ordered (ancestor, descendant) pairs within the layer."""
+    succ: dict[str, list[str]] = {op.uid: [] for op in ops}
+    for parent, child in edges:
+        succ[parent].append(child)
+    closed: set[tuple[str, str]] = set()
+    for op in ops:
+        stack = list(succ[op.uid])
+        seen: set[str] = set()
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(succ[node])
+        closed.update((op.uid, d) for d in seen)
+    return closed
+
+
+def build_layer_model(problem: LayerProblem, spec: SynthesisSpec) -> LayerModel:
+    """Construct the layer ILP (see module docstring)."""
+    ops = problem.ops
+    by_uid = {op.uid: op for op in ops}
+    mode = spec.binding_mode
+    accessory_names = list(spec.registry.names)
+
+    horizon = sum(
+        op.duration.scheduled + problem.release.get(op.uid, 0) for op in ops
+    ) + sum(problem.edge_transport.values()) + 1
+    big_m = horizon
+
+    model = Model(f"layer{problem.layer_index}", sense="min")
+
+    # ---- device slots: configuration binaries --------------------------
+    conf: dict[tuple[int, ContainerKind, Capacity], Variable] = {}
+    acc: dict[tuple[int, str], Variable] = {}
+    used: dict[int, Variable] = {}
+    sig: dict[tuple[int, tuple], Variable] = {}
+
+    signatures = sorted(
+        {op.requirement_signature() for op in ops}, key=repr
+    )
+
+    for j in range(problem.free_slots):
+        used[j] = model.binary(f"used[{j}]")
+        for kind, cap in LEGAL_COMBOS:
+            conf[j, kind, cap] = model.binary(f"conf[{j},{kind.short},{cap.short}]")
+        # (1)+(2) merged on legal combos: one configuration iff used.
+        model.add(
+            LinExpr.sum(conf[j, k, c] for k, c in LEGAL_COMBOS) == used[j],
+            name=f"one_config[{j}]",
+        )
+        for name in accessory_names:
+            acc[j, name] = model.binary(f"acc[{j},{name}]")
+            model.add(acc[j, name] <= used[j], name=f"acc_used[{j},{name}]")
+        if mode is BindingMode.EXACT:
+            for s in signatures:
+                sig[j, s] = model.binary(f"sig[{j},{signatures.index(s)}]")
+            model.add(
+                LinExpr.sum(sig[j, s] for s in signatures) == used[j],
+                name=f"one_sig[{j}]",
+            )
+            # Signature determines the full configuration.
+            for kind, cap in LEGAL_COMBOS:
+                matching = [
+                    sig[j, s] for s in signatures if _realized_combo(s) == (kind, cap)
+                ]
+                model.add(
+                    conf[j, kind, cap] == LinExpr.sum(matching),
+                    name=f"sig_conf[{j},{kind.short},{cap.short}]",
+                )
+            for name in accessory_names:
+                matching = [sig[j, s] for s in signatures if name in s[2]]
+                model.add(
+                    acc[j, name] == LinExpr.sum(matching),
+                    name=f"sig_acc[{j},{name}]",
+                )
+    # Symmetry breaking: slots fill in order.
+    for j in range(1, problem.free_slots):
+        model.add(used[j - 1] >= used[j], name=f"slot_order[{j}]")
+
+    # ---- binding variables (constraint (5)) ------------------------------
+    device_keys: list = [d.uid for d in problem.fixed_devices] + [
+        slot_key(j) for j in range(problem.free_slots)
+    ]
+    fixed_by_uid = {d.uid: d for d in problem.fixed_devices}
+    od: dict[tuple[str, object], Variable] = {}
+
+    legal_keys: dict[str, list] = {}
+    for op in ops:
+        keys: list = [
+            d.uid
+            for d in problem.fixed_devices
+            if d.can_execute(op, mode)
+        ]
+        keys.extend(slot_key(j) for j in range(problem.free_slots))
+        if not keys:
+            raise InfeasibleError(
+                f"operation {op.uid!r} has no legal device and no free slot "
+                f"(|D|={spec.max_devices} too small?)"
+            )
+        legal_keys[op.uid] = keys
+        for key in keys:
+            od[op.uid, key] = model.binary(f"od[{op.uid},{key}]")
+        model.add(
+            LinExpr.sum(od[op.uid, key] for key in keys) == 1,
+            name=f"bind_once[{op.uid}]",
+        )
+
+    # ---- component consistency on free slots ((6)-(8)) -------------------
+    for op in ops:
+        combos = _op_combos(op)
+        for j in range(problem.free_slots):
+            bind = od[op.uid, slot_key(j)]
+            if mode is BindingMode.EXACT:
+                model.add(
+                    bind <= sig[j, op.requirement_signature()],
+                    name=f"sig_match[{op.uid},{j}]",
+                )
+                continue
+            model.add(
+                LinExpr.sum(conf[j, k, c] for k, c in combos) >= bind,
+                name=f"container[{op.uid},{j}]",
+            )
+            for name in sorted(op.accessories):
+                model.add(
+                    acc[j, name] >= bind, name=f"need_acc[{op.uid},{j},{name}]"
+                )
+        # Tie slot usage to bindings (tightens the LP relaxation).
+    for j in range(problem.free_slots):
+        bound_here = [od[op.uid, slot_key(j)] for op in ops]
+        for var in bound_here:
+            model.add(used[j] >= var)
+        model.add(used[j] <= LinExpr.sum(bound_here), name=f"used_tight[{j}]")
+
+    # ---- start times & dependencies ((9)) ---------------------------------
+    start: dict[str, Variable] = {
+        op.uid: model.integer(f"st[{op.uid}]", lb=0, ub=horizon) for op in ops
+    }
+    makespan = model.integer("sum_t", lb=0, ub=horizon)
+
+    for parent, child in problem.in_layer_edges:
+        transport = problem.edge_transport[(parent, child)]
+        model.add(
+            start[child]
+            >= start[parent] + by_uid[parent].duration.scheduled + transport,
+            name=f"dep[{parent}->{child}]",
+        )
+        # When parent and child share a device, the child additionally waits
+        # for the parent's full release margin (the device keeps shipping to
+        # the parent's other children before it frees up).
+        release = problem.release.get(parent, 0)
+        if release > transport:
+            for key in legal_keys[parent]:
+                if key not in legal_keys[child]:
+                    continue
+                model.add(
+                    start[child]
+                    + big_m * (2 - od[parent, key] - od[child, key])
+                    >= start[parent]
+                    + by_uid[parent].duration.scheduled
+                    + release,
+                    name=f"dep_rel[{parent}->{child},{key}]",
+                )
+
+    # ---- makespan ((15)) ----------------------------------------------------
+    for op in ops:
+        model.add(
+            makespan >= start[op.uid] + op.duration.scheduled,
+            name=f"mk[{op.uid}]",
+        )
+
+    # ---- indeterminate tail ((14)) -----------------------------------------
+    indeterminate = [op for op in ops if op.is_indeterminate]
+    for ind in indeterminate:
+        bound = start[ind.uid] + ind.duration.scheduled
+        for op in ops:
+            if op.uid == ind.uid:
+                continue
+            model.add(
+                start[op.uid] <= bound, name=f"tail[{op.uid}<={ind.uid}]"
+            )
+
+    # ---- device conflicts ((10)-(13)) ----------------------------------------
+    reach = _in_layer_reachability(ops, problem.in_layer_edges)
+
+    def shared_keys(a: Operation, b: Operation) -> list:
+        keys = []
+        for key in legal_keys[a.uid]:
+            if key not in legal_keys[b.uid]:
+                continue
+            if is_slot(key):
+                if mode is BindingMode.EXACT:
+                    if a.requirement_signature() != b.requirement_signature():
+                        continue
+                else:
+                    if not (set(_op_combos(a)) & set(_op_combos(b))):
+                        continue
+            keys.append(key)
+        return keys
+
+    for i, op_a in enumerate(ops):
+        for op_b in ops[i + 1 :]:
+            a, b = op_a.uid, op_b.uid
+            if (a, b) in reach or (b, a) in reach:
+                continue  # dependency-ordered: can never overlap
+            shared = shared_keys(op_a, op_b)
+            if not shared:
+                continue  # cannot share a device; overlap is harmless
+            if op_a.is_indeterminate and op_b.is_indeterminate:
+                for key in shared:
+                    model.add(
+                        od[a, key] + od[b, key] <= 1,
+                        name=f"ind_apart[{a},{b},{key}]",
+                    )
+                continue
+            if op_a.is_indeterminate or op_b.is_indeterminate:
+                # fixed op must fully precede the indeterminate one, or they
+                # bind apart.
+                fixed_op, ind_op = (
+                    (op_b, op_a) if op_a.is_indeterminate else (op_a, op_b)
+                )
+                q1 = model.binary(f"q1[{a},{b}]")
+                q2 = model.binary(f"q2[{a},{b}]")
+                release = problem.release.get(fixed_op.uid, 0)
+                model.add(
+                    start[fixed_op.uid]
+                    + fixed_op.duration.scheduled
+                    + release
+                    - q1 * big_m
+                    <= start[ind_op.uid],
+                    name=f"before_ind[{a},{b}]",
+                )
+                for key in shared:
+                    model.add(
+                        od[a, key] + od[b, key] - q2 <= 1,
+                        name=f"conflict[{a},{b},{key}]",
+                    )
+                model.add(q1 + q2 <= 1, name=f"disj[{a},{b}]")
+                continue
+            q0 = model.binary(f"q0[{a},{b}]")
+            q1 = model.binary(f"q1[{a},{b}]")
+            q2 = model.binary(f"q2[{a},{b}]")
+            rel_a = problem.release.get(a, 0)
+            rel_b = problem.release.get(b, 0)
+            model.add(
+                start[a] + q0 * big_m
+                >= start[b] + op_b.duration.scheduled + rel_b,
+                name=f"after[{a},{b}]",
+            )
+            model.add(
+                start[a] + op_a.duration.scheduled + rel_a - q1 * big_m
+                <= start[b],
+                name=f"before[{a},{b}]",
+            )
+            for key in shared:
+                model.add(
+                    od[a, key] + od[b, key] - q2 <= 1,
+                    name=f"conflict[{a},{b},{key}]",
+                )
+            model.add(q0 + q1 + q2 <= 2, name=f"disj[{a},{b}]")
+
+    # ---- transportation paths ((21)) -------------------------------------------
+    path_vars: dict[tuple, Variable] = {}
+
+    def get_path_var(key_a, key_b) -> Variable | None:
+        """Path variable for a device-key pair; None when the path is free."""
+        if key_a == key_b:
+            return None
+        pair = tuple(sorted((key_a, key_b), key=repr))
+        if (
+            isinstance(key_a, str)
+            and isinstance(key_b, str)
+            and path_key(key_a, key_b) in problem.existing_paths
+        ):
+            return None
+        if pair not in path_vars:
+            path_vars[pair] = model.binary(f"path[{pair}]")
+        return path_vars[pair]
+
+    for parent, child in problem.in_layer_edges:
+        for key_p in legal_keys[parent]:
+            for key_c in legal_keys[child]:
+                var = get_path_var(key_p, key_c)
+                if var is None:
+                    continue
+                model.add(
+                    od[parent, key_p] + od[child, key_c] - var <= 1,
+                    name=f"path[{parent}->{child},{key_p},{key_c}]",
+                )
+    for parent_device, child in problem.incoming:
+        for key_c in legal_keys[child]:
+            if key_c == parent_device:
+                continue
+            var = get_path_var(parent_device, key_c)
+            if var is None:
+                continue
+            model.add(od[child, key_c] <= var, name=f"path_in[{child},{key_c}]")
+    for parent, child_device in problem.outgoing:
+        for key_p in legal_keys[parent]:
+            if key_p == child_device:
+                continue
+            var = get_path_var(key_p, child_device)
+            if var is None:
+                continue
+            model.add(od[parent, key_p] <= var, name=f"path_out[{parent},{key_p}]")
+
+    # ---- objective ((15)-(21) summations) ----------------------------------------
+    costs = spec.cost_model
+    area_expr = LinExpr.sum(
+        costs.container_area(kind, cap) * conf[j, kind, cap]
+        for j in range(problem.free_slots)
+        for kind, cap in LEGAL_COMBOS
+    )
+    processing_expr = LinExpr.sum(
+        costs.container_cost(kind, cap) * conf[j, kind, cap]
+        for j in range(problem.free_slots)
+        for kind, cap in LEGAL_COMBOS
+    ) + LinExpr.sum(
+        costs.accessory_cost(name) * acc[j, name]
+        for j in range(problem.free_slots)
+        for name in accessory_names
+    )
+    paths_expr = LinExpr.sum(path_vars.values())
+
+    weights = spec.weights
+    model.minimize(
+        weights.time * makespan
+        + weights.area * area_expr
+        + weights.processing * processing_expr
+        + weights.paths * paths_expr
+    )
+
+    return LayerModel(
+        model=model,
+        problem=problem,
+        spec=spec,
+        horizon=horizon,
+        device_keys=device_keys,
+        start=start,
+        makespan=makespan,
+        od=od,
+        conf=conf,
+        acc=acc,
+        used=used,
+        sig=sig,
+        path_vars=path_vars,
+    )

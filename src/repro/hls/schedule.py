@@ -1,0 +1,175 @@
+"""Schedule data structures.
+
+A :class:`HybridSchedule` is the paper's synthesis output: a sequence of
+per-layer *sub-schedules*, each fully fixed, joined by real-time decision
+points.  The makespan is partly symbolic: every layer with indeterminate
+operations contributes an ``I_k`` term for the (unknowable) time its
+indeterminate tail runs beyond the scheduled minimum — exactly the
+``277m + I_1`` notation of Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SchedulingError
+from ..units import format_minutes
+
+
+@dataclass(frozen=True)
+class OpPlacement:
+    """One operation's slot in a layer's sub-schedule.
+
+    ``start`` is relative to the layer's own time origin; ``duration`` is the
+    scheduled duration (the minimum for indeterminate operations).
+    """
+
+    uid: str
+    device_uid: str
+    start: int
+    duration: int
+    indeterminate: bool = False
+
+    @property
+    def end(self) -> int:
+        """Scheduled completion (minimum completion when indeterminate)."""
+        return self.start + self.duration
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise SchedulingError(f"{self.uid}: negative start {self.start}")
+        if self.duration <= 0:
+            raise SchedulingError(f"{self.uid}: non-positive duration")
+
+
+@dataclass
+class LayerSchedule:
+    """The fixed sub-schedule of one layer."""
+
+    index: int
+    placements: dict[str, OpPlacement] = field(default_factory=dict)
+
+    def place(self, placement: OpPlacement) -> None:
+        if placement.uid in self.placements:
+            raise SchedulingError(f"{placement.uid} placed twice")
+        self.placements[placement.uid] = placement
+
+    def __getitem__(self, uid: str) -> OpPlacement:
+        try:
+            return self.placements[uid]
+        except KeyError:
+            raise SchedulingError(
+                f"operation {uid!r} not in layer {self.index}"
+            ) from None
+
+    def __contains__(self, uid: str) -> bool:
+        return uid in self.placements
+
+    def __len__(self) -> int:
+        return len(self.placements)
+
+    @property
+    def makespan(self) -> int:
+        """Fixed part of the layer's duration (``sum_t`` of the layer ILP)."""
+        return max((p.end for p in self.placements.values()), default=0)
+
+    @property
+    def indeterminate_uids(self) -> list[str]:
+        return [p.uid for p in self.placements.values() if p.indeterminate]
+
+    @property
+    def has_indeterminate(self) -> bool:
+        return any(p.indeterminate for p in self.placements.values())
+
+    def on_device(self, device_uid: str) -> list[OpPlacement]:
+        """Placements bound to ``device_uid``, ordered by start."""
+        return sorted(
+            (p for p in self.placements.values() if p.device_uid == device_uid),
+            key=lambda p: (p.start, p.uid),
+        )
+
+
+@dataclass
+class HybridSchedule:
+    """Sequential layer sub-schedules plus the symbolic makespan."""
+
+    layers: list[LayerSchedule] = field(default_factory=list)
+
+    def layer(self, index: int) -> LayerSchedule:
+        return self.layers[index]
+
+    def find(self, uid: str) -> tuple[int, OpPlacement]:
+        """Locate an operation; returns (layer index, placement)."""
+        for layer in self.layers:
+            if uid in layer:
+                return layer.index, layer[uid]
+        raise SchedulingError(f"operation {uid!r} not scheduled")
+
+    @property
+    def binding(self) -> dict[str, str]:
+        """Complete operation→device map across all layers."""
+        out: dict[str, str] = {}
+        for layer in self.layers:
+            for uid, placement in layer.placements.items():
+                out[uid] = placement.device_uid
+        return out
+
+    @property
+    def fixed_makespan(self) -> int:
+        """Sum of the layers' fixed sub-schedule durations."""
+        return sum(layer.makespan for layer in self.layers)
+
+    @property
+    def indeterminate_terms(self) -> list[int]:
+        """Indices (1-based, as the paper numbers them) of layers that
+        contribute a symbolic ``I_k`` tail."""
+        return [
+            k + 1 for k, layer in enumerate(self.layers) if layer.has_indeterminate
+        ]
+
+    def makespan_expression(self) -> str:
+        """The paper's makespan notation, e.g. ``"492m+I_1+I_2"``."""
+        expr = format_minutes(self.fixed_makespan)
+        for term in self.indeterminate_terms:
+            expr += f"+I_{term}"
+        return expr
+
+    def used_devices(self) -> set[str]:
+        """Device uids that execute at least one operation."""
+        return {
+            p.device_uid for layer in self.layers for p in layer.placements.values()
+        }
+
+    def transportation_paths(self, edges: list[tuple[str, str]]) -> set[tuple[str, str]]:
+        """Unordered device pairs connected by at least one dependency edge.
+
+        This is the paper's ``sum_p``: a flow-channel path must exist between
+        the devices of every sequential operation pair bound apart.
+        """
+        binding = self.binding
+        paths: set[tuple[str, str]] = set()
+        for parent, child in edges:
+            a, b = binding[parent], binding[child]
+            if a != b:
+                paths.add((a, b) if a <= b else (b, a))
+        return paths
+
+    def global_start(self, uid: str) -> tuple[int, int]:
+        """Start of ``uid`` as (fixed offset, #I-terms before it).
+
+        The fixed offset sums the makespans of all earlier layers plus the
+        in-layer start; the second component counts how many indeterminate
+        tails (unknown extras) precede it.
+        """
+        layer_index, placement = self.find(uid)
+        offset = sum(l.makespan for l in self.layers[:layer_index])
+        terms = sum(
+            1 for l in self.layers[:layer_index] if l.has_indeterminate
+        )
+        return offset + placement.start, terms
+
+    def __repr__(self) -> str:
+        return (
+            f"HybridSchedule(layers={len(self.layers)}, "
+            f"makespan={self.makespan_expression()})"
+        )

@@ -1,0 +1,127 @@
+"""Synthesis specification: everything the user chooses.
+
+Mirrors the paper's user-supplied inputs: the device cap ``|D|``, the
+indeterminate threshold ``t``, the objective weight coefficients
+``C_t/C_a/C_pr/C_p``, the initial transportation constant, and the
+arithmetic progression of potential transportation times (Sec. 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..components.accessories import AccessoryRegistry, standard_registry
+from ..components.costs import CostModel, default_cost_model
+from ..devices.device import BindingMode
+from ..errors import SpecificationError
+
+
+@dataclass(frozen=True)
+class Weights:
+    """Objective weight coefficients (paper Sec. 4.3).
+
+    Defaults make execution time dominant, with transportation paths a
+    strong secondary criterion — matching the paper's reported trade-offs
+    (time is the headline column of Table 2, and paths are explicitly
+    minimized "to save routing efforts"; a weak path weight lets
+    time-optimal solutions scatter operations over many inter-device
+    channels, which also destabilizes the transport refinement between
+    re-synthesis passes).
+    """
+
+    time: float = 50.0
+    area: float = 1.0
+    processing: float = 1.0
+    paths: float = 25.0
+
+    def __post_init__(self) -> None:
+        for name in ("time", "area", "processing", "paths"):
+            if getattr(self, name) < 0:
+                raise SpecificationError(f"weight {name} must be >= 0")
+        if self.time == 0:
+            raise SpecificationError("time weight must be positive")
+
+
+@dataclass(frozen=True)
+class TransportProgression:
+    """The user-defined arithmetic progression of transportation times.
+
+    The paper asks the user for the minimum and maximum term and the number
+    of terms; path-usage ranks map onto the terms (most-used path gets the
+    minimum term, Sec. 4.1).
+    """
+
+    minimum: int = 1
+    maximum: int = 5
+    terms: int = 5
+
+    def __post_init__(self) -> None:
+        if self.terms < 1:
+            raise SpecificationError("progression needs at least one term")
+        if self.minimum < 0 or self.maximum < self.minimum:
+            raise SpecificationError(
+                f"invalid progression range [{self.minimum}, {self.maximum}]"
+            )
+
+    def term_values(self) -> list[int]:
+        """The progression's terms, ascending, as integers."""
+        if self.terms == 1:
+            return [self.minimum]
+        step = (self.maximum - self.minimum) / (self.terms - 1)
+        return [round(self.minimum + k * step) for k in range(self.terms)]
+
+    def term_for_rank(self, rank: int) -> int:
+        """Transportation time for the path with usage rank ``rank``.
+
+        Rank 0 is the most-used path (shortest channel → minimum term);
+        ranks beyond the progression clamp to the maximum term.
+        """
+        values = self.term_values()
+        return values[min(rank, len(values) - 1)]
+
+
+@dataclass
+class SynthesisSpec:
+    """All knobs of a synthesis run."""
+
+    #: cardinality of the device set D (maximal devices on the chip).
+    max_devices: int = 25
+    #: threshold ``t``: maximal indeterminate operations per layer.
+    threshold: int = 10
+    weights: Weights = field(default_factory=Weights)
+    #: initial constant transportation time assigned to every operation.
+    transport_default: int = 3
+    transport_progression: TransportProgression = field(
+        default_factory=TransportProgression
+    )
+    binding_mode: BindingMode = BindingMode.COVER
+    cost_model: CostModel = field(default_factory=default_cost_model)
+    registry: AccessoryRegistry = field(default_factory=standard_registry)
+    #: ILP backend name ("auto", "highs", "bnb").
+    backend: str = "auto"
+    #: wall-clock budget per layer solve, seconds.
+    time_limit: float = 20.0
+    mip_gap: float | None = 1e-4
+    #: continue re-synthesis while relative improvement exceeds this
+    #: (paper: "if the improvement ... is larger than 10%, we will run
+    #: another iteration").
+    improvement_threshold: float = 0.10
+    #: hard cap on re-synthesis iterations (initial pass not counted).
+    max_iterations: int = 4
+    #: fall back to the greedy list scheduler when the ILP finds no
+    #: incumbent within the time limit.
+    allow_heuristic_fallback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_devices < 1:
+            raise SpecificationError("max_devices must be >= 1")
+        if self.threshold < 1:
+            raise SpecificationError("threshold must be >= 1")
+        if self.transport_default < 0:
+            raise SpecificationError("transport_default must be >= 0")
+        if self.time_limit <= 0:
+            raise SpecificationError("time_limit must be positive")
+        if not 0 <= self.improvement_threshold < 1:
+            raise SpecificationError("improvement_threshold must be in [0, 1)")
+        if self.max_iterations < 0:
+            raise SpecificationError("max_iterations must be >= 0")

@@ -1,0 +1,397 @@
+"""Progressive re-synthesis driver (paper Sec. 3.2).
+
+Synthesis runs in passes over the layer sequence:
+
+* **initial pass** — layers are solved front to back; each layer inherits
+  every device built so far (``D_i = D_{i-1} ∪ D'_i``) and pays only for the
+  devices it newly integrates;
+* **re-synthesis passes** — each layer ``L_i`` inherits ``D \\ D'_i``, the
+  full device set of the previous pass minus the devices ``L_i`` itself
+  introduced, so the configuration choices of *posterior* layers become
+  visible (Fig. 6).  Between passes, transportation times are refined from
+  the latest binding (Sec. 4.1).
+
+Passes repeat while the relative makespan improvement exceeds
+``spec.improvement_threshold`` (the paper's 10 % rule), up to
+``spec.max_iterations``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..devices.device import GeneralDevice
+from ..devices.inventory import DeviceInventory
+from ..errors import InfeasibleError, SchedulingError, SolverError
+from ..layering import LayeringResult, layer_assay
+from ..operations.assay import Assay
+from .decode import LayerSolveResult, decode_layer_solution
+from .heuristic import schedule_layer_greedy
+from .milp_model import LayerProblem, build_layer_model
+from .schedule import HybridSchedule
+from .spec import SynthesisSpec
+from .transport import TransportEstimator, path_key
+from .validate import validate_result
+
+
+@dataclass
+class IterationRecord:
+    """Summary of one synthesis pass (Table 3 rows)."""
+
+    index: int  # 0 = initial pass
+    fixed_makespan: int
+    num_devices: int
+    num_paths: int
+    layer_statuses: list[str]
+    runtime: float
+
+    @property
+    def label(self) -> str:
+        return "Initial" if self.index == 0 else f"{self.index}. Ite."
+
+
+@dataclass
+class SynthesisResult:
+    """Complete synthesis output."""
+
+    assay: Assay
+    spec: SynthesisSpec
+    layering: LayeringResult
+    schedule: HybridSchedule
+    devices: dict[str, GeneralDevice]
+    paths: set[tuple[str, str]]
+    history: list[IterationRecord] = field(default_factory=list)
+    runtime: float = 0.0
+    transport: TransportEstimator | None = None
+    #: the per-edge transportation estimates the selected pass scheduled
+    #: against (validation replays dependencies with exactly these).
+    edge_transport: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    @property
+    def fixed_makespan(self) -> int:
+        return self.schedule.fixed_makespan
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    @property
+    def num_paths(self) -> int:
+        return len(self.paths)
+
+    @property
+    def makespan_expression(self) -> str:
+        return self.schedule.makespan_expression()
+
+    def validate(self) -> None:
+        validate_result(self)
+
+
+class _Pass:
+    """State of one synthesis pass over all layers."""
+
+    def __init__(self) -> None:
+        self.devices: dict[str, GeneralDevice] = {}
+        self.born: dict[str, int] = {}
+        self.results: dict[int, LayerSolveResult] = {}
+        self.binding: dict[str, str] = {}
+        #: per-edge transportation estimates this pass was built with.
+        self.transport_snapshot: dict[tuple[str, str], int] = {}
+
+    @property
+    def fixed_makespan(self) -> int:
+        return sum(r.schedule.makespan for r in self.results.values())
+
+    def schedule(self) -> HybridSchedule:
+        return HybridSchedule(
+            layers=[self.results[i].schedule for i in sorted(self.results)]
+        )
+
+    def used_devices(self) -> dict[str, GeneralDevice]:
+        used = set(self.binding.values())
+        return {uid: dev for uid, dev in self.devices.items() if uid in used}
+
+
+def synthesize(
+    assay: Assay,
+    spec: SynthesisSpec | None = None,
+    transport: TransportEstimator | None = None,
+) -> SynthesisResult:
+    """Run the full component-oriented synthesis flow on ``assay``.
+
+    ``transport`` overrides the transportation estimator — e.g. a
+    :class:`repro.layout.LayoutTransportEstimator` that refines from an
+    actual device placement instead of usage ranks.
+    """
+    spec = spec or SynthesisSpec()
+    started = time.monotonic()
+
+    layering = layer_assay(assay, spec.threshold)
+    transport = transport or TransportEstimator(assay, spec)
+    uid_counter = [0]
+
+    def allocate_uid() -> str:
+        uid = f"d{uid_counter[0]}"
+        uid_counter[0] += 1
+        return uid
+
+    history: list[IterationRecord] = []
+
+    current = _run_pass(
+        assay, layering, spec, transport, allocate_uid, previous=None
+    )
+    history.append(_record(0, assay, current, started))
+    best = current
+
+    for iteration in range(1, spec.max_iterations + 1):
+        previous_makespan = current.fixed_makespan
+        transport.refine(current.binding)
+        candidate = _run_pass(
+            assay, layering, spec, transport, allocate_uid, previous=current
+        )
+        history.append(_record(iteration, assay, candidate, started))
+        if candidate.fixed_makespan <= best.fixed_makespan:
+            best = candidate
+        improvement = (
+            (previous_makespan - candidate.fixed_makespan) / previous_makespan
+            if previous_makespan
+            else 0.0
+        )
+        current = candidate
+        if improvement <= spec.improvement_threshold:
+            break
+
+    schedule = best.schedule()
+    paths = schedule.transportation_paths(assay.edges)
+    result = SynthesisResult(
+        assay=assay,
+        spec=spec,
+        layering=layering,
+        schedule=schedule,
+        devices=best.used_devices(),
+        paths=paths,
+        history=history,
+        runtime=time.monotonic() - started,
+        transport=transport,
+        edge_transport=dict(best.transport_snapshot),
+    )
+    result.validate()
+    return result
+
+
+def _record(
+    index: int, assay: Assay, state: _Pass, started: float
+) -> IterationRecord:
+    schedule = state.schedule()
+    return IterationRecord(
+        index=index,
+        fixed_makespan=state.fixed_makespan,
+        num_devices=len(state.used_devices()),
+        num_paths=len(schedule.transportation_paths(assay.edges)),
+        layer_statuses=[
+            state.results[i].solver_status for i in sorted(state.results)
+        ],
+        runtime=time.monotonic() - started,
+    )
+
+
+def _run_pass(
+    assay: Assay,
+    layering: LayeringResult,
+    spec: SynthesisSpec,
+    transport: TransportEstimator,
+    allocate_uid,
+    previous: _Pass | None,
+) -> _Pass:
+    state = _Pass()
+    state.transport_snapshot = transport.snapshot()
+    if previous is not None:
+        state.devices = dict(previous.devices)
+        state.born = dict(previous.born)
+        state.binding = dict(previous.binding)
+
+    layer_of = layering.layer_of
+    for layer in layering.layers:
+        uids = set(layer.uids)
+        ops = [assay[uid] for uid in layer.uids]
+        in_edges = [
+            (p, c) for p, c in assay.edges if p in uids and c in uids
+        ]
+        edge_transport = {e: transport.edge_time(*e) for e in in_edges}
+        release = {
+            uid: transport.release_time(uid, within=uids) for uid in layer.uids
+        }
+
+        if previous is not None:
+            # Drop the layer's own previous devices unless another layer's
+            # current binding still references them.
+            referenced = {
+                dev
+                for op_uid, dev in state.binding.items()
+                if layer_of[op_uid] != layer.index
+            }
+            droppable = [
+                uid
+                for uid, born in state.born.items()
+                if born == layer.index and uid not in referenced
+            ]
+            for uid in droppable:
+                del state.devices[uid]
+                del state.born[uid]
+
+        fixed_devices = list(state.devices.values())
+        free_slots = max(0, spec.max_devices - len(fixed_devices))
+
+        incoming = [
+            (state.binding[p], c)
+            for p, c in assay.edges
+            if c in uids and p not in uids and p in state.binding
+        ]
+        outgoing = [
+            (p, state.binding[c])
+            for p, c in assay.edges
+            if p in uids and c not in uids and c in state.binding
+        ]
+        existing_paths = _paths_excluding_layer(
+            assay, state.binding, uids
+        )
+
+        problem = LayerProblem(
+            layer_index=layer.index,
+            ops=ops,
+            in_layer_edges=in_edges,
+            edge_transport=edge_transport,
+            release=release,
+            fixed_devices=fixed_devices,
+            free_slots=free_slots,
+            incoming=incoming,
+            outgoing=outgoing,
+            existing_paths=existing_paths,
+        )
+        result = _solve_layer(problem, spec, allocate_uid)
+        state.results[layer.index] = result
+        for device in result.new_devices:
+            state.devices[device.uid] = device
+            state.born[device.uid] = layer.index
+        state.binding.update(result.binding)
+
+    # Prune devices nothing references anymore (e.g. replaced during
+    # re-synthesis).
+    used = set(state.binding.values())
+    for uid in [u for u in state.devices if u not in used]:
+        del state.devices[uid]
+        del state.born[uid]
+    return state
+
+
+def _paths_excluding_layer(
+    assay: Assay, binding: dict[str, str], layer_uids: set[str]
+) -> set[tuple[str, str]]:
+    """Paths already implied by edges not touching the current layer."""
+    paths: set[tuple[str, str]] = set()
+    for parent, child in assay.edges:
+        if parent in layer_uids or child in layer_uids:
+            continue
+        if parent in binding and child in binding:
+            a, b = binding[parent], binding[child]
+            if a != b:
+                paths.add(path_key(a, b))
+    return paths
+
+
+def layer_cost(
+    result: LayerSolveResult, problem: LayerProblem, spec: SynthesisSpec
+) -> float:
+    """Evaluate a decoded layer result under the layer ILP's objective.
+
+    Used to compare the ILP incumbent against the greedy fallback on equal
+    terms: weighted makespan + cost of newly integrated devices + newly
+    created transportation paths.
+    """
+    costs = spec.cost_model
+    weights = spec.weights
+    area = sum(d.area(costs) for d in result.new_devices)
+    processing = sum(d.processing_cost(costs) for d in result.new_devices)
+
+    new_paths: set[tuple[str, str]] = set()
+
+    def note(dev_a: str, dev_b: str) -> None:
+        if dev_a != dev_b:
+            pair = path_key(dev_a, dev_b)
+            if pair not in problem.existing_paths:
+                new_paths.add(pair)
+
+    for parent, child in problem.in_layer_edges:
+        note(result.binding[parent], result.binding[child])
+    for parent_device, child in problem.incoming:
+        note(parent_device, result.binding[child])
+    for parent, child_device in problem.outgoing:
+        note(result.binding[parent], child_device)
+
+    return (
+        weights.time * result.schedule.makespan
+        + weights.area * area
+        + weights.processing * processing
+        + weights.paths * len(new_paths)
+    )
+
+
+def _solve_layer(
+    problem: LayerProblem, spec: SynthesisSpec, allocate_uid
+) -> LayerSolveResult:
+    """Solve one layer: ILP and greedy race; the better objective wins.
+
+    The greedy list scheduler is cheap and always feasible, so it doubles
+    as both a fallback (when the ILP finds no incumbent in time) and a
+    quality floor (when the ILP's time-limited incumbent is poor).
+    """
+    greedy: LayerSolveResult | None = None
+    if spec.allow_heuristic_fallback:
+        try:
+            greedy = schedule_layer_greedy(problem, spec, allocate_uid)
+        except SchedulingError:
+            greedy = None
+
+    layer_model = build_layer_model(problem, spec)
+    try:
+        solution = layer_model.model.solve(
+            backend=spec.backend,
+            time_limit=spec.time_limit,
+            mip_gap=spec.mip_gap,
+        )
+    except SolverError:
+        if greedy is not None:
+            return greedy
+        raise
+
+    if solution.status.has_solution:
+        ilp_result = decode_layer_solution(layer_model, solution, allocate_uid)
+        if greedy is not None and solution.status.name != "OPTIMAL":
+            if layer_cost(greedy, problem, spec) < layer_cost(
+                ilp_result, problem, spec
+            ):
+                return greedy
+        return ilp_result
+    if solution.status.name == "INFEASIBLE":
+        raise InfeasibleError(
+            f"layer {problem.layer_index} is infeasible under |D|="
+            f"{spec.max_devices}"
+        )
+    if greedy is not None:
+        return greedy
+    raise SolverError(
+        f"layer {problem.layer_index}: no solution within "
+        f"{spec.time_limit}s and fallback disabled"
+    )
+
+
+def build_inventory(result: SynthesisResult) -> DeviceInventory:
+    """Package a result's devices as a :class:`DeviceInventory` snapshot."""
+    inventory = DeviceInventory(result.spec.max_devices)
+    for layer in result.schedule.layers:
+        for placement in layer.placements.values():
+            uid = placement.device_uid
+            if uid not in inventory:
+                inventory.add(result.devices[uid], layer.index)
+    return inventory

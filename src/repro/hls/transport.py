@@ -1,0 +1,93 @@
+"""Reagent-transportation time estimation (Sec. 4.1).
+
+Transportation time between sequential operations depends on flow-channel
+lengths, which are only known after physical layout.  The paper's estimate:
+
+1. first pass — every dependency edge gets a user constant ``t``;
+2. after each full synthesis iteration — device-to-device paths are ranked
+   by usage frequency, and the more a path is used the shorter its channel
+   should be laid out, hence the shorter its transportation time; each path
+   is mapped onto a term of a user-defined arithmetic progression
+   (most-used path → minimum term);
+3. edges whose endpoints share a device get transportation time 0.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..operations.assay import Assay
+from .spec import SynthesisSpec
+
+
+def path_key(device_a: str, device_b: str) -> tuple[str, str]:
+    """Canonical (unordered) key of a device-to-device channel."""
+    return (device_a, device_b) if device_a <= device_b else (device_b, device_a)
+
+
+class TransportEstimator:
+    """Per-edge transportation times, refined between iterations."""
+
+    def __init__(self, assay: Assay, spec: SynthesisSpec) -> None:
+        self._assay = assay
+        self._spec = spec
+        self._edge_time: dict[tuple[str, str], int] = {
+            edge: spec.transport_default for edge in assay.edges
+        }
+        #: path -> usage count of the latest refinement, for reporting.
+        self.path_usage: dict[tuple[str, str], int] = {}
+        #: path -> assigned progression term of the latest refinement.
+        self.path_time: dict[tuple[str, str], int] = {}
+        self.refined = False
+
+    def edge_time(self, parent_uid: str, child_uid: str) -> int:
+        """Current transportation estimate for one dependency edge."""
+        return self._edge_time[(parent_uid, child_uid)]
+
+    def release_time(self, uid: str, within: set[str] | None = None) -> int:
+        """How long ``uid``'s device stays busy shipping outputs.
+
+        The device is occupied until the slowest outgoing transfer leaves
+        (constraints (10)/(11) add ``t_a``/``t_b`` to the durations).
+        ``within`` restricts to children inside a given layer.
+        """
+        times = [
+            self._edge_time[(uid, child)]
+            for child in self._assay.children(uid)
+            if within is None or child in within
+        ]
+        return max(times, default=0)
+
+    def refine(self, binding: dict[str, str]) -> None:
+        """Refine all edge times from a complete operation→device binding.
+
+        Paths are ranked by usage; rank k gets the progression's k-th term.
+        Ties in usage are broken deterministically by path key.
+        """
+        usage: Counter[tuple[str, str]] = Counter()
+        for parent, child in self._assay.edges:
+            dev_p, dev_c = binding[parent], binding[child]
+            if dev_p != dev_c:
+                usage[path_key(dev_p, dev_c)] += 1
+
+        ranked = sorted(usage.items(), key=lambda kv: (-kv[1], kv[0]))
+        progression = self._spec.transport_progression
+        self.path_time = {
+            path: progression.term_for_rank(rank)
+            for rank, (path, _count) in enumerate(ranked)
+        }
+        self.path_usage = dict(usage)
+
+        for parent, child in self._assay.edges:
+            dev_p, dev_c = binding[parent], binding[child]
+            if dev_p == dev_c:
+                self._edge_time[(parent, child)] = 0
+            else:
+                self._edge_time[(parent, child)] = self.path_time[
+                    path_key(dev_p, dev_c)
+                ]
+        self.refined = True
+
+    def snapshot(self) -> dict[tuple[str, str], int]:
+        """Copy of the current per-edge estimates (for tests/reporting)."""
+        return dict(self._edge_time)

@@ -1,0 +1,153 @@
+"""Independent validation of a synthesis result.
+
+Replays every constraint of the paper's model on the *decoded* result —
+deliberately sharing no code with the ILP construction — so a bug in the
+model or decoder cannot hide behind itself.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .synthesizer import SynthesisResult
+
+
+def collect_violations(result: "SynthesisResult") -> list[str]:
+    """All constraint violations in ``result`` (empty = valid)."""
+    violations: list[str] = []
+    assay = result.assay
+    spec = result.spec
+    schedule = result.schedule
+    layering = result.layering
+    edge_t = result.edge_transport
+
+    def edge_time(parent: str, child: str) -> int:
+        return edge_t.get((parent, child), 0)
+
+    def release_time(uid: str, within: set[str]) -> int:
+        return max(
+            (edge_t.get((uid, c), 0) for c in assay.children(uid) if c in within),
+            default=0,
+        )
+
+    # -- completeness -------------------------------------------------------
+    placed: dict[str, int] = {}
+    for layer in schedule.layers:
+        for uid in layer.placements:
+            if uid in placed:
+                violations.append(f"{uid} placed in layers {placed[uid]} and {layer.index}")
+            placed[uid] = layer.index
+    for uid in assay.uids:
+        if uid not in placed:
+            violations.append(f"{uid} never placed")
+        elif layering.layer_of[uid] != placed[uid]:
+            violations.append(
+                f"{uid} placed in layer {placed[uid]}, "
+                f"layering assigned {layering.layer_of[uid]}"
+            )
+    if violations:
+        return violations  # downstream checks assume completeness
+
+    # -- binding legality & device cap -------------------------------------
+    if len(result.devices) > spec.max_devices:
+        violations.append(
+            f"{len(result.devices)} devices exceed |D|={spec.max_devices}"
+        )
+    for layer in schedule.layers:
+        for uid, placement in layer.placements.items():
+            device = result.devices.get(placement.device_uid)
+            if device is None:
+                violations.append(
+                    f"{uid} bound to unknown device {placement.device_uid}"
+                )
+                continue
+            if not device.can_execute(assay[uid], spec.binding_mode):
+                violations.append(
+                    f"{uid} illegally bound to {device} "
+                    f"(mode={spec.binding_mode.value})"
+                )
+
+    # -- dependencies ((9)) ---------------------------------------------------
+    for parent, child in assay.edges:
+        lp, lc = placed[parent], placed[child]
+        if lp > lc:
+            violations.append(f"dependency {parent}->{child} goes backwards")
+            continue
+        if lp == lc:
+            p = schedule.layer(lp)[parent]
+            c = schedule.layer(lc)[child]
+            needed = edge_time(parent, child)
+            if c.start < p.end + needed:
+                violations.append(
+                    f"{child} starts at {c.start} < {parent} end {p.end} "
+                    f"+ transport {needed}"
+                )
+
+    # -- device exclusivity ((10)-(13)) -----------------------------------------
+    for layer in schedule.layers:
+        uids = set(layer.placements)
+        by_device: dict[str, list] = {}
+        for placement in layer.placements.values():
+            by_device.setdefault(placement.device_uid, []).append(placement)
+        for device_uid, placements in by_device.items():
+            spans = []
+            for p in placements:
+                release = release_time(p.uid, within=uids)
+                end = float("inf") if p.indeterminate else p.end + release
+                spans.append((p.start, end, p.uid, p.indeterminate))
+            spans.sort(key=lambda s: (s[0], s[1]))
+            for (s1, e1, u1, _i1), (s2, e2, u2, _i2) in zip(spans, spans[1:]):
+                if s2 < e1:
+                    violations.append(
+                        f"device {device_uid}: {u1} [{s1},{e1}) overlaps "
+                        f"{u2} [{s2},{e2})"
+                    )
+
+    # -- indeterminate rules ((14) + parallel tail) -----------------------------
+    for layer in schedule.layers:
+        ind = [p for p in layer.placements.values() if p.indeterminate]
+        if not ind:
+            continue
+        latest_start = max(p.start for p in layer.placements.values())
+        for p in ind:
+            if latest_start > p.end:
+                violations.append(
+                    f"layer {layer.index}: some op starts at {latest_start} "
+                    f"after indeterminate {p.uid} minimum completion {p.end}"
+                )
+        devices = [p.device_uid for p in ind]
+        if len(set(devices)) != len(devices):
+            violations.append(
+                f"layer {layer.index}: indeterminate ops share a device"
+            )
+        for p in ind:
+            same_layer_children = set(assay.children(p.uid)) & set(
+                layer.placements
+            )
+            if same_layer_children:
+                violations.append(
+                    f"indeterminate {p.uid} has same-layer children "
+                    f"{sorted(same_layer_children)}"
+                )
+
+    # -- paths consistency ----------------------------------------------------
+    recomputed = schedule.transportation_paths(assay.edges)
+    if recomputed != result.paths:
+        violations.append(
+            f"paths mismatch: recorded {sorted(result.paths)} vs "
+            f"recomputed {sorted(recomputed)}"
+        )
+
+    return violations
+
+
+def validate_result(result: "SynthesisResult") -> None:
+    """Raise :class:`ValidationError` listing every violation, if any."""
+    violations = collect_violations(result)
+    if violations:
+        raise ValidationError(
+            f"{len(violations)} violation(s):\n  " + "\n  ".join(violations)
+        )

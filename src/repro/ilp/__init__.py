@@ -1,0 +1,43 @@
+"""A small integer-linear-programming substrate ("mini-PuLP").
+
+The paper solves its per-layer synthesis model with Gurobi; this package
+provides the equivalent functionality offline:
+
+* :mod:`repro.ilp.expr` / :mod:`repro.ilp.model` — an algebraic modeling
+  layer: create variables, combine them into linear expressions with normal
+  Python arithmetic, post ``<=``/``>=``/``==`` constraints, set an objective.
+* :mod:`repro.ilp.highs` — exact MILP solving through SciPy's HiGHS bindings
+  (:func:`scipy.optimize.milp`).
+* :mod:`repro.ilp.bnb` — a pure-Python branch-and-bound MILP solver over our
+  own dense simplex (:mod:`repro.ilp.simplex`); used for cross-checking and
+  as a fallback when SciPy is unavailable.
+
+Typical use::
+
+    from repro.ilp import Model
+
+    m = Model("demo", sense="min")
+    x = m.binary("x")
+    y = m.integer("y", lb=0, ub=10)
+    m.add(x + 2 * y >= 3, name="cover")
+    m.minimize(5 * x + 3 * y)
+    sol = m.solve()
+    print(sol.status, sol[x], sol.objective)
+"""
+
+from .expr import LinExpr, Variable, VarType
+from .model import Constraint, Model
+from .solve import available_backends, solve
+from .status import Solution, SolveStatus
+
+__all__ = [
+    "LinExpr",
+    "Variable",
+    "VarType",
+    "Constraint",
+    "Model",
+    "Solution",
+    "SolveStatus",
+    "solve",
+    "available_backends",
+]

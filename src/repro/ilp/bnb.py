@@ -1,0 +1,173 @@
+"""Pure-Python branch-and-bound MILP solver.
+
+Uses the dense two-phase simplex (:mod:`repro.ilp.simplex`) for LP
+relaxations and branches on the most-fractional integer variable with a
+depth-first ("diving") node order, which finds integer-feasible incumbents
+quickly on scheduling models.
+
+This solver exists to make the library self-contained and to cross-check the
+HiGHS backend on small instances (ablation A4); the benchmark tables are
+produced with HiGHS.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .model import Model
+from .simplex import LPStatus, solve_lp
+from .status import Solution, SolveStatus
+
+_INT_TOL = 1e-6
+
+
+@dataclass(order=True)
+class _Node:
+    """A branch-and-bound node: the LP bound plus tightened variable bounds."""
+
+    bound: float
+    depth: int = field(compare=False)
+    var_lower: np.ndarray = field(compare=False)
+    var_upper: np.ndarray = field(compare=False)
+
+
+def solve_bnb(
+    model: Model,
+    time_limit: float | None = None,
+    node_limit: int = 100000,
+    mip_gap: float | None = None,
+    use_presolve: bool = True,
+) -> Solution:
+    """Solve ``model`` by branch and bound.
+
+    Returns OPTIMAL when the tree is exhausted, FEASIBLE when a limit was hit
+    with an incumbent in hand, TIMEOUT when a limit was hit without one.
+    """
+    start = time.monotonic()
+    form = model.to_standard_form()
+    if use_presolve:
+        from .presolve import presolve
+
+        reduction = presolve(form)
+        if reduction.infeasible:
+            return Solution(
+                SolveStatus.INFEASIBLE,
+                runtime=time.monotonic() - start,
+                backend="bnb",
+            )
+        form = reduction.form
+    a_dense = form.a_matrix.toarray() if form.a_matrix.shape[0] else np.zeros(
+        (0, len(form.variables))
+    )
+    int_mask = form.integrality.astype(bool)
+    gap = mip_gap if mip_gap is not None else 1e-9
+
+    root = _Node(
+        bound=-math.inf,
+        depth=0,
+        var_lower=form.var_lower.copy(),
+        var_upper=form.var_upper.copy(),
+    )
+    # Depth-first stack; each entry carries its parent LP bound for pruning.
+    stack: list[_Node] = [root]
+    incumbent_x: np.ndarray | None = None
+    incumbent_obj = math.inf
+    best_open_bound = -math.inf
+    nodes = 0
+    proven_optimal = True
+
+    while stack:
+        if time_limit is not None and time.monotonic() - start > time_limit:
+            proven_optimal = False
+            break
+        if nodes >= node_limit:
+            proven_optimal = False
+            break
+        node = stack.pop()
+        if node.bound >= incumbent_obj - gap:
+            continue
+        nodes += 1
+
+        lp = solve_lp(
+            form.c, a_dense, form.row_lower, form.row_upper,
+            node.var_lower, node.var_upper,
+        )
+        if lp.status is LPStatus.INFEASIBLE:
+            continue
+        if lp.status is LPStatus.UNBOUNDED:
+            if not int_mask.any() or incumbent_x is None:
+                return Solution(
+                    SolveStatus.UNBOUNDED, runtime=time.monotonic() - start,
+                    backend="bnb",
+                )
+            continue
+        if lp.status is LPStatus.ITERATION_LIMIT:
+            proven_optimal = False
+            continue
+
+        assert lp.x is not None and lp.objective is not None
+        if lp.objective >= incumbent_obj - gap:
+            continue
+
+        frac_var = _most_fractional(lp.x, int_mask)
+        if frac_var is None:
+            x = lp.x.copy()
+            x[int_mask] = np.round(x[int_mask])
+            obj = float(form.c @ x)
+            if obj < incumbent_obj:
+                incumbent_obj = obj
+                incumbent_x = x
+            continue
+
+        value = lp.x[frac_var]
+        floor_val = math.floor(value + _INT_TOL)
+        # Explore the "down" child first (LIFO → pushed last).
+        up = _Node(lp.objective, node.depth + 1,
+                   node.var_lower.copy(), node.var_upper.copy())
+        up.var_lower[frac_var] = floor_val + 1
+        down = _Node(lp.objective, node.depth + 1,
+                     node.var_lower.copy(), node.var_upper.copy())
+        down.var_upper[frac_var] = floor_val
+        if up.var_lower[frac_var] <= up.var_upper[frac_var]:
+            stack.append(up)
+        if down.var_lower[frac_var] <= down.var_upper[frac_var]:
+            stack.append(down)
+
+    runtime = time.monotonic() - start
+    if incumbent_x is None:
+        status = SolveStatus.TIMEOUT if not proven_optimal else SolveStatus.INFEASIBLE
+        return Solution(status, runtime=runtime, backend="bnb")
+
+    values = {
+        var: float(incumbent_x[i]) for i, var in enumerate(form.variables)
+    }
+    objective = form.sense * incumbent_obj + form.c0
+    bound = None
+    if stack:
+        best_open_bound = min(n.bound for n in stack)
+        bound = form.sense * min(best_open_bound, incumbent_obj) + form.c0
+    status = SolveStatus.OPTIMAL if proven_optimal and not stack else (
+        SolveStatus.OPTIMAL if proven_optimal else SolveStatus.FEASIBLE
+    )
+    return Solution(
+        status=status,
+        objective=objective,
+        values=values,
+        bound=bound,
+        runtime=runtime,
+        backend="bnb",
+    )
+
+
+def _most_fractional(x: np.ndarray, int_mask: np.ndarray) -> int | None:
+    """Index of the integer variable farthest from integrality, or None."""
+    frac = np.abs(x - np.round(x))
+    frac[~int_mask] = 0.0
+    best = int(np.argmax(frac))
+    if frac[best] <= _INT_TOL:
+        return None
+    return best

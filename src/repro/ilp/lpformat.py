@@ -1,0 +1,104 @@
+"""CPLEX LP-format export for debugging and external solvers.
+
+``write_lp(model)`` renders a model as standard LP-format text, readable by
+Gurobi/CPLEX/HiGHS command-line tools — handy to diff our per-layer models
+against an independent solver or to attach a failing model to a bug
+report.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+from .expr import LinExpr, VarType
+from .model import Model
+
+_SANITIZE = str.maketrans({c: "_" for c in "[]{}(),; +-*/<>=!\"'&|\\"})
+
+
+def _name(raw: str) -> str:
+    """LP-format identifiers: no brackets/operators, not starting with a
+    digit or 'e'/'E' (which would parse as a number)."""
+    cleaned = raw.translate(_SANITIZE)
+    if not cleaned or cleaned[0].isdigit() or cleaned[0] in "eE.":
+        cleaned = "v_" + cleaned
+    return cleaned
+
+
+def _render_expr(expr: LinExpr, name_of: dict) -> str:
+    parts: list[str] = []
+    for var, coeff in sorted(expr.terms.items(), key=lambda kv: kv[0].index):
+        if coeff == 0:
+            continue
+        sign = "+" if coeff >= 0 else "-"
+        magnitude = abs(coeff)
+        coeff_txt = "" if magnitude == 1 else f"{magnitude:g} "
+        parts.append(f"{sign} {coeff_txt}{name_of[var]}")
+    if not parts:
+        return "0"
+    text = " ".join(parts)
+    return text[2:] if text.startswith("+ ") else text
+
+
+def model_to_lp(model: Model) -> str:
+    """Render ``model`` as LP-format text."""
+    name_of = {}
+    used: set[str] = set()
+    for var in model.variables:
+        base = _name(var.name)
+        candidate = base
+        k = 1
+        while candidate in used:
+            candidate = f"{base}_{k}"
+            k += 1
+        used.add(candidate)
+        name_of[var] = candidate
+
+    lines = [f"\\ model {model.name}"]
+    lines.append("Minimize" if model.sense == "min" else "Maximize")
+    obj = _render_expr(model.objective, name_of)
+    if model.objective.constant:
+        obj += f" + {model.objective.constant:g} const_one"
+    lines.append(f" obj: {obj}")
+
+    lines.append("Subject To")
+    for i, con in enumerate(model.constraints):
+        label = _name(con.name) if con.name else f"c{i}"
+        sense = {"<=": "<=", ">=": ">=", "==": "="}[con.sense]
+        lines.append(
+            f" {label}: {_render_expr(con.expr, name_of)} {sense} {con.rhs:g}"
+        )
+    if model.objective.constant:
+        lines.append(" fix_const: const_one = 1")
+
+    lines.append("Bounds")
+    for var in model.variables:
+        lo = "-inf" if math.isinf(var.lb) else f"{var.lb:g}"
+        hi = "+inf" if math.isinf(var.ub) else f"{var.ub:g}"
+        lines.append(f" {lo} <= {name_of[var]} <= {hi}")
+    if model.objective.constant:
+        lines.append(" 0 <= const_one <= 1")
+
+    generals = [
+        name_of[v] for v in model.variables if v.vtype is VarType.INTEGER
+    ]
+    binaries = [
+        name_of[v] for v in model.variables if v.vtype is VarType.BINARY
+    ]
+    if generals:
+        lines.append("Generals")
+        lines.append(" " + " ".join(generals))
+    if binaries:
+        lines.append("Binaries")
+        lines.append(" " + " ".join(binaries))
+    if model.objective.constant:
+        lines.append("Generals")
+        lines.append(" const_one")
+    lines.append("End")
+    return "\n".join(lines) + "\n"
+
+
+def write_lp(model: Model, path: "str | Path") -> None:
+    """Write the LP-format rendering of ``model`` to ``path``."""
+    Path(path).write_text(model_to_lp(model))

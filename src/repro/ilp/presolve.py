@@ -1,0 +1,167 @@
+"""MILP presolve: cheap reductions applied before branch and bound.
+
+Implements the classic safe reductions on the bounded row/column form:
+
+1. **Bound tightening from singleton rows** — a constraint touching one
+   variable is just a bound; fold it in and drop the row.
+2. **Activity-based bound tightening** — for every row, minimum/maximum
+   activity of the other terms implies bounds on each variable; integer
+   variables round inward.  Iterated to a fixed point (capped).
+3. **Redundant row removal** — rows whose worst-case activity already
+   satisfies both sides are dropped.
+4. **Infeasibility detection** — crossed variable bounds or rows whose best
+   possible activity misses the row bounds.
+
+The pure-Python branch-and-bound calls this automatically; HiGHS has its
+own presolve, so the scipy backend does not.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .model import StandardForm
+
+_TOL = 1e-9
+
+
+@dataclass
+class PresolveResult:
+    """Tightened copy of a standard form plus bookkeeping."""
+
+    form: StandardForm
+    infeasible: bool = False
+    rows_removed: int = 0
+    bounds_tightened: int = 0
+
+
+def presolve(form: StandardForm, max_rounds: int = 5) -> PresolveResult:
+    """Apply the reductions; the input form is not modified."""
+    a = form.a_matrix.toarray() if form.a_matrix.shape[0] else np.zeros(
+        (0, len(form.variables))
+    )
+    row_lo = form.row_lower.copy()
+    row_hi = form.row_upper.copy()
+    var_lo = form.var_lower.copy()
+    var_hi = form.var_upper.copy()
+    integral = form.integrality.astype(bool)
+
+    keep = np.ones(a.shape[0], dtype=bool)
+    tightenings = 0
+
+    def round_inward() -> None:
+        var_lo[integral] = np.ceil(var_lo[integral] - _TOL)
+        var_hi[integral] = np.floor(var_hi[integral] + _TOL)
+
+    round_inward()
+    if np.any(var_lo > var_hi + _TOL):
+        return PresolveResult(form, infeasible=True)
+
+    for _ in range(max_rounds):
+        changed = False
+        for r in range(a.shape[0]):
+            if not keep[r]:
+                continue
+            row = a[r]
+            nz = np.nonzero(row)[0]
+            if nz.size == 0:
+                if row_lo[r] > _TOL or row_hi[r] < -_TOL:
+                    return PresolveResult(form, infeasible=True)
+                keep[r] = False
+                changed = True
+                continue
+
+            # Row activity bounds.
+            pos = row > 0
+            neg = row < 0
+            act_min = row[pos] @ var_lo[pos] + row[neg] @ var_hi[neg]
+            act_max = row[pos] @ var_hi[pos] + row[neg] @ var_lo[neg]
+
+            if act_min > row_hi[r] + 1e-7 or act_max < row_lo[r] - 1e-7:
+                return PresolveResult(form, infeasible=True)
+            if act_min >= row_lo[r] - _TOL and act_max <= row_hi[r] + _TOL:
+                keep[r] = False  # redundant
+                changed = True
+                continue
+
+            if nz.size == 1:
+                # Singleton row: fold into variable bounds.
+                j = nz[0]
+                coeff = row[j]
+                lo, hi = row_lo[r], row_hi[r]
+                if coeff > 0:
+                    new_lo = lo / coeff if np.isfinite(lo) else -math.inf
+                    new_hi = hi / coeff if np.isfinite(hi) else math.inf
+                else:
+                    new_lo = hi / coeff if np.isfinite(hi) else -math.inf
+                    new_hi = lo / coeff if np.isfinite(lo) else math.inf
+                if new_lo > var_lo[j] + _TOL:
+                    var_lo[j] = new_lo
+                    tightenings += 1
+                if new_hi < var_hi[j] - _TOL:
+                    var_hi[j] = new_hi
+                    tightenings += 1
+                keep[r] = False
+                changed = True
+                round_inward()
+                if var_lo[j] > var_hi[j] + _TOL:
+                    return PresolveResult(form, infeasible=True)
+                continue
+
+            # Activity-based tightening per variable.
+            for j in nz:
+                coeff = row[j]
+                self_min = coeff * (var_lo[j] if coeff > 0 else var_hi[j])
+                self_max = coeff * (var_hi[j] if coeff > 0 else var_lo[j])
+                rest_min = act_min - self_min
+                rest_max = act_max - self_max
+                # coeff * x <= row_hi - rest_min ; coeff * x >= row_lo - rest_max
+                if np.isfinite(row_hi[r]) and np.isfinite(rest_min):
+                    cap = row_hi[r] - rest_min
+                    if coeff > 0 and cap / coeff < var_hi[j] - 1e-7:
+                        var_hi[j] = cap / coeff
+                        tightenings += 1
+                        changed = True
+                    elif coeff < 0 and cap / coeff > var_lo[j] + 1e-7:
+                        var_lo[j] = cap / coeff
+                        tightenings += 1
+                        changed = True
+                if np.isfinite(row_lo[r]) and np.isfinite(rest_max):
+                    floor_ = row_lo[r] - rest_max
+                    if coeff > 0 and floor_ / coeff > var_lo[j] + 1e-7:
+                        var_lo[j] = floor_ / coeff
+                        tightenings += 1
+                        changed = True
+                    elif coeff < 0 and floor_ / coeff < var_hi[j] - 1e-7:
+                        var_hi[j] = floor_ / coeff
+                        tightenings += 1
+                        changed = True
+            round_inward()
+            if np.any(var_lo > var_hi + _TOL):
+                return PresolveResult(form, infeasible=True)
+        if not changed:
+            break
+
+    from scipy.sparse import csr_matrix
+
+    reduced = StandardForm(
+        c=form.c,
+        a_matrix=csr_matrix(a[keep]),
+        row_lower=row_lo[keep],
+        row_upper=row_hi[keep],
+        var_lower=var_lo,
+        var_upper=var_hi,
+        integrality=form.integrality,
+        variables=form.variables,
+        sense=form.sense,
+        c0=form.c0,
+    )
+    return PresolveResult(
+        form=reduced,
+        infeasible=False,
+        rows_removed=int((~keep).sum()),
+        bounds_tightened=tightenings,
+    )

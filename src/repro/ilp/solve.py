@@ -1,0 +1,68 @@
+"""Backend registry and dispatch for ILP solving."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..errors import SolverError
+from .model import Model
+from .status import Solution
+
+_BackendFn = Callable[..., Solution]
+
+
+def _highs_backend(model: Model, **kwargs) -> Solution:
+    from .highs import solve_highs
+
+    return solve_highs(model, **kwargs)
+
+
+def _bnb_backend(model: Model, **kwargs) -> Solution:
+    from .bnb import solve_bnb
+
+    return solve_bnb(model, **kwargs)
+
+
+_BACKENDS: dict[str, _BackendFn] = {
+    "highs": _highs_backend,
+    "bnb": _bnb_backend,
+}
+
+
+def available_backends() -> list[str]:
+    """Names of usable backends, best first."""
+    names = []
+    try:
+        from scipy.optimize import milp  # noqa: F401
+
+        names.append("highs")
+    except ImportError:  # pragma: no cover - scipy is a hard dependency here
+        pass
+    names.append("bnb")
+    return names
+
+
+def solve(
+    model: Model,
+    backend: str = "auto",
+    time_limit: float | None = None,
+    mip_gap: float | None = None,
+) -> Solution:
+    """Solve ``model`` with the requested backend.
+
+    ``backend="auto"`` picks HiGHS when SciPy is importable, otherwise the
+    pure-Python branch and bound.
+    """
+    if backend == "auto":
+        backend = available_backends()[0]
+    fn = _BACKENDS.get(backend)
+    if fn is None:
+        raise SolverError(
+            f"unknown backend {backend!r}; available: {sorted(_BACKENDS)}"
+        )
+    kwargs: dict[str, float] = {}
+    if time_limit is not None:
+        kwargs["time_limit"] = time_limit
+    if mip_gap is not None:
+        kwargs["mip_gap"] = mip_gap
+    return fn(model, **kwargs)

@@ -1,0 +1,60 @@
+"""Solver result types."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .expr import LinExpr, Variable
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of a solve call."""
+
+    OPTIMAL = "optimal"
+    #: A feasible (integer) solution was found but optimality was not proven
+    #: within the time/node limit.
+    FEASIBLE = "feasible"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    #: The limit was hit before any feasible solution was found.
+    TIMEOUT = "timeout"
+
+    @property
+    def has_solution(self) -> bool:
+        return self in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+
+
+@dataclass
+class Solution:
+    """A (possibly partial) solve result.
+
+    ``values`` maps every model variable to its value when
+    ``status.has_solution`` is true; it is empty otherwise.
+    """
+
+    status: SolveStatus
+    objective: float | None = None
+    values: dict[Variable, float] = field(default_factory=dict)
+    #: Proven lower bound on the (minimization) objective, if available.
+    bound: float | None = None
+    #: Wall-clock seconds spent in the backend.
+    runtime: float = 0.0
+    backend: str = ""
+
+    def __getitem__(self, key: Variable) -> float:
+        return self.values[key]
+
+    def value(self, expr: LinExpr | Variable) -> float:
+        """Evaluate an expression under this solution."""
+        if isinstance(expr, Variable):
+            return self.values[expr]
+        return expr.value(self.values)
+
+    def int_value(self, key: Variable, tol: float = 1e-6) -> int:
+        """Variable value rounded to the nearest integer (asserting closeness)."""
+        raw = self.values[key]
+        rounded = round(raw)
+        if abs(raw - rounded) > max(tol, 1e-4):
+            raise ValueError(f"{key.name} = {raw} is not integral")
+        return int(rounded)

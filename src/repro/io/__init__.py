@@ -1,0 +1,28 @@
+"""Serialization and rendering."""
+
+from .dot import assay_to_dot, chip_to_dot
+from .gantt import render_gantt
+from .json_io import (
+    assay_from_json,
+    load_schedule,
+    schedule_from_json,
+    assay_to_json,
+    load_assay,
+    result_to_json,
+    save_assay,
+    save_result,
+)
+
+__all__ = [
+    "assay_to_dot",
+    "chip_to_dot",
+    "render_gantt",
+    "assay_from_json",
+    "assay_to_json",
+    "load_assay",
+    "load_schedule",
+    "schedule_from_json",
+    "save_assay",
+    "result_to_json",
+    "save_result",
+]

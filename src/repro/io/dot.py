@@ -1,0 +1,86 @@
+"""Graphviz DOT export.
+
+Two views:
+
+* :func:`assay_to_dot` — the operation dependency DAG (indeterminate
+  operations drawn as double octagons, layer membership as clusters when a
+  layering is supplied);
+* :func:`chip_to_dot` — the synthesized chip: devices as nodes (label =
+  container/capacity/accessories), transportation paths as edges weighted
+  by usage.
+
+Output is plain DOT text; render externally with ``dot -Tsvg``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import TYPE_CHECKING
+
+from ..layering import LayeringResult
+from ..operations.assay import Assay
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hls.synthesizer import SynthesisResult
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', r"\"") + '"'
+
+
+def assay_to_dot(assay: Assay, layering: LayeringResult | None = None) -> str:
+    """DOT digraph of the assay's dependency structure."""
+    lines = [f"digraph {_quote(assay.name)} {{", "  rankdir=TB;"]
+
+    def node_line(uid: str, indent: str = "  ") -> str:
+        op = assay[uid]
+        shape = "doubleoctagon" if op.is_indeterminate else "box"
+        label = f"{uid}\\n{op.duration.scheduled}u"
+        if op.accessories:
+            label += "\\n" + ",".join(sorted(op.accessories))
+        return f"{indent}{_quote(uid)} [shape={shape} label={_quote(label)}];"
+
+    if layering is None:
+        for uid in assay.uids:
+            lines.append(node_line(uid))
+    else:
+        for layer in layering.layers:
+            lines.append(f"  subgraph cluster_layer{layer.index} {{")
+            lines.append(f'    label="layer {layer.index}";')
+            for uid in layer.uids:
+                lines.append(node_line(uid, indent="    "))
+            lines.append("  }")
+
+    for parent, child in assay.edges:
+        lines.append(f"  {_quote(parent)} -> {_quote(child)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def chip_to_dot(result: "SynthesisResult") -> str:
+    """DOT graph of devices and transportation paths of a result."""
+    lines = [f"digraph {_quote(result.assay.name + '-chip')} {{",
+             "  layout=neato;", "  overlap=false;"]
+    binding = result.schedule.binding
+    ops_per_device: Counter[str] = Counter(binding.values())
+    for uid, device in sorted(result.devices.items()):
+        acc = ",".join(sorted(device.accessories)) or "-"
+        label = (
+            f"{uid}\\n{device.container.value}/{device.capacity.short}"
+            f"\\n{acc}\\n{ops_per_device[uid]} ops"
+        )
+        shape = "circle" if device.container.value == "ring" else "box"
+        lines.append(f"  {_quote(uid)} [shape={shape} label={_quote(label)}];")
+
+    usage: Counter[tuple[str, str]] = Counter()
+    for parent, child in result.assay.edges:
+        a, b = binding[parent], binding[child]
+        if a != b:
+            usage[(a, b) if a <= b else (b, a)] += 1
+    for (a, b), count in sorted(usage.items()):
+        lines.append(
+            f"  {_quote(a)} -> {_quote(b)} "
+            f"[dir=none penwidth={min(count, 6)} label={_quote(str(count))}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""ASCII Gantt rendering of hybrid schedules.
+
+Renders one block per layer, one row per device; indeterminate tails are
+drawn with ``~`` continuing to the layer boundary to visualize the
+real-time decision point.
+"""
+
+from __future__ import annotations
+
+from ..hls.schedule import HybridSchedule, LayerSchedule
+
+
+def render_gantt(
+    schedule: HybridSchedule, width: int = 72, labels: bool = True
+) -> str:
+    """Render the whole hybrid schedule as text."""
+    blocks = [
+        _render_layer(layer, width=width, labels=labels)
+        for layer in schedule.layers
+    ]
+    header = f"hybrid schedule — makespan {schedule.makespan_expression()}"
+    return header + "\n" + "\n".join(blocks)
+
+
+def _render_layer(layer: LayerSchedule, width: int, labels: bool) -> str:
+    makespan = max(layer.makespan, 1)
+    scale = min(1.0, (width - 1) / makespan)
+
+    def col(t: int) -> int:
+        return int(round(t * scale))
+
+    lines = [
+        f"-- layer {layer.index} "
+        f"(makespan {layer.makespan}"
+        + (", indeterminate tail" if layer.has_indeterminate else "")
+        + ") "
+    ]
+    devices = sorted({p.device_uid for p in layer.placements.values()})
+    for device_uid in devices:
+        row = [" "] * (col(makespan) + 1)
+        annotations = []
+        for placement in layer.on_device(device_uid):
+            start_col = col(placement.start)
+            end_col = max(col(placement.end), start_col + 1)
+            fill = "~" if placement.indeterminate else "="
+            for c in range(start_col, min(end_col, len(row))):
+                row[c] = fill
+            if placement.indeterminate:
+                for c in range(end_col, len(row)):
+                    row[c] = "~"
+            annotations.append(f"{placement.uid}@{placement.start}")
+        line = f"{device_uid:>8} |{''.join(row)}|"
+        if labels:
+            line += " " + ", ".join(annotations)
+        lines.append(line)
+    return "\n".join(lines)

@@ -1,0 +1,181 @@
+"""JSON (de)serialization of assays and synthesis results.
+
+The assay format is stable and round-trips exactly; the result format is a
+one-way report (schedules, devices, paths, history) for downstream tools.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..components.containers import Capacity, ContainerKind
+from ..errors import SerializationError
+from ..hls.synthesizer import SynthesisResult
+from ..operations.assay import Assay
+from ..operations.duration import Fixed, Indeterminate
+from ..operations.operation import Operation
+
+FORMAT_VERSION = 1
+
+
+def assay_to_json(assay: Assay) -> dict[str, Any]:
+    """Serialize an assay to a JSON-compatible dict."""
+    return {
+        "format": FORMAT_VERSION,
+        "name": assay.name,
+        "operations": [
+            {
+                "uid": op.uid,
+                "duration": op.duration.minimum,
+                "indeterminate": op.is_indeterminate,
+                "capacity": op.capacity.value,
+                "container": op.container.value if op.container else None,
+                "accessories": sorted(op.accessories),
+                "function": op.function,
+            }
+            for op in assay
+        ],
+        "dependencies": [list(edge) for edge in assay.edges],
+    }
+
+
+def assay_from_json(data: dict[str, Any]) -> Assay:
+    """Deserialize an assay; raises SerializationError on malformed input."""
+    try:
+        if data.get("format", 1) != FORMAT_VERSION:
+            raise SerializationError(
+                f"unsupported assay format {data.get('format')!r}"
+            )
+        assay = Assay(data.get("name", "assay"))
+        for entry in data["operations"]:
+            duration = (
+                Indeterminate(entry["duration"])
+                if entry.get("indeterminate")
+                else Fixed(entry["duration"])
+            )
+            container = entry.get("container")
+            assay.add(
+                Operation(
+                    uid=entry["uid"],
+                    duration=duration,
+                    capacity=Capacity(entry.get("capacity", "small")),
+                    container=ContainerKind(container) if container else None,
+                    accessories=frozenset(entry.get("accessories", ())),
+                    function=entry.get("function", ""),
+                )
+            )
+        for parent, child in data.get("dependencies", ()):
+            assay.add_dependency(parent, child)
+        assay.validate()
+        return assay
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed assay JSON: {exc}") from exc
+
+
+def save_assay(assay: Assay, path: "str | Path") -> None:
+    Path(path).write_text(json.dumps(assay_to_json(assay), indent=2))
+
+
+def load_assay(path: "str | Path") -> Assay:
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"cannot read assay from {path}: {exc}") from exc
+    return assay_from_json(data)
+
+
+def result_to_json(result: SynthesisResult) -> dict[str, Any]:
+    """Serialize a synthesis result to a JSON-compatible report dict."""
+    return {
+        "format": FORMAT_VERSION,
+        "assay": result.assay.name,
+        "makespan": result.makespan_expression,
+        "fixed_makespan": result.fixed_makespan,
+        "num_devices": result.num_devices,
+        "num_paths": result.num_paths,
+        "binding_mode": result.spec.binding_mode.value,
+        "devices": [
+            {
+                "uid": device.uid,
+                "container": device.container.value,
+                "capacity": device.capacity.value,
+                "accessories": sorted(device.accessories),
+            }
+            for device in result.devices.values()
+        ],
+        "paths": sorted(list(p) for p in result.paths),
+        "layers": [
+            {
+                "index": layer.index,
+                "makespan": layer.makespan,
+                "placements": [
+                    {
+                        "uid": p.uid,
+                        "device": p.device_uid,
+                        "start": p.start,
+                        "duration": p.duration,
+                        "indeterminate": p.indeterminate,
+                    }
+                    for p in sorted(
+                        layer.placements.values(), key=lambda p: (p.start, p.uid)
+                    )
+                ],
+            }
+            for layer in result.schedule.layers
+        ],
+        "history": [
+            {
+                "iteration": record.label,
+                "fixed_makespan": record.fixed_makespan,
+                "num_devices": record.num_devices,
+                "num_paths": record.num_paths,
+                "layer_statuses": record.layer_statuses,
+            }
+            for record in result.history
+        ],
+        "runtime_seconds": result.runtime,
+    }
+
+
+def save_result(result: SynthesisResult, path: "str | Path") -> None:
+    Path(path).write_text(json.dumps(result_to_json(result), indent=2))
+
+
+def schedule_from_json(data: dict[str, Any]) -> "HybridSchedule":
+    """Rebuild a :class:`~repro.hls.schedule.HybridSchedule` from a result
+    report (the ``layers`` section of :func:`result_to_json`).
+
+    Enables archival workflows: store the report, reload the schedule
+    later, and re-validate or re-simulate it against the (re)loaded assay.
+    """
+    from ..hls.schedule import HybridSchedule, LayerSchedule, OpPlacement
+
+    try:
+        layers = []
+        for layer_data in data["layers"]:
+            layer = LayerSchedule(index=layer_data["index"])
+            for entry in layer_data["placements"]:
+                layer.place(
+                    OpPlacement(
+                        uid=entry["uid"],
+                        device_uid=entry["device"],
+                        start=entry["start"],
+                        duration=entry["duration"],
+                        indeterminate=entry.get("indeterminate", False),
+                    )
+                )
+            layers.append(layer)
+        return HybridSchedule(layers=layers)
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed result JSON: {exc}") from exc
+
+
+def load_schedule(path: "str | Path") -> "HybridSchedule":
+    """Load the hybrid schedule out of a saved result report."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"cannot read result from {path}: {exc}") from exc
+    return schedule_from_json(data)

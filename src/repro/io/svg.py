@@ -1,0 +1,171 @@
+"""SVG rendering of hybrid schedules and chip placements (stdlib only).
+
+Produces self-contained SVG documents:
+
+* :func:`schedule_to_svg` — a Gantt chart: one row per device, one block
+  per operation, hatched open-ended tails for indeterminate operations,
+  vertical separators at layer boundaries (the real-time decision points);
+* :func:`placement_to_svg` — the placed chip: grid cells, device boxes
+  (rings drawn round), channel lines weighted by usage.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+from xml.sax.saxutils import escape
+
+from ..components.containers import ContainerKind
+from ..hls.schedule import HybridSchedule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hls.synthesizer import SynthesisResult
+    from ..layout.placer import PlacementResult
+
+_COLORS = [
+    "#4C72B0", "#DD8452", "#55A868", "#C44E52", "#8172B3",
+    "#937860", "#DA8BC3", "#8C8C8C", "#CCB974", "#64B5CD",
+]
+
+_ROW_H = 26
+_UNIT_W = 6.0
+_MARGIN = 90
+_HEADER = 30
+
+
+def _rect(x, y, w, h, fill, extra="") -> str:
+    return (
+        f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" height="{h:.1f}" '
+        f'fill="{fill}" stroke="#333" stroke-width="0.5" {extra}/>'
+    )
+
+
+def _text(x, y, content, size=10, anchor="start") -> str:
+    return (
+        f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+        f'font-family="monospace" text-anchor="{anchor}">'
+        f"{escape(str(content))}</text>"
+    )
+
+
+def schedule_to_svg(schedule: HybridSchedule, unit_width: float = _UNIT_W) -> str:
+    """Render the hybrid schedule as an SVG Gantt chart."""
+    devices = sorted(
+        {p.device_uid for layer in schedule.layers
+         for p in layer.placements.values()}
+    )
+    row_of = {uid: i for i, uid in enumerate(devices)}
+    total_units = sum(max(layer.makespan, 1) for layer in schedule.layers)
+    width = _MARGIN + total_units * unit_width + 20
+    height = _HEADER + len(devices) * _ROW_H + 30
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height:.0f}" viewBox="0 0 {width:.0f} {height:.0f}">',
+        '<defs><pattern id="tail" width="6" height="6" '
+        'patternUnits="userSpaceOnUse" patternTransform="rotate(45)">'
+        '<rect width="6" height="6" fill="#eee"/>'
+        '<line x1="0" y1="0" x2="0" y2="6" stroke="#999" stroke-width="2"/>'
+        "</pattern></defs>",
+        _text(8, 18, f"makespan {schedule.makespan_expression()}", size=12),
+    ]
+    for uid in devices:
+        y = _HEADER + row_of[uid] * _ROW_H
+        parts.append(_text(8, y + _ROW_H * 0.65, uid))
+        parts.append(
+            f'<line x1="{_MARGIN}" y1="{y + _ROW_H:.1f}" '
+            f'x2="{width - 10:.1f}" y2="{y + _ROW_H:.1f}" '
+            'stroke="#ddd" stroke-width="0.5"/>'
+        )
+
+    offset_units = 0.0
+    for layer in schedule.layers:
+        x0 = _MARGIN + offset_units * unit_width
+        for k, placement in enumerate(
+            sorted(layer.placements.values(), key=lambda p: (p.start, p.uid))
+        ):
+            y = _HEADER + row_of[placement.device_uid] * _ROW_H + 3
+            x = x0 + placement.start * unit_width
+            w = max(placement.duration * unit_width, 2.0)
+            color = _COLORS[k % len(_COLORS)]
+            title = (
+                f"<title>{escape(placement.uid)} "
+                f"[{placement.start}, {placement.end})</title>"
+            )
+            parts.append(
+                _rect(x, y, w, _ROW_H - 6, color).replace(
+                    "/>", f">{title}</rect>"
+                )
+            )
+            if placement.indeterminate:
+                # Open-ended run: a fixed hatched overhang past the
+                # scheduled minimum marks the real-time tail.
+                parts.append(
+                    _rect(x + w, y, 18.0, _ROW_H - 6, "url(#tail)")
+                )
+            if w > 24:
+                parts.append(
+                    _text(x + 2, y + (_ROW_H - 6) * 0.7, placement.uid, size=8)
+                )
+        offset_units += max(layer.makespan, 1)
+        boundary_x = _MARGIN + offset_units * unit_width
+        parts.append(
+            f'<line x1="{boundary_x:.1f}" y1="{_HEADER}" '
+            f'x2="{boundary_x:.1f}" y2="{height - 25:.0f}" '
+            'stroke="#C44E52" stroke-width="1.5" stroke-dasharray="4 3"/>'
+        )
+        parts.append(
+            _text(boundary_x, height - 10, f"L{layer.index} end",
+                  size=8, anchor="middle")
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def placement_to_svg(
+    result: "SynthesisResult",
+    placement: "PlacementResult",
+    cell: float = 70.0,
+) -> str:
+    """Render a placed chip (devices + usage-weighted channels) as SVG."""
+    layout = placement.layout
+    width = layout.width * cell + 20
+    height = layout.height * cell + 20
+
+    def center(device_uid: str) -> tuple[float, float]:
+        pos = layout.position_of(device_uid)
+        return 10 + (pos.x + 0.5) * cell, 10 + (pos.y + 0.5) * cell
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height:.0f}" viewBox="0 0 {width:.0f} {height:.0f}">'
+    ]
+    for y in range(layout.height):
+        for x in range(layout.width):
+            parts.append(
+                _rect(10 + x * cell, 10 + y * cell, cell, cell, "#fafafa")
+            )
+    # Channels first (under the devices).
+    usages = placement.distances
+    for (dev_a, dev_b), _dist in sorted(usages.items()):
+        xa, ya = center(dev_a)
+        xb, yb = center(dev_b)
+        parts.append(
+            f'<line x1="{xa:.1f}" y1="{ya:.1f}" x2="{xb:.1f}" y2="{yb:.1f}" '
+            f'stroke="#4C72B0" stroke-width="2" opacity="0.6"/>'
+        )
+    for device_uid in layout.devices:
+        cx, cy = center(device_uid)
+        device = result.devices.get(device_uid)
+        size = cell * 0.36
+        if device is not None and device.container is ContainerKind.RING:
+            parts.append(
+                f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="{size:.1f}" '
+                'fill="#DD8452" stroke="#333" stroke-width="0.8"/>'
+            )
+        else:
+            parts.append(
+                _rect(cx - size, cy - size, 2 * size, 2 * size, "#55A868")
+            )
+        parts.append(_text(cx, cy + 3, device_uid, size=9, anchor="middle"))
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,15 @@
+"""Layering for hybrid scheduling (Sec. 3 / Algorithm 1 of the paper)."""
+
+from .allocation import dependency_based_allocation
+from .eviction import EvictionCost, eviction_cost, resource_based_allocation
+from .layering import Layer, LayeringResult, layer_assay
+
+__all__ = [
+    "dependency_based_allocation",
+    "EvictionCost",
+    "eviction_cost",
+    "resource_based_allocation",
+    "Layer",
+    "LayeringResult",
+    "layer_assay",
+]

@@ -1,0 +1,32 @@
+"""Chip-layout estimation (extension of paper Sec. 4.1).
+
+The paper estimates transportation times from path *usage ranks* because
+the physical layout is unknown during high-level synthesis.  This package
+closes the loop further: it places the synthesized devices on a coarse grid
+(simulated annealing over usage-weighted Manhattan channel lengths — the
+standard floorplanning objective of the cited co-layout work [15]) and
+derives per-path transportation times from the *actual placed distances*
+instead of the rank heuristic.
+
+Use :class:`~repro.layout.placer.GridPlacer` directly, or
+:func:`~repro.layout.transport.layout_refined_transport` as a drop-in
+replacement for the rank-based refinement.
+"""
+
+from .grid import GridLayout, Position
+from .placer import GridPlacer, PlacementResult
+from .router import ChannelRouter, Route, RoutingResult, route_chip
+from .transport import LayoutTransportEstimator, layout_refined_transport
+
+__all__ = [
+    "GridLayout",
+    "Position",
+    "GridPlacer",
+    "PlacementResult",
+    "ChannelRouter",
+    "Route",
+    "RoutingResult",
+    "route_chip",
+    "LayoutTransportEstimator",
+    "layout_refined_transport",
+]

@@ -1,0 +1,110 @@
+"""Grid abstraction for coarse device placement.
+
+Devices occupy cells of a rectangular grid; flow channels route between
+cell centers, so channel length is approximated by Manhattan distance —
+the standard early-floorplanning metric.  Cell side length corresponds to
+the pitch of one medium device plus routing slack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import SpecificationError
+
+
+@dataclass(frozen=True)
+class Position:
+    """A grid cell coordinate."""
+
+    x: int
+    y: int
+
+    def manhattan(self, other: "Position") -> int:
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+
+class GridLayout:
+    """A placement of device uids on grid cells (at most one per cell)."""
+
+    def __init__(self, width: int, height: int) -> None:
+        if width < 1 or height < 1:
+            raise SpecificationError("grid must be at least 1x1")
+        self.width = width
+        self.height = height
+        self._of_device: dict[str, Position] = {}
+        self._at: dict[Position, str] = {}
+
+    # -- mutation ----------------------------------------------------------
+
+    def place(self, device_uid: str, position: Position) -> None:
+        if not self.in_bounds(position):
+            raise SpecificationError(f"{position} outside {self.width}x{self.height}")
+        if position in self._at:
+            raise SpecificationError(f"{position} already holds {self._at[position]}")
+        if device_uid in self._of_device:
+            raise SpecificationError(f"{device_uid} already placed")
+        self._of_device[device_uid] = position
+        self._at[position] = device_uid
+
+    def move(self, device_uid: str, position: Position) -> None:
+        """Move a placed device to a free cell."""
+        if position in self._at:
+            raise SpecificationError(f"{position} occupied")
+        old = self.position_of(device_uid)
+        del self._at[old]
+        self._of_device[device_uid] = position
+        self._at[position] = device_uid
+
+    def swap(self, a: str, b: str) -> None:
+        """Swap the cells of two placed devices."""
+        pa, pb = self.position_of(a), self.position_of(b)
+        self._of_device[a], self._of_device[b] = pb, pa
+        self._at[pa], self._at[pb] = b, a
+
+    # -- queries -------------------------------------------------------------
+
+    def in_bounds(self, position: Position) -> bool:
+        return 0 <= position.x < self.width and 0 <= position.y < self.height
+
+    def position_of(self, device_uid: str) -> Position:
+        try:
+            return self._of_device[device_uid]
+        except KeyError:
+            raise SpecificationError(f"{device_uid} not placed") from None
+
+    def occupant(self, position: Position) -> str | None:
+        return self._at.get(position)
+
+    def distance(self, a: str, b: str) -> int:
+        """Manhattan channel length between two placed devices."""
+        return self.position_of(a).manhattan(self.position_of(b))
+
+    def free_cells(self) -> Iterator[Position]:
+        for y in range(self.height):
+            for x in range(self.width):
+                pos = Position(x, y)
+                if pos not in self._at:
+                    yield pos
+
+    @property
+    def devices(self) -> list[str]:
+        return list(self._of_device)
+
+    def copy(self) -> "GridLayout":
+        clone = GridLayout(self.width, self.height)
+        clone._of_device = dict(self._of_device)
+        clone._at = dict(self._at)
+        return clone
+
+    def render(self) -> str:
+        """ASCII picture of the placement."""
+        rows = []
+        for y in range(self.height):
+            cells = []
+            for x in range(self.width):
+                uid = self._at.get(Position(x, y))
+                cells.append((uid or ".")[:4].center(5))
+            rows.append("".join(cells))
+        return "\n".join(rows)

@@ -1,0 +1,160 @@
+"""Flow-channel routing over a placed grid.
+
+The paper minimizes the number of transportation paths "to save routing
+efforts" — this module quantifies those efforts.  Given a placement
+(:class:`~repro.layout.placer.PlacementResult`), it routes every
+device-to-device channel along grid edges with a congestion-aware BFS
+(channels prefer free edges; reusing an edge costs extra) and reports:
+
+* total routed channel length,
+* edge congestion (how many channels share the most contested grid edge) —
+  in a flow layer, overlapping channels need crossover structures, the
+  expensive part of routing a continuous-flow chip,
+* per-path routes for rendering.
+
+Routing runs on the *dual* grid of cell corners so channels pass between
+device cells rather than through them.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..errors import SpecificationError
+from .grid import GridLayout, Position
+
+#: cost of reusing an edge another channel already occupies.
+_CONGESTION_PENALTY = 4.0
+
+
+@dataclass(frozen=True)
+class Route:
+    """One routed channel: the sequence of grid points it traverses."""
+
+    path: tuple[tuple[str, str], ...] = ()
+    points: tuple[Position, ...] = ()
+
+    @property
+    def length(self) -> int:
+        return max(0, len(self.points) - 1)
+
+    def edges(self) -> list[frozenset[Position]]:
+        return [
+            frozenset((a, b)) for a, b in zip(self.points, self.points[1:])
+        ]
+
+
+@dataclass
+class RoutingResult:
+    """All channels routed, plus congestion metrics."""
+
+    routes: dict[tuple[str, str], Route] = field(default_factory=dict)
+    total_length: int = 0
+    #: channels sharing the most contested grid edge (1 = no overlap).
+    max_congestion: int = 0
+    #: number of grid edges used by 2+ channels.
+    shared_edges: int = 0
+
+    def __len__(self) -> int:
+        return len(self.routes)
+
+
+class ChannelRouter:
+    """Congestion-aware sequential router (cheapest channels first)."""
+
+    def __init__(self, congestion_penalty: float = _CONGESTION_PENALTY):
+        if congestion_penalty < 0:
+            raise SpecificationError("penalty must be >= 0")
+        self.congestion_penalty = congestion_penalty
+
+    def route(
+        self,
+        layout: GridLayout,
+        paths: list[tuple[str, str]],
+    ) -> RoutingResult:
+        """Route every device pair in ``paths`` on ``layout``'s grid."""
+        for a, b in paths:
+            layout.position_of(a)  # raises for unplaced devices
+            layout.position_of(b)
+
+        # Shortest pairs first: long channels route around existing ones.
+        ordered = sorted(
+            paths, key=lambda p: (layout.distance(p[0], p[1]), p)
+        )
+        usage: Counter[frozenset[Position]] = Counter()
+        result = RoutingResult()
+        for dev_a, dev_b in ordered:
+            points = self._dijkstra(
+                layout, layout.position_of(dev_a),
+                layout.position_of(dev_b), usage,
+            )
+            route = Route(path=((dev_a, dev_b),), points=tuple(points))
+            key = (dev_a, dev_b) if dev_a <= dev_b else (dev_b, dev_a)
+            result.routes[key] = route
+            result.total_length += route.length
+            for edge in route.edges():
+                usage[edge] += 1
+
+        if usage:
+            result.max_congestion = max(usage.values())
+            result.shared_edges = sum(1 for c in usage.values() if c > 1)
+        return result
+
+    def _dijkstra(
+        self,
+        layout: GridLayout,
+        start: Position,
+        goal: Position,
+        usage: Counter,
+    ) -> list[Position]:
+        """Cheapest path over grid points; occupied cells (other devices)
+        cost extra to traverse, congested edges cost the penalty."""
+
+        def neighbors(p: Position):
+            for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                q = Position(p.x + dx, p.y + dy)
+                if layout.in_bounds(q):
+                    yield q
+
+        def edge_cost(p: Position, q: Position) -> float:
+            cost = 1.0
+            occupant = layout.occupant(q)
+            if occupant is not None and q != goal:
+                cost += 3.0  # crossing another device's cell
+            cost += self.congestion_penalty * usage[frozenset((p, q))]
+            return cost
+
+        best: dict[Position, float] = {start: 0.0}
+        prev: dict[Position, Position] = {}
+        heap: list[tuple[float, int, Position]] = [(0.0, 0, start)]
+        tie = 0
+        while heap:
+            dist, _, node = heapq.heappop(heap)
+            if node == goal:
+                break
+            if dist > best.get(node, float("inf")):
+                continue
+            for succ in neighbors(node):
+                cand = dist + edge_cost(node, succ)
+                if cand < best.get(succ, float("inf")):
+                    best[succ] = cand
+                    prev[succ] = node
+                    tie += 1
+                    heapq.heappush(heap, (cand, tie, succ))
+        if goal not in best:
+            raise SpecificationError(
+                f"no route from {start} to {goal}"
+            )  # pragma: no cover - grid is always connected
+        points = [goal]
+        while points[-1] != start:
+            points.append(prev[points[-1]])
+        points.reverse()
+        return points
+
+
+def route_chip(placement, paths: "list[tuple[str, str]] | set") -> RoutingResult:
+    """Convenience wrapper: route a placement's channels."""
+    router = ChannelRouter()
+    return router.route(placement.layout, sorted(paths))

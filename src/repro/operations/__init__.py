@@ -1,0 +1,19 @@
+"""Component-oriented operations and assays (Sec. 2.2 of the paper)."""
+
+from .assay import Assay
+from .builder import AssayBuilder
+from .compose import chain, parallel, sequential
+from .duration import Duration, Fixed, Indeterminate
+from .operation import Operation
+
+__all__ = [
+    "Assay",
+    "AssayBuilder",
+    "chain",
+    "parallel",
+    "sequential",
+    "Duration",
+    "Fixed",
+    "Indeterminate",
+    "Operation",
+]

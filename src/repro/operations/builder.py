@@ -1,0 +1,94 @@
+"""Fluent construction API for assays.
+
+Protocol reconstructions (:mod:`repro.assays`) and examples build their DAGs
+through this builder, which keeps uid management and dependency wiring
+readable::
+
+    b = AssayBuilder("pcr")
+    load = b.op("load", minutes=3, capacity="small", accessories=["pump"])
+    heat = b.op("heat", minutes=30, accessories=["heating_pad"], after=[load])
+    read = b.op("read", minutes=2, accessories=["optical_system"], after=[heat])
+    assay = b.build()
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..components.containers import Capacity, ContainerKind
+from ..errors import SpecificationError
+from .assay import Assay
+from .duration import Fixed, Indeterminate
+from .operation import Operation
+
+_CAPACITY_BY_NAME = {c.value: c for c in Capacity}
+_CAPACITY_BY_NAME.update({c.short: c for c in Capacity})
+_KIND_BY_NAME = {k.value: k for k in ContainerKind}
+_KIND_BY_NAME.update({k.short: k for k in ContainerKind})
+
+
+def _parse_capacity(value: "Capacity | str") -> Capacity:
+    if isinstance(value, Capacity):
+        return value
+    try:
+        return _CAPACITY_BY_NAME[value.lower()]
+    except (KeyError, AttributeError):
+        raise SpecificationError(f"unknown capacity {value!r}") from None
+
+
+def _parse_kind(value: "ContainerKind | str | None") -> ContainerKind | None:
+    if value is None or isinstance(value, ContainerKind):
+        return value
+    try:
+        return _KIND_BY_NAME[value.lower()]
+    except (KeyError, AttributeError):
+        raise SpecificationError(f"unknown container kind {value!r}") from None
+
+
+class AssayBuilder:
+    """Incremental assay construction with dependency chaining."""
+
+    def __init__(self, name: str = "assay") -> None:
+        self._assay = Assay(name)
+
+    def op(
+        self,
+        uid: str,
+        minutes: int,
+        *,
+        indeterminate: bool = False,
+        capacity: "Capacity | str" = Capacity.SMALL,
+        container: "ContainerKind | str | None" = None,
+        accessories: Iterable[str] = (),
+        function: str = "",
+        after: Iterable["str | Operation"] = (),
+    ) -> Operation:
+        """Add an operation and wire its parent dependencies in one call.
+
+        ``minutes`` is the exact duration, or the minimum duration when
+        ``indeterminate=True``.  ``after`` accepts uids or Operation objects.
+        """
+        duration = Indeterminate(minutes) if indeterminate else Fixed(minutes)
+        operation = Operation(
+            uid=uid,
+            duration=duration,
+            capacity=_parse_capacity(capacity),
+            container=_parse_kind(container),
+            accessories=frozenset(accessories),
+            function=function,
+        )
+        self._assay.add(operation)
+        for parent in after:
+            parent_uid = parent.uid if isinstance(parent, Operation) else parent
+            self._assay.add_dependency(parent_uid, uid)
+        return operation
+
+    def dependency(self, parent: "str | Operation", child: "str | Operation") -> None:
+        parent_uid = parent.uid if isinstance(parent, Operation) else parent
+        child_uid = child.uid if isinstance(child, Operation) else child
+        self._assay.add_dependency(parent_uid, child_uid)
+
+    def build(self) -> Assay:
+        """Validate and return the assembled assay."""
+        self._assay.validate()
+        return self._assay

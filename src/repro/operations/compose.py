@@ -1,0 +1,111 @@
+"""Assay composition: run protocols side by side or back to back.
+
+Multi-assay chips are routine (the paper's Fig. 1 chip runs three parallel
+sample lanes); these helpers build the combined DAG:
+
+* :func:`parallel` — independent union (one chip, simultaneous protocols);
+* :func:`sequential` — protocol B starts after protocol A finishes: every
+  sink of A feeds every source of B through an explicit handoff edge;
+* :func:`chain` — like :func:`sequential` over many assays.
+
+Uid collisions are resolved by prefixing (``a0.uid``, ``a1.uid``, ...)
+only when needed.
+"""
+
+from __future__ import annotations
+
+from ..errors import SpecificationError
+from .assay import Assay
+from .operation import Operation
+
+
+def _clone_into(
+    target: Assay, source: Assay, prefix: str
+) -> dict[str, str]:
+    """Copy ``source``'s ops/edges into ``target``; returns uid mapping."""
+    mapping: dict[str, str] = {}
+    for op in source:
+        new_uid = f"{prefix}{op.uid}" if prefix else op.uid
+        if new_uid in target:
+            raise SpecificationError(
+                f"uid collision on {new_uid!r}; pass prefixes"
+            )
+        mapping[op.uid] = new_uid
+        target.add(
+            Operation(
+                uid=new_uid,
+                duration=op.duration,
+                capacity=op.capacity,
+                container=op.container,
+                accessories=op.accessories,
+                function=op.function,
+            )
+        )
+    for parent, child in source.edges:
+        target.add_dependency(mapping[parent], mapping[child])
+    return mapping
+
+
+def _prefixes(assays: list[Assay], prefixes: "list[str] | None") -> list[str]:
+    if prefixes is not None:
+        if len(prefixes) != len(assays):
+            raise SpecificationError("one prefix per assay required")
+        return [p if not p or p.endswith(".") else p + "." for p in prefixes]
+    all_uids = [uid for a in assays for uid in a.uids]
+    if len(set(all_uids)) == len(all_uids):
+        return [""] * len(assays)
+    return [f"a{k}." for k in range(len(assays))]
+
+
+def parallel(
+    assays: list[Assay],
+    name: str = "",
+    prefixes: "list[str] | None" = None,
+) -> Assay:
+    """Independent union of protocols on one chip."""
+    if not assays:
+        raise SpecificationError("nothing to compose")
+    out = Assay(name or "+".join(a.name for a in assays))
+    for assay, prefix in zip(assays, _prefixes(assays, prefixes)):
+        _clone_into(out, assay, prefix)
+    out.validate()
+    return out
+
+
+def sequential(
+    first: Assay,
+    second: Assay,
+    name: str = "",
+    prefixes: "list[str] | None" = None,
+) -> Assay:
+    """``second`` starts after ``first``: every sink of ``first`` becomes a
+    parent of every source of ``second`` (the handoff)."""
+    out = Assay(name or f"{first.name}>{second.name}")
+    pre = _prefixes([first, second], prefixes)
+    map_a = _clone_into(out, first, pre[0])
+    map_b = _clone_into(out, second, pre[1])
+    sinks = [map_a[uid] for uid in first.graph.sinks()]
+    sources = [map_b[uid] for uid in second.graph.sources()]
+    for sink in sinks:
+        for source in sources:
+            out.add_dependency(sink, source)
+    out.validate()
+    return out
+
+
+def chain(assays: list[Assay], name: str = "") -> Assay:
+    """Fold :func:`sequential` over ``assays`` (left to right)."""
+    if not assays:
+        raise SpecificationError("nothing to compose")
+    prefixes = [f"s{k}." for k in range(len(assays))]
+    combined = Assay(name or ">".join(a.name for a in assays))
+    previous_sinks: list[str] = []
+    for assay, prefix in zip(assays, prefixes):
+        mapping = _clone_into(combined, assay, prefix)
+        sources = [mapping[uid] for uid in assay.graph.sources()]
+        for sink in previous_sinks:
+            for source in sources:
+                combined.add_dependency(sink, source)
+        previous_sinks = [mapping[uid] for uid in assay.graph.sinks()]
+    combined.validate()
+    return combined

@@ -1,0 +1,74 @@
+"""Operation durations: exact values or indeterminate minimums.
+
+The paper's component-oriented operation definition (Sec. 2.2, attribute b)
+allows the execution duration to be "an accurate value, or specified as
+indeterminate with a minimum duration".  We model this as a small algebraic
+type::
+
+    Fixed(30)           # exactly 30 time units
+    Indeterminate(15)   # at least 15 units; completion decided at run time
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SpecificationError
+
+
+@dataclass(frozen=True)
+class Duration:
+    """Base class; use :class:`Fixed` or :class:`Indeterminate`."""
+
+    minimum: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.minimum, int):
+            raise SpecificationError(
+                f"duration must be an integer number of time units, "
+                f"got {self.minimum!r}"
+            )
+        if self.minimum <= 0:
+            raise SpecificationError(
+                f"duration must be positive, got {self.minimum}"
+            )
+
+    @property
+    def is_indeterminate(self) -> bool:
+        raise NotImplementedError
+
+    @property
+    def scheduled(self) -> int:
+        """The value used in the schedule: the exact duration for fixed
+        operations, the minimum for indeterminate ones (paper eq. (14))."""
+        return self.minimum
+
+
+@dataclass(frozen=True)
+class Fixed(Duration):
+    """An exact, known execution duration."""
+
+    @property
+    def is_indeterminate(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return f"Fixed({self.minimum})"
+
+
+@dataclass(frozen=True)
+class Indeterminate(Duration):
+    """A duration only known to be at least ``minimum``.
+
+    The actual completion is observed at run time (cyberphysical
+    integration); in the hybrid schedule such an operation terminates its
+    layer, and the extra time beyond ``minimum`` appears as a symbolic
+    ``I_k`` term in the makespan.
+    """
+
+    @property
+    def is_indeterminate(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"Indeterminate(>={self.minimum})"

@@ -1,0 +1,31 @@
+"""Hybrid-schedule runtime execution (cyberphysical integration substrate).
+
+The paper's hybrid schedules leave the completion of indeterminate
+operations to run-time decisions.  This package simulates that run time: a
+discrete-event executor plays a :class:`~repro.hls.schedule.HybridSchedule`
+against sampled actual durations, enforcing layer barriers and device
+reservations, and reports the realized makespan (resolving the symbolic
+``I_k`` terms).
+"""
+
+from .actuation import (
+    ControlProgram,
+    ValveAction,
+    ValveEvent,
+    generate_control_program,
+)
+from .events import Event, EventKind, EventLog
+from .executor import ExecutionReport, RetryModel, execute_schedule
+
+__all__ = [
+    "ControlProgram",
+    "ValveAction",
+    "ValveEvent",
+    "generate_control_program",
+    "Event",
+    "EventKind",
+    "EventLog",
+    "ExecutionReport",
+    "RetryModel",
+    "execute_schedule",
+]

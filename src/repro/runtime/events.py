@@ -1,0 +1,52 @@
+"""Event records for the runtime executor."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class EventKind(enum.Enum):
+    OP_START = "op_start"
+    OP_END = "op_end"
+    #: an indeterminate operation finished one (failed) attempt and reruns.
+    OP_RETRY = "op_retry"
+    LAYER_START = "layer_start"
+    LAYER_END = "layer_end"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped runtime event."""
+
+    time: int
+    kind: EventKind
+    uid: str = ""
+    layer: int = -1
+    device: str = ""
+
+    def __str__(self) -> str:
+        subject = self.uid or f"layer {self.layer}"
+        return f"t={self.time:>6} {self.kind.value:<12} {subject}"
+
+
+@dataclass
+class EventLog:
+    """Ordered runtime events with simple query helpers."""
+
+    events: list[Event] = field(default_factory=list)
+
+    def record(self, event: Event) -> None:
+        self.events.append(event)
+
+    def of_kind(self, kind: EventKind) -> list[Event]:
+        return [e for e in self.events if e.kind is kind]
+
+    def for_op(self, uid: str) -> list[Event]:
+        return [e for e in self.events if e.uid == uid]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)

@@ -1,0 +1,60 @@
+"""Time units and duration formatting.
+
+The paper reports execution times in minutes (``m``) and program runtimes in
+minutes+seconds (``5m12s``).  Internally every schedule quantity is an
+integer number of *time units*; by convention one unit is one minute for the
+bioassay benchmarks, but nothing in the synthesis engine depends on the
+physical meaning of a unit.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .errors import SpecificationError
+
+#: Number of seconds represented by one schedule time unit (benchmarks use
+#: minutes).
+SECONDS_PER_UNIT = 60
+
+_DURATION_RE = re.compile(
+    r"^\s*(?:(?P<hours>\d+)\s*h)?\s*(?:(?P<minutes>\d+)\s*m)?\s*(?:(?P<seconds>\d+)\s*s)?\s*$"
+)
+
+
+def parse_duration(text: str) -> int:
+    """Parse a human duration like ``"5m"``, ``"1h30m"`` or ``"90s"``.
+
+    Returns the duration in whole minutes (the benchmark time unit); seconds
+    are rounded up so a nonzero duration never collapses to zero.
+
+    >>> parse_duration("5m")
+    5
+    >>> parse_duration("1h30m")
+    90
+    >>> parse_duration("30s")
+    1
+    """
+    match = _DURATION_RE.match(text)
+    if match is None or not any(match.groupdict().values()):
+        raise SpecificationError(f"cannot parse duration: {text!r}")
+    hours = int(match.group("hours") or 0)
+    minutes = int(match.group("minutes") or 0)
+    seconds = int(match.group("seconds") or 0)
+    total_seconds = hours * 3600 + minutes * 60 + seconds
+    return (total_seconds + 59) // 60
+
+
+def format_minutes(minutes: int | float) -> str:
+    """Format a minute count the way the paper's tables do (``225m``)."""
+    if isinstance(minutes, float) and minutes.is_integer():
+        minutes = int(minutes)
+    return f"{minutes}m"
+
+
+def format_runtime(seconds: float) -> str:
+    """Format a wall-clock runtime like the paper (``5.531s`` / ``5m12s``)."""
+    if seconds < 60:
+        return f"{seconds:.3f}s"
+    whole = int(seconds)
+    return f"{whole // 60}m{whole % 60}s"

@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hls import SynthesisSpec
+from repro.operations import AssayBuilder
+
+
+@pytest.fixture
+def fast_spec() -> SynthesisSpec:
+    """A spec sized for unit tests: small |D|, tight solver budget."""
+    return SynthesisSpec(
+        max_devices=6,
+        threshold=2,
+        time_limit=10.0,
+        max_iterations=1,
+    )
+
+
+@pytest.fixture
+def linear_assay():
+    """Four fixed ops in a chain: load -> mix -> heat -> detect."""
+    b = AssayBuilder("linear")
+    load = b.op("load", 3, container="chamber", function="load")
+    mix = b.op(
+        "mix", 8, container="ring", accessories=["pump"], function="mix",
+        after=[load],
+    )
+    heat = b.op(
+        "heat", 12, accessories=["heating_pad"], function="heat", after=[mix]
+    )
+    b.op(
+        "detect", 2, accessories=["optical_system"], function="detect",
+        after=[heat],
+    )
+    return b.build()
+
+
+@pytest.fixture
+def indeterminate_assay():
+    """Two parallel branches, each ending in work after an indeterminate
+    capture — exercises layering + hybrid scheduling end to end."""
+    b = AssayBuilder("ind")
+    for k in range(2):
+        prep = b.op(f"prep{k}", 4, container="chamber", function="load")
+        cap = b.op(
+            f"capture{k}", 6, indeterminate=True,
+            accessories=["cell_trap"], function="capture", after=[prep],
+        )
+        lyse = b.op(f"lyse{k}", 5, container="chamber", function="lyse",
+                    after=[cap])
+        b.op(f"detect{k}", 3, accessories=["optical_system"],
+             function="detect", after=[lyse])
+    return b.build()
+
+
+@pytest.fixture
+def diamond_assay():
+    """Diamond dependency: one source feeding two middles joining in a sink."""
+    b = AssayBuilder("diamond")
+    src = b.op("src", 5, container="chamber")
+    mid1 = b.op("mid1", 7, container="chamber", after=[src])
+    mid2 = b.op("mid2", 9, container="chamber", after=[src])
+    b.op("sink", 4, container="chamber", after=[mid1, mid2])
+    return b.build()

@@ -1,0 +1,132 @@
+"""Tests for repro.analysis (stats + critical path)."""
+
+import pytest
+
+from repro.analysis import (
+    critical_path,
+    device_utilization,
+    parallelism_profile,
+    schedule_stats,
+)
+from repro.analysis.stats import format_stats
+from repro.hls import synthesize
+from repro.hls.schedule import HybridSchedule, LayerSchedule, OpPlacement
+from repro.operations import AssayBuilder
+
+
+def two_device_schedule() -> HybridSchedule:
+    layer = LayerSchedule(index=0)
+    layer.place(OpPlacement("a", "d0", 0, 6))
+    layer.place(OpPlacement("b", "d1", 0, 3))
+    layer.place(OpPlacement("c", "d1", 3, 3))
+    return HybridSchedule(layers=[layer])
+
+
+class TestDeviceUtilization:
+    def test_busy_times(self):
+        per = {d.device_uid: d for d in device_utilization(two_device_schedule())}
+        assert per["d0"].busy_time == 6
+        assert per["d1"].busy_time == 6
+        assert per["d1"].num_operations == 2
+
+    def test_utilization_fraction(self):
+        per = device_utilization(two_device_schedule())
+        for d in per:
+            assert d.utilization == pytest.approx(1.0)
+
+    def test_empty_schedule(self):
+        assert device_utilization(HybridSchedule()) == []
+
+
+class TestParallelismProfile:
+    def test_profile_counts(self):
+        profile = parallelism_profile(two_device_schedule())
+        assert len(profile) == 6
+        assert profile == [2, 2, 2, 2, 2, 2]
+
+    def test_gap_has_zero(self):
+        layer = LayerSchedule(index=0)
+        layer.place(OpPlacement("a", "d0", 0, 2))
+        layer.place(OpPlacement("b", "d0", 4, 2))
+        profile = parallelism_profile(HybridSchedule(layers=[layer]))
+        assert profile == [1, 1, 0, 0, 1, 1]
+
+    def test_layers_concatenate(self):
+        l0 = LayerSchedule(index=0)
+        l0.place(OpPlacement("a", "d0", 0, 2))
+        l1 = LayerSchedule(index=1)
+        l1.place(OpPlacement("b", "d0", 0, 3))
+        profile = parallelism_profile(HybridSchedule(layers=[l0, l1]))
+        assert len(profile) == 5
+
+
+class TestScheduleStats:
+    def test_aggregates(self):
+        stats = schedule_stats(two_device_schedule())
+        assert stats.fixed_makespan == 6
+        assert stats.num_operations == 3
+        assert stats.num_devices == 2
+        assert stats.peak_parallelism == 2
+        assert stats.balance_ratio == pytest.approx(1.0)
+        assert stats.mean_utilization == pytest.approx(1.0)
+
+    def test_imbalanced_ratio(self):
+        layer = LayerSchedule(index=0)
+        layer.place(OpPlacement("a", "d0", 0, 9))
+        layer.place(OpPlacement("b", "d1", 0, 3))
+        stats = schedule_stats(HybridSchedule(layers=[layer]))
+        assert stats.balance_ratio == pytest.approx(1.5)
+
+    def test_format_contains_devices(self):
+        text = format_stats(schedule_stats(two_device_schedule()))
+        assert "d0" in text and "peak parallelism" in text
+
+    def test_on_synthesized_result(self, indeterminate_assay, fast_spec):
+        result = synthesize(indeterminate_assay, fast_spec)
+        stats = schedule_stats(result.schedule)
+        assert stats.num_operations == len(indeterminate_assay)
+        assert stats.num_devices == result.num_devices
+        assert 0 < stats.mean_utilization <= 1
+
+
+class TestCriticalPath:
+    def chain(self):
+        b = AssayBuilder("cp")
+        a = b.op("a", 5)
+        c = b.op("c", 7, after=[a])
+        b.op("d", 2, after=[c])
+        b.op("side", 10)
+        return b.build()
+
+    def test_longest_chain(self):
+        cp = critical_path(self.chain())
+        assert cp.uids == ("a", "c", "d")
+        assert cp.length == 14
+
+    def test_transport_extends(self):
+        cp = critical_path(
+            self.chain(),
+            edge_transport={("a", "c"): 4, ("c", "d"): 4},
+        )
+        assert cp.length_with_transport == 22
+
+    def test_transport_can_change_winner(self):
+        b = AssayBuilder("w")
+        a = b.op("a", 5)
+        b.op("c", 5, after=[a])
+        b.op("solo", 11)
+        cp = critical_path(b.build(), edge_transport={("a", "c"): 10})
+        assert cp.uids == ("a", "c")
+        assert cp.length_with_transport == 20
+
+    def test_single_op(self):
+        b = AssayBuilder("s")
+        b.op("only", 9)
+        cp = critical_path(b.build())
+        assert cp.uids == ("only",)
+        assert cp.length == 9
+
+    def test_schedule_dominates_critical_path(self, linear_assay, fast_spec):
+        result = synthesize(linear_assay, fast_spec)
+        cp = critical_path(linear_assay, result.edge_transport)
+        assert result.fixed_makespan >= cp.length_with_transport

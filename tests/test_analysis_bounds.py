@@ -1,0 +1,84 @@
+"""Tests for makespan lower bounds (repro.analysis.bounds) and the
+result-JSON schedule round-trip."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.bounds import makespan_bounds
+from repro.hls import SynthesisSpec, synthesize
+from repro.hls.validate import collect_violations
+from repro.io import save_result
+from repro.io.json_io import load_schedule, result_to_json, schedule_from_json
+from repro.errors import SerializationError
+from repro.operations import AssayBuilder
+
+
+class TestMakespanBounds:
+    def test_bounds_never_exceed_makespan(self, indeterminate_assay, fast_spec):
+        result = synthesize(indeterminate_assay, fast_spec)
+        report = makespan_bounds(result)
+        for layer_bound in report.layers:
+            assert layer_bound.bound <= layer_bound.makespan
+            assert 0 <= layer_bound.gap <= 1
+        assert report.total_bound <= report.total_makespan
+
+    def test_serial_chain_gap_zero(self):
+        """A pure chain on one device: the critical path IS the makespan
+        when the ILP proves optimality."""
+        b = AssayBuilder("chain")
+        prev = None
+        for k in range(4):
+            prev = b.op(f"o{k}", 5, container="chamber",
+                        after=[prev] if prev else [])
+        spec = SynthesisSpec(max_devices=2, time_limit=15, max_iterations=1)
+        result = synthesize(b.build(), spec)
+        report = makespan_bounds(result)
+        assert report.total_gap == pytest.approx(0.0)
+
+    def test_work_bound_bites_under_contention(self):
+        """Many identical parallel ops on few devices: the work bound
+        dominates the (trivial) critical path."""
+        b = AssayBuilder("contend")
+        for k in range(6):
+            b.op(f"p{k}", 10, container="chamber")
+        spec = SynthesisSpec(max_devices=2, time_limit=15, max_iterations=0)
+        result = synthesize(b.build(), spec)
+        report = makespan_bounds(result)
+        (layer,) = report.layers
+        assert layer.work_bound == 30  # 60 work / 2 devices
+        assert layer.work_bound > layer.critical_path_bound
+        assert layer.makespan >= 30
+
+    def test_empty_gap_handling(self):
+        from repro.analysis.bounds import LayerBound
+
+        bound = LayerBound(0, 0, 0, 0)
+        assert bound.gap == 0.0
+
+
+class TestScheduleRoundTrip:
+    def test_reload_matches(self, indeterminate_assay, fast_spec, tmp_path):
+        result = synthesize(indeterminate_assay, fast_spec)
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        reloaded = load_schedule(path)
+        assert reloaded.fixed_makespan == result.fixed_makespan
+        assert reloaded.binding == result.schedule.binding
+        assert reloaded.makespan_expression() == result.makespan_expression
+
+    def test_reloaded_schedule_revalidates(
+        self, indeterminate_assay, fast_spec
+    ):
+        result = synthesize(indeterminate_assay, fast_spec)
+        reloaded = schedule_from_json(result_to_json(result))
+        replayed = dataclasses.replace(result, schedule=reloaded)
+        assert collect_violations(replayed) == []
+
+    def test_malformed_rejected(self):
+        with pytest.raises(SerializationError):
+            schedule_from_json({"layers": [{"bogus": True}]})
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_schedule(tmp_path / "nope.json")

@@ -1,0 +1,54 @@
+"""Tests for cross-layer storage analysis (repro.analysis.storage)."""
+
+from repro.analysis import storage_report
+from repro.hls import synthesize
+from repro.operations import AssayBuilder
+
+
+class TestStorageReport:
+    def test_no_indeterminate_no_storage(self, linear_assay, fast_spec):
+        result = synthesize(linear_assay, fast_spec)
+        report = storage_report(result)
+        assert report.total_crossings == 0
+        assert report.peak_demand == 0
+
+    def test_crossing_edges_counted(self, indeterminate_assay, fast_spec):
+        result = synthesize(indeterminate_assay, fast_spec)
+        report = storage_report(result)
+        # capture{0,1} -> lyse{0,1} cross the single boundary.
+        assert report.total_crossings == 2
+        assert len(report.at_boundary(0)) == 2
+
+    def test_held_in_place_when_same_device(self, fast_spec):
+        b = AssayBuilder("hold")
+        cap = b.op("cap", 4, indeterminate=True, container="chamber")
+        b.op("next", 3, container="chamber", after=[cap])
+        result = synthesize(b.build(), fast_spec)
+        report = storage_report(result)
+        binding = result.schedule.binding
+        (reagent,) = report.reagents
+        assert reagent.held_in_place == (binding["cap"] == binding["next"])
+        if reagent.held_in_place:
+            assert report.demand(0) == 0
+
+    def test_multi_boundary_spanning(self, fast_spec):
+        # Producer in layer 0, consumer two layers later: the reagent is
+        # buffered across both boundaries.
+        b = AssayBuilder("span")
+        src = b.op("src", 3, container="chamber")
+        g1 = b.op("g1", 2, indeterminate=True, after=[src])
+        mid = b.op("mid", 2, container="chamber", after=[g1])
+        g2 = b.op("g2", 2, indeterminate=True, after=[mid])
+        b.op("late", 2, container="chamber", after=[g2, "src"])
+        import dataclasses
+
+        spec = dataclasses.replace(fast_spec, threshold=1)
+        result = synthesize(b.build(), spec)
+        report = storage_report(result)
+        src_late = [
+            r for r in report.reagents
+            if (r.producer, r.consumer) == ("src", "late")
+        ]
+        layer_src = result.layering.layer_of["src"]
+        layer_late = result.layering.layer_of["late"]
+        assert len(src_late) == layer_late - layer_src

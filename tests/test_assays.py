@@ -1,0 +1,155 @@
+"""Tests for the benchmark assay reconstructions (repro.assays)."""
+
+import pytest
+
+from repro.assays import (
+    benchmark_assay,
+    gene_expression_assay,
+    kinase_assay,
+    random_assay,
+    rtqpcr_assay,
+)
+from repro.assays.gene_expression import (
+    PAPER_NUM_INDETERMINATE as GE_IND,
+    PAPER_NUM_OPS as GE_OPS,
+)
+from repro.assays.kinase import (
+    PAPER_NUM_INDETERMINATE as KIN_IND,
+    PAPER_NUM_OPS as KIN_OPS,
+)
+from repro.assays.rtqpcr import (
+    PAPER_NUM_INDETERMINATE as RT_IND,
+    PAPER_NUM_OPS as RT_OPS,
+)
+from repro.components import ContainerKind
+from repro.layering import layer_assay
+
+
+class TestPaperCounts:
+    """Operation counts must match Table 2's #Op / #Ind.Op columns."""
+
+    def test_case1_counts(self):
+        assay = kinase_assay()
+        assert len(assay) == KIN_OPS == 16
+        assert assay.num_indeterminate == KIN_IND == 0
+
+    def test_case2_counts(self):
+        assay = gene_expression_assay()
+        assert len(assay) == GE_OPS == 70
+        assert assay.num_indeterminate == GE_IND == 10
+
+    def test_case3_counts(self):
+        assay = rtqpcr_assay()
+        assert len(assay) == RT_OPS == 120
+        assert assay.num_indeterminate == RT_IND == 20
+
+    def test_benchmark_accessor(self):
+        assert len(benchmark_assay(1)) == 16
+        with pytest.raises(ValueError):
+            benchmark_assay(9)
+
+
+class TestProtocolContent:
+    def test_kinase_mixes_without_mixer(self):
+        """The paper's Fig. 2 motivation: flow-reversal mixing happens in a
+        sieve-valve chamber, not a ring."""
+        assay = kinase_assay()
+        mix = assay["mix_flow_reversal#0"]
+        assert mix.container is ContainerKind.CHAMBER
+        assert "sieve_valve" in mix.accessories
+        assert mix.function == "mix"
+
+    def test_gene_expression_capture_in_mixer(self):
+        """The paper's Fig. 1 motivation: cell isolation bound to a ring
+        mixer (cell-separation module)."""
+        assay = gene_expression_assay()
+        cap = assay["capture_cell#0"]
+        assert cap.is_indeterminate
+        assert cap.container is ContainerKind.RING
+        assert "pump" in cap.accessories
+
+    def test_rtqpcr_needs_precise_heating(self):
+        assay = rtqpcr_assay()
+        qpcr = assay["qpcr#0"]
+        assert {"heating_pad", "optical_system"} <= qpcr.accessories
+
+    def test_all_valid_dags(self):
+        for case in (1, 2, 3):
+            benchmark_assay(case).validate()
+
+    def test_layering_shapes_match_table2(self):
+        # Case 2: one indeterminate layer -> +I_1.
+        ge = layer_assay(gene_expression_assay(), threshold=10)
+        ind_layers = [l for l in ge.layers if l.indeterminate_uids]
+        assert len(ind_layers) == 1
+        # Case 3: two indeterminate layers -> +I_1+I_2.
+        rt = layer_assay(rtqpcr_assay(), threshold=10)
+        ind_layers = [l for l in rt.layers if l.indeterminate_uids]
+        assert len(ind_layers) == 2
+
+    def test_scalable_replication(self):
+        assert len(gene_expression_assay(cells=3)) == 21
+        assert len(rtqpcr_assay(cells=5)) == 30
+        assert len(kinase_assay(samples=4)) == 32
+
+
+class TestChipAssay:
+    """The 4th (extension) workload: chromatin immunoprecipitation."""
+
+    def test_counts(self):
+        from repro.assays import chip_assay
+
+        assay = chip_assay(samples=4)
+        assert len(assay) == 36
+        assert assay.num_indeterminate == 4
+        assay.validate()
+
+    def test_wash_dominated(self):
+        from repro.assays import chip_assay
+        from repro.baselines import classify_by_function
+
+        groups = classify_by_function(chip_assay(samples=1))
+        # Washing (incl. purification) is the largest functional class.
+        wash_count = len(groups.get("wash", []))
+        assert wash_count >= max(
+            len(ops) for fn, ops in groups.items() if fn != "wash"
+        )
+
+    def test_binding_is_indeterminate_with_optics(self):
+        from repro.assays import chip_assay
+
+        assay = chip_assay(samples=1)
+        bind = assay["bind_chromatin#0"]
+        assert bind.is_indeterminate
+        assert "optical_system" in bind.accessories
+        assert "sieve_valve" in bind.accessories
+
+    def test_layering_single_indeterminate_layer(self):
+        from repro.assays import chip_assay
+
+        result = layer_assay(chip_assay(samples=4), threshold=10)
+        ind_layers = [l for l in result.layers if l.indeterminate_uids]
+        assert len(ind_layers) == 1
+
+
+class TestRandomGenerator:
+    def test_deterministic(self):
+        a = random_assay(15, seed=7)
+        b = random_assay(15, seed=7)
+        assert a.uids == b.uids
+        assert a.edges == b.edges
+
+    def test_counts(self):
+        assay = random_assay(30, seed=1)
+        assert len(assay) == 30
+        assay.validate()
+
+    def test_indeterminate_fraction_zero(self):
+        assay = random_assay(20, seed=2, indeterminate_fraction=0.0)
+        assert assay.num_indeterminate == 0
+
+    def test_edges_forward_only(self):
+        assay = random_assay(25, seed=3, edge_probability=0.4)
+        order = {uid: i for i, uid in enumerate(assay.uids)}
+        for parent, child in assay.edges:
+            assert order[parent] < order[child]

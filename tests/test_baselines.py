@@ -1,0 +1,87 @@
+"""Tests for the conventional baseline (repro.baselines)."""
+
+import dataclasses
+
+from repro.baselines import (
+    classify_by_function,
+    classify_by_signature,
+    conventional_spec,
+    synthesize_conventional,
+)
+from repro.baselines.types import signature_label
+from repro.devices import BindingMode
+from repro.hls import SynthesisSpec, synthesize
+from repro.operations import AssayBuilder
+
+
+class TestClassification:
+    def build(self):
+        b = AssayBuilder("c")
+        b.op("m1", 5, container="ring", accessories=["pump"], function="mix")
+        b.op("m2", 5, container="ring", accessories=["pump"], function="mix")
+        b.op("h1", 5, accessories=["heating_pad"], function="heat")
+        b.op("x", 5, function="")
+        return b.build()
+
+    def test_by_function(self):
+        groups = classify_by_function(self.build())
+        assert len(groups["mix"]) == 2
+        assert len(groups["heat"]) == 1
+        assert len(groups["(unspecified)"]) == 1
+
+    def test_by_signature(self):
+        groups = classify_by_signature(self.build())
+        assert len(groups) == 3  # m1/m2 share; h1 and x distinct
+        sizes = sorted(len(ops) for ops in groups.values())
+        assert sizes == [1, 1, 2]
+
+    def test_signature_label(self):
+        assay = self.build()
+        label = signature_label(assay["m1"].requirement_signature())
+        assert "ring" in label and "pump" in label
+
+    def test_label_for_open_container(self):
+        assay = self.build()
+        label = signature_label(assay["x"].requirement_signature())
+        assert label.startswith("any/")
+
+
+class TestConventionalSynthesis:
+    def test_spec_flips_mode_only(self, fast_spec):
+        conv = conventional_spec(fast_spec)
+        assert conv.binding_mode is BindingMode.EXACT
+        assert conv.max_devices == fast_spec.max_devices
+        assert conv.weights == fast_spec.weights
+
+    def test_conventional_never_beats_ours_on_reuse(self, fast_spec):
+        """A rich op + a poor op with nested requirements: the
+        component-oriented method shares one device, the conventional
+        method must build two — the paper's central claim in miniature."""
+        b = AssayBuilder("nested")
+        rich = b.op("rich", 6, container="ring",
+                    accessories=["pump", "sieve_valve"])
+        b.op("poor", 6, container="ring", accessories=["pump"], after=[rich])
+        assay = b.build()
+
+        ours = synthesize(assay, fast_spec)
+        conv = synthesize_conventional(assay, fast_spec)
+        assert ours.num_devices < conv.num_devices
+        assert ours.fixed_makespan <= conv.fixed_makespan
+
+    def test_conventional_validates(self, indeterminate_assay, fast_spec):
+        result = synthesize_conventional(indeterminate_assay, fast_spec)
+        result.validate()  # raises on any violation
+        assert result.spec.binding_mode is BindingMode.EXACT
+
+    def test_identical_requirements_behave_identically(self, fast_spec):
+        """When every op has the same signature, EXACT == COVER."""
+        b = AssayBuilder("uniform")
+        prev = None
+        for k in range(4):
+            prev = b.op(f"o{k}", 4, container="chamber",
+                        after=[prev] if prev else [])
+        assay = b.build()
+        ours = synthesize(assay, fast_spec)
+        conv = synthesize_conventional(assay, fast_spec)
+        assert ours.fixed_makespan == conv.fixed_makespan
+        assert ours.num_devices == conv.num_devices

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io import save_assay
+from repro.operations import AssayBuilder
+
+
+@pytest.fixture
+def assay_file(tmp_path):
+    b = AssayBuilder("cli-demo")
+    cap = b.op("cap", 4, indeterminate=True, accessories=["cell_trap"])
+    b.op("detect", 2, accessories=["optical_system"], after=[cap])
+    path = tmp_path / "assay.json"
+    save_assay(b.build(), path)
+    return path
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for cmd in ("synthesize", "layer", "table2", "table3", "demo"):
+            args = parser.parse_args(
+                [cmd] if cmd in ("table2", "table3", "demo")
+                else [cmd, "x.json"]
+            )
+            assert args.command == cmd
+
+    def test_spec_arguments(self):
+        args = build_parser().parse_args(
+            ["synthesize", "a.json", "--max-devices", "7",
+             "--threshold", "3", "--backend", "highs"]
+        )
+        assert args.max_devices == 7
+        assert args.threshold == 3
+        assert args.backend == "highs"
+
+
+class TestCommands:
+    def test_layer_command(self, assay_file, capsys):
+        assert main(["layer", str(assay_file)]) == 0
+        out = capsys.readouterr().out
+        assert "2 layer(s)" in out
+        assert "cap" in out
+
+    def test_synthesize_command(self, assay_file, capsys, tmp_path):
+        out_file = tmp_path / "result.json"
+        code = main([
+            "synthesize", str(assay_file),
+            "--max-devices", "4", "--time-limit", "5",
+            "--max-iterations", "0", "--gantt", "--out", str(out_file),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "execution time" in out
+        assert "+I_1" in out
+        assert "hybrid schedule" in out
+        report = json.loads(out_file.read_text())
+        assert report["assay"] == "cli-demo"
+
+    def test_synthesize_conventional_flag(self, assay_file, capsys):
+        code = main([
+            "synthesize", str(assay_file), "--conventional",
+            "--max-devices", "4", "--time-limit", "5",
+            "--max-iterations", "0",
+        ])
+        assert code == 0
+
+    def test_missing_file_graceful(self, capsys, tmp_path):
+        code = main(["synthesize", str(tmp_path / "none.json")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,56 @@
+"""Tests for the analysis/layout CLI subcommands (stats, dot, place)."""
+
+import pytest
+
+from repro.cli import main
+from repro.io import save_assay
+from repro.operations import AssayBuilder
+
+
+@pytest.fixture
+def assay_file(tmp_path):
+    b = AssayBuilder("cli-extra")
+    x = b.op("x", 3, container="ring", accessories=["pump"])
+    y = b.op("y", 4, indeterminate=True, accessories=["cell_trap"], after=[x])
+    b.op("z", 2, accessories=["optical_system"], after=[y])
+    path = tmp_path / "assay.json"
+    save_assay(b.build(), path)
+    return path
+
+
+FAST_ARGS = ["--time-limit", "5", "--max-iterations", "0",
+             "--max-devices", "5"]
+
+
+class TestStatsCommand:
+    def test_outputs_metrics(self, assay_file, capsys):
+        assert main(["stats", str(assay_file)] + FAST_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "peak parallelism" in out
+        assert "storage crossings" in out
+
+
+class TestDotCommand:
+    def test_assay_view(self, assay_file, capsys):
+        assert main(["dot", str(assay_file)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert '"x" -> "y"' in out
+
+    def test_assay_view_with_layers(self, assay_file, capsys):
+        assert main(["dot", str(assay_file), "--layers"]) == 0
+        assert "cluster_layer" in capsys.readouterr().out
+
+    def test_chip_view(self, assay_file, capsys):
+        assert main(
+            ["dot", str(assay_file), "--view", "chip"] + FAST_ARGS
+        ) == 0
+        out = capsys.readouterr().out
+        assert "neato" in out
+
+
+class TestPlaceCommand:
+    def test_grid_printed(self, assay_file, capsys):
+        assert main(["place", str(assay_file), "--seed", "3"] + FAST_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "weighted channel length" in out or "nothing to place" in out

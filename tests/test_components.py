@@ -1,0 +1,144 @@
+"""Tests for repro.components (containers, accessories, cost model)."""
+
+import pytest
+
+from repro.components import (
+    Accessory,
+    AccessoryRegistry,
+    Capacity,
+    ContainerKind,
+    CostModel,
+    allowed_capacities,
+    standard_registry,
+)
+from repro.components.containers import check_container, kinds_for_capacity
+from repro.components.costs import default_cost_model
+from repro.errors import SpecificationError
+
+
+class TestContainers:
+    def test_ring_capacities(self):
+        assert allowed_capacities(ContainerKind.RING) == (
+            Capacity.LARGE, Capacity.MEDIUM, Capacity.SMALL,
+        )
+
+    def test_chamber_capacities(self):
+        assert allowed_capacities(ContainerKind.CHAMBER) == (
+            Capacity.MEDIUM, Capacity.SMALL, Capacity.TINY,
+        )
+
+    def test_ring_tiny_illegal(self):
+        with pytest.raises(SpecificationError):
+            check_container(ContainerKind.RING, Capacity.TINY)
+
+    def test_chamber_large_illegal(self):
+        with pytest.raises(SpecificationError):
+            check_container(ContainerKind.CHAMBER, Capacity.LARGE)
+
+    def test_legal_combination_passes(self):
+        check_container(ContainerKind.RING, Capacity.MEDIUM)  # no raise
+
+    def test_kinds_for_shared_capacity(self):
+        kinds = kinds_for_capacity(Capacity.SMALL)
+        assert set(kinds) == {ContainerKind.RING, ContainerKind.CHAMBER}
+
+    def test_kinds_for_exclusive_capacities(self):
+        assert kinds_for_capacity(Capacity.LARGE) == (ContainerKind.RING,)
+        assert kinds_for_capacity(Capacity.TINY) == (ContainerKind.CHAMBER,)
+
+    def test_capacity_rank_ordering(self):
+        assert Capacity.LARGE.rank > Capacity.MEDIUM.rank
+        assert Capacity.MEDIUM.rank > Capacity.SMALL.rank
+        assert Capacity.SMALL.rank > Capacity.TINY.rank
+
+    def test_short_codes(self):
+        assert ContainerKind.RING.short == "r"
+        assert ContainerKind.CHAMBER.short == "ch"
+        assert Capacity.LARGE.short == "l"
+
+
+class TestAccessoryRegistry:
+    def test_standard_registry_has_five(self):
+        reg = standard_registry()
+        assert len(reg) == 5
+        assert "pump" in reg and "cell_trap" in reg
+
+    def test_register_new(self):
+        reg = standard_registry()
+        reg.register(Accessory("electrode_array", "e", "DEP electrodes"))
+        assert "electrode_array" in reg
+        assert len(reg) == 6
+
+    def test_register_idempotent(self):
+        reg = standard_registry()
+        pump = reg.get("pump")
+        assert reg.register(pump) is pump
+
+    def test_conflicting_redefinition_rejected(self):
+        reg = standard_registry()
+        with pytest.raises(SpecificationError):
+            reg.register(Accessory("pump", "q", "different pump"))
+
+    def test_duplicate_short_code_rejected(self):
+        reg = standard_registry()
+        with pytest.raises(SpecificationError):
+            reg.register(Accessory("pressurizer", "p"))
+
+    def test_unknown_lookup(self):
+        with pytest.raises(SpecificationError):
+            standard_registry().get("warp_drive")
+
+    def test_uppercase_name_rejected(self):
+        with pytest.raises(SpecificationError):
+            Accessory("Pump", "x")
+
+    def test_copy_is_independent(self):
+        reg = standard_registry()
+        clone = reg.copy()
+        clone.register(Accessory("valve_matrix", "v"))
+        assert "valve_matrix" not in reg
+
+
+class TestCostModel:
+    def test_defaults_cover_all_legal_combos(self):
+        costs = default_cost_model()
+        for kind in ContainerKind:
+            for cap in allowed_capacities(kind):
+                assert costs.container_area(kind, cap) > 0
+                assert costs.container_cost(kind, cap) > 0
+
+    def test_ring_costs_more_than_chamber(self):
+        costs = default_cost_model()
+        for cap in (Capacity.MEDIUM, Capacity.SMALL):
+            assert costs.container_area(ContainerKind.RING, cap) > \
+                costs.container_area(ContainerKind.CHAMBER, cap)
+
+    def test_larger_capacity_costs_more(self):
+        costs = default_cost_model()
+        assert costs.container_area(ContainerKind.RING, Capacity.LARGE) > \
+            costs.container_area(ContainerKind.RING, Capacity.SMALL)
+
+    def test_unknown_accessory_uses_default(self):
+        costs = default_cost_model()
+        assert costs.accessory_cost("novel_gadget") == \
+            costs.default_accessory_processing
+
+    def test_known_accessory_costs(self):
+        costs = default_cost_model()
+        assert costs.accessory_cost("optical_system") == 5.0
+
+    def test_illegal_combo_query(self):
+        costs = default_cost_model()
+        with pytest.raises(SpecificationError):
+            costs.container_area(ContainerKind.RING, Capacity.TINY)
+
+    def test_incomplete_table_rejected(self):
+        with pytest.raises(SpecificationError):
+            CostModel(area={})
+
+    def test_negative_cost_rejected(self):
+        costs = default_cost_model()
+        bad_area = dict(costs.area)
+        bad_area[(ContainerKind.RING, Capacity.SMALL)] = -1
+        with pytest.raises(SpecificationError):
+            CostModel(area=bad_area)

@@ -1,0 +1,72 @@
+"""Tests for control-layer estimation (repro.components.control)."""
+
+from repro.components import Capacity, ContainerKind
+from repro.components.control import (
+    ControlEstimate,
+    chip_control,
+    device_control,
+)
+from repro.devices import GeneralDevice
+from repro.hls import synthesize
+from repro.operations import AssayBuilder
+
+
+def device(kind=ContainerKind.CHAMBER, accessories=()):
+    capacity = Capacity.SMALL
+    return GeneralDevice("d", kind, capacity, frozenset(accessories))
+
+
+class TestDeviceControl:
+    def test_bare_chamber(self):
+        est = device_control(device())
+        assert est.valves == 2
+        assert est.control_ports == 1
+
+    def test_bare_ring(self):
+        est = device_control(device(ContainerKind.RING))
+        assert est.valves == 4
+
+    def test_rotary_mixer(self):
+        # ring + pump: 4 isolation/separation + 3 peristaltic valves.
+        est = device_control(device(ContainerKind.RING, ["pump"]))
+        assert est.valves == 7
+        assert est.control_ports == 4  # 1 isolation + 3 pump phases
+
+    def test_sieve_column(self):
+        est = device_control(device(accessories=["sieve_valve"]))
+        assert est.valves == 4  # 2 isolation + 2 sieve
+        assert est.control_ports == 2
+
+    def test_electrical_accessories_no_valves(self):
+        est = device_control(
+            device(accessories=["heating_pad", "optical_system"])
+        )
+        assert est.valves == 2  # isolation only
+        assert est.control_ports == 3
+
+    def test_unknown_accessory_conservative(self):
+        est = device_control(device(accessories=["dep_electrodes"]))
+        assert est.valves == 3
+        assert est.control_ports == 2
+
+    def test_estimates_add(self):
+        total = ControlEstimate(2, 1) + ControlEstimate(5, 3)
+        assert (total.valves, total.control_ports) == (7, 4)
+
+
+class TestChipControl:
+    def test_counts_devices_and_paths(self, fast_spec):
+        b = AssayBuilder("cc")
+        a = b.op("a", 4, container="ring", accessories=["pump"])
+        b.op("b", 4, accessories=["heating_pad"], after=[a])
+        result = synthesize(b.build(), fast_spec)
+
+        est = chip_control(result)
+        expected = ControlEstimate(0, 0)
+        for dev in result.devices.values():
+            expected = expected + device_control(dev)
+        expected = expected + ControlEstimate(
+            2 * result.num_paths, result.num_paths
+        )
+        assert est == expected
+        assert est.valves >= 7  # at least the mixer

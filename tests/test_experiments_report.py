@@ -1,0 +1,85 @@
+"""Tests for the experiment report formatting (repro.experiments)."""
+
+from repro.experiments.report import format_table2, format_table3
+from repro.experiments.table2 import PAPER_TABLE2, Table2Row
+from repro.experiments.table3 import PAPER_TABLE3, Table3Row
+
+
+def make_row(case=1, method="Our", exe="94m", devices=4, paths=2):
+    return Table2Row(
+        case=case,
+        method=method,
+        num_ops=16,
+        num_indeterminate=0,
+        exe_time=exe,
+        fixed_makespan=94,
+        num_devices=devices,
+        num_paths=paths,
+        runtime_seconds=12.5,
+        layer_statuses=["optimal"],
+    )
+
+
+class TestTable2Format:
+    def test_columns_present(self):
+        text = format_table2([make_row()])
+        assert "Exe.Time" in text and "#D." in text and "#P." in text
+        assert "94m" in text and "12.5" in text
+
+    def test_paper_rows_interleaved(self):
+        text = format_table2([make_row()], include_paper=True)
+        assert "(paper)" in text
+        assert "220m" in text  # paper's case-1 Our value
+
+    def test_paper_rows_suppressed(self):
+        text = format_table2([make_row()], include_paper=False)
+        assert "(paper)" not in text
+
+    def test_conv_maps_to_conv_paper_row(self):
+        text = format_table2([make_row(method="Conv.")])
+        assert "225m" in text
+
+    def test_row_columns_tuple(self):
+        row = make_row()
+        assert row.columns[0] == 1
+        assert row.columns[2] == "94m"
+
+
+class TestTable3Format:
+    def test_improvements(self):
+        row = Table3Row(case=2, exe_times=[295, 247, 244],
+                        devices=[21, 21, 21])
+        imps = row.improvements
+        assert imps[0] == (295 - 247) / 295
+        assert row.total_improvement == (295 - 244) / 295
+
+    def test_format_includes_paper(self):
+        row = Table3Row(case=2, exe_times=[300, 250], devices=[20, 20])
+        text = format_table3([row])
+        assert "295m" in text  # paper initial
+        assert "300m" in text and "250m" in text
+
+    def test_short_history_padded(self):
+        row = Table3Row(case=3, exe_times=[641], devices=[24])
+        text = format_table3([row])
+        assert "-" in text
+
+    def test_zero_history_improvement(self):
+        row = Table3Row(case=2, exe_times=[], devices=[])
+        assert row.total_improvement == 0.0
+
+
+class TestPaperConstants:
+    def test_paper_table2_complete(self):
+        for case in (1, 2, 3):
+            assert set(PAPER_TABLE2[case]) == {"conv", "ours"}
+            for exe, devices, paths in PAPER_TABLE2[case].values():
+                assert exe.endswith("m") or "+I_" in exe
+                assert devices > 0 and paths > 0
+
+    def test_paper_table3_shape(self):
+        for case in (2, 3):
+            exe = PAPER_TABLE3[case]["exe"]
+            assert exe[0] > exe[1] > exe[2]  # monotone improvement
+            devices = PAPER_TABLE3[case]["devices"]
+            assert len(set(devices)) == 1  # flat device counts

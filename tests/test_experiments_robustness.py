@@ -1,0 +1,73 @@
+"""Tests for the Monte-Carlo robustness harness."""
+
+import pytest
+
+from repro.experiments.robustness import (
+    hybrid_advantage,
+    simulate_makespans,
+    static_worst_case,
+)
+from repro.hls import synthesize
+from repro.runtime import RetryModel
+
+
+class TestSimulateMakespans:
+    def test_deterministic_for_seed(self, indeterminate_assay, fast_spec):
+        result = synthesize(indeterminate_assay, fast_spec)
+        d1 = simulate_makespans(result, runs=20, seed=5)
+        d2 = simulate_makespans(result, runs=20, seed=5)
+        assert d1 == d2
+
+    def test_bounds_ordering(self, indeterminate_assay, fast_spec):
+        result = synthesize(indeterminate_assay, fast_spec)
+        dist = simulate_makespans(result, runs=50, seed=1)
+        assert result.fixed_makespan <= dist.best <= dist.median
+        assert dist.median <= dist.p95 <= dist.worst
+        assert dist.mean_extra >= 0
+
+    def test_perfect_capture_degenerate(self, indeterminate_assay, fast_spec):
+        result = synthesize(indeterminate_assay, fast_spec)
+        dist = simulate_makespans(
+            result, RetryModel(success_probability=1.0), runs=10
+        )
+        assert dist.best == dist.worst == result.fixed_makespan
+        assert dist.retry_rate == 0.0
+
+    def test_retry_rate_increases_with_difficulty(
+        self, indeterminate_assay, fast_spec
+    ):
+        result = synthesize(indeterminate_assay, fast_spec)
+        easy = simulate_makespans(
+            result, RetryModel(success_probability=0.95), runs=60, seed=2
+        )
+        hard = simulate_makespans(
+            result, RetryModel(success_probability=0.2), runs=60, seed=2
+        )
+        assert hard.retry_rate >= easy.retry_rate
+        assert hard.mean >= easy.mean
+
+
+class TestStaticComparison:
+    def test_static_worst_case_dominates_simulation(
+        self, indeterminate_assay, fast_spec
+    ):
+        result = synthesize(indeterminate_assay, fast_spec)
+        retry = RetryModel(success_probability=0.5, max_attempts=6)
+        static = static_worst_case(result, retry)
+        dist = simulate_makespans(result, retry, runs=100, seed=3)
+        assert static >= dist.worst
+
+    def test_no_indeterminate_no_advantage(self, linear_assay, fast_spec):
+        result = synthesize(linear_assay, fast_spec)
+        assert static_worst_case(result) == result.fixed_makespan
+        assert hybrid_advantage(result, runs=5) == pytest.approx(0.0)
+
+    def test_advantage_positive_with_indeterminate(
+        self, indeterminate_assay, fast_spec
+    ):
+        result = synthesize(indeterminate_assay, fast_spec)
+        advantage = hybrid_advantage(
+            result, RetryModel(success_probability=0.53, max_attempts=10),
+            runs=100, seed=4,
+        )
+        assert 0 < advantage < 1

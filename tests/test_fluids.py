@@ -1,0 +1,144 @@
+"""Tests for the fluid-volume substrate (repro.fluids)."""
+
+import pytest
+
+from repro.components import Capacity
+from repro.errors import SpecificationError
+from repro.fluids import (
+    VolumeModel,
+    VolumeSpec,
+    capacity_for_volume,
+    check_volumes,
+    volume_range,
+)
+from repro.operations import AssayBuilder
+
+
+class TestCapacityForVolume:
+    @pytest.mark.parametrize(
+        "volume,expected",
+        [
+            (0.0, Capacity.TINY),
+            (4.9, Capacity.TINY),
+            (5.0, Capacity.SMALL),
+            (24.9, Capacity.SMALL),
+            (25.0, Capacity.MEDIUM),
+            (99.0, Capacity.MEDIUM),
+            (100.0, Capacity.LARGE),
+            (499.0, Capacity.LARGE),
+        ],
+    )
+    def test_boundaries(self, volume, expected):
+        assert capacity_for_volume(volume) is expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(SpecificationError):
+            capacity_for_volume(-1)
+
+    def test_oversized_rejected(self):
+        with pytest.raises(SpecificationError):
+            capacity_for_volume(10_000)
+
+    def test_ranges_tile(self):
+        previous_hi = 0.0
+        for cap in (Capacity.TINY, Capacity.SMALL, Capacity.MEDIUM,
+                    Capacity.LARGE):
+            lo, hi = volume_range(cap)
+            assert lo == previous_hi
+            previous_hi = hi
+
+
+class TestVolumeModel:
+    def test_custom_ranges(self):
+        model = VolumeModel(ranges={
+            Capacity.TINY: (0, 1),
+            Capacity.SMALL: (1, 10),
+            Capacity.MEDIUM: (10, 50),
+            Capacity.LARGE: (50, 1000),
+        })
+        assert model.capacity_for(700) is Capacity.LARGE
+        assert model.max_volume(Capacity.SMALL) == 10
+
+    def test_gap_rejected(self):
+        with pytest.raises(SpecificationError):
+            VolumeModel(ranges={
+                Capacity.TINY: (0, 1),
+                Capacity.SMALL: (2, 10),  # gap at [1, 2)
+                Capacity.MEDIUM: (10, 50),
+                Capacity.LARGE: (50, 100),
+            })
+
+    def test_missing_class_rejected(self):
+        with pytest.raises(SpecificationError):
+            VolumeModel(ranges={Capacity.TINY: (0, 1)})
+
+
+class TestVolumeSpec:
+    def test_fraction_bounds(self):
+        with pytest.raises(SpecificationError):
+            VolumeSpec(consumes={"p": 0.0})
+        with pytest.raises(SpecificationError):
+            VolumeSpec(consumes={"p": 1.5})
+
+    def test_negative_volumes(self):
+        with pytest.raises(SpecificationError):
+            VolumeSpec(fresh_input=-1)
+
+
+class TestCheckVolumes:
+    def chain(self):
+        b = AssayBuilder("vol")
+        src = b.op("src", 3, capacity="medium")
+        b.op("split_a", 3, capacity="small", after=[src])
+        b.op("split_b", 3, capacity="small", after=[src])
+        return b.build()
+
+    def specs(self, frac_a=0.5, frac_b=0.5, src_out=40.0):
+        return {
+            "src": VolumeSpec(fresh_input=40.0, output=src_out),
+            "split_a": VolumeSpec(consumes={"src": frac_a}, output=10.0),
+            "split_b": VolumeSpec(consumes={"src": frac_b}, output=10.0),
+        }
+
+    def test_consistent_protocol_ok(self):
+        result = check_volumes(self.chain(), self.specs())
+        assert result.ok
+        assert result.working_volume["src"] == pytest.approx(40.0)
+        assert result.working_volume["split_a"] == pytest.approx(20.0)
+
+    def test_overconsumption_detected(self):
+        result = check_volumes(self.chain(), self.specs(0.8, 0.8))
+        assert any("consume 1.60x" in e for e in result.errors)
+
+    def test_capacity_overflow_detected(self):
+        # split_a is small (max 25 nl) but would take 0.9*40 = 36 nl.
+        result = check_volumes(self.chain(), self.specs(0.9, 0.1))
+        assert any("exceeds its small container" in e for e in result.errors)
+
+    def test_oversized_declaration_warns(self):
+        b = AssayBuilder("w")
+        b.op("tinywork", 2, capacity="large")
+        result = check_volumes(
+            b.build(), {"tinywork": VolumeSpec(fresh_input=1.0, output=1.0)}
+        )
+        assert result.ok
+        assert any("tiny would suffice" in w for w in result.warnings)
+
+    def test_missing_spec(self):
+        result = check_volumes(self.chain(), {})
+        assert not result.ok
+        assert len(result.errors) == 3
+
+    def test_missing_consume_fraction(self):
+        specs = self.specs()
+        specs["split_a"] = VolumeSpec(output=10.0)  # forgot consumes
+        result = check_volumes(self.chain(), specs)
+        assert any("no consume fraction" in e for e in result.errors)
+
+    def test_phantom_consume(self):
+        specs = self.specs()
+        specs["src"] = VolumeSpec(
+            fresh_input=40.0, output=40.0, consumes={"ghost": 0.5}
+        )
+        result = check_volumes(self.chain(), specs)
+        assert any("without a dependency" in e for e in result.errors)

@@ -1,0 +1,77 @@
+"""Additional rendering tests: Gantt edge cases and ILP status helpers."""
+
+import pytest
+
+from repro.hls.schedule import HybridSchedule, LayerSchedule, OpPlacement
+from repro.ilp import Model, SolveStatus
+from repro.ilp.status import Solution
+from repro.io import render_gantt
+
+
+class TestGanttEdgeCases:
+    def test_empty_schedule(self):
+        text = render_gantt(HybridSchedule())
+        assert "hybrid schedule" in text
+
+    def test_empty_layer(self):
+        sched = HybridSchedule(layers=[LayerSchedule(index=0)])
+        text = render_gantt(sched)
+        assert "layer 0" in text
+
+    def test_tiny_op_still_visible(self):
+        layer = LayerSchedule(index=0)
+        layer.place(OpPlacement("blink", "d0", 0, 1))
+        layer.place(OpPlacement("long", "d0", 1, 500))
+        text = render_gantt(HybridSchedule(layers=[layer]), width=50)
+        assert "=" in text
+        assert "blink@0" in text
+
+    def test_labels_disabled(self):
+        layer = LayerSchedule(index=0)
+        layer.place(OpPlacement("op", "d0", 0, 5))
+        text = render_gantt(
+            HybridSchedule(layers=[layer]), labels=False
+        )
+        assert "op@0" not in text
+
+    def test_indeterminate_tail_extends(self):
+        layer = LayerSchedule(index=0)
+        layer.place(OpPlacement("fixed", "d0", 0, 20))
+        layer.place(OpPlacement("cap", "d1", 0, 5, indeterminate=True))
+        text = render_gantt(HybridSchedule(layers=[layer]), labels=False)
+        # the cap row is hatched to the end of the layer window
+        cap_row = next(l for l in text.splitlines() if l.startswith("      d1"))
+        assert cap_row.rstrip().endswith("~|")
+
+
+class TestSolveStatusHelpers:
+    @pytest.mark.parametrize(
+        "status,expected",
+        [
+            (SolveStatus.OPTIMAL, True),
+            (SolveStatus.FEASIBLE, True),
+            (SolveStatus.INFEASIBLE, False),
+            (SolveStatus.UNBOUNDED, False),
+            (SolveStatus.TIMEOUT, False),
+        ],
+    )
+    def test_has_solution(self, status, expected):
+        assert status.has_solution is expected
+
+    def test_int_value_rejects_fractional(self):
+        m = Model()
+        x = m.continuous("x", lb=0, ub=1)
+        solution = Solution(
+            status=SolveStatus.OPTIMAL, objective=0.5, values={x: 0.5}
+        )
+        with pytest.raises(ValueError):
+            solution.int_value(x)
+
+    def test_int_value_rounds_close(self):
+        m = Model()
+        x = m.integer("x", lb=0, ub=5)
+        solution = Solution(
+            status=SolveStatus.OPTIMAL, objective=3.0,
+            values={x: 2.9999999},
+        )
+        assert solution.int_value(x) == 3

@@ -1,0 +1,71 @@
+"""Cross-check our Edmonds–Karp against networkx on random networks.
+
+networkx is available in the test environment (not a runtime dependency of
+the library); random DAG-ish flow networks are generated per seed and both
+implementations must agree on the max-flow value.
+"""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import FlowNetwork, max_flow_min_cut
+
+
+def random_network(seed: int, n_nodes: int, density: float):
+    rng = random.Random(seed)
+    ours = FlowNetwork()
+    theirs = nx.DiGraph()
+    nodes = [f"n{i}" for i in range(n_nodes)]
+    ours.add_node("s")
+    ours.add_node("t")
+    theirs.add_node("s")
+    theirs.add_node("t")
+    all_nodes = ["s"] + nodes + ["t"]
+    for i, src in enumerate(all_nodes):
+        for dst in all_nodes[i + 1 :]:
+            if rng.random() < density:
+                cap = rng.randint(1, 10)
+                ours.add_edge(src, dst, cap)
+                if theirs.has_edge(src, dst):
+                    theirs[src][dst]["capacity"] += cap
+                else:
+                    theirs.add_edge(src, dst, capacity=cap)
+    return ours, theirs
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n_nodes=st.integers(1, 8),
+    density=st.floats(0.1, 0.9),
+)
+def test_max_flow_matches_networkx(seed, n_nodes, density):
+    ours, theirs = random_network(seed, n_nodes, density)
+    cut = max_flow_min_cut(ours, "s", "t")
+    reference, _ = nx.maximum_flow(theirs, "s", "t")
+    assert cut.value == reference
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 5000))
+def test_min_cut_sides_are_certificates(seed):
+    """Both reported cuts (max-source-side and min-sink-side) must have
+    crossing capacity equal to the flow value."""
+    ours, _ = random_network(seed, 6, 0.5)
+    cut = max_flow_min_cut(ours, "s", "t")
+
+    def crossing(source_side):
+        return sum(
+            ours.capacity(u, v)
+            for u in source_side
+            for v in ours.neighbors(u)
+            if v not in source_side
+        )
+
+    assert crossing(cut.source_side) == pytest.approx(cut.value)
+    complement = set(ours.nodes) - set(cut.sink_side_minimal)
+    assert crossing(complement) == pytest.approx(cut.value)

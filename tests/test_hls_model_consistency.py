@@ -1,0 +1,80 @@
+"""Whole-model consistency: solved layer models satisfy their own
+constraints, and the decoder agrees with the model's objective terms."""
+
+import itertools
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.assays import random_assay
+from repro.hls import SynthesisSpec
+from repro.hls.decode import decode_layer_solution
+from repro.hls.milp_model import LayerProblem, build_layer_model
+from repro.hls.synthesizer import layer_cost
+from repro.layering import layer_assay
+
+COUNTER = itertools.count(5000)
+
+
+def fresh_uid():
+    return f"c{next(COUNTER)}"
+
+
+def first_layer_problem(assay, spec):
+    layering = layer_assay(assay, spec.threshold)
+    layer = layering.layers[0]
+    uids = set(layer.uids)
+    ops = [assay[uid] for uid in layer.uids]
+    edges = [(p, c) for p, c in assay.edges if p in uids and c in uids]
+    transport = {e: spec.transport_default for e in edges}
+    release = {
+        op.uid: max((transport[e] for e in edges if e[0] == op.uid),
+                    default=0)
+        for op in ops
+    }
+    return LayerProblem(
+        layer_index=0,
+        ops=ops,
+        in_layer_edges=edges,
+        edge_transport=transport,
+        release=release,
+        fixed_devices=[],
+        free_slots=min(spec.max_devices, len(ops)),
+    )
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 400), num_ops=st.integers(2, 7))
+def test_solution_satisfies_every_constraint(seed, num_ops):
+    """`Model.check` over the solver's own values must be clean — catches
+    matrix-export bugs where the solver solves a different model than the
+    one we built."""
+    assay = random_assay(num_ops, seed=seed, indeterminate_fraction=0.25,
+                         max_duration=9)
+    spec = SynthesisSpec(max_devices=num_ops + 1, threshold=3, time_limit=8)
+    problem = first_layer_problem(assay, spec)
+    layer_model = build_layer_model(problem, spec)
+    solution = layer_model.model.solve(time_limit=spec.time_limit)
+    assert solution.status.has_solution
+    assert layer_model.model.check(solution.values) == []
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 300), num_ops=st.integers(2, 6))
+def test_decoder_cost_matches_model_objective(seed, num_ops):
+    """layer_cost(decoded) == the ILP's objective value (same weighting on
+    both sides of the greedy-vs-ILP race)."""
+    assay = random_assay(num_ops, seed=seed, indeterminate_fraction=0.0,
+                         max_duration=9, edge_probability=0.2)
+    spec = SynthesisSpec(max_devices=num_ops + 1, threshold=3, time_limit=8)
+    problem = first_layer_problem(assay, spec)
+    layer_model = build_layer_model(problem, spec)
+    solution = layer_model.model.solve(time_limit=spec.time_limit)
+    assert solution.status.name == "OPTIMAL"
+    decoded = decode_layer_solution(layer_model, solution, fresh_uid)
+    assert layer_cost(decoded, problem, spec) == pytest.approx(
+        solution.objective, abs=1e-4
+    )

@@ -1,0 +1,124 @@
+"""Tests for repro.hls.schedule (placements, layer/hybrid schedules)."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.hls.schedule import HybridSchedule, LayerSchedule, OpPlacement
+
+
+def layer_with(*placements: OpPlacement, index: int = 0) -> LayerSchedule:
+    layer = LayerSchedule(index=index)
+    for p in placements:
+        layer.place(p)
+    return layer
+
+
+class TestOpPlacement:
+    def test_end(self):
+        p = OpPlacement("o", "d", start=3, duration=4)
+        assert p.end == 7
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SchedulingError):
+            OpPlacement("o", "d", start=-1, duration=2)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(SchedulingError):
+            OpPlacement("o", "d", start=0, duration=0)
+
+
+class TestLayerSchedule:
+    def test_makespan(self):
+        layer = layer_with(
+            OpPlacement("a", "d0", 0, 5),
+            OpPlacement("b", "d1", 3, 4),
+        )
+        assert layer.makespan == 7
+
+    def test_duplicate_place_rejected(self):
+        layer = layer_with(OpPlacement("a", "d0", 0, 1))
+        with pytest.raises(SchedulingError):
+            layer.place(OpPlacement("a", "d1", 1, 1))
+
+    def test_indeterminate_listing(self):
+        layer = layer_with(
+            OpPlacement("a", "d0", 0, 5),
+            OpPlacement("i", "d1", 2, 3, indeterminate=True),
+        )
+        assert layer.indeterminate_uids == ["i"]
+        assert layer.has_indeterminate
+
+    def test_on_device_sorted(self):
+        layer = layer_with(
+            OpPlacement("late", "d0", 9, 1),
+            OpPlacement("early", "d0", 1, 1),
+            OpPlacement("other", "d1", 0, 1),
+        )
+        assert [p.uid for p in layer.on_device("d0")] == ["early", "late"]
+
+    def test_missing_lookup(self):
+        with pytest.raises(SchedulingError):
+            layer_with()["ghost"]
+
+    def test_empty_layer_makespan(self):
+        assert layer_with().makespan == 0
+
+
+class TestHybridSchedule:
+    def build(self) -> HybridSchedule:
+        l0 = layer_with(
+            OpPlacement("a", "d0", 0, 10),
+            OpPlacement("i", "d1", 5, 5, indeterminate=True),
+            index=0,
+        )
+        l1 = layer_with(OpPlacement("b", "d0", 0, 7), index=1)
+        return HybridSchedule(layers=[l0, l1])
+
+    def test_fixed_makespan_sums_layers(self):
+        assert self.build().fixed_makespan == 17
+
+    def test_makespan_expression(self):
+        assert self.build().makespan_expression() == "17m+I_1"
+
+    def test_expression_no_indeterminate(self):
+        sched = HybridSchedule(
+            layers=[layer_with(OpPlacement("a", "d0", 0, 4))]
+        )
+        assert sched.makespan_expression() == "4m"
+
+    def test_find(self):
+        index, placement = self.build().find("b")
+        assert index == 1 and placement.device_uid == "d0"
+
+    def test_find_missing(self):
+        with pytest.raises(SchedulingError):
+            self.build().find("zz")
+
+    def test_binding_across_layers(self):
+        binding = self.build().binding
+        assert binding == {"a": "d0", "i": "d1", "b": "d0"}
+
+    def test_used_devices(self):
+        assert self.build().used_devices() == {"d0", "d1"}
+
+    def test_transportation_paths(self):
+        paths = self.build().transportation_paths([("a", "i"), ("i", "b")])
+        assert paths == {("d0", "d1")}
+
+    def test_paths_same_device_excluded(self):
+        paths = self.build().transportation_paths([("a", "b")])
+        assert paths == set()
+
+    def test_global_start(self):
+        offset, terms = self.build().global_start("b")
+        assert offset == 10  # layer 0 makespan
+        assert terms == 1  # one indeterminate tail before layer 1
+
+    def test_multiple_terms_expression(self):
+        l0 = layer_with(OpPlacement("i0", "d0", 0, 3, indeterminate=True))
+        l1 = layer_with(
+            OpPlacement("i1", "d0", 0, 4, indeterminate=True), index=1
+        )
+        l2 = layer_with(OpPlacement("z", "d0", 0, 2), index=2)
+        sched = HybridSchedule(layers=[l0, l1, l2])
+        assert sched.makespan_expression() == "9m+I_1+I_2"

@@ -1,0 +1,131 @@
+"""End-to-end tests for repro.hls.synthesizer (+ validator integration)."""
+
+import dataclasses
+
+import pytest
+
+from repro.devices import BindingMode
+from repro.errors import ValidationError
+from repro.hls import SynthesisSpec, synthesize
+from repro.hls.validate import collect_violations
+from repro.operations import AssayBuilder
+
+
+class TestSynthesizeBasics:
+    def test_linear_assay_serial_schedule(self, linear_assay, fast_spec):
+        result = synthesize(linear_assay, fast_spec)
+        assert result.schedule.layers[0].makespan >= sum(
+            op.duration.scheduled for op in linear_assay
+        )  # strictly serial chain + transports
+        assert result.num_devices >= 1
+        assert collect_violations(result) == []
+
+    def test_indeterminate_layers(self, indeterminate_assay, fast_spec):
+        result = synthesize(indeterminate_assay, fast_spec)
+        assert result.layering.num_layers == 2
+        assert result.makespan_expression.endswith("+I_1")
+        assert collect_violations(result) == []
+
+    def test_history_records_iterations(self, linear_assay, fast_spec):
+        result = synthesize(linear_assay, fast_spec)
+        assert result.history[0].label == "Initial"
+        assert len(result.history) >= 1
+        assert all(r.fixed_makespan > 0 for r in result.history)
+
+    def test_best_pass_selected(self, indeterminate_assay, fast_spec):
+        spec = dataclasses.replace(fast_spec, max_iterations=2)
+        result = synthesize(indeterminate_assay, spec)
+        assert result.fixed_makespan == min(
+            r.fixed_makespan for r in result.history
+        )
+
+    def test_devices_within_cap(self, diamond_assay, fast_spec):
+        result = synthesize(diamond_assay, fast_spec)
+        assert result.num_devices <= fast_spec.max_devices
+
+    def test_paths_recorded(self, diamond_assay, fast_spec):
+        result = synthesize(diamond_assay, fast_spec)
+        assert result.paths == result.schedule.transportation_paths(
+            diamond_assay.edges
+        )
+
+    def test_runtime_positive(self, linear_assay, fast_spec):
+        result = synthesize(linear_assay, fast_spec)
+        assert result.runtime > 0
+
+
+class TestBindingModes:
+    def test_cover_beats_exact_on_overlap(self, fast_spec):
+        """COVER reuses a rich device for a poorer op; EXACT cannot —
+        the Fig. 6 phenomenon in miniature."""
+        b = AssayBuilder("overlap")
+        rich = b.op("rich", 5, container="ring",
+                    accessories=["pump", "sieve_valve"])
+        b.op("poor", 5, container="ring", accessories=["pump"],
+             after=[rich])
+        assay = b.build()
+
+        ours = synthesize(assay, fast_spec)
+        conv = synthesize(
+            assay,
+            dataclasses.replace(fast_spec, binding_mode=BindingMode.EXACT),
+        )
+        assert ours.num_devices == 1
+        assert conv.num_devices == 2
+        assert ours.num_paths == 0
+        assert conv.num_paths == 1
+
+    def test_exact_mode_validates(self, linear_assay, fast_spec):
+        spec = dataclasses.replace(
+            fast_spec, binding_mode=BindingMode.EXACT
+        )
+        result = synthesize(linear_assay, spec)
+        assert collect_violations(result) == []
+
+
+class TestProgressiveResynthesis:
+    def test_fig6_scenario(self, fast_spec):
+        """Paper Fig. 6: o2 (chamber-or-ring, sieve) in an early layer,
+        o1 (ring + sieve + pump) in a later layer.  The first pass builds a
+        chamber for o2 and a ring for o1; re-synthesis lets o2 see the ring
+        and fold into it."""
+        b = AssayBuilder("fig6")
+        o2 = b.op("o2", 5, accessories=["sieve_valve"])
+        gate = b.op("gate", 4, indeterminate=True, after=[o2])
+        b.op("o1", 5, container="ring",
+             accessories=["sieve_valve", "pump"], after=[gate])
+        assay = b.build()
+
+        spec = dataclasses.replace(fast_spec, max_iterations=2, max_devices=4)
+        result = synthesize(assay, spec)
+        assert collect_violations(result) == []
+        # After re-synthesis at most 2 devices live: the ring (shared by
+        # o1/o2 across layers) and the gate's device.
+        assert result.num_devices <= 2
+
+    def test_improvement_non_negative_overall(self, indeterminate_assay, fast_spec):
+        spec = dataclasses.replace(fast_spec, max_iterations=3)
+        result = synthesize(indeterminate_assay, spec)
+        first = result.history[0].fixed_makespan
+        assert result.fixed_makespan <= first
+
+
+class TestValidatorCatchesCorruption:
+    def test_tampered_start_detected(self, linear_assay, fast_spec):
+        result = synthesize(linear_assay, fast_spec)
+        # Corrupt: shift one op to overlap its parent.
+        layer = result.schedule.layers[0]
+        placement = layer["mix"]
+        object.__setattr__(placement, "start", 0)
+        violations = collect_violations(result)
+        assert violations
+        with pytest.raises(ValidationError):
+            result.validate()
+
+    def test_tampered_binding_detected(self, indeterminate_assay, fast_spec):
+        result = synthesize(indeterminate_assay, fast_spec)
+        layer = result.schedule.layers[0]
+        ind = [p for p in layer.placements.values() if p.indeterminate]
+        if len(ind) >= 2:
+            object.__setattr__(ind[0], "device_uid", ind[1].device_uid)
+            assert collect_violations(result)

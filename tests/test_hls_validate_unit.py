@@ -1,0 +1,132 @@
+"""Direct unit tests for the independent validator (repro.hls.validate).
+
+The integration tests exercise the validator through real synthesis runs;
+here we fabricate minimal SynthesisResult objects and inject one specific
+violation at a time, checking the validator names it (and nothing else).
+"""
+
+import pytest
+
+from repro.components import Capacity, ContainerKind
+from repro.devices import BindingMode, GeneralDevice
+from repro.hls import SynthesisSpec
+from repro.hls.schedule import HybridSchedule, LayerSchedule, OpPlacement
+from repro.hls.synthesizer import SynthesisResult
+from repro.hls.validate import collect_violations
+from repro.layering import layer_assay
+from repro.operations import AssayBuilder
+
+
+def build_assay():
+    b = AssayBuilder("v")
+    p = b.op("p", 3, container="chamber")
+    g = b.op("g", 2, indeterminate=True, accessories=["cell_trap"],
+             after=[p])
+    b.op("c", 2, container="chamber", after=[g])
+    return b.build()
+
+
+def chamber(uid):
+    return GeneralDevice(uid, ContainerKind.CHAMBER, Capacity.SMALL,
+                         frozenset({"cell_trap"}))
+
+
+def valid_result(**overrides):
+    assay = build_assay()
+    layering = layer_assay(assay, threshold=2)
+    l0 = LayerSchedule(index=0)
+    l0.place(OpPlacement("p", "d0", 0, 3))
+    l0.place(OpPlacement("g", "d1", 3, 2, indeterminate=True))
+    l1 = LayerSchedule(index=1)
+    l1.place(OpPlacement("c", "d0", 0, 2))
+    schedule = HybridSchedule(layers=[l0, l1])
+    fields = dict(
+        assay=assay,
+        spec=SynthesisSpec(max_devices=4),
+        layering=layering,
+        schedule=schedule,
+        devices={"d0": chamber("d0"), "d1": chamber("d1")},
+        paths={("d0", "d1")},
+        edge_transport={("p", "g"): 0, ("g", "c"): 0},
+    )
+    fields.update(overrides)
+    return SynthesisResult(**fields)
+
+
+class TestValidResult:
+    def test_clean(self):
+        assert collect_violations(valid_result()) == []
+
+
+class TestSingleViolations:
+    def test_missing_operation(self):
+        result = valid_result()
+        del result.schedule.layers[1].placements["c"]
+        violations = collect_violations(result)
+        assert any("never placed" in v for v in violations)
+
+    def test_wrong_layer(self):
+        result = valid_result()
+        layer1 = result.schedule.layers[1]
+        placement = layer1.placements.pop("c")
+        result.schedule.layers[0].place(placement)
+        violations = collect_violations(result)
+        assert any("layering assigned" in v for v in violations)
+
+    def test_unknown_device(self):
+        result = valid_result()
+        del result.devices["d1"]
+        violations = collect_violations(result)
+        assert any("unknown device" in v for v in violations)
+
+    def test_illegal_binding(self):
+        # d1 lacks the chamber requirement? Make a ring device instead.
+        ring = GeneralDevice("d0", ContainerKind.RING, Capacity.SMALL,
+                             frozenset({"cell_trap"}))
+        result = valid_result(devices={"d0": ring, "d1": chamber("d1")})
+        violations = collect_violations(result)
+        assert any("illegally bound" in v for v in violations)
+
+    def test_device_cap_exceeded(self):
+        result = valid_result(spec=SynthesisSpec(max_devices=1))
+        violations = collect_violations(result)
+        assert any("exceed |D|" in v for v in violations)
+
+    def test_dependency_transport_violated(self):
+        result = valid_result(edge_transport={("p", "g"): 5, ("g", "c"): 0})
+        violations = collect_violations(result)
+        assert any("transport 5" in v for v in violations)
+
+    def test_paths_mismatch(self):
+        result = valid_result(paths=set())
+        violations = collect_violations(result)
+        assert any("paths mismatch" in v for v in violations)
+
+    def test_overlap_on_device(self):
+        result = valid_result()
+        object.__setattr__(
+            result.schedule.layers[0].placements["g"], "device_uid", "d0"
+        )
+        object.__setattr__(
+            result.schedule.layers[0].placements["g"], "start", 1
+        )
+        result.paths = result.schedule.transportation_paths(
+            result.assay.edges
+        )
+        violations = collect_violations(result)
+        assert any("overlaps" in v for v in violations)
+
+    def test_rule14_violated(self):
+        # Make the fixed op start after the indeterminate minimum end.
+        result = valid_result()
+        object.__setattr__(
+            result.schedule.layers[0].placements["g"], "start", 0
+        )
+        # g now ends (min) at 2; p starting at 0..3: set p to start at 3.
+        object.__setattr__(
+            result.schedule.layers[0].placements["p"], "start", 3
+        )
+        violations = collect_violations(result)
+        assert any("minimum completion" in v for v in violations)
+        # (the dependency p->g is now also broken; both reported)
+        assert any("starts at" in v for v in violations)

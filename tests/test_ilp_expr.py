@@ -1,0 +1,109 @@
+"""Tests for the ILP expression layer (repro.ilp.expr)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.ilp import LinExpr, Model
+from repro.ilp.model import Constraint
+
+
+@pytest.fixture
+def model():
+    return Model("t")
+
+
+class TestVariableArithmetic:
+    def test_add_variables(self, model):
+        x, y = model.binary("x"), model.binary("y")
+        expr = x + y
+        assert expr.terms[x] == 1 and expr.terms[y] == 1
+
+    def test_scalar_multiplication(self, model):
+        x = model.binary("x")
+        expr = 3 * x
+        assert expr.terms[x] == 3
+
+    def test_subtraction(self, model):
+        x, y = model.binary("x"), model.binary("y")
+        expr = x - y
+        assert expr.terms[y] == -1
+
+    def test_negation(self, model):
+        x = model.binary("x")
+        assert (-x).terms[x] == -1
+
+    def test_rsub(self, model):
+        x = model.binary("x")
+        expr = 5 - x
+        assert expr.constant == 5 and expr.terms[x] == -1
+
+    def test_constant_folding(self, model):
+        x = model.binary("x")
+        expr = x + 2 + 3
+        assert expr.constant == 5
+
+    def test_coefficient_accumulation(self, model):
+        x = model.binary("x")
+        expr = x + x + x
+        assert expr.terms[x] == 3
+
+    def test_multiply_by_expr_rejected(self, model):
+        x, y = model.binary("x"), model.binary("y")
+        with pytest.raises(ModelError):
+            x._expr() * y._expr()  # type: ignore[operator]
+
+
+class TestLinExprSum:
+    def test_sum_mixed(self, model):
+        x, y = model.binary("x"), model.binary("y")
+        expr = LinExpr.sum([x, 2 * y, 7])
+        assert expr.terms[x] == 1
+        assert expr.terms[y] == 2
+        assert expr.constant == 7
+
+    def test_sum_empty(self):
+        expr = LinExpr.sum([])
+        assert expr.terms == {} and expr.constant == 0
+
+    def test_sum_rejects_strings(self):
+        with pytest.raises(ModelError):
+            LinExpr.sum(["nope"])  # type: ignore[list-item]
+
+
+class TestComparisons:
+    def test_le_builds_constraint(self, model):
+        x = model.binary("x")
+        con = x + 1 <= 3
+        assert isinstance(con, Constraint)
+        assert con.sense == "<=" and con.rhs == 2
+
+    def test_ge_normalizes_constant(self, model):
+        x = model.binary("x")
+        con = x - 2 >= 0
+        assert con.sense == ">=" and con.rhs == 2
+
+    def test_eq_builds_constraint(self, model):
+        x, y = model.binary("x"), model.binary("y")
+        con = x + y == 1
+        assert con.sense == "==" and con.rhs == 1
+
+    def test_var_compared_to_var(self, model):
+        x, y = model.binary("x"), model.binary("y")
+        con = x >= y
+        assert con.coefficient(x) == 1 and con.coefficient(y) == -1
+
+
+class TestEvaluation:
+    def test_value(self, model):
+        x, y = model.binary("x"), model.binary("y")
+        expr = 2 * x + 3 * y + 1
+        assert expr.value({x: 1, y: 0}) == 3
+
+    def test_value_missing_variable(self, model):
+        x = model.binary("x")
+        with pytest.raises(ModelError):
+            (x + 1).value({})
+
+    def test_repr_contains_names(self, model):
+        x = model.binary("cost")
+        assert "cost" in repr(x + 1)

@@ -1,0 +1,172 @@
+"""Tests for the MILP presolve (repro.ilp.presolve) and LP export."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ilp import Model, SolveStatus
+from repro.ilp.lpformat import model_to_lp, write_lp
+from repro.ilp.presolve import presolve
+
+
+class TestPresolveReductions:
+    def test_singleton_row_folds_into_bounds(self):
+        m = Model()
+        x = m.integer("x", lb=0, ub=100)
+        m.add(2 * x <= 9)
+        result = presolve(m.to_standard_form())
+        assert not result.infeasible
+        assert result.rows_removed == 1
+        j = x.index
+        assert result.form.var_upper[j] == pytest.approx(4)  # floor(4.5)
+
+    def test_redundant_row_dropped(self):
+        m = Model()
+        x = m.binary("x")
+        y = m.binary("y")
+        m.add(x + y <= 5)  # always true for binaries
+        result = presolve(m.to_standard_form())
+        assert result.rows_removed == 1
+
+    def test_activity_tightening(self):
+        m = Model()
+        x = m.integer("x", lb=0, ub=10)
+        y = m.integer("y", lb=0, ub=10)
+        m.add(x + y <= 3)
+        result = presolve(m.to_standard_form())
+        assert result.form.var_upper[x.index] <= 3
+        assert result.form.var_upper[y.index] <= 3
+
+    def test_infeasible_bounds(self):
+        m = Model()
+        x = m.integer("x", lb=0, ub=5)
+        m.add(x >= 7)
+        assert presolve(m.to_standard_form()).infeasible
+
+    def test_infeasible_row(self):
+        m = Model()
+        x = m.binary("x")
+        y = m.binary("y")
+        m.add(x + y >= 3)
+        assert presolve(m.to_standard_form()).infeasible
+
+    def test_integer_rounding_inward(self):
+        m = Model()
+        x = m.integer("x", lb=0, ub=10)
+        m.add(3 * x >= 4)  # x >= 4/3 -> x >= 2
+        result = presolve(m.to_standard_form())
+        assert result.form.var_lower[x.index] == pytest.approx(2)
+
+    def test_continuous_not_rounded(self):
+        m = Model()
+        x = m.continuous("x", lb=0, ub=10)
+        m.add(3 * x >= 4)
+        result = presolve(m.to_standard_form())
+        assert result.form.var_lower[x.index] == pytest.approx(4 / 3)
+
+    def test_empty_contradictory_row(self):
+        m = Model()
+        m.binary("x")
+        from repro.ilp.model import Constraint
+        from repro.ilp.expr import LinExpr
+
+        m.constraints.append(Constraint(LinExpr(), ">=", 1))
+        assert presolve(m.to_standard_form()).infeasible
+
+
+class TestPresolveInBnb:
+    def test_presolve_detects_infeasible_fast(self):
+        m = Model()
+        xs = [m.binary(f"x{i}") for i in range(10)]
+        from repro.ilp.expr import LinExpr
+
+        m.add(LinExpr.sum(xs) >= 11)
+        sol = m.solve(backend="bnb")
+        assert sol.status is SolveStatus.INFEASIBLE
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_presolve_preserves_optimum(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        m = Model()
+        xs = [m.integer(f"x{i}", lb=0, ub=rng.randint(1, 6)) for i in range(4)]
+        from repro.ilp.expr import LinExpr
+
+        for _ in range(3):
+            coeffs = [rng.randint(-2, 3) for _ in xs]
+            m.add(
+                LinExpr.sum(c * x for c, x in zip(coeffs, xs))
+                <= rng.randint(2, 10)
+            )
+        m.minimize(
+            LinExpr.sum(rng.randint(-4, 4) * x for x in xs)
+        )
+        from repro.ilp.bnb import solve_bnb
+
+        with_pre = solve_bnb(m, use_presolve=True)
+        without = solve_bnb(m, use_presolve=False)
+        assert with_pre.status == without.status
+        if with_pre.status.has_solution:
+            assert with_pre.objective == pytest.approx(
+                without.objective, abs=1e-6
+            )
+
+
+class TestLpFormat:
+    def build(self):
+        m = Model("demo")
+        x = m.binary("od[a,('slot', 0)]")
+        y = m.integer("st[a]", lb=0, ub=50)
+        m.add(x + 2 * y >= 3, name="dep[a->b]")
+        m.minimize(5 * x + y + 7)
+        return m, x, y
+
+    def test_sections_present(self):
+        m, _, _ = self.build()
+        text = model_to_lp(m)
+        for section in ("Minimize", "Subject To", "Bounds", "End"):
+            assert section in text
+
+    def test_names_sanitized(self):
+        m, _, _ = self.build()
+        text = model_to_lp(m)
+        assert "[" not in text.split("\n", 1)[1]
+        assert "(" not in text.split("\n", 1)[1]
+
+    def test_constant_objective_encoded(self):
+        m, _, _ = self.build()
+        text = model_to_lp(m)
+        assert "const_one" in text
+        assert "fix_const: const_one = 1" in text
+
+    def test_binaries_and_generals_listed(self):
+        m, _, _ = self.build()
+        text = model_to_lp(m)
+        assert "Binaries" in text
+        assert "Generals" in text
+
+    def test_write_to_file(self, tmp_path):
+        m, _, _ = self.build()
+        path = tmp_path / "model.lp"
+        write_lp(m, path)
+        assert path.read_text().startswith("\\ model demo")
+
+    def test_maximize_header(self):
+        m = Model(sense="max")
+        x = m.binary("x")
+        m.maximize(x)
+        assert "Maximize" in model_to_lp(m)
+
+    def test_duplicate_sanitized_names_disambiguated(self):
+        m = Model()
+        a = m.binary("v[1]")
+        b = m.binary("v(1)")
+        m.add(a + b <= 1)
+        text = model_to_lp(m)
+        # both variables must appear with distinct names
+        bounds = [l for l in text.splitlines() if l.startswith(" 0 <= v")]
+        names = {l.split("<=")[1].strip() for l in bounds}
+        assert len(names) == 2

@@ -1,0 +1,116 @@
+"""Tests for the dense two-phase simplex (repro.ilp.simplex)."""
+
+import numpy as np
+import pytest
+
+from repro.ilp.simplex import LPStatus, solve_lp
+
+INF = np.inf
+
+
+def lp(c, rows, lo, hi, vlo, vhi):
+    return solve_lp(
+        np.array(c, dtype=float),
+        np.array(rows, dtype=float).reshape(len(lo), len(c)),
+        np.array(lo, dtype=float),
+        np.array(hi, dtype=float),
+        np.array(vlo, dtype=float),
+        np.array(vhi, dtype=float),
+    )
+
+
+class TestOptimal:
+    def test_textbook_max(self):
+        # max x+y s.t. x+2y<=4, 3x+y<=6 -> (1.6, 1.2)
+        res = lp([-1, -1], [[1, 2], [3, 1]], [-INF, -INF], [4, 6],
+                 [0, 0], [INF, INF])
+        assert res.status is LPStatus.OPTIMAL
+        assert res.objective == pytest.approx(-2.8)
+        assert res.x == pytest.approx([1.6, 1.2])
+
+    def test_equality_row(self):
+        res = lp([1, 1], [[1, 1]], [3], [3], [0, 0], [INF, INF])
+        assert res.status is LPStatus.OPTIMAL
+        assert res.objective == pytest.approx(3)
+
+    def test_ge_row(self):
+        res = lp([2, 3], [[1, 1]], [4], [INF], [0, 0], [INF, INF])
+        assert res.status is LPStatus.OPTIMAL
+        assert res.objective == pytest.approx(8)  # all weight on cheap var
+
+    def test_variable_upper_bounds(self):
+        # min -x with x<=2.5
+        res = lp([-1], np.zeros((0, 1)), [], [], [0], [2.5])
+        assert res.status is LPStatus.OPTIMAL
+        assert res.x[0] == pytest.approx(2.5)
+
+    def test_shifted_lower_bounds(self):
+        # min x with x in [3, 10]
+        res = lp([1], np.zeros((0, 1)), [], [], [3], [10])
+        assert res.objective == pytest.approx(3)
+
+    def test_free_variable(self):
+        # min x s.t. x >= -5 via row (free variable split)
+        res = lp([1], [[1]], [-5], [INF], [-INF], [INF])
+        assert res.status is LPStatus.OPTIMAL
+        assert res.objective == pytest.approx(-5)
+
+    def test_range_row(self):
+        # 1 <= x <= 4 as a row on a free-ish variable, minimize x.
+        res = lp([1], [[1]], [1], [4], [0], [INF])
+        assert res.objective == pytest.approx(1)
+
+    def test_degenerate_does_not_cycle(self):
+        # Classic degenerate corner; Bland's rule must terminate.
+        res = lp(
+            [-0.75, 150, -0.02, 6],
+            [
+                [0.25, -60, -0.04, 9],
+                [0.5, -90, -0.02, 3],
+                [0, 0, 1, 0],
+            ],
+            [-INF, -INF, -INF],
+            [0, 0, 1],
+            [0, 0, 0, 0],
+            [INF, INF, INF, INF],
+        )
+        assert res.status is LPStatus.OPTIMAL
+        assert res.objective == pytest.approx(-0.05)
+
+
+class TestInfeasibleUnbounded:
+    def test_infeasible_rows(self):
+        res = lp([1], [[1], [1]], [5, -INF], [INF, 3], [0], [INF])
+        assert res.status is LPStatus.INFEASIBLE
+
+    def test_infeasible_bounds(self):
+        res = lp([1], np.zeros((0, 1)), [], [], [5], [3])
+        assert res.status is LPStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        res = lp([-1], [[0]], [-INF], [0], [0], [INF])
+        assert res.status is LPStatus.UNBOUNDED
+
+    def test_unbounded_no_rows(self):
+        res = lp([-1], np.zeros((0, 1)), [], [], [0], [INF])
+        assert res.status is LPStatus.UNBOUNDED
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_lps_match_highs(self, seed):
+        rng = np.random.default_rng(seed)
+        n, m = 4, 3
+        c = rng.integers(-5, 6, n).astype(float)
+        a = rng.integers(-3, 4, (m, n)).astype(float)
+        b = rng.integers(1, 10, m).astype(float)
+        ours = lp(c, a, [-INF] * m, b, [0] * n, [10] * n)
+
+        from scipy.optimize import linprog
+
+        ref = linprog(
+            c, A_ub=a, b_ub=b, bounds=[(0, 10)] * n, method="highs"
+        )
+        assert ours.status is LPStatus.OPTIMAL
+        assert ref.status == 0
+        assert ours.objective == pytest.approx(ref.fun, abs=1e-6)

@@ -1,0 +1,147 @@
+"""Tests for the MILP backends (HiGHS + own branch & bound) and dispatch."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SolverError
+from repro.ilp import Model, SolveStatus, available_backends, solve
+
+BACKENDS = ("highs", "bnb")
+
+
+def knapsack_model():
+    m = Model("knapsack", sense="max")
+    values = [10, 13, 18, 31, 7, 15]
+    weights = [2, 3, 4, 5, 1, 4]
+    xs = [m.binary(f"x{i}") for i in range(6)]
+    m.add(
+        sum((w * x for w, x in zip(weights, xs)), start=0 * xs[0]) <= 10
+    )
+    m.maximize(sum((v * x for v, x in zip(values, xs)), start=0 * xs[0]))
+    return m, xs
+
+
+class TestBackends:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_knapsack_optimum(self, backend):
+        m, _ = knapsack_model()
+        sol = m.solve(backend=backend)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(56)  # items 18+31+7 (w=10)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_infeasible(self, backend):
+        m = Model()
+        x = m.binary("x")
+        m.add(x >= 2)
+        assert m.solve(backend=backend).status is SolveStatus.INFEASIBLE
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_integer_rounding(self, backend):
+        m = Model()
+        x = m.integer("x", lb=0, ub=10)
+        m.add(2 * x >= 5)
+        m.minimize(x)
+        sol = m.solve(backend=backend)
+        assert sol.int_value(x) == 3
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_mixed_integer_continuous(self, backend):
+        m = Model()
+        x = m.integer("x", lb=0, ub=4)
+        y = m.continuous("y", lb=0, ub=10)
+        m.add(x + y >= 4.5)
+        m.minimize(3 * x + y)
+        sol = m.solve(backend=backend)
+        # all weight on the continuous variable
+        assert sol.objective == pytest.approx(4.5)
+        assert sol.int_value(x) == 0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_equality_constraints(self, backend):
+        m = Model()
+        x = m.integer("x", lb=0, ub=9)
+        y = m.integer("y", lb=0, ub=9)
+        m.add(x + y == 7)
+        m.minimize(x - y)
+        sol = m.solve(backend=backend)
+        assert sol.int_value(x) == 0 and sol.int_value(y) == 7
+
+    def test_bnb_unbounded(self):
+        m = Model()
+        x = m.continuous("x", lb=0)
+        m.minimize(-1 * x)
+        assert m.solve(backend="bnb").status is SolveStatus.UNBOUNDED
+
+    def test_highs_unbounded(self):
+        m = Model()
+        x = m.continuous("x", lb=0)
+        m.minimize(-1 * x)
+        status = m.solve(backend="highs").status
+        assert status in (SolveStatus.UNBOUNDED, SolveStatus.INFEASIBLE)
+
+    def test_solution_value_helper(self):
+        m = Model()
+        x = m.integer("x", lb=1, ub=1)
+        m.minimize(x)
+        sol = m.solve()
+        assert sol.value(2 * x + 1) == pytest.approx(3)
+        assert sol[x] == pytest.approx(1)
+
+
+class TestDispatch:
+    def test_available_backends_order(self):
+        backends = available_backends()
+        assert backends[0] == "highs"
+        assert "bnb" in backends
+
+    def test_unknown_backend(self):
+        m = Model()
+        m.binary("x")
+        with pytest.raises(SolverError):
+            solve(m, backend="gurobi")
+
+    def test_auto_uses_highs(self):
+        m = Model()
+        x = m.binary("x")
+        m.minimize(x)
+        assert m.solve(backend="auto").backend == "highs"
+
+    def test_time_limit_forwarded(self):
+        m, _ = knapsack_model()
+        sol = m.solve(backend="bnb", time_limit=30)
+        assert sol.status.has_solution
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_backends_agree_on_random_milps(seed):
+    """Property: HiGHS and the own B&B find the same optimum."""
+    import random
+
+    rng = random.Random(seed)
+    n = rng.randint(2, 5)
+    m_rows = rng.randint(1, 4)
+    ubs = [rng.randint(1, 5) for _ in range(n)]
+
+    def build():
+        m = Model("rand")
+        xs = [m.integer(f"x{i}", lb=0, ub=ubs[i]) for i in range(n)]
+        rng2 = random.Random(seed + 1)
+        for r in range(m_rows):
+            coeffs = [rng2.randint(-3, 3) for _ in range(n)]
+            rhs = rng2.randint(0, 12)
+            expr = sum((c * x for c, x in zip(coeffs, xs)), start=0 * xs[0])
+            m.add(expr <= rhs)
+        obj_coeffs = [rng2.randint(-5, 5) for _ in range(n)]
+        m.minimize(sum((c * x for c, x in zip(obj_coeffs, xs)), start=0 * xs[0]))
+        return m
+
+    sol_h = build().solve(backend="highs")
+    sol_b = build().solve(backend="bnb")
+    assert sol_h.status == sol_b.status
+    if sol_h.status.has_solution:
+        assert sol_h.objective == pytest.approx(sol_b.objective, abs=1e-6)

@@ -1,0 +1,108 @@
+"""Tests for repro.io (JSON serialization + Gantt rendering)."""
+
+import json
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.hls import synthesize
+from repro.io import (
+    assay_from_json,
+    assay_to_json,
+    load_assay,
+    render_gantt,
+    result_to_json,
+    save_assay,
+    save_result,
+)
+from repro.operations import AssayBuilder
+
+
+@pytest.fixture
+def assay():
+    b = AssayBuilder("roundtrip")
+    cap = b.op("cap", 6, indeterminate=True, container="ring",
+               capacity="medium", accessories=["pump"], function="capture")
+    b.op("detect", 3, accessories=["optical_system"], after=[cap],
+         function="detect")
+    return b.build()
+
+
+class TestAssayRoundtrip:
+    def test_roundtrip_preserves_everything(self, assay):
+        clone = assay_from_json(assay_to_json(assay))
+        assert clone.name == assay.name
+        assert clone.uids == assay.uids
+        assert clone.edges == assay.edges
+        for uid in assay.uids:
+            a, b = assay[uid], clone[uid]
+            assert a.duration == b.duration
+            assert a.capacity == b.capacity
+            assert a.container == b.container
+            assert a.accessories == b.accessories
+            assert a.function == b.function
+
+    def test_file_roundtrip(self, assay, tmp_path):
+        path = tmp_path / "assay.json"
+        save_assay(assay, path)
+        clone = load_assay(path)
+        assert clone.uids == assay.uids
+
+    def test_json_serializable(self, assay):
+        json.dumps(assay_to_json(assay))  # must not raise
+
+    def test_malformed_rejected(self):
+        with pytest.raises(SerializationError):
+            assay_from_json({"operations": [{"uid": "x"}]})
+
+    def test_bad_format_version(self):
+        with pytest.raises(SerializationError):
+            assay_from_json({"format": 99, "operations": []})
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_assay(tmp_path / "ghost.json")
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(SerializationError):
+            load_assay(path)
+
+
+class TestResultSerialization:
+    def test_result_report(self, assay, fast_spec, tmp_path):
+        result = synthesize(assay, fast_spec)
+        report = result_to_json(result)
+        json.dumps(report)
+        assert report["makespan"] == result.makespan_expression
+        assert report["num_devices"] == result.num_devices
+        assert len(report["layers"]) == result.layering.num_layers
+        placed = [
+            p["uid"] for layer in report["layers"] for p in layer["placements"]
+        ]
+        assert sorted(placed) == sorted(assay.uids)
+
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        assert json.loads(path.read_text())["assay"] == assay.name
+
+
+class TestGantt:
+    def test_contains_devices_and_ops(self, assay, fast_spec):
+        result = synthesize(assay, fast_spec)
+        text = render_gantt(result.schedule)
+        assert "hybrid schedule" in text
+        for uid in assay.uids:
+            assert uid in text
+        for device_uid in result.devices:
+            assert device_uid in text
+
+    def test_indeterminate_marked(self, assay, fast_spec):
+        result = synthesize(assay, fast_spec)
+        assert "~" in render_gantt(result.schedule)
+
+    def test_width_respected(self, assay, fast_spec):
+        result = synthesize(assay, fast_spec)
+        for line in render_gantt(result.schedule, width=40, labels=False).splitlines():
+            assert len(line) <= 60

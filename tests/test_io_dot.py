@@ -1,0 +1,59 @@
+"""Tests for the DOT export (repro.io.dot)."""
+
+from repro.hls import synthesize
+from repro.io import assay_to_dot, chip_to_dot
+from repro.layering import layer_assay
+from repro.operations import AssayBuilder
+
+
+def sample_assay():
+    b = AssayBuilder("dot-demo")
+    prep = b.op("prep", 3, container="chamber")
+    cap = b.op("cap", 5, indeterminate=True,
+               accessories=["cell_trap"], after=[prep])
+    b.op("read", 2, accessories=["optical_system"], after=[cap])
+    return b.build()
+
+
+class TestAssayDot:
+    def test_contains_all_nodes_and_edges(self):
+        assay = sample_assay()
+        dot = assay_to_dot(assay)
+        for uid in assay.uids:
+            assert f'"{uid}"' in dot
+        assert '"prep" -> "cap";' in dot
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+
+    def test_indeterminate_shape(self):
+        dot = assay_to_dot(sample_assay())
+        assert "doubleoctagon" in dot
+
+    def test_layer_clusters(self):
+        assay = sample_assay()
+        layering = layer_assay(assay, threshold=10)
+        dot = assay_to_dot(assay, layering)
+        assert "cluster_layer0" in dot
+        assert "cluster_layer1" in dot
+
+    def test_quoting(self):
+        b = AssayBuilder("q")
+        b.op('tricky"name', 1)
+        dot = assay_to_dot(b.build())
+        assert r"\"" in dot
+
+
+class TestChipDot:
+    def test_devices_and_paths(self, fast_spec):
+        assay = sample_assay()
+        result = synthesize(assay, fast_spec)
+        dot = chip_to_dot(result)
+        for uid in result.devices:
+            assert f'"{uid}"' in dot
+        # Every recorded path appears as an undirected edge.
+        assert dot.count("dir=none") == result.num_paths
+
+    def test_accessory_labels(self, fast_spec):
+        result = synthesize(sample_assay(), fast_spec)
+        dot = chip_to_dot(result)
+        assert "cell_trap" in dot

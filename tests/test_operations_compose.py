@@ -1,0 +1,101 @@
+"""Tests for assay composition (repro.operations.compose)."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.hls import SynthesisSpec, synthesize
+from repro.operations import AssayBuilder
+from repro.operations.compose import chain, parallel, sequential
+
+
+def proto(name: str, n: int = 2):
+    b = AssayBuilder(name)
+    prev = None
+    for k in range(n):
+        prev = b.op(f"{name}_op{k}", 3, container="chamber",
+                    after=[prev] if prev else [])
+    return b.build()
+
+
+class TestParallel:
+    def test_union_counts(self):
+        combined = parallel([proto("x"), proto("y", 3)])
+        assert len(combined) == 5
+        assert len(combined.edges) == 3
+
+    def test_no_cross_edges(self):
+        combined = parallel([proto("x"), proto("y")])
+        assert combined.descendants("x_op0") == {"x_op1"}
+
+    def test_collision_auto_prefixed(self):
+        combined = parallel([proto("x"), proto("x")])
+        assert "a0.x_op0" in combined
+        assert "a1.x_op0" in combined
+
+    def test_custom_prefixes(self):
+        combined = parallel(
+            [proto("x"), proto("x")], prefixes=["left", "right"]
+        )
+        assert "left.x_op0" in combined and "right.x_op1" in combined
+
+    def test_wrong_prefix_count(self):
+        with pytest.raises(SpecificationError):
+            parallel([proto("x")], prefixes=["a", "b"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpecificationError):
+            parallel([])
+
+
+class TestSequential:
+    def test_handoff_edges(self):
+        combined = sequential(proto("x"), proto("y"))
+        # x's sink (x_op1) feeds y's source (y_op0).
+        assert "y_op0" in combined.children("x_op1")
+        order = combined.topological_order()
+        assert order.index("x_op1") < order.index("y_op0")
+
+    def test_multi_sink_multi_source(self):
+        b1 = AssayBuilder("fan")
+        root = b1.op("root", 2)
+        b1.op("sink_a", 2, after=[root])
+        b1.op("sink_b", 2, after=[root])
+        b2 = AssayBuilder("join")
+        b2.op("src_a", 2)
+        b2.op("src_b", 2)
+        combined = sequential(b1.build(), b2.build())
+        for sink in ("sink_a", "sink_b"):
+            for src in ("src_a", "src_b"):
+                assert src in combined.children(sink)
+
+    def test_name_default(self):
+        combined = sequential(proto("x"), proto("y"))
+        assert combined.name == "x>y"
+
+
+class TestChain:
+    def test_three_stage_chain(self):
+        combined = chain([proto("x"), proto("y"), proto("z")])
+        assert len(combined) == 6
+        order = combined.topological_order()
+        assert order.index("s0.x_op1") < order.index("s1.y_op0")
+        assert order.index("s1.y_op1") < order.index("s2.z_op0")
+
+    def test_chain_single(self):
+        combined = chain([proto("x")])
+        assert len(combined) == 2
+
+    def test_chain_empty(self):
+        with pytest.raises(SpecificationError):
+            chain([])
+
+
+class TestComposedSynthesis:
+    def test_parallel_protocols_share_devices(self):
+        """Two identical parallel protocols synthesize onto a shared chip
+        — the composition is a first-class assay."""
+        combined = parallel([proto("x"), proto("y")])
+        spec = SynthesisSpec(max_devices=4, time_limit=5, max_iterations=0)
+        result = synthesize(combined, spec)
+        result.validate()
+        assert result.num_devices <= 4

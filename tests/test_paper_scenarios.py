@@ -1,0 +1,158 @@
+"""Scenario tests replaying the paper's illustrative figures and claims.
+
+These tests pin the library's behaviour to the concrete situations the
+paper uses to motivate its design: the Fig. 1/2 binding examples, the
+Fig. 4 layering walk-through, the Fig. 5 eviction preferences, and the
+Fig. 6 inheritance risk that progressive re-synthesis repairs.
+"""
+
+import dataclasses
+
+from repro.components import Capacity, ContainerKind
+from repro.devices import BindingMode, GeneralDevice
+from repro.hls import SynthesisSpec, synthesize
+from repro.layering import layer_assay
+from repro.operations import AssayBuilder, Fixed, Indeterminate, Operation
+
+
+class TestSection1Motivations:
+    def test_fig1_cell_isolation_binds_to_mixer(self):
+        """Fig. 1: mixers with separation valves serve cell isolation —
+        'bound to mixers in spite of the conventional type-matching
+        rules'."""
+        mixer = GeneralDevice(
+            "mixer", ContainerKind.RING, Capacity.SMALL,
+            frozenset({"pump"}),
+        )
+        isolation = Operation(
+            "isolate", Indeterminate(8), container=ContainerKind.RING,
+            accessories=frozenset({"pump"}), function="capture",
+        )
+        mixing = Operation(
+            "mix", Fixed(10), container=ContainerKind.RING,
+            accessories=frozenset({"pump"}), function="mix",
+        )
+        # Component-oriented: both operations may use the mixer.
+        assert mixer.covers(isolation) and mixer.covers(mixing)
+        # Functional types differ — the conventional standard would refuse.
+        assert isolation.function != mixing.function
+
+    def test_fig2_mixing_without_mixer(self):
+        """Fig. 2: flow-reversal mixing runs in a sieve-valve chamber — a
+        mixing operation that no ring mixer could host (volume too large).
+        """
+        bead_column = GeneralDevice(
+            "column", ContainerKind.CHAMBER, Capacity.MEDIUM,
+            frozenset({"sieve_valve", "pump"}),
+        )
+        mixing = Operation(
+            "mix_reversal", Fixed(30), container=ContainerKind.CHAMBER,
+            capacity=Capacity.MEDIUM,
+            accessories=frozenset({"sieve_valve", "pump"}), function="mix",
+        )
+        assert bead_column.covers(mixing)
+
+
+class TestFig4Layering:
+    def test_walkthrough(self):
+        """Fig. 4's selection: pick an indeterminate op with no
+        indeterminate ancestor, defer its descendants, keep the rest."""
+        b = AssayBuilder("fig4")
+        o1 = b.op("o1", 2)
+        oa = b.op("oa", 5, indeterminate=True, after=[o1])
+        b.op("o2", 2, after=[oa])
+        ob = b.op("ob", 5, indeterminate=True, after=["o2"])
+        b.op("o3", 2, after=[ob])
+        side = b.op("side", 2)
+        result = layer_assay(b.build(), threshold=10)
+        assert result.num_layers == 3
+        assert result.layer_of["oa"] == 0
+        assert result.layer_of["side"] == 0
+        assert result.layer_of["ob"] == 1
+        assert result.layer_of["o3"] == 2
+
+
+class TestFig6Inheritance:
+    def spec(self):
+        return SynthesisSpec(
+            max_devices=3, threshold=1, time_limit=10, max_iterations=2
+        )
+
+    def assay(self, o1_first: bool):
+        """o1 = {ring; sieve+pump}, o2 = {any; sieve}, separated by an
+        indeterminate gate so they land in different layers."""
+        b = AssayBuilder("fig6")
+        if o1_first:
+            first = b.op("o1", 6, container="ring",
+                         accessories=["sieve_valve", "pump"])
+        else:
+            first = b.op("o2", 6, accessories=["sieve_valve"])
+        gate = b.op("gate", 4, indeterminate=True, after=[first])
+        if o1_first:
+            b.op("o2", 6, accessories=["sieve_valve"], after=[gate])
+        else:
+            b.op("o1", 6, container="ring",
+                 accessories=["sieve_valve", "pump"], after=[gate])
+        return b.build()
+
+    def test_forward_inheritance_good_order(self):
+        """Fig. 6(a): o1 before o2 — o2 inherits o1's ring, no extra
+        device even in the first pass."""
+        spec = dataclasses.replace(self.spec(), max_iterations=0)
+        result = synthesize(self.assay(o1_first=True), spec)
+        binding = result.schedule.binding
+        assert binding["o1"] == binding["o2"]
+
+    def test_resynthesis_repairs_bad_order(self):
+        """Fig. 6(b): o2 before o1 — the first pass cannot foresee o1 and
+        may build a chamber for o2; re-synthesis gives o2 the later ring."""
+        result = synthesize(self.assay(o1_first=False), self.spec())
+        binding = result.schedule.binding
+        assert binding["o1"] == binding["o2"]
+        # At most two devices live: the shared ring, plus possibly a
+        # separate device for the gate (the solver may even fold the gate
+        # into the ring since o2 fully precedes it).
+        assert result.num_devices <= 2
+        improvement = (
+            result.history[0].fixed_makespan - result.fixed_makespan
+        )
+        assert improvement > 0  # re-synthesis actually helped
+
+
+class TestHybridSchedulingClaim:
+    def test_indeterminate_last_and_parallel(self):
+        """Sec. 3: indeterminate operations end their sub-schedule and run
+        on pairwise-distinct devices."""
+        b = AssayBuilder("tail")
+        for k in range(3):
+            prep = b.op(f"prep{k}", 4)
+            b.op(f"cap{k}", 5, indeterminate=True,
+                 accessories=["cell_trap"], after=[prep])
+        spec = SynthesisSpec(max_devices=8, threshold=3, time_limit=10,
+                             max_iterations=0)
+        result = synthesize(b.build(), spec)
+        layer0 = result.schedule.layers[0]
+        caps = [layer0[f"cap{k}"] for k in range(3)]
+        assert len({c.device_uid for c in caps}) == 3
+        latest_start = max(p.start for p in layer0.placements.values())
+        for cap in caps:
+            assert latest_start <= cap.end
+
+
+class TestExactVsCoverFairness:
+    def test_same_machinery_different_binding_only(self):
+        """The baseline shares layering/ILP/transport with the proposed
+        method; on an assay with one signature per op and no overlap the
+        two produce the same makespan."""
+        b = AssayBuilder("disjoint")
+        b.op("a", 5, container="ring", accessories=["pump"])
+        b.op("b", 5, container="chamber", accessories=["heating_pad"])
+        assay = b.build()
+        spec = SynthesisSpec(max_devices=4, threshold=1, time_limit=10,
+                             max_iterations=0)
+        ours = synthesize(assay, spec)
+        conv = synthesize(
+            assay, dataclasses.replace(spec, binding_mode=BindingMode.EXACT)
+        )
+        assert ours.fixed_makespan == conv.fixed_makespan
+        assert ours.num_devices == conv.num_devices == 2

@@ -1,0 +1,93 @@
+"""Tests for the valve-actuation program (repro.runtime.actuation)."""
+
+import pytest
+
+from repro.hls import synthesize
+from repro.runtime import (
+    ValveAction,
+    generate_control_program,
+)
+from repro.operations import AssayBuilder
+
+
+@pytest.fixture
+def result(fast_spec):
+    b = AssayBuilder("act")
+    load = b.op("load", 3, container="chamber")
+    mix = b.op("mix", 6, container="ring", accessories=["pump"],
+               after=[load])
+    cap = b.op("cap", 4, indeterminate=True, accessories=["cell_trap"],
+               after=[mix])
+    b.op("read", 2, accessories=["optical_system"], after=[cap])
+    return synthesize(b.build(), fast_spec)
+
+
+class TestControlProgram:
+    def test_every_op_sealed(self, result):
+        program = generate_control_program(result)
+        sealed = {
+            e.op_uid for e in program.events if e.action is ValveAction.SEAL
+        }
+        assert sealed == set(result.assay.uids)
+
+    def test_fixed_ops_opened_indeterminate_open_ended(self, result):
+        program = generate_control_program(result)
+        opened = {
+            e.op_uid for e in program.events if e.action is ValveAction.OPEN
+        }
+        open_ended = {
+            e.op_uid for e in program.events
+            if e.action is ValveAction.OPEN_ENDED
+        }
+        assert open_ended == {"cap"}
+        assert opened == set(result.assay.uids) - {"cap"}
+
+    def test_pump_events_only_on_pumped_devices(self, result):
+        program = generate_control_program(result)
+        for event in program.events:
+            if event.action in (ValveAction.PUMP_START, ValveAction.PUMP_STOP):
+                device = result.devices[event.device_uid]
+                assert "pump" in device.accessories
+
+    def test_route_events_match_paths(self, result):
+        program = generate_control_program(result)
+        routes = {
+            tuple(sorted((e.device_uid, e.peer_device_uid)))
+            for e in program.events
+            if e.action is ValveAction.ROUTE
+        }
+        assert routes == result.paths
+
+    def test_events_time_ordered_within_layer(self, result):
+        program = generate_control_program(result)
+        for layer_index in range(len(result.schedule.layers)):
+            times = [e.time for e in program.for_layer(layer_index)]
+            assert times == sorted(times)
+
+    def test_switch_count_positive(self, result):
+        program = generate_control_program(result)
+        assert program.total_switches > 0
+        # Seal/open pairs alone give 4 switches per fixed op.
+        fixed_ops = sum(
+            1 for op in result.assay if not op.is_indeterminate
+        )
+        assert program.total_switches >= 4 * fixed_ops
+
+    def test_for_device_filter(self, result):
+        program = generate_control_program(result)
+        some_device = next(iter(result.devices))
+        for event in program.for_device(some_device):
+            assert some_device in (event.device_uid, event.peer_device_uid)
+
+    def test_render_contains_actions(self, result):
+        text = generate_control_program(result).render()
+        assert "seal" in text
+        assert "t=" in text
+
+    def test_seal_at_op_start_time(self, result):
+        program = generate_control_program(result)
+        for event in program.events:
+            if event.action is ValveAction.SEAL:
+                layer_index, placement = result.schedule.find(event.op_uid)
+                assert event.time == placement.start
+                assert event.layer == layer_index

@@ -1,0 +1,52 @@
+"""Tests for repro.units."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.units import format_minutes, format_runtime, parse_duration
+
+
+class TestParseDuration:
+    def test_minutes(self):
+        assert parse_duration("5m") == 5
+
+    def test_hours_and_minutes(self):
+        assert parse_duration("1h30m") == 90
+
+    def test_seconds_round_up(self):
+        assert parse_duration("30s") == 1
+
+    def test_full_combination(self):
+        assert parse_duration("2h5m30s") == 126
+
+    def test_whitespace_tolerated(self):
+        assert parse_duration(" 10m ") == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpecificationError):
+            parse_duration("")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SpecificationError):
+            parse_duration("five minutes")
+
+    def test_bare_number_rejected(self):
+        with pytest.raises(SpecificationError):
+            parse_duration("42")
+
+
+class TestFormatting:
+    def test_format_minutes_int(self):
+        assert format_minutes(225) == "225m"
+
+    def test_format_minutes_integral_float(self):
+        assert format_minutes(225.0) == "225m"
+
+    def test_format_runtime_subminute(self):
+        assert format_runtime(5.531) == "5.531s"
+
+    def test_format_runtime_minutes(self):
+        assert format_runtime(312) == "5m12s"
+
+    def test_format_runtime_exact_minute(self):
+        assert format_runtime(60) == "1m0s"
