@@ -8,7 +8,6 @@ models, and measures their speed difference.
 
 from __future__ import annotations
 
-import dataclasses
 
 import pytest
 

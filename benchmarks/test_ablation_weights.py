@@ -8,7 +8,6 @@ weighting minimizes inter-device channels.
 
 from __future__ import annotations
 
-import dataclasses
 
 import pytest
 

@@ -94,15 +94,27 @@ def _cmd_table2(args: argparse.Namespace) -> int:
 
 
 def _cmd_table3(args: argparse.Namespace) -> int:
+    from .experiments import export_profiles, format_profile
+
     spec = default_spec(time_limit=args.time_limit)
     rows = run_table3(spec, cases=tuple(args.cases))
     print(format_table3(rows))
+    if args.profile:
+        for row in rows:
+            print(f"\ncase {row.case} solve profile:")
+            print(format_profile(row.profile))
+    if args.profile_json:
+        export_profiles(
+            {row.case: row.profile for row in rows}, args.profile_json
+        )
+        print(f"\nsolve profiles written to {args.profile_json}")
     return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     from .analysis import schedule_stats, storage_report
     from .analysis.stats import format_stats
+    from .experiments import export_profiles, format_profile, synthesis_profile
 
     assay = load_assay(args.assay)
     result = synthesize(assay, _spec_from_args(args))
@@ -110,6 +122,14 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     report = storage_report(result)
     print(f"storage crossings: {report.total_crossings} "
           f"(peak demand {report.peak_demand})")
+    if args.profile or args.profile_json:
+        profile = synthesis_profile(result)
+        if args.profile:
+            print("\nsolve profile:")
+            print(format_profile(profile))
+        if args.profile_json:
+            export_profiles({0: profile}, args.profile_json)
+            print(f"solve profile written to {args.profile_json}")
     return 0
 
 
@@ -191,12 +211,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_t3 = sub.add_parser("table3", help="regenerate the paper's Table 3")
     p_t3.add_argument("--cases", type=int, nargs="+", default=[2, 3])
     p_t3.add_argument("--time-limit", type=float, default=20.0)
+    p_t3.add_argument("--profile", action="store_true",
+                      help="print per-layer solve telemetry per case")
+    p_t3.add_argument("--profile-json",
+                      help="write per-case solve profiles to this JSON file")
     p_t3.set_defaults(func=_cmd_table3)
 
     p_stats = sub.add_parser(
         "stats", help="synthesize an assay and print schedule statistics"
     )
     p_stats.add_argument("assay")
+    p_stats.add_argument("--profile", action="store_true",
+                         help="print per-layer solve telemetry")
+    p_stats.add_argument("--profile-json",
+                         help="write the solve profile to this JSON file")
     _add_spec_arguments(p_stats)
     p_stats.set_defaults(func=_cmd_stats)
 

@@ -1,6 +1,12 @@
 """Experiment harnesses regenerating the paper's tables."""
 
-from .report import format_table2, format_table3
+from .report import (
+    export_profiles,
+    format_profile,
+    format_table2,
+    format_table3,
+    synthesis_profile,
+)
 from .table2 import Table2Row, run_case, run_table2
 from .table3 import Table3Row, run_table3, run_table3_case
 
@@ -13,4 +19,7 @@ __all__ = [
     "run_table3_case",
     "format_table2",
     "format_table3",
+    "synthesis_profile",
+    "format_profile",
+    "export_profiles",
 ]

@@ -1,7 +1,12 @@
-"""Row formatting matching the paper's table layout."""
+"""Row formatting matching the paper's table layout, plus solve profiles."""
 
 from __future__ import annotations
 
+import json
+
+from ..errors import SerializationError
+from ..hls.synthesizer import SynthesisResult
+from ..ilp import SolveStats
 from ..units import format_runtime
 from .table2 import PAPER_TABLE2, Table2Row
 from .table3 import PAPER_TABLE3, Table3Row
@@ -58,3 +63,83 @@ def format_table3(rows: list[Table3Row], include_paper: bool = True) -> str:
             lines.append(f"{'':<5} {'(paper)':<9} {paper_exe} {'':>9}")
             lines.append(f"{'':<5} {'(paper)':<9} {paper_dev} {'':>9}")
     return "\n".join(lines)
+
+
+def synthesis_profile(result: SynthesisResult) -> dict:
+    """Solve telemetry of one synthesis run as a JSON-serializable dict.
+
+    Per pass: the per-layer :class:`~repro.ilp.status.SolveStats` records;
+    plus whole-run totals.  Round-trips through JSON —
+    ``SolveStats.from_dict`` restores each layer record.
+    """
+    return {
+        "assay": result.assay.name,
+        "num_layers": result.layering.num_layers,
+        "passes": [
+            {
+                "index": record.index,
+                "label": record.label,
+                "fixed_makespan": record.fixed_makespan,
+                "cache_hits": record.cache_hits,
+                "ilp_solves": record.ilp_solves,
+                "layers": [s.to_dict() for s in record.layer_stats],
+            }
+            for record in result.history
+        ],
+        "totals": {
+            "passes": len(result.history),
+            "cache_hits": result.cache_hits,
+            "ilp_solves": result.ilp_solves,
+            "nodes": result.total_nodes,
+            "simplex_iterations": sum(
+                s.simplex_iterations for s in result.solve_stats
+            ),
+            "build_time": sum(s.build_time for s in result.solve_stats),
+            "solve_time": result.total_solve_time,
+            "runtime": result.runtime,
+        },
+    }
+
+
+def format_profile(profile: dict) -> str:
+    """Render a :func:`synthesis_profile` dict as an aligned text table."""
+    lines = [
+        f"{'pass':<9} {'layer':>5} {'backend':<9} {'status':<10} "
+        f"{'cache':<5} {'warm':<4} {'nodes':>7} {'simplex':>8} "
+        f"{'build':>8} {'solve':>8}"
+    ]
+    for record in profile["passes"]:
+        for layer in record["layers"]:
+            stats = SolveStats.from_dict(layer)
+            lines.append(
+                f"{record['label']:<9} {stats.layer:>5} {stats.backend:<9} "
+                f"{stats.status:<10} {'hit' if stats.cache_hit else 'miss':<5} "
+                f"{'yes' if stats.warm_started else 'no':<4} "
+                f"{stats.nodes:>7} {stats.simplex_iterations:>8} "
+                f"{stats.build_time:>7.3f}s {stats.solve_time:>7.3f}s"
+            )
+    totals = profile["totals"]
+    lines.append(
+        f"totals: {totals['ilp_solves']} layer solve(s), "
+        f"{totals['cache_hits']} cache hit(s), {totals['nodes']} node(s), "
+        f"{totals['simplex_iterations']} simplex iteration(s), "
+        f"build {totals['build_time']:.3f}s, solve {totals['solve_time']:.3f}s, "
+        f"wall {format_runtime(totals['runtime'])}"
+    )
+    return "\n".join(lines)
+
+
+def export_profiles(profiles: dict[int, dict], path: str) -> None:
+    """Write per-case profiles to ``path`` as JSON (keyed by case)."""
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {str(case): profile for case, profile in profiles.items()},
+                handle,
+                indent=2,
+            )
+            handle.write("\n")
+    except OSError as exc:
+        raise SerializationError(
+            f"cannot write solve profiles to {path}: {exc}"
+        ) from exc

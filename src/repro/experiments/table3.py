@@ -28,6 +28,9 @@ class Table3Row:
     case: int
     exe_times: list[int] = field(default_factory=list)
     devices: list[int] = field(default_factory=list)
+    #: solve telemetry of the underlying synthesis run (see
+    #: :func:`repro.experiments.report.synthesis_profile`).
+    profile: dict = field(default_factory=dict)
 
     @property
     def improvements(self) -> list[float]:
@@ -52,6 +55,8 @@ def run_table3_case(case: int, spec: SynthesisSpec | None = None) -> Table3Row:
     passes), so the value after iteration k is the min over passes 0..k —
     the quantity the user actually obtains after k iterations.
     """
+    from .report import synthesis_profile
+
     spec = spec or default_spec()
     result = synthesize(benchmark_assay(case), spec)
     exe_best: list[int] = []
@@ -63,7 +68,12 @@ def run_table3_case(case: int, spec: SynthesisSpec | None = None) -> Table3Row:
         else:
             exe_best.append(exe_best[-1])
             dev_best.append(dev_best[-1])
-    return Table3Row(case=case, exe_times=exe_best, devices=dev_best)
+    return Table3Row(
+        case=case,
+        exe_times=exe_best,
+        devices=dev_best,
+        profile=synthesis_profile(result),
+    )
 
 
 def run_table3(

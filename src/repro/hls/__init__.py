@@ -8,6 +8,7 @@ schedule, the device inventory, transportation paths, and the per-iteration
 refinement history.
 """
 
+from .cache import LayerSolveCache, fingerprint_layer_problem
 from .schedule import HybridSchedule, LayerSchedule, OpPlacement
 from .spec import SynthesisSpec, TransportProgression, Weights
 from .synthesizer import IterationRecord, SynthesisResult, synthesize
@@ -18,6 +19,8 @@ __all__ = [
     "HybridSchedule",
     "LayerSchedule",
     "OpPlacement",
+    "LayerSolveCache",
+    "fingerprint_layer_problem",
     "SynthesisSpec",
     "TransportProgression",
     "Weights",

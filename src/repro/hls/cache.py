@@ -1,0 +1,279 @@
+"""Cross-pass layer-solve caching for progressive re-synthesis.
+
+The re-synthesis loop (paper Sec. 3.2) repeatedly re-solves every layer's
+ILP, but once the transportation estimates and the device inventory stop
+changing, consecutive passes pose *identical* per-layer problems — pure
+wasted solver time on the Table 2/3 hot path.  This module memoizes decoded
+:class:`~repro.hls.decode.LayerSolveResult` objects keyed by a canonical
+fingerprint of the :class:`~repro.hls.milp_model.LayerProblem` (plus the
+solve-relevant :class:`~repro.hls.spec.SynthesisSpec` fields).
+
+Device uids are *canonicalized* in the fingerprint — fixed devices are
+referred to by their position in ``problem.fixed_devices``, new devices by
+their slot index — so a hit replays cleanly into the current pass's
+inventory even though every pass re-allocates fresh device uids.  Replay
+maps the canonical references back onto the current fixed-device uids and
+materializes new devices through the caller's uid allocator, making a hit
+behaviorally indistinguishable from a deterministic re-solve (same
+schedule, same binding structure, same objective) at near-zero cost.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+
+from ..devices.device import GeneralDevice
+from ..ilp import SolveStats
+from .decode import LayerSolveResult
+from .milp_model import LayerProblem
+from .schedule import LayerSchedule, OpPlacement
+from .spec import SynthesisSpec
+
+#: Canonical reference to a device: ("fixed", index into fixed_devices) or
+#: ("new", index into the result's new_devices).
+_DeviceRef = tuple[str, int]
+
+
+def _device_token(device: GeneralDevice) -> tuple:
+    """Configuration of a device, independent of its uid."""
+    return (
+        device.container.value,
+        device.capacity.value,
+        tuple(sorted(device.accessories)),
+        device.signature,
+    )
+
+
+def _spec_token(spec: SynthesisSpec) -> tuple:
+    """The spec fields a layer solve depends on.
+
+    Transportation parameters are deliberately absent: their effect is
+    already captured through ``edge_transport`` and ``release`` in the
+    problem itself.
+    """
+    weights = spec.weights
+    costs = spec.cost_model
+    return (
+        spec.max_devices,
+        spec.binding_mode.value,
+        spec.backend,
+        spec.time_limit,
+        spec.mip_gap,
+        spec.allow_heuristic_fallback,
+        spec.enable_warm_start,
+        (weights.time, weights.area, weights.processing, weights.paths),
+        tuple(sorted((k[0].value, k[1].value, v) for k, v in costs.area.items())),
+        tuple(
+            sorted(
+                (k[0].value, k[1].value, v)
+                for k, v in costs.container_processing.items()
+            )
+        ),
+        tuple(sorted(costs.accessory_processing.items())),
+        costs.default_accessory_processing,
+        tuple(sorted(spec.registry.names)),
+    )
+
+
+def fingerprint_layer_problem(problem: LayerProblem, spec: SynthesisSpec) -> str:
+    """Canonical fingerprint of one layer solve's complete input.
+
+    Covers the ops (durations, component requirements, indeterminacy), the
+    in-layer dependency structure with its transportation estimates, release
+    margins, the *configurations* of the inherited devices, the free-slot
+    budget, cross-layer device bindings (incoming/outgoing), the already-paid
+    transportation paths, and the solve-relevant spec fields.  Fixed-device
+    uids are replaced by their list position, so renaming the inventory
+    between passes does not break matching.
+    """
+    canon = {d.uid: i for i, d in enumerate(problem.fixed_devices)}
+
+    def canon_uid(uid: str):
+        # Unknown uids (never the case for well-formed problems) degrade to
+        # the raw string: correct, merely less shareable.
+        return canon.get(uid, uid)
+
+    ops_token = tuple(
+        (
+            op.uid,
+            op.duration.scheduled,
+            op.is_indeterminate,
+            op.requirement_signature(),
+        )
+        for op in problem.ops
+    )
+    edges_token = tuple(
+        sorted(
+            (parent, child, problem.edge_transport[(parent, child)])
+            for parent, child in problem.in_layer_edges
+        )
+    )
+    release_token = tuple(sorted(problem.release.items()))
+    devices_token = tuple(_device_token(d) for d in problem.fixed_devices)
+    incoming_token = tuple(
+        sorted((canon_uid(parent), child) for parent, child in problem.incoming)
+    )
+    outgoing_token = tuple(
+        sorted((parent, canon_uid(child)) for parent, child in problem.outgoing)
+    )
+    paths_token = tuple(
+        sorted(
+            tuple(sorted((canon_uid(a), canon_uid(b)), key=repr))
+            for a, b in problem.existing_paths
+        )
+    )
+    payload = (
+        "layer-solve-v1",
+        problem.layer_index,
+        ops_token,
+        edges_token,
+        release_token,
+        devices_token,
+        problem.free_slots,
+        incoming_token,
+        outgoing_token,
+        paths_token,
+        _spec_token(spec),
+    )
+    return hashlib.sha256(repr(payload).encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class _CachedPlacement:
+    uid: str
+    device: _DeviceRef
+    start: int
+    duration: int
+    indeterminate: bool
+
+
+@dataclass(frozen=True)
+class _CachedSolve:
+    """A decoded layer result with all device uids canonicalized."""
+
+    placements: tuple[_CachedPlacement, ...]
+    new_devices: tuple[tuple, ...]  # _device_token per new device
+    objective: float
+    solver_status: str
+    solver_runtime: float
+    backend: str
+
+
+@dataclass
+class LayerSolveCache:
+    """Memoizes decoded layer results across re-synthesis passes."""
+
+    _entries: dict[str, _CachedSolve] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def store(
+        self, problem: LayerProblem, spec: SynthesisSpec, result: LayerSolveResult
+    ) -> None:
+        """Record ``result`` under ``problem``'s fingerprint.
+
+        Results that reference devices outside the problem (never produced
+        by a well-formed solve) are silently not cached.
+        """
+        fixed_index = {d.uid: i for i, d in enumerate(problem.fixed_devices)}
+        new_index = {d.uid: j for j, d in enumerate(result.new_devices)}
+
+        placements = []
+        for op in problem.ops:
+            if op.uid not in result.schedule:
+                return
+            placement = result.schedule[op.uid]
+            uid = placement.device_uid
+            if uid in new_index:
+                ref: _DeviceRef = ("new", new_index[uid])
+            elif uid in fixed_index:
+                ref = ("fixed", fixed_index[uid])
+            else:
+                return
+            placements.append(
+                _CachedPlacement(
+                    uid=op.uid,
+                    device=ref,
+                    start=placement.start,
+                    duration=placement.duration,
+                    indeterminate=placement.indeterminate,
+                )
+            )
+
+        key = fingerprint_layer_problem(problem, spec)
+        self._entries[key] = _CachedSolve(
+            placements=tuple(placements),
+            new_devices=tuple(_device_token(d) for d in result.new_devices),
+            objective=result.objective,
+            solver_status=result.solver_status,
+            solver_runtime=result.solver_runtime,
+            backend=result.stats.backend if result.stats else "",
+        )
+
+    def lookup(
+        self, problem: LayerProblem, spec: SynthesisSpec, allocate_uid
+    ) -> LayerSolveResult | None:
+        """Replay a cached result into the current pass, if one matches.
+
+        New devices are materialized with fresh uids from ``allocate_uid``;
+        fixed-device references resolve to the problem's current inventory.
+        """
+        started = time.monotonic()
+        entry = self._entries.get(fingerprint_layer_problem(problem, spec))
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+
+        from ..components.containers import Capacity, ContainerKind
+
+        new_devices = [
+            GeneralDevice(
+                uid=allocate_uid(),
+                container=ContainerKind(container),
+                capacity=Capacity(capacity),
+                accessories=frozenset(accessories),
+                signature=signature,
+            )
+            for container, capacity, accessories, signature in entry.new_devices
+        ]
+        schedule = LayerSchedule(index=problem.layer_index)
+        binding: dict[str, str] = {}
+        for cached in entry.placements:
+            kind, index = cached.device
+            device_uid = (
+                new_devices[index].uid
+                if kind == "new"
+                else problem.fixed_devices[index].uid
+            )
+            binding[cached.uid] = device_uid
+            schedule.place(
+                OpPlacement(
+                    uid=cached.uid,
+                    device_uid=device_uid,
+                    start=cached.start,
+                    duration=cached.duration,
+                    indeterminate=cached.indeterminate,
+                )
+            )
+        return LayerSolveResult(
+            schedule=schedule,
+            binding=binding,
+            new_devices=new_devices,
+            objective=entry.objective,
+            solver_status=entry.solver_status,
+            solver_runtime=0.0,
+            stats=SolveStats(
+                layer=problem.layer_index,
+                backend=entry.backend,
+                status=entry.solver_status,
+                build_time=time.monotonic() - started,
+                solve_time=0.0,
+                cache_hit=True,
+            ),
+        )

@@ -4,11 +4,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..components.containers import Capacity, ContainerKind
 from ..devices.device import BindingMode, GeneralDevice
 from ..errors import SolverError
-from ..ilp import Solution
-from .milp_model import LEGAL_COMBOS, LayerModel, is_slot, slot_key
+from ..ilp import Solution, SolveStats
+from .milp_model import LEGAL_COMBOS, LayerModel, is_slot
 from .schedule import LayerSchedule, OpPlacement
 
 
@@ -24,6 +23,8 @@ class LayerSolveResult:
     objective: float = 0.0
     solver_status: str = ""
     solver_runtime: float = 0.0
+    #: solve telemetry, filled in by the synthesis driver.
+    stats: SolveStats | None = None
 
 
 def decode_layer_solution(

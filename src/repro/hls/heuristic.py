@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..devices.device import BindingMode, GeneralDevice
+from ..devices.device import GeneralDevice
 from ..errors import SchedulingError
 from .decode import LayerSolveResult
 from .milp_model import LayerProblem

@@ -34,14 +34,18 @@ DESIGN.md:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..components.containers import Capacity, ContainerKind, allowed_capacities
 from ..devices.device import BindingMode, GeneralDevice
-from ..errors import InfeasibleError, ModelError
+from ..errors import InfeasibleError
 from ..ilp import LinExpr, Model, Variable
 from ..operations.operation import Operation
 from .spec import SynthesisSpec
 from .transport import path_key
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .decode import LayerSolveResult
 
 #: The six legal (container kind, capacity) combinations.
 LEGAL_COMBOS: tuple[tuple[ContainerKind, Capacity], ...] = tuple(
@@ -104,6 +108,11 @@ class LayerModel:
     used: dict[int, Variable]
     sig: dict[tuple[int, tuple], Variable]
     path_vars: dict[tuple, Variable]
+    #: big-M disjunction binaries with their semantics, for warm-start
+    #: encoding: ("q0"|"q1"|"q2", var, a_uid, b_uid).  q0 relaxes "a starts
+    #: after b completes (+release)", q1 relaxes "a completes (+release)
+    #: before b starts", q2 permits a and b to share one device.
+    disj: list[tuple[str, Variable, str, str]] = field(default_factory=list)
 
 
 def _op_combos(op: Operation) -> list[tuple[ContainerKind, Capacity]]:
@@ -313,6 +322,7 @@ def build_layer_model(problem: LayerProblem, spec: SynthesisSpec) -> LayerModel:
 
     # ---- device conflicts ((10)-(13)) ----------------------------------------
     reach = _in_layer_reachability(ops, problem.in_layer_edges)
+    disj: list[tuple[str, Variable, str, str]] = []
 
     def shared_keys(a: Operation, b: Operation) -> list:
         keys = []
@@ -352,6 +362,8 @@ def build_layer_model(problem: LayerProblem, spec: SynthesisSpec) -> LayerModel:
                 )
                 q1 = model.binary(f"q1[{a},{b}]")
                 q2 = model.binary(f"q2[{a},{b}]")
+                disj.append(("q1", q1, fixed_op.uid, ind_op.uid))
+                disj.append(("q2", q2, a, b))
                 release = problem.release.get(fixed_op.uid, 0)
                 model.add(
                     start[fixed_op.uid]
@@ -371,6 +383,9 @@ def build_layer_model(problem: LayerProblem, spec: SynthesisSpec) -> LayerModel:
             q0 = model.binary(f"q0[{a},{b}]")
             q1 = model.binary(f"q1[{a},{b}]")
             q2 = model.binary(f"q2[{a},{b}]")
+            disj.append(("q0", q0, a, b))
+            disj.append(("q1", q1, a, b))
+            disj.append(("q2", q2, a, b))
             rel_a = problem.release.get(a, 0)
             rel_b = problem.release.get(b, 0)
             model.add(
@@ -475,4 +490,189 @@ def build_layer_model(problem: LayerProblem, spec: SynthesisSpec) -> LayerModel:
         used=used,
         sig=sig,
         path_vars=path_vars,
+        disj=disj,
     )
+
+
+def encode_layer_start(
+    layer_model: LayerModel, result: "LayerSolveResult"
+) -> dict[Variable, float] | None:
+    """Encode a decoded layer result as a complete start vector.
+
+    Maps ``result``'s binding/schedule back onto the model's variables —
+    fixed devices by uid, new devices onto free slots in order — and derives
+    the dependent binaries (configuration one-hots, disjunction escapes,
+    path indicators).  Returns ``None`` when the result does not fit this
+    model (unknown device, missing slot, or any constraint violated), so
+    callers can simply skip an unusable start.
+    """
+    problem = layer_model.problem
+    spec = layer_model.spec
+    model = layer_model.model
+    by_uid = {op.uid: op for op in problem.ops}
+
+    # -- device uid -> model key ------------------------------------------
+    key_of: dict[str, object] = {d.uid: d.uid for d in problem.fixed_devices}
+    if len(result.new_devices) > problem.free_slots:
+        return None
+    for j, device in enumerate(result.new_devices):
+        key_of[device.uid] = slot_key(j)
+
+    values: dict[Variable, float] = {}
+
+    # -- slot configuration ------------------------------------------------
+    for j in range(problem.free_slots):
+        device = result.new_devices[j] if j < len(result.new_devices) else None
+        values[layer_model.used[j]] = 1.0 if device is not None else 0.0
+        for kind, cap in LEGAL_COMBOS:
+            on = device is not None and (device.container, device.capacity) == (
+                kind, cap
+            )
+            values[layer_model.conf[j, kind, cap]] = 1.0 if on else 0.0
+        for name in spec.registry.names:
+            on = device is not None and name in device.accessories
+            values[layer_model.acc[j, name]] = 1.0 if on else 0.0
+        for (slot, s), var in layer_model.sig.items():
+            if slot != j:
+                continue
+            values[var] = 1.0 if device is not None and device.signature == s else 0.0
+
+    # -- bindings ----------------------------------------------------------
+    chosen_key: dict[str, object] = {}
+    for op in problem.ops:
+        device_uid = result.binding.get(op.uid)
+        if device_uid is None or device_uid not in key_of:
+            return None
+        chosen_key[op.uid] = key_of[device_uid]
+    for (uid, key), var in layer_model.od.items():
+        values[var] = 1.0 if chosen_key.get(uid) == key else 0.0
+    for uid, key in chosen_key.items():
+        if (uid, key) not in layer_model.od:
+            return None  # binding not legal in this model
+
+    # -- start times -------------------------------------------------------
+    starts: dict[str, int] = {}
+    for op in problem.ops:
+        if op.uid not in result.schedule:
+            return None
+        starts[op.uid] = result.schedule[op.uid].start
+        values[layer_model.start[op.uid]] = float(starts[op.uid])
+    values[layer_model.makespan] = float(result.schedule.makespan)
+
+    # -- disjunction escapes ----------------------------------------------
+    def completion(uid: str) -> int:
+        op = by_uid[uid]
+        return starts[uid] + op.duration.scheduled + problem.release.get(uid, 0)
+
+    for kind, var, a, b in layer_model.disj:
+        if kind == "q0":  # relaxes: a starts after b completes (+release)
+            values[var] = 0.0 if starts[a] >= completion(b) else 1.0
+        elif kind == "q1":  # relaxes: a completes (+release) before b starts
+            values[var] = 0.0 if completion(a) <= starts[b] else 1.0
+        else:  # q2 permits sharing one device
+            values[var] = (
+                1.0 if result.binding[a] == result.binding[b] else 0.0
+            )
+
+    # -- transportation paths ---------------------------------------------
+    used_pairs: set[tuple] = set()
+
+    def note_pair(key_a, key_b) -> None:
+        if key_a != key_b:
+            used_pairs.add(tuple(sorted((key_a, key_b), key=repr)))
+
+    for parent, child in problem.in_layer_edges:
+        note_pair(chosen_key[parent], chosen_key[child])
+    for parent_device, child in problem.incoming:
+        note_pair(parent_device, chosen_key[child])
+    for parent, child_device in problem.outgoing:
+        note_pair(chosen_key[parent], child_device)
+    for pair, var in layer_model.path_vars.items():
+        values[var] = 1.0 if pair in used_pairs else 0.0
+
+    if len(values) != model.num_variables:
+        return None  # a variable escaped the encoding; don't guess
+    if model.check(values):
+        # The binding and relative order may still be fine while the start
+        # times are stale (transport refinement between passes shifts the
+        # precedence offsets).  Re-derive minimal feasible timing for the
+        # chosen binaries before giving up.
+        values = _repair_layer_timing(layer_model, values)
+        if values is None or model.check(values):
+            return None
+    return values
+
+
+def _repair_layer_timing(
+    layer_model: LayerModel, values: dict[Variable, float]
+) -> dict[Variable, float] | None:
+    """Recompute start times and makespan for a fixed binary assignment.
+
+    With every binary pinned, the remaining constraints over the timing
+    variables are difference constraints (``x - y >= w`` or bounds), so the
+    componentwise-minimal feasible timing is a longest-path fixpoint.  The
+    binaries — and hence the binding and the relative device order encoded
+    by the disjunction escapes — are kept as-is; only the continuous part
+    moves.  Returns ``None`` if a constraint does not fit the difference
+    form, a bound is violated, or the system has no finite fixpoint.
+    """
+    model = layer_model.model
+    timing = set(layer_model.start.values()) | {layer_model.makespan}
+    floor: dict[Variable, float] = {v: max(0.0, v.lb) for v in timing}
+    ceil: dict[Variable, float] = {v: v.ub for v in timing}
+    #: dst >= src + w  (src None means dst >= w)
+    edges: list[tuple[Variable | None, Variable, float]] = []
+
+    for con in model.constraints:
+        t_terms = [
+            (v, c) for v, c in con.expr.terms.items() if v in timing and c
+        ]
+        if not t_terms:
+            continue
+        const = sum(
+            c * values[v] for v, c in con.expr.terms.items() if v not in timing
+        )
+        senses = ("<=", ">=") if con.sense == "==" else (con.sense,)
+        for sense in senses:
+            terms, rhs = t_terms, con.rhs - const
+            if sense == "<=":  # normalize everything to sum >= rhs
+                terms = [(v, -c) for v, c in terms]
+                rhs = -rhs
+            if len(terms) == 1:
+                (v, c), = terms
+                if c > 0:
+                    floor[v] = max(floor[v], rhs / c)
+                else:
+                    ceil[v] = min(ceil[v], rhs / c)
+            elif len(terms) == 2:
+                (v1, c1), (v2, c2) = terms
+                if c2 > 0 > c1:
+                    (v1, c1), (v2, c2) = (v2, c2), (v1, c1)
+                if not (c1 > 0 > c2 and abs(c1 + c2) < 1e-9):
+                    return None  # not a difference constraint
+                edges.append((v2, v1, rhs / c1))
+            else:
+                return None
+
+    val = dict(floor)
+    for _ in range(len(timing) + 1):
+        changed = False
+        for src, dst, w in edges:
+            bound = w if src is None else val[src] + w
+            if bound > val[dst] + 1e-9:
+                val[dst] = bound
+                changed = True
+        if not changed:
+            break
+    else:
+        return None  # positive cycle: the chosen order is infeasible
+
+    repaired = dict(values)
+    for v in timing:
+        t = round(val[v])
+        if abs(t - val[v]) > 1e-6:
+            t = val[v]  # keep fractional fixpoints verbatim; check() decides
+        if t > ceil[v] + 1e-9:
+            return None
+        repaired[v] = float(t)
+    return repaired

@@ -104,13 +104,23 @@ class SynthesisSpec:
     mip_gap: float | None = 1e-4
     #: continue re-synthesis while relative improvement exceeds this
     #: (paper: "if the improvement ... is larger than 10%, we will run
-    #: another iteration").
+    #: another iteration").  A negative value means "iterate until the
+    #: binding stops changing": passes continue through zero-improvement
+    #: iterations until every layer replays from the solve cache (full
+    #: convergence) or ``max_iterations`` is exhausted.
     improvement_threshold: float = 0.10
     #: hard cap on re-synthesis iterations (initial pass not counted).
     max_iterations: int = 4
     #: fall back to the greedy list scheduler when the ILP finds no
     #: incumbent within the time limit.
     allow_heuristic_fallback: bool = True
+    #: memoize per-layer solves across re-synthesis passes: a layer whose
+    #: inputs are unchanged replays the previous decoded result instead of
+    #: rebuilding and re-solving its ILP.
+    enable_solve_cache: bool = True
+    #: seed each layer ILP with an incumbent (previous pass's result, or
+    #: the greedy fallback) on backends that support warm starts.
+    enable_warm_start: bool = True
 
     def __post_init__(self) -> None:
         if self.max_devices < 1:
@@ -121,7 +131,10 @@ class SynthesisSpec:
             raise SpecificationError("transport_default must be >= 0")
         if self.time_limit <= 0:
             raise SpecificationError("time_limit must be positive")
-        if not 0 <= self.improvement_threshold < 1:
-            raise SpecificationError("improvement_threshold must be in [0, 1)")
+        if not -1 <= self.improvement_threshold < 1:
+            raise SpecificationError(
+                "improvement_threshold must be in [-1, 1) "
+                "(negative: iterate to convergence)"
+            )
         if self.max_iterations < 0:
             raise SpecificationError("max_iterations must be >= 0")

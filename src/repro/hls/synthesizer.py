@@ -19,17 +19,19 @@ Passes repeat while the relative makespan improvement exceeds
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..devices.device import GeneralDevice
 from ..devices.inventory import DeviceInventory
 from ..errors import InfeasibleError, SchedulingError, SolverError
+from ..ilp import Solution, SolveStats, SolveStatus
 from ..layering import LayeringResult, layer_assay
 from ..operations.assay import Assay
+from .cache import LayerSolveCache
 from .decode import LayerSolveResult, decode_layer_solution
 from .heuristic import schedule_layer_greedy
-from .milp_model import LayerProblem, build_layer_model
-from .schedule import HybridSchedule
+from .milp_model import LayerProblem, build_layer_model, encode_layer_start
+from .schedule import HybridSchedule, LayerSchedule
 from .spec import SynthesisSpec
 from .transport import TransportEstimator, path_key
 from .validate import validate_result
@@ -45,10 +47,21 @@ class IterationRecord:
     num_paths: int
     layer_statuses: list[str]
     runtime: float
+    #: per-layer solve telemetry, in layer order.
+    layer_stats: list[SolveStats] = field(default_factory=list)
 
     @property
     def label(self) -> str:
         return "Initial" if self.index == 0 else f"{self.index}. Ite."
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for s in self.layer_stats if s.cache_hit)
+
+    @property
+    def ilp_solves(self) -> int:
+        """Layers this pass actually solved (i.e. did not replay)."""
+        return sum(1 for s in self.layer_stats if not s.cache_hit)
 
 
 @dataclass
@@ -84,6 +97,29 @@ class SynthesisResult:
     def makespan_expression(self) -> str:
         return self.schedule.makespan_expression()
 
+    @property
+    def solve_stats(self) -> list[SolveStats]:
+        """All per-layer solve records across every pass, in pass order."""
+        return [s for record in self.history for s in record.layer_stats]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for s in self.solve_stats if s.cache_hit)
+
+    @property
+    def ilp_solves(self) -> int:
+        """Layer solves actually performed (cache hits excluded)."""
+        return sum(1 for s in self.solve_stats if not s.cache_hit)
+
+    @property
+    def total_nodes(self) -> int:
+        """Branch-and-bound nodes explored across all layer solves."""
+        return sum(s.nodes for s in self.solve_stats)
+
+    @property
+    def total_solve_time(self) -> float:
+        return sum(s.solve_time for s in self.solve_stats)
+
     def validate(self) -> None:
         validate_result(self)
 
@@ -98,10 +134,22 @@ class _Pass:
         self.binding: dict[str, str] = {}
         #: per-edge transportation estimates this pass was built with.
         self.transport_snapshot: dict[tuple[str, str], int] = {}
+        #: frozen estimator state matching ``transport_snapshot``.
+        self.transport_estimator: TransportEstimator | None = None
 
     @property
     def fixed_makespan(self) -> int:
         return sum(r.schedule.makespan for r in self.results.values())
+
+    @property
+    def all_cache_hits(self) -> bool:
+        """True when every layer replayed a cached solve: the pass posed
+        exactly the problems of an earlier pass, so iterating further
+        cannot change anything."""
+        return bool(self.results) and all(
+            r.stats is not None and r.stats.cache_hit
+            for r in self.results.values()
+        )
 
     def schedule(self) -> HybridSchedule:
         return HybridSchedule(
@@ -129,6 +177,7 @@ def synthesize(
 
     layering = layer_assay(assay, spec.threshold)
     transport = transport or TransportEstimator(assay, spec)
+    cache = LayerSolveCache() if spec.enable_solve_cache else None
     uid_counter = [0]
 
     def allocate_uid() -> str:
@@ -139,7 +188,8 @@ def synthesize(
     history: list[IterationRecord] = []
 
     current = _run_pass(
-        assay, layering, spec, transport, allocate_uid, previous=None
+        assay, layering, spec, transport, allocate_uid, previous=None,
+        cache=cache,
     )
     history.append(_record(0, assay, current, started))
     best = current
@@ -148,10 +198,11 @@ def synthesize(
         previous_makespan = current.fixed_makespan
         transport.refine(current.binding)
         candidate = _run_pass(
-            assay, layering, spec, transport, allocate_uid, previous=current
+            assay, layering, spec, transport, allocate_uid, previous=current,
+            cache=cache,
         )
         history.append(_record(iteration, assay, candidate, started))
-        if candidate.fixed_makespan <= best.fixed_makespan:
+        if _beats(candidate, best, assay, spec):
             best = candidate
         improvement = (
             (previous_makespan - candidate.fixed_makespan) / previous_makespan
@@ -160,6 +211,9 @@ def synthesize(
         )
         current = candidate
         if improvement <= spec.improvement_threshold:
+            break
+        if candidate.all_cache_hits:
+            # Every layer replayed an earlier solve: the loop has converged.
             break
 
     schedule = best.schedule()
@@ -173,11 +227,44 @@ def synthesize(
         paths=paths,
         history=history,
         runtime=time.monotonic() - started,
-        transport=transport,
+        transport=best.transport_estimator or transport,
         edge_transport=dict(best.transport_snapshot),
     )
     result.validate()
     return result
+
+
+def _pass_objective(state: _Pass, assay: Assay, spec: SynthesisSpec) -> float:
+    """A pass's full weighted objective (makespan, area, processing, paths).
+
+    Mirrors the per-layer ILP objective at whole-schedule scope; used to
+    rank passes whose fixed makespans tie.
+    """
+    costs = spec.cost_model
+    weights = spec.weights
+    devices = state.used_devices().values()
+    schedule = state.schedule()
+    return (
+        weights.time * state.fixed_makespan
+        + weights.area * sum(d.area(costs) for d in devices)
+        + weights.processing * sum(d.processing_cost(costs) for d in devices)
+        + weights.paths * len(schedule.transportation_paths(assay.edges))
+    )
+
+
+def _beats(candidate: _Pass, best: _Pass, assay: Assay, spec: SynthesisSpec) -> bool:
+    """Whether ``candidate`` should replace the best pass so far.
+
+    Primary criterion is the fixed makespan; ties are broken on the full
+    weighted objective so an equal-makespan pass only wins by actually
+    being cheaper (fewer/smaller devices or fewer paths).  A full tie
+    keeps the earlier pass.
+    """
+    if candidate.fixed_makespan != best.fixed_makespan:
+        return candidate.fixed_makespan < best.fixed_makespan
+    return _pass_objective(candidate, assay, spec) < _pass_objective(
+        best, assay, spec
+    )
 
 
 def _record(
@@ -193,6 +280,11 @@ def _record(
             state.results[i].solver_status for i in sorted(state.results)
         ],
         runtime=time.monotonic() - started,
+        layer_stats=[
+            state.results[i].stats
+            for i in sorted(state.results)
+            if state.results[i].stats is not None
+        ],
     )
 
 
@@ -203,9 +295,11 @@ def _run_pass(
     transport: TransportEstimator,
     allocate_uid,
     previous: _Pass | None,
+    cache: LayerSolveCache | None = None,
 ) -> _Pass:
     state = _Pass()
     state.transport_snapshot = transport.snapshot()
+    state.transport_estimator = transport.fork()
     if previous is not None:
         state.devices = dict(previous.devices)
         state.born = dict(previous.born)
@@ -269,7 +363,16 @@ def _run_pass(
             outgoing=outgoing,
             existing_paths=existing_paths,
         )
-        result = _solve_layer(problem, spec, allocate_uid)
+        warm_from = (
+            previous.results.get(layer.index) if previous is not None else None
+        )
+        if warm_from is not None:
+            warm_from = _rebase_warm_result(
+                warm_from, fixed_devices, previous.devices
+            )
+        result = _solve_layer(
+            problem, spec, allocate_uid, cache=cache, warm_from=warm_from
+        )
         state.results[layer.index] = result
         for device in result.new_devices:
             state.devices[device.uid] = device
@@ -337,15 +440,102 @@ def layer_cost(
     )
 
 
+def _rebase_warm_result(
+    result: LayerSolveResult,
+    fixed_devices: list[GeneralDevice],
+    previous_devices: dict[str, GeneralDevice],
+) -> LayerSolveResult | None:
+    """Translate a previous pass's layer result onto the current device set.
+
+    Earlier layers of the current pass may have replaced inherited devices
+    with freshly-allocated ones, so the old binding can reference uids that
+    no longer exist.  Stale references are remapped onto structurally
+    identical current fixed devices (same container, capacity, accessories,
+    signature); the result's own new devices are left alone because the
+    start-vector encoder maps those onto free slots positionally.  Returns
+    ``None`` when a stale device has no unclaimed structural twin, which
+    means the earlier layers genuinely changed the device mix and the old
+    solution cannot carry over.
+    """
+    fixed_uids = {d.uid for d in fixed_devices}
+    own_uids = {d.uid for d in result.new_devices}
+    stale = sorted(
+        {
+            uid
+            for uid in result.binding.values()
+            if uid not in fixed_uids and uid not in own_uids
+        }
+    )
+    if not stale:
+        return result
+
+    def token(device: GeneralDevice):
+        return (
+            device.container,
+            device.capacity,
+            frozenset(device.accessories),
+            device.signature,
+        )
+
+    taken = set(result.binding.values())
+    pool: dict[tuple, list[str]] = {}
+    for device in fixed_devices:
+        if device.uid not in taken:
+            pool.setdefault(token(device), []).append(device.uid)
+    mapping: dict[str, str] = {}
+    for uid in stale:
+        old = previous_devices.get(uid)
+        twins = pool.get(token(old)) if old is not None else None
+        if not twins:
+            return None
+        mapping[uid] = twins.pop(0)
+
+    binding = {
+        op: mapping.get(dev, dev) for op, dev in result.binding.items()
+    }
+    schedule = LayerSchedule(index=result.schedule.index)
+    for placement in result.schedule.placements.values():
+        schedule.place(
+            replace(
+                placement,
+                device_uid=mapping.get(
+                    placement.device_uid, placement.device_uid
+                ),
+            )
+        )
+    return replace(result, binding=binding, schedule=schedule)
+
+
 def _solve_layer(
-    problem: LayerProblem, spec: SynthesisSpec, allocate_uid
+    problem: LayerProblem,
+    spec: SynthesisSpec,
+    allocate_uid,
+    cache: LayerSolveCache | None = None,
+    warm_from: LayerSolveResult | None = None,
 ) -> LayerSolveResult:
-    """Solve one layer: ILP and greedy race; the better objective wins.
+    """Solve one layer: ILP, greedy, and previous-pass reuse race.
 
     The greedy list scheduler is cheap and always feasible, so it doubles
     as both a fallback (when the ILP finds no incumbent in time) and a
     quality floor (when the ILP's time-limited incumbent is poor).
+
+    ``cache`` short-circuits the whole solve when an earlier pass already
+    solved an identical problem.  ``warm_from`` (the previous pass's result
+    for this layer) serves two roles: it seeds the ILP with an incumbent on
+    backends that accept one (greedy is the backstop start), and — because
+    the HiGHS wrapper cannot inject incumbents — it re-enters the race as a
+    candidate whenever it is still feasible for the current problem, so a
+    time-limited re-solve can never regress below what the previous pass
+    already achieved.  That floor is also what lets re-synthesis converge:
+    a reused solution keeps the binding stable, which keeps the transport
+    estimates stable, which lets the next pass hit the cache.
     """
+    if cache is not None:
+        replayed = cache.lookup(problem, spec, allocate_uid)
+        if replayed is not None:
+            return replayed
+
+    build_started = time.monotonic()
     greedy: LayerSolveResult | None = None
     if spec.allow_heuristic_fallback:
         try:
@@ -354,32 +544,88 @@ def _solve_layer(
             greedy = None
 
     layer_model = build_layer_model(problem, spec)
+
+    warm_values = None
+    warm_start = None
+    if spec.enable_warm_start:
+        if warm_from is not None:
+            warm_values = encode_layer_start(layer_model, warm_from)
+        warm_start = warm_values
+        if warm_start is None and greedy is not None:
+            warm_start = encode_layer_start(layer_model, greedy)
+    build_time = time.monotonic() - build_started
+
+    def warm_candidate() -> LayerSolveResult | None:
+        """The previous pass's solution, re-decoded for this problem."""
+        if warm_values is None:
+            return None
+        reused = decode_layer_solution(
+            layer_model,
+            Solution(
+                status=SolveStatus.FEASIBLE,
+                objective=layer_model.model.objective.value(warm_values),
+                values=warm_values,
+                backend="reuse",
+            ),
+            allocate_uid,
+        )
+        reused.solver_status = "warm"
+        return reused
+
+    def finalize(
+        result: LayerSolveResult, solution=None
+    ) -> LayerSolveResult:
+        base = solution.stats if solution is not None else None
+        result.stats = SolveStats(
+            layer=problem.layer_index,
+            backend=base.backend if base else "heuristic",
+            status=result.solver_status,
+            nodes=base.nodes if base else 0,
+            simplex_iterations=base.simplex_iterations if base else 0,
+            build_time=build_time,
+            solve_time=base.solve_time if base else 0.0,
+            cache_hit=False,
+            warm_started=base.warm_started if base else False,
+        )
+        if cache is not None:
+            cache.store(problem, spec, result)
+        return result
+
     try:
         solution = layer_model.model.solve(
             backend=spec.backend,
             time_limit=spec.time_limit,
             mip_gap=spec.mip_gap,
+            warm_start=warm_start,
         )
     except SolverError:
-        if greedy is not None:
-            return greedy
+        fallback = warm_candidate() or greedy
+        if fallback is not None:
+            return finalize(fallback)
         raise
 
     if solution.status.has_solution:
         ilp_result = decode_layer_solution(layer_model, solution, allocate_uid)
-        if greedy is not None and solution.status.name != "OPTIMAL":
-            if layer_cost(greedy, problem, spec) < layer_cost(
-                ilp_result, problem, spec
-            ):
-                return greedy
-        return ilp_result
+        if solution.status.name == "OPTIMAL":
+            return finalize(ilp_result, solution)
+        # Time-limited incumbent: race it against the previous pass's
+        # solution and the greedy schedule.  Candidate order breaks cost
+        # ties — reuse first, for binding stability across passes.
+        candidates = [
+            c for c in (warm_candidate(), ilp_result, greedy) if c is not None
+        ]
+        winner = min(
+            candidates, key=lambda c: layer_cost(c, problem, spec)
+        )
+        return finalize(winner, solution)
     if solution.status.name == "INFEASIBLE":
         raise InfeasibleError(
             f"layer {problem.layer_index} is infeasible under |D|="
             f"{spec.max_devices}"
         )
-    if greedy is not None:
-        return greedy
+    fallback = warm_candidate() or greedy
+    if fallback is not None:
+        return finalize(fallback, solution)
     raise SolverError(
         f"layer {problem.layer_index}: no solution within "
         f"{spec.time_limit}s and fallback disabled"

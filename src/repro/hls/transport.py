@@ -91,3 +91,21 @@ class TransportEstimator:
     def snapshot(self) -> dict[tuple[str, str], int]:
         """Copy of the current per-edge estimates (for tests/reporting)."""
         return dict(self._edge_time)
+
+    def fork(self) -> "TransportEstimator":
+        """Frozen copy of the current estimation state.
+
+        The synthesizer forks the estimator at the start of every pass so
+        the returned result can expose the estimates its *selected* pass
+        actually scheduled against, even though the shared estimator keeps
+        refining afterwards.  The fork is always a plain
+        :class:`TransportEstimator` (subclasses may carry placement state
+        that is not meaningfully copyable); it records estimates, it does
+        not re-refine.
+        """
+        clone = TransportEstimator(self._assay, self._spec)
+        clone._edge_time = dict(self._edge_time)
+        clone.path_usage = dict(self.path_usage)
+        clone.path_time = dict(self.path_time)
+        clone.refined = self.refined
+        return clone

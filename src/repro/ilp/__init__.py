@@ -28,7 +28,7 @@ Typical use::
 from .expr import LinExpr, Variable, VarType
 from .model import Constraint, Model
 from .solve import available_backends, solve
-from .status import Solution, SolveStatus
+from .status import Solution, SolveStats, SolveStatus
 
 __all__ = [
     "LinExpr",
@@ -37,6 +37,7 @@ __all__ = [
     "Constraint",
     "Model",
     "Solution",
+    "SolveStats",
     "SolveStatus",
     "solve",
     "available_backends",

@@ -18,9 +18,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .model import Model
+from .expr import Variable
+from .model import Model, StandardForm
 from .simplex import LPStatus, solve_lp
-from .status import Solution, SolveStatus
+from .status import Solution, SolveStats, SolveStatus
 
 _INT_TOL = 1e-6
 
@@ -35,29 +36,78 @@ class _Node:
     var_upper: np.ndarray = field(compare=False)
 
 
+def _seed_incumbent(
+    form: StandardForm, warm_start: dict[Variable, float]
+) -> tuple[np.ndarray, float] | None:
+    """Validate a warm-start assignment against ``form``.
+
+    Returns ``(x, objective)`` in standard-form space when the assignment
+    covers every variable and satisfies bounds, integrality, and all rows;
+    ``None`` otherwise (an unusable start is simply ignored).
+    """
+    try:
+        x = np.array([float(warm_start[v]) for v in form.variables])
+    except KeyError:
+        return None
+    int_mask = form.integrality.astype(bool)
+    x[int_mask] = np.round(x[int_mask])
+    if np.any(x < form.var_lower - 1e-6) or np.any(x > form.var_upper + 1e-6):
+        return None
+    if form.a_matrix.shape[0]:
+        activity = form.a_matrix @ x
+        if np.any(activity < form.row_lower - 1e-6) or np.any(
+            activity > form.row_upper + 1e-6
+        ):
+            return None
+    return x, float(form.c @ x)
+
+
 def solve_bnb(
     model: Model,
     time_limit: float | None = None,
     node_limit: int = 100000,
     mip_gap: float | None = None,
     use_presolve: bool = True,
+    warm_start: dict[Variable, float] | None = None,
 ) -> Solution:
     """Solve ``model`` by branch and bound.
 
     Returns OPTIMAL when the tree is exhausted, FEASIBLE when a limit was hit
     with an incumbent in hand, TIMEOUT when a limit was hit without one.
+
+    ``warm_start`` may supply a complete feasible assignment; it is checked
+    against the model and, when valid, seeds the incumbent so the search
+    starts with an immediate pruning bound (and a guaranteed answer even
+    under a zero time budget).
     """
     start = time.monotonic()
     form = model.to_standard_form()
+    # Seed the incumbent before presolve so validation sees the original
+    # rows (presolve reductions are feasibility-safe, so a valid incumbent
+    # stays within the tightened bounds).
+    incumbent_x: np.ndarray | None = None
+    incumbent_obj = math.inf
+    warm_accepted = False
+    if warm_start is not None:
+        seeded = _seed_incumbent(form, warm_start)
+        if seeded is not None:
+            incumbent_x, incumbent_obj = seeded
+            warm_accepted = True
     if use_presolve:
         from .presolve import presolve
 
         reduction = presolve(form)
         if reduction.infeasible:
+            runtime = time.monotonic() - start
             return Solution(
                 SolveStatus.INFEASIBLE,
-                runtime=time.monotonic() - start,
+                runtime=runtime,
                 backend="bnb",
+                stats=SolveStats(
+                    backend="bnb",
+                    status=SolveStatus.INFEASIBLE.value,
+                    solve_time=runtime,
+                ),
             )
         form = reduction.form
     a_dense = form.a_matrix.toarray() if form.a_matrix.shape[0] else np.zeros(
@@ -74,10 +124,8 @@ def solve_bnb(
     )
     # Depth-first stack; each entry carries its parent LP bound for pruning.
     stack: list[_Node] = [root]
-    incumbent_x: np.ndarray | None = None
-    incumbent_obj = math.inf
-    best_open_bound = -math.inf
     nodes = 0
+    simplex_iterations = 0
     proven_optimal = True
 
     while stack:
@@ -96,13 +144,23 @@ def solve_bnb(
             form.c, a_dense, form.row_lower, form.row_upper,
             node.var_lower, node.var_upper,
         )
+        simplex_iterations += lp.iterations
         if lp.status is LPStatus.INFEASIBLE:
             continue
         if lp.status is LPStatus.UNBOUNDED:
             if not int_mask.any() or incumbent_x is None:
+                runtime = time.monotonic() - start
                 return Solution(
-                    SolveStatus.UNBOUNDED, runtime=time.monotonic() - start,
+                    SolveStatus.UNBOUNDED, runtime=runtime,
                     backend="bnb",
+                    stats=SolveStats(
+                        backend="bnb",
+                        status=SolveStatus.UNBOUNDED.value,
+                        nodes=nodes,
+                        simplex_iterations=simplex_iterations,
+                        solve_time=runtime,
+                        warm_started=warm_accepted,
+                    ),
                 )
             continue
         if lp.status is LPStatus.ITERATION_LIMIT:
@@ -140,19 +198,37 @@ def solve_bnb(
     runtime = time.monotonic() - start
     if incumbent_x is None:
         status = SolveStatus.TIMEOUT if not proven_optimal else SolveStatus.INFEASIBLE
-        return Solution(status, runtime=runtime, backend="bnb")
+        return Solution(
+            status, runtime=runtime, backend="bnb",
+            stats=SolveStats(
+                backend="bnb",
+                status=status.value,
+                nodes=nodes,
+                simplex_iterations=simplex_iterations,
+                solve_time=runtime,
+                warm_started=warm_accepted,
+            ),
+        )
 
     values = {
         var: float(incumbent_x[i]) for i, var in enumerate(form.variables)
     }
     objective = form.sense * incumbent_obj + form.c0
-    bound = None
-    if stack:
-        best_open_bound = min(n.bound for n in stack)
-        bound = form.sense * min(best_open_bound, incumbent_obj) + form.c0
-    status = SolveStatus.OPTIMAL if proven_optimal and not stack else (
-        SolveStatus.OPTIMAL if proven_optimal else SolveStatus.FEASIBLE
+    status = (
+        SolveStatus.OPTIMAL
+        if proven_optimal and not stack
+        else SolveStatus.FEASIBLE
     )
+    if status is SolveStatus.OPTIMAL:
+        bound = objective
+    else:
+        # Dual bound from the open nodes.  Unprocessed roots carry a -inf
+        # sentinel — they prove nothing, so they must not be reported.
+        open_bounds = [n.bound for n in stack if math.isfinite(n.bound)]
+        if open_bounds and len(open_bounds) == len(stack):
+            bound = form.sense * min(min(open_bounds), incumbent_obj) + form.c0
+        else:
+            bound = None
     return Solution(
         status=status,
         objective=objective,
@@ -160,6 +236,14 @@ def solve_bnb(
         bound=bound,
         runtime=runtime,
         backend="bnb",
+        stats=SolveStats(
+            backend="bnb",
+            status=status.value,
+            nodes=nodes,
+            simplex_iterations=simplex_iterations,
+            solve_time=runtime,
+            warm_started=warm_accepted,
+        ),
     )
 
 

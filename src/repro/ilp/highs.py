@@ -14,16 +14,23 @@ import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
 
 from ..errors import SolverError
+from .expr import Variable
 from .model import Model
-from .status import Solution, SolveStatus
+from .status import Solution, SolveStats, SolveStatus
 
 
 def solve_highs(
     model: Model,
     time_limit: float | None = None,
     mip_gap: float | None = None,
+    warm_start: dict[Variable, float] | None = None,
 ) -> Solution:
-    """Solve ``model`` with ``scipy.optimize.milp`` (HiGHS)."""
+    """Solve ``model`` with ``scipy.optimize.milp`` (HiGHS).
+
+    ``warm_start`` is accepted for interface parity with the pure-Python
+    backend but ignored: SciPy's ``milp`` wrapper exposes no incumbent
+    injection (HiGHS itself would support it).
+    """
     start = time.monotonic()
     form = model.to_standard_form()
 
@@ -46,15 +53,26 @@ def solve_highs(
     )
     runtime = time.monotonic() - start
 
+    def _stats(status: SolveStatus) -> SolveStats:
+        return SolveStats(
+            backend="highs",
+            status=status.value,
+            nodes=int(getattr(result, "mip_node_count", 0) or 0),
+            solve_time=runtime,
+        )
+
     # scipy/HiGHS status codes: 0 optimal, 1 iteration/time limit,
     # 2 infeasible, 3 unbounded, 4 other.
     if result.status == 2:
-        return Solution(SolveStatus.INFEASIBLE, runtime=runtime, backend="highs")
+        return Solution(SolveStatus.INFEASIBLE, runtime=runtime, backend="highs",
+                        stats=_stats(SolveStatus.INFEASIBLE))
     if result.status == 3:
-        return Solution(SolveStatus.UNBOUNDED, runtime=runtime, backend="highs")
+        return Solution(SolveStatus.UNBOUNDED, runtime=runtime, backend="highs",
+                        stats=_stats(SolveStatus.UNBOUNDED))
     if result.x is None:
         if result.status == 1:
-            return Solution(SolveStatus.TIMEOUT, runtime=runtime, backend="highs")
+            return Solution(SolveStatus.TIMEOUT, runtime=runtime, backend="highs",
+                            stats=_stats(SolveStatus.TIMEOUT))
         raise SolverError(f"HiGHS failed: status={result.status} {result.message}")
 
     x = np.asarray(result.x, dtype=float)
@@ -73,4 +91,5 @@ def solve_highs(
         bound=bound,
         runtime=runtime,
         backend="highs",
+        stats=_stats(status),
     )

@@ -256,11 +256,18 @@ class Model:
         backend: str = "auto",
         time_limit: float | None = None,
         mip_gap: float | None = None,
+        warm_start: dict[Variable, float] | None = None,
     ) -> Solution:
         """Solve the model; see :func:`repro.ilp.solve.solve`."""
         from .solve import solve as _solve
 
-        return _solve(self, backend=backend, time_limit=time_limit, mip_gap=mip_gap)
+        return _solve(
+            self,
+            backend=backend,
+            time_limit=time_limit,
+            mip_gap=mip_gap,
+            warm_start=warm_start,
+        )
 
     def __repr__(self) -> str:
         return (

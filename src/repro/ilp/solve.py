@@ -5,6 +5,7 @@ from __future__ import annotations
 from collections.abc import Callable
 
 from ..errors import SolverError
+from .expr import Variable
 from .model import Model
 from .status import Solution
 
@@ -47,11 +48,16 @@ def solve(
     backend: str = "auto",
     time_limit: float | None = None,
     mip_gap: float | None = None,
+    warm_start: dict[Variable, float] | None = None,
 ) -> Solution:
     """Solve ``model`` with the requested backend.
 
     ``backend="auto"`` picks HiGHS when SciPy is importable, otherwise the
     pure-Python branch and bound.
+
+    ``warm_start`` optionally supplies a complete feasible assignment used
+    as the initial incumbent by backends that support it (currently the
+    pure-Python branch and bound); others silently ignore it.
     """
     if backend == "auto":
         backend = available_backends()[0]
@@ -60,9 +66,11 @@ def solve(
         raise SolverError(
             f"unknown backend {backend!r}; available: {sorted(_BACKENDS)}"
         )
-    kwargs: dict[str, float] = {}
+    kwargs: dict = {}
     if time_limit is not None:
         kwargs["time_limit"] = time_limit
     if mip_gap is not None:
         kwargs["mip_gap"] = mip_gap
+    if warm_start is not None:
+        kwargs["warm_start"] = warm_start
     return fn(model, **kwargs)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from .expr import LinExpr, Variable
 
@@ -26,6 +26,42 @@ class SolveStatus(enum.Enum):
 
 
 @dataclass
+class SolveStats:
+    """Telemetry of one solve: where the time went and how hard it was.
+
+    Backends fill what they can observe (the pure-Python branch and bound
+    counts everything; HiGHS only reports node counts).  The synthesis
+    driver adds the surrounding context — model build time and whether the
+    result came from the layer-solve cache — before aggregating per pass.
+    """
+
+    #: layer index the solve belongs to (-1 outside layer synthesis).
+    layer: int = -1
+    backend: str = ""
+    status: str = ""
+    #: branch-and-bound nodes processed (MIP backends).
+    nodes: int = 0
+    #: total simplex iterations across all LP relaxations (bnb backend).
+    simplex_iterations: int = 0
+    #: wall-clock seconds spent building the model (driver-level).
+    build_time: float = 0.0
+    #: wall-clock seconds spent inside the solver backend.
+    solve_time: float = 0.0
+    #: the result was replayed from the layer-solve cache (no solve ran).
+    cache_hit: bool = False
+    #: a warm-start incumbent was accepted by the backend.
+    warm_started: bool = False
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (round-trips via :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SolveStats":
+        return cls(**data)
+
+
+@dataclass
 class Solution:
     """A (possibly partial) solve result.
 
@@ -41,6 +77,8 @@ class Solution:
     #: Wall-clock seconds spent in the backend.
     runtime: float = 0.0
     backend: str = ""
+    #: Backend telemetry (nodes, iterations, ...), if the backend reports it.
+    stats: SolveStats | None = None
 
     def __getitem__(self, key: Variable) -> float:
         return self.values[key]

@@ -30,14 +30,39 @@ class Event:
         return f"t={self.time:>6} {self.kind.value:<12} {subject}"
 
 
+#: Sort rank of simultaneous events: completions before the retries and
+#: boundary markers they enable, layer transitions before the next layer's
+#: first starts.
+_KIND_ORDER = {
+    EventKind.OP_END: 0,
+    EventKind.OP_RETRY: 1,
+    EventKind.LAYER_END: 2,
+    EventKind.LAYER_START: 3,
+    EventKind.OP_START: 4,
+}
+
+
 @dataclass
 class EventLog:
-    """Ordered runtime events with simple query helpers."""
+    """Ordered runtime events with simple query helpers.
+
+    The executor records events per placement, not per timestamp, so the
+    raw append order interleaves timelines; :meth:`finalize` restores
+    chronological order once recording is done.
+    """
 
     events: list[Event] = field(default_factory=list)
 
     def record(self, event: Event) -> None:
         self.events.append(event)
+
+    def finalize(self) -> None:
+        """Sort events chronologically (stable within a timestamp).
+
+        Simultaneous events order completions first and starts last (see
+        ``_KIND_ORDER``); events equal on both keys keep recording order.
+        """
+        self.events.sort(key=lambda e: (e.time, _KIND_ORDER[e.kind]))
 
     def of_kind(self, kind: EventKind) -> list[Event]:
         return [e for e in self.events if e.kind is kind]

@@ -178,6 +178,7 @@ def execute_schedule(
         layer_spans.append((layer_start, layer_end))
         clock = layer_end
 
+    log.finalize()
     return ExecutionReport(
         makespan=clock,
         layer_spans=layer_spans,

@@ -1,6 +1,5 @@
 """Tests for the conventional baseline (repro.baselines)."""
 
-import dataclasses
 
 from repro.baselines import (
     classify_by_function,
@@ -10,7 +9,7 @@ from repro.baselines import (
 )
 from repro.baselines.types import signature_label
 from repro.devices import BindingMode
-from repro.hls import SynthesisSpec, synthesize
+from repro.hls import synthesize
 from repro.operations import AssayBuilder
 
 

@@ -29,6 +29,20 @@ class TestStatsCommand:
         assert "peak parallelism" in out
         assert "storage crossings" in out
 
+    def test_profile_flag(self, assay_file, capsys, tmp_path):
+        import json
+
+        json_path = tmp_path / "profile.json"
+        assert main(
+            ["stats", str(assay_file), "--profile",
+             "--profile-json", str(json_path)] + FAST_ARGS
+        ) == 0
+        out = capsys.readouterr().out
+        assert "solve profile" in out
+        assert "totals:" in out
+        on_disk = json.loads(json_path.read_text())
+        assert "0" in on_disk and on_disk["0"]["passes"]
+
 
 class TestDotCommand:
     def test_assay_view(self, assay_file, capsys):

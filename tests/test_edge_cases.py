@@ -1,6 +1,5 @@
 """Edge-case and error-path tests across modules."""
 
-import dataclasses
 import itertools
 
 import pytest
@@ -18,7 +17,7 @@ from repro.hls.milp_model import (
     slot_key,
 )
 from repro.ilp import Solution, SolveStatus
-from repro.operations import AssayBuilder, Fixed, Indeterminate, Operation
+from repro.operations import AssayBuilder, Fixed, Operation
 
 COUNTER = itertools.count(1000)
 

@@ -1,0 +1,56 @@
+"""Solve-telemetry profiles: construction, formatting, JSON round-trip."""
+
+import json
+
+from repro.experiments import export_profiles, format_profile, synthesis_profile
+from repro.hls import SynthesisSpec, synthesize
+from repro.ilp import SolveStats
+
+
+def small_result(indeterminate_assay):
+    spec = SynthesisSpec(
+        max_devices=6, threshold=2, time_limit=10, max_iterations=1
+    )
+    return synthesize(indeterminate_assay, spec)
+
+
+def test_profile_shape(indeterminate_assay):
+    result = small_result(indeterminate_assay)
+    profile = synthesis_profile(result)
+    assert profile["num_layers"] == result.layering.num_layers
+    assert len(profile["passes"]) == len(result.history)
+    totals = profile["totals"]
+    assert totals["ilp_solves"] + totals["cache_hits"] == sum(
+        len(p["layers"]) for p in profile["passes"]
+    )
+    assert totals["nodes"] == result.total_nodes
+
+
+def test_profile_json_round_trip(indeterminate_assay):
+    result = small_result(indeterminate_assay)
+    profile = synthesis_profile(result)
+    reloaded = json.loads(json.dumps(profile))
+    assert reloaded == profile
+    # Every layer record round-trips through SolveStats.
+    for pass_record in reloaded["passes"]:
+        for layer in pass_record["layers"]:
+            stats = SolveStats.from_dict(layer)
+            assert stats.to_dict() == layer
+
+
+def test_format_profile(indeterminate_assay):
+    result = small_result(indeterminate_assay)
+    text = format_profile(synthesis_profile(result))
+    assert "totals:" in text
+    assert "backend" in text
+    for record in result.history:
+        assert record.label in text
+
+
+def test_export_profiles(indeterminate_assay, tmp_path):
+    result = small_result(indeterminate_assay)
+    profile = synthesis_profile(result)
+    path = tmp_path / "profiles.json"
+    export_profiles({2: profile}, str(path))
+    on_disk = json.loads(path.read_text())
+    assert on_disk == {"2": profile}

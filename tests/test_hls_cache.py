@@ -1,0 +1,258 @@
+"""Tests for the cross-pass layer-solve cache (repro.hls.cache)."""
+
+import dataclasses
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.assays import random_assay
+from repro.hls import LayerSolveCache, SynthesisSpec, synthesize
+from repro.hls.cache import fingerprint_layer_problem
+from repro.hls.milp_model import LayerProblem
+from repro.hls.synthesizer import _solve_layer
+from repro.hls.transport import TransportEstimator
+from repro.layering import layer_assay
+from repro.operations import AssayBuilder
+
+
+def make_allocator(prefix="d"):
+    counter = [0]
+
+    def allocate():
+        uid = f"{prefix}{counter[0]}"
+        counter[0] += 1
+        return uid
+
+    return allocate
+
+
+def first_layer_problem(assay, spec, fixed_devices=()):
+    """A LayerProblem for the assay's first layer, as _run_pass builds it."""
+    layering = layer_assay(assay, spec.threshold)
+    layer = layering.layers[0]
+    uids = set(layer.uids)
+    ops = [assay[uid] for uid in layer.uids]
+    in_edges = [(p, c) for p, c in assay.edges if p in uids and c in uids]
+    transport = TransportEstimator(assay, spec)
+    fixed = list(fixed_devices)
+    return LayerProblem(
+        layer_index=layer.index,
+        ops=ops,
+        in_layer_edges=in_edges,
+        edge_transport={e: transport.edge_time(*e) for e in in_edges},
+        release={u: transport.release_time(u, within=uids) for u in layer.uids},
+        fixed_devices=fixed,
+        free_slots=max(0, spec.max_devices - len(fixed)),
+        incoming=[],
+        outgoing=[],
+        existing_paths=set(),
+    )
+
+
+def structurally_equal(fresh, replay, problem):
+    """Compare two layer results modulo device-uid renaming."""
+    assert replay.objective == fresh.objective
+    assert replay.solver_status == fresh.solver_status
+    assert set(replay.binding) == set(fresh.binding)
+
+    # Op -> device assignment must be the same partition under a bijection.
+    mapping = {}
+    for uid in fresh.binding:
+        a, b = fresh.binding[uid], replay.binding[uid]
+        assert mapping.setdefault(a, b) == b, "device mapping not a function"
+    assert len(set(mapping.values())) == len(mapping), "mapping not injective"
+
+    # Placements: identical timing per op.
+    for uid in fresh.binding:
+        pf, pr = fresh.schedule[uid], replay.schedule[uid]
+        assert (pf.start, pf.duration, pf.indeterminate) == (
+            pr.start, pr.duration, pr.indeterminate
+        )
+    assert replay.schedule.makespan == fresh.schedule.makespan
+
+    # New devices: same configurations in the same slot order.
+    def config(d):
+        return (d.container, d.capacity, frozenset(d.accessories), d.signature)
+
+    assert [config(d) for d in replay.new_devices] == [
+        config(d) for d in fresh.new_devices
+    ]
+    return True
+
+
+class TestFingerprint:
+    def spec(self):
+        return SynthesisSpec(max_devices=6, threshold=3, time_limit=5)
+
+    def assay(self):
+        b = AssayBuilder("fp")
+        a = b.op("a", 3, container="chamber")
+        b.op("b", 5, container="ring", accessories=["pump"], after=[a])
+        return b.build()
+
+    def test_deterministic(self):
+        spec = self.spec()
+        problem = first_layer_problem(self.assay(), spec)
+        assert fingerprint_layer_problem(
+            problem, spec
+        ) == fingerprint_layer_problem(problem, spec)
+
+    def test_invariant_under_fixed_device_renaming(self):
+        from repro.components import Capacity, ContainerKind
+        from repro.devices import GeneralDevice
+
+        spec = self.spec()
+
+        def dev(uid):
+            return GeneralDevice(uid, ContainerKind.CHAMBER, Capacity.SMALL)
+
+        p1 = first_layer_problem(self.assay(), spec, fixed_devices=[dev("d0")])
+        p2 = first_layer_problem(
+            self.assay(), spec, fixed_devices=[dev("d99")]
+        )
+        assert fingerprint_layer_problem(
+            p1, spec
+        ) == fingerprint_layer_problem(p2, spec)
+
+    def test_sensitive_to_transport(self):
+        spec = self.spec()
+        problem = first_layer_problem(self.assay(), spec)
+        changed = dataclasses.replace(
+            problem,
+            edge_transport={
+                e: t + 1 for e, t in problem.edge_transport.items()
+            },
+        )
+        if problem.edge_transport:
+            assert fingerprint_layer_problem(
+                problem, spec
+            ) != fingerprint_layer_problem(changed, spec)
+
+    def test_sensitive_to_free_slots(self):
+        spec = self.spec()
+        problem = first_layer_problem(self.assay(), spec)
+        changed = dataclasses.replace(
+            problem, free_slots=problem.free_slots - 1
+        )
+        assert fingerprint_layer_problem(
+            problem, spec
+        ) != fingerprint_layer_problem(changed, spec)
+
+    def test_sensitive_to_weights(self):
+        spec = self.spec()
+        problem = first_layer_problem(self.assay(), spec)
+        other = dataclasses.replace(
+            spec, weights=dataclasses.replace(spec.weights, paths=99.0)
+        )
+        assert fingerprint_layer_problem(
+            problem, spec
+        ) != fingerprint_layer_problem(problem, other)
+
+
+class TestReplay:
+    def test_miss_then_hit(self):
+        spec = SynthesisSpec(max_devices=6, threshold=3, time_limit=5)
+        b = AssayBuilder("replay")
+        a = b.op("a", 3, container="chamber")
+        b.op("b", 5, container="ring", accessories=["pump"], after=[a])
+        problem = first_layer_problem(b.build(), spec)
+
+        cache = LayerSolveCache()
+        assert cache.lookup(problem, spec, make_allocator()) is None
+        assert (cache.hits, cache.misses) == (0, 1)
+
+        fresh = _solve_layer(problem, spec, make_allocator())
+        cache.store(problem, spec, fresh)
+        replay = cache.lookup(problem, spec, make_allocator("r"))
+        assert replay is not None
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert replay.stats is not None and replay.stats.cache_hit
+        assert structurally_equal(fresh, replay, problem)
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 300), num_ops=st.integers(2, 7))
+    def test_replay_matches_fresh_solve(self, seed, num_ops):
+        """Property: a cache hit reproduces the fresh solve exactly
+        (schedule timing, binding partition, objective), modulo uids."""
+        spec = SynthesisSpec(
+            max_devices=8, threshold=3, time_limit=5, max_iterations=0
+        )
+        assay = random_assay(
+            num_ops, seed=seed, indeterminate_fraction=0.2, max_duration=10
+        )
+        problem = first_layer_problem(assay, spec)
+        fresh = _solve_layer(problem, spec, make_allocator())
+        cache = LayerSolveCache()
+        cache.store(problem, spec, fresh)
+        replay = cache.lookup(problem, spec, make_allocator("r"))
+        assert replay is not None
+        assert structurally_equal(fresh, replay, problem)
+
+
+class TestSynthesisWithCache:
+    def test_cache_disabled_matches_enabled(self, indeterminate_assay):
+        base = SynthesisSpec(
+            max_devices=6, threshold=2, time_limit=10, max_iterations=2
+        )
+        on = synthesize(indeterminate_assay, base)
+        off = synthesize(
+            indeterminate_assay,
+            dataclasses.replace(base, enable_solve_cache=False),
+        )
+        assert on.fixed_makespan == off.fixed_makespan
+        assert on.num_devices == off.num_devices
+        assert on.num_paths == off.num_paths
+        assert [r.fixed_makespan for r in on.history] == [
+            r.fixed_makespan for r in off.history
+        ]
+        assert off.cache_hits == 0
+        assert off.ilp_solves == len(off.solve_stats)
+
+    def test_telemetry_attached_to_every_layer(self, indeterminate_assay):
+        spec = SynthesisSpec(
+            max_devices=6, threshold=2, time_limit=10, max_iterations=1
+        )
+        result = synthesize(indeterminate_assay, spec)
+        num_layers = result.layering.num_layers
+        for record in result.history:
+            assert len(record.layer_stats) == num_layers
+            for stats in record.layer_stats:
+                assert stats.layer >= 0
+                assert stats.status
+                assert stats.backend
+        assert result.ilp_solves + result.cache_hits == len(result.solve_stats)
+
+    def test_negative_threshold_iterates_to_convergence(self, diamond_assay):
+        """With a negative improvement threshold, the loop continues through
+        zero-improvement passes and terminates on a fully replayed pass."""
+        spec = SynthesisSpec(
+            max_devices=6,
+            threshold=2,
+            time_limit=10,
+            max_iterations=4,
+            improvement_threshold=-1.0,
+        )
+        result = synthesize(diamond_assay, spec)
+        last = result.history[-1]
+        # Converged before exhausting the iteration budget: the final pass
+        # replayed every layer from the cache.
+        if len(result.history) <= spec.max_iterations:
+            assert last.layer_stats
+            assert all(s.cache_hit for s in last.layer_stats)
+        assert result.cache_hits > 0
+
+    def test_converged_resynthesis_hits_cache(self):
+        """Once transport and inventory stop changing, later passes replay
+        at least one layer from the cache instead of re-solving it."""
+        from repro.assays import gene_expression_assay
+
+        spec = SynthesisSpec(
+            max_devices=10, threshold=5, time_limit=10, max_iterations=3
+        )
+        result = synthesize(gene_expression_assay(cells=3), spec)
+        if len(result.history) >= 3:
+            assert result.cache_hits > 0
+        # Never more ILP solves than problems posed.
+        posed = sum(len(r.layer_stats) for r in result.history)
+        assert result.ilp_solves <= posed

@@ -1,0 +1,74 @@
+"""Best-pass selection: ties on makespan break on the weighted objective."""
+
+from repro.components import Capacity, ContainerKind
+from repro.devices import GeneralDevice
+from repro.hls import SynthesisSpec
+from repro.hls.decode import LayerSolveResult
+from repro.hls.schedule import LayerSchedule, OpPlacement
+from repro.hls.synthesizer import _Pass, _beats, _pass_objective
+from repro.operations import AssayBuilder
+
+
+def two_op_assay():
+    b = AssayBuilder("tie")
+    a = b.op("a", 4, container="chamber")
+    b.op("b", 4, container="chamber", after=[a])
+    return b.build()
+
+
+def make_pass(binding: dict[str, str], devices: list[GeneralDevice]) -> _Pass:
+    state = _Pass()
+    state.devices = {d.uid: d for d in devices}
+    state.binding = dict(binding)
+    schedule = LayerSchedule(index=0)
+    start = 0
+    for uid, dev in binding.items():
+        schedule.place(OpPlacement(uid, dev, start=start, duration=4))
+        start += 4
+    state.results = {
+        0: LayerSolveResult(schedule=schedule, binding=dict(binding))
+    }
+    return state
+
+
+def chamber(uid):
+    return GeneralDevice(uid, ContainerKind.CHAMBER, Capacity.SMALL)
+
+
+class TestBeats:
+    def setup_method(self):
+        self.assay = two_op_assay()
+        self.spec = SynthesisSpec(max_devices=4)
+        # One shared device: same makespan, fewer devices, zero paths.
+        self.lean = make_pass({"a": "d0", "b": "d0"}, [chamber("d0")])
+        # Two devices: same makespan, extra device + one path.
+        self.fat = make_pass(
+            {"a": "d0", "b": "d1"}, [chamber("d0"), chamber("d1")]
+        )
+
+    def test_tie_broken_on_weighted_objective(self):
+        assert self.lean.fixed_makespan == self.fat.fixed_makespan
+        assert _pass_objective(self.lean, self.assay, self.spec) < (
+            _pass_objective(self.fat, self.assay, self.spec)
+        )
+        assert _beats(self.lean, self.fat, self.assay, self.spec)
+        assert not _beats(self.fat, self.lean, self.assay, self.spec)
+
+    def test_equal_pass_does_not_replace_best(self):
+        """Regression: an equal-makespan, equal-cost later pass used to
+        silently replace the best pass (<= comparison)."""
+        twin = make_pass({"a": "d0", "b": "d0"}, [chamber("d0")])
+        assert not _beats(twin, self.lean, self.assay, self.spec)
+
+    def test_lower_makespan_always_wins(self):
+        faster = make_pass({"a": "d0", "b": "d1"},
+                           [chamber("d0"), chamber("d1")])
+        # Overlap the two ops so the makespan is lower despite more devices.
+        schedule = LayerSchedule(index=0)
+        schedule.place(OpPlacement("a", "d0", start=0, duration=4))
+        schedule.place(OpPlacement("b", "d1", start=1, duration=4))
+        faster.results[0] = LayerSolveResult(
+            schedule=schedule, binding=dict(faster.binding)
+        )
+        assert faster.fixed_makespan < self.lean.fixed_makespan
+        assert _beats(faster, self.lean, self.assay, self.spec)

@@ -6,7 +6,7 @@ import pytest
 
 from repro.devices import BindingMode
 from repro.errors import ValidationError
-from repro.hls import SynthesisSpec, synthesize
+from repro.hls import synthesize
 from repro.hls.validate import collect_violations
 from repro.operations import AssayBuilder
 

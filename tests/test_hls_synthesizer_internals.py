@@ -1,7 +1,6 @@
 """Unit tests for synthesizer internals: layer_cost, pass bookkeeping,
 path exclusion, and the ILP-vs-greedy race."""
 
-import dataclasses
 
 import pytest
 

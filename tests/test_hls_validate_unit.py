@@ -5,10 +5,9 @@ here we fabricate minimal SynthesisResult objects and inject one specific
 violation at a time, checking the validator names it (and nothing else).
 """
 
-import pytest
 
 from repro.components import Capacity, ContainerKind
-from repro.devices import BindingMode, GeneralDevice
+from repro.devices import GeneralDevice
 from repro.hls import SynthesisSpec
 from repro.hls.schedule import HybridSchedule, LayerSchedule, OpPlacement
 from repro.hls.synthesizer import SynthesisResult

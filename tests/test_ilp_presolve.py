@@ -1,6 +1,5 @@
 """Tests for the MILP presolve (repro.ilp.presolve) and LP export."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

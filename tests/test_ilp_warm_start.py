@@ -1,0 +1,134 @@
+"""Warm starting and dual-bound reporting of the branch-and-bound solver."""
+
+import pytest
+
+from repro.ilp import Model, SolveStats, SolveStatus
+from repro.ilp.bnb import solve_bnb
+
+
+def knapsack():
+    """max 6x + 5y + 4z  s.t. 5x + 4y + 3z <= 9, binaries (opt: x+y = 11)."""
+    m = Model("knap", sense="max")
+    x = m.binary("x")
+    y = m.binary("y")
+    z = m.binary("z")
+    m.add(5 * x + 4 * y + 3 * z <= 9, name="capacity")
+    m.maximize(6 * x + 5 * y + 4 * z)
+    return m, (x, y, z)
+
+
+class TestWarmStart:
+    def test_valid_start_is_accepted(self):
+        m, (x, y, z) = knapsack()
+        sol = solve_bnb(m, warm_start={x: 1, y: 1, z: 0})
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(11.0)
+        assert sol.stats is not None and sol.stats.warm_started
+
+    def test_infeasible_start_is_ignored(self):
+        m, (x, y, z) = knapsack()
+        sol = solve_bnb(m, warm_start={x: 1, y: 1, z: 1})  # violates capacity
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(11.0)
+        assert sol.stats is not None and not sol.stats.warm_started
+
+    def test_incomplete_start_is_ignored(self):
+        m, (x, y, z) = knapsack()
+        sol = solve_bnb(m, warm_start={x: 0})
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.stats is not None and not sol.stats.warm_started
+
+    def test_zero_node_budget_returns_warm_incumbent(self):
+        """With no search budget at all, the warm incumbent is the answer —
+        the solve can never do worse than its start."""
+        m, (x, y, z) = knapsack()
+        sol = solve_bnb(m, node_limit=0, warm_start={x: 0, y: 1, z: 1})
+        assert sol.status is SolveStatus.FEASIBLE
+        assert sol.objective == pytest.approx(9.0)
+        assert sol[x] == 0 and sol[y] == 1 and sol[z] == 1
+
+    def test_zero_node_budget_without_start_times_out(self):
+        m, _ = knapsack()
+        sol = solve_bnb(m, node_limit=0)
+        assert sol.status is SolveStatus.TIMEOUT
+        assert sol.objective is None
+
+    def test_incumbent_never_worse_than_start(self):
+        """Final objective must dominate the warm start at every budget."""
+        for limit in (0, 1, 2, 5, 100):
+            m, (x, y, z) = knapsack()
+            start = {x: 0, y: 0, z: 1}  # feasible, objective 4
+            sol = solve_bnb(m, node_limit=limit, warm_start=start)
+            assert sol.objective is not None
+            assert sol.objective >= 4.0 - 1e-9
+
+    def test_warm_start_on_minimization(self):
+        m = Model("cover", sense="min")
+        x = m.binary("x")
+        y = m.binary("y")
+        m.add(x + y >= 1, name="cover")
+        m.minimize(3 * x + 2 * y)
+        sol = solve_bnb(m, warm_start={x: 1, y: 0})
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.objective == pytest.approx(2.0)
+        assert sol.stats is not None and sol.stats.warm_started
+
+    def test_model_solve_forwards_warm_start(self):
+        m, (x, y, z) = knapsack()
+        sol = m.solve(backend="bnb", warm_start={x: 1, y: 1, z: 0})
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.stats is not None and sol.stats.warm_started
+
+
+class TestDualBound:
+    def test_optimal_bound_equals_objective(self):
+        m, _ = knapsack()
+        sol = solve_bnb(m)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.bound == pytest.approx(sol.objective)
+
+    def test_limited_solve_never_reports_infinite_bound(self):
+        """Regression: hitting a limit with the root still open used to
+        report the root's -inf sentinel as a dual bound."""
+        m, (x, y, z) = knapsack()
+        sol = solve_bnb(m, node_limit=0, warm_start={x: 0, y: 0, z: 1})
+        assert sol.status is SolveStatus.FEASIBLE
+        # The only open node is the unprocessed root: nothing is proven.
+        assert sol.bound is None
+
+    def test_limited_solve_bound_dominates_incumbent(self):
+        """Whenever a bound is reported on a max problem it must be >= the
+        incumbent objective (and finite)."""
+        m = Model("bigger", sense="max")
+        xs = [m.binary(f"x{i}") for i in range(8)]
+        weights = [5, 4, 3, 7, 6, 2, 5, 4]
+        values = [6, 5, 4, 9, 7, 2, 6, 5]
+        m.add(sum(w * x for w, x in zip(weights, xs)) <= 14, name="cap")
+        m.maximize(sum(v * x for v, x in zip(values, xs)))
+        for limit in (1, 2, 3, 5, 8, 13):
+            sol = solve_bnb(m, node_limit=limit, use_presolve=False)
+            if sol.objective is None or sol.bound is None:
+                continue
+            assert sol.bound >= sol.objective - 1e-9
+            assert sol.bound < float("inf")
+
+
+class TestSolveStats:
+    def test_stats_populated(self):
+        m, _ = knapsack()
+        sol = solve_bnb(m)
+        stats = sol.stats
+        assert stats is not None
+        assert stats.backend == "bnb"
+        assert stats.status == "optimal"
+        assert stats.nodes >= 1
+        assert stats.simplex_iterations >= 1
+        assert stats.solve_time >= 0.0
+
+    def test_round_trip(self):
+        stats = SolveStats(
+            layer=3, backend="bnb", status="feasible", nodes=17,
+            simplex_iterations=240, build_time=0.5, solve_time=1.25,
+            cache_hit=True, warm_started=True,
+        )
+        assert SolveStats.from_dict(stats.to_dict()) == stats

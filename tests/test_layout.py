@@ -1,6 +1,5 @@
 """Tests for repro.layout (grid, placer, layout-driven transport)."""
 
-import dataclasses
 
 import pytest
 from hypothesis import given, settings

@@ -1,11 +1,10 @@
 """Tests for the runtime executor (repro.runtime)."""
 
-import dataclasses
 
 import pytest
 
 from repro.errors import SchedulingError
-from repro.hls import SynthesisSpec, synthesize
+from repro.hls import synthesize
 from repro.hls.schedule import HybridSchedule, LayerSchedule, OpPlacement
 from repro.runtime import EventKind, RetryModel, execute_schedule
 
