@@ -1,0 +1,93 @@
+"""Monte-Carlo campaign: process-pool sharding vs inline execution.
+
+Runs the same seeded fault campaign with ``jobs=1`` (inline) and
+``jobs=N`` (process pool) and records both wall times plus the merged
+statistics.  The correctness claim — the merged ``CampaignStats`` must be
+byte-identical regardless of worker count — is asserted; the wall-time
+comparison is recorded for EXPERIMENTS.md (the pool pays worker start-up
+and result pickling, so it only wins once per-run work dominates that
+overhead).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.cyberphysical import CampaignConfig, FaultPlan, run_campaign
+from repro.hls import SynthesisSpec, synthesize
+from repro.operations import AssayBuilder
+from repro.runtime import RetryModel
+
+RUNS = 32
+#: at least 2 so the ProcessPoolExecutor path is genuinely exercised even
+#: on single-core CI runners (no speedup there, but the sharding, pickling
+#: and deterministic merge all run for real).
+JOBS = max(2, min(4, os.cpu_count() or 2))
+
+_RESULT = {}
+
+
+def _synthesized():
+    if "result" not in _RESULT:
+        b = AssayBuilder("campaign-bench")
+        for k in range(3):
+            prep = b.op(f"prep{k}", 4, container="chamber")
+            cap = b.op(
+                f"capture{k}", 6, indeterminate=True,
+                accessories=["cell_trap"], after=[prep],
+            )
+            lyse = b.op(f"lyse{k}", 5, container="chamber", after=[cap])
+            b.op(f"detect{k}", 3, accessories=["optical_system"],
+                 after=[lyse])
+        spec = SynthesisSpec(
+            max_devices=8, threshold=3, time_limit=10.0, max_iterations=1
+        )
+        _RESULT["result"] = synthesize(b.build(), spec)
+    return _RESULT["result"]
+
+
+def _config(jobs: int) -> CampaignConfig:
+    return CampaignConfig(
+        runs=RUNS,
+        seed=0,
+        jobs=jobs,
+        policies=("all",),
+        faults=FaultPlan.parse("exhaust:capture0,exhaust:capture1"),
+        retry_model=RetryModel(success_probability=0.4, max_attempts=5),
+        keep_traces=False,
+    )
+
+
+def test_campaign_parallel(benchmark, record_rows):
+    result = _synthesized()
+
+    inline, pooled = benchmark.pedantic(
+        lambda: (
+            run_campaign(result, _config(1)),
+            run_campaign(result, _config(JOBS)),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    # Correctness: worker count must not change the merged statistics.
+    assert inline.stats.to_json_text() == pooled.stats.to_json_text()
+    assert [r.seed for r in inline.records] == [r.seed for r in pooled.records]
+
+    stats = inline.stats
+    lines = [
+        f"campaign: {RUNS} runs, policy chain retry->rebind->resynth, "
+        f"faults exhaust:capture0+exhaust:capture1",
+        f"{'jobs':>5} {'wall':>9}",
+        f"{1:>5} {inline.wall_time:>8.2f}s",
+        f"{JOBS:>5} {pooled.wall_time:>8.2f}s",
+        "",
+        f"merged stats byte-identical across jobs: yes",
+        f"failure_rate={stats.failure_rate:.3f} "
+        f"completed={stats.completed}/{stats.runs} "
+        f"recoveries={dict(sorted(stats.recoveries.items()))} "
+        f"resyntheses={stats.resyntheses}",
+        f"makespan mean={stats.mean_makespan:.1f} "
+        f"p95={stats.p95_makespan:.1f} worst={stats.worst_makespan}",
+    ]
+    record_rows("campaign_parallel", "\n".join(lines))

@@ -5,6 +5,8 @@ Usage examples::
     repro-hls synthesize my_assay.json --max-devices 25 --out result.json
     repro-hls synthesize my_assay.json --conventional --gantt
     repro-hls layer my_assay.json --threshold 10
+    repro-hls simulate my_assay.json --runs 32 --jobs 4 \\
+        --faults exhaust:cap0 --policy resynth --trace-out trace.jsonl
     repro-hls table2 --cases 1 --time-limit 10
     repro-hls table3 --cases 2 3
     repro-hls demo
@@ -169,6 +171,53 @@ def _cmd_place(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .cyberphysical import (
+        CampaignConfig,
+        FaultPlan,
+        format_campaign,
+        run_campaign,
+        write_trace,
+    )
+    from .runtime import RetryModel
+
+    assay = load_assay(args.assay)
+    result = synthesize(assay, _spec_from_args(args))
+    print(f"assay          : {assay.name} ({len(assay)} ops)")
+    print(f"schedule       : {result.makespan_expression}, "
+          f"{result.num_devices} devices")
+
+    faults = FaultPlan.parse(args.faults) if args.faults else FaultPlan()
+    retry_model = RetryModel(
+        success_probability=args.success_probability,
+        max_attempts=args.max_attempts,
+        on_exhausted=args.on_exhausted,
+    )
+    config = CampaignConfig(
+        runs=args.runs,
+        seed=args.seed,
+        jobs=args.jobs,
+        policies=(args.policy,),
+        faults=faults,
+        retry_model=retry_model,
+        keep_traces=bool(args.trace_out),
+    )
+    outcome = run_campaign(result, config)
+    print(f"campaign       : {config.runs} runs x {config.jobs} job(s), "
+          f"policy '{args.policy}', {len(faults)} fault(s) injected, "
+          f"{outcome.wall_time:.1f}s wall")
+    print(format_campaign(outcome.stats))
+    if args.trace_out:
+        lines = write_trace(args.trace_out, outcome.trace_records())
+        print(f"trace          : {lines} records -> {args.trace_out}")
+    if args.stats_json:
+        from pathlib import Path
+
+        Path(args.stats_json).write_text(outcome.stats.to_json_text() + "\n")
+        print(f"stats          : written to {args.stats_json}")
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     assay = benchmark_assay(1)
     spec = default_spec(time_limit=args.time_limit)
@@ -243,6 +292,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_place.add_argument("--seed", type=int, default=0)
     _add_spec_arguments(p_place)
     p_place.set_defaults(func=_cmd_place)
+
+    p_sim = sub.add_parser(
+        "simulate",
+        help="synthesize an assay and run a Monte-Carlo fault campaign",
+    )
+    p_sim.add_argument("assay", help="path to assay JSON")
+    p_sim.add_argument("--runs", type=int, default=32,
+                       help="number of seeded engine runs")
+    p_sim.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = run inline)")
+    p_sim.add_argument(
+        "--faults", default="",
+        help="comma-separated fault specs kind:target[@layer][*factor], "
+             "e.g. 'exhaust:cap0,down:d1@2,slow:d0*2.5'",
+    )
+    p_sim.add_argument(
+        "--policy", default="all",
+        choices=("abort", "retry", "rebind", "resynth", "all"),
+        help="recovery policy chain to run under",
+    )
+    p_sim.add_argument("--trace-out",
+                       help="write a JSONL trace of every engine decision")
+    p_sim.add_argument("--stats-json",
+                       help="write the merged CampaignStats as canonical JSON")
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--success-probability", type=float, default=0.53,
+                       help="per-attempt success probability of "
+                            "indeterminate operations")
+    p_sim.add_argument("--max-attempts", type=int, default=20)
+    p_sim.add_argument("--on-exhausted", default="succeed",
+                       choices=("succeed", "fail"))
+    _add_spec_arguments(p_sim)
+    p_sim.set_defaults(func=_cmd_simulate)
 
     p_demo = sub.add_parser("demo", help="synthesize benchmark case 1 and show it")
     p_demo.add_argument("--time-limit", type=float, default=10.0)

@@ -1,0 +1,512 @@
+"""Closed-loop discrete-event execution engine.
+
+The seed executor (:mod:`repro.runtime.executor`) replays one sampled trace
+and hard-aborts every descendant layer the moment an operation fails.  This
+engine turns that open-loop replay into the control loop the paper's
+cyberphysical framing actually calls for:
+
+* layers are dispatched one at a time; the layer-to-layer transition is a
+  run-time decision taken after *observing* every operation outcome;
+* observation comes from a pluggable :class:`DurationSampler` (the "sensor"
+  abstraction — the default wraps the geometric
+  :class:`~repro.runtime.executor.RetryModel`);
+* a :class:`~repro.cyberphysical.faults.FaultPlan` injects physical faults
+  (exhausted retries, device-down, degraded-device slowdown);
+* on failure the engine consults its recovery policies in order
+  (:mod:`repro.cyberphysical.policies`); a policy may absorb the fault in
+  place, rebind the operation to a spare device, or splice freshly
+  re-synthesized contingency layers into the running schedule;
+* every decision is recorded as a :class:`~repro.cyberphysical.trace.TraceRecord`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from ..hls.schedule import LayerSchedule, OpPlacement
+from ..hls.synthesizer import SynthesisResult
+from ..runtime.events import Event, EventKind, EventLog
+from ..runtime.executor import RetryModel, _assert_exclusive
+from .faults import ActiveFaults, FaultPlan
+from .trace import TraceRecord
+
+
+class DurationSampler(Protocol):
+    """Sensor feedback: realized attempt counts for indeterminate ops."""
+
+    @property
+    def max_attempts(self) -> int: ...
+
+    def sample(
+        self, placement: OpPlacement, rng: random.Random
+    ) -> tuple[int, bool]:
+        """Return (attempts, succeeded) for one execution of ``placement``."""
+        ...
+
+
+class RetrySampler:
+    """Default sampler: the geometric retry model of the seed executor."""
+
+    def __init__(self, model: RetryModel | None = None) -> None:
+        self.model = model or RetryModel()
+
+    @property
+    def max_attempts(self) -> int:
+        return self.model.max_attempts
+
+    def sample(
+        self, placement: OpPlacement, rng: random.Random
+    ) -> tuple[int, bool]:
+        if not placement.indeterminate:
+            return 1, True
+        return self.model.sample_attempts(rng)
+
+
+#: Failure reasons the policies dispatch on.
+REASON_EXHAUSTED = "exhausted_retries"
+REASON_DEVICE_DOWN = "device_down"
+
+
+@dataclass
+class OpFailure:
+    """One operation failure awaiting recovery."""
+
+    placement: OpPlacement
+    reason: str
+    #: simulated time at which the failure was observed.
+    observed_at: int
+
+
+@dataclass(frozen=True)
+class RecoveryRecord:
+    """One successful (or finally failed) recovery attempt chain."""
+
+    op: str
+    layer: int
+    reason: str
+    policy: str
+    extra_time: int
+    device: str = ""
+    note: str = ""
+
+
+@dataclass
+class RecoveryContext:
+    """Everything a recovery policy may consult."""
+
+    engine: "ExecutionEngine"
+    failure: OpFailure
+    layer: LayerSchedule
+    #: dispatch position of the failing layer in execution order.
+    position: int
+    rng: random.Random
+    faults: ActiveFaults
+    #: layers not yet dispatched (candidates for contingency re-planning).
+    remaining: list[LayerSchedule]
+
+    @property
+    def op_uid(self) -> str:
+        return self.failure.placement.uid
+
+    @property
+    def operation(self):
+        return self.engine.assay[self.op_uid]
+
+
+@dataclass
+class RecoveryOutcome:
+    """What one policy attempt did.
+
+    ``extra_time`` is charged to the running clock whether or not the
+    attempt recovered (failed attempts still burn chip time).  ``splice``
+    replaces every not-yet-dispatched layer with freshly synthesized
+    contingency layers; ``new_devices`` are merged into the engine's
+    inventory before the splice executes.
+    """
+
+    recovered: bool
+    extra_time: int = 0
+    device: str = ""
+    note: str = ""
+    splice: list[LayerSchedule] | None = None
+    new_devices: dict = field(default_factory=dict)
+
+
+@dataclass
+class EngineReport:
+    """Outcome of one closed-loop run."""
+
+    seed: int
+    makespan: int
+    completed: bool
+    layer_spans: list[tuple[int, int]]
+    attempts: dict[str, int]
+    failed_ops: list[str]
+    aborted_layers: list[int]
+    recovery_records: list[RecoveryRecord]
+    faults_fired: int
+    resyntheses: int
+    trace: list[TraceRecord]
+    log: EventLog
+
+    @property
+    def recoveries(self) -> dict[str, int]:
+        """Successful recovery counts by policy name."""
+        out: dict[str, int] = {}
+        for record in self.recovery_records:
+            out[record.policy] = out.get(record.policy, 0) + 1
+        return out
+
+
+class ExecutionEngine:
+    """Dispatch a hybrid schedule layer by layer with online recovery."""
+
+    def __init__(
+        self,
+        result: SynthesisResult,
+        policies=(),
+        fault_plan: FaultPlan | None = None,
+        sampler: DurationSampler | None = None,
+        retry_model: RetryModel | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.result = result
+        self.assay = result.assay
+        self.spec = result.spec
+        self.policies = list(policies)
+        self.fault_plan = fault_plan or FaultPlan()
+        self.sampler = sampler or RetrySampler(retry_model)
+        self.seed = seed
+        #: live device inventory; contingency re-synthesis adds to it.
+        self.devices = dict(result.devices)
+        #: count of contingency splices this run (policies consult the cap).
+        self.resyntheses = 0
+        self._uid_counter = 0
+
+    def allocate_device_uid(self) -> str:
+        """Fresh device uid that cannot collide with the synthesized set."""
+        uid = f"c{self._uid_counter}"
+        self._uid_counter += 1
+        return uid
+
+    # -- main loop --------------------------------------------------------
+
+    def run(self) -> EngineReport:
+        rng = random.Random(self.seed)
+        faults = self.fault_plan.activate()
+        log = EventLog()
+        trace: list[TraceRecord] = []
+        #: mutable work list — contingency splices rewrite the tail.
+        pending: list[LayerSchedule] = list(self.result.schedule.layers)
+
+        clock = 0
+        position = 0
+        layer_spans: list[tuple[int, int]] = []
+        attempts: dict[str, int] = {}
+        failed_ops: list[str] = []
+        aborted_layers: list[int] = []
+        recovery_records: list[RecoveryRecord] = []
+        self.resyntheses = 0
+
+        trace.append(
+            TraceRecord(
+                self.seed,
+                0,
+                "run_start",
+                {
+                    "layers": len(pending),
+                    "faults": [f.to_json() for f in self.fault_plan],
+                    "policies": [p.name for p in self.policies],
+                },
+            )
+        )
+
+        while pending:
+            layer = pending.pop(0)
+            layer_start = clock
+            trace.append(
+                TraceRecord(
+                    self.seed,
+                    layer_start,
+                    "layer_dispatch",
+                    {
+                        "layer": layer.index,
+                        "position": position,
+                        "ops": sorted(layer.placements),
+                    },
+                )
+            )
+            log.record(
+                Event(layer_start, EventKind.LAYER_START, layer=layer.index)
+            )
+            _assert_exclusive(layer)
+
+            layer_end, failures = self._play_layer(
+                layer, layer_start, position, rng, faults, attempts, log
+            )
+
+            for failure in failures:
+                failure.observed_at = layer_end
+                trace.append(
+                    TraceRecord(
+                        self.seed,
+                        layer_end,
+                        "op_fault",
+                        {
+                            "op": failure.placement.uid,
+                            "layer": layer.index,
+                            "device": failure.placement.device_uid,
+                            "reason": failure.reason,
+                        },
+                    )
+                )
+                context = RecoveryContext(
+                    engine=self,
+                    failure=failure,
+                    layer=layer,
+                    position=position,
+                    rng=rng,
+                    faults=faults,
+                    remaining=pending,
+                )
+                recovered, extra, record = self._recover(
+                    context, pending, trace, layer_end
+                )
+                layer_end += extra
+                if record is not None:
+                    recovery_records.append(record)
+                if not recovered:
+                    failed_ops.append(failure.placement.uid)
+
+            log.record(Event(layer_end, EventKind.LAYER_END, layer=layer.index))
+            layer_spans.append((layer_start, layer_end))
+            trace.append(
+                TraceRecord(
+                    self.seed,
+                    layer_end,
+                    "layer_complete",
+                    {"layer": layer.index, "span": [layer_start, layer_end]},
+                )
+            )
+            clock = layer_end
+            position += 1
+
+            if failed_ops:
+                aborted_layers = [lay.index for lay in pending]
+                pending = []
+
+        log.finalize()
+        completed = not failed_ops
+        trace.append(
+            TraceRecord(
+                self.seed,
+                clock,
+                "run_end",
+                {
+                    "makespan": clock,
+                    "completed": completed,
+                    "failed_ops": list(failed_ops),
+                    "faults_fired": faults.fired,
+                    "resyntheses": self.resyntheses,
+                },
+            )
+        )
+        return EngineReport(
+            seed=self.seed,
+            makespan=clock,
+            completed=completed,
+            layer_spans=layer_spans,
+            attempts=attempts,
+            failed_ops=failed_ops,
+            aborted_layers=aborted_layers,
+            recovery_records=recovery_records,
+            faults_fired=faults.fired,
+            resyntheses=self.resyntheses,
+            trace=trace,
+            log=log,
+        )
+
+    # -- internals --------------------------------------------------------
+
+    def _play_layer(
+        self,
+        layer: LayerSchedule,
+        layer_start: int,
+        position: int,
+        rng: random.Random,
+        faults: ActiveFaults,
+        attempts: dict[str, int],
+        log: EventLog,
+    ) -> tuple[int, list[OpFailure]]:
+        """Execute one layer's fixed sub-schedule; collect failures."""
+        layer_end = layer_start
+        failures: list[OpFailure] = []
+        ordered = sorted(
+            layer.placements.values(), key=lambda p: (p.start, p.uid)
+        )
+        for placement in ordered:
+            start = layer_start + placement.start
+            device = placement.device_uid
+            log.record(
+                Event(
+                    start,
+                    EventKind.OP_START,
+                    uid=placement.uid,
+                    layer=layer.index,
+                    device=device,
+                )
+            )
+            if faults.device_down(device, position):
+                # The dispatch itself fails; no chip time is consumed beyond
+                # the scheduled start.
+                failures.append(
+                    OpFailure(placement, REASON_DEVICE_DOWN, start)
+                )
+                log.record(
+                    Event(
+                        start,
+                        EventKind.OP_END,
+                        uid=placement.uid,
+                        layer=layer.index,
+                        device=device,
+                    )
+                )
+                layer_end = max(layer_end, start)
+                continue
+
+            duration = faults.scaled_duration(
+                placement.duration, device, position
+            )
+            if placement.indeterminate:
+                tries, succeeded = self.sampler.sample(placement, rng)
+                if faults.exhausts(placement.uid):
+                    tries = max(tries, self.sampler.max_attempts)
+                    succeeded = False
+                attempts[placement.uid] = (
+                    attempts.get(placement.uid, 0) + tries
+                )
+                end = start + tries * duration
+                for attempt in range(1, tries):
+                    log.record(
+                        Event(
+                            start + attempt * duration,
+                            EventKind.OP_RETRY,
+                            uid=placement.uid,
+                            layer=layer.index,
+                            device=device,
+                        )
+                    )
+                if not succeeded:
+                    failures.append(
+                        OpFailure(placement, REASON_EXHAUSTED, end)
+                    )
+            else:
+                end = start + duration
+            log.record(
+                Event(
+                    end,
+                    EventKind.OP_END,
+                    uid=placement.uid,
+                    layer=layer.index,
+                    device=device,
+                )
+            )
+            layer_end = max(layer_end, end)
+        return layer_end, failures
+
+    def _recover(
+        self,
+        context: RecoveryContext,
+        pending: list[LayerSchedule],
+        trace: list[TraceRecord],
+        now: int,
+    ) -> tuple[bool, int, RecoveryRecord | None]:
+        """Run the policy chain for one failure.
+
+        Returns (recovered, total extra time, record of the successful
+        policy or None).  Failed attempts still charge their time.
+        """
+        total_extra = 0
+        for policy in self.policies:
+            trace.append(
+                TraceRecord(
+                    self.seed,
+                    now + total_extra,
+                    "policy_attempt",
+                    {
+                        "op": context.op_uid,
+                        "policy": policy.name,
+                        "reason": context.failure.reason,
+                    },
+                )
+            )
+            outcome = policy.attempt(context)
+            if outcome is None:
+                trace.append(
+                    TraceRecord(
+                        self.seed,
+                        now + total_extra,
+                        "policy_result",
+                        {
+                            "op": context.op_uid,
+                            "policy": policy.name,
+                            "applicable": False,
+                        },
+                    )
+                )
+                continue
+            total_extra += outcome.extra_time
+            trace.append(
+                TraceRecord(
+                    self.seed,
+                    now + total_extra,
+                    "policy_result",
+                    {
+                        "op": context.op_uid,
+                        "policy": policy.name,
+                        "applicable": True,
+                        "recovered": outcome.recovered,
+                        "extra_time": outcome.extra_time,
+                        "device": outcome.device,
+                        "note": outcome.note,
+                    },
+                )
+            )
+            if not outcome.recovered:
+                continue
+            if outcome.new_devices:
+                self.devices.update(outcome.new_devices)
+            if outcome.splice is not None:
+                dropped = [lay.index for lay in pending]
+                pending.clear()
+                pending.extend(outcome.splice)
+                self.resyntheses += 1
+                trace.append(
+                    TraceRecord(
+                        self.seed,
+                        now + total_extra,
+                        "resynthesis_splice",
+                        {
+                            "op": context.op_uid,
+                            "dropped_layers": dropped,
+                            "spliced_layers": [
+                                lay.index for lay in outcome.splice
+                            ],
+                            "new_devices": sorted(outcome.new_devices),
+                            "note": outcome.note,
+                        },
+                    )
+                )
+            record = RecoveryRecord(
+                op=context.op_uid,
+                layer=context.layer.index,
+                reason=context.failure.reason,
+                policy=policy.name,
+                extra_time=total_extra,
+                device=outcome.device,
+                note=outcome.note,
+            )
+            return True, total_extra, record
+        return False, total_extra, None

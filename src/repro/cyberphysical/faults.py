@@ -1,0 +1,251 @@
+"""Physical fault models for the cyberphysical execution engine.
+
+FPVA-style testing work (Liu et al., arXiv:1705.04996) catalogs the fault
+classes continuous-flow chips actually exhibit: valves stick, channels
+block, pumps weaken.  At the abstraction level of a hybrid schedule those
+surface as three injectable fault kinds:
+
+* ``EXHAUST_RETRIES`` — an indeterminate operation burns through its whole
+  attempt budget without success (e.g. a cell trap that never captures);
+* ``DEVICE_DOWN`` — a device becomes unusable from a given layer onward
+  (stuck valve, blocked inlet): every operation bound to it fails on
+  dispatch;
+* ``DEGRADE`` — a device slows down by a factor from a given layer onward
+  (weakened pump): operations still succeed but take longer.
+
+A :class:`FaultPlan` is the immutable experiment description; the engine
+activates it into per-run mutable state (:class:`ActiveFaults`) so one plan
+can drive many Monte-Carlo runs.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from ..errors import SpecificationError
+
+
+class FaultKind(enum.Enum):
+    EXHAUST_RETRIES = "exhaust"
+    DEVICE_DOWN = "down"
+    DEGRADE = "slow"
+
+
+#: ``triggers`` value meaning "the fault never clears".
+PERSISTENT = -1
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault.
+
+    ``target`` is an operation uid for ``EXHAUST_RETRIES`` and a device uid
+    for the device-level kinds.  ``at_layer`` arms device faults from that
+    layer index onward (operation faults ignore it).  ``factor`` is the
+    slowdown multiplier for ``DEGRADE``.  ``triggers`` caps how many times
+    the fault fires — the default ``1`` models a transient fault that a
+    recovery action clears; :data:`PERSISTENT` never clears (device faults
+    default to persistent via :meth:`parse`).
+    """
+
+    kind: FaultKind
+    target: str
+    at_layer: int = 0
+    factor: float = 2.0
+    triggers: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.target:
+            raise SpecificationError("fault target must be non-empty")
+        if self.at_layer < 0:
+            raise SpecificationError("fault at_layer must be >= 0")
+        if self.kind is FaultKind.DEGRADE and self.factor <= 1.0:
+            raise SpecificationError(
+                f"degrade factor must be > 1, got {self.factor}"
+            )
+        if self.triggers == 0 or self.triggers < PERSISTENT:
+            raise SpecificationError(
+                f"triggers must be positive or PERSISTENT, got {self.triggers}"
+            )
+
+    def to_json(self) -> dict:
+        return {
+            "kind": self.kind.value,
+            "target": self.target,
+            "at_layer": self.at_layer,
+            "factor": self.factor,
+            "triggers": self.triggers,
+        }
+
+    @staticmethod
+    def from_json(data: dict) -> "FaultSpec":
+        return FaultSpec(
+            kind=FaultKind(data["kind"]),
+            target=data["target"],
+            at_layer=data.get("at_layer", 0),
+            factor=data.get("factor", 2.0),
+            triggers=data.get("triggers", 1),
+        )
+
+    @staticmethod
+    def parse(text: str) -> "FaultSpec":
+        """Parse the CLI shorthand ``kind:target[@layer][*factor]``.
+
+        Examples: ``exhaust:capture0``, ``down:d1@2``, ``slow:d0*2.5``,
+        ``slow:d0@1*3``.  Device faults (``down``/``slow``) default to
+        persistent; ``exhaust`` defaults to a single transient trigger.
+        """
+        head, sep, rest = text.partition(":")
+        if not sep or not rest:
+            raise SpecificationError(
+                f"fault spec {text!r} must look like kind:target[@layer][*factor]"
+            )
+        try:
+            kind = FaultKind(head.strip())
+        except ValueError:
+            choices = ", ".join(k.value for k in FaultKind)
+            raise SpecificationError(
+                f"unknown fault kind {head!r} (choices: {choices})"
+            ) from None
+        factor = 2.0
+        if "*" in rest:
+            rest, _, factor_text = rest.partition("*")
+            try:
+                factor = float(factor_text)
+            except ValueError:
+                raise SpecificationError(
+                    f"bad slowdown factor in fault spec {text!r}"
+                ) from None
+        at_layer = 0
+        if "@" in rest:
+            rest, _, layer_text = rest.partition("@")
+            try:
+                at_layer = int(layer_text)
+            except ValueError:
+                raise SpecificationError(
+                    f"bad layer index in fault spec {text!r}"
+                ) from None
+        triggers = 1 if kind is FaultKind.EXHAUST_RETRIES else PERSISTENT
+        return FaultSpec(
+            kind=kind,
+            target=rest.strip(),
+            at_layer=at_layer,
+            factor=factor,
+            triggers=triggers,
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable set of faults to inject into a run (or campaign)."""
+
+    faults: tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.faults, tuple):
+            object.__setattr__(self, "faults", tuple(self.faults))
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def activate(self) -> "ActiveFaults":
+        return ActiveFaults(plan=self)
+
+    def to_json(self) -> list[dict]:
+        return [f.to_json() for f in self.faults]
+
+    @staticmethod
+    def parse(text: str) -> "FaultPlan":
+        """Parse a comma-separated list of CLI fault shorthands."""
+        specs = [
+            FaultSpec.parse(part)
+            for part in text.split(",")
+            if part.strip()
+        ]
+        return FaultPlan(faults=tuple(specs))
+
+
+@dataclass
+class ActiveFaults:
+    """Per-run mutable view of a :class:`FaultPlan`.
+
+    Tracks remaining trigger counts so transient faults clear once a
+    recovery action has absorbed them, while persistent faults keep firing.
+    """
+
+    plan: FaultPlan
+    _remaining: dict[int, int] = field(default_factory=dict)
+    fired: int = 0
+
+    def __post_init__(self) -> None:
+        self._remaining = {
+            i: spec.triggers for i, spec in enumerate(self.plan.faults)
+        }
+
+    def _consume(self, index: int) -> bool:
+        left = self._remaining[index]
+        if left == 0:
+            return False
+        if left != PERSISTENT:
+            self._remaining[index] = left - 1
+        self.fired += 1
+        return True
+
+    def exhausts(self, op_uid: str) -> bool:
+        """Fire (and consume) a pending exhaust-retries fault on ``op_uid``."""
+        for i, spec in enumerate(self.plan.faults):
+            if spec.kind is FaultKind.EXHAUST_RETRIES and spec.target == op_uid:
+                if self._consume(i):
+                    return True
+        return False
+
+    def device_down(self, device_uid: str, layer_index: int) -> bool:
+        """Fire a device-down fault for ``device_uid`` at ``layer_index``."""
+        for i, spec in enumerate(self.plan.faults):
+            if (
+                spec.kind is FaultKind.DEVICE_DOWN
+                and spec.target == device_uid
+                and layer_index >= spec.at_layer
+            ):
+                if self._consume(i):
+                    return True
+        return False
+
+    def is_down(self, device_uid: str, layer_index: int) -> bool:
+        """Whether ``device_uid`` is armed as down (without consuming)."""
+        for i, spec in enumerate(self.plan.faults):
+            if (
+                spec.kind is FaultKind.DEVICE_DOWN
+                and spec.target == device_uid
+                and layer_index >= spec.at_layer
+                and self._remaining[i] != 0
+            ):
+                return True
+        return False
+
+    def slowdown(self, device_uid: str, layer_index: int) -> float:
+        """Combined slowdown factor on ``device_uid`` at ``layer_index``."""
+        factor = 1.0
+        for i, spec in enumerate(self.plan.faults):
+            if (
+                spec.kind is FaultKind.DEGRADE
+                and spec.target == device_uid
+                and layer_index >= spec.at_layer
+                and self._remaining[i] != 0
+            ):
+                factor *= spec.factor
+        return factor
+
+    def scaled_duration(
+        self, duration: int, device_uid: str, layer_index: int
+    ) -> int:
+        """``duration`` stretched by any degrade fault on the device."""
+        factor = self.slowdown(device_uid, layer_index)
+        if factor == 1.0:
+            return duration
+        return math.ceil(duration * factor)

@@ -6,6 +6,14 @@ purely reactive execution cannot reserve devices for time-critical steps.
 This harness quantifies the static comparison: it simulates many runs of a
 hybrid schedule under a retry model and contrasts the realized makespan
 distribution with the static worst-case reservation.
+
+Runs may fail (``on_exhausted="fail"``, or injected faults).  Failed runs
+truncate at the failing layer, so their shorter makespans are *excluded*
+from the distribution — mixing them in would bias ``mean``/``best``
+downward exactly when the chip performs worst; instead they surface as
+``failure_rate``.  Passing ``policies`` routes the simulation through the
+cyberphysical :class:`~repro.cyberphysical.engine.ExecutionEngine`, so the
+same comparison can be run under recovery policies rather than abort.
 """
 
 from __future__ import annotations
@@ -19,7 +27,7 @@ from ..runtime import RetryModel, execute_schedule
 
 @dataclass(frozen=True)
 class MakespanDistribution:
-    """Summary statistics of simulated makespans."""
+    """Summary statistics of simulated makespans (successful runs only)."""
 
     runs: int
     mean: float
@@ -31,6 +39,9 @@ class MakespanDistribution:
     retry_rate: float
     #: the fixed (scheduled) part common to every run.
     scheduled: int
+    #: fraction of runs that failed to complete the assay; failed runs are
+    #: excluded from the distribution fields above.
+    failure_rate: float = 0.0
 
     @property
     def mean_extra(self) -> float:
@@ -38,32 +49,106 @@ class MakespanDistribution:
         return self.mean - self.scheduled
 
 
+def _summarize(
+    makespans: list[int],
+    runs: int,
+    retried: int,
+    failed: int,
+    scheduled: int,
+) -> MakespanDistribution:
+    ordered = sorted(makespans)
+    if ordered:
+        mean = statistics.mean(ordered)
+        median = statistics.median(ordered)
+        p95 = ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+        best, worst = ordered[0], ordered[-1]
+    else:  # every run failed — nothing to summarize.
+        mean = median = 0.0
+        p95 = best = worst = 0
+    return MakespanDistribution(
+        runs=runs,
+        mean=mean,
+        median=median,
+        p95=p95,
+        worst=worst,
+        best=best,
+        retry_rate=retried / runs,
+        scheduled=scheduled,
+        failure_rate=failed / runs,
+    )
+
+
 def simulate_makespans(
     result: SynthesisResult,
     retry_model: RetryModel | None = None,
     runs: int = 100,
     seed: int = 0,
+    policies=None,
+    fault_plan=None,
 ) -> MakespanDistribution:
-    """Run the executor ``runs`` times and summarize the makespans."""
+    """Run the executor ``runs`` times and summarize the makespans.
+
+    With ``policies`` (a policy chain or an iterable of policy names) the
+    runs go through the closed-loop engine instead of the one-shot
+    executor, optionally under an injected ``fault_plan`` — recovered runs
+    then count as successes.
+    """
     retry_model = retry_model or RetryModel()
+    if policies is not None or fault_plan is not None:
+        return _simulate_with_recovery(
+            result, retry_model, runs, seed, policies or (), fault_plan
+        )
     makespans: list[int] = []
     retried = 0
+    failed = 0
     for k in range(runs):
         report = execute_schedule(result.schedule, retry_model, seed=seed + k)
-        makespans.append(report.makespan)
         if any(tries > 1 for tries in report.attempts.values()):
             retried += 1
-    ordered = sorted(makespans)
-    return MakespanDistribution(
-        runs=runs,
-        mean=statistics.mean(makespans),
-        median=statistics.median(makespans),
-        p95=ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))],
-        worst=max(makespans),
-        best=min(makespans),
-        retry_rate=retried / runs,
-        scheduled=result.fixed_makespan,
+        if not report.succeeded:
+            failed += 1
+            continue
+        makespans.append(report.makespan)
+    return _summarize(makespans, runs, retried, failed, result.fixed_makespan)
+
+
+def _simulate_with_recovery(
+    result: SynthesisResult,
+    retry_model: RetryModel,
+    runs: int,
+    seed: int,
+    policies,
+    fault_plan,
+) -> MakespanDistribution:
+    from ..cyberphysical import (
+        ExecutionEngine,
+        FaultPlan,
+        RetrySampler,
+        build_policies,
     )
+
+    if policies and all(isinstance(p, str) for p in policies):
+        policies = build_policies(policies)
+    chain = list(policies)
+    makespans: list[int] = []
+    retried = 0
+    failed = 0
+    for k in range(runs):
+        engine = ExecutionEngine(
+            result,
+            policies=chain,
+            fault_plan=fault_plan or FaultPlan(),
+            sampler=RetrySampler(retry_model),
+            seed=seed + k,
+        )
+        report = engine.run()
+        if any(tries > 1 for tries in report.attempts.values()):
+            retried += 1
+        if not report.completed:
+            failed += 1
+            continue
+        makespans.append(report.makespan)
+    return _summarize(makespans, runs, retried, failed, result.fixed_makespan)
 
 
 def static_worst_case(
@@ -87,15 +172,28 @@ def hybrid_advantage(
     retry_model: RetryModel | None = None,
     runs: int = 100,
     seed: int = 0,
+    policies=None,
+    fault_plan=None,
 ) -> float:
     """Average chip time the hybrid schedule saves vs static reservation.
 
     Returns a fraction in [0, 1); 0 when the assay has no indeterminate
-    operations (both schedules are identical then).
+    operations (both schedules are identical then).  ``policies`` and
+    ``fault_plan`` pass through to :func:`simulate_makespans` so the
+    advantage can be measured under recovery rather than abort.
     """
     retry_model = retry_model or RetryModel()
     static = static_worst_case(result, retry_model)
     if static <= 0:
         return 0.0
-    dist = simulate_makespans(result, retry_model, runs=runs, seed=seed)
+    dist = simulate_makespans(
+        result,
+        retry_model,
+        runs=runs,
+        seed=seed,
+        policies=policies,
+        fault_plan=fault_plan,
+    )
+    if dist.failure_rate >= 1.0:
+        return 0.0
     return max(0.0, 1.0 - dist.mean / static)

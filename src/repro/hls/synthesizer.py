@@ -165,19 +165,25 @@ def synthesize(
     assay: Assay,
     spec: SynthesisSpec | None = None,
     transport: TransportEstimator | None = None,
+    cache: LayerSolveCache | None = None,
 ) -> SynthesisResult:
     """Run the full component-oriented synthesis flow on ``assay``.
 
     ``transport`` overrides the transportation estimator — e.g. a
     :class:`repro.layout.LayoutTransportEstimator` that refines from an
-    actual device placement instead of usage ranks.
+    actual device placement instead of usage ranks.  ``cache`` supplies an
+    external cross-run :class:`LayerSolveCache` (used by contingency
+    re-synthesis to replay layer solves across repeated re-planning); when
+    omitted, a per-run cache is created according to
+    ``spec.enable_solve_cache``.
     """
     spec = spec or SynthesisSpec()
     started = time.monotonic()
 
     layering = layer_assay(assay, spec.threshold)
     transport = transport or TransportEstimator(assay, spec)
-    cache = LayerSolveCache() if spec.enable_solve_cache else None
+    if cache is None:
+        cache = LayerSolveCache() if spec.enable_solve_cache else None
     uid_counter = [0]
 
     def allocate_uid() -> str:

@@ -191,14 +191,27 @@ def execute_schedule(
 
 
 def _assert_exclusive(layer) -> None:
-    """Defensive device-exclusivity check on the fixed sub-schedule."""
+    """Defensive device-exclusivity check on the fixed sub-schedule.
+
+    Two violations are rejected: overlapping fixed windows on one device,
+    and *any* placement starting at or after an indeterminate operation's
+    start on the same device — an indeterminate operation must end its
+    layer (paper constraint (14)), so nothing can be scheduled behind it;
+    its realized completion is unknowable at synthesis time.
+    """
     by_device: dict[str, list] = {}
     for placement in layer.placements.values():
         by_device.setdefault(placement.device_uid, []).append(placement)
     for device_uid, placements in by_device.items():
-        placements.sort(key=lambda p: p.start)
+        placements.sort(key=lambda p: (p.start, p.indeterminate, p.uid))
         for first, second in zip(placements, placements[1:]):
-            if second.start < first.end and not first.indeterminate:
+            if first.indeterminate:
+                raise SchedulingError(
+                    f"device {device_uid}: {second.uid} scheduled after "
+                    f"indeterminate {first.uid}, whose completion is "
+                    f"unknowable at synthesis time"
+                )
+            if second.start < first.end:
                 raise SchedulingError(
                     f"device {device_uid} double-booked: "
                     f"{first.uid} and {second.uid}"

@@ -1,0 +1,99 @@
+"""Tests for the fault model (repro.cyberphysical.faults)."""
+
+import pytest
+
+from repro.cyberphysical import (
+    PERSISTENT,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.errors import SpecificationError
+
+
+class TestFaultSpecParse:
+    def test_exhaust_shorthand(self):
+        spec = FaultSpec.parse("exhaust:capture0")
+        assert spec.kind is FaultKind.EXHAUST_RETRIES
+        assert spec.target == "capture0"
+        assert spec.triggers == 1  # transient by default
+
+    def test_device_down_with_layer(self):
+        spec = FaultSpec.parse("down:d1@2")
+        assert spec.kind is FaultKind.DEVICE_DOWN
+        assert spec.target == "d1"
+        assert spec.at_layer == 2
+        assert spec.triggers == PERSISTENT
+
+    def test_degrade_with_factor(self):
+        spec = FaultSpec.parse("slow:d0*2.5")
+        assert spec.kind is FaultKind.DEGRADE
+        assert spec.factor == 2.5
+
+    def test_degrade_layer_and_factor(self):
+        spec = FaultSpec.parse("slow:d0@1*3")
+        assert spec.at_layer == 1
+        assert spec.factor == 3.0
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", "exhaust", "exhaust:", "boom:x", "slow:d0*x", "down:d1@x"],
+    )
+    def test_rejects_malformed(self, text):
+        with pytest.raises(SpecificationError):
+            FaultSpec.parse(text)
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(SpecificationError):
+            FaultSpec(FaultKind.DEGRADE, "d0", factor=1.0)
+
+    def test_json_roundtrip(self):
+        spec = FaultSpec.parse("down:d1@2")
+        assert FaultSpec.from_json(spec.to_json()) == spec
+
+
+class TestFaultPlan:
+    def test_parse_list(self):
+        plan = FaultPlan.parse("exhaust:cap0, down:d1@1, slow:d0*2")
+        assert len(plan) == 3
+        assert [f.kind for f in plan] == [
+            FaultKind.EXHAUST_RETRIES,
+            FaultKind.DEVICE_DOWN,
+            FaultKind.DEGRADE,
+        ]
+
+    def test_empty_plan(self):
+        plan = FaultPlan()
+        active = plan.activate()
+        assert not active.exhausts("anything")
+        assert not active.is_down("d0", 0)
+        assert active.slowdown("d0", 0) == 1.0
+
+
+class TestActiveFaults:
+    def test_transient_exhaust_consumed(self):
+        active = FaultPlan.parse("exhaust:cap").activate()
+        assert active.exhausts("cap")
+        assert not active.exhausts("cap")  # trigger spent
+        assert active.fired == 1
+
+    def test_persistent_down_keeps_firing(self):
+        active = FaultPlan.parse("down:d1").activate()
+        assert active.device_down("d1", 0)
+        assert active.device_down("d1", 3)
+        assert active.is_down("d1", 5)
+
+    def test_down_armed_from_layer(self):
+        active = FaultPlan.parse("down:d1@2").activate()
+        assert not active.device_down("d1", 0)
+        assert not active.is_down("d1", 1)
+        assert active.device_down("d1", 2)
+
+    def test_scaled_duration_ceils(self):
+        active = FaultPlan.parse("slow:d0*2.5").activate()
+        assert active.scaled_duration(3, "d0", 0) == 8  # ceil(7.5)
+        assert active.scaled_duration(3, "other", 0) == 3
+
+    def test_stacked_degrades_multiply(self):
+        active = FaultPlan.parse("slow:d0*2,slow:d0*3").activate()
+        assert active.slowdown("d0", 0) == 6.0

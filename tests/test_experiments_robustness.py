@@ -47,6 +47,66 @@ class TestSimulateMakespans:
         assert hard.mean >= easy.mean
 
 
+class TestFailureHandling:
+    def test_failed_runs_excluded_from_distribution(
+        self, indeterminate_assay, fast_spec
+    ):
+        """Aborted runs truncate at the failing layer; their short makespans
+        must not drag the distribution down (the old bias)."""
+        result = synthesize(indeterminate_assay, fast_spec)
+        harsh = RetryModel(
+            success_probability=0.05, max_attempts=2, on_exhausted="fail"
+        )
+        dist = simulate_makespans(result, harsh, runs=60, seed=7)
+        assert dist.failure_rate > 0
+        # Every surviving makespan covers the full fixed schedule.
+        assert dist.best >= result.fixed_makespan
+
+    def test_failure_rate_zero_under_succeed_policy(
+        self, indeterminate_assay, fast_spec
+    ):
+        result = synthesize(indeterminate_assay, fast_spec)
+        dist = simulate_makespans(result, runs=20, seed=0)
+        assert dist.failure_rate == 0.0
+
+    def test_all_failed_degenerates_cleanly(
+        self, indeterminate_assay, fast_spec
+    ):
+        from repro.cyberphysical import FaultPlan
+
+        result = synthesize(indeterminate_assay, fast_spec)
+        plan = FaultPlan.parse("exhaust:capture0,exhaust:capture1")
+        dist = simulate_makespans(
+            result,
+            RetryModel(max_attempts=2),
+            runs=5,
+            seed=0,
+            policies=(),
+            fault_plan=plan,
+        )
+        assert dist.failure_rate == 1.0
+        assert dist.mean == 0.0 and dist.best == 0
+
+    def test_recovery_policies_flip_failures_to_successes(
+        self, indeterminate_assay, fast_spec
+    ):
+        from repro.cyberphysical import FaultPlan
+
+        result = synthesize(indeterminate_assay, fast_spec)
+        plan = FaultPlan.parse("exhaust:capture0")
+        model = RetryModel(max_attempts=3)
+        aborting = simulate_makespans(
+            result, model, runs=10, seed=0, policies=(), fault_plan=plan
+        )
+        recovering = simulate_makespans(
+            result, model, runs=10, seed=0, policies=("resynth",),
+            fault_plan=plan,
+        )
+        assert aborting.failure_rate == 1.0
+        assert recovering.failure_rate == 0.0
+        assert recovering.best >= result.fixed_makespan
+
+
 class TestStaticComparison:
     def test_static_worst_case_dominates_simulation(
         self, indeterminate_assay, fast_spec
