@@ -1,0 +1,96 @@
+"""Speculative parallel re-synthesis: jobs=1 vs jobs=N on Table 3 case 2.
+
+Runs benchmark case 2 through the progressive flow sequentially and with a
+worker pool, records both wall clocks plus adoption telemetry to
+``benchmarks/results/parallel_synthesis.txt``, and asserts the headline
+contract: the parallel run's result is byte-identical to the sequential
+one.  The spec pins a MIP gap so every layer solve gap-terminates
+("optimal") — the precondition for run-to-run determinism.
+
+The speedup assertion is gated on the machine actually having more than
+one core: speculation adds work (mispredicted solves are thrown away), so
+on a single-CPU box the pool can only contend with the driver.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+
+from repro.assays import benchmark_assay
+from repro.experiments.table2 import default_spec
+from repro.hls import synthesize
+from repro.io.json_io import result_to_json
+
+CASE = 2
+JOBS = min(4, os.cpu_count() or 1)
+MULTI_CORE = (os.cpu_count() or 1) >= 2
+#: Small threshold -> several layers per pass (more to overlap); the MIP
+#: gap makes every solve terminate deterministically within the limit.
+SPEC = dataclasses.replace(
+    default_spec(time_limit=60.0, max_iterations=2),
+    threshold=4,
+    mip_gap=0.05,
+)
+
+_RESULTS: dict[int, tuple] = {}
+
+
+def _run(jobs: int):
+    if jobs not in _RESULTS:
+        started = time.perf_counter()
+        result = synthesize(benchmark_assay(CASE), SPEC, jobs=jobs)
+        _RESULTS[jobs] = (result, time.perf_counter() - started)
+    return _RESULTS[jobs]
+
+
+def _report(result) -> str:
+    return json.dumps(
+        result_to_json(result, deterministic=True), indent=2, sort_keys=True
+    )
+
+
+def test_sequential_variant(benchmark):
+    result, _ = benchmark.pedantic(_run, args=(1,), rounds=1, iterations=1)
+    result.validate()
+    assert result.speculative_solves == 0
+
+
+def test_parallel_variant(benchmark):
+    result, _ = benchmark.pedantic(_run, args=(JOBS,), rounds=1, iterations=1)
+    result.validate()
+    if JOBS > 1:
+        assert result.speculative_solves > 0
+
+
+def test_parallel_report(benchmark, record_rows):
+    (seq, seq_wall), (par, par_wall) = benchmark.pedantic(
+        lambda: (_run(1), _run(JOBS)), rounds=1, iterations=1
+    )
+    lines = [
+        f"case {CASE}, t={SPEC.threshold}, gap={SPEC.mip_gap}, "
+        f"{os.cpu_count()} cpu(s)",
+        f"{'variant':<10} {'makespan':>9} {'#D':>4} {'passes':>7} "
+        f"{'solves':>7} {'hits':>5} {'spec':>5} {'wall':>8}",
+    ]
+    for label, result, wall in (
+        ("jobs=1", seq, seq_wall),
+        (f"jobs={JOBS}", par, par_wall),
+    ):
+        lines.append(
+            f"{label:<10} {result.makespan_expression:>9} "
+            f"{result.num_devices:>4} {len(result.history):>7} "
+            f"{result.ilp_solves:>7} {result.cache_hits:>5} "
+            f"{result.speculative_solves:>5} {wall:>7.1f}s"
+        )
+    speedup = seq_wall / par_wall if par_wall else float("inf")
+    lines.append(f"speedup: {speedup:.2f}x")
+    record_rows("parallel_synthesis", "\n".join(lines))
+
+    # Parallelism must be invisible in the output...
+    assert _report(par) == _report(seq)
+    # ...and only pay off where it physically can.
+    if MULTI_CORE and JOBS > 1:
+        assert par_wall < seq_wall

@@ -13,10 +13,13 @@ binding concept alone.
 from __future__ import annotations
 
 import dataclasses
+import time
 
 from ..devices.device import BindingMode
+from ..hls.context import SynthesisContext
+from ..hls.pipeline import SynthesisPipeline
 from ..hls.spec import SynthesisSpec
-from ..hls.synthesizer import SynthesisResult, synthesize
+from ..hls.synthesizer import SynthesisResult
 from ..operations.assay import Assay
 
 
@@ -26,8 +29,22 @@ def conventional_spec(spec: SynthesisSpec) -> SynthesisSpec:
 
 
 def synthesize_conventional(
-    assay: Assay, spec: SynthesisSpec | None = None
+    assay: Assay, spec: SynthesisSpec | None = None, jobs: int | None = None
 ) -> SynthesisResult:
-    """Synthesize ``assay`` with the modified conventional method."""
+    """Synthesize ``assay`` with the modified conventional method.
+
+    Runs the *same* :class:`~repro.hls.pipeline.SynthesisPipeline` as
+    :func:`repro.hls.synthesizer.synthesize` — no forked pass loop.  The
+    only behavioral difference is the binding-legality predicate installed
+    by :func:`conventional_spec` (exact signature matches instead of
+    component cover), which every stage picks up through the shared
+    context's spec.
+    """
     spec = spec or SynthesisSpec()
-    return synthesize(assay, conventional_spec(spec))
+    context = SynthesisContext(
+        assay=assay,
+        spec=conventional_spec(spec),
+        jobs=jobs,
+        started=time.monotonic(),
+    )
+    return SynthesisPipeline().run(context)

@@ -8,7 +8,7 @@ Usage examples::
     repro-hls simulate my_assay.json --runs 32 --jobs 4 \\
         --faults exhaust:cap0 --policy resynth --trace-out trace.jsonl
     repro-hls table2 --cases 1 --time-limit 10
-    repro-hls table3 --cases 2 3
+    repro-hls table3 --cases 2 3 --jobs 4 --profile
     repro-hls demo
 """
 
@@ -34,6 +34,8 @@ def _spec_from_args(args: argparse.Namespace) -> SynthesisSpec:
         time_limit=args.time_limit,
         max_iterations=args.max_iterations,
         backend=args.backend,
+        mip_gap=getattr(args, "mip_gap", 0.0),
+        jobs=getattr(args, "jobs", 1),
     )
 
 
@@ -50,6 +52,18 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--max-iterations", type=int, default=2)
     parser.add_argument(
         "--backend", default="auto", choices=("auto", "highs", "bnb")
+    )
+    parser.add_argument(
+        "--mip-gap", type=float, default=0.0,
+        help="relative MIP gap at which a layer solve stops (0 = optimal)",
+    )
+
+
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for speculative re-synthesis layer solves "
+             "(results are identical for any value)",
     )
 
 
@@ -69,11 +83,16 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
             f"  {record.label:<9} makespan={record.fixed_makespan} "
             f"devices={record.num_devices} paths={record.num_paths}"
         )
+    if args.profile:
+        from .experiments import format_profile, synthesis_profile
+
+        print("\nsolve profile:")
+        print(format_profile(synthesis_profile(result)))
     if args.gantt:
         print()
         print(render_gantt(result.schedule))
     if args.out:
-        save_result(result, args.out)
+        save_result(result, args.out, deterministic=args.deterministic)
         print(f"result written to {args.out}")
     return 0
 
@@ -88,9 +107,19 @@ def _cmd_layer(args: argparse.Namespace) -> int:
     return 0
 
 
+def _table_spec(args: argparse.Namespace) -> SynthesisSpec:
+    import dataclasses
+
+    return dataclasses.replace(
+        default_spec(time_limit=args.time_limit),
+        threshold=args.threshold,
+        mip_gap=args.mip_gap,
+        jobs=args.jobs,
+    )
+
+
 def _cmd_table2(args: argparse.Namespace) -> int:
-    spec = default_spec(time_limit=args.time_limit)
-    rows = run_table2(spec, cases=tuple(args.cases))
+    rows = run_table2(_table_spec(args), cases=tuple(args.cases))
     print(format_table2(rows))
     return 0
 
@@ -98,8 +127,7 @@ def _cmd_table2(args: argparse.Namespace) -> int:
 def _cmd_table3(args: argparse.Namespace) -> int:
     from .experiments import export_profiles, format_profile
 
-    spec = default_spec(time_limit=args.time_limit)
-    rows = run_table3(spec, cases=tuple(args.cases))
+    rows = run_table3(_table_spec(args), cases=tuple(args.cases))
     print(format_table3(rows))
     if args.profile:
         for row in rows:
@@ -244,7 +272,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="use the conventional (exact-matching) baseline")
     p_syn.add_argument("--gantt", action="store_true", help="print a Gantt chart")
     p_syn.add_argument("--out", help="write result JSON here")
+    p_syn.add_argument(
+        "--deterministic", action="store_true",
+        help="omit wall-clock fields from --out so identical runs "
+             "serialize byte-identically",
+    )
+    p_syn.add_argument("--profile", action="store_true",
+                       help="print per-layer solve telemetry and per-pass "
+                            "stage timings")
     _add_spec_arguments(p_syn)
+    _add_jobs_argument(p_syn)
     p_syn.set_defaults(func=_cmd_synthesize)
 
     p_layer = sub.add_parser("layer", help="show the layering of an assay")
@@ -255,13 +292,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_t2 = sub.add_parser("table2", help="regenerate the paper's Table 2")
     p_t2.add_argument("--cases", type=int, nargs="+", default=[1, 2, 3])
     p_t2.add_argument("--time-limit", type=float, default=20.0)
+    p_t2.add_argument("--threshold", type=int, default=10)
+    p_t2.add_argument("--mip-gap", type=float, default=0.0)
+    _add_jobs_argument(p_t2)
     p_t2.set_defaults(func=_cmd_table2)
 
     p_t3 = sub.add_parser("table3", help="regenerate the paper's Table 3")
     p_t3.add_argument("--cases", type=int, nargs="+", default=[2, 3])
     p_t3.add_argument("--time-limit", type=float, default=20.0)
+    p_t3.add_argument("--threshold", type=int, default=10)
+    p_t3.add_argument("--mip-gap", type=float, default=0.0)
+    _add_jobs_argument(p_t3)
     p_t3.add_argument("--profile", action="store_true",
-                      help="print per-layer solve telemetry per case")
+                      help="print per-layer solve telemetry and per-pass "
+                           "stage timings per case")
     p_t3.add_argument("--profile-json",
                       help="write per-case solve profiles to this JSON file")
     p_t3.set_defaults(func=_cmd_table3)

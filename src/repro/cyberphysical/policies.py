@@ -25,8 +25,9 @@ from dataclasses import dataclass, replace
 
 from ..errors import ReproError
 from ..hls.cache import LayerSolveCache
+from ..hls.context import SynthesisContext
+from ..hls.pipeline import SynthesisPipeline
 from ..hls.schedule import LayerSchedule
-from ..hls.synthesizer import synthesize
 from .engine import (
     REASON_EXHAUSTED,
     RecoveryContext,
@@ -194,8 +195,16 @@ class ResynthesisPolicy(RecoveryPolicy):
             time_limit=self.time_limit or engine.spec.time_limit,
             max_iterations=self.max_iterations,
         )
+        # Contingency re-planning runs through the same pass pipeline as
+        # offline synthesis, with the policy's persistent cross-run cache
+        # injected via the context.  jobs is pinned to 1: recovery often
+        # happens inside a Monte-Carlo campaign worker, where nesting
+        # another process pool would oversubscribe the machine.
+        synthesis = SynthesisContext(
+            assay=residual, spec=spec, cache=self._cache, jobs=1
+        )
         try:
-            contingency = synthesize(residual, spec, cache=self._cache)
+            contingency = SynthesisPipeline().run(synthesis)
         except ReproError as exc:
             return RecoveryOutcome(
                 recovered=False,

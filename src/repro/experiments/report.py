@@ -82,6 +82,8 @@ def synthesis_profile(result: SynthesisResult) -> dict:
                 "fixed_makespan": record.fixed_makespan,
                 "cache_hits": record.cache_hits,
                 "ilp_solves": record.ilp_solves,
+                "speculative_solves": record.speculative_solves,
+                "stage_timings": dict(record.stage_timings),
                 "layers": [s.to_dict() for s in record.layer_stats],
             }
             for record in result.history
@@ -90,6 +92,7 @@ def synthesis_profile(result: SynthesisResult) -> dict:
             "passes": len(result.history),
             "cache_hits": result.cache_hits,
             "ilp_solves": result.ilp_solves,
+            "speculative_solves": result.speculative_solves,
             "nodes": result.total_nodes,
             "simplex_iterations": sum(
                 s.simplex_iterations for s in result.solve_stats
@@ -111,17 +114,31 @@ def format_profile(profile: dict) -> str:
     for record in profile["passes"]:
         for layer in record["layers"]:
             stats = SolveStats.from_dict(layer)
+            source = "hit" if stats.cache_hit else "miss"
+            if getattr(stats, "speculative", False):
+                source = "spec"
             lines.append(
                 f"{record['label']:<9} {stats.layer:>5} {stats.backend:<9} "
-                f"{stats.status:<10} {'hit' if stats.cache_hit else 'miss':<5} "
+                f"{stats.status:<10} {source:<5} "
                 f"{'yes' if stats.warm_started else 'no':<4} "
                 f"{stats.nodes:>7} {stats.simplex_iterations:>8} "
                 f"{stats.build_time:>7.3f}s {stats.solve_time:>7.3f}s"
             )
+        timings = record.get("stage_timings") or {}
+        if timings:
+            cells = " ".join(
+                f"{stage} {seconds:.3f}s" for stage, seconds in timings.items()
+            )
+            lines.append(f"{record['label']:<9} stages: {cells}")
     totals = profile["totals"]
+    speculative = totals.get("speculative_solves", 0)
+    speculative_note = (
+        f", {speculative} speculative solve(s)" if speculative else ""
+    )
     lines.append(
         f"totals: {totals['ilp_solves']} layer solve(s), "
-        f"{totals['cache_hits']} cache hit(s), {totals['nodes']} node(s), "
+        f"{totals['cache_hits']} cache hit(s){speculative_note}, "
+        f"{totals['nodes']} node(s), "
         f"{totals['simplex_iterations']} simplex iteration(s), "
         f"build {totals['build_time']:.3f}s, solve {totals['solve_time']:.3f}s, "
         f"wall {format_runtime(totals['runtime'])}"

@@ -47,7 +47,9 @@ class Table3Row:
         return (self.exe_times[0] - min(self.exe_times)) / self.exe_times[0]
 
 
-def run_table3_case(case: int, spec: SynthesisSpec | None = None) -> Table3Row:
+def run_table3_case(
+    case: int, spec: SynthesisSpec | None = None, jobs: int | None = None
+) -> Table3Row:
     """Progressive re-synthesis trajectory for one case.
 
     Reported as *best-so-far* per iteration: the synthesizer always keeps
@@ -58,7 +60,7 @@ def run_table3_case(case: int, spec: SynthesisSpec | None = None) -> Table3Row:
     from .report import synthesis_profile
 
     spec = spec or default_spec()
-    result = synthesize(benchmark_assay(case), spec)
+    result = synthesize(benchmark_assay(case), spec, jobs=jobs)
     exe_best: list[int] = []
     dev_best: list[int] = []
     for record in result.history:
@@ -77,6 +79,8 @@ def run_table3_case(case: int, spec: SynthesisSpec | None = None) -> Table3Row:
 
 
 def run_table3(
-    spec: SynthesisSpec | None = None, cases: tuple[int, ...] = (2, 3)
+    spec: SynthesisSpec | None = None,
+    cases: tuple[int, ...] = (2, 3),
+    jobs: int | None = None,
 ) -> list[Table3Row]:
-    return [run_table3_case(case, spec) for case in cases]
+    return [run_table3_case(case, spec, jobs=jobs) for case in cases]

@@ -6,12 +6,36 @@ takes an :class:`~repro.operations.assay.Assay` and a
 :class:`~repro.hls.synthesizer.SynthesisResult` containing the hybrid
 schedule, the device inventory, transportation paths, and the per-iteration
 refinement history.
+
+Internally synthesis runs as an explicit pass pipeline
+(:mod:`repro.hls.pipeline`) over a shared :class:`~repro.hls.context.
+SynthesisContext`, with per-layer solves delegated to pluggable scheduler
+backends (:mod:`repro.hls.backends`) and optionally fanned across worker
+processes on re-synthesis passes (:mod:`repro.hls.parallel`).
 """
 
-from .cache import LayerSolveCache, fingerprint_layer_problem
+from .backends import (
+    SchedulerBackend,
+    available_schedulers,
+    create_scheduler,
+    layer_cost,
+    register_scheduler,
+)
+from .cache import (
+    LayerSolveCache,
+    fingerprint_layer_problem,
+    strict_fingerprint_layer_problem,
+)
+from .context import PassState, SynthesisContext, UidAllocator
+from .pipeline import SynthesisPipeline
 from .schedule import HybridSchedule, LayerSchedule, OpPlacement
 from .spec import SynthesisSpec, TransportProgression, Weights
-from .synthesizer import IterationRecord, SynthesisResult, synthesize
+from .synthesizer import (
+    IterationRecord,
+    SynthesisResult,
+    build_inventory,
+    synthesize,
+)
 from .transport import TransportEstimator
 from .validate import validate_result
 
@@ -21,12 +45,23 @@ __all__ = [
     "OpPlacement",
     "LayerSolveCache",
     "fingerprint_layer_problem",
+    "strict_fingerprint_layer_problem",
     "SynthesisSpec",
     "TransportProgression",
     "Weights",
     "IterationRecord",
     "SynthesisResult",
     "synthesize",
+    "build_inventory",
     "TransportEstimator",
     "validate_result",
+    "SchedulerBackend",
+    "available_schedulers",
+    "create_scheduler",
+    "register_scheduler",
+    "layer_cost",
+    "PassState",
+    "SynthesisContext",
+    "UidAllocator",
+    "SynthesisPipeline",
 ]

@@ -1,0 +1,375 @@
+"""Scheduler backends: pluggable strategies for one layer solve.
+
+Extracted from the old monolithic ``synthesizer._solve_layer`` so the
+per-layer solve is a first-class, isolated stage (and so parallel workers
+in :mod:`repro.hls.parallel` can run one without dragging the whole driver
+along).  A :class:`SchedulerBackend` turns a
+:class:`~repro.hls.milp_model.LayerProblem` into a
+:class:`~repro.hls.decode.LayerSolveResult`:
+
+* ``ilp-highs`` / ``ilp-bnb`` — the layer ILP on a pinned solver backend;
+* ``greedy`` — the list-scheduling heuristic alone;
+* ``portfolio`` (default) — the paper flow: ILP with warm start, raced
+  against previous-pass reuse and the greedy schedule on
+  :func:`layer_cost`, with the seed's fallback ladder.
+
+Uid discipline: backends allocate device uids for *the returned result
+only* (never for discarded race candidates), so the caller's allocator
+advances by exactly ``len(result.new_devices)`` per solve.  That invariant
+is what makes parallel speculation's uid prediction exact — see
+``hls/parallel.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import TYPE_CHECKING, Callable, Protocol
+
+from ..errors import InfeasibleError, ReproError, SchedulingError, SolverError
+from ..ilp import Solution, SolveStats, SolveStatus
+from .decode import LayerSolveResult, decode_layer_solution
+from .heuristic import schedule_layer_greedy
+from .milp_model import LayerProblem, build_layer_model, encode_layer_start
+from .schedule import LayerSchedule
+from .transport import path_key
+
+if TYPE_CHECKING:
+    from .spec import SynthesisSpec
+
+
+def layer_cost(
+    result: LayerSolveResult, problem: LayerProblem, spec: "SynthesisSpec"
+) -> float:
+    """Evaluate a decoded layer result under the layer ILP's objective.
+
+    Used to compare the ILP incumbent against the greedy fallback on equal
+    terms: weighted makespan + cost of newly integrated devices + newly
+    created transportation paths.
+    """
+    costs = spec.cost_model
+    weights = spec.weights
+    area = sum(d.area(costs) for d in result.new_devices)
+    processing = sum(d.processing_cost(costs) for d in result.new_devices)
+
+    new_paths: set[tuple[str, str]] = set()
+
+    def note(dev_a: str, dev_b: str) -> None:
+        if dev_a != dev_b:
+            pair = path_key(dev_a, dev_b)
+            if pair not in problem.existing_paths:
+                new_paths.add(pair)
+
+    for parent, child in problem.in_layer_edges:
+        note(result.binding[parent], result.binding[child])
+    for parent_device, child in problem.incoming:
+        note(parent_device, result.binding[child])
+    for parent, child_device in problem.outgoing:
+        note(result.binding[parent], child_device)
+
+    return (
+        weights.time * result.schedule.makespan
+        + weights.area * area
+        + weights.processing * processing
+        + weights.paths * len(new_paths)
+    )
+
+
+def _candidate_allocator() -> Callable[[], str]:
+    """Uid source for race candidates; winners are renamed by the caller."""
+    counter = [0]
+
+    def allocate() -> str:
+        uid = f"cand#{counter[0]}"
+        counter[0] += 1
+        return uid
+
+    return allocate
+
+
+def rename_new_devices(
+    result: LayerSolveResult, allocate_uid: Callable[[], str]
+) -> LayerSolveResult:
+    """Re-issue the result's new-device uids from ``allocate_uid``.
+
+    Draws exactly ``len(result.new_devices)`` uids, in new-device order, and
+    rewrites the binding and schedule accordingly.  Fixed-device references
+    are untouched.
+    """
+    if not result.new_devices:
+        return result
+    mapping = {d.uid: allocate_uid() for d in result.new_devices}
+    new_devices = [replace(d, uid=mapping[d.uid]) for d in result.new_devices]
+    binding = {
+        op: mapping.get(dev, dev) for op, dev in result.binding.items()
+    }
+    schedule = LayerSchedule(index=result.schedule.index)
+    for placement in result.schedule.placements.values():
+        schedule.place(
+            replace(
+                placement,
+                device_uid=mapping.get(
+                    placement.device_uid, placement.device_uid
+                ),
+            )
+        )
+    return replace(
+        result, binding=binding, schedule=schedule, new_devices=new_devices
+    )
+
+
+class SchedulerBackend(Protocol):
+    """One strategy for solving a single layer.
+
+    ``solve`` must draw uids for the returned result's new devices (and
+    nothing else) from ``allocate_uid``; ``warm_from`` is the previous
+    pass's result for this layer, already rebased onto the problem's fixed
+    devices, or ``None``.
+    """
+
+    name: str
+
+    def solve(
+        self,
+        problem: LayerProblem,
+        spec: "SynthesisSpec",
+        allocate_uid: Callable[[], str],
+        warm_from: LayerSolveResult | None = None,
+    ) -> LayerSolveResult: ...
+
+
+class GreedyBackend:
+    """The list-scheduling heuristic alone (always feasible, never optimal)."""
+
+    name = "greedy"
+
+    def solve(
+        self,
+        problem: LayerProblem,
+        spec: "SynthesisSpec",
+        allocate_uid: Callable[[], str],
+        warm_from: LayerSolveResult | None = None,
+    ) -> LayerSolveResult:
+        build_started = time.monotonic()
+        try:
+            result = schedule_layer_greedy(problem, spec, allocate_uid)
+        except SchedulingError as exc:
+            raise SolverError(
+                f"layer {problem.layer_index}: greedy scheduler failed: {exc}"
+            ) from exc
+        result.stats = SolveStats(
+            layer=problem.layer_index,
+            backend="heuristic",
+            status=result.solver_status,
+            build_time=time.monotonic() - build_started,
+        )
+        return result
+
+
+class IlpBackend:
+    """The layer ILP on one pinned solver backend, no fallback race."""
+
+    def __init__(self, solver: str) -> None:
+        self.solver = solver
+        self.name = f"ilp-{solver}"
+
+    def solve(
+        self,
+        problem: LayerProblem,
+        spec: "SynthesisSpec",
+        allocate_uid: Callable[[], str],
+        warm_from: LayerSolveResult | None = None,
+    ) -> LayerSolveResult:
+        build_started = time.monotonic()
+        layer_model = build_layer_model(problem, spec)
+        warm_start = None
+        if spec.enable_warm_start and warm_from is not None:
+            warm_start = encode_layer_start(layer_model, warm_from)
+        build_time = time.monotonic() - build_started
+        solution = layer_model.model.solve(
+            backend=self.solver,
+            time_limit=spec.time_limit,
+            mip_gap=spec.mip_gap,
+            warm_start=warm_start,
+        )
+        if solution.status.has_solution:
+            result = decode_layer_solution(layer_model, solution, allocate_uid)
+            base = solution.stats
+            result.stats = SolveStats(
+                layer=problem.layer_index,
+                backend=base.backend if base else self.solver,
+                status=result.solver_status,
+                nodes=base.nodes if base else 0,
+                simplex_iterations=base.simplex_iterations if base else 0,
+                build_time=build_time,
+                solve_time=base.solve_time if base else 0.0,
+                warm_started=base.warm_started if base else False,
+            )
+            return result
+        if solution.status is SolveStatus.INFEASIBLE:
+            raise InfeasibleError(
+                f"layer {problem.layer_index} is infeasible under |D|="
+                f"{spec.max_devices}"
+            )
+        raise SolverError(
+            f"layer {problem.layer_index}: no solution within "
+            f"{spec.time_limit}s on backend {self.name!r}"
+        )
+
+
+class PortfolioBackend:
+    """ILP, greedy, and previous-pass reuse race (the paper flow).
+
+    The greedy list scheduler is cheap and always feasible, so it doubles
+    as both a fallback (when the ILP finds no incumbent in time) and a
+    quality floor (when the ILP's time-limited incumbent is poor).
+
+    ``warm_from`` serves two roles: it seeds the ILP with an incumbent on
+    backends that accept one (greedy is the backstop start), and — because
+    the HiGHS wrapper cannot inject incumbents — it re-enters the race as a
+    candidate whenever it is still feasible for the current problem, so a
+    time-limited re-solve can never regress below what the previous pass
+    already achieved.  That floor is also what lets re-synthesis converge:
+    a reused solution keeps the binding stable, which keeps the transport
+    estimates stable, which lets the next pass hit the solve cache.
+    """
+
+    name = "portfolio"
+
+    def solve(
+        self,
+        problem: LayerProblem,
+        spec: "SynthesisSpec",
+        allocate_uid: Callable[[], str],
+        warm_from: LayerSolveResult | None = None,
+    ) -> LayerSolveResult:
+        build_started = time.monotonic()
+        greedy: LayerSolveResult | None = None
+        if spec.allow_heuristic_fallback:
+            try:
+                greedy = schedule_layer_greedy(
+                    problem, spec, _candidate_allocator()
+                )
+            except SchedulingError:
+                greedy = None
+
+        layer_model = build_layer_model(problem, spec)
+
+        warm_values = None
+        warm_start = None
+        if spec.enable_warm_start:
+            if warm_from is not None:
+                warm_values = encode_layer_start(layer_model, warm_from)
+            warm_start = warm_values
+            if warm_start is None and greedy is not None:
+                warm_start = encode_layer_start(layer_model, greedy)
+        build_time = time.monotonic() - build_started
+
+        def warm_candidate() -> LayerSolveResult | None:
+            """The previous pass's solution, re-decoded for this problem."""
+            if warm_values is None:
+                return None
+            reused = decode_layer_solution(
+                layer_model,
+                Solution(
+                    status=SolveStatus.FEASIBLE,
+                    objective=layer_model.model.objective.value(warm_values),
+                    values=warm_values,
+                    backend="reuse",
+                ),
+                _candidate_allocator(),
+            )
+            reused.solver_status = "warm"
+            return reused
+
+        def finalize(
+            result: LayerSolveResult, solution: Solution | None = None
+        ) -> LayerSolveResult:
+            base = solution.stats if solution is not None else None
+            result = rename_new_devices(result, allocate_uid)
+            result.stats = SolveStats(
+                layer=problem.layer_index,
+                backend=base.backend if base else "heuristic",
+                status=result.solver_status,
+                nodes=base.nodes if base else 0,
+                simplex_iterations=base.simplex_iterations if base else 0,
+                build_time=build_time,
+                solve_time=base.solve_time if base else 0.0,
+                cache_hit=False,
+                warm_started=base.warm_started if base else False,
+            )
+            return result
+
+        try:
+            solution = layer_model.model.solve(
+                backend=spec.backend,
+                time_limit=spec.time_limit,
+                mip_gap=spec.mip_gap,
+                warm_start=warm_start,
+            )
+        except SolverError:
+            fallback = warm_candidate() or greedy
+            if fallback is not None:
+                return finalize(fallback)
+            raise
+
+        if solution.status.has_solution:
+            ilp_result = decode_layer_solution(
+                layer_model, solution, _candidate_allocator()
+            )
+            if solution.status is SolveStatus.OPTIMAL:
+                return finalize(ilp_result, solution)
+            # Time-limited incumbent: race it against the previous pass's
+            # solution and the greedy schedule.  Candidate order breaks cost
+            # ties — reuse first, for binding stability across passes.
+            candidates = [
+                c
+                for c in (warm_candidate(), ilp_result, greedy)
+                if c is not None
+            ]
+            winner = min(
+                candidates, key=lambda c: layer_cost(c, problem, spec)
+            )
+            return finalize(winner, solution)
+        if solution.status is SolveStatus.INFEASIBLE:
+            raise InfeasibleError(
+                f"layer {problem.layer_index} is infeasible under |D|="
+                f"{spec.max_devices}"
+            )
+        fallback = warm_candidate() or greedy
+        if fallback is not None:
+            return finalize(fallback, solution)
+        raise SolverError(
+            f"layer {problem.layer_index}: no solution within "
+            f"{spec.time_limit}s and fallback disabled"
+        )
+
+
+_SCHEDULERS: dict[str, Callable[[], SchedulerBackend]] = {}
+
+
+def register_scheduler(
+    name: str, factory: Callable[[], SchedulerBackend]
+) -> None:
+    _SCHEDULERS[name] = factory
+
+
+def available_schedulers() -> tuple[str, ...]:
+    return tuple(_SCHEDULERS)
+
+
+def create_scheduler(name: str) -> SchedulerBackend:
+    try:
+        factory = _SCHEDULERS[name]
+    except KeyError:
+        choices = ", ".join(available_schedulers())
+        raise ReproError(
+            f"unknown scheduler {name!r} (choices: {choices})"
+        ) from None
+    return factory()
+
+
+register_scheduler("portfolio", PortfolioBackend)
+register_scheduler("greedy", GreedyBackend)
+register_scheduler("ilp-highs", lambda: IlpBackend("highs"))
+register_scheduler("ilp-bnb", lambda: IlpBackend("bnb"))

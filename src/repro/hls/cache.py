@@ -59,6 +59,7 @@ def _spec_token(spec: SynthesisSpec) -> tuple:
         spec.max_devices,
         spec.binding_mode.value,
         spec.backend,
+        spec.scheduler,
         spec.time_limit,
         spec.mip_gap,
         spec.allow_heuristic_fallback,
@@ -140,6 +141,53 @@ def fingerprint_layer_problem(problem: LayerProblem, spec: SynthesisSpec) -> str
     return hashlib.sha256(repr(payload).encode()).hexdigest()
 
 
+def strict_fingerprint_layer_problem(
+    problem: LayerProblem, spec: SynthesisSpec
+) -> str:
+    """Fingerprint with *raw* device uids (no canonicalization).
+
+    The layer ILP's structure is not uid-independent — the model sorts
+    device pairs by uid ``repr`` when laying out path variables — so two
+    problems that match canonically can still build (slightly) different
+    models.  Parallel speculation therefore gates replay on this stricter
+    key: equality here means the predicted problem *is* the actual problem,
+    byte for byte, and the worker's solve is exactly the solve the
+    sequential driver would have run.
+    """
+    ops_token = tuple(
+        (
+            op.uid,
+            op.duration.scheduled,
+            op.is_indeterminate,
+            op.requirement_signature(),
+        )
+        for op in problem.ops
+    )
+    edges_token = tuple(
+        sorted(
+            (parent, child, problem.edge_transport[(parent, child)])
+            for parent, child in problem.in_layer_edges
+        )
+    )
+    devices_token = tuple(
+        (d.uid, _device_token(d)) for d in problem.fixed_devices
+    )
+    payload = (
+        "layer-solve-strict-v1",
+        problem.layer_index,
+        ops_token,
+        edges_token,
+        tuple(sorted(problem.release.items())),
+        devices_token,
+        problem.free_slots,
+        tuple(sorted(problem.incoming)),
+        tuple(sorted(problem.outgoing)),
+        tuple(sorted(problem.existing_paths)),
+        _spec_token(spec),
+    )
+    return hashlib.sha256(repr(payload).encode()).hexdigest()
+
+
 @dataclass(frozen=True)
 class _CachedPlacement:
     uid: str
@@ -151,7 +199,12 @@ class _CachedPlacement:
 
 @dataclass(frozen=True)
 class _CachedSolve:
-    """A decoded layer result with all device uids canonicalized."""
+    """A decoded layer result with all device uids canonicalized.
+
+    Also the wire format parallel workers ship results back in — it is a
+    small, picklable value with no uid state, so the parent process can
+    materialize it through its own allocator exactly like a cache replay.
+    """
 
     placements: tuple[_CachedPlacement, ...]
     new_devices: tuple[tuple, ...]  # _device_token per new device
@@ -159,6 +212,99 @@ class _CachedSolve:
     solver_status: str
     solver_runtime: float
     backend: str
+
+
+def encode_layer_result(
+    problem: LayerProblem, result: LayerSolveResult
+) -> _CachedSolve | None:
+    """Canonicalize ``result`` against ``problem`` (uids → positions).
+
+    Returns ``None`` when the result references devices outside the
+    problem or skips one of its ops — never the case for a well-formed
+    solve.
+    """
+    fixed_index = {d.uid: i for i, d in enumerate(problem.fixed_devices)}
+    new_index = {d.uid: j for j, d in enumerate(result.new_devices)}
+
+    placements = []
+    for op in problem.ops:
+        if op.uid not in result.schedule:
+            return None
+        placement = result.schedule[op.uid]
+        uid = placement.device_uid
+        if uid in new_index:
+            ref: _DeviceRef = ("new", new_index[uid])
+        elif uid in fixed_index:
+            ref = ("fixed", fixed_index[uid])
+        else:
+            return None
+        placements.append(
+            _CachedPlacement(
+                uid=op.uid,
+                device=ref,
+                start=placement.start,
+                duration=placement.duration,
+                indeterminate=placement.indeterminate,
+            )
+        )
+
+    return _CachedSolve(
+        placements=tuple(placements),
+        new_devices=tuple(_device_token(d) for d in result.new_devices),
+        objective=result.objective,
+        solver_status=result.solver_status,
+        solver_runtime=result.solver_runtime,
+        backend=result.stats.backend if result.stats else "",
+    )
+
+
+def materialize_layer_result(
+    entry: _CachedSolve, problem: LayerProblem, allocate_uid
+) -> LayerSolveResult:
+    """Replay an encoded solve into the current pass (no stats attached).
+
+    New devices are materialized with fresh uids from ``allocate_uid``;
+    fixed-device references resolve to the problem's current inventory.
+    """
+    from ..components.containers import Capacity, ContainerKind
+
+    new_devices = [
+        GeneralDevice(
+            uid=allocate_uid(),
+            container=ContainerKind(container),
+            capacity=Capacity(capacity),
+            accessories=frozenset(accessories),
+            signature=signature,
+        )
+        for container, capacity, accessories, signature in entry.new_devices
+    ]
+    schedule = LayerSchedule(index=problem.layer_index)
+    binding: dict[str, str] = {}
+    for cached in entry.placements:
+        kind, index = cached.device
+        device_uid = (
+            new_devices[index].uid
+            if kind == "new"
+            else problem.fixed_devices[index].uid
+        )
+        binding[cached.uid] = device_uid
+        schedule.place(
+            OpPlacement(
+                uid=cached.uid,
+                device_uid=device_uid,
+                start=cached.start,
+                duration=cached.duration,
+                indeterminate=cached.indeterminate,
+            )
+        )
+    return LayerSolveResult(
+        schedule=schedule,
+        binding=binding,
+        new_devices=new_devices,
+        objective=entry.objective,
+        solver_status=entry.solver_status,
+        solver_runtime=0.0,
+    )
 
 
 @dataclass
@@ -180,40 +326,26 @@ class LayerSolveCache:
         Results that reference devices outside the problem (never produced
         by a well-formed solve) are silently not cached.
         """
-        fixed_index = {d.uid: i for i, d in enumerate(problem.fixed_devices)}
-        new_index = {d.uid: j for j, d in enumerate(result.new_devices)}
+        entry = encode_layer_result(problem, result)
+        if entry is None:
+            return
+        self._entries[fingerprint_layer_problem(problem, spec)] = entry
 
-        placements = []
-        for op in problem.ops:
-            if op.uid not in result.schedule:
-                return
-            placement = result.schedule[op.uid]
-            uid = placement.device_uid
-            if uid in new_index:
-                ref: _DeviceRef = ("new", new_index[uid])
-            elif uid in fixed_index:
-                ref = ("fixed", fixed_index[uid])
-            else:
-                return
-            placements.append(
-                _CachedPlacement(
-                    uid=op.uid,
-                    device=ref,
-                    start=placement.start,
-                    duration=placement.duration,
-                    indeterminate=placement.indeterminate,
-                )
-            )
+    def contains(self, problem: LayerProblem, spec: SynthesisSpec) -> bool:
+        """Whether a replay would hit, without touching the counters."""
+        return fingerprint_layer_problem(problem, spec) in self._entries
 
-        key = fingerprint_layer_problem(problem, spec)
-        self._entries[key] = _CachedSolve(
-            placements=tuple(placements),
-            new_devices=tuple(_device_token(d) for d in result.new_devices),
-            objective=result.objective,
-            solver_status=result.solver_status,
-            solver_runtime=result.solver_runtime,
-            backend=result.stats.backend if result.stats else "",
-        )
+    def entry(
+        self, problem: LayerProblem, spec: SynthesisSpec
+    ) -> _CachedSolve | None:
+        """The raw encoded solve for ``problem``, without touching the
+        hit/miss counters.
+
+        Used by the parallel speculator to simulate the replay the
+        sequential driver would perform (and to skip dispatching a worker
+        for it).
+        """
+        return self._entries.get(fingerprint_layer_problem(problem, spec))
 
     def lookup(
         self, problem: LayerProblem, spec: SynthesisSpec, allocate_uid
@@ -230,50 +362,13 @@ class LayerSolveCache:
             return None
         self.hits += 1
 
-        from ..components.containers import Capacity, ContainerKind
-
-        new_devices = [
-            GeneralDevice(
-                uid=allocate_uid(),
-                container=ContainerKind(container),
-                capacity=Capacity(capacity),
-                accessories=frozenset(accessories),
-                signature=signature,
-            )
-            for container, capacity, accessories, signature in entry.new_devices
-        ]
-        schedule = LayerSchedule(index=problem.layer_index)
-        binding: dict[str, str] = {}
-        for cached in entry.placements:
-            kind, index = cached.device
-            device_uid = (
-                new_devices[index].uid
-                if kind == "new"
-                else problem.fixed_devices[index].uid
-            )
-            binding[cached.uid] = device_uid
-            schedule.place(
-                OpPlacement(
-                    uid=cached.uid,
-                    device_uid=device_uid,
-                    start=cached.start,
-                    duration=cached.duration,
-                    indeterminate=cached.indeterminate,
-                )
-            )
-        return LayerSolveResult(
-            schedule=schedule,
-            binding=binding,
-            new_devices=new_devices,
-            objective=entry.objective,
-            solver_status=entry.solver_status,
-            solver_runtime=0.0,
-            stats=SolveStats(
-                layer=problem.layer_index,
-                backend=entry.backend,
-                status=entry.solver_status,
-                build_time=time.monotonic() - started,
-                solve_time=0.0,
-                cache_hit=True,
-            ),
+        result = materialize_layer_result(entry, problem, allocate_uid)
+        result.stats = SolveStats(
+            layer=problem.layer_index,
+            backend=entry.backend,
+            status=entry.solver_status,
+            build_time=time.monotonic() - started,
+            solve_time=0.0,
+            cache_hit=True,
         )
+        return result

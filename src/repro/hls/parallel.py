@@ -1,0 +1,388 @@
+"""Speculative parallel layer solves for re-synthesis passes.
+
+The paper's re-synthesis semantics (Sec. 3.2) make per-layer solves
+*almost* independent within a pass: layer ``L_i`` inherits the previous
+pass's device set ``D \\ D'_i``, and in the common case — once bindings
+start stabilizing — each layer simply reproduces its previous result.  The
+sequential driver still couples layers through the evolving pass state
+(drops, fresh device uids, cross-layer bindings), so naive fan-out would
+change results.  This module parallelizes without changing a single byte
+of output, via speculation:
+
+1. **Predict.**  Before a re-synthesis pass runs, simulate it under the
+   assumption that every layer reproduces its previous-pass result.  The
+   simulation uses the *same* ``prepare_layer_problem`` /
+   ``apply_layer_result`` code as the real pass and a *cloned* uid
+   allocator, so predicted problems carry the exact device uids the real
+   pass would allocate (backends draw uids for adopted results only, so
+   the counter advance per layer is ``len(result.new_devices)`` — see
+   ``hls/backends.py``).
+2. **Dispatch.**  Each predicted problem that the solve cache would not
+   replay anyway is shipped to a ``ProcessPoolExecutor`` worker as a
+   picklable :class:`LayerWork`.  Workers run the configured scheduler
+   backend and return the result in the cache's canonical wire format.
+3. **Gate.**  When the real pass reaches a layer, the speculative result
+   is adopted **only** if the actual problem's *strict* fingerprint (raw
+   uids — the ILP layout is uid-sensitive) equals the predicted one:
+   equality proves the worker solved exactly the problem the sequential
+   driver would have.  Otherwise the layer solves inline, and the
+   remaining layers are re-speculated from the now-known true state
+   (a new wave).
+4. **Merge back.**  Adopted results are stored into the shared
+   :class:`~repro.hls.cache.LayerSolveCache` by the driver exactly like
+   inline solves, so cross-pass warm starts and replay keep working.
+
+Determinism: for solves that terminate on optimality (or proven MIP gap),
+``jobs=1`` and ``jobs=N`` produce byte-identical results.  A solve
+truncated by its wall-clock time limit is not run-to-run deterministic
+even sequentially; parallelism neither fixes nor worsens that.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import ReproError
+from ..ilp import SolveStats
+from ..layering import LayeringResult
+from ..operations.assay import Assay
+from .backends import create_scheduler, rename_new_devices
+from .cache import (
+    LayerSolveCache,
+    _CachedSolve,
+    encode_layer_result,
+    materialize_layer_result,
+    strict_fingerprint_layer_problem,
+)
+from .context import PassState, UidAllocator
+from .decode import LayerSolveResult
+from .milp_model import LayerProblem
+from .spec import SynthesisSpec
+from .transport import TransportEstimator
+
+
+@dataclass
+class LayerWork:
+    """One speculative layer solve, shipped to a worker process."""
+
+    strict_key: str
+    problem: LayerProblem
+    spec: SynthesisSpec
+    warm_from: LayerSolveResult | None
+
+
+def _temp_allocator() -> Callable[[], str]:
+    counter = [0]
+
+    def allocate() -> str:
+        uid = f"spec#{counter[0]}"
+        counter[0] += 1
+        return uid
+
+    return allocate
+
+
+def solve_layer_work(work: LayerWork):
+    """Worker entry point: solve and encode, or report the failure kind.
+
+    Returns ``("ok", entry, stats)`` or ``("error", message)``.  Errors are
+    not re-raised here — the parent falls back to an inline solve, which
+    deterministically reproduces (and properly raises) the same failure.
+    """
+    try:
+        backend = create_scheduler(work.spec.scheduler)
+        result = backend.solve(
+            work.problem, work.spec, _temp_allocator(), work.warm_from
+        )
+        entry = encode_layer_result(work.problem, result)
+        if entry is None:
+            return ("error", "result not encodable")
+        return ("ok", entry, result.stats)
+    except ReproError as exc:
+        return ("error", str(exc))
+
+
+@dataclass
+class _Speculation:
+    """One layer's in-flight prediction."""
+
+    strict_key: str
+    future: Future | None  # None: the cache will replay this layer anyway
+    #: the result the simulation assumed this layer produces (exact uids).
+    assumed: LayerSolveResult
+
+
+class PassSpeculator:
+    """Fans one re-synthesis pass's layer solves across worker processes.
+
+    Lifecycle per pass: :meth:`begin_pass` (simulate + dispatch),
+    then for each layer :meth:`take` (adopt or decline) and
+    :meth:`observe` (validate the assumption, re-speculate on divergence),
+    then :meth:`end_pass`.  :meth:`close` shuts the pool down.
+    """
+
+    def __init__(
+        self,
+        assay: Assay,
+        layering: LayeringResult,
+        spec: SynthesisSpec,
+        transport: TransportEstimator,
+        cache: LayerSolveCache | None,
+        jobs: int,
+    ) -> None:
+        self.assay = assay
+        self.layering = layering
+        self.spec = spec
+        self.transport = transport
+        self.cache = cache
+        self.jobs = jobs
+        self._pool: ProcessPoolExecutor | None = None
+        self._broken = False
+        self._wave: dict[int, _Speculation] = {}
+        self._previous: PassState | None = None
+        #: telemetry: worker solves adopted / discarded across the run.
+        self.adopted = 0
+        self.discarded = 0
+
+    # -- pool -----------------------------------------------------------
+
+    def _submit(self, work: LayerWork) -> Future | None:
+        if self._broken:
+            return None
+        try:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            return self._pool.submit(solve_layer_work, work)
+        except Exception:
+            # No usable worker pool (restricted environment, pickling
+            # failure, ...): degrade to fully sequential behavior.
+            self._broken = True
+            return None
+
+    def close(self) -> None:
+        self._cancel_wave()
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    # -- per-pass lifecycle ---------------------------------------------
+
+    def begin_pass(self, previous: PassState, uids: UidAllocator) -> None:
+        """Simulate the upcoming pass and dispatch predicted solves."""
+        self._previous = previous
+        sim = PassState()
+        sim.devices = dict(previous.devices)
+        sim.born = dict(previous.born)
+        sim.binding = dict(previous.binding)
+        self._predict(sim, uids.clone(), start_index=0)
+
+    def end_pass(self) -> None:
+        self._cancel_wave()
+        self._previous = None
+
+    def _cancel_wave(self) -> None:
+        self._discard(self._wave)
+        self._wave = {}
+
+    @staticmethod
+    def _discard(wave: dict[int, "_Speculation"]) -> None:
+        for speculation in wave.values():
+            if speculation.future is not None:
+                speculation.future.cancel()
+        wave.clear()
+
+    # -- speculation ----------------------------------------------------
+
+    def _predict(
+        self, sim: PassState, sim_uids: UidAllocator, start_index: int
+    ) -> None:
+        """(Re)build the wave: simulate layers from ``start_index`` on.
+
+        ``sim`` must reflect the true pass state *before* ``start_index``'s
+        layer runs; ``sim_uids`` must sit at the true allocator position.
+        """
+        from .pipeline import prepare_layer_problem, rebase_warm_result
+
+        # Keep in-flight futures whose predicted problem is unchanged — a
+        # divergence in one layer often leaves later layers' problems
+        # intact, and a cancelled-but-running solve still burns a core.
+        stale = self._wave
+        self._wave = {}
+        previous = self._previous
+        if previous is None:
+            self._discard(stale)
+            return
+        for layer in self.layering.layers[start_index:]:
+            prev_result = previous.results.get(layer.index)
+            if prev_result is None:
+                break
+            problem = prepare_layer_problem(
+                self.assay,
+                self.layering,
+                self.spec,
+                self.transport,
+                sim,
+                layer,
+                resynthesis=True,
+            )
+            strict_key = strict_fingerprint_layer_problem(problem, self.spec)
+
+            entry = (
+                self.cache.entry(problem, self.spec)
+                if self.cache is not None
+                else None
+            )
+            if entry is not None:
+                # The driver will replay this from the cache; simulate that
+                # replay exactly (same materialization code, cloned uids).
+                assumed = materialize_layer_result(entry, problem, sim_uids)
+                speculation = _Speculation(strict_key, None, assumed)
+            else:
+                warm_from = rebase_warm_result(
+                    prev_result, problem.fixed_devices, previous.devices
+                )
+                if warm_from is None:
+                    # Earlier layers changed the device mix; the previous
+                    # solution cannot carry over, so this layer (and its
+                    # posteriors) cannot be predicted.
+                    break
+                assumed = rename_new_devices(warm_from, sim_uids)
+                kept = stale.pop(layer.index, None)
+                if (
+                    kept is not None
+                    and kept.future is not None
+                    and kept.strict_key == strict_key
+                ):
+                    future = kept.future
+                else:
+                    if kept is not None and kept.future is not None:
+                        kept.future.cancel()
+                    future = self._submit(
+                        LayerWork(
+                            strict_key=strict_key,
+                            problem=problem,
+                            spec=self.spec,
+                            warm_from=warm_from,
+                        )
+                    )
+                if future is None:
+                    break
+                speculation = _Speculation(strict_key, future, assumed)
+            self._wave[layer.index] = speculation
+            _apply_assumed(sim, layer.index, assumed)
+        self._discard(stale)
+
+    # -- driver hooks ---------------------------------------------------
+
+    def take(
+        self, problem: LayerProblem, allocate_uid: Callable[[], str]
+    ) -> LayerSolveResult | None:
+        """Adopt the speculative solve for ``problem``, if it is exact.
+
+        The wave entry is left in place either way — :meth:`observe`
+        consumes it after the layer's result (adopted or inline) has been
+        applied, to decide whether the rest of the wave stays valid.
+        """
+        speculation = self._wave.get(problem.layer_index)
+        if speculation is None or speculation.future is None:
+            return None
+        actual_key = strict_fingerprint_layer_problem(problem, self.spec)
+        if actual_key != speculation.strict_key:
+            self.discarded += 1
+            return None
+        outcome = self._await(speculation.future)
+        if outcome is None or outcome[0] != "ok":
+            self.discarded += 1
+            return None
+        _tag, entry, stats = outcome
+        result = materialize_layer_result(entry, problem, allocate_uid)
+        if isinstance(stats, SolveStats):
+            stats.speculative = True
+            stats.cache_hit = False
+            result.stats = stats
+        self.adopted += 1
+        return result
+
+    def _await(self, future: Future):
+        try:
+            return future.result()
+        except Exception:
+            # Worker or pool died: solve inline from here on.
+            self._broken = True
+            return None
+
+    def observe(
+        self,
+        layer_index: int,
+        applied: LayerSolveResult,
+        state: PassState,
+        uids: UidAllocator,
+    ) -> None:
+        """Validate the pass simulation against what actually happened.
+
+        If the applied result matches what the simulation assumed (same
+        binding, same new devices — the only features later layer problems
+        can see), the remaining wave stays valid.  Otherwise the wave is
+        rebuilt from the true state.
+        """
+        speculation = self._wave.pop(layer_index, None)
+        # ``take`` already popped adopted/declined entries; a remaining one
+        # means the layer was replayed from the cache or solved inline.
+        if speculation is not None and speculation.future is not None:
+            speculation.future.cancel()
+        assumed = speculation.assumed if speculation is not None else None
+        if assumed is not None and _same_outcome(assumed, applied):
+            return
+        next_index = self._position_after(layer_index)
+        if next_index is None:
+            self._cancel_wave()
+            return
+        self._predict(state.clone(), uids.clone(), next_index)
+
+    def _position_after(self, layer_index: int) -> int | None:
+        layers = self.layering.layers
+        for position, layer in enumerate(layers):
+            if layer.index == layer_index:
+                return position + 1 if position + 1 < len(layers) else None
+        return None
+
+
+def _apply_assumed(
+    sim: PassState, layer_index: int, assumed: LayerSolveResult
+) -> None:
+    from .pipeline import apply_layer_result
+
+    apply_layer_result(sim, layer_index, assumed)
+
+
+def _same_outcome(assumed: LayerSolveResult, applied: LayerSolveResult) -> bool:
+    """Whether two layer results are indistinguishable to later layers.
+
+    Later problems read a layer's result only through its binding and its
+    new devices (uids and configurations) — start times never propagate.
+    """
+    if assumed.binding != applied.binding:
+        return False
+    def tokens(result: LayerSolveResult):
+        return [
+            (
+                d.uid,
+                d.container,
+                d.capacity,
+                frozenset(d.accessories),
+                d.signature,
+            )
+            for d in result.new_devices
+        ]
+
+    return tokens(assumed) == tokens(applied)
+
+
+__all__ = [
+    "LayerWork",
+    "PassSpeculator",
+    "solve_layer_work",
+    "_CachedSolve",
+]

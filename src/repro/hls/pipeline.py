@@ -1,0 +1,508 @@
+"""Compiler-style pass pipeline for progressive re-synthesis (Sec. 3.2).
+
+The old 650-line ``synthesizer.py`` interleaved layering, the pass loop,
+per-layer problem construction, solving, convergence checks, and
+validation in one function.  This module sequences them as explicit
+stages over a :class:`~repro.hls.context.SynthesisContext`:
+
+    LayeringStage
+      → PassLoop( TransportRefineStage
+                  → LayerSolveStage per layer
+                  → ConvergenceStage )
+      → ValidateStage
+
+Synthesis semantics are unchanged: the initial pass solves layers front to
+back with forward device inheritance (``D_i = D_{i-1} ∪ D'_i``), every
+re-synthesis pass gives layer ``L_i`` the previous pass's device set
+``D \\ D'_i`` (Fig. 6), transportation times are refined between passes
+(Sec. 4.1), and iteration stops on the paper's improvement rule or on
+full solve-cache convergence.  What changed is that each piece is now a
+replaceable object — which is how ``hls/parallel.py`` slots speculative
+worker-process solves into re-synthesis passes without touching the loop.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import TYPE_CHECKING, Callable
+
+from ..devices.device import GeneralDevice
+from ..layering import LayeringResult, layer_assay
+from ..operations.assay import Assay
+from .backends import create_scheduler
+from .cache import LayerSolveCache
+from .context import PassState, SynthesisContext, beats
+from .decode import LayerSolveResult
+from .milp_model import LayerProblem
+from .schedule import LayerSchedule
+from .spec import SynthesisSpec
+from .transport import TransportEstimator, path_key
+
+if TYPE_CHECKING:
+    from .parallel import PassSpeculator
+    from .synthesizer import SynthesisResult
+
+
+# ---------------------------------------------------------------------------
+# Layer-problem construction (shared by the real pass and the speculative
+# simulation in hls/parallel.py — both must derive *identical* problems).
+# ---------------------------------------------------------------------------
+
+
+def prepare_layer_problem(
+    assay: Assay,
+    layering: LayeringResult,
+    spec: SynthesisSpec,
+    transport: TransportEstimator,
+    state: PassState,
+    layer,
+    resynthesis: bool,
+) -> LayerProblem:
+    """Build layer ``layer``'s solve problem from the evolving pass state.
+
+    On re-synthesis passes this also *mutates* ``state``: the layer's own
+    previously-born devices are dropped (unless another layer's current
+    binding still references them), realizing the paper's ``D \\ D'_i``
+    inheritance.
+    """
+    uids = set(layer.uids)
+    ops = [assay[uid] for uid in layer.uids]
+    in_edges = [(p, c) for p, c in assay.edges if p in uids and c in uids]
+    edge_transport = {e: transport.edge_time(*e) for e in in_edges}
+    release = {
+        uid: transport.release_time(uid, within=uids) for uid in layer.uids
+    }
+
+    if resynthesis:
+        layer_of = layering.layer_of
+        referenced = {
+            dev
+            for op_uid, dev in state.binding.items()
+            if layer_of[op_uid] != layer.index
+        }
+        droppable = [
+            uid
+            for uid, born in state.born.items()
+            if born == layer.index and uid not in referenced
+        ]
+        for uid in droppable:
+            del state.devices[uid]
+            del state.born[uid]
+
+    fixed_devices = list(state.devices.values())
+    free_slots = max(0, spec.max_devices - len(fixed_devices))
+
+    incoming = [
+        (state.binding[p], c)
+        for p, c in assay.edges
+        if c in uids and p not in uids and p in state.binding
+    ]
+    outgoing = [
+        (p, state.binding[c])
+        for p, c in assay.edges
+        if p in uids and c not in uids and c in state.binding
+    ]
+    existing_paths = paths_excluding_layer(assay, state.binding, uids)
+
+    return LayerProblem(
+        layer_index=layer.index,
+        ops=ops,
+        in_layer_edges=in_edges,
+        edge_transport=edge_transport,
+        release=release,
+        fixed_devices=fixed_devices,
+        free_slots=free_slots,
+        incoming=incoming,
+        outgoing=outgoing,
+        existing_paths=existing_paths,
+    )
+
+
+def apply_layer_result(
+    state: PassState, layer_index: int, result: LayerSolveResult
+) -> None:
+    """Fold one layer's solve into the pass state."""
+    state.results[layer_index] = result
+    for device in result.new_devices:
+        state.devices[device.uid] = device
+        state.born[device.uid] = layer_index
+    state.binding.update(result.binding)
+
+
+def paths_excluding_layer(
+    assay: Assay, binding: dict[str, str], layer_uids: set[str]
+) -> set[tuple[str, str]]:
+    """Paths already implied by edges not touching the current layer."""
+    paths: set[tuple[str, str]] = set()
+    for parent, child in assay.edges:
+        if parent in layer_uids or child in layer_uids:
+            continue
+        if parent in binding and child in binding:
+            a, b = binding[parent], binding[child]
+            if a != b:
+                paths.add(path_key(a, b))
+    return paths
+
+
+def rebase_warm_result(
+    result: LayerSolveResult,
+    fixed_devices: list[GeneralDevice],
+    previous_devices: dict[str, GeneralDevice],
+) -> LayerSolveResult | None:
+    """Translate a previous pass's layer result onto the current device set.
+
+    Earlier layers of the current pass may have replaced inherited devices
+    with freshly-allocated ones, so the old binding can reference uids that
+    no longer exist.  Stale references are remapped onto structurally
+    identical current fixed devices (same container, capacity, accessories,
+    signature); the result's own new devices are left alone because the
+    start-vector encoder maps those onto free slots positionally.  Returns
+    ``None`` when a stale device has no unclaimed structural twin, which
+    means the earlier layers genuinely changed the device mix and the old
+    solution cannot carry over.
+    """
+    fixed_uids = {d.uid for d in fixed_devices}
+    own_uids = {d.uid for d in result.new_devices}
+    stale = sorted(
+        {
+            uid
+            for uid in result.binding.values()
+            if uid not in fixed_uids and uid not in own_uids
+        }
+    )
+    if not stale:
+        return result
+
+    def token(device: GeneralDevice):
+        return (
+            device.container,
+            device.capacity,
+            frozenset(device.accessories),
+            device.signature,
+        )
+
+    taken = set(result.binding.values())
+    pool: dict[tuple, list[str]] = {}
+    for device in fixed_devices:
+        if device.uid not in taken:
+            pool.setdefault(token(device), []).append(device.uid)
+    mapping: dict[str, str] = {}
+    for uid in stale:
+        old = previous_devices.get(uid)
+        twins = pool.get(token(old)) if old is not None else None
+        if not twins:
+            return None
+        mapping[uid] = twins.pop(0)
+
+    binding = {
+        op: mapping.get(dev, dev) for op, dev in result.binding.items()
+    }
+    schedule = LayerSchedule(index=result.schedule.index)
+    for placement in result.schedule.placements.values():
+        schedule.place(
+            replace(
+                placement,
+                device_uid=mapping.get(
+                    placement.device_uid, placement.device_uid
+                ),
+            )
+        )
+    return replace(result, binding=binding, schedule=schedule)
+
+
+# ---------------------------------------------------------------------------
+# Stages
+# ---------------------------------------------------------------------------
+
+
+class LayeringStage:
+    """Split the assay into layers of at most ``t`` indeterminate ops."""
+
+    name = "layering"
+
+    def run(self, context: SynthesisContext) -> None:
+        context.layering = layer_assay(context.assay, context.spec.threshold)
+
+
+class TransportRefineStage:
+    """Refine transportation estimates from the latest binding (Sec. 4.1)."""
+
+    name = "transport_refine"
+
+    def run(self, context: SynthesisContext) -> None:
+        context.transport.refine(context.current.binding)
+
+
+class LayerSolveStage:
+    """Solve one layer: cache replay → adopted speculative solve → backend.
+
+    The scheduler backend is chosen by ``spec.scheduler`` (see
+    ``hls/backends.py``).  When a :class:`~repro.hls.parallel.PassSpeculator`
+    is attached, a worker-process solve is adopted only if the layer's
+    actual problem matches the speculated one byte for byte (strict
+    fingerprint); otherwise this stage solves inline, exactly like the
+    sequential driver.
+    """
+
+    name = "layer_solve"
+
+    def solve(
+        self,
+        problem: LayerProblem,
+        spec: SynthesisSpec,
+        allocate_uid: Callable[[], str],
+        cache: LayerSolveCache | None = None,
+        warm_from: LayerSolveResult | None = None,
+        speculator: "PassSpeculator | None" = None,
+    ) -> LayerSolveResult:
+        if cache is not None:
+            replayed = cache.lookup(problem, spec, allocate_uid)
+            if replayed is not None:
+                return replayed
+        result = None
+        if speculator is not None:
+            result = speculator.take(problem, allocate_uid)
+        if result is None:
+            backend = create_scheduler(spec.scheduler)
+            result = backend.solve(problem, spec, allocate_uid, warm_from)
+        if cache is not None:
+            cache.store(problem, spec, result)
+        return result
+
+
+class ConvergenceStage:
+    """The paper's iteration rule plus full-cache-convergence early stop."""
+
+    name = "convergence"
+
+    def should_stop(
+        self,
+        context: SynthesisContext,
+        previous_makespan: int,
+        candidate: PassState,
+    ) -> bool:
+        improvement = (
+            (previous_makespan - candidate.fixed_makespan) / previous_makespan
+            if previous_makespan
+            else 0.0
+        )
+        if improvement <= context.spec.improvement_threshold:
+            return True
+        # Every layer replayed an earlier solve: the loop has converged.
+        return candidate.all_cache_hits
+
+
+class PassLoop:
+    """Initial pass + re-synthesis iterations over the layer sequence."""
+
+    name = "pass_loop"
+
+    def __init__(self, layer_solve: LayerSolveStage | None = None) -> None:
+        self.layer_solve = layer_solve or LayerSolveStage()
+        self.transport_refine = TransportRefineStage()
+        self.convergence = ConvergenceStage()
+
+    def run(self, context: SynthesisContext) -> None:
+        speculator = self._make_speculator(context)
+        try:
+            current = self.run_pass(context, previous=None)
+            context.history.append(self._record(context, 0, current))
+            best = current
+
+            for iteration in range(1, context.spec.max_iterations + 1):
+                previous_makespan = current.fixed_makespan
+                refine_started = time.monotonic()
+                self.transport_refine.run(
+                    self._with_current(context, current)
+                )
+                refine_time = time.monotonic() - refine_started
+                if speculator is not None:
+                    speculator.begin_pass(current, context.uids)
+                try:
+                    candidate = self.run_pass(
+                        context, previous=current, speculator=speculator
+                    )
+                finally:
+                    if speculator is not None:
+                        speculator.end_pass()
+                record = self._record(context, iteration, candidate)
+                record.stage_timings[self.transport_refine.name] = refine_time
+                context.history.append(record)
+                if beats(candidate, best, context.assay, context.spec):
+                    best = candidate
+                stop = self.convergence.should_stop(
+                    context, previous_makespan, candidate
+                )
+                current = candidate
+                if stop:
+                    break
+        finally:
+            if speculator is not None:
+                speculator.close()
+
+        context.current = current
+        context.best = best
+
+    def _make_speculator(self, context: SynthesisContext):
+        if context.jobs <= 1 or context.spec.max_iterations < 1:
+            return None
+        from .parallel import PassSpeculator
+
+        return PassSpeculator(
+            assay=context.assay,
+            layering=context.layering,
+            spec=context.spec,
+            transport=context.transport,
+            cache=context.cache,
+            jobs=context.jobs,
+        )
+
+    @staticmethod
+    def _with_current(
+        context: SynthesisContext, current: PassState
+    ) -> SynthesisContext:
+        context.current = current
+        return context
+
+    def run_pass(
+        self,
+        context: SynthesisContext,
+        previous: PassState | None,
+        speculator: "PassSpeculator | None" = None,
+    ) -> PassState:
+        """One pass over all layers; records per-stage wall time."""
+        assay = context.assay
+        spec = context.spec
+        timings = {"prepare": 0.0, "solve": 0.0, "apply": 0.0}
+
+        state = PassState()
+        state.transport_snapshot = context.transport.snapshot()
+        state.transport_estimator = context.transport.fork()
+        if previous is not None:
+            state.devices = dict(previous.devices)
+            state.born = dict(previous.born)
+            state.binding = dict(previous.binding)
+
+        for layer in context.layering.layers:
+            stamp = time.monotonic()
+            problem = prepare_layer_problem(
+                assay,
+                context.layering,
+                spec,
+                context.transport,
+                state,
+                layer,
+                resynthesis=previous is not None,
+            )
+            warm_from = (
+                previous.results.get(layer.index)
+                if previous is not None
+                else None
+            )
+            if warm_from is not None:
+                warm_from = rebase_warm_result(
+                    warm_from, problem.fixed_devices, previous.devices
+                )
+            timings["prepare"] += time.monotonic() - stamp
+
+            stamp = time.monotonic()
+            result = self.layer_solve.solve(
+                problem,
+                spec,
+                context.uids,
+                cache=context.cache,
+                warm_from=warm_from,
+                speculator=speculator,
+            )
+            timings["solve"] += time.monotonic() - stamp
+
+            stamp = time.monotonic()
+            apply_layer_result(state, layer.index, result)
+            if speculator is not None:
+                speculator.observe(layer.index, result, state, context.uids)
+            timings["apply"] += time.monotonic() - stamp
+
+        # Prune devices nothing references anymore (e.g. replaced during
+        # re-synthesis).
+        used = set(state.binding.values())
+        for uid in [u for u in state.devices if u not in used]:
+            del state.devices[uid]
+            del state.born[uid]
+        self._last_timings = timings
+        return state
+
+    def _record(
+        self, context: SynthesisContext, index: int, state: PassState
+    ) -> "IterationRecord":
+        from .synthesizer import IterationRecord
+
+        schedule = state.schedule()
+        return IterationRecord(
+            index=index,
+            fixed_makespan=state.fixed_makespan,
+            num_devices=len(state.used_devices()),
+            num_paths=len(
+                schedule.transportation_paths(context.assay.edges)
+            ),
+            layer_statuses=[
+                state.results[i].solver_status for i in sorted(state.results)
+            ],
+            runtime=time.monotonic() - context.started,
+            layer_stats=[
+                state.results[i].stats
+                for i in sorted(state.results)
+                if state.results[i].stats is not None
+            ],
+            stage_timings=dict(getattr(self, "_last_timings", {})),
+        )
+
+
+class ValidateStage:
+    """Assemble the final result from the best pass and validate it."""
+
+    name = "validate"
+
+    def run(self, context: SynthesisContext) -> "SynthesisResult":
+        from .synthesizer import SynthesisResult
+
+        best = context.best
+        schedule = best.schedule()
+        paths = schedule.transportation_paths(context.assay.edges)
+        result = SynthesisResult(
+            assay=context.assay,
+            spec=context.spec,
+            layering=context.layering,
+            schedule=schedule,
+            devices=best.used_devices(),
+            paths=paths,
+            history=context.history,
+            runtime=time.monotonic() - context.started,
+            transport=best.transport_estimator or context.transport,
+            edge_transport=dict(best.transport_snapshot),
+        )
+        result.validate()
+        return result
+
+
+class SynthesisPipeline:
+    """The full flow: layering → pass loop → validation."""
+
+    def __init__(
+        self,
+        layering: LayeringStage | None = None,
+        pass_loop: PassLoop | None = None,
+        validate: ValidateStage | None = None,
+    ) -> None:
+        self.layering = layering or LayeringStage()
+        self.pass_loop = pass_loop or PassLoop()
+        self.validate = validate or ValidateStage()
+
+    @property
+    def stages(self) -> tuple:
+        return (self.layering, self.pass_loop, self.validate)
+
+    def run(self, context: SynthesisContext) -> "SynthesisResult":
+        self.layering.run(context)
+        self.pass_loop.run(context)
+        return self.validate.run(context)

@@ -121,6 +121,13 @@ class SynthesisSpec:
     #: seed each layer ILP with an incumbent (previous pass's result, or
     #: the greedy fallback) on backends that support warm starts.
     enable_warm_start: bool = True
+    #: scheduler backend for per-layer solves ("portfolio" races the ILP
+    #: against warm-start reuse and the greedy list scheduler; "ilp-highs",
+    #: "ilp-bnb", and "greedy" pin a single strategy).
+    scheduler: str = "portfolio"
+    #: worker processes for re-synthesis layer solves (1 = sequential;
+    #: results are identical for any value — see hls/parallel.py).
+    jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.max_devices < 1:
@@ -138,3 +145,12 @@ class SynthesisSpec:
             )
         if self.max_iterations < 0:
             raise SpecificationError("max_iterations must be >= 0")
+        if self.jobs < 1:
+            raise SpecificationError("jobs must be >= 1")
+        from .backends import available_schedulers
+
+        if self.scheduler not in available_schedulers():
+            choices = ", ".join(available_schedulers())
+            raise SpecificationError(
+                f"unknown scheduler {self.scheduler!r} (choices: {choices})"
+            )

@@ -1,6 +1,6 @@
-"""Progressive re-synthesis driver (paper Sec. 3.2).
+"""Progressive re-synthesis: result records and the ``synthesize`` façade.
 
-Synthesis runs in passes over the layer sequence:
+Synthesis runs in passes over the layer sequence (paper Sec. 3.2):
 
 * **initial pass** — layers are solved front to back; each layer inherits
   every device built so far (``D_i = D_{i-1} ∪ D'_i``) and pays only for the
@@ -14,27 +14,45 @@ Synthesis runs in passes over the layer sequence:
 Passes repeat while the relative makespan improvement exceeds
 ``spec.improvement_threshold`` (the paper's 10 % rule), up to
 ``spec.max_iterations``.
+
+The machinery lives in sibling modules — :mod:`repro.hls.context` (run
+state), :mod:`repro.hls.pipeline` (the stage sequence),
+:mod:`repro.hls.backends` (per-layer scheduler strategies), and
+:mod:`repro.hls.parallel` (speculative multi-process layer solves).  This
+module keeps the public result types and the one-call entry point.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 from ..devices.device import GeneralDevice
 from ..devices.inventory import DeviceInventory
-from ..errors import InfeasibleError, SchedulingError, SolverError
-from ..ilp import Solution, SolveStats, SolveStatus
-from ..layering import LayeringResult, layer_assay
+from ..ilp import SolveStats
+from ..layering import LayeringResult
 from ..operations.assay import Assay
+from .backends import layer_cost
 from .cache import LayerSolveCache
-from .decode import LayerSolveResult, decode_layer_solution
-from .heuristic import schedule_layer_greedy
-from .milp_model import LayerProblem, build_layer_model, encode_layer_start
-from .schedule import HybridSchedule, LayerSchedule
+from .context import PassState, SynthesisContext, beats, pass_objective
+from .schedule import HybridSchedule
 from .spec import SynthesisSpec
-from .transport import TransportEstimator, path_key
+from .transport import TransportEstimator
 from .validate import validate_result
+
+#: Backwards-compatible aliases — the pass machinery moved to
+#: hls/context.py and hls/backends.py in the pipeline refactor.
+_Pass = PassState
+_beats = beats
+_pass_objective = pass_objective
+
+__all__ = [
+    "IterationRecord",
+    "SynthesisResult",
+    "synthesize",
+    "build_inventory",
+    "layer_cost",
+]
 
 
 @dataclass
@@ -49,6 +67,10 @@ class IterationRecord:
     runtime: float
     #: per-layer solve telemetry, in layer order.
     layer_stats: list[SolveStats] = field(default_factory=list)
+    #: wall-clock seconds per pipeline stage for this pass
+    #: (``prepare`` / ``solve`` / ``apply``, plus ``transport_refine`` on
+    #: re-synthesis passes).
+    stage_timings: dict[str, float] = field(default_factory=dict)
 
     @property
     def label(self) -> str:
@@ -62,6 +84,11 @@ class IterationRecord:
     def ilp_solves(self) -> int:
         """Layers this pass actually solved (i.e. did not replay)."""
         return sum(1 for s in self.layer_stats if not s.cache_hit)
+
+    @property
+    def speculative_solves(self) -> int:
+        """Layers adopted from a parallel worker's speculative solve."""
+        return sum(1 for s in self.layer_stats if s.speculative)
 
 
 @dataclass
@@ -112,6 +139,11 @@ class SynthesisResult:
         return sum(1 for s in self.solve_stats if not s.cache_hit)
 
     @property
+    def speculative_solves(self) -> int:
+        """Layer solves adopted from parallel workers (see hls/parallel)."""
+        return sum(1 for s in self.solve_stats if s.speculative)
+
+    @property
     def total_nodes(self) -> int:
         """Branch-and-bound nodes explored across all layer solves."""
         return sum(s.nodes for s in self.solve_stats)
@@ -124,518 +156,38 @@ class SynthesisResult:
         validate_result(self)
 
 
-class _Pass:
-    """State of one synthesis pass over all layers."""
-
-    def __init__(self) -> None:
-        self.devices: dict[str, GeneralDevice] = {}
-        self.born: dict[str, int] = {}
-        self.results: dict[int, LayerSolveResult] = {}
-        self.binding: dict[str, str] = {}
-        #: per-edge transportation estimates this pass was built with.
-        self.transport_snapshot: dict[tuple[str, str], int] = {}
-        #: frozen estimator state matching ``transport_snapshot``.
-        self.transport_estimator: TransportEstimator | None = None
-
-    @property
-    def fixed_makespan(self) -> int:
-        return sum(r.schedule.makespan for r in self.results.values())
-
-    @property
-    def all_cache_hits(self) -> bool:
-        """True when every layer replayed a cached solve: the pass posed
-        exactly the problems of an earlier pass, so iterating further
-        cannot change anything."""
-        return bool(self.results) and all(
-            r.stats is not None and r.stats.cache_hit
-            for r in self.results.values()
-        )
-
-    def schedule(self) -> HybridSchedule:
-        return HybridSchedule(
-            layers=[self.results[i].schedule for i in sorted(self.results)]
-        )
-
-    def used_devices(self) -> dict[str, GeneralDevice]:
-        used = set(self.binding.values())
-        return {uid: dev for uid, dev in self.devices.items() if uid in used}
-
-
 def synthesize(
     assay: Assay,
     spec: SynthesisSpec | None = None,
     transport: TransportEstimator | None = None,
     cache: LayerSolveCache | None = None,
+    jobs: int | None = None,
 ) -> SynthesisResult:
     """Run the full component-oriented synthesis flow on ``assay``.
 
-    ``transport`` overrides the transportation estimator — e.g. a
-    :class:`repro.layout.LayoutTransportEstimator` that refines from an
-    actual device placement instead of usage ranks.  ``cache`` supplies an
-    external cross-run :class:`LayerSolveCache` (used by contingency
-    re-synthesis to replay layer solves across repeated re-planning); when
-    omitted, a per-run cache is created according to
-    ``spec.enable_solve_cache``.
+    Thin façade over :class:`repro.hls.pipeline.SynthesisPipeline`:
+    builds a :class:`repro.hls.context.SynthesisContext` and runs the
+    stage sequence.  ``transport`` overrides the transportation estimator
+    — e.g. a :class:`repro.layout.LayoutTransportEstimator` that refines
+    from an actual device placement instead of usage ranks.  ``cache``
+    supplies an external cross-run :class:`LayerSolveCache` (used by
+    contingency re-synthesis to replay layer solves across repeated
+    re-planning); when omitted, a per-run cache is created according to
+    ``spec.enable_solve_cache``.  ``jobs`` overrides ``spec.jobs``:
+    worker processes for re-synthesis layer solves (results are identical
+    for any value — see :mod:`repro.hls.parallel`).
     """
-    spec = spec or SynthesisSpec()
-    started = time.monotonic()
+    from .pipeline import SynthesisPipeline
 
-    layering = layer_assay(assay, spec.threshold)
-    transport = transport or TransportEstimator(assay, spec)
-    if cache is None:
-        cache = LayerSolveCache() if spec.enable_solve_cache else None
-    uid_counter = [0]
-
-    def allocate_uid() -> str:
-        uid = f"d{uid_counter[0]}"
-        uid_counter[0] += 1
-        return uid
-
-    history: list[IterationRecord] = []
-
-    current = _run_pass(
-        assay, layering, spec, transport, allocate_uid, previous=None,
-        cache=cache,
-    )
-    history.append(_record(0, assay, current, started))
-    best = current
-
-    for iteration in range(1, spec.max_iterations + 1):
-        previous_makespan = current.fixed_makespan
-        transport.refine(current.binding)
-        candidate = _run_pass(
-            assay, layering, spec, transport, allocate_uid, previous=current,
-            cache=cache,
-        )
-        history.append(_record(iteration, assay, candidate, started))
-        if _beats(candidate, best, assay, spec):
-            best = candidate
-        improvement = (
-            (previous_makespan - candidate.fixed_makespan) / previous_makespan
-            if previous_makespan
-            else 0.0
-        )
-        current = candidate
-        if improvement <= spec.improvement_threshold:
-            break
-        if candidate.all_cache_hits:
-            # Every layer replayed an earlier solve: the loop has converged.
-            break
-
-    schedule = best.schedule()
-    paths = schedule.transportation_paths(assay.edges)
-    result = SynthesisResult(
+    context = SynthesisContext(
         assay=assay,
-        spec=spec,
-        layering=layering,
-        schedule=schedule,
-        devices=best.used_devices(),
-        paths=paths,
-        history=history,
-        runtime=time.monotonic() - started,
-        transport=best.transport_estimator or transport,
-        edge_transport=dict(best.transport_snapshot),
+        spec=spec or SynthesisSpec(),
+        transport=transport,
+        cache=cache,
+        jobs=jobs,
+        started=time.monotonic(),
     )
-    result.validate()
-    return result
-
-
-def _pass_objective(state: _Pass, assay: Assay, spec: SynthesisSpec) -> float:
-    """A pass's full weighted objective (makespan, area, processing, paths).
-
-    Mirrors the per-layer ILP objective at whole-schedule scope; used to
-    rank passes whose fixed makespans tie.
-    """
-    costs = spec.cost_model
-    weights = spec.weights
-    devices = state.used_devices().values()
-    schedule = state.schedule()
-    return (
-        weights.time * state.fixed_makespan
-        + weights.area * sum(d.area(costs) for d in devices)
-        + weights.processing * sum(d.processing_cost(costs) for d in devices)
-        + weights.paths * len(schedule.transportation_paths(assay.edges))
-    )
-
-
-def _beats(candidate: _Pass, best: _Pass, assay: Assay, spec: SynthesisSpec) -> bool:
-    """Whether ``candidate`` should replace the best pass so far.
-
-    Primary criterion is the fixed makespan; ties are broken on the full
-    weighted objective so an equal-makespan pass only wins by actually
-    being cheaper (fewer/smaller devices or fewer paths).  A full tie
-    keeps the earlier pass.
-    """
-    if candidate.fixed_makespan != best.fixed_makespan:
-        return candidate.fixed_makespan < best.fixed_makespan
-    return _pass_objective(candidate, assay, spec) < _pass_objective(
-        best, assay, spec
-    )
-
-
-def _record(
-    index: int, assay: Assay, state: _Pass, started: float
-) -> IterationRecord:
-    schedule = state.schedule()
-    return IterationRecord(
-        index=index,
-        fixed_makespan=state.fixed_makespan,
-        num_devices=len(state.used_devices()),
-        num_paths=len(schedule.transportation_paths(assay.edges)),
-        layer_statuses=[
-            state.results[i].solver_status for i in sorted(state.results)
-        ],
-        runtime=time.monotonic() - started,
-        layer_stats=[
-            state.results[i].stats
-            for i in sorted(state.results)
-            if state.results[i].stats is not None
-        ],
-    )
-
-
-def _run_pass(
-    assay: Assay,
-    layering: LayeringResult,
-    spec: SynthesisSpec,
-    transport: TransportEstimator,
-    allocate_uid,
-    previous: _Pass | None,
-    cache: LayerSolveCache | None = None,
-) -> _Pass:
-    state = _Pass()
-    state.transport_snapshot = transport.snapshot()
-    state.transport_estimator = transport.fork()
-    if previous is not None:
-        state.devices = dict(previous.devices)
-        state.born = dict(previous.born)
-        state.binding = dict(previous.binding)
-
-    layer_of = layering.layer_of
-    for layer in layering.layers:
-        uids = set(layer.uids)
-        ops = [assay[uid] for uid in layer.uids]
-        in_edges = [
-            (p, c) for p, c in assay.edges if p in uids and c in uids
-        ]
-        edge_transport = {e: transport.edge_time(*e) for e in in_edges}
-        release = {
-            uid: transport.release_time(uid, within=uids) for uid in layer.uids
-        }
-
-        if previous is not None:
-            # Drop the layer's own previous devices unless another layer's
-            # current binding still references them.
-            referenced = {
-                dev
-                for op_uid, dev in state.binding.items()
-                if layer_of[op_uid] != layer.index
-            }
-            droppable = [
-                uid
-                for uid, born in state.born.items()
-                if born == layer.index and uid not in referenced
-            ]
-            for uid in droppable:
-                del state.devices[uid]
-                del state.born[uid]
-
-        fixed_devices = list(state.devices.values())
-        free_slots = max(0, spec.max_devices - len(fixed_devices))
-
-        incoming = [
-            (state.binding[p], c)
-            for p, c in assay.edges
-            if c in uids and p not in uids and p in state.binding
-        ]
-        outgoing = [
-            (p, state.binding[c])
-            for p, c in assay.edges
-            if p in uids and c not in uids and c in state.binding
-        ]
-        existing_paths = _paths_excluding_layer(
-            assay, state.binding, uids
-        )
-
-        problem = LayerProblem(
-            layer_index=layer.index,
-            ops=ops,
-            in_layer_edges=in_edges,
-            edge_transport=edge_transport,
-            release=release,
-            fixed_devices=fixed_devices,
-            free_slots=free_slots,
-            incoming=incoming,
-            outgoing=outgoing,
-            existing_paths=existing_paths,
-        )
-        warm_from = (
-            previous.results.get(layer.index) if previous is not None else None
-        )
-        if warm_from is not None:
-            warm_from = _rebase_warm_result(
-                warm_from, fixed_devices, previous.devices
-            )
-        result = _solve_layer(
-            problem, spec, allocate_uid, cache=cache, warm_from=warm_from
-        )
-        state.results[layer.index] = result
-        for device in result.new_devices:
-            state.devices[device.uid] = device
-            state.born[device.uid] = layer.index
-        state.binding.update(result.binding)
-
-    # Prune devices nothing references anymore (e.g. replaced during
-    # re-synthesis).
-    used = set(state.binding.values())
-    for uid in [u for u in state.devices if u not in used]:
-        del state.devices[uid]
-        del state.born[uid]
-    return state
-
-
-def _paths_excluding_layer(
-    assay: Assay, binding: dict[str, str], layer_uids: set[str]
-) -> set[tuple[str, str]]:
-    """Paths already implied by edges not touching the current layer."""
-    paths: set[tuple[str, str]] = set()
-    for parent, child in assay.edges:
-        if parent in layer_uids or child in layer_uids:
-            continue
-        if parent in binding and child in binding:
-            a, b = binding[parent], binding[child]
-            if a != b:
-                paths.add(path_key(a, b))
-    return paths
-
-
-def layer_cost(
-    result: LayerSolveResult, problem: LayerProblem, spec: SynthesisSpec
-) -> float:
-    """Evaluate a decoded layer result under the layer ILP's objective.
-
-    Used to compare the ILP incumbent against the greedy fallback on equal
-    terms: weighted makespan + cost of newly integrated devices + newly
-    created transportation paths.
-    """
-    costs = spec.cost_model
-    weights = spec.weights
-    area = sum(d.area(costs) for d in result.new_devices)
-    processing = sum(d.processing_cost(costs) for d in result.new_devices)
-
-    new_paths: set[tuple[str, str]] = set()
-
-    def note(dev_a: str, dev_b: str) -> None:
-        if dev_a != dev_b:
-            pair = path_key(dev_a, dev_b)
-            if pair not in problem.existing_paths:
-                new_paths.add(pair)
-
-    for parent, child in problem.in_layer_edges:
-        note(result.binding[parent], result.binding[child])
-    for parent_device, child in problem.incoming:
-        note(parent_device, result.binding[child])
-    for parent, child_device in problem.outgoing:
-        note(result.binding[parent], child_device)
-
-    return (
-        weights.time * result.schedule.makespan
-        + weights.area * area
-        + weights.processing * processing
-        + weights.paths * len(new_paths)
-    )
-
-
-def _rebase_warm_result(
-    result: LayerSolveResult,
-    fixed_devices: list[GeneralDevice],
-    previous_devices: dict[str, GeneralDevice],
-) -> LayerSolveResult | None:
-    """Translate a previous pass's layer result onto the current device set.
-
-    Earlier layers of the current pass may have replaced inherited devices
-    with freshly-allocated ones, so the old binding can reference uids that
-    no longer exist.  Stale references are remapped onto structurally
-    identical current fixed devices (same container, capacity, accessories,
-    signature); the result's own new devices are left alone because the
-    start-vector encoder maps those onto free slots positionally.  Returns
-    ``None`` when a stale device has no unclaimed structural twin, which
-    means the earlier layers genuinely changed the device mix and the old
-    solution cannot carry over.
-    """
-    fixed_uids = {d.uid for d in fixed_devices}
-    own_uids = {d.uid for d in result.new_devices}
-    stale = sorted(
-        {
-            uid
-            for uid in result.binding.values()
-            if uid not in fixed_uids and uid not in own_uids
-        }
-    )
-    if not stale:
-        return result
-
-    def token(device: GeneralDevice):
-        return (
-            device.container,
-            device.capacity,
-            frozenset(device.accessories),
-            device.signature,
-        )
-
-    taken = set(result.binding.values())
-    pool: dict[tuple, list[str]] = {}
-    for device in fixed_devices:
-        if device.uid not in taken:
-            pool.setdefault(token(device), []).append(device.uid)
-    mapping: dict[str, str] = {}
-    for uid in stale:
-        old = previous_devices.get(uid)
-        twins = pool.get(token(old)) if old is not None else None
-        if not twins:
-            return None
-        mapping[uid] = twins.pop(0)
-
-    binding = {
-        op: mapping.get(dev, dev) for op, dev in result.binding.items()
-    }
-    schedule = LayerSchedule(index=result.schedule.index)
-    for placement in result.schedule.placements.values():
-        schedule.place(
-            replace(
-                placement,
-                device_uid=mapping.get(
-                    placement.device_uid, placement.device_uid
-                ),
-            )
-        )
-    return replace(result, binding=binding, schedule=schedule)
-
-
-def _solve_layer(
-    problem: LayerProblem,
-    spec: SynthesisSpec,
-    allocate_uid,
-    cache: LayerSolveCache | None = None,
-    warm_from: LayerSolveResult | None = None,
-) -> LayerSolveResult:
-    """Solve one layer: ILP, greedy, and previous-pass reuse race.
-
-    The greedy list scheduler is cheap and always feasible, so it doubles
-    as both a fallback (when the ILP finds no incumbent in time) and a
-    quality floor (when the ILP's time-limited incumbent is poor).
-
-    ``cache`` short-circuits the whole solve when an earlier pass already
-    solved an identical problem.  ``warm_from`` (the previous pass's result
-    for this layer) serves two roles: it seeds the ILP with an incumbent on
-    backends that accept one (greedy is the backstop start), and — because
-    the HiGHS wrapper cannot inject incumbents — it re-enters the race as a
-    candidate whenever it is still feasible for the current problem, so a
-    time-limited re-solve can never regress below what the previous pass
-    already achieved.  That floor is also what lets re-synthesis converge:
-    a reused solution keeps the binding stable, which keeps the transport
-    estimates stable, which lets the next pass hit the cache.
-    """
-    if cache is not None:
-        replayed = cache.lookup(problem, spec, allocate_uid)
-        if replayed is not None:
-            return replayed
-
-    build_started = time.monotonic()
-    greedy: LayerSolveResult | None = None
-    if spec.allow_heuristic_fallback:
-        try:
-            greedy = schedule_layer_greedy(problem, spec, allocate_uid)
-        except SchedulingError:
-            greedy = None
-
-    layer_model = build_layer_model(problem, spec)
-
-    warm_values = None
-    warm_start = None
-    if spec.enable_warm_start:
-        if warm_from is not None:
-            warm_values = encode_layer_start(layer_model, warm_from)
-        warm_start = warm_values
-        if warm_start is None and greedy is not None:
-            warm_start = encode_layer_start(layer_model, greedy)
-    build_time = time.monotonic() - build_started
-
-    def warm_candidate() -> LayerSolveResult | None:
-        """The previous pass's solution, re-decoded for this problem."""
-        if warm_values is None:
-            return None
-        reused = decode_layer_solution(
-            layer_model,
-            Solution(
-                status=SolveStatus.FEASIBLE,
-                objective=layer_model.model.objective.value(warm_values),
-                values=warm_values,
-                backend="reuse",
-            ),
-            allocate_uid,
-        )
-        reused.solver_status = "warm"
-        return reused
-
-    def finalize(
-        result: LayerSolveResult, solution=None
-    ) -> LayerSolveResult:
-        base = solution.stats if solution is not None else None
-        result.stats = SolveStats(
-            layer=problem.layer_index,
-            backend=base.backend if base else "heuristic",
-            status=result.solver_status,
-            nodes=base.nodes if base else 0,
-            simplex_iterations=base.simplex_iterations if base else 0,
-            build_time=build_time,
-            solve_time=base.solve_time if base else 0.0,
-            cache_hit=False,
-            warm_started=base.warm_started if base else False,
-        )
-        if cache is not None:
-            cache.store(problem, spec, result)
-        return result
-
-    try:
-        solution = layer_model.model.solve(
-            backend=spec.backend,
-            time_limit=spec.time_limit,
-            mip_gap=spec.mip_gap,
-            warm_start=warm_start,
-        )
-    except SolverError:
-        fallback = warm_candidate() or greedy
-        if fallback is not None:
-            return finalize(fallback)
-        raise
-
-    if solution.status.has_solution:
-        ilp_result = decode_layer_solution(layer_model, solution, allocate_uid)
-        if solution.status.name == "OPTIMAL":
-            return finalize(ilp_result, solution)
-        # Time-limited incumbent: race it against the previous pass's
-        # solution and the greedy schedule.  Candidate order breaks cost
-        # ties — reuse first, for binding stability across passes.
-        candidates = [
-            c for c in (warm_candidate(), ilp_result, greedy) if c is not None
-        ]
-        winner = min(
-            candidates, key=lambda c: layer_cost(c, problem, spec)
-        )
-        return finalize(winner, solution)
-    if solution.status.name == "INFEASIBLE":
-        raise InfeasibleError(
-            f"layer {problem.layer_index} is infeasible under |D|="
-            f"{spec.max_devices}"
-        )
-    fallback = warm_candidate() or greedy
-    if fallback is not None:
-        return finalize(fallback, solution)
-    raise SolverError(
-        f"layer {problem.layer_index}: no solution within "
-        f"{spec.time_limit}s and fallback disabled"
-    )
+    return SynthesisPipeline().run(context)
 
 
 def build_inventory(result: SynthesisResult) -> DeviceInventory:
@@ -647,3 +199,37 @@ def build_inventory(result: SynthesisResult) -> DeviceInventory:
             if uid not in inventory:
                 inventory.add(result.devices[uid], layer.index)
     return inventory
+
+
+def _solve_layer(
+    problem,
+    spec: SynthesisSpec,
+    allocate_uid,
+    cache: LayerSolveCache | None = None,
+    warm_from=None,
+):
+    """One layer solve through the pipeline's solve stage.
+
+    Kept as a module-level function (the pre-pipeline entry point) for
+    tests and tools that exercise a single layer: cache replay first, then
+    the spec's scheduler backend (see ``hls/backends.py``).
+    """
+    from .pipeline import LayerSolveStage
+
+    return LayerSolveStage().solve(
+        problem, spec, allocate_uid, cache=cache, warm_from=warm_from
+    )
+
+
+def _paths_excluding_layer(assay, binding, layer_uids):
+    """Compatibility alias for :func:`repro.hls.pipeline.paths_excluding_layer`."""
+    from .pipeline import paths_excluding_layer
+
+    return paths_excluding_layer(assay, binding, layer_uids)
+
+
+def _rebase_warm_result(result, fixed_devices, previous_devices):
+    """Compatibility alias for :func:`repro.hls.pipeline.rebase_warm_result`."""
+    from .pipeline import rebase_warm_result
+
+    return rebase_warm_result(result, fixed_devices, previous_devices)

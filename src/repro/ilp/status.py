@@ -51,6 +51,9 @@ class SolveStats:
     cache_hit: bool = False
     #: a warm-start incumbent was accepted by the backend.
     warm_started: bool = False
+    #: the solve ran ahead of time in a parallel worker (hls/parallel.py)
+    #: and was adopted after its predicted inputs were confirmed.
+    speculative: bool = False
 
     def to_dict(self) -> dict:
         """Plain-JSON representation (round-trips via :meth:`from_dict`)."""

@@ -86,9 +86,17 @@ def load_assay(path: "str | Path") -> Assay:
     return assay_from_json(data)
 
 
-def result_to_json(result: SynthesisResult) -> dict[str, Any]:
-    """Serialize a synthesis result to a JSON-compatible report dict."""
-    return {
+def result_to_json(
+    result: SynthesisResult, deterministic: bool = False
+) -> dict[str, Any]:
+    """Serialize a synthesis result to a JSON-compatible report dict.
+
+    With ``deterministic=True`` the wall-clock ``runtime_seconds`` field is
+    omitted, so two runs that produced the same synthesis outcome serialize
+    byte-identically — the property the parallel-synthesis smoke checks
+    compare on (``--jobs 1`` vs ``--jobs N``).
+    """
+    report = {
         "format": FORMAT_VERSION,
         "assay": result.assay.name,
         "makespan": result.makespan_expression,
@@ -137,10 +145,17 @@ def result_to_json(result: SynthesisResult) -> dict[str, Any]:
         ],
         "runtime_seconds": result.runtime,
     }
+    if deterministic:
+        del report["runtime_seconds"]
+    return report
 
 
-def save_result(result: SynthesisResult, path: "str | Path") -> None:
-    Path(path).write_text(json.dumps(result_to_json(result), indent=2))
+def save_result(
+    result: SynthesisResult, path: "str | Path", deterministic: bool = False
+) -> None:
+    Path(path).write_text(
+        json.dumps(result_to_json(result, deterministic=deterministic), indent=2)
+    )
 
 
 def schedule_from_json(data: dict[str, Any]) -> "HybridSchedule":

@@ -72,6 +72,40 @@ class TestConventionalSynthesis:
         result.validate()  # raises on any violation
         assert result.spec.binding_mode is BindingMode.EXACT
 
+    def test_baseline_runs_the_shared_pipeline(
+        self, monkeypatch, indeterminate_assay, fast_spec
+    ):
+        """The conventional method has no forked pass loop: it drives the
+        exact same SynthesisPipeline, differing only in the spec's
+        binding-legality predicate."""
+        from repro.hls.pipeline import SynthesisPipeline
+
+        contexts = []
+        original = SynthesisPipeline.run
+
+        def spy(self, context):
+            contexts.append(context)
+            return original(self, context)
+
+        monkeypatch.setattr(SynthesisPipeline, "run", spy)
+        synthesize_conventional(indeterminate_assay, fast_spec)
+        assert len(contexts) == 1
+        assert contexts[0].spec.binding_mode is BindingMode.EXACT
+
+    def test_baseline_equals_synthesize_under_exact_binding(
+        self, indeterminate_assay, fast_spec
+    ):
+        """Byte-identical to ``synthesize`` with the binding mode flipped —
+        proof that the binding predicate is the *only* behavioral
+        difference."""
+        from repro.io.json_io import result_to_json
+
+        conv = synthesize_conventional(indeterminate_assay, fast_spec)
+        direct = synthesize(indeterminate_assay, conventional_spec(fast_spec))
+        assert result_to_json(conv, deterministic=True) == result_to_json(
+            direct, deterministic=True
+        )
+
     def test_identical_requirements_behave_identically(self, fast_spec):
         """When every op has the same signature, EXACT == COVER."""
         b = AssayBuilder("uniform")

@@ -65,8 +65,27 @@ class TestSynthesisSpec:
             {"time_limit": 0},
             {"improvement_threshold": 1.0},
             {"max_iterations": -1},
+            {"jobs": 0},
+            {"jobs": -4},
+            {"scheduler": "no-such-backend"},
         ],
     )
     def test_invalid_values(self, kwargs):
         with pytest.raises(SpecificationError):
             SynthesisSpec(**kwargs)
+
+    def test_improvement_threshold_boundaries(self):
+        """The threshold lives in [-1, 1): -1 (iterate to convergence) and
+        values arbitrarily close to 1 are legal; exactly 1 is not — no
+        pass can improve by 100%."""
+        assert SynthesisSpec(improvement_threshold=-1.0).improvement_threshold == -1.0
+        near_one = 0.9999999999999999
+        assert SynthesisSpec(
+            improvement_threshold=near_one
+        ).improvement_threshold == pytest.approx(near_one)
+
+    def test_jobs_defaults_sequential(self):
+        spec = SynthesisSpec()
+        assert spec.jobs == 1
+        assert spec.scheduler == "portfolio"
+        assert SynthesisSpec(jobs=8).jobs == 8

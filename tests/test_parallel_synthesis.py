@@ -1,0 +1,197 @@
+"""Parallel speculative re-synthesis (repro.hls.parallel + backends).
+
+The headline property: ``jobs=N`` must be a pure wall-clock optimization —
+the synthesized result is byte-identical to the sequential run.  The
+determinism test pins the configuration to one where every layer solve
+terminates on its MIP gap (status ``optimal``); a wall-clock-truncated
+solve is not run-to-run deterministic even sequentially, so nothing can be
+asserted there (see the ``hls/parallel.py`` module docstring).
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.assays import benchmark_assay
+from repro.errors import ReproError, SpecificationError
+from repro.hls import (
+    SynthesisSpec,
+    UidAllocator,
+    available_schedulers,
+    create_scheduler,
+    strict_fingerprint_layer_problem,
+    synthesize,
+)
+from repro.hls.cache import encode_layer_result, materialize_layer_result
+from repro.hls.context import PassState, SynthesisContext
+from repro.hls.parallel import LayerWork, solve_layer_work
+from repro.hls.pipeline import LayeringStage, prepare_layer_problem
+from repro.io.json_io import result_to_json
+
+#: All layer solves of case 2 under this spec terminate on the proven MIP
+#: gap ("optimal"), which makes whole runs — sequential or parallel —
+#: reproducible byte for byte.
+DETERMINISTIC_SPEC = SynthesisSpec(
+    max_devices=25,
+    threshold=4,
+    time_limit=60.0,
+    mip_gap=0.05,
+    max_iterations=2,
+)
+
+_RUNS: dict[int, object] = {}
+
+
+def _run(jobs: int):
+    if jobs not in _RUNS:
+        _RUNS[jobs] = synthesize(
+            benchmark_assay(2), DETERMINISTIC_SPEC, jobs=jobs
+        )
+    return _RUNS[jobs]
+
+
+def _report(result) -> str:
+    return json.dumps(
+        result_to_json(result, deterministic=True), indent=2, sort_keys=True
+    )
+
+
+class TestDeterminism:
+    def test_parallel_matches_sequential_byte_for_byte(self):
+        """Table 3 case 2: jobs=4 output == jobs=1 output, exactly."""
+        assert _report(_run(4)) == _report(_run(1))
+
+    def test_parallel_run_adopted_speculative_solves(self):
+        """The identity above is only meaningful if workers actually
+        contributed solves (otherwise it compares sequential to
+        sequential)."""
+        parallel = _run(4)
+        assert parallel.speculative_solves > 0
+        sequential = _run(1)
+        assert sequential.speculative_solves == 0
+
+    def test_speculative_solves_counted_as_misses(self):
+        """Adopted worker solves must not masquerade as cache hits — the
+        convergence criterion (``all_cache_hits``) depends on it."""
+        parallel = _run(4)
+        for stats in parallel.solve_stats:
+            if stats.speculative:
+                assert not stats.cache_hit
+
+
+def _layer0_problem(assay, spec):
+    context = SynthesisContext(assay=assay, spec=spec)
+    LayeringStage().run(context)
+    return prepare_layer_problem(
+        assay,
+        context.layering,
+        spec,
+        context.transport,
+        PassState(),
+        context.layering.layers[0],
+        resynthesis=False,
+    )
+
+
+class TestWireFormat:
+    """LayerProblem / LayerSolveResult cross the process boundary intact."""
+
+    def test_layer_problem_pickle_round_trip(self, indeterminate_assay, fast_spec):
+        problem = _layer0_problem(indeterminate_assay, fast_spec)
+        clone = pickle.loads(pickle.dumps(problem))
+        assert strict_fingerprint_layer_problem(
+            clone, fast_spec
+        ) == strict_fingerprint_layer_problem(problem, fast_spec)
+
+    def test_layer_result_pickle_round_trip(self, indeterminate_assay, fast_spec):
+        problem = _layer0_problem(indeterminate_assay, fast_spec)
+        result = create_scheduler(fast_spec.scheduler).solve(
+            problem, fast_spec, UidAllocator()
+        )
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.binding == result.binding
+        assert clone.schedule.makespan == result.schedule.makespan
+        assert [d.uid for d in clone.new_devices] == [
+            d.uid for d in result.new_devices
+        ]
+
+    def test_worker_entry_point_matches_inline_solve(
+        self, indeterminate_assay, fast_spec
+    ):
+        problem = _layer0_problem(indeterminate_assay, fast_spec)
+        work = LayerWork(
+            strict_key=strict_fingerprint_layer_problem(problem, fast_spec),
+            problem=pickle.loads(pickle.dumps(problem)),
+            spec=fast_spec,
+            warm_from=None,
+        )
+        outcome = solve_layer_work(work)
+        assert outcome[0] == "ok"
+        _tag, entry, stats = outcome
+        adopted = materialize_layer_result(entry, problem, UidAllocator())
+        inline = create_scheduler(fast_spec.scheduler).solve(
+            problem, fast_spec, UidAllocator()
+        )
+        assert adopted.binding == inline.binding
+        assert adopted.schedule.makespan == inline.schedule.makespan
+        assert stats.solve_time >= 0
+
+    def test_worker_reports_failures_instead_of_raising(
+        self, monkeypatch, fast_spec
+    ):
+        """A worker error comes back as a tagged tuple: the parent then
+        re-solves inline, which reproduces (and properly raises) it."""
+        import repro.hls.parallel as parallel_mod
+
+        def boom(name):
+            raise ReproError("backend exploded")
+
+        monkeypatch.setattr(parallel_mod, "create_scheduler", boom)
+        bad = LayerWork(strict_key="x", problem=None, spec=fast_spec, warm_from=None)
+        assert solve_layer_work(bad) == ("error", "backend exploded")
+
+    def test_encode_decode_round_trip(self, indeterminate_assay, fast_spec):
+        problem = _layer0_problem(indeterminate_assay, fast_spec)
+        result = create_scheduler(fast_spec.scheduler).solve(
+            problem, fast_spec, UidAllocator()
+        )
+        entry = encode_layer_result(problem, result)
+        assert entry is not None
+        replayed = materialize_layer_result(entry, problem, UidAllocator())
+        assert replayed.binding == result.binding
+        assert replayed.schedule.makespan == result.schedule.makespan
+
+
+class TestSchedulerRegistry:
+    def test_builtin_backends_registered(self):
+        names = available_schedulers()
+        assert {"portfolio", "greedy", "ilp-highs", "ilp-bnb"} <= set(names)
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ReproError):
+            create_scheduler("simulated-annealing")
+
+    def test_spec_validates_scheduler(self):
+        with pytest.raises(SpecificationError):
+            SynthesisSpec(scheduler="simulated-annealing")
+
+    def test_backends_expose_names(self):
+        for name in available_schedulers():
+            assert create_scheduler(name).name == name
+
+
+class TestUidAllocator:
+    def test_sequential_uids(self):
+        uids = UidAllocator()
+        assert [uids() for _ in range(3)] == ["d0", "d1", "d2"]
+
+    def test_clone_is_independent(self):
+        uids = UidAllocator()
+        uids()
+        twin = uids.clone()
+        assert twin() == uids() == "d1"
+        twin()
+        assert uids.counter == 2 and twin.counter == 3
