@@ -9,7 +9,13 @@ Usage examples::
         --faults exhaust:cap0 --policy resynth --trace-out trace.jsonl
     repro-hls table2 --cases 1 --time-limit 10
     repro-hls table3 --cases 2 3 --jobs 4 --profile
+    repro-hls serve --port 8642 --store-dir ~/.cache/repro-hls
+    repro-hls submit --case 2 --server 127.0.0.1:8642 --out result.json
+    repro-hls jobs --server 127.0.0.1:8642 --metrics
     repro-hls demo
+
+Exit codes: 0 success, 1 synthesis/service failure, 2 bad input
+(unreadable or malformed assay JSON, bad fault spec, bad spec values).
 """
 
 from __future__ import annotations
@@ -19,12 +25,29 @@ import sys
 
 from .assays import benchmark_assay
 from .baselines import synthesize_conventional
-from .errors import ReproError
+from .errors import ReproError, SerializationError, SpecificationError
 from .experiments import format_table2, format_table3, run_table2, run_table3
 from .experiments.table2 import default_spec
 from .hls import SynthesisSpec, synthesize
 from .io import load_assay, render_gantt, save_result
 from .layering import layer_assay
+
+
+def _resolve_assay(args: argparse.Namespace):
+    """The assay named by ``--case N`` or a positional JSON path."""
+    case = getattr(args, "case", None)
+    if case is not None and args.assay:
+        raise SpecificationError(
+            "give either an assay path or --case, not both"
+        )
+    if case is not None:
+        try:
+            return benchmark_assay(case)
+        except ValueError as exc:
+            raise SpecificationError(str(exc)) from None
+    if not args.assay:
+        raise SpecificationError("give an assay path or --case N")
+    return load_assay(args.assay)
 
 
 def _spec_from_args(args: argparse.Namespace) -> SynthesisSpec:
@@ -68,7 +91,7 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_synthesize(args: argparse.Namespace) -> int:
-    assay = load_assay(args.assay)
+    assay = _resolve_assay(args)
     spec = _spec_from_args(args)
     if args.conventional:
         result = synthesize_conventional(assay, spec)
@@ -119,15 +142,39 @@ def _table_spec(args: argparse.Namespace) -> SynthesisSpec:
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
-    rows = run_table2(_table_spec(args), cases=tuple(args.cases))
+    if args.via_server:
+        from .experiments.remote import run_table2_via_server
+        from .service import ServiceClient
+
+        client = ServiceClient.from_address(args.via_server)
+        rows = run_table2_via_server(
+            client, _table_spec(args), cases=tuple(args.cases)
+        )
+    else:
+        rows = run_table2(_table_spec(args), cases=tuple(args.cases))
     print(format_table2(rows))
     return 0
 
 
 def _cmd_table3(args: argparse.Namespace) -> int:
     from .experiments import export_profiles, format_profile
+    from .experiments.report import deterministic_profile
 
-    rows = run_table3(_table_spec(args), cases=tuple(args.cases))
+    if args.via_server:
+        from .experiments.remote import run_table3_via_server
+        from .service import ServiceClient
+
+        client = ServiceClient.from_address(args.via_server)
+        rows = run_table3_via_server(
+            client, _table_spec(args), cases=tuple(args.cases)
+        )
+    else:
+        rows = run_table3(_table_spec(args), cases=tuple(args.cases))
+    if args.deterministic or args.via_server:
+        # Strip wall-clock telemetry so a --via-server run and a direct
+        # --deterministic run print and export byte-identical output.
+        for row in rows:
+            row.profile = deterministic_profile(row.profile)
     print(format_table3(rows))
     if args.profile:
         for row in rows:
@@ -209,13 +256,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     from .runtime import RetryModel
 
+    # Parse inputs before the (expensive) solve so a bad fault spec
+    # fails fast with exit code 2.
     assay = load_assay(args.assay)
+    faults = FaultPlan.parse(args.faults) if args.faults else FaultPlan()
     result = synthesize(assay, _spec_from_args(args))
     print(f"assay          : {assay.name} ({len(assay)} ops)")
     print(f"schedule       : {result.makespan_expression}, "
           f"{result.num_devices} devices")
 
-    faults = FaultPlan.parse(args.faults) if args.faults else FaultPlan()
     retry_model = RetryModel(
         success_probability=args.success_probability,
         max_attempts=args.max_attempts,
@@ -246,6 +295,93 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import ServerConfig, run_server
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        store_dir=args.store_dir,
+        store_capacity=args.store_capacity,
+        job_timeout=args.job_timeout,
+    )
+    run_server(
+        config,
+        announce=lambda server: print(
+            f"synthesis server listening on "
+            f"{config.host}:{server.port} "
+            f"({config.workers} worker(s), "
+            f"store: {config.store_dir or 'in-memory'})",
+            flush=True,
+        ),
+    )
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .service import ServiceClient
+
+    client = ServiceClient.from_address(args.server)
+    assay = _resolve_assay(args)
+    spec = _spec_from_args(args)
+    method = "conventional" if args.conventional else "hls"
+    handle = client.submit(
+        assay, spec, method=method, priority=args.priority,
+        timeout=args.job_timeout,
+    )
+    print(f"job {handle.id}: {handle.status} "
+          f"(fingerprint {handle.fingerprint[:12]})")
+    if args.no_wait:
+        return 0
+    handle = client.wait(handle.id, deadline=args.deadline)
+    if handle.status != "done":
+        error = handle.error or {}
+        kind = error.get("kind", handle.status)
+        message = error.get("message", "no detail")
+        print(f"error: job {handle.id} {handle.status} "
+              f"({kind}: {message})", file=sys.stderr)
+        return 1
+    payload = client.result(handle.id)
+    report = payload["result"]
+    job = payload.get("job", {})
+    print(f"job {handle.id}: done (source {job.get('source', '?')})")
+    print(f"execution time : {report['makespan']}")
+    print(f"devices        : {report['num_devices']}")
+    print(f"paths          : {report['num_paths']}")
+    if args.out:
+        # Same bytes as `synthesize --deterministic --out` writes: the
+        # worker serializes with result_to_json(deterministic=True).
+        with open(args.out, "w", encoding="utf-8") as handle_out:
+            handle_out.write(_json.dumps(report, indent=2))
+        print(f"result written to {args.out}")
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .service import ServiceClient
+
+    client = ServiceClient.from_address(args.server)
+    if args.metrics:
+        print(_json.dumps(client.metrics(), indent=2, sort_keys=True))
+        return 0
+    handles = client.jobs()
+    if not handles:
+        print("no jobs")
+        return 0
+    for handle in handles:
+        note = f" (coalesced {handle.coalesced})" if handle.coalesced else ""
+        source = f" source={handle.source}" if handle.source else ""
+        print(f"{handle.id}  {handle.status:<9} "
+              f"{handle.fingerprint[:12]}{source}{note}")
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     assay = benchmark_assay(1)
     spec = default_spec(time_limit=args.time_limit)
@@ -267,7 +403,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_syn = sub.add_parser("synthesize", help="synthesize an assay JSON file")
-    p_syn.add_argument("assay", help="path to assay JSON")
+    p_syn.add_argument("assay", nargs="?", help="path to assay JSON")
+    p_syn.add_argument("--case", type=int,
+                       help="synthesize benchmark case N instead of a file")
     p_syn.add_argument("--conventional", action="store_true",
                        help="use the conventional (exact-matching) baseline")
     p_syn.add_argument("--gantt", action="store_true", help="print a Gantt chart")
@@ -294,6 +432,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_t2.add_argument("--time-limit", type=float, default=20.0)
     p_t2.add_argument("--threshold", type=int, default=10)
     p_t2.add_argument("--mip-gap", type=float, default=0.0)
+    p_t2.add_argument("--via-server", metavar="HOST:PORT",
+                      help="run every case through a synthesis server "
+                           "instead of in-process")
     _add_jobs_argument(p_t2)
     p_t2.set_defaults(func=_cmd_table2)
 
@@ -308,6 +449,14 @@ def build_parser() -> argparse.ArgumentParser:
                            "stage timings per case")
     p_t3.add_argument("--profile-json",
                       help="write per-case solve profiles to this JSON file")
+    p_t3.add_argument("--via-server", metavar="HOST:PORT",
+                      help="run every case through a synthesis server "
+                           "instead of in-process (implies --deterministic)")
+    p_t3.add_argument(
+        "--deterministic", action="store_true",
+        help="strip wall-clock fields from profiles so identical runs "
+             "print and export byte-identically",
+    )
     p_t3.set_defaults(func=_cmd_table3)
 
     p_stats = sub.add_parser(
@@ -370,6 +519,57 @@ def build_parser() -> argparse.ArgumentParser:
     _add_spec_arguments(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
 
+    p_serve = sub.add_parser(
+        "serve", help="run a local synthesis server (HTTP/JSON)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8642,
+                         help="TCP port (0 = pick an ephemeral port)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="solver processes in the worker pool")
+    p_serve.add_argument("--queue-capacity", type=int, default=32,
+                         help="pending jobs before submissions get HTTP 429")
+    p_serve.add_argument("--store-dir",
+                         help="persist results here (default: in-memory)")
+    p_serve.add_argument("--store-capacity", type=int, default=256,
+                         help="stored results kept before LRU eviction")
+    p_serve.add_argument("--job-timeout", type=float, default=900.0,
+                         help="wall-clock seconds allowed per job")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_sub = sub.add_parser(
+        "submit", help="submit an assay to a running synthesis server"
+    )
+    p_sub.add_argument("assay", nargs="?", help="path to assay JSON")
+    p_sub.add_argument("--case", type=int,
+                       help="submit benchmark case N instead of a file")
+    p_sub.add_argument("--server", default="127.0.0.1:8642",
+                       metavar="HOST:PORT")
+    p_sub.add_argument("--conventional", action="store_true",
+                       help="request the conventional baseline method")
+    p_sub.add_argument("--priority", type=int, default=0,
+                       help="higher values dispatch first (default 0)")
+    p_sub.add_argument("--no-wait", action="store_true",
+                       help="print the job id and return immediately")
+    p_sub.add_argument("--deadline", type=float, default=600.0,
+                       help="seconds to wait for the result")
+    p_sub.add_argument("--job-timeout", type=float, default=None,
+                       help="per-job wall-clock budget on the server")
+    p_sub.add_argument("--out", help="write the result JSON here "
+                                     "(same bytes as synthesize "
+                                     "--deterministic --out)")
+    _add_spec_arguments(p_sub)
+    p_sub.set_defaults(func=_cmd_submit)
+
+    p_jobs = sub.add_parser(
+        "jobs", help="list jobs (or metrics) of a running synthesis server"
+    )
+    p_jobs.add_argument("--server", default="127.0.0.1:8642",
+                        metavar="HOST:PORT")
+    p_jobs.add_argument("--metrics", action="store_true",
+                        help="print the /metrics snapshot as JSON")
+    p_jobs.set_defaults(func=_cmd_jobs)
+
     p_demo = sub.add_parser("demo", help="synthesize benchmark case 1 and show it")
     p_demo.add_argument("--time-limit", type=float, default=10.0)
     p_demo.set_defaults(func=_cmd_demo)
@@ -382,6 +582,11 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except (SerializationError, SpecificationError) as exc:
+        # Bad input (unreadable path, malformed assay/spec JSON, bad
+        # fault spec): one line on stderr, argparse-style exit code.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

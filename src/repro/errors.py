@@ -62,3 +62,14 @@ class ValidationError(ReproError):
 
 class SerializationError(ReproError):
     """JSON (de)serialization of a repro object failed."""
+
+
+class ServiceError(ReproError):
+    """A synthesis-service request failed (client- or server-side)."""
+
+    def __init__(self, message: str, status: int = 500, kind: str = "error"):
+        super().__init__(message)
+        #: HTTP status code the failure maps to.
+        self.status = status
+        #: machine-readable failure kind (``queue-full``, ``timeout``, ...).
+        self.kind = kind

@@ -1,6 +1,7 @@
 """Experiment harnesses regenerating the paper's tables."""
 
 from .report import (
+    deterministic_profile,
     export_profiles,
     format_profile,
     format_table2,
@@ -20,6 +21,7 @@ __all__ = [
     "format_table2",
     "format_table3",
     "synthesis_profile",
+    "deterministic_profile",
     "format_profile",
     "export_profiles",
 ]

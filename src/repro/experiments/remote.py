@@ -1,0 +1,142 @@
+"""Run the paper's table experiments through the synthesis service.
+
+``table2 --via-server HOST:PORT`` / ``table3 --via-server HOST:PORT``
+submit every (case, method) run as a job and rebuild the table rows from
+the returned :func:`~repro.io.json_io.result_to_json` payloads.  The
+row-construction logic mirrors :mod:`~repro.experiments.table2` /
+:mod:`~repro.experiments.table3` exactly, so the rendered tables are
+byte-identical to a direct in-process run (given deterministic solves,
+e.g. a pinned MIP gap) — the property the ``service-smoke`` CI job
+diffs.  What changes is *where* the solving happens: repeated
+invocations are answered from the server's persistent store without
+re-entering the synthesis pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..assays import benchmark_assay
+from ..hls import SynthesisSpec
+from ..service.client import ServiceClient
+from .table2 import Table2Row, default_spec
+from .table3 import Table3Row
+
+
+def _payload_runtime(payload: dict[str, Any]) -> float:
+    """Server-side wall time of the job (0.0 for store-served payloads)."""
+    job = payload.get("job") or {}
+    started = job.get("started_at")
+    finished = job.get("finished_at")
+    if started and finished:
+        return max(0.0, finished - started)
+    return 0.0
+
+
+def _synthesize_remote(
+    client: ServiceClient, case: int, spec: SynthesisSpec, method: str,
+    deadline: float,
+) -> dict[str, Any]:
+    return client.synthesize(
+        benchmark_assay(case), spec, method=method, deadline=deadline
+    )
+
+
+def _table2_row(
+    case: int, method: str, payload: dict[str, Any]
+) -> Table2Row:
+    # Mirrors table2._row, reading the result report instead of the
+    # in-process SynthesisResult.
+    assay = benchmark_assay(case)
+    report = payload["result"]
+    history = report.get("history", [])
+    return Table2Row(
+        case=case,
+        method=method,
+        num_ops=len(assay),
+        num_indeterminate=assay.num_indeterminate,
+        exe_time=report["makespan"],
+        fixed_makespan=report["fixed_makespan"],
+        num_devices=report["num_devices"],
+        num_paths=report["num_paths"],
+        runtime_seconds=_payload_runtime(payload),
+        layer_statuses=list(history[-1]["layer_statuses"]) if history else [],
+    )
+
+
+def run_case_via_server(
+    client: ServiceClient,
+    case: int,
+    spec: SynthesisSpec | None = None,
+    deadline: float = 3600.0,
+) -> tuple[Table2Row, Table2Row]:
+    """One benchmark case through the service: (conventional, ours)."""
+    spec = spec or default_spec()
+    conv = _synthesize_remote(client, case, spec, "conventional", deadline)
+    ours = _synthesize_remote(client, case, spec, "hls", deadline)
+    return (
+        _table2_row(case, "Conv.", conv),
+        _table2_row(case, "Our", ours),
+    )
+
+
+def run_table2_via_server(
+    client: ServiceClient,
+    spec: SynthesisSpec | None = None,
+    cases: tuple[int, ...] = (1, 2, 3),
+    deadline: float = 3600.0,
+) -> list[Table2Row]:
+    rows: list[Table2Row] = []
+    for case in cases:
+        rows.extend(run_case_via_server(client, case, spec, deadline))
+    return rows
+
+
+def run_table3_case_via_server(
+    client: ServiceClient,
+    case: int,
+    spec: SynthesisSpec | None = None,
+    deadline: float = 3600.0,
+) -> Table3Row:
+    """Progressive re-synthesis trajectory for one case, via the service.
+
+    Best-so-far accumulation matches
+    :func:`repro.experiments.table3.run_table3_case` line for line.
+    """
+    spec = spec or default_spec()
+    payload = _synthesize_remote(client, case, spec, "hls", deadline)
+    exe_best: list[int] = []
+    dev_best: list[int] = []
+    for record in payload["result"].get("history", []):
+        if not exe_best or record["fixed_makespan"] < exe_best[-1]:
+            exe_best.append(record["fixed_makespan"])
+            dev_best.append(record["num_devices"])
+        else:
+            exe_best.append(exe_best[-1])
+            dev_best.append(dev_best[-1])
+    return Table3Row(
+        case=case,
+        exe_times=exe_best,
+        devices=dev_best,
+        profile=payload.get("profile", {}),
+    )
+
+
+def run_table3_via_server(
+    client: ServiceClient,
+    spec: SynthesisSpec | None = None,
+    cases: tuple[int, ...] = (2, 3),
+    deadline: float = 3600.0,
+) -> list[Table3Row]:
+    return [
+        run_table3_case_via_server(client, case, spec, deadline)
+        for case in cases
+    ]
+
+
+__all__ = [
+    "run_case_via_server",
+    "run_table2_via_server",
+    "run_table3_case_via_server",
+    "run_table3_via_server",
+]

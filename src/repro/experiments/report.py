@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import copy
 import json
+import math
 
 from ..errors import SerializationError
 from ..hls.synthesizer import SynthesisResult
@@ -65,13 +67,23 @@ def format_table3(rows: list[Table3Row], include_paper: bool = True) -> str:
     return "\n".join(lines)
 
 
+def _finite(value: float) -> float:
+    """Clamp NaN/inf to 0.0 — ``json.dump`` would otherwise emit the
+    non-standard tokens ``NaN``/``Infinity``, i.e. invalid JSON."""
+    return float(value) if math.isfinite(value) else 0.0
+
+
 def synthesis_profile(result: SynthesisResult) -> dict:
     """Solve telemetry of one synthesis run as a JSON-serializable dict.
 
     Per pass: the per-layer :class:`~repro.ilp.status.SolveStats` records;
     plus whole-run totals.  Round-trips through JSON —
-    ``SolveStats.from_dict`` restores each layer record.
+    ``SolveStats.from_dict`` restores each layer record.  Always valid
+    JSON, including runs where a pass (or the whole run) performed zero
+    solves: means are guarded and non-finite floats are clamped.
     """
+    solves = result.ilp_solves
+    total_solve_time = _finite(result.total_solve_time)
     return {
         "assay": result.assay.name,
         "num_layers": result.layering.num_layers,
@@ -97,11 +109,42 @@ def synthesis_profile(result: SynthesisResult) -> dict:
             "simplex_iterations": sum(
                 s.simplex_iterations for s in result.solve_stats
             ),
-            "build_time": sum(s.build_time for s in result.solve_stats),
-            "solve_time": result.total_solve_time,
-            "runtime": result.runtime,
+            "build_time": _finite(
+                sum(s.build_time for s in result.solve_stats)
+            ),
+            "solve_time": total_solve_time,
+            "mean_solve_time": (
+                _finite(total_solve_time / solves) if solves else 0.0
+            ),
+            "runtime": _finite(result.runtime),
         },
     }
+
+
+#: Profile keys (per layer / totals) that record wall-clock time and
+#: therefore differ between byte-identical solves.
+_VOLATILE_LAYER_KEYS = ("build_time", "solve_time")
+_VOLATILE_TOTAL_KEYS = (
+    "build_time", "solve_time", "mean_solve_time", "runtime",
+)
+
+
+def deterministic_profile(profile: dict) -> dict:
+    """A copy of a :func:`synthesis_profile` dict with wall-clock fields
+    zeroed, so identical solves serialize byte-identically — the contract
+    behind ``table3 --deterministic`` and ``table3 --via-server``."""
+    out = copy.deepcopy(profile)
+    for record in out.get("passes", []):
+        record["stage_timings"] = {}
+        for layer in record.get("layers", []):
+            for key in _VOLATILE_LAYER_KEYS:
+                if key in layer:
+                    layer[key] = 0.0
+    totals = out.get("totals", {})
+    for key in _VOLATILE_TOTAL_KEYS:
+        if key in totals:
+            totals[key] = 0.0
+    return out
 
 
 def format_profile(profile: dict) -> str:
@@ -111,8 +154,8 @@ def format_profile(profile: dict) -> str:
         f"{'cache':<5} {'warm':<4} {'nodes':>7} {'simplex':>8} "
         f"{'build':>8} {'solve':>8}"
     ]
-    for record in profile["passes"]:
-        for layer in record["layers"]:
+    for record in profile.get("passes", []):
+        for layer in record.get("layers", []):
             stats = SolveStats.from_dict(layer)
             source = "hit" if stats.cache_hit else "miss"
             if getattr(stats, "speculative", False):
@@ -130,18 +173,19 @@ def format_profile(profile: dict) -> str:
                 f"{stage} {seconds:.3f}s" for stage, seconds in timings.items()
             )
             lines.append(f"{record['label']:<9} stages: {cells}")
-    totals = profile["totals"]
+    totals = profile.get("totals") or {}
     speculative = totals.get("speculative_solves", 0)
     speculative_note = (
         f", {speculative} speculative solve(s)" if speculative else ""
     )
     lines.append(
-        f"totals: {totals['ilp_solves']} layer solve(s), "
-        f"{totals['cache_hits']} cache hit(s){speculative_note}, "
-        f"{totals['nodes']} node(s), "
-        f"{totals['simplex_iterations']} simplex iteration(s), "
-        f"build {totals['build_time']:.3f}s, solve {totals['solve_time']:.3f}s, "
-        f"wall {format_runtime(totals['runtime'])}"
+        f"totals: {totals.get('ilp_solves', 0)} layer solve(s), "
+        f"{totals.get('cache_hits', 0)} cache hit(s){speculative_note}, "
+        f"{totals.get('nodes', 0)} node(s), "
+        f"{totals.get('simplex_iterations', 0)} simplex iteration(s), "
+        f"build {totals.get('build_time', 0.0):.3f}s, "
+        f"solve {totals.get('solve_time', 0.0):.3f}s, "
+        f"wall {format_runtime(totals.get('runtime', 0.0))}"
     )
     return "\n".join(lines)
 
@@ -150,13 +194,16 @@ def export_profiles(profiles: dict[int, dict], path: str) -> None:
     """Write per-case profiles to ``path`` as JSON (keyed by case)."""
     try:
         with open(path, "w", encoding="utf-8") as handle:
+            # allow_nan=False: refuse to write the non-standard
+            # NaN/Infinity tokens rather than emit unparseable JSON.
             json.dump(
                 {str(case): profile for case, profile in profiles.items()},
                 handle,
                 indent=2,
+                allow_nan=False,
             )
             handle.write("\n")
-    except OSError as exc:
+    except (OSError, ValueError) as exc:
         raise SerializationError(
             f"cannot write solve profiles to {path}: {exc}"
         ) from exc

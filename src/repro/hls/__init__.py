@@ -24,6 +24,7 @@ from .backends import (
 from .cache import (
     LayerSolveCache,
     fingerprint_layer_problem,
+    fingerprint_run,
     strict_fingerprint_layer_problem,
 )
 from .context import PassState, SynthesisContext, UidAllocator
@@ -45,6 +46,7 @@ __all__ = [
     "OpPlacement",
     "LayerSolveCache",
     "fingerprint_layer_problem",
+    "fingerprint_run",
     "strict_fingerprint_layer_problem",
     "SynthesisSpec",
     "TransportProgression",

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 from ..devices.device import GeneralDevice
 from ..ilp import SolveStats
+from ..operations.assay import Assay
 from .decode import LayerSolveResult
 from .milp_model import LayerProblem
 from .schedule import LayerSchedule, OpPlacement
@@ -76,6 +77,62 @@ def _spec_token(spec: SynthesisSpec) -> tuple:
         costs.default_accessory_processing,
         tuple(sorted(spec.registry.names)),
     )
+
+
+def _run_spec_token(spec: SynthesisSpec) -> tuple:
+    """Every spec field that can change a whole synthesis run's outcome.
+
+    Extends :func:`_spec_token` (the per-layer-solve fields) with the
+    run-level knobs: the layering threshold, the re-synthesis iteration
+    policy, and the transportation-estimation parameters.  Fields that
+    only change *how fast* an identical result is produced — ``jobs``,
+    ``enable_solve_cache``, ``solve_cache_capacity`` — are deliberately
+    excluded.
+    """
+    progression = spec.transport_progression
+    return (
+        _spec_token(spec),
+        spec.threshold,
+        spec.max_iterations,
+        spec.improvement_threshold,
+        spec.transport_default,
+        (progression.minimum, progression.maximum, progression.terms),
+    )
+
+
+def _assay_token(assay: Assay) -> tuple:
+    """Canonical content token of an assay (name excluded)."""
+    ops_token = tuple(
+        (
+            op.uid,
+            op.duration.minimum,
+            op.is_indeterminate,
+            op.capacity.value,
+            op.container.value if op.container else None,
+            tuple(sorted(op.accessories)),
+            op.function,
+        )
+        for op in sorted(assay, key=lambda op: op.uid)
+    )
+    edges_token = tuple(sorted(assay.edges))
+    return (ops_token, edges_token)
+
+
+def fingerprint_run(
+    assay: Assay, spec: SynthesisSpec, method: str = "hls"
+) -> str:
+    """Canonical fingerprint of one whole synthesis run's input.
+
+    Two invocations with the same assay content, the same solve-relevant
+    spec fields, and the same ``method`` ("hls" or "conventional") pose
+    the identical synthesis problem — the addressing key of the service
+    result store (:mod:`repro.service.store`) and of request coalescing
+    (:mod:`repro.service.queue`).  The assay *name* is excluded: renaming
+    an assay does not change its synthesis.
+    """
+    payload = ("synthesis-run-v1", method, _assay_token(assay),
+               _run_spec_token(spec))
+    return hashlib.sha256(repr(payload).encode()).hexdigest()
 
 
 def fingerprint_layer_problem(problem: LayerProblem, spec: SynthesisSpec) -> str:
@@ -309,14 +366,48 @@ def materialize_layer_result(
 
 @dataclass
 class LayerSolveCache:
-    """Memoizes decoded layer results across re-synthesis passes."""
+    """Memoizes decoded layer results across re-synthesis passes.
 
+    ``capacity`` bounds the entry count with least-recently-used eviction
+    (``None`` = unbounded).  A long-lived process — the synthesis service,
+    a Monte-Carlo campaign with contingency re-synthesis — would otherwise
+    accumulate one entry per distinct layer problem forever.
+    """
+
+    capacity: int | None = None
     _entries: dict[str, _CachedSolve] = field(default_factory=dict)
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def counters(self) -> dict[str, int]:
+        """Hit/miss/eviction telemetry plus the current size and bound."""
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity if self.capacity is not None else 0,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def _touch(self, key: str) -> None:
+        # dicts preserve insertion order; re-inserting moves the key to the
+        # most-recently-used end.
+        entry = self._entries.pop(key)
+        self._entries[key] = entry
+
+    def _insert(self, key: str, entry: _CachedSolve) -> None:
+        self._entries.pop(key, None)
+        self._entries[key] = entry
+        if self.capacity is None:
+            return
+        while len(self._entries) > max(1, self.capacity):
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+            self.evictions += 1
 
     def store(
         self, problem: LayerProblem, spec: SynthesisSpec, result: LayerSolveResult
@@ -329,7 +420,7 @@ class LayerSolveCache:
         entry = encode_layer_result(problem, result)
         if entry is None:
             return
-        self._entries[fingerprint_layer_problem(problem, spec)] = entry
+        self._insert(fingerprint_layer_problem(problem, spec), entry)
 
     def contains(self, problem: LayerProblem, spec: SynthesisSpec) -> bool:
         """Whether a replay would hit, without touching the counters."""
@@ -356,11 +447,13 @@ class LayerSolveCache:
         fixed-device references resolve to the problem's current inventory.
         """
         started = time.monotonic()
-        entry = self._entries.get(fingerprint_layer_problem(problem, spec))
+        key = fingerprint_layer_problem(problem, spec)
+        entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
             return None
         self.hits += 1
+        self._touch(key)
 
         result = materialize_layer_result(entry, problem, allocate_uid)
         result.stats = SolveStats(
@@ -372,3 +465,33 @@ class LayerSolveCache:
             cache_hit=True,
         )
         return result
+
+    def export_entries(
+        self, limit: int | None = None
+    ) -> list[tuple[str, _CachedSolve]]:
+        """The cache's contents as a picklable ``(fingerprint, entry)`` list.
+
+        Most-recently-used entries come *last*, so a size-limited export
+        keeps the hottest ``limit`` entries.  Entries are canonical (no
+        process-local uid state), which is what makes shipping them to
+        another process sound: :meth:`import_entries` replays them exactly
+        like same-process hits.
+        """
+        items = list(self._entries.items())
+        if limit is not None and limit >= 0:
+            items = items[-limit:] if limit else []
+        return items
+
+    def import_entries(self, entries) -> int:
+        """Merge exported entries (see :meth:`export_entries`); returns the
+        number of *new* fingerprints added.  Existing entries are refreshed
+        to most-recently-used but not overwritten — the local copy is
+        already the same canonical solve."""
+        added = 0
+        for key, entry in entries:
+            if key in self._entries:
+                self._touch(key)
+                continue
+            self._insert(key, entry)
+            added += 1
+        return added

@@ -165,6 +165,8 @@ class SynthesisContext:
         if self.transport is None:
             self.transport = TransportEstimator(self.assay, self.spec)
         if self.cache is None and self.spec.enable_solve_cache:
-            self.cache = LayerSolveCache()
+            self.cache = LayerSolveCache(
+                capacity=self.spec.solve_cache_capacity
+            )
         if self.jobs is None:
             self.jobs = self.spec.jobs

@@ -480,6 +480,9 @@ class ValidateStage:
             runtime=time.monotonic() - context.started,
             transport=best.transport_estimator or context.transport,
             edge_transport=dict(best.transport_snapshot),
+            cache_counters=(
+                context.cache.counters() if context.cache is not None else {}
+            ),
         )
         result.validate()
         return result

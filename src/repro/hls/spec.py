@@ -118,6 +118,11 @@ class SynthesisSpec:
     #: inputs are unchanged replays the previous decoded result instead of
     #: rebuilding and re-solving its ILP.
     enable_solve_cache: bool = True
+    #: LRU bound on the layer-solve cache (entries).  ``None`` = unbounded;
+    #: long-lived processes (the synthesis service, campaign workers with
+    #: contingency re-synthesis) should keep a bound so the cache cannot
+    #: grow into a leak.
+    solve_cache_capacity: int | None = 1024
     #: seed each layer ILP with an incumbent (previous pass's result, or
     #: the greedy fallback) on backends that support warm starts.
     enable_warm_start: bool = True
@@ -147,6 +152,10 @@ class SynthesisSpec:
             raise SpecificationError("max_iterations must be >= 0")
         if self.jobs < 1:
             raise SpecificationError("jobs must be >= 1")
+        if self.solve_cache_capacity is not None and self.solve_cache_capacity < 1:
+            raise SpecificationError(
+                "solve_cache_capacity must be >= 1 (or None for unbounded)"
+            )
         from .backends import available_schedulers
 
         if self.scheduler not in available_schedulers():

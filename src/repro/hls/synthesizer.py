@@ -107,6 +107,10 @@ class SynthesisResult:
     #: the per-edge transportation estimates the selected pass scheduled
     #: against (validation replays dependencies with exactly these).
     edge_transport: dict[tuple[str, str], int] = field(default_factory=dict)
+    #: layer-solve-cache counters of the run (entries/capacity/hits/
+    #: misses/evictions — see :meth:`LayerSolveCache.counters`); empty when
+    #: the run had no cache.
+    cache_counters: dict[str, int] = field(default_factory=dict)
 
     @property
     def fixed_makespan(self) -> int:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 
 from .expr import LinExpr, Variable
 
@@ -61,7 +61,13 @@ class SolveStats:
 
     @classmethod
     def from_dict(cls, data: dict) -> "SolveStats":
-        return cls(**data)
+        """Rebuild from :meth:`to_dict` output.
+
+        Unknown keys are ignored so profiles written by a newer schema
+        (or hand-edited) still load; missing keys fall back to defaults.
+        """
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
 
 
 @dataclass

@@ -4,6 +4,7 @@ from .dot import assay_to_dot, chip_to_dot
 from .gantt import render_gantt
 from .json_io import (
     assay_from_json,
+    json_result_equal,
     load_schedule,
     schedule_from_json,
     assay_to_json,
@@ -11,6 +12,8 @@ from .json_io import (
     result_to_json,
     save_assay,
     save_result,
+    spec_from_json,
+    spec_to_json,
 )
 
 __all__ = [
@@ -19,10 +22,13 @@ __all__ = [
     "render_gantt",
     "assay_from_json",
     "assay_to_json",
+    "json_result_equal",
     "load_assay",
     "load_schedule",
     "schedule_from_json",
     "save_assay",
     "result_to_json",
     "save_result",
+    "spec_from_json",
+    "spec_to_json",
 ]

@@ -70,7 +70,10 @@ def assay_from_json(data: dict[str, Any]) -> Assay:
             assay.add_dependency(parent, child)
         assay.validate()
         return assay
-    except (KeyError, TypeError, ValueError) as exc:
+    except (AttributeError, KeyError, TypeError, ValueError) as exc:
+        # AttributeError covers valid-JSON-but-not-an-object inputs (a
+        # bare list/string has no .get) so they fail like any other
+        # malformed document instead of escaping as a traceback.
         raise SerializationError(f"malformed assay JSON: {exc}") from exc
 
 
@@ -84,6 +87,119 @@ def load_assay(path: "str | Path") -> Assay:
     except (OSError, json.JSONDecodeError) as exc:
         raise SerializationError(f"cannot read assay from {path}: {exc}") from exc
     return assay_from_json(data)
+
+
+#: SynthesisSpec fields that serialize as plain scalars.  The cost model
+#: and the accessory registry stay at their defaults over the wire — they
+#: are code-level extension points, not per-request knobs.
+_SPEC_SCALAR_FIELDS = (
+    "max_devices",
+    "threshold",
+    "transport_default",
+    "backend",
+    "time_limit",
+    "mip_gap",
+    "improvement_threshold",
+    "max_iterations",
+    "allow_heuristic_fallback",
+    "enable_solve_cache",
+    "solve_cache_capacity",
+    "enable_warm_start",
+    "scheduler",
+    "jobs",
+)
+
+
+def spec_to_json(spec: "SynthesisSpec") -> dict[str, Any]:
+    """Serialize the wire-transferable fields of a synthesis spec.
+
+    Deterministic (plain dict of scalars) and exactly inverted by
+    :func:`spec_from_json`: ``spec_from_json(spec_to_json(s))`` poses the
+    identical synthesis problem — the property the service relies on for
+    fingerprint-stable job submission.
+    """
+    data: dict[str, Any] = {"format": FORMAT_VERSION}
+    for name in _SPEC_SCALAR_FIELDS:
+        data[name] = getattr(spec, name)
+    weights = spec.weights
+    data["weights"] = {
+        "time": weights.time,
+        "area": weights.area,
+        "processing": weights.processing,
+        "paths": weights.paths,
+    }
+    progression = spec.transport_progression
+    data["transport_progression"] = {
+        "minimum": progression.minimum,
+        "maximum": progression.maximum,
+        "terms": progression.terms,
+    }
+    data["binding_mode"] = spec.binding_mode.value
+    return data
+
+
+def spec_from_json(data: dict[str, Any]) -> "SynthesisSpec":
+    """Deserialize a spec; raises SerializationError on malformed input."""
+    from ..devices.device import BindingMode
+    from ..errors import ReproError
+    from ..hls.spec import SynthesisSpec, TransportProgression, Weights
+
+    try:
+        if data.get("format", FORMAT_VERSION) != FORMAT_VERSION:
+            raise SerializationError(
+                f"unsupported spec format {data.get('format')!r}"
+            )
+        known = set(_SPEC_SCALAR_FIELDS) | {
+            "format", "weights", "transport_progression", "binding_mode",
+        }
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SerializationError(
+                f"unknown spec field(s): {', '.join(unknown)}"
+            )
+        kwargs: dict[str, Any] = {
+            name: data[name] for name in _SPEC_SCALAR_FIELDS if name in data
+        }
+        if "weights" in data:
+            kwargs["weights"] = Weights(**data["weights"])
+        if "transport_progression" in data:
+            kwargs["transport_progression"] = TransportProgression(
+                **data["transport_progression"]
+            )
+        if "binding_mode" in data:
+            kwargs["binding_mode"] = BindingMode(data["binding_mode"])
+        return SynthesisSpec(**kwargs)
+    except SerializationError:
+        raise
+    except ReproError as exc:
+        raise SerializationError(f"invalid spec JSON: {exc}") from exc
+    except (AttributeError, KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed spec JSON: {exc}") from exc
+
+
+#: Result-report keys that vary run to run without the synthesis outcome
+#: differing (wall clock); ignored by :func:`json_result_equal`.
+_VOLATILE_RESULT_KEYS = ("runtime_seconds",)
+
+
+def json_result_equal(a: dict[str, Any], b: dict[str, Any]) -> bool:
+    """Whether two :func:`result_to_json` reports describe the same
+    synthesis outcome.
+
+    Wall-clock keys are ignored, so a ``deterministic=True`` report
+    compares equal to the ``deterministic=False`` report of the same run —
+    and a store-served payload compares equal to the in-process result it
+    was built from.
+    """
+
+    def canon(report: dict[str, Any]) -> dict[str, Any]:
+        return {
+            key: value
+            for key, value in report.items()
+            if key not in _VOLATILE_RESULT_KEYS
+        }
+
+    return canon(a) == canon(b)
 
 
 def result_to_json(

@@ -1,0 +1,41 @@
+"""Synthesis-as-a-service: async job server, persistent result store.
+
+Turns the one-shot CLI flow into a long-lived local service: jobs
+(assay + spec) arrive over a stdlib HTTP/JSON API, run on a bounded
+process pool, and land in a persistent store keyed by the canonical
+whole-run fingerprint (:func:`repro.hls.cache.fingerprint_run`) — so a
+repeated submission is answered from disk without re-entering the
+synthesis pipeline, and concurrent identical submissions coalesce onto
+one solve.
+
+Pieces: :mod:`~repro.service.store` (atomic, versioned, LRU-bounded
+result store), :mod:`~repro.service.queue` (priority queue, coalescing,
+429 backpressure), :mod:`~repro.service.server` /
+:mod:`~repro.service.client` (endpoints + typed client),
+:mod:`~repro.service.metrics` (counters and latency histograms at
+``/metrics``), :mod:`~repro.service.worker` (process-pool entry with
+cross-process layer-solve-cache warm starts).  CLI verbs: ``serve``,
+``submit``, ``jobs``; ``table2``/``table3`` accept ``--via-server``.
+"""
+
+from .client import JobHandle, ServiceClient
+from .metrics import ServiceMetrics
+from .queue import Job, JobQueue, JobStatus
+from .server import ServerConfig, SynthesisServer, run_server
+from .store import STORE_SCHEMA, ResultStore
+from .worker import run_job
+
+__all__ = [
+    "Job",
+    "JobHandle",
+    "JobQueue",
+    "JobStatus",
+    "ResultStore",
+    "STORE_SCHEMA",
+    "ServerConfig",
+    "ServiceClient",
+    "ServiceMetrics",
+    "SynthesisServer",
+    "run_server",
+    "run_job",
+]

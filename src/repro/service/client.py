@@ -1,0 +1,207 @@
+"""Typed Python client for the synthesis service.
+
+Stdlib-only (``http.client``).  Every method raises
+:class:`~repro.errors.ServiceError` carrying the server's structured
+error (kind + message + HTTP status) on any non-2xx response, so callers
+never parse error bodies themselves.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import ServiceError
+from ..hls.spec import SynthesisSpec
+from ..io.json_io import assay_to_json, spec_to_json
+from ..operations.assay import Assay
+
+
+@dataclass
+class JobHandle:
+    """Client-side view of one submitted job."""
+
+    id: str
+    fingerprint: str
+    status: str
+    source: str
+    coalesced: int
+    error: dict | None
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "JobHandle":
+        return cls(
+            id=data["id"],
+            fingerprint=data["fingerprint"],
+            status=data["status"],
+            source=data.get("source", ""),
+            coalesced=int(data.get("coalesced", 0)),
+            error=data.get("error"),
+        )
+
+    @property
+    def finished(self) -> bool:
+        return self.status in ("done", "failed", "cancelled")
+
+
+class ServiceClient:
+    """Blocking HTTP client; one instance per server address."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8642,
+        timeout: float = 120.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    @classmethod
+    def from_address(cls, address: str, timeout: float = 120.0
+                     ) -> "ServiceClient":
+        """Parse ``host:port`` (or bare ``:port`` for localhost)."""
+        host, _, port_text = address.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ServiceError(
+                f"bad server address {address!r} (expected host:port)",
+                status=400, kind="bad-address",
+            ) from None
+        return cls(host=host or "127.0.0.1", port=port, timeout=timeout)
+
+    # -- transport -------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> dict[str, Any]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = json.dumps(body).encode() if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            try:
+                connection.request(method, path, body=payload, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServiceError(
+                    f"cannot reach synthesis server at "
+                    f"{self.host}:{self.port}: {exc}",
+                    status=503, kind="unreachable",
+                ) from exc
+            try:
+                data = json.loads(raw) if raw else {}
+            except json.JSONDecodeError as exc:
+                raise ServiceError(
+                    f"non-JSON response from server: {exc}",
+                    status=502, kind="bad-response",
+                ) from exc
+            if response.status >= 400:
+                error = data.get("error") or {}
+                raise ServiceError(
+                    error.get("message", f"HTTP {response.status}"),
+                    status=response.status,
+                    kind=error.get("kind", "error"),
+                )
+            return data
+        finally:
+            connection.close()
+
+    # -- endpoints -------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        return self._request("GET", "/health")
+
+    def metrics(self) -> dict[str, Any]:
+        return self._request("GET", "/metrics")
+
+    def shutdown(self) -> None:
+        self._request("POST", "/shutdown")
+
+    def submit(
+        self,
+        assay: "Assay | dict",
+        spec: "SynthesisSpec | dict | None" = None,
+        method: str = "hls",
+        priority: int = 0,
+        timeout: float | None = None,
+    ) -> JobHandle:
+        """Submit one synthesis run; returns immediately with a handle."""
+        body: dict[str, Any] = {
+            "assay": assay_to_json(assay) if isinstance(assay, Assay)
+            else assay,
+            "method": method,
+            "priority": priority,
+        }
+        if spec is not None:
+            body["spec"] = (
+                spec_to_json(spec) if isinstance(spec, SynthesisSpec)
+                else spec
+            )
+        if timeout is not None:
+            body["timeout"] = timeout
+        data = self._request("POST", "/jobs", body)
+        return JobHandle.from_json(data["job"])
+
+    def jobs(self) -> list[JobHandle]:
+        data = self._request("GET", "/jobs")
+        return [JobHandle.from_json(entry) for entry in data["jobs"]]
+
+    def status(self, job_id: str, wait: float = 0.0) -> JobHandle:
+        path = f"/jobs/{job_id}"
+        if wait > 0:
+            path += f"?wait={wait:g}"
+        return JobHandle.from_json(self._request("GET", path)["job"])
+
+    def cancel(self, job_id: str) -> JobHandle:
+        return JobHandle.from_json(
+            self._request("DELETE", f"/jobs/{job_id}")["job"]
+        )
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        """The finished job's payload: {"result": ..., "profile": ...}."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def wait(self, job_id: str, deadline: float = 600.0) -> JobHandle:
+        """Block (long-polling) until the job finishes or ``deadline``."""
+        end = time.monotonic() + deadline
+        while True:
+            remaining = end - time.monotonic()
+            if remaining <= 0:
+                raise ServiceError(
+                    f"job {job_id} not finished within {deadline:g}s",
+                    status=408, kind="wait-timeout",
+                )
+            handle = self.status(job_id, wait=min(remaining, 30.0))
+            if handle.finished:
+                return handle
+
+    def synthesize(
+        self,
+        assay: "Assay | dict",
+        spec: "SynthesisSpec | dict | None" = None,
+        method: str = "hls",
+        deadline: float = 600.0,
+    ) -> dict[str, Any]:
+        """Submit, wait, and return the result payload in one call.
+
+        Raises :class:`ServiceError` with the job's structured error when
+        the solve fails.
+        """
+        handle = self.submit(assay, spec, method=method)
+        handle = self.wait(handle.id, deadline=deadline)
+        if handle.status != "done":
+            error = handle.error or {}
+            raise ServiceError(
+                error.get("message", f"job {handle.id} {handle.status}"),
+                status=500,
+                kind=error.get("kind", handle.status),
+            )
+        return self.result(handle.id)
+
+
+__all__ = ["JobHandle", "ServiceClient"]

@@ -1,0 +1,127 @@
+"""Service telemetry: counters, gauges, and latency histograms.
+
+Everything is plain in-process state exported as one JSON document at
+``/metrics`` — no third-party metrics client, no background threads.  The
+histogram uses fixed log-spaced buckets (Prometheus style: each bucket
+counts observations ``<=`` its upper bound) so dashboards can derive
+quantile estimates without the service storing raw samples.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+#: Upper bounds (seconds) for latency histograms; +inf is implicit.
+DEFAULT_BUCKETS = (
+    0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+    60.0, 120.0, 300.0,
+)
+
+
+@dataclass
+class Histogram:
+    """Cumulative-bucket latency histogram (seconds)."""
+
+    buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    total: int = 0
+    sum: float = 0.0
+    maximum: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, value: float) -> None:
+        self.total += 1
+        self.sum += value
+        self.maximum = max(self.maximum, value)
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.total,
+            "sum": round(self.sum, 6),
+            "mean": round(self.mean, 6),
+            "max": round(self.maximum, 6),
+            "buckets": {
+                f"le_{bound:g}": count
+                for bound, count in zip(self.buckets, self.counts)
+            }
+            | {"le_inf": self.counts[-1]},
+        }
+
+
+class ServiceMetrics:
+    """All counters/gauges/histograms of one server instance."""
+
+    def __init__(self) -> None:
+        self.started = time.monotonic()
+        self._counters: dict[str, int] = {}
+        self._histograms: dict[str, Histogram] = {}
+        #: seconds of worker-slot occupancy, accumulated per finished job.
+        self.busy_seconds = 0.0
+        #: current pool size (set by the server; utilization denominator).
+        self.workers = 1
+        #: gauge callbacks polled at snapshot time (queue depth, running).
+        self._gauges: dict[str, object] = {}
+
+    # -- counters --------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def count(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    # -- histograms ------------------------------------------------------
+
+    def observe(self, name: str, seconds: float) -> None:
+        self._histograms.setdefault(name, Histogram()).observe(seconds)
+
+    # -- gauges ----------------------------------------------------------
+
+    def gauge(self, name: str, fn) -> None:
+        """Register a zero-argument callable polled at snapshot time."""
+        self._gauges[name] = fn
+
+    # -- export ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        uptime = time.monotonic() - self.started
+        busy = self.busy_seconds
+        capacity = uptime * max(1, self.workers)
+        gauges = {}
+        for name, fn in self._gauges.items():
+            try:
+                gauges[name] = fn()
+            except Exception:
+                gauges[name] = None
+        return {
+            "uptime_seconds": round(uptime, 3),
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": gauges,
+            "histograms": {
+                name: histogram.to_dict()
+                for name, histogram in sorted(self._histograms.items())
+            },
+            "workers": {
+                "pool_size": self.workers,
+                "busy_seconds": round(busy, 3),
+                "utilization": round(min(1.0, busy / capacity), 4)
+                if capacity
+                else 0.0,
+            },
+        }
+
+
+__all__ = ["DEFAULT_BUCKETS", "Histogram", "ServiceMetrics"]

@@ -1,0 +1,233 @@
+"""Priority job queue with request coalescing and backpressure.
+
+Pure synchronous data structure — the asyncio server drives it from one
+event loop, so no locking is needed.  Three properties matter:
+
+* **Coalescing** — two in-flight submissions (pending *or* running) of
+  the same run fingerprint share one job: the second submit returns the
+  first job's id instead of queueing a duplicate solve.
+* **Priority** — pending jobs dispatch highest ``priority`` first
+  (ties: submission order).
+* **Backpressure** — at most ``capacity`` *pending* jobs; beyond that,
+  :meth:`submit` raises :class:`~repro.errors.ServiceError` with status
+  429, which the server returns verbatim instead of buffering unbounded
+  work.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import ServiceError
+
+
+class JobStatus(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def finished(self) -> bool:
+        return self in (JobStatus.DONE, JobStatus.FAILED, JobStatus.CANCELLED)
+
+
+@dataclass
+class Job:
+    """One submitted synthesis run."""
+
+    id: str
+    fingerprint: str
+    #: the worker wire payload (assay/spec/method JSON).
+    request: dict[str, Any]
+    priority: int = 0
+    timeout: float | None = None
+    status: JobStatus = JobStatus.PENDING
+    #: how this job's result was produced: "solve", "store", or "" while
+    #: unfinished.
+    source: str = ""
+    #: structured failure: {"kind": ..., "message": ...}.
+    error: dict[str, str] | None = None
+    #: response payload ({"result": ..., "profile": ...}) once done.
+    payload: dict[str, Any] | None = None
+    #: additional submissions coalesced onto this job.
+    coalesced: int = 0
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+
+    def describe(self) -> dict[str, Any]:
+        """JSON view for the status endpoints (no result payload)."""
+        return {
+            "id": self.id,
+            "fingerprint": self.fingerprint,
+            "status": self.status.value,
+            "priority": self.priority,
+            "source": self.source,
+            "coalesced": self.coalesced,
+            "error": self.error,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+
+
+class JobQueue:
+    """Bounded, coalescing priority queue over :class:`Job` objects."""
+
+    def __init__(self, capacity: int = 64, history: int = 256) -> None:
+        if capacity < 1:
+            raise ServiceError("queue capacity must be >= 1", status=500)
+        self.capacity = capacity
+        #: finished jobs retained for status queries (FIFO-bounded).
+        self.history = history
+        self._jobs: dict[str, Job] = {}
+        #: fingerprint -> job id for pending/running jobs (coalesce map).
+        self._inflight: dict[str, str] = {}
+        self._heap: list[tuple[int, int, str]] = []
+        self._ids = itertools.count(1)
+        self._seq = itertools.count(1)
+        self.pending = 0
+
+    # -- submission ------------------------------------------------------
+
+    def submit(
+        self,
+        fingerprint: str,
+        request: dict[str, Any],
+        priority: int = 0,
+        timeout: float | None = None,
+    ) -> tuple[Job, bool]:
+        """Enqueue a run; returns ``(job, coalesced)``.
+
+        An in-flight job with the same fingerprint absorbs the submission
+        (``coalesced=True``) regardless of the new request's priority —
+        the solve is already underway or queued.  Raises
+        :class:`ServiceError` (429) when the pending backlog is full.
+        """
+        existing_id = self._inflight.get(fingerprint)
+        if existing_id is not None:
+            job = self._jobs[existing_id]
+            job.coalesced += 1
+            return job, True
+        if self.pending >= self.capacity:
+            raise ServiceError(
+                f"queue full ({self.pending} pending jobs)",
+                status=429,
+                kind="queue-full",
+            )
+        job = Job(
+            id=f"job-{next(self._ids)}",
+            fingerprint=fingerprint,
+            request=request,
+            priority=priority,
+            timeout=timeout,
+        )
+        self._jobs[job.id] = job
+        self._inflight[fingerprint] = job.id
+        heapq.heappush(self._heap, (-priority, next(self._seq), job.id))
+        self.pending += 1
+        self._prune_history()
+        return job, False
+
+    def admit_finished(self, job: Job) -> None:
+        """Register a job that never queues (store hit at submit time)."""
+        self._jobs[job.id] = job
+        self._prune_history()
+
+    def make_job(self, fingerprint: str, request: dict[str, Any],
+                 priority: int = 0) -> Job:
+        """A fresh job object with a queue-unique id (not enqueued)."""
+        return Job(
+            id=f"job-{next(self._ids)}",
+            fingerprint=fingerprint,
+            request=request,
+            priority=priority,
+        )
+
+    # -- dispatch --------------------------------------------------------
+
+    def next_job(self) -> Job | None:
+        """Pop the highest-priority pending job and mark it running."""
+        while self._heap:
+            _, _, job_id = heapq.heappop(self._heap)
+            job = self._jobs.get(job_id)
+            if job is None or job.status is not JobStatus.PENDING:
+                continue  # cancelled while queued
+            self.pending -= 1
+            job.status = JobStatus.RUNNING
+            job.started_at = time.time()
+            return job
+        return None
+
+    # -- completion ------------------------------------------------------
+
+    def finish(
+        self, job: Job, payload: dict[str, Any], source: str = "solve"
+    ) -> None:
+        job.status = JobStatus.DONE
+        job.payload = payload
+        job.source = source
+        job.finished_at = time.time()
+        self._inflight.pop(job.fingerprint, None)
+
+    def fail(self, job: Job, kind: str, message: str) -> None:
+        job.status = JobStatus.FAILED
+        job.error = {"kind": kind, "message": message}
+        job.finished_at = time.time()
+        self._inflight.pop(job.fingerprint, None)
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a pending job; running/finished jobs are not cancellable."""
+        job = self.get(job_id)
+        if job.status is not JobStatus.PENDING:
+            raise ServiceError(
+                f"job {job_id} is {job.status.value}, not cancellable",
+                status=409,
+                kind="not-cancellable",
+            )
+        job.status = JobStatus.CANCELLED
+        job.finished_at = time.time()
+        self.pending -= 1
+        self._inflight.pop(job.fingerprint, None)
+        return job
+
+    # -- queries ---------------------------------------------------------
+
+    def get(self, job_id: str) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError(
+                f"unknown job {job_id}", status=404, kind="unknown-job"
+            )
+        return job
+
+    def jobs(self) -> list[Job]:
+        """All known jobs, newest first."""
+        return sorted(
+            self._jobs.values(), key=lambda job: job.submitted_at, reverse=True
+        )
+
+    @property
+    def depth(self) -> int:
+        return self.pending
+
+    def _prune_history(self) -> None:
+        finished = [
+            job for job in self._jobs.values() if job.status.finished
+        ]
+        overflow = len(finished) - self.history
+        if overflow <= 0:
+            return
+        finished.sort(key=lambda job: job.finished_at or job.submitted_at)
+        for job in finished[:overflow]:
+            del self._jobs[job.id]
+
+
+__all__ = ["Job", "JobQueue", "JobStatus"]

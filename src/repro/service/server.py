@@ -1,0 +1,520 @@
+"""Asyncio synthesis server: local HTTP/JSON API over a process pool.
+
+Stdlib only — ``asyncio.start_server`` with a deliberately minimal
+HTTP/1.1 handler (every response closes the connection), a bounded
+:class:`~concurrent.futures.ProcessPoolExecutor` doing the actual
+solves, and three cooperating pieces from this package:
+
+* :class:`~repro.service.queue.JobQueue` — priority dispatch, request
+  coalescing, 429 backpressure;
+* :class:`~repro.service.store.ResultStore` — persistent
+  fingerprint-keyed results: a repeated submission is answered from disk
+  without ever entering the synthesis pipeline;
+* :class:`~repro.service.metrics.ServiceMetrics` — counters and latency
+  histograms exposed at ``/metrics``.
+
+Endpoints (all JSON)::
+
+    GET    /health             liveness + config summary
+    GET    /metrics            counters, histograms, worker utilization
+    POST   /jobs               submit {assay, spec?, method?, priority?}
+    GET    /jobs               all known jobs, newest first
+    GET    /jobs/<id>          one job's status (?wait=SECONDS long-polls)
+    GET    /jobs/<id>/result   the result payload (409 until done)
+    DELETE /jobs/<id>          cancel a pending job
+    POST   /shutdown           graceful stop
+
+Failure isolation: a worker process dying mid-solve (OOM-kill, crash)
+fails *only* the jobs in flight on the broken pool — each with a
+structured ``worker-crashed`` error — then the pool is rebuilt and the
+server keeps serving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from urllib.parse import parse_qs, urlparse
+
+from ..errors import SerializationError, ServiceError
+from ..hls import SynthesisSpec, fingerprint_run
+from ..hls.cache import LayerSolveCache
+from ..io.json_io import assay_from_json, spec_from_json, spec_to_json
+from .metrics import ServiceMetrics
+from .queue import Job, JobQueue, JobStatus
+from .store import ResultStore
+from .worker import _DEBUG_CRASH, run_job
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout", 409: "Conflict",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+#: Largest accepted request body (a case-3-sized assay is ~50 KiB).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+@dataclass
+class ServerConfig:
+    """Everything the ``serve`` verb exposes."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; resolved port in SynthesisServer.port
+    workers: int = 2
+    queue_capacity: int = 32
+    store_dir: str | None = None
+    store_capacity: int = 256
+    #: default per-job wall-clock budget, seconds (request may lower it).
+    job_timeout: float = 900.0
+    #: ship layer-solve-cache exports to workers (cross-process warm
+    #: starts) and merge their exports back.
+    share_cache: bool = True
+    #: most-recently-used cache entries shipped per job.
+    cache_export_limit: int = 256
+    #: enable the ``debug-crash`` test method (kills a worker mid-job).
+    allow_debug: bool = False
+
+
+class SynthesisServer:
+    """One service instance: queue + pool + store + HTTP front end."""
+
+    def __init__(self, config: ServerConfig | None = None) -> None:
+        self.config = config or ServerConfig()
+        self.queue = JobQueue(capacity=self.config.queue_capacity)
+        self.store = ResultStore(
+            self.config.store_dir, capacity=self.config.store_capacity
+        )
+        self.metrics = ServiceMetrics()
+        self.metrics.workers = self.config.workers
+        self.metrics.gauge("queue_depth", lambda: self.queue.depth)
+        self.metrics.gauge("jobs_running", lambda: self._running)
+        self.metrics.gauge("store_entries", lambda: len(self.store))
+        self.metrics.gauge("shared_cache_entries", lambda: len(self._cache))
+        #: cross-job layer-solve cache (canonical entries, see hls/cache).
+        self._cache = LayerSolveCache(
+            capacity=max(1024, self.config.cache_export_limit)
+        )
+        self._pool: ProcessPoolExecutor | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._sem: asyncio.Semaphore | None = None
+        self._work_available: asyncio.Event | None = None
+        self._stopped: asyncio.Event | None = None
+        self._events: dict[str, asyncio.Event] = {}
+        self._running = 0
+        self._stopping = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None and self._server.sockets
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._sem = asyncio.Semaphore(self.config.workers)
+        self._work_available = asyncio.Event()
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+
+    async def serve_until_stopped(self) -> None:
+        assert self._stopped is not None
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        if self._stopping:
+            return
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        if self._stopped is not None:
+            self._stopped.set()
+
+    def _get_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.config.workers
+            )
+        return self._pool
+
+    def _reset_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        self.metrics.inc("worker_restarts")
+
+    # -- dispatch --------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        assert self._sem is not None and self._work_available is not None
+        while True:
+            await self._sem.acquire()
+            job = None
+            while job is None:
+                job = self.queue.next_job()
+                if job is None:
+                    self._work_available.clear()
+                    await self._work_available.wait()
+            asyncio.create_task(self._run_job(job))
+
+    async def _run_job(self, job: Job) -> None:
+        assert self._sem is not None
+        loop = asyncio.get_running_loop()
+        started = time.monotonic()
+        self._running += 1
+        self.metrics.observe(
+            "queue_wait_seconds", max(0.0, time.time() - job.submitted_at)
+        )
+        try:
+            request = dict(job.request)
+            if self.config.share_cache and request.get("method") == "hls":
+                request["cache"] = self._cache.export_entries(
+                    limit=self.config.cache_export_limit
+                )
+            timeout = min(
+                job.timeout or self.config.job_timeout,
+                self.config.job_timeout,
+            )
+            outcome = await asyncio.wait_for(
+                loop.run_in_executor(self._get_pool(), run_job, request),
+                timeout=timeout,
+            )
+        except asyncio.TimeoutError:
+            self.queue.fail(
+                job, "timeout",
+                f"job exceeded its {timeout:g}s wall-clock budget",
+            )
+            self.metrics.inc("jobs_timeout")
+            self.metrics.inc("jobs_failed")
+            # The abandoned solve still occupies a worker; rebuild the
+            # pool so the slot is genuinely reclaimed.
+            self._reset_pool()
+        except BrokenProcessPool:
+            self.queue.fail(
+                job, "worker-crashed",
+                "worker process died mid-solve; the pool was rebuilt",
+            )
+            self.metrics.inc("jobs_failed")
+            self._reset_pool()
+        except Exception as exc:  # pragma: no cover - defensive
+            self.queue.fail(job, "internal", str(exc))
+            self.metrics.inc("jobs_failed")
+        else:
+            self._absorb_outcome(job, outcome)
+        finally:
+            elapsed = time.monotonic() - started
+            self.metrics.busy_seconds += elapsed
+            self.metrics.observe("solve_seconds", elapsed)
+            self._running -= 1
+            self._signal_done(job)
+            self._sem.release()
+
+    def _absorb_outcome(self, job: Job, outcome: tuple) -> None:
+        if not outcome or outcome[0] != "ok":
+            _tag, kind, message = outcome
+            self.queue.fail(job, kind, message)
+            self.metrics.inc("jobs_failed")
+            return
+        _tag, payload, cache_export = outcome
+        if self.config.share_cache and cache_export:
+            self._cache.import_entries(cache_export)
+        self.store.put(job.fingerprint, payload)
+        self.queue.finish(job, payload, source="solve")
+        self.metrics.inc("jobs_completed")
+        totals = (payload.get("profile") or {}).get("totals") or {}
+        self.metrics.inc("solve_ilp_solves", int(totals.get("ilp_solves", 0)))
+        self.metrics.inc("solve_cache_hits", int(totals.get("cache_hits", 0)))
+
+    def _signal_done(self, job: Job) -> None:
+        event = self._events.pop(job.id, None)
+        if event is not None:
+            event.set()
+
+    # -- submission ------------------------------------------------------
+
+    def _submit(self, body: dict) -> tuple[int, dict]:
+        if not isinstance(body, dict):
+            raise ServiceError(
+                "request body must be a JSON object", status=400,
+                kind="bad-request",
+            )
+        method = body.get("method", "hls")
+        if method == _DEBUG_CRASH and self.config.allow_debug:
+            return self._submit_debug_crash(body)
+        if method not in ("hls", "conventional"):
+            raise ServiceError(
+                f"unknown method {method!r}", status=400, kind="bad-request"
+            )
+        try:
+            assay = assay_from_json(body.get("assay") or {})
+            spec_data = body.get("spec")
+            spec = spec_from_json(spec_data) if spec_data else SynthesisSpec()
+        except SerializationError as exc:
+            raise ServiceError(str(exc), status=400, kind="bad-request")
+
+        fingerprint = fingerprint_run(assay, spec, method)
+        priority = int(body.get("priority", 0))
+        timeout = body.get("timeout")
+        self.metrics.inc("jobs_submitted")
+
+        payload = self.store.get(fingerprint)
+        if payload is not None:
+            self.metrics.inc("store_hits")
+            job = self.queue.make_job(fingerprint, {}, priority)
+            self.queue.finish(job, payload, source="store")
+            self.queue.admit_finished(job)
+            return 202, {"job": job.describe()}
+        self.metrics.inc("store_misses")
+
+        request = {
+            "assay": body["assay"],
+            "spec": spec_to_json(spec),
+            "method": method,
+            "deterministic": True,
+        }
+        job, coalesced = self.queue.submit(
+            fingerprint, request, priority=priority,
+            timeout=float(timeout) if timeout else None,
+        )
+        if coalesced:
+            self.metrics.inc("coalesce_hits")
+        else:
+            assert self._work_available is not None
+            self._work_available.set()
+        return 202, {"job": job.describe()}
+
+    def _submit_debug_crash(self, body: dict) -> tuple[int, dict]:
+        """Queue a job whose worker kills itself (crash-recovery tests)."""
+        self.metrics.inc("jobs_submitted")
+        job, _ = self.queue.submit(
+            f"debug-crash-{time.monotonic_ns()}",
+            {"method": _DEBUG_CRASH},
+            priority=int(body.get("priority", 0)),
+        )
+        assert self._work_available is not None
+        self._work_available.set()
+        return 202, {"job": job.describe()}
+
+    # -- HTTP front end --------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, body = await asyncio.wait_for(
+                    self._read_request(reader), timeout=30.0
+                )
+            except (asyncio.TimeoutError, asyncio.IncompleteReadError,
+                    ConnectionError):
+                return
+            except ServiceError as exc:
+                self._write_response(writer, exc.status, _error_body(exc))
+                return
+            try:
+                status, payload = await self._route(method, path, body)
+            except ServiceError as exc:
+                status, payload = exc.status, _error_body(exc)
+            except Exception as exc:  # pragma: no cover - defensive
+                status, payload = 500, {
+                    "error": {"kind": "internal", "message": str(exc)}
+                }
+            self._write_response(writer, status, payload)
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict | None]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            raise ConnectionError("empty request")
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise ServiceError(
+                f"malformed request line {request_line!r}",
+                status=400, kind="bad-request",
+            )
+        method, path, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0) or 0)
+        if length > MAX_BODY_BYTES:
+            raise ServiceError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit",
+                status=413, kind="payload-too-large",
+            )
+        body: dict | None = None
+        if length:
+            raw = await reader.readexactly(length)
+            try:
+                body = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise ServiceError(
+                    f"request body is not valid JSON: {exc}",
+                    status=400, kind="bad-request",
+                )
+        return method.upper(), path, body
+
+    async def _route(
+        self, method: str, path: str, body: dict | None
+    ) -> tuple[int, dict]:
+        parsed = urlparse(path)
+        segments = [s for s in parsed.path.split("/") if s]
+        query = parse_qs(parsed.query)
+
+        if segments == ["health"] and method == "GET":
+            return 200, self._health()
+        if segments == ["metrics"] and method == "GET":
+            return 200, self.metrics.snapshot() | {
+                "store": self.store.counters(),
+                "solve_cache": self._cache.counters(),
+            }
+        if segments == ["shutdown"] and method == "POST":
+            asyncio.get_running_loop().call_soon(
+                lambda: asyncio.ensure_future(self.stop())
+            )
+            return 200, {"status": "stopping"}
+        if segments == ["jobs"]:
+            if method == "POST":
+                return self._submit(body or {})
+            if method == "GET":
+                return 200, {
+                    "jobs": [job.describe() for job in self.queue.jobs()]
+                }
+            raise ServiceError("use GET or POST", status=405, kind="bad-method")
+        if len(segments) == 2 and segments[0] == "jobs":
+            if method == "GET":
+                return await self._job_status(segments[1], query)
+            if method == "DELETE":
+                job = self.queue.cancel(segments[1])
+                self.metrics.inc("jobs_cancelled")
+                self._signal_done(job)
+                return 200, {"job": job.describe()}
+            raise ServiceError(
+                "use GET or DELETE", status=405, kind="bad-method"
+            )
+        if (
+            len(segments) == 3
+            and segments[0] == "jobs"
+            and segments[2] == "result"
+            and method == "GET"
+        ):
+            return self._job_result(segments[1])
+        raise ServiceError(
+            f"no route for {method} {parsed.path}", status=404,
+            kind="not-found",
+        )
+
+    def _health(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_seconds": round(
+                time.monotonic() - self.metrics.started, 3
+            ),
+            "workers": self.config.workers,
+            "queue_capacity": self.config.queue_capacity,
+            "queue_depth": self.queue.depth,
+            "store_entries": len(self.store),
+            "persistent_store": self.store.root is not None,
+        }
+
+    async def _job_status(
+        self, job_id: str, query: dict
+    ) -> tuple[int, dict]:
+        job = self.queue.get(job_id)
+        wait = float(query.get("wait", [0])[0] or 0)
+        if wait > 0 and not job.status.finished:
+            event = self._events.setdefault(job.id, asyncio.Event())
+            try:
+                await asyncio.wait_for(event.wait(), timeout=min(wait, 60.0))
+            except asyncio.TimeoutError:
+                pass
+        return 200, {"job": job.describe()}
+
+    def _job_result(self, job_id: str) -> tuple[int, dict]:
+        job = self.queue.get(job_id)
+        if job.status is JobStatus.DONE:
+            assert job.payload is not None
+            return 200, {"job": job.describe()} | job.payload
+        if job.status is JobStatus.FAILED:
+            return 409, {"job": job.describe(), "error": job.error}
+        raise ServiceError(
+            f"job {job_id} is {job.status.value}; no result yet",
+            status=409, kind="not-finished",
+        )
+
+    def _write_response(
+        self, writer: asyncio.StreamWriter, status: int, payload: dict
+    ) -> None:
+        data = json.dumps(payload).encode()
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + data)
+
+
+def _error_body(exc: ServiceError) -> dict:
+    return {"error": {"kind": exc.kind, "message": str(exc)}}
+
+
+def run_server(config: ServerConfig | None = None, announce=None) -> None:
+    """Run a server until ``/shutdown`` or KeyboardInterrupt.
+
+    ``announce`` is called once with the started server (the CLI prints
+    the bound address; tests grab the port).
+    """
+
+    async def _main() -> None:
+        server = SynthesisServer(config)
+        await server.start()
+        if announce is not None:
+            announce(server)
+        try:
+            await server.serve_until_stopped()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+
+
+__all__ = ["MAX_BODY_BYTES", "ServerConfig", "SynthesisServer", "run_server"]

@@ -1,0 +1,197 @@
+"""Persistent, fingerprint-keyed synthesis-result store.
+
+Treats finished synthesis runs as addressable artifacts (cf. Tseng et
+al., *Storage and Caching: Synthesis of Flow-based Microfluidic
+Biochips*): the key is the canonical whole-run fingerprint from
+:func:`repro.hls.cache.fingerprint_run`, the value is the deterministic
+:func:`repro.io.json_io.result_to_json` payload (plus the solve profile),
+so a stored entry is byte-for-byte the response a fresh solve would have
+produced.
+
+Guarantees:
+
+* **Atomic writes** — entries land via ``tmp file + os.replace``; a crash
+  mid-write never leaves a truncated entry visible.
+* **Schema versioning** — every entry records ``STORE_SCHEMA``; entries
+  written by an incompatible version read as misses and are dropped.
+* **LRU size bound** — at most ``capacity`` entries on disk; the
+  least-recently-*used* entry is evicted first, with recency persisted in
+  a small index file so restarts keep the order.
+
+``root=None`` gives a purely in-memory store with identical semantics —
+used when the server runs without ``--store`` and by unit tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any
+
+from ..errors import SerializationError
+
+#: Bump on any incompatible change to the entry layout.
+STORE_SCHEMA = 1
+
+_INDEX_NAME = "index.json"
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+class ResultStore:
+    """On-disk (or in-memory) LRU store of synthesis-result payloads."""
+
+    def __init__(
+        self, root: "str | Path | None" = None, capacity: int = 256
+    ) -> None:
+        if capacity < 1:
+            raise SerializationError("store capacity must be >= 1")
+        self.root = Path(root) if root is not None else None
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.puts = 0
+        #: fingerprint -> last-use stamp, oldest first; doubles as the
+        #: in-memory payload map when ``root`` is None.
+        self._recency: dict[str, int] = {}
+        self._memory: dict[str, dict] = {}
+        self._clock = 0
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._load_index()
+
+    # -- index persistence ----------------------------------------------
+
+    def _index_path(self) -> Path:
+        assert self.root is not None
+        return self.root / _INDEX_NAME
+
+    def _load_index(self) -> None:
+        try:
+            data = json.loads(self._index_path().read_text())
+            entries = data.get("recency", {})
+        except (OSError, json.JSONDecodeError, AttributeError):
+            entries = {}
+        known = {
+            path.stem for path in self.root.glob("*.json")
+            if path.name != _INDEX_NAME
+        }
+        ordered = sorted(
+            (stamp, fp) for fp, stamp in entries.items() if fp in known
+        )
+        self._recency = {fp: stamp for stamp, fp in ordered}
+        # Entries on disk but absent from the index (index write lost in a
+        # crash) are adopted as least-recently-used.
+        adopted = sorted(known - set(self._recency))
+        if adopted:
+            self._recency = {fp: 0 for fp in adopted} | self._recency
+        self._clock = max(self._recency.values(), default=0)
+
+    def _save_index(self) -> None:
+        if self.root is None:
+            return
+        _atomic_write_text(
+            self._index_path(),
+            json.dumps({"schema": STORE_SCHEMA, "recency": self._recency}),
+        )
+
+    # -- core API --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._recency)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._recency
+
+    def _entry_path(self, fingerprint: str) -> Path:
+        assert self.root is not None
+        return self.root / f"{fingerprint}.json"
+
+    def _touch(self, fingerprint: str) -> None:
+        self._clock += 1
+        self._recency.pop(fingerprint, None)
+        self._recency[fingerprint] = self._clock
+        self._save_index()
+
+    def get(self, fingerprint: str) -> dict[str, Any] | None:
+        """The stored payload for ``fingerprint``, or ``None`` (a miss).
+
+        A hit refreshes the entry's recency.  Unreadable or
+        schema-incompatible entries are dropped and read as misses.
+        """
+        if fingerprint not in self._recency:
+            self.misses += 1
+            return None
+        if self.root is None:
+            self.hits += 1
+            self._touch(fingerprint)
+            return self._memory[fingerprint]
+        try:
+            envelope = json.loads(self._entry_path(fingerprint).read_text())
+            if envelope.get("schema") != STORE_SCHEMA:
+                raise ValueError(f"schema {envelope.get('schema')!r}")
+            payload = envelope["payload"]
+        except (OSError, ValueError, KeyError, AttributeError,
+                json.JSONDecodeError):
+            self._drop(fingerprint)
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._touch(fingerprint)
+        return payload
+
+    def put(self, fingerprint: str, payload: dict[str, Any]) -> None:
+        """Store ``payload`` under ``fingerprint`` (atomic, LRU-evicting)."""
+        self.puts += 1
+        if self.root is None:
+            self._memory[fingerprint] = payload
+        else:
+            envelope = {
+                "schema": STORE_SCHEMA,
+                "fingerprint": fingerprint,
+                "stored_at": time.time(),
+                "payload": payload,
+            }
+            try:
+                _atomic_write_text(
+                    self._entry_path(fingerprint), json.dumps(envelope)
+                )
+            except OSError as exc:
+                raise SerializationError(
+                    f"cannot write store entry {fingerprint[:12]}…: {exc}"
+                ) from exc
+        self._touch(fingerprint)
+        while len(self._recency) > self.capacity:
+            oldest = next(iter(self._recency))
+            self._drop(oldest)
+            self.evictions += 1
+
+    def _drop(self, fingerprint: str) -> None:
+        self._recency.pop(fingerprint, None)
+        self._memory.pop(fingerprint, None)
+        if self.root is not None:
+            try:
+                self._entry_path(fingerprint).unlink(missing_ok=True)
+            except OSError:
+                pass
+            self._save_index()
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "entries": len(self._recency),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "puts": self.puts,
+        }
+
+
+__all__ = ["STORE_SCHEMA", "ResultStore"]

@@ -1,0 +1,79 @@
+"""Worker-process entry point for service solves.
+
+Mirrors the wire discipline of :mod:`repro.hls.parallel`: the parent
+ships a small picklable request, the worker returns a tagged tuple, and
+*all* expected failures travel as data — a worker never lets a
+:class:`~repro.errors.ReproError` escape as a pickled traceback.
+
+The request also carries an optional export of the parent's
+:class:`~repro.hls.cache.LayerSolveCache` (canonical, uid-free entries).
+The worker imports it before solving and returns its own export, so
+layer solves warm-start across *processes*: a re-submission of a similar
+assay replays earlier layer solves even though every job may land on a
+different pool worker.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+from ..errors import ReproError
+from ..hls.cache import LayerSolveCache
+
+#: Request key enabling the crash hook below.
+_DEBUG_CRASH = "debug-crash"
+
+
+def run_job(request: dict[str, Any]) -> tuple:
+    """Solve one synthesis job; returns ``("ok", payload, cache_export)``
+    or ``("error", kind, message)``.
+
+    ``request`` keys: ``assay`` (assay JSON), ``spec`` (spec JSON or
+    None), ``method`` ("hls" | "conventional"), ``cache`` (entries from
+    :meth:`LayerSolveCache.export_entries` or None), ``deterministic``
+    (bool, default True).
+    """
+    if request.get("method") == _DEBUG_CRASH:
+        # Test hook (gated behind ServerConfig.allow_debug): die the way a
+        # real worker does when the OS kills it mid-solve.
+        os._exit(1)
+    try:
+        from ..baselines import synthesize_conventional
+        from ..experiments.report import synthesis_profile
+        from ..hls import SynthesisSpec, synthesize
+        from ..io.json_io import (
+            assay_from_json,
+            result_to_json,
+            spec_from_json,
+        )
+
+        assay = assay_from_json(request["assay"])
+        spec_data = request.get("spec")
+        spec = spec_from_json(spec_data) if spec_data else SynthesisSpec()
+        cache = LayerSolveCache(capacity=spec.solve_cache_capacity)
+        if request.get("cache"):
+            cache.import_entries(request["cache"])
+
+        method = request.get("method", "hls")
+        if method == "conventional":
+            result = synthesize_conventional(assay, spec, jobs=1)
+        elif method == "hls":
+            result = synthesize(assay, spec, cache=cache, jobs=1)
+        else:
+            return ("error", "bad-request", f"unknown method {method!r}")
+
+        payload = {
+            "result": result_to_json(
+                result, deterministic=request.get("deterministic", True)
+            ),
+            "profile": synthesis_profile(result),
+        }
+        return ("ok", payload, cache.export_entries())
+    except ReproError as exc:
+        return ("error", "synthesis-failed", str(exc))
+    except (KeyError, TypeError, ValueError) as exc:
+        return ("error", "bad-request", f"malformed job request: {exc}")
+
+
+__all__ = ["run_job"]

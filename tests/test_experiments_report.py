@@ -83,3 +83,139 @@ class TestPaperConstants:
             assert exe[0] > exe[1] > exe[2]  # monotone improvement
             devices = PAPER_TABLE3[case]["devices"]
             assert len(set(devices)) == 1  # flat device counts
+
+
+class TestProfileGuards:
+    """synthesis_profile / format_profile / export stay valid with zero
+    solves, empty passes, and foreign or missing keys."""
+
+    def empty_profile(self):
+        return {
+            "assay": "empty",
+            "num_layers": 0,
+            "passes": [],
+            "totals": {
+                "passes": 0, "cache_hits": 0, "ilp_solves": 0,
+                "speculative_solves": 0, "nodes": 0,
+                "simplex_iterations": 0, "build_time": 0.0,
+                "solve_time": 0.0, "mean_solve_time": 0.0, "runtime": 0.0,
+            },
+        }
+
+    def test_zero_solve_profile_formats(self):
+        from repro.experiments import format_profile
+
+        text = format_profile(self.empty_profile())
+        assert "0 layer solve(s)" in text
+
+    def test_missing_totals_keys_format(self):
+        from repro.experiments import format_profile
+
+        assert "totals:" in format_profile({"passes": [], "totals": {}})
+        assert "totals:" in format_profile({})
+
+    def test_zero_solve_export_is_valid_json(self, tmp_path):
+        import json
+
+        from repro.experiments import export_profiles
+
+        out = tmp_path / "profiles.json"
+        export_profiles({0: self.empty_profile()}, str(out))
+        data = json.loads(out.read_text())
+        assert data["0"]["totals"]["ilp_solves"] == 0
+
+    def test_nan_totals_rejected_not_emitted(self, tmp_path):
+        import pytest
+
+        from repro.errors import SerializationError
+        from repro.experiments import export_profiles
+
+        profile = self.empty_profile()
+        profile["totals"]["runtime"] = float("nan")
+        with pytest.raises(SerializationError):
+            export_profiles({0: profile}, str(tmp_path / "bad.json"))
+
+    def test_real_profile_has_guarded_mean(self, linear_assay):
+        from repro.experiments import synthesis_profile
+        from repro.hls import SynthesisSpec, synthesize
+
+        result = synthesize(
+            linear_assay,
+            SynthesisSpec(max_devices=6, threshold=2, time_limit=5,
+                          max_iterations=0),
+        )
+        totals = synthesis_profile(result)["totals"]
+        if totals["ilp_solves"]:
+            expected = totals["solve_time"] / totals["ilp_solves"]
+            assert abs(totals["mean_solve_time"] - expected) < 1e-9
+        else:
+            assert totals["mean_solve_time"] == 0.0
+
+    def test_solve_stats_from_dict_ignores_unknown_keys(self):
+        from repro.ilp import SolveStats
+
+        stats = SolveStats.from_dict(
+            {"layer": 2, "backend": "highs", "from_the_future": True}
+        )
+        assert stats.layer == 2
+        assert stats.backend == "highs"
+
+    def test_stats_profile_json_valid_for_fixed_assay(
+        self, linear_assay, tmp_path
+    ):
+        import json
+
+        from repro.cli import main
+        from repro.io import save_assay
+
+        path = tmp_path / "assay.json"
+        save_assay(linear_assay, path)
+        out = tmp_path / "profile.json"
+        code = main([
+            "stats", str(path), "--time-limit", "5",
+            "--max-iterations", "0", "--profile-json", str(out),
+        ])
+        assert code == 0
+        json.loads(out.read_text())
+
+
+class TestDeterministicProfile:
+    def test_strips_wall_clock_fields(self):
+        from repro.experiments import deterministic_profile
+
+        profile = {
+            "passes": [{
+                "label": "Initial",
+                "stage_timings": {"layering": 0.5},
+                "layers": [{"layer": 0, "build_time": 0.2,
+                            "solve_time": 1.5, "nodes": 7}],
+            }],
+            "totals": {"ilp_solves": 1, "build_time": 0.2,
+                       "solve_time": 1.5, "mean_solve_time": 1.5,
+                       "runtime": 2.0},
+        }
+        out = deterministic_profile(profile)
+        layer = out["passes"][0]["layers"][0]
+        assert layer["build_time"] == 0.0 and layer["solve_time"] == 0.0
+        assert layer["nodes"] == 7  # solver work is deterministic, kept
+        assert out["passes"][0]["stage_timings"] == {}
+        assert out["totals"]["runtime"] == 0.0
+        assert out["totals"]["ilp_solves"] == 1
+        # The input is untouched.
+        assert profile["totals"]["runtime"] == 2.0
+
+    def test_identical_runs_export_identically(self, linear_assay):
+        import json
+
+        from repro.experiments import deterministic_profile, synthesis_profile
+        from repro.hls import SynthesisSpec, synthesize
+
+        spec = SynthesisSpec(max_devices=6, threshold=2, time_limit=5,
+                             max_iterations=0)
+        a = deterministic_profile(
+            synthesis_profile(synthesize(linear_assay, spec))
+        )
+        b = deterministic_profile(
+            synthesis_profile(synthesize(linear_assay, spec))
+        )
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)

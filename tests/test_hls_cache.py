@@ -256,3 +256,170 @@ class TestSynthesisWithCache:
         # Never more ILP solves than problems posed.
         posed = sum(len(r.layer_stats) for r in result.history)
         assert result.ilp_solves <= posed
+
+
+class TestLRUBound:
+    def spec(self):
+        return SynthesisSpec(max_devices=6, threshold=3, time_limit=5)
+
+    def problem_for(self, seed, num_ops=3):
+        assay = random_assay(
+            num_ops, seed=seed, indeterminate_fraction=0.0, max_duration=8
+        )
+        return first_layer_problem(assay, self.spec())
+
+    def fill(self, cache, count):
+        spec = self.spec()
+        for seed in range(count):
+            problem = self.problem_for(seed)
+            if cache.lookup(problem, spec, make_allocator()) is None:
+                cache.store(
+                    problem, spec, _solve_layer(problem, spec, make_allocator())
+                )
+
+    def test_capacity_bounds_entries(self):
+        cache = LayerSolveCache(capacity=2)
+        self.fill(cache, 4)
+        assert len(cache) <= 2
+        assert cache.evictions >= 2
+
+    def test_unbounded_by_default(self):
+        cache = LayerSolveCache()
+        self.fill(cache, 4)
+        assert cache.evictions == 0
+        assert len(cache) == 4
+
+    def test_lookup_refreshes_recency(self):
+        spec = self.spec()
+        cache = LayerSolveCache(capacity=2)
+        first = self.problem_for(0)
+        second = self.problem_for(1)
+        for problem in (first, second):
+            cache.store(
+                problem, spec, _solve_layer(problem, spec, make_allocator())
+            )
+        # Touch `first`, then insert a third entry: `second` is evicted.
+        assert cache.lookup(first, spec, make_allocator()) is not None
+        third = self.problem_for(2)
+        cache.store(third, spec, _solve_layer(third, spec, make_allocator()))
+        assert cache.lookup(first, spec, make_allocator("x")) is not None
+        assert cache.lookup(second, spec, make_allocator("y")) is None
+
+    def test_counters_shape(self):
+        cache = LayerSolveCache(capacity=8)
+        self.fill(cache, 2)
+        counters = cache.counters()
+        assert counters["entries"] == 2
+        assert counters["capacity"] == 8
+        assert counters["misses"] >= 2
+        assert counters["evictions"] == 0
+
+    def test_spec_capacity_flows_into_result_counters(self, linear_assay):
+        import dataclasses as _dc
+
+        spec = _dc.replace(self.spec(), solve_cache_capacity=7,
+                           max_iterations=0)
+        result = synthesize(linear_assay, spec)
+        assert result.cache_counters["capacity"] == 7
+        assert result.cache_counters["entries"] >= 0
+
+
+class TestExportImport:
+    def spec(self):
+        return SynthesisSpec(max_devices=6, threshold=3, time_limit=5)
+
+    def test_round_trip_replays(self):
+        spec = self.spec()
+        b = AssayBuilder("exp")
+        a = b.op("a", 3, container="chamber")
+        b.op("b", 5, container="ring", accessories=["pump"], after=[a])
+        problem = first_layer_problem(b.build(), spec)
+        source = LayerSolveCache()
+        fresh = _solve_layer(problem, spec, make_allocator())
+        source.store(problem, spec, fresh)
+
+        target = LayerSolveCache()
+        added = target.import_entries(source.export_entries())
+        assert added == 1
+        replay = target.lookup(problem, spec, make_allocator("r"))
+        assert replay is not None
+        assert structurally_equal(fresh, replay, problem)
+
+    def test_export_limit_keeps_most_recent(self):
+        spec = self.spec()
+        cache = LayerSolveCache()
+        problems = []
+        for seed in range(3):
+            assay = random_assay(3, seed=seed, indeterminate_fraction=0.0,
+                                 max_duration=8)
+            problem = first_layer_problem(assay, spec)
+            problems.append(problem)
+            cache.store(
+                problem, spec, _solve_layer(problem, spec, make_allocator())
+            )
+        limited = cache.export_entries(limit=1)
+        assert len(limited) == 1
+        target = LayerSolveCache()
+        target.import_entries(limited)
+        assert target.lookup(problems[-1], spec, make_allocator()) is not None
+
+    def test_import_is_idempotent(self):
+        spec = self.spec()
+        b = AssayBuilder("idem")
+        b.op("a", 3, container="chamber")
+        problem = first_layer_problem(b.build(), spec)
+        cache = LayerSolveCache()
+        cache.store(problem, spec, _solve_layer(problem, spec, make_allocator()))
+        entries = cache.export_entries()
+        target = LayerSolveCache()
+        assert target.import_entries(entries) == 1
+        assert target.import_entries(entries) == 0
+        assert len(target) == 1
+
+
+class TestRunFingerprint:
+    def test_stable_and_sensitive(self, linear_assay, indeterminate_assay):
+        from repro.hls import fingerprint_run
+
+        spec = SynthesisSpec(max_devices=6, threshold=3, time_limit=5)
+        assert fingerprint_run(linear_assay, spec) == fingerprint_run(
+            linear_assay, spec
+        )
+        assert fingerprint_run(linear_assay, spec) != fingerprint_run(
+            indeterminate_assay, spec
+        )
+        assert fingerprint_run(linear_assay, spec) != fingerprint_run(
+            linear_assay, spec, method="conventional"
+        )
+        tighter = dataclasses.replace(spec, max_devices=5)
+        assert fingerprint_run(linear_assay, spec) != fingerprint_run(
+            linear_assay, tighter
+        )
+
+    def test_ignores_performance_knobs(self, linear_assay):
+        from repro.hls import fingerprint_run
+
+        spec = SynthesisSpec(max_devices=6, threshold=3, time_limit=5)
+        tuned = dataclasses.replace(
+            spec, jobs=8, enable_solve_cache=False, solve_cache_capacity=3,
+        )
+        assert fingerprint_run(linear_assay, spec) == fingerprint_run(
+            linear_assay, tuned
+        )
+
+    def test_survives_json_round_trip(self, indeterminate_assay):
+        from repro.hls import fingerprint_run
+        from repro.io.json_io import (
+            assay_from_json,
+            assay_to_json,
+            spec_from_json,
+            spec_to_json,
+        )
+
+        spec = SynthesisSpec(max_devices=6, threshold=3, time_limit=5)
+        direct = fingerprint_run(indeterminate_assay, spec)
+        wired = fingerprint_run(
+            assay_from_json(assay_to_json(indeterminate_assay)),
+            spec_from_json(spec_to_json(spec)),
+        )
+        assert direct == wired

@@ -1,0 +1,144 @@
+"""Tests for the priority job queue (repro.service.queue)."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import JobQueue, JobStatus
+
+
+def submit(queue, fp, **kwargs):
+    job, coalesced = queue.submit(fp, {"fingerprint": fp}, **kwargs)
+    return job, coalesced
+
+
+class TestSubmit:
+    def test_fifo_within_priority(self):
+        queue = JobQueue()
+        a, _ = submit(queue, "a")
+        b, _ = submit(queue, "b")
+        assert queue.next_job() is a
+        assert queue.next_job() is b
+        assert queue.next_job() is None
+
+    def test_higher_priority_value_runs_first(self):
+        queue = JobQueue()
+        low, _ = submit(queue, "low", priority=-1)
+        high, _ = submit(queue, "high", priority=5)
+        assert queue.next_job() is high
+        assert queue.next_job() is low
+
+    def test_next_job_marks_running(self):
+        queue = JobQueue()
+        job, _ = submit(queue, "a")
+        assert job.status is JobStatus.PENDING
+        assert queue.next_job() is job
+        assert job.status is JobStatus.RUNNING
+
+
+class TestCoalescing:
+    def test_same_fingerprint_shares_one_job(self):
+        queue = JobQueue()
+        first, coalesced1 = submit(queue, "same")
+        second, coalesced2 = submit(queue, "same")
+        assert not coalesced1
+        assert coalesced2
+        assert second is first
+        assert first.coalesced == 1
+        # Only one dispatchable job exists.
+        assert queue.next_job() is first
+        assert queue.next_job() is None
+
+    def test_running_job_still_coalesces(self):
+        queue = JobQueue()
+        first, _ = submit(queue, "same")
+        queue.next_job()
+        again, coalesced = submit(queue, "same")
+        assert coalesced and again is first
+
+    def test_finished_job_does_not_coalesce(self):
+        queue = JobQueue()
+        first, _ = submit(queue, "same")
+        queue.next_job()
+        queue.finish(first, {"result": {}}, source="solve")
+        second, coalesced = submit(queue, "same")
+        assert not coalesced
+        assert second is not first
+
+
+class TestBackpressure:
+    def test_full_queue_raises_429(self):
+        queue = JobQueue(capacity=2)
+        submit(queue, "a")
+        submit(queue, "b")
+        with pytest.raises(ServiceError) as err:
+            submit(queue, "c")
+        assert err.value.status == 429
+        assert err.value.kind == "queue-full"
+
+    def test_coalescing_bypasses_the_bound(self):
+        queue = JobQueue(capacity=1)
+        submit(queue, "a")
+        _, coalesced = submit(queue, "a")
+        assert coalesced
+
+    def test_draining_frees_capacity(self):
+        queue = JobQueue(capacity=1)
+        job, _ = submit(queue, "a")
+        queue.next_job()
+        submit(queue, "b")  # running jobs no longer count as pending
+
+
+class TestLifecycle:
+    def test_finish_and_result(self):
+        queue = JobQueue()
+        job, _ = submit(queue, "a")
+        queue.next_job()
+        queue.finish(job, {"result": {"x": 1}}, source="solve")
+        assert job.status is JobStatus.DONE
+        assert job.source == "solve"
+        assert job.payload == {"result": {"x": 1}}
+
+    def test_fail_records_structured_error(self):
+        queue = JobQueue()
+        job, _ = submit(queue, "a")
+        queue.next_job()
+        queue.fail(job, "worker-crashed", "boom")
+        assert job.status is JobStatus.FAILED
+        assert job.error == {"kind": "worker-crashed", "message": "boom"}
+
+    def test_cancel_pending(self):
+        queue = JobQueue()
+        job, _ = submit(queue, "a")
+        cancelled = queue.cancel(job.id)
+        assert cancelled.status is JobStatus.CANCELLED
+        assert queue.next_job() is None
+
+    def test_cancel_running_conflicts(self):
+        queue = JobQueue()
+        job, _ = submit(queue, "a")
+        queue.next_job()
+        with pytest.raises(ServiceError) as err:
+            queue.cancel(job.id)
+        assert err.value.status == 409
+
+    def test_unknown_job_404(self):
+        with pytest.raises(ServiceError) as err:
+            JobQueue().get("nope")
+        assert err.value.status == 404
+
+    def test_cancelled_fingerprint_resubmits_fresh(self):
+        queue = JobQueue()
+        job, _ = submit(queue, "a")
+        queue.cancel(job.id)
+        fresh, coalesced = submit(queue, "a")
+        assert not coalesced and fresh is not job
+
+    def test_history_pruned_to_bound(self):
+        queue = JobQueue(history=4)
+        for n in range(8):
+            job, _ = submit(queue, f"fp{n}")
+            queue.next_job()
+            queue.finish(job, {"result": {}}, source="solve")
+        submit(queue, "one-more")  # pruning runs at submission time
+        finished = [j for j in queue.jobs() if j.status.finished]
+        assert len(finished) <= 4
