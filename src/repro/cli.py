@@ -12,6 +12,7 @@ Usage examples::
     repro-hls serve --port 8642 --store-dir ~/.cache/repro-hls
     repro-hls submit --case 2 --server 127.0.0.1:8642 --out result.json
     repro-hls jobs --server 127.0.0.1:8642 --metrics
+    repro-hls chaos --seed 7 --jobs 2 --cases 1 2
     repro-hls demo
 
 Exit codes: 0 success, 1 synthesis/service failure, 2 bad input
@@ -306,6 +307,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         store_dir=args.store_dir,
         store_capacity=args.store_capacity,
         job_timeout=args.job_timeout,
+        journal_dir=args.journal_dir,
+        enable_degrade=not args.no_degrade,
     )
     run_server(
         config,
@@ -380,6 +383,28 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
         print(f"{handle.id}  {handle.status:<9} "
               f"{handle.fingerprint[:12]}{source}{note}")
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .service.chaos import ChaosConfig, format_chaos, run_chaos
+
+    config = ChaosConfig(
+        seed=args.seed,
+        jobs=args.jobs,
+        cases=tuple(args.cases),
+        workdir=args.workdir,
+        workers=args.workers,
+        time_limit=args.time_limit,
+        deadline=args.deadline,
+    )
+    report = run_chaos(config)
+    if args.json:
+        print(_json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(format_chaos(report))
+    return 0 if report.ok else 1
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -533,6 +558,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="persist results here (default: in-memory)")
     p_serve.add_argument("--store-capacity", type=int, default=256,
                          help="stored results kept before LRU eviction")
+    p_serve.add_argument("--journal-dir",
+                         help="durable job-journal directory (default: "
+                              "<store-dir>/journal when --store-dir is set)")
+    p_serve.add_argument("--no-degrade", action="store_true",
+                         help="disable the greedy-scheduler fallback for "
+                              "jobs that exceed their wall-clock budget")
     p_serve.add_argument("--job-timeout", type=float, default=900.0,
                          help="wall-clock seconds allowed per job")
     p_serve.set_defaults(func=_cmd_serve)
@@ -569,6 +600,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_jobs.add_argument("--metrics", action="store_true",
                         help="print the /metrics snapshot as JSON")
     p_jobs.set_defaults(func=_cmd_jobs)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run a deterministic fault-injection campaign against a "
+             "real in-process synthesis server",
+    )
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="campaign seed (fault placement + jitter)")
+    p_chaos.add_argument("--jobs", type=int, default=2,
+                         help="duplicate submissions layered on wave 1")
+    p_chaos.add_argument("--cases", type=int, nargs="+", default=[1, 2],
+                         help="benchmark cases to submit (default: 1 2)")
+    p_chaos.add_argument("--workdir",
+                         help="parent dir for the campaign store/journal "
+                              "(a fresh subdir is created and kept)")
+    p_chaos.add_argument("--workers", type=int, default=2)
+    p_chaos.add_argument("--time-limit", type=float, default=30.0,
+                         help="per-layer ILP budget, seconds")
+    p_chaos.add_argument("--deadline", type=float, default=600.0,
+                         help="client-side wait per job, seconds")
+    p_chaos.add_argument("--json", action="store_true",
+                         help="print the report as JSON")
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_demo = sub.add_parser("demo", help="synthesize benchmark case 1 and show it")
     p_demo.add_argument("--time-limit", type=float, default=10.0)

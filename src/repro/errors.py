@@ -73,3 +73,13 @@ class ServiceError(ReproError):
         self.status = status
         #: machine-readable failure kind (``queue-full``, ``timeout``, ...).
         self.kind = kind
+
+
+class CircuitOpenError(ServiceError):
+    """The client's circuit breaker is open: the server failed
+    consecutively often enough that further requests are refused locally
+    (without touching the network) until the cooldown elapses and a
+    half-open probe succeeds."""
+
+    def __init__(self, message: str):
+        super().__init__(message, status=503, kind="circuit-open")

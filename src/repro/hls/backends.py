@@ -373,3 +373,30 @@ register_scheduler("portfolio", PortfolioBackend)
 register_scheduler("greedy", GreedyBackend)
 register_scheduler("ilp-highs", lambda: IlpBackend("highs"))
 register_scheduler("ilp-bnb", lambda: IlpBackend("bnb"))
+
+
+#: The scheduler a degraded (timeout-fallback) re-run pins: the greedy
+#: list scheduler never builds an ILP, so its runtime is bounded by the
+#: layer size alone — it cannot hit the wall-clock budget that failed
+#: the original solve.
+DEGRADED_SCHEDULER = "greedy"
+
+
+def degraded_spec(spec: "SynthesisSpec") -> "SynthesisSpec":
+    """A copy of ``spec`` pinned to the always-feasible degraded path.
+
+    Used by the synthesis service when a job's ILP solve exceeds its
+    wall-clock budget: the re-run keeps every problem-defining knob
+    (device cap, threshold, weights, transport model) but swaps the
+    per-layer scheduler for :data:`DEGRADED_SCHEDULER` and skips
+    re-synthesis refinement passes, trading solution quality for a
+    bounded, predictable runtime.  Results produced this way are flagged
+    ``degraded`` on the wire and never stored as the run's canonical
+    result.
+    """
+    return replace(
+        spec,
+        scheduler=DEGRADED_SCHEDULER,
+        max_iterations=0,
+        improvement_threshold=max(0.0, spec.improvement_threshold),
+    )

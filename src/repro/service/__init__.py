@@ -8,6 +8,25 @@ repeated submission is answered from disk without re-entering the
 synthesis pipeline, and concurrent identical submissions coalesce onto
 one solve.
 
+Fault tolerance (this layer's robustness contract):
+
+* :mod:`~repro.service.journal` — durable write-ahead log of job
+  lifecycle transitions; a restarted server replays it and finishes
+  every job that was pending or running at the crash.
+* :mod:`~repro.service.store` — per-entry SHA-256 checksums; corrupted
+  or truncated entries are quarantined and re-solved, never crash a
+  read.
+* :mod:`~repro.service.client` — bounded retries with full-jitter
+  backoff, a per-client circuit breaker, and fingerprint-idempotent
+  resubmission across server restarts.
+* graceful degradation — an ILP job that exceeds its wall-clock budget
+  is re-run once on the greedy scheduler and returned flagged
+  ``degraded`` (opt out per submission with ``degrade: false``).
+* :mod:`~repro.service.chaos` — deterministic fault-injection campaigns
+  (worker kills, slow solves, store corruption, journal-tearing
+  crashes) against a real in-process server, with a byte-identity
+  verdict against fault-free solves.
+
 Pieces: :mod:`~repro.service.store` (atomic, versioned, LRU-bounded
 result store), :mod:`~repro.service.queue` (priority queue, coalescing,
 429 backpressure), :mod:`~repro.service.server` /
@@ -15,27 +34,39 @@ result store), :mod:`~repro.service.queue` (priority queue, coalescing,
 :mod:`~repro.service.metrics` (counters and latency histograms at
 ``/metrics``), :mod:`~repro.service.worker` (process-pool entry with
 cross-process layer-solve-cache warm starts).  CLI verbs: ``serve``,
-``submit``, ``jobs``; ``table2``/``table3`` accept ``--via-server``.
+``submit``, ``jobs``, ``chaos``; ``table2``/``table3`` accept
+``--via-server``.
 """
 
-from .client import JobHandle, ServiceClient
+from .chaos import ChaosConfig, ChaosReport, format_chaos, run_chaos
+from .client import CircuitBreaker, JobHandle, RetryPolicy, ServiceClient
+from .journal import JOURNAL_SCHEMA, JobJournal
 from .metrics import ServiceMetrics
 from .queue import Job, JobQueue, JobStatus
 from .server import ServerConfig, SynthesisServer, run_server
-from .store import STORE_SCHEMA, ResultStore
+from .store import STORE_SCHEMA, ResultStore, payload_checksum
 from .worker import run_job
 
 __all__ = [
+    "ChaosConfig",
+    "ChaosReport",
+    "CircuitBreaker",
     "Job",
     "JobHandle",
+    "JobJournal",
     "JobQueue",
     "JobStatus",
+    "JOURNAL_SCHEMA",
     "ResultStore",
+    "RetryPolicy",
     "STORE_SCHEMA",
     "ServerConfig",
     "ServiceClient",
     "ServiceMetrics",
     "SynthesisServer",
+    "format_chaos",
+    "payload_checksum",
+    "run_chaos",
     "run_server",
     "run_job",
 ]

@@ -1,0 +1,601 @@
+"""Chaos-injection harness for the synthesis service.
+
+Runs a *real* in-process server (thread + asyncio + process pool) and a
+deterministic fault campaign against it, in the spirit of the
+cyberphysical runtime's fault plans (:mod:`repro.cyberphysical.faults`):
+the faults are declared up front, injected at fixed points, and the
+whole campaign is reproducible from its seed.  Four fault kinds map the
+PR-2 vocabulary onto the service layer:
+
+* **worker-kill** — a worker process dies mid-job (SIGKILL semantics via
+  the gated ``debug-crash`` method); the job must fail structured
+  (``worker-crashed``) and the server must keep serving.
+* **slow-solve** — a job whose wall-clock budget is far below its solve
+  time; the server must answer with a ``degraded``-flagged greedy
+  result instead of failing.
+* **store-corrupt** — finished entries are truncated to zero bytes or
+  payload-tampered under an intact envelope; reads must quarantine them
+  (never crash) and re-solve.
+* **journal-crash** — the server is hard-stopped with jobs still
+  pending/running, and the journal tail is torn mid-record; a restarted
+  server must replay the journal and finish every interrupted job.
+
+The campaign's verdict (:class:`ChaosReport`) checks the tentpole
+invariants: every submitted job reaches a terminal state, every
+corruption lands in ``quarantine/`` with the ``corruptions`` counter
+matching, the journal replay count is exactly the number of jobs open at
+the crash, and every non-degraded result is byte-identical to a
+fault-free in-process solve of the same request.
+
+Determinism note: the spec *variants* the campaign fabricates differ
+only in ``improvement_threshold`` under ``max_iterations=0`` — a knob
+that changes the run fingerprint (so each variant is a distinct job)
+but provably cannot change the result when no refinement pass may run —
+which lets one fault-free baseline solve per case verify every variant.
+The slow-solve body is the exception: it lowers ``max_devices`` so its
+layer problems differ from everything the server's warm layer-solve
+cache holds — the solve cannot be shortcut inside the fault's tiny
+budget — and it therefore carries its own baseline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..errors import ServiceError
+from .client import RetryPolicy, ServiceClient
+from .server import ServerConfig, SynthesisServer
+from .worker import run_job
+
+#: improvement_threshold values carving distinct fingerprints out of the
+#: same solve class (inert under max_iterations=0; see module docstring).
+_VARIANT_EXTRA = 0.011
+_VARIANT_WAVE2 = 0.013
+
+
+@dataclass
+class ChaosConfig:
+    """One deterministic chaos campaign."""
+
+    seed: int = 0
+    #: duplicate submissions layered on wave 1 (coalescing/store-hit
+    #: pressure); the CLI's ``--jobs``.
+    jobs: int = 2
+    #: paper benchmark cases to build requests from (ignored when
+    #: ``requests`` is given).
+    cases: tuple[int, ...] = (1, 2)
+    #: explicit submission bodies ``{"assay": ..., "spec": ...}``
+    #: (tests use tiny fixture assays here).
+    requests: "list[dict] | None" = None
+    #: parent directory for the campaign's store + journal; a fresh
+    #: subdirectory is always created (system temp dir when ``None``)
+    #: and left behind for post-mortem inspection.
+    workdir: str | None = None
+    workers: int = 2
+    #: per-layer ILP budget for the generated case specs.
+    time_limit: float = 30.0
+    #: client-side wait per job, seconds.
+    deadline: float = 600.0
+    # -- fault toggles / tuning -----------------------------------------
+    kill_worker: bool = True
+    slow_solve: bool = True
+    #: wall-clock budget of the slow-solve job; must sit between the
+    #: idle-server dispatch latency (ms) and the solve time.
+    slow_timeout: float = 0.5
+    corrupt_store: bool = True
+    torn_journal: bool = True
+
+
+@dataclass
+class ChaosReport:
+    """Campaign outcome; ``ok`` is the CI verdict."""
+
+    #: the campaign's store/journal directory (post-mortem artifact).
+    workdir: str = ""
+    #: unique requests whose results the campaign must account for.
+    submitted: int = 0
+    verified: int = 0
+    #: expected results that never reached a terminal ``done`` state.
+    lost: int = 0
+    #: non-degraded results that differed from the fault-free baseline.
+    mismatched: int = 0
+    degraded_observed: int = 0
+    degraded_expected: int = 0
+    worker_crashes: int = 0
+    worker_crashes_expected: int = 0
+    replayed: int = 0
+    replayed_expected: int = 0
+    corruptions: int = 0
+    corruptions_injected: int = 0
+    quarantined: int = 0
+    torn_records: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.lost == 0
+            and self.mismatched == 0
+            and self.verified == self.submitted
+            and self.degraded_observed >= self.degraded_expected
+            and self.worker_crashes >= self.worker_crashes_expected
+            and self.replayed == self.replayed_expected
+            and self.corruptions >= self.corruptions_injected
+            # every detected corruption must be quarantined, not lost.
+            and self.quarantined == self.corruptions
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "workdir": self.workdir,
+            "submitted": self.submitted,
+            "verified": self.verified,
+            "lost": self.lost,
+            "mismatched": self.mismatched,
+            "degraded_observed": self.degraded_observed,
+            "degraded_expected": self.degraded_expected,
+            "worker_crashes": self.worker_crashes,
+            "worker_crashes_expected": self.worker_crashes_expected,
+            "replayed": self.replayed,
+            "replayed_expected": self.replayed_expected,
+            "corruptions": self.corruptions,
+            "corruptions_injected": self.corruptions_injected,
+            "quarantined": self.quarantined,
+            "torn_records": self.torn_records,
+            "notes": self.notes,
+        }
+
+
+def format_chaos(report: ChaosReport) -> str:
+    lines = [
+        f"verdict        : {'OK' if report.ok else 'FAILED'}",
+        f"jobs           : {report.submitted} unique requests, "
+        f"{report.verified} verified, {report.lost} lost, "
+        f"{report.mismatched} mismatched",
+        f"degraded       : {report.degraded_observed} observed "
+        f"(expected >= {report.degraded_expected})",
+        f"worker crashes : {report.worker_crashes} "
+        f"(expected >= {report.worker_crashes_expected})",
+        f"journal replay : {report.replayed} jobs "
+        f"(expected {report.replayed_expected}), "
+        f"{report.torn_records} torn record(s) skipped",
+        f"store          : {report.corruptions} corruption(s) detected "
+        f"({report.corruptions_injected} injected), "
+        f"{report.quarantined} quarantined",
+        f"workdir        : {report.workdir}",
+    ]
+    lines.extend(f"note           : {note}" for note in report.notes)
+    return "\n".join(lines)
+
+
+# -- request fabrication -------------------------------------------------
+
+
+def _case_body(case: int, time_limit: float) -> dict:
+    from ..assays import benchmark_assay
+    from ..hls import SynthesisSpec
+    from ..io.json_io import assay_to_json, spec_to_json
+
+    spec = SynthesisSpec(
+        threshold=4, mip_gap=0.05, time_limit=time_limit, max_iterations=0
+    )
+    return {
+        "assay": assay_to_json(benchmark_assay(case)),
+        "spec": spec_to_json(spec),
+    }
+
+
+def _variant(body: dict, improvement_threshold: float) -> dict:
+    """A distinct-fingerprint body in the same solve class as ``body``."""
+    spec = dict(body.get("spec") or {})
+    spec["improvement_threshold"] = improvement_threshold
+    spec["max_iterations"] = 0
+    return {**body, "spec": spec}
+
+
+def _slow_body(body: dict) -> dict:
+    """A body in a *different* solve class: lowering ``max_devices``
+    changes every layer ILP's device-configuration constraints (the
+    layering threshold alone may not — single-layer cases keep the same
+    layer problem), so the server's shared layer-solve cache (warmed by
+    wave 1) cannot shortcut the solve and the slow-solve fault's tiny
+    budget reliably times out.  Needs its own fault-free baseline."""
+    from ..hls import SynthesisSpec
+
+    spec = dict(body.get("spec") or {})
+    base = spec.get("max_devices", SynthesisSpec().max_devices)
+    spec["max_devices"] = max(1, int(base) - 1)
+    spec["max_iterations"] = 0
+    return {**body, "spec": spec}
+
+
+def _open_jobs_in_journal(journal_dir: Path) -> int:
+    """Count jobs with a ``submitted`` record and no terminal record —
+    exactly the set a restarted server must replay.  Torn lines are
+    skipped, as the journal's own reader does."""
+    from .journal import TERMINAL_EVENTS
+
+    submitted: set = set()
+    terminal: set = set()
+    for segment in sorted(journal_dir.glob("segment-*.jsonl")):
+        for line in segment.read_text(encoding="utf-8").splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            job_id = record.get("id")
+            event = record.get("event")
+            if not job_id or not event:
+                continue
+            if event == "submitted":
+                submitted.add(job_id)
+            elif event in TERMINAL_EVENTS:
+                terminal.add(job_id)
+    return len(submitted - terminal)
+
+
+def _body_key(body: dict) -> str:
+    return json.dumps(
+        {"assay": body["assay"], "spec": body.get("spec")}, sort_keys=True
+    )
+
+
+def _result_bytes(payload: dict) -> str:
+    return json.dumps(payload["result"], sort_keys=True)
+
+
+# -- in-process server harness -------------------------------------------
+
+
+class _ServerHarness:
+    """One service instance on a background thread, hard-stoppable."""
+
+    def __init__(self, config: ServerConfig) -> None:
+        self.config = config
+        self._started = threading.Event()
+        self._server: SynthesisServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        async def _main() -> None:
+            server = SynthesisServer(self.config)
+            await server.start()
+            self._server = server
+            self._loop = asyncio.get_running_loop()
+            self._started.set()
+            try:
+                await server.serve_until_stopped()
+            finally:
+                await server.stop()
+
+        try:
+            asyncio.run(_main())
+        except Exception:  # noqa: BLE001 - surfaced via start() timeout
+            self._started.set()
+
+    def start(self) -> None:
+        self._thread.start()
+        if not self._started.wait(30) or self._server is None:
+            raise ServiceError("chaos server did not start", status=500)
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None
+        return self._server.port
+
+    def hard_stop(self) -> None:
+        """Stop without draining: pending/running jobs stay open —
+        exactly what a crash leaves behind for the journal to replay."""
+        assert self._loop is not None and self._server is not None
+        server = self._server
+        self._loop.call_soon_threadsafe(
+            lambda: asyncio.ensure_future(server.stop())
+        )
+        self._thread.join(30)
+
+    def graceful_stop(self, client: ServiceClient) -> None:
+        try:
+            client.shutdown()
+        except ServiceError:
+            self.hard_stop()
+            return
+        self._thread.join(30)
+
+
+# -- fault injection -----------------------------------------------------
+
+
+def _tamper_entry(path: Path) -> None:
+    """Flip the stored payload under an intact envelope: the JSON still
+    parses, only the checksum can catch it."""
+    envelope = json.loads(path.read_text())
+    payload = envelope.get("payload") or {}
+    payload["result"] = {"tampered": True, "was": payload.get("result")}
+    envelope["payload"] = payload
+    # Deliberately NOT recomputing the checksum.
+    path.write_text(json.dumps(envelope))
+
+
+def _truncate_entry(path: Path) -> None:
+    """A torn write / lost power artifact: a visible zero-byte entry."""
+    path.write_text("")
+
+
+def _corrupt_store_entries(
+    store_dir: Path, spare: set[str], rng: random.Random
+) -> list[str]:
+    """Corrupt up to two entries (one truncation, one payload tamper),
+    never touching fingerprints in ``spare``.  Returns the corrupted
+    fingerprints."""
+    candidates = sorted(
+        path.stem
+        for path in store_dir.glob("*.json")
+        if path.name != "index.json" and path.stem not in spare
+    )
+    rng.shuffle(candidates)
+    corrupted = []
+    modes = [_truncate_entry, _tamper_entry]
+    for fingerprint, mode in zip(candidates, modes):
+        mode(store_dir / f"{fingerprint}.json")
+        corrupted.append(fingerprint)
+    return corrupted
+
+
+def _tear_journal(journal_dir: Path, fabricated: "dict | None") -> int:
+    """Append crash artifacts to the active journal segment: optionally a
+    *valid* submitted record (simulating a crash in the window between
+    ``store.put`` and the ``finished`` record) and always a torn,
+    half-written record.  Returns the torn-record count (1)."""
+    segments = sorted(journal_dir.glob("segment-*.jsonl"))
+    if not segments:
+        return 0
+    active = segments[-1]
+    with open(active, "a", encoding="utf-8") as handle:
+        if fabricated is not None:
+            handle.write(json.dumps(fabricated) + "\n")
+        handle.write('{"schema": 1, "event": "finished", "id": "job-to')
+    return 1
+
+
+# -- the campaign --------------------------------------------------------
+
+
+def run_chaos(config: ChaosConfig) -> ChaosReport:
+    """Run one deterministic chaos campaign; see the module docstring."""
+    rng = random.Random(config.seed)
+    report = ChaosReport()
+
+    if config.requests is not None:
+        bodies_base = [dict(body) for body in config.requests]
+    else:
+        bodies_base = [
+            _case_body(case, config.time_limit) for case in config.cases
+        ]
+    if not bodies_base:
+        raise ServiceError("chaos campaign needs at least one request",
+                           status=400, kind="bad-request")
+
+    extra = _variant(bodies_base[0], _VARIANT_EXTRA)
+    degraded_body = _slow_body(bodies_base[0])
+    wave1 = bodies_base + [extra]
+    wave2 = [_variant(body, _VARIANT_WAVE2) for body in bodies_base]
+
+    def _baseline_solve(body: dict) -> str:
+        outcome = run_job({
+            "assay": body["assay"], "spec": body.get("spec"),
+            "method": "hls", "deterministic": True,
+        })
+        if not outcome or outcome[0] != "ok":
+            raise ServiceError(
+                f"baseline solve failed: {outcome!r}", status=500
+            )
+        return _result_bytes(outcome[1])
+
+    # Fault-free ground truth: one in-process solve per solve class
+    # (improvement-threshold variants share their base body's result by
+    # construction; the slow-solve body shifts the layering threshold
+    # and so carries its own truth).
+    baseline: dict[str, str] = {}
+    for index, body in enumerate(bodies_base):
+        truth = _baseline_solve(body)
+        variants = [body, wave2[index]]
+        if index == 0:
+            variants.append(extra)
+        for variant in variants:
+            baseline[_body_key(variant)] = truth
+    baseline[_body_key(degraded_body)] = _baseline_solve(degraded_body)
+
+    workdir = Path(tempfile.mkdtemp(
+        prefix="repro-chaos-", dir=config.workdir
+    ))
+    report.workdir = str(workdir)
+    store_dir = workdir / "store"
+    journal_dir = store_dir / "journal"
+    server_config = ServerConfig(
+        port=0,
+        workers=config.workers,
+        store_dir=str(store_dir),
+        job_timeout=max(config.deadline, 120.0),
+        allow_debug=True,
+    )
+
+    def _wait(client: ServiceClient, job_id: str, label: str):
+        """Wait out one job; a lost (never-terminal) job is recorded,
+        not raised — the campaign must always reach its verdict."""
+        try:
+            return client.wait(job_id, deadline=config.deadline)
+        except ServiceError as exc:
+            report.lost += 1
+            report.notes.append(f"{label} job {job_id} never finished: {exc}")
+            return None
+
+    # ---- phase A: live traffic -----------------------------------------
+    harness_a = _ServerHarness(server_config)
+    harness_a.start()
+    client_a = ServiceClient(
+        port=harness_a.port, timeout=60.0,
+        retry=RetryPolicy(seed=config.seed),
+    )
+
+    fingerprints: dict[str, str] = {}
+    submissions = list(wave1) + [
+        bodies_base[i % len(bodies_base)] for i in range(config.jobs)
+    ]
+    handles = []
+    for body in submissions:
+        handle = client_a.submit(body["assay"], body.get("spec"))
+        fingerprints[_body_key(body)] = handle.fingerprint
+        handles.append(handle)
+    for handle in handles:
+        done = _wait(client_a, handle.id, "wave-1")
+        if done is not None and done.status != "done":
+            report.notes.append(
+                f"wave-1 job {done.id} ended {done.status!r}: {done.error!r}"
+            )
+
+    # ---- phase A': worker-kill (after wave 1 — a dying worker fails
+    # every job in flight on its pool, which is the point, but the
+    # campaign wants exactly one structured casualty) -------------------
+    if config.kill_worker:
+        report.worker_crashes_expected = 1
+        crash = client_a.submit({"format": 1}, method="debug-crash")
+        crash = _wait(client_a, crash.id, "worker-kill")
+        if crash is None:
+            pass
+        elif crash.status == "failed" and (
+            (crash.error or {}).get("kind") == "worker-crashed"
+        ):
+            report.worker_crashes = 1
+        else:
+            report.notes.append(
+                f"worker-kill fault produced {crash.status!r} "
+                f"({crash.error!r}), expected a worker-crashed failure"
+            )
+
+    # ---- phase A'': slow-solve → degraded result (idle server, so the
+    # job dispatches within milliseconds and times out mid-solve) -------
+    if config.slow_solve:
+        report.degraded_expected = 1
+        handle = client_a.submit(
+            degraded_body["assay"], degraded_body.get("spec"),
+            timeout=config.slow_timeout,
+        )
+        fingerprints[_body_key(degraded_body)] = handle.fingerprint
+        done = _wait(client_a, handle.id, "slow-solve")
+        if done is None:
+            pass
+        elif done.status == "done":
+            payload = client_a.result(done.id)
+            if payload.get("degraded") is True:
+                report.degraded_observed += 1
+            else:
+                report.notes.append(
+                    "slow-solve job finished without a degraded flag"
+                )
+        else:
+            report.notes.append(
+                f"slow-solve job ended {done.status!r}: {done.error!r}"
+            )
+
+    # ---- phase B: crash with jobs in flight ----------------------------
+    for body in wave2:
+        handle = client_a.submit(body["assay"], body.get("spec"))
+        fingerprints[_body_key(body)] = handle.fingerprint
+    harness_a.hard_stop()
+
+    # ---- phase C: corrupt disk state -----------------------------------
+    spare_fingerprint = fingerprints[_body_key(bodies_base[0])]
+    if config.torn_journal:
+        # A valid record for an already-stored fingerprint simulates a
+        # crash between store.put and the finished record: replay must
+        # complete it immediately from the store.
+        fabricated = {
+            "schema": 1, "ts": 0.0, "event": "submitted",
+            "id": "job-fabricated", "fingerprint": spare_fingerprint,
+            "request": {
+                "assay": bodies_base[0]["assay"],
+                "spec": bodies_base[0].get("spec"),
+                "method": "hls", "deterministic": True,
+            },
+            "priority": 0, "timeout": None,
+        }
+        report.torn_records = _tear_journal(journal_dir, fabricated)
+
+    # The replay expectation is read off the journal itself: wave-2 jobs
+    # that were still open at the crash (a warm layer-solve cache can
+    # finish one before the stop lands) plus the fabricated record.
+    report.replayed_expected = _open_jobs_in_journal(journal_dir)
+
+    if config.corrupt_store:
+        corrupted = _corrupt_store_entries(
+            store_dir, spare={spare_fingerprint}, rng=rng
+        )
+        report.corruptions_injected = len(corrupted)
+
+    # ---- phase D: restart, replay, verify ------------------------------
+    harness_b = _ServerHarness(server_config)
+    harness_b.start()
+    client_b = ServiceClient(
+        port=harness_b.port, timeout=60.0,
+        retry=RetryPolicy(seed=config.seed + 1),
+    )
+
+    expected = list(wave1) + [degraded_body] + wave2
+    report.submitted = len(expected)
+    for body in expected:
+        key = _body_key(body)
+        try:
+            handle = client_b.submit(body["assay"], body.get("spec"))
+        except ServiceError as exc:
+            report.lost += 1
+            report.notes.append(f"verification submit failed: {exc}")
+            continue
+        done = _wait(client_b, handle.id, "verification")
+        if done is None:
+            continue
+        if done.status != "done":
+            report.lost += 1
+            report.notes.append(
+                f"verification job for {key[:48]}… ended "
+                f"{done.status!r}: {done.error!r}"
+            )
+            continue
+        payload = client_b.result(done.id)
+        if payload.get("degraded"):
+            # Degraded results are flagged, never byte-compared.
+            report.degraded_observed += 1
+            report.verified += 1
+            continue
+        if _result_bytes(payload) == baseline[key]:
+            report.verified += 1
+        else:
+            report.mismatched += 1
+            report.notes.append(f"result mismatch for {key[:48]}…")
+
+    metrics = client_b.metrics()
+    counters = metrics.get("counters", {})
+    store_block = metrics.get("store", {})
+    journal_block = metrics.get("journal", {})
+    report.replayed = int(counters.get("journal_replayed", 0))
+    report.corruptions = int(store_block.get("corruptions", 0))
+    report.quarantined = int(store_block.get("quarantined", 0))
+    report.torn_records = max(
+        report.torn_records, int(journal_block.get("torn_records", 0))
+    )
+    harness_b.graceful_stop(client_b)
+
+    return report
+
+
+__all__ = ["ChaosConfig", "ChaosReport", "format_chaos", "run_chaos"]

@@ -1,23 +1,137 @@
-"""Typed Python client for the synthesis service.
+"""Typed, fault-tolerant Python client for the synthesis service.
 
 Stdlib-only (``http.client``).  Every method raises
 :class:`~repro.errors.ServiceError` carrying the server's structured
 error (kind + message + HTTP status) on any non-2xx response, so callers
 never parse error bodies themselves.
+
+Resilience (all per-client, all tunable):
+
+* **Bounded retries** — connection errors and 5xx responses are retried
+  up to :attr:`RetryPolicy.retries` times with exponential backoff and
+  *full jitter* (each sleep is uniform in ``[0, base * 2**attempt]``,
+  capped at :attr:`RetryPolicy.max_delay`).  4xx responses are never
+  retried: the request itself is wrong, repeating it cannot help.
+* **Circuit breaker** — after :attr:`CircuitBreaker.threshold`
+  consecutive transport failures the breaker *opens* and requests fail
+  fast locally (:class:`~repro.errors.CircuitOpenError`, no network
+  traffic) until :attr:`CircuitBreaker.cooldown` elapses; the first
+  request after the cooldown is a *half-open* probe — success closes the
+  breaker, failure re-opens it for another cooldown.
+* **Idempotent resubmission** — ``POST /jobs`` is safe to retry because
+  the server coalesces submissions on the canonical run fingerprint and
+  answers repeats from the result store; :meth:`ServiceClient.synthesize`
+  additionally resubmits the same body when a server restart invalidated
+  a job id mid-wait (the replayed job has a fresh id but the same
+  fingerprint, so the resubmission re-attaches to it — or to its stored
+  result).
+* **No connection leaks** — each attempt uses one ``HTTPConnection``
+  closed in a ``finally`` on every path (success, HTTP error, transport
+  error, JSON error).
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
-from dataclasses import dataclass
-from typing import Any
+from dataclasses import dataclass, field
+from typing import Any, Callable
 
-from ..errors import ServiceError
+from ..errors import CircuitOpenError, ServiceError
 from ..hls.spec import SynthesisSpec
 from ..io.json_io import assay_to_json, spec_to_json
 from ..operations.assay import Assay
+
+
+@dataclass
+class RetryPolicy:
+    """Backoff schedule for transient transport failures.
+
+    ``seed`` pins the jitter RNG so tests can assert the exact sleep
+    sequence; production clients leave it ``None`` (OS entropy).
+    """
+
+    #: retry attempts *after* the first try (0 = no retries).
+    retries: int = 4
+    #: backoff base, seconds; attempt ``k`` sleeps uniform[0, base*2**k].
+    base_delay: float = 0.1
+    #: hard cap on any single sleep, seconds.
+    max_delay: float = 5.0
+    seed: int | None = None
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ServiceError("retries must be >= 0", status=400)
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ServiceError("delays must be >= 0", status=400)
+        self._rng = random.Random(self.seed)
+
+    def backoff(self, attempt: int) -> float:
+        """The sleep before retry ``attempt`` (0-based): full jitter."""
+        ceiling = min(self.max_delay, self.base_delay * (2 ** attempt))
+        return self._rng.uniform(0.0, ceiling)
+
+
+class CircuitBreaker:
+    """Per-client circuit breaker over consecutive transport failures.
+
+    ``clock`` is injectable for tests (defaults to ``time.monotonic``).
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        cooldown: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ServiceError("breaker threshold must be >= 1", status=400)
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._failures = 0
+        self._opened_at: float | None = None
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        if self._opened_at is None:
+            return self.CLOSED
+        if self._clock() - self._opened_at >= self.cooldown:
+            return self.HALF_OPEN
+        return self.OPEN
+
+    def allow(self) -> bool:
+        """Whether a request may go out now.
+
+        In the half-open state exactly one in-flight probe is admitted;
+        further requests fail fast until the probe reports back.
+        """
+        state = self.state
+        if state == self.CLOSED:
+            return True
+        if state == self.HALF_OPEN and not self._probing:
+            self._probing = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._opened_at = None
+        self._probing = False
+
+    def record_failure(self) -> None:
+        self._probing = False
+        self._failures += 1
+        if self._failures >= self.threshold:
+            self._opened_at = self._clock()
 
 
 @dataclass
@@ -53,10 +167,16 @@ class ServiceClient:
     def __init__(
         self, host: str = "127.0.0.1", port: int = 8642,
         timeout: float = 120.0,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        #: injectable for tests (captures the exact backoff schedule).
+        self._sleep: Callable[[float], None] = time.sleep
 
     @classmethod
     def from_address(cls, address: str, timeout: float = 120.0
@@ -74,14 +194,14 @@ class ServiceClient:
 
     # -- transport -------------------------------------------------------
 
-    def _request(
-        self, method: str, path: str, body: dict | None = None
+    def _attempt(
+        self, method: str, path: str, payload: bytes | None
     ) -> dict[str, Any]:
+        """One request over one connection, closed on every path."""
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
         try:
-            payload = json.dumps(body).encode() if body is not None else None
             headers = {"Content-Type": "application/json"} if payload else {}
             try:
                 connection.request(method, path, body=payload, headers=headers)
@@ -111,6 +231,39 @@ class ServiceClient:
         finally:
             connection.close()
 
+    @staticmethod
+    def _retryable(exc: ServiceError) -> bool:
+        """Transport failures and 5xx retry; 4xx never does."""
+        return exc.kind in ("unreachable", "bad-response") or exc.status >= 500
+
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> dict[str, Any]:
+        if not self.breaker.allow():
+            raise CircuitOpenError(
+                f"circuit open for {self.host}:{self.port} "
+                f"(cooling down after {self.breaker.threshold} "
+                f"consecutive failures)"
+            )
+        payload = json.dumps(body).encode() if body is not None else None
+        attempt = 0
+        while True:
+            try:
+                data = self._attempt(method, path, payload)
+            except ServiceError as exc:
+                if not self._retryable(exc):
+                    # The server answered; only its answer was a 4xx.
+                    self.breaker.record_success()
+                    raise
+                self.breaker.record_failure()
+                if attempt >= self.retry.retries or not self.breaker.allow():
+                    raise
+                self._sleep(self.retry.backoff(attempt))
+                attempt += 1
+                continue
+            self.breaker.record_success()
+            return data
+
     # -- endpoints -------------------------------------------------------
 
     def health(self) -> dict[str, Any]:
@@ -122,15 +275,15 @@ class ServiceClient:
     def shutdown(self) -> None:
         self._request("POST", "/shutdown")
 
-    def submit(
+    def _submit_body(
         self,
         assay: "Assay | dict",
         spec: "SynthesisSpec | dict | None" = None,
         method: str = "hls",
         priority: int = 0,
         timeout: float | None = None,
-    ) -> JobHandle:
-        """Submit one synthesis run; returns immediately with a handle."""
+        degrade: bool | None = None,
+    ) -> dict[str, Any]:
         body: dict[str, Any] = {
             "assay": assay_to_json(assay) if isinstance(assay, Assay)
             else assay,
@@ -144,6 +297,30 @@ class ServiceClient:
             )
         if timeout is not None:
             body["timeout"] = timeout
+        if degrade is not None:
+            body["degrade"] = degrade
+        return body
+
+    def submit(
+        self,
+        assay: "Assay | dict",
+        spec: "SynthesisSpec | dict | None" = None,
+        method: str = "hls",
+        priority: int = 0,
+        timeout: float | None = None,
+        degrade: bool | None = None,
+    ) -> JobHandle:
+        """Submit one synthesis run; returns immediately with a handle.
+
+        Safe to retry/resubmit: the server coalesces on the canonical
+        run fingerprint, so a duplicate attaches to the in-flight job or
+        is answered from the result store.  ``degrade=False`` opts the
+        job out of the greedy-scheduler fallback after an ILP timeout.
+        """
+        body = self._submit_body(
+            assay, spec, method=method, priority=priority,
+            timeout=timeout, degrade=degrade,
+        )
         data = self._request("POST", "/jobs", body)
         return JobHandle.from_json(data["job"])
 
@@ -186,22 +363,58 @@ class ServiceClient:
         spec: "SynthesisSpec | dict | None" = None,
         method: str = "hls",
         deadline: float = 600.0,
+        degrade: bool | None = None,
     ) -> dict[str, Any]:
         """Submit, wait, and return the result payload in one call.
 
-        Raises :class:`ServiceError` with the job's structured error when
-        the solve fails.
+        Survives a server restart mid-wait: a restarted server replays
+        its journal, so the job lives on under a fresh id — when the old
+        id comes back 404, the same body is resubmitted and re-attaches
+        by fingerprint (to the replayed job, or straight to its stored
+        result).  Raises :class:`ServiceError` with the job's structured
+        error when the solve fails.
         """
-        handle = self.submit(assay, spec, method=method)
-        handle = self.wait(handle.id, deadline=deadline)
-        if handle.status != "done":
-            error = handle.error or {}
-            raise ServiceError(
-                error.get("message", f"job {handle.id} {handle.status}"),
-                status=500,
-                kind=error.get("kind", handle.status),
-            )
-        return self.result(handle.id)
+        body = self._submit_body(
+            assay, spec, method=method, degrade=degrade,
+        )
+        end = time.monotonic() + deadline
+        resubmissions = 0
+        handle = JobHandle.from_json(
+            self._request("POST", "/jobs", body)["job"]
+        )
+        while True:
+            remaining = end - time.monotonic()
+            if remaining <= 0:
+                raise ServiceError(
+                    f"job {handle.id} not finished within {deadline:g}s",
+                    status=408, kind="wait-timeout",
+                )
+            try:
+                handle = self.wait(handle.id, deadline=remaining)
+                if handle.status != "done":
+                    error = handle.error or {}
+                    raise ServiceError(
+                        error.get(
+                            "message", f"job {handle.id} {handle.status}"
+                        ),
+                        status=500,
+                        kind=error.get("kind", handle.status),
+                    )
+                return self.result(handle.id)
+            except ServiceError as exc:
+                # A restarted server knows the fingerprint, not our job
+                # id; resubmit the identical body to re-attach.
+                if exc.kind != "unknown-job" or resubmissions >= 3:
+                    raise
+                resubmissions += 1
+                handle = JobHandle.from_json(
+                    self._request("POST", "/jobs", body)["job"]
+                )
 
 
-__all__ = ["JobHandle", "ServiceClient"]
+__all__ = [
+    "CircuitBreaker",
+    "JobHandle",
+    "RetryPolicy",
+    "ServiceClient",
+]

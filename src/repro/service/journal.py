@@ -1,0 +1,396 @@
+"""Durable job journal: a write-ahead log of job lifecycle transitions.
+
+The server appends one JSONL record per lifecycle transition
+(``submitted`` / ``started`` / ``finished`` / ``failed`` /
+``cancelled``), fsync'd before the call returns, so the set of jobs that
+were pending or running at any crash point is always reconstructible
+from disk.  On startup the server calls :meth:`JobJournal.replay`, which
+returns exactly those open jobs (the ``submitted`` record carries the
+full worker request, so a job can be re-enqueued without the original
+client), re-records them under fresh ids, and then calls
+:meth:`JobJournal.forget_replayed` to delete the pre-crash segments.
+
+Durability discipline:
+
+* **Append-only segments** — records land in ``segment-NNNNNN.jsonl``;
+  every append is flushed and ``os.fsync``'d before returning, so an
+  acknowledged submission survives a power loss.
+* **Torn tails are expected** — a crash mid-append leaves a partial last
+  line; replay skips it (counted in ``torn_records``) instead of
+  failing.  Only the final line of a segment can be torn, because every
+  earlier line was fsync'd as a prefix of the file.
+* **Atomic rotation + compaction** — when the active segment reaches
+  ``segment_records`` records it is closed and a new one started; closed
+  segments are then compacted (records of terminal jobs dropped, the
+  survivor rewritten via ``tmp + fsync + os.replace``, empty segments
+  deleted) so the journal's footprint tracks the *open* job set, not the
+  server's lifetime traffic.
+
+``root=None`` disables the journal entirely: every method is a cheap
+no-op and :meth:`replay` returns ``[]`` — the in-memory server
+configuration keeps its exact pre-journal behavior.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from .queue import Job
+
+#: Bump on any incompatible change to the record layout.
+JOURNAL_SCHEMA = 1
+
+#: Events that end a job's lifecycle (no replay needed).
+TERMINAL_EVENTS = frozenset({"finished", "failed", "cancelled"})
+
+_SEGMENT_PREFIX = "segment-"
+_SEGMENT_SUFFIX = ".jsonl"
+
+
+def _fsync_path(path: Path) -> None:
+    """fsync a file or directory by path (best effort on exotic FS)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+class JobJournal:
+    """Append-only, segment-rotating JSONL journal of job transitions."""
+
+    def __init__(
+        self,
+        root: "str | Path | None" = None,
+        segment_records: int = 1024,
+    ) -> None:
+        self.root = Path(root) if root is not None else None
+        self.segment_records = max(1, segment_records)
+        #: records appended by this instance (all events).
+        self.appended = 0
+        #: torn (partial) trailing lines skipped during replay.
+        self.torn_records = 0
+        #: open jobs returned by the last :meth:`replay`.
+        self.replayed = 0
+        #: records dropped by compaction (terminal-job records).
+        self.compacted = 0
+        #: segment rotations performed by this instance.
+        self.rotations = 0
+        #: append failures swallowed (disk full, EIO); the server keeps
+        #: serving but durability is degraded — surfaced at /metrics.
+        self.write_errors = 0
+        self._active: Path | None = None
+        self._active_count = 0
+        self._handle = None
+        #: segments frozen by :meth:`replay`, deleted by
+        #: :meth:`forget_replayed`.
+        self._frozen: list[Path] = []
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._open_active()
+
+    @property
+    def enabled(self) -> bool:
+        return self.root is not None
+
+    # -- segment management ---------------------------------------------
+
+    def _segments(self) -> list[Path]:
+        """All segment files, oldest first (numeric order)."""
+        assert self.root is not None
+        return sorted(
+            path
+            for path in self.root.glob(f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}")
+            if not path.name.endswith(".tmp")
+        )
+
+    def _segment_number(self, path: Path) -> int:
+        stem = path.name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)]
+        try:
+            return int(stem)
+        except ValueError:
+            return 0
+
+    def _segment_path(self, number: int) -> Path:
+        assert self.root is not None
+        return self.root / f"{_SEGMENT_PREFIX}{number:06d}{_SEGMENT_SUFFIX}"
+
+    def _open_active(self) -> None:
+        """(Re)open the newest segment for appending, creating if needed."""
+        assert self.root is not None
+        segments = self._segments()
+        if segments:
+            self._active = segments[-1]
+            self._active_count = sum(
+                1 for _ in _iter_records(self._active)
+            )
+            # A crash mid-append can leave a torn tail with no newline;
+            # appending straight after it would corrupt the next record
+            # too, so terminate the torn line first.
+            try:
+                raw = self._active.read_bytes()
+                if raw and not raw.endswith(b"\n"):
+                    with open(self._active, "ab") as handle:
+                        handle.write(b"\n")
+            except OSError:
+                pass
+        else:
+            self._active = self._segment_path(1)
+            self._active_count = 0
+        self._handle = open(self._active, "a", encoding="utf-8")
+
+    def _rotate(self) -> None:
+        """Close the active segment and start the next one, then compact."""
+        assert self.root is not None and self._active is not None
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+        number = self._segment_number(self._active) + 1
+        self._active = self._segment_path(number)
+        self._active_count = 0
+        self._handle = open(self._active, "a", encoding="utf-8")
+        _fsync_path(self.root)
+        self.rotations += 1
+        self.compact()
+
+    # -- appends ---------------------------------------------------------
+
+    def _append(self, record: dict[str, Any]) -> None:
+        if self.root is None or self._handle is None:
+            return
+        record = {"schema": JOURNAL_SCHEMA, "ts": time.time()} | record
+        try:
+            self._handle.write(json.dumps(record) + "\n")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        except OSError:
+            self.write_errors += 1
+            return
+        self.appended += 1
+        self._active_count += 1
+        if self._active_count >= self.segment_records:
+            try:
+                self._rotate()
+            except OSError:
+                self.write_errors += 1
+
+    def record_submitted(self, job: "Job") -> None:
+        """Journal a new job; the record carries the full worker request."""
+        self._append({
+            "event": "submitted",
+            "id": job.id,
+            "fingerprint": job.fingerprint,
+            "request": job.request,
+            "priority": job.priority,
+            "timeout": job.timeout,
+        })
+
+    def record_started(self, job: "Job") -> None:
+        self._append({
+            "event": "started", "id": job.id,
+            "fingerprint": job.fingerprint,
+        })
+
+    def record_finished(self, job: "Job") -> None:
+        self._append({
+            "event": "finished", "id": job.id,
+            "fingerprint": job.fingerprint, "source": job.source,
+        })
+
+    def record_failed(self, job: "Job") -> None:
+        error = job.error or {}
+        self._append({
+            "event": "failed", "id": job.id,
+            "fingerprint": job.fingerprint, "kind": error.get("kind", ""),
+        })
+
+    def record_cancelled(self, job: "Job") -> None:
+        self._append({
+            "event": "cancelled", "id": job.id,
+            "fingerprint": job.fingerprint,
+        })
+
+    # -- replay ----------------------------------------------------------
+
+    def replay(self) -> list[dict[str, Any]]:
+        """The jobs open (pending or running) at the last shutdown/crash.
+
+        Returns one dict per open job — ``{"id", "fingerprint",
+        "request", "priority", "timeout", "was_running"}`` — in original
+        submission order.  Rotates first, freezing the pre-crash history
+        into closed segments, so the caller's re-enqueued replacements
+        (journalled afresh into the new active segment) never share a
+        file with the records they supersede; once they are durably
+        re-journalled the caller invokes :meth:`forget_replayed` to drop
+        the frozen segments.
+        """
+        if self.root is None:
+            return []
+        self._rotate()
+        self._frozen = [s for s in self._segments() if s != self._active]
+        submitted: dict[str, dict[str, Any]] = {}
+        last_event: dict[str, str] = {}
+        torn = 0
+        for segment in self._frozen:
+            records, segment_torn = _read_records(segment)
+            torn += segment_torn
+            for record in records:
+                job_id = record.get("id")
+                event = record.get("event")
+                if not job_id or not event:
+                    continue
+                if event == "submitted":
+                    submitted[job_id] = record
+                last_event[job_id] = event
+        self.torn_records += torn
+        open_jobs = []
+        for job_id, record in submitted.items():
+            if last_event.get(job_id) in TERMINAL_EVENTS:
+                continue
+            open_jobs.append({
+                "id": job_id,
+                "fingerprint": record.get("fingerprint", ""),
+                "request": record.get("request") or {},
+                "priority": int(record.get("priority") or 0),
+                "timeout": record.get("timeout"),
+                "was_running": last_event.get(job_id) == "started",
+            })
+        self.replayed = len(open_jobs)
+        return open_jobs
+
+    def forget_replayed(self) -> None:
+        """Delete the segments frozen by the last :meth:`replay`.
+
+        Called after replayed jobs have been re-journalled (fsync'd)
+        under fresh ids in the new active segment, so the frozen segments
+        carry no information the new one lacks.  A crash between the
+        re-journalling and this deletion merely replays twice — which is
+        idempotent: duplicates coalesce on their fingerprint or complete
+        immediately from the result store.
+        """
+        if self.root is None:
+            return
+        for segment in self._frozen:
+            try:
+                segment.unlink()
+            except OSError:
+                pass
+        self._frozen = []
+        _fsync_path(self.root)
+
+    # -- compaction ------------------------------------------------------
+
+    def compact(self) -> None:
+        """Drop terminal-job records from closed segments.
+
+        The active segment is never rewritten (it is mid-append); closed
+        segments are rewritten atomically without records of jobs whose
+        terminal event has been journalled anywhere, and deleted outright
+        when nothing survives.
+        """
+        if self.root is None:
+            return
+        segments = self._segments()
+        terminal: set[str] = set()
+        for segment in segments:
+            records, _ = _read_records(segment)
+            for record in records:
+                if record.get("event") in TERMINAL_EVENTS:
+                    terminal.add(record.get("id", ""))
+        for segment in segments:
+            if segment == self._active:
+                continue
+            records, _ = _read_records(segment)
+            survivors = [
+                record for record in records
+                if record.get("id") not in terminal
+            ]
+            if len(survivors) == len(records):
+                continue
+            self.compacted += len(records) - len(survivors)
+            if not survivors:
+                try:
+                    segment.unlink()
+                except OSError:
+                    pass
+                continue
+            tmp = segment.with_name(segment.name + ".tmp")
+            with open(tmp, "w", encoding="utf-8") as handle:
+                for record in survivors:
+                    handle.write(json.dumps(record) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, segment)
+        _fsync_path(self.root)
+
+    # -- introspection ---------------------------------------------------
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+            except (OSError, ValueError):
+                pass
+            self._handle.close()
+            self._handle = None
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "enabled": int(self.enabled),
+            "appended": self.appended,
+            "replayed": self.replayed,
+            "torn_records": self.torn_records,
+            "compacted": self.compacted,
+            "rotations": self.rotations,
+            "write_errors": self.write_errors,
+            "segments": len(self._segments()) if self.enabled else 0,
+        }
+
+
+def _iter_records(path: Path):
+    records, _torn = _read_records(path)
+    return iter(records)
+
+
+def _read_records(path: Path) -> tuple[list[dict[str, Any]], int]:
+    """Parse a segment; returns ``(records, torn_line_count)``.
+
+    A torn record can only be the last line of the file (every earlier
+    line was fsync'd whole before the next append started), but the
+    parser tolerates garbage anywhere rather than trusting that.
+    """
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError:
+        return [], 0
+    records: list[dict[str, Any]] = []
+    torn = 0
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            torn += 1
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+        else:
+            torn += 1
+    return records, torn
+
+
+__all__ = ["JOURNAL_SCHEMA", "TERMINAL_EVENTS", "JobJournal"]

@@ -94,6 +94,9 @@ class JobQueue:
         self._ids = itertools.count(1)
         self._seq = itertools.count(1)
         self.pending = 0
+        #: jobs failed by :meth:`next_job` because their budget elapsed
+        #: while queued; the server drains this to signal their waiters.
+        self.expired: list[Job] = []
 
     # -- submission ------------------------------------------------------
 
@@ -103,20 +106,23 @@ class JobQueue:
         request: dict[str, Any],
         priority: int = 0,
         timeout: float | None = None,
+        force: bool = False,
     ) -> tuple[Job, bool]:
         """Enqueue a run; returns ``(job, coalesced)``.
 
         An in-flight job with the same fingerprint absorbs the submission
         (``coalesced=True``) regardless of the new request's priority —
         the solve is already underway or queued.  Raises
-        :class:`ServiceError` (429) when the pending backlog is full.
+        :class:`ServiceError` (429) when the pending backlog is full,
+        unless ``force`` is set (journal replay must never drop an
+        already-acknowledged job on the floor).
         """
         existing_id = self._inflight.get(fingerprint)
         if existing_id is not None:
             job = self._jobs[existing_id]
             job.coalesced += 1
             return job, True
-        if self.pending >= self.capacity:
+        if not force and self.pending >= self.capacity:
             raise ServiceError(
                 f"queue full ({self.pending} pending jobs)",
                 status=429,
@@ -154,12 +160,29 @@ class JobQueue:
     # -- dispatch --------------------------------------------------------
 
     def next_job(self) -> Job | None:
-        """Pop the highest-priority pending job and mark it running."""
+        """Pop the highest-priority pending job and mark it running.
+
+        A pending job whose wall-clock budget already elapsed while it
+        sat in the queue is failed with ``kind: timeout`` instead of
+        dispatched (appended to :attr:`expired` so the server can signal
+        its waiters) — running it would only time out mid-solve and cost
+        a pool rebuild.
+        """
         while self._heap:
             _, _, job_id = heapq.heappop(self._heap)
             job = self._jobs.get(job_id)
             if job is None or job.status is not JobStatus.PENDING:
                 continue  # cancelled while queued
+            if (
+                job.timeout is not None
+                and time.time() - job.submitted_at > job.timeout
+            ):
+                self.fail(
+                    job, "timeout",
+                    f"job spent its whole {job.timeout:g}s budget queued",
+                )
+                self.expired.append(job)
+                continue
             self.pending -= 1
             job.status = JobStatus.RUNNING
             job.started_at = time.time()
@@ -178,14 +201,25 @@ class JobQueue:
         self._inflight.pop(job.fingerprint, None)
 
     def fail(self, job: Job, kind: str, message: str) -> None:
+        if job.status is JobStatus.PENDING:
+            self.pending -= 1  # failed without ever dispatching
         job.status = JobStatus.FAILED
         job.error = {"kind": kind, "message": message}
         job.finished_at = time.time()
         self._inflight.pop(job.fingerprint, None)
 
     def cancel(self, job_id: str) -> Job:
-        """Cancel a pending job; running/finished jobs are not cancellable."""
+        """Cancel a pending job; running/finished jobs are not cancellable.
+
+        A job that absorbed coalesced submissions detaches one waiter
+        instead of cancelling: the other submitters still expect the
+        shared solve, so the job stays in flight (its ``coalesced`` count
+        drops by one) and the caller gets the still-live job back.
+        """
         job = self.get(job_id)
+        if job.coalesced > 0 and not job.status.finished:
+            job.coalesced -= 1
+            return job
         if job.status is not JobStatus.PENDING:
             raise ServiceError(
                 f"job {job_id} is {job.status.value}, not cancellable",

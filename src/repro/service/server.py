@@ -35,15 +35,18 @@ from __future__ import annotations
 import asyncio
 import json
 import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from pathlib import Path
 from urllib.parse import parse_qs, urlparse
 
 from ..errors import SerializationError, ServiceError
 from ..hls import SynthesisSpec, fingerprint_run
 from ..hls.cache import LayerSolveCache
 from ..io.json_io import assay_from_json, spec_from_json, spec_to_json
+from .journal import JobJournal
 from .metrics import ServiceMetrics
 from .queue import Job, JobQueue, JobStatus
 from .store import ResultStore
@@ -79,6 +82,21 @@ class ServerConfig:
     cache_export_limit: int = 256
     #: enable the ``debug-crash`` test method (kills a worker mid-job).
     allow_debug: bool = False
+    #: durable job journal directory; ``None`` derives ``<store_dir>/
+    #: journal`` when a store dir is set (no store dir = no journal).
+    journal_dir: str | None = None
+    #: records per journal segment before rotation + compaction.
+    journal_segment_records: int = 1024
+    #: after an ILP job exceeds its wall-clock budget, re-run it once on
+    #: the greedy scheduler and return the result flagged ``degraded``
+    #: (each submission may opt out with ``degrade: false``).
+    enable_degrade: bool = True
+    #: wall-clock budget for the degraded (greedy) re-run, seconds.
+    degraded_timeout: float = 120.0
+    #: ``/health`` reports ``degraded_mode`` once the worker pool was
+    #: rebuilt more than this many times inside ``restart_window``.
+    restart_threshold: int = 3
+    restart_window: float = 300.0
 
 
 class SynthesisServer:
@@ -89,6 +107,13 @@ class SynthesisServer:
         self.queue = JobQueue(capacity=self.config.queue_capacity)
         self.store = ResultStore(
             self.config.store_dir, capacity=self.config.store_capacity
+        )
+        journal_dir = self.config.journal_dir
+        if journal_dir is None and self.config.store_dir is not None:
+            journal_dir = str(Path(self.config.store_dir) / "journal")
+        self.journal = JobJournal(
+            journal_dir,
+            segment_records=self.config.journal_segment_records,
         )
         self.metrics = ServiceMetrics()
         self.metrics.workers = self.config.workers
@@ -109,6 +134,9 @@ class SynthesisServer:
         self._events: dict[str, asyncio.Event] = {}
         self._running = 0
         self._stopping = False
+        #: monotonic timestamps of recent pool rebuilds (degraded-mode
+        #: detection window).
+        self._restarts: deque[float] = deque()
 
     # -- lifecycle -------------------------------------------------------
 
@@ -121,10 +149,45 @@ class SynthesisServer:
         self._sem = asyncio.Semaphore(self.config.workers)
         self._work_available = asyncio.Event()
         self._stopped = asyncio.Event()
+        self._replay_journal()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
         self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        if self.queue.depth:
+            self._work_available.set()
+
+    def _replay_journal(self) -> None:
+        """Recover jobs that were pending/running at the last crash.
+
+        Idempotent via whole-run fingerprints: a replayed job whose
+        fingerprint already has a store entry completes immediately
+        without re-entering the pipeline; duplicates among the replayed
+        jobs coalesce.  Replayed jobs bypass queue backpressure — they
+        were already acknowledged once.
+        """
+        for entry in self.journal.replay():
+            fingerprint = entry["fingerprint"]
+            payload = self.store.get(fingerprint) if fingerprint else None
+            if payload is not None:
+                job = self.queue.make_job(
+                    fingerprint, {}, entry.get("priority", 0)
+                )
+                self.queue.finish(job, payload, source="journal-store")
+                self.queue.admit_finished(job)
+                self.metrics.inc("store_hits")
+            else:
+                job, coalesced = self.queue.submit(
+                    fingerprint,
+                    entry.get("request") or {},
+                    priority=int(entry.get("priority") or 0),
+                    timeout=entry.get("timeout"),
+                    force=True,
+                )
+                if not coalesced:
+                    self.journal.record_submitted(job)
+            self.metrics.inc("journal_replayed")
+        self.journal.forget_replayed()
 
     async def serve_until_stopped(self) -> None:
         assert self._stopped is not None
@@ -146,6 +209,7 @@ class SynthesisServer:
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
+        self.journal.close()
         if self._stopped is not None:
             self._stopped.set()
 
@@ -161,6 +225,14 @@ class SynthesisServer:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
         self.metrics.inc("worker_restarts")
+        self._restarts.append(time.monotonic())
+
+    def _degraded_mode(self) -> bool:
+        """Whether pool rebuilds are frequent enough to flag degradation."""
+        horizon = time.monotonic() - self.config.restart_window
+        while self._restarts and self._restarts[0] < horizon:
+            self._restarts.popleft()
+        return len(self._restarts) > self.config.restart_threshold
 
     # -- dispatch --------------------------------------------------------
 
@@ -171,10 +243,22 @@ class SynthesisServer:
             job = None
             while job is None:
                 job = self.queue.next_job()
+                self._drain_expired()
                 if job is None:
                     self._work_available.clear()
                     await self._work_available.wait()
+            self.journal.record_started(job)
             asyncio.create_task(self._run_job(job))
+
+    def _drain_expired(self) -> None:
+        """Account for jobs the queue failed because they out-waited
+        their own wall-clock budget."""
+        while self.queue.expired:
+            job = self.queue.expired.pop()
+            self.journal.record_failed(job)
+            self.metrics.inc("jobs_timeout")
+            self.metrics.inc("jobs_failed")
+            self._signal_done(job)
 
     async def _run_job(self, job: Job) -> None:
         assert self._sem is not None
@@ -199,24 +283,28 @@ class SynthesisServer:
                 timeout=timeout,
             )
         except asyncio.TimeoutError:
-            self.queue.fail(
-                job, "timeout",
-                f"job exceeded its {timeout:g}s wall-clock budget",
-            )
             self.metrics.inc("jobs_timeout")
-            self.metrics.inc("jobs_failed")
             # The abandoned solve still occupies a worker; rebuild the
             # pool so the slot is genuinely reclaimed.
             self._reset_pool()
+            if not await self._run_degraded(job, request):
+                self.queue.fail(
+                    job, "timeout",
+                    f"job exceeded its {timeout:g}s wall-clock budget",
+                )
+                self.journal.record_failed(job)
+                self.metrics.inc("jobs_failed")
         except BrokenProcessPool:
             self.queue.fail(
                 job, "worker-crashed",
                 "worker process died mid-solve; the pool was rebuilt",
             )
+            self.journal.record_failed(job)
             self.metrics.inc("jobs_failed")
             self._reset_pool()
         except Exception as exc:  # pragma: no cover - defensive
             self.queue.fail(job, "internal", str(exc))
+            self.journal.record_failed(job)
             self.metrics.inc("jobs_failed")
         else:
             self._absorb_outcome(job, outcome)
@@ -228,17 +316,61 @@ class SynthesisServer:
             self._signal_done(job)
             self._sem.release()
 
+    async def _run_degraded(self, job: Job, request: dict) -> bool:
+        """Re-run a timed-out job once on the greedy scheduler.
+
+        Returns True when the job finished with a ``degraded``-flagged
+        payload.  The degraded result is returned to the waiters but
+        *not* stored: the store holds only canonical full-fidelity
+        results, so a future resubmission re-attempts the real solve.
+        """
+        if not self.config.enable_degrade:
+            return False
+        if request.get("degrade") is False:
+            return False
+        if request.get("method") not in ("hls", "conventional"):
+            return False
+        loop = asyncio.get_running_loop()
+        degraded_request = {
+            key: value for key, value in request.items() if key != "cache"
+        } | {"degraded": True}
+        try:
+            outcome = await asyncio.wait_for(
+                loop.run_in_executor(
+                    self._get_pool(), run_job, degraded_request
+                ),
+                timeout=self.config.degraded_timeout,
+            )
+        except (asyncio.TimeoutError, BrokenProcessPool):
+            self._reset_pool()
+            return False
+        except Exception:  # pragma: no cover - defensive
+            return False
+        if not outcome or outcome[0] != "ok":
+            return False
+        _tag, payload, _export = outcome
+        payload["degraded"] = True
+        self.queue.finish(job, payload, source="degraded")
+        self.journal.record_finished(job)
+        self.metrics.inc("jobs_degraded")
+        self.metrics.inc("jobs_completed")
+        return True
+
     def _absorb_outcome(self, job: Job, outcome: tuple) -> None:
         if not outcome or outcome[0] != "ok":
             _tag, kind, message = outcome
             self.queue.fail(job, kind, message)
+            self.journal.record_failed(job)
             self.metrics.inc("jobs_failed")
             return
         _tag, payload, cache_export = outcome
         if self.config.share_cache and cache_export:
             self._cache.import_entries(cache_export)
+        # Store first, then journal: a crash in between replays the job,
+        # finds the store entry, and completes it immediately.
         self.store.put(job.fingerprint, payload)
         self.queue.finish(job, payload, source="solve")
+        self.journal.record_finished(job)
         self.metrics.inc("jobs_completed")
         totals = (payload.get("profile") or {}).get("totals") or {}
         self.metrics.inc("solve_ilp_solves", int(totals.get("ilp_solves", 0)))
@@ -291,6 +423,8 @@ class SynthesisServer:
             "method": method,
             "deterministic": True,
         }
+        if body.get("degrade") is False:
+            request["degrade"] = False
         job, coalesced = self.queue.submit(
             fingerprint, request, priority=priority,
             timeout=float(timeout) if timeout else None,
@@ -298,6 +432,7 @@ class SynthesisServer:
         if coalesced:
             self.metrics.inc("coalesce_hits")
         else:
+            self.journal.record_submitted(job)
             assert self._work_available is not None
             self._work_available.set()
         return 202, {"job": job.describe()}
@@ -401,6 +536,7 @@ class SynthesisServer:
             return 200, self.metrics.snapshot() | {
                 "store": self.store.counters(),
                 "solve_cache": self._cache.counters(),
+                "journal": self.journal.counters(),
             }
         if segments == ["shutdown"] and method == "POST":
             asyncio.get_running_loop().call_soon(
@@ -420,8 +556,13 @@ class SynthesisServer:
                 return await self._job_status(segments[1], query)
             if method == "DELETE":
                 job = self.queue.cancel(segments[1])
-                self.metrics.inc("jobs_cancelled")
-                self._signal_done(job)
+                if job.status is JobStatus.CANCELLED:
+                    self.journal.record_cancelled(job)
+                    self.metrics.inc("jobs_cancelled")
+                    self._signal_done(job)
+                else:
+                    # A coalesced waiter detached; the shared job lives.
+                    self.metrics.inc("jobs_detached")
                 return 200, {"job": job.describe()}
             raise ServiceError(
                 "use GET or DELETE", status=405, kind="bad-method"
@@ -440,15 +581,18 @@ class SynthesisServer:
 
     def _health(self) -> dict:
         return {
-            "status": "ok",
+            "status": "degraded" if self._degraded_mode() else "ok",
+            "degraded_mode": self._degraded_mode(),
             "uptime_seconds": round(
                 time.monotonic() - self.metrics.started, 3
             ),
             "workers": self.config.workers,
             "queue_capacity": self.config.queue_capacity,
             "queue_depth": self.queue.depth,
+            "jobs_running": self._running,
             "store_entries": len(self.store),
             "persistent_store": self.store.root is not None,
+            "journal": self.journal.enabled,
         }
 
     async def _job_status(

@@ -10,10 +10,17 @@ produced.
 
 Guarantees:
 
-* **Atomic writes** — entries land via ``tmp file + os.replace``; a crash
-  mid-write never leaves a truncated entry visible.
+* **Durable atomic writes** — entries land via ``tmp file + fsync +
+  os.replace`` followed by a directory fsync; a crash or power loss
+  mid-write never leaves a truncated or empty entry visible.
+* **Checksummed envelopes** — every entry records the SHA-256 of its
+  canonical payload JSON; a bit-flipped, truncated, or otherwise
+  corrupted entry is detected on read, moved to a ``quarantine/``
+  subdirectory for post-mortem, and counted (``corruptions``) — reads
+  never crash, they miss.
 * **Schema versioning** — every entry records ``STORE_SCHEMA``; entries
-  written by an incompatible version read as misses and are dropped.
+  written by an incompatible version read as misses and are dropped
+  (not quarantined: they are well-formed, just foreign).
 * **LRU size bound** — at most ``capacity`` entries on disk; the
   least-recently-*used* entry is evicted first, with recency persisted in
   a small index file so restarts keep the order.
@@ -24,6 +31,7 @@ used when the server runs without ``--store`` and by unit tests.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import time
@@ -33,15 +41,48 @@ from typing import Any
 from ..errors import SerializationError
 
 #: Bump on any incompatible change to the entry layout.
-STORE_SCHEMA = 1
+#: 2: entries carry a ``checksum`` (SHA-256 of the canonical payload).
+STORE_SCHEMA = 2
 
 _INDEX_NAME = "index.json"
+_QUARANTINE_DIR = "quarantine"
+
+
+def _fsync_dir(path: Path) -> None:
+    """fsync a directory so a just-replaced entry survives power loss."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def _atomic_write_text(path: Path, text: str) -> None:
+    """Durably replace ``path`` with ``text``.
+
+    The tmp file is fsync'd before ``os.replace`` and the directory is
+    fsync'd after, so a power loss at any point leaves either the old
+    complete entry or the new complete entry — never a visible empty or
+    torn file.
+    """
     tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(text)
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(tmp, path)
+    _fsync_dir(path.parent)
+
+
+def payload_checksum(payload: dict[str, Any]) -> str:
+    """SHA-256 of the canonical (sorted-key) JSON of ``payload``."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 class ResultStore:
@@ -58,6 +99,8 @@ class ResultStore:
         self.misses = 0
         self.evictions = 0
         self.puts = 0
+        #: corrupted/truncated entries detected on read (and quarantined).
+        self.corruptions = 0
         #: fingerprint -> last-use stamp, oldest first; doubles as the
         #: in-memory payload map when ``root`` is None.
         self._recency: dict[str, int] = {}
@@ -114,17 +157,51 @@ class ResultStore:
         assert self.root is not None
         return self.root / f"{fingerprint}.json"
 
+    def quarantine_dir(self) -> Path:
+        assert self.root is not None
+        return self.root / _QUARANTINE_DIR
+
     def _touch(self, fingerprint: str) -> None:
         self._clock += 1
         self._recency.pop(fingerprint, None)
         self._recency[fingerprint] = self._clock
         self._save_index()
 
+    def _read_entry(self, fingerprint: str) -> dict[str, Any]:
+        """Parse + verify one on-disk entry.
+
+        Raises ``SerializationError`` for *foreign* entries (schema
+        mismatch — drop silently) and ``ValueError`` for *corrupted*
+        ones (unparseable, truncated, empty, checksum mismatch —
+        quarantine).
+        """
+        path = self._entry_path(fingerprint)
+        text = path.read_text()
+        if not text.strip():
+            raise ValueError("empty entry file")
+        try:
+            envelope = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"unparseable entry: {exc}") from exc
+        if not isinstance(envelope, dict):
+            raise ValueError("entry is not a JSON object")
+        if envelope.get("schema") != STORE_SCHEMA:
+            raise SerializationError(
+                f"foreign schema {envelope.get('schema')!r}"
+            )
+        if "payload" not in envelope or "checksum" not in envelope:
+            raise ValueError("entry envelope is missing required fields")
+        payload = envelope["payload"]
+        if payload_checksum(payload) != envelope["checksum"]:
+            raise ValueError("payload checksum mismatch")
+        return payload
+
     def get(self, fingerprint: str) -> dict[str, Any] | None:
         """The stored payload for ``fingerprint``, or ``None`` (a miss).
 
-        A hit refreshes the entry's recency.  Unreadable or
-        schema-incompatible entries are dropped and read as misses.
+        A hit refreshes the entry's recency.  Schema-incompatible entries
+        are dropped; corrupted or truncated entries are moved to
+        ``quarantine/`` and counted — both read as misses.
         """
         if fingerprint not in self._recency:
             self.misses += 1
@@ -134,13 +211,13 @@ class ResultStore:
             self._touch(fingerprint)
             return self._memory[fingerprint]
         try:
-            envelope = json.loads(self._entry_path(fingerprint).read_text())
-            if envelope.get("schema") != STORE_SCHEMA:
-                raise ValueError(f"schema {envelope.get('schema')!r}")
-            payload = envelope["payload"]
-        except (OSError, ValueError, KeyError, AttributeError,
-                json.JSONDecodeError):
+            payload = self._read_entry(fingerprint)
+        except (SerializationError, OSError):
             self._drop(fingerprint)
+            self.misses += 1
+            return None
+        except ValueError:
+            self._quarantine(fingerprint)
             self.misses += 1
             return None
         self.hits += 1
@@ -157,6 +234,7 @@ class ResultStore:
                 "schema": STORE_SCHEMA,
                 "fingerprint": fingerprint,
                 "stored_at": time.time(),
+                "checksum": payload_checksum(payload),
                 "payload": payload,
             }
             try:
@@ -173,6 +251,24 @@ class ResultStore:
             self._drop(oldest)
             self.evictions += 1
 
+    def _quarantine(self, fingerprint: str) -> None:
+        """Move a corrupted entry aside for post-mortem, never delete it."""
+        self.corruptions += 1
+        self._recency.pop(fingerprint, None)
+        if self.root is None:
+            return
+        source = self._entry_path(fingerprint)
+        target_dir = self.quarantine_dir()
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(source, target_dir / source.name)
+        except OSError:
+            try:
+                source.unlink(missing_ok=True)
+            except OSError:
+                pass
+        self._save_index()
+
     def _drop(self, fingerprint: str) -> None:
         self._recency.pop(fingerprint, None)
         self._memory.pop(fingerprint, None)
@@ -183,6 +279,15 @@ class ResultStore:
                 pass
             self._save_index()
 
+    def quarantined(self) -> list[str]:
+        """Names of quarantined entry files (empty for in-memory stores)."""
+        if self.root is None:
+            return []
+        directory = self.quarantine_dir()
+        if not directory.is_dir():
+            return []
+        return sorted(path.name for path in directory.glob("*.json"))
+
     def counters(self) -> dict[str, int]:
         return {
             "entries": len(self._recency),
@@ -191,7 +296,9 @@ class ResultStore:
             "misses": self.misses,
             "evictions": self.evictions,
             "puts": self.puts,
+            "corruptions": self.corruptions,
+            "quarantined": len(self.quarantined()),
         }
 
 
-__all__ = ["STORE_SCHEMA", "ResultStore"]
+__all__ = ["STORE_SCHEMA", "ResultStore", "payload_checksum"]

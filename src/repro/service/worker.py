@@ -32,7 +32,10 @@ def run_job(request: dict[str, Any]) -> tuple:
     ``request`` keys: ``assay`` (assay JSON), ``spec`` (spec JSON or
     None), ``method`` ("hls" | "conventional"), ``cache`` (entries from
     :meth:`LayerSolveCache.export_entries` or None), ``deterministic``
-    (bool, default True).
+    (bool, default True), ``degraded`` (bool: re-run after a wall-clock
+    timeout — the spec is pinned to the greedy scheduler via
+    :func:`repro.hls.backends.degraded_spec` and the payload is flagged
+    ``"degraded": true``).
     """
     if request.get("method") == _DEBUG_CRASH:
         # Test hook (gated behind ServerConfig.allow_debug): die the way a
@@ -51,6 +54,11 @@ def run_job(request: dict[str, Any]) -> tuple:
         assay = assay_from_json(request["assay"])
         spec_data = request.get("spec")
         spec = spec_from_json(spec_data) if spec_data else SynthesisSpec()
+        degraded = bool(request.get("degraded"))
+        if degraded:
+            from ..hls.backends import degraded_spec
+
+            spec = degraded_spec(spec)
         cache = LayerSolveCache(capacity=spec.solve_cache_capacity)
         if request.get("cache"):
             cache.import_entries(request["cache"])
@@ -69,6 +77,8 @@ def run_job(request: dict[str, Any]) -> tuple:
             ),
             "profile": synthesis_profile(result),
         }
+        if degraded:
+            payload["degraded"] = True
         return ("ok", payload, cache.export_entries())
     except ReproError as exc:
         return ("error", "synthesis-failed", str(exc))

@@ -1,0 +1,135 @@
+"""Tests for the chaos harness and graceful degradation
+(repro.service.chaos, hls.backends.degraded_spec)."""
+
+import pytest
+
+from repro.hls import SynthesisSpec
+from repro.hls.backends import DEGRADED_SCHEDULER, degraded_spec
+from repro.io.json_io import assay_to_json, spec_to_json
+from repro.service import ChaosConfig, ServiceClient, format_chaos, run_chaos
+from repro.service.chaos import _ServerHarness
+from repro.service.server import ServerConfig
+
+
+def body_for(assay, **spec_kwargs) -> dict:
+    spec = SynthesisSpec(
+        max_devices=6, threshold=2, time_limit=10.0, max_iterations=0,
+        **spec_kwargs,
+    )
+    return {"assay": assay_to_json(assay), "spec": spec_to_json(spec)}
+
+
+class TestDegradedSpec:
+    def test_forces_greedy_single_pass(self):
+        spec = SynthesisSpec(threshold=4, max_iterations=3)
+        fallback = degraded_spec(spec)
+        assert fallback.scheduler == DEGRADED_SCHEDULER == "greedy"
+        assert fallback.max_iterations == 0
+        assert fallback.threshold == spec.threshold  # layering unchanged
+
+    def test_idempotent(self):
+        spec = degraded_spec(SynthesisSpec())
+        assert degraded_spec(spec) == spec
+
+
+class TestDegradedServer:
+    """An ILP job that blows its wall-clock budget comes back flagged
+    ``degraded`` instead of failing."""
+
+    def test_timeout_yields_degraded_result(self, tmp_path):
+        from repro.assays import benchmark_assay
+
+        config = ServerConfig(
+            port=0, workers=1, store_dir=str(tmp_path / "store"),
+        )
+        harness = _ServerHarness(config)
+        harness.start()
+        client = ServiceClient(port=harness.port, timeout=30.0)
+        try:
+            body = body_for(
+                benchmark_assay(1), mip_gap=0.05,
+            )
+            # 0.75s is far below the ~8s ILP solve but far above the
+            # dispatch latency of an idle server.
+            handle = client.submit(body["assay"], body["spec"], timeout=0.75)
+            handle = client.wait(handle.id, deadline=120.0)
+            assert handle.status == "done"
+            payload = client.result(handle.id)
+            assert payload.get("degraded") is True
+            assert payload["result"]["makespan"]
+
+            metrics = client.metrics()
+            assert metrics["counters"]["jobs_degraded"] == 1
+            # Degraded results are never persisted: the store still
+            # holds only canonical full-fidelity solves.
+            assert metrics["gauges"]["store_entries"] == 0
+        finally:
+            harness.graceful_stop(client)
+
+    def test_degrade_false_opts_out(self, tmp_path):
+        from repro.assays import benchmark_assay
+
+        config = ServerConfig(
+            port=0, workers=1, store_dir=str(tmp_path / "store"),
+        )
+        harness = _ServerHarness(config)
+        harness.start()
+        client = ServiceClient(port=harness.port, timeout=30.0)
+        try:
+            body = body_for(benchmark_assay(1), mip_gap=0.05)
+            handle = client.submit(
+                body["assay"], body["spec"], timeout=0.75, degrade=False,
+            )
+            handle = client.wait(handle.id, deadline=60.0)
+            assert handle.status == "failed"
+            assert handle.error["kind"] == "timeout"
+        finally:
+            harness.graceful_stop(client)
+
+
+class TestChaosCampaign:
+    def test_fixture_campaign_is_ok(self, linear_assay, indeterminate_assay,
+                                    tmp_path):
+        """The full campaign — worker kill, store corruption, torn
+        journal, crash/replay — over two tiny fixture assays.  The
+        slow-solve fault stays off: fixture solves finish in tens of
+        milliseconds, below any usable timeout (the degrade path is
+        covered by TestDegradedServer on a real benchmark case)."""
+        config = ChaosConfig(
+            seed=7,
+            jobs=2,
+            requests=[body_for(linear_assay), body_for(indeterminate_assay)],
+            workdir=str(tmp_path),
+            workers=2,
+            deadline=120.0,
+            slow_solve=False,
+        )
+        report = run_chaos(config)
+        rendered = format_chaos(report)
+        assert report.ok, rendered
+
+        # 2 base bodies + 1 extra variant + 1 slow-solve body (its own
+        # solve class) + 2 wave-2 variants, every one verified
+        # byte-identical.
+        assert report.submitted == 6
+        assert report.verified == 6
+        assert report.lost == 0 and report.mismatched == 0
+        # wave 2 (2 jobs, minus any that land before the stop under a
+        # loaded machine) + the fabricated store.put-window record,
+        # which always replays.
+        assert report.replayed == report.replayed_expected
+        assert 1 <= report.replayed <= 3
+        assert report.worker_crashes == 1
+        # Two corruptible entries (base[1] + extra; base[0] is spared
+        # for the journal-store replay path), all quarantined.
+        assert report.corruptions_injected == 2
+        assert report.corruptions == 2
+        assert report.quarantined == 2
+        assert report.torn_records >= 1
+        assert "verdict        : OK" in rendered
+
+    def test_empty_campaign_rejected(self):
+        from repro.errors import ServiceError
+
+        with pytest.raises(ServiceError):
+            run_chaos(ChaosConfig(requests=[]))

@@ -1,0 +1,244 @@
+"""Tests for client resilience: retries, backoff, circuit breaker
+(repro.service.client)."""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.errors import CircuitOpenError, ServiceError
+from repro.service import CircuitBreaker, RetryPolicy, ServiceClient
+
+
+class FlakyServer:
+    """A real TCP server that fails the first N requests (by slamming
+    the connection or answering 500), then serves 200s."""
+
+    def __init__(self, failures: int, mode: str = "close"):
+        self.failures = failures
+        self.mode = mode
+        self.requests = 0
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.port = self._sock.getsockname()[1]
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            with conn:
+                try:
+                    conn.recv(65536)
+                except OSError:
+                    continue
+                self.requests += 1
+                if self.requests <= self.failures:
+                    if self.mode == "close":
+                        continue  # slam the door: transport error
+                    if self.mode == "404":
+                        body = json.dumps({
+                            "error": {"kind": "unknown-job",
+                                      "message": "no such job"}
+                        }).encode()
+                        status = "404 Not Found"
+                    else:
+                        body = json.dumps({
+                            "error": {"kind": "internal", "message": "boom"}
+                        }).encode()
+                        status = "500 Internal Server Error"
+                else:
+                    body = json.dumps({"status": "ok"}).encode()
+                    status = "200 OK"
+                head = (
+                    f"HTTP/1.1 {status}\r\n"
+                    f"Content-Type: application/json\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    f"Connection: close\r\n\r\n"
+                ).encode()
+                try:
+                    conn.sendall(head + body)
+                except OSError:
+                    continue
+
+    def close(self):
+        self._stop.set()
+        self._sock.close()
+
+
+@pytest.fixture
+def sleeps(monkeypatch):
+    """Capture every retry sleep instead of actually sleeping."""
+    captured = []
+
+    def fake_sleep(client):
+        client._sleep = captured.append
+        return captured
+
+    return fake_sleep
+
+
+class TestRetries:
+    def test_transport_errors_retry_until_success(self, sleeps):
+        server = FlakyServer(failures=2, mode="close")
+        try:
+            client = ServiceClient(
+                port=server.port, timeout=5.0, retry=RetryPolicy(seed=7)
+            )
+            captured = sleeps(client)
+            assert client.health() == {"status": "ok"}
+            assert server.requests == 3
+            # The sleeps are exactly the seeded full-jitter schedule.
+            expected = RetryPolicy(seed=7)
+            assert captured == [expected.backoff(0), expected.backoff(1)]
+        finally:
+            server.close()
+
+    def test_5xx_retries(self, sleeps):
+        server = FlakyServer(failures=1, mode="500")
+        try:
+            client = ServiceClient(
+                port=server.port, timeout=5.0, retry=RetryPolicy(seed=1)
+            )
+            sleeps(client)
+            assert client.health() == {"status": "ok"}
+            assert server.requests == 2
+        finally:
+            server.close()
+
+    def test_retries_exhaust_with_the_last_error(self, sleeps):
+        server = FlakyServer(failures=99, mode="close")
+        try:
+            client = ServiceClient(
+                port=server.port, timeout=5.0,
+                retry=RetryPolicy(retries=2, seed=0),
+                breaker=CircuitBreaker(threshold=50),
+            )
+            captured = sleeps(client)
+            with pytest.raises(ServiceError) as err:
+                client.health()
+            assert err.value.kind == "unreachable"
+            assert server.requests == 3  # 1 try + 2 retries
+            assert len(captured) == 2
+        finally:
+            server.close()
+
+    def test_4xx_never_retries(self, sleeps):
+        server = FlakyServer(failures=99, mode="404")
+        try:
+            client = ServiceClient(
+                port=server.port, timeout=5.0, retry=RetryPolicy(seed=0)
+            )
+            captured = sleeps(client)
+            with pytest.raises(ServiceError) as err:
+                client.health()
+            assert err.value.status == 404
+            assert err.value.kind == "unknown-job"
+            assert server.requests == 1  # no retries for client errors
+            assert captured == []
+        finally:
+            server.close()
+
+    def test_backoff_is_bounded_and_jittered(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=0.5, seed=42)
+        delays = [policy.backoff(k) for k in range(8)]
+        assert all(0.0 <= d <= 0.5 for d in delays)
+        assert delays[0] <= 0.1  # first ceiling is base_delay
+        # Seeded: the schedule reproduces exactly.
+        again = RetryPolicy(base_delay=0.1, max_delay=0.5, seed=42)
+        assert [again.backoff(k) for k in range(8)] == delays
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            threshold=3, cooldown=10.0, clock=lambda: clock[0]
+        )
+        assert breaker.state == CircuitBreaker.CLOSED
+        for _ in range(3):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_admits_one_probe(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            threshold=1, cooldown=10.0, clock=lambda: clock[0]
+        )
+        breaker.record_failure()
+        assert not breaker.allow()
+
+        clock[0] = 11.0
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()       # the probe
+        assert not breaker.allow()   # everyone else fails fast
+
+    def test_probe_success_closes(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            threshold=1, cooldown=10.0, clock=lambda: clock[0]
+        )
+        breaker.record_failure()
+        clock[0] = 11.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_for_another_cooldown(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            threshold=1, cooldown=10.0, clock=lambda: clock[0]
+        )
+        breaker.record_failure()
+        clock[0] = 11.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        clock[0] = 20.0  # cooldown restarts from the probe failure
+        assert breaker.state == CircuitBreaker.OPEN
+        clock[0] = 22.0
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+
+    def test_client_fails_fast_when_open(self, sleeps):
+        server = FlakyServer(failures=99, mode="close")
+        try:
+            clock = [0.0]
+            client = ServiceClient(
+                port=server.port, timeout=5.0,
+                retry=RetryPolicy(retries=10, seed=0),
+                breaker=CircuitBreaker(
+                    threshold=2, cooldown=30.0, clock=lambda: clock[0]
+                ),
+            )
+            sleeps(client)
+            with pytest.raises(ServiceError):
+                client.health()
+            # The breaker opened mid-retry-loop: only `threshold`
+            # requests ever hit the wire, not 1+retries.
+            assert server.requests == 2
+            with pytest.raises(CircuitOpenError):
+                client.health()  # fails locally, no network traffic
+            assert server.requests == 2
+        finally:
+            server.close()
+
+    def test_breaker_validates_threshold(self):
+        with pytest.raises(ServiceError):
+            CircuitBreaker(threshold=0)

@@ -1,0 +1,232 @@
+"""Tests for the durable job journal (repro.service.journal)."""
+
+import json
+
+from repro.service import JobJournal
+from repro.service.queue import JobQueue
+
+
+def make_job(queue=None, fingerprint="fp", request=None, **kwargs):
+    queue = queue or JobQueue()
+    job, _ = queue.submit(
+        fingerprint, request if request is not None else {"assay": {"x": 1}},
+        **kwargs,
+    )
+    return queue, job
+
+
+def segments(root):
+    return sorted(root.glob("segment-*.jsonl"))
+
+
+def records(path):
+    parsed = []
+    for line in path.read_text().splitlines():
+        if not line.strip():
+            continue
+        try:
+            parsed.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue  # torn line under test
+    return parsed
+
+
+class TestDisabled:
+    def test_none_root_is_a_noop(self):
+        journal = JobJournal(None)
+        _, job = make_job()
+        journal.record_submitted(job)
+        journal.record_started(job)
+        assert not journal.enabled
+        assert journal.replay() == []
+        assert journal.counters()["appended"] == 0
+
+
+class TestAppend:
+    def test_records_land_as_jsonl(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        _, job = make_job(fingerprint="fp1", priority=3, timeout=7.5)
+        journal.record_submitted(job)
+        journal.record_started(job)
+        journal.record_finished(job)
+        journal.close()
+
+        (segment,) = segments(tmp_path)
+        events = records(segment)
+        assert [r["event"] for r in events] == [
+            "submitted", "started", "finished"
+        ]
+        submitted = events[0]
+        assert submitted["fingerprint"] == "fp1"
+        assert submitted["priority"] == 3
+        assert submitted["timeout"] == 7.5
+        assert submitted["request"] == {"assay": {"x": 1}}
+
+    def test_rotation_at_segment_records(self, tmp_path):
+        journal = JobJournal(tmp_path, segment_records=4)
+        queue = JobQueue()
+        for n in range(4):
+            _, job = make_job(queue, fingerprint=f"fp{n}")
+            journal.record_submitted(job)
+        journal.close()
+        # 4 appends filled segment 1; rotation opened segment 2 (empty,
+        # then compaction found nothing terminal so segment 1 survives).
+        assert journal.rotations == 1
+        assert [s.name for s in segments(tmp_path)] == [
+            "segment-000001.jsonl", "segment-000002.jsonl",
+        ]
+
+
+class TestReplay:
+    def test_open_jobs_come_back_terminal_jobs_do_not(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        queue = JobQueue()
+        _, done = make_job(queue, fingerprint="fp-done")
+        _, pending = make_job(queue, fingerprint="fp-pending", priority=2)
+        _, running = make_job(queue, fingerprint="fp-running")
+        _, dead = make_job(queue, fingerprint="fp-cancelled")
+        journal.record_submitted(done)
+        journal.record_submitted(pending)
+        journal.record_submitted(running)
+        journal.record_submitted(dead)
+        journal.record_started(done)
+        journal.record_finished(done)
+        journal.record_started(running)
+        journal.record_cancelled(dead)
+        journal.close()
+
+        recovered = JobJournal(tmp_path)
+        replayed = recovered.replay()
+        assert [(r["fingerprint"], r["was_running"]) for r in replayed] == [
+            ("fp-pending", False),
+            ("fp-running", True),
+        ]
+        assert replayed[0]["priority"] == 2
+        assert replayed[0]["request"] == {"assay": {"x": 1}}
+        assert recovered.replayed == 2
+
+    def test_forget_replayed_keeps_rejournalled_records(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        queue = JobQueue()
+        _, job = make_job(queue, fingerprint="fp-open")
+        journal.record_submitted(job)
+        journal.close()
+
+        recovered = JobJournal(tmp_path)
+        (entry,) = recovered.replay()
+        # Re-journal under a fresh id (what the server does), then drop
+        # the pre-crash segments.
+        _, fresh = make_job(JobQueue(), fingerprint=entry["fingerprint"])
+        recovered.record_submitted(fresh)
+        recovered.forget_replayed()
+        recovered.close()
+
+        survivors = [r for s in segments(tmp_path) for r in records(s)]
+        assert [r["fingerprint"] for r in survivors] == ["fp-open"]
+        assert [r["id"] for r in survivors] == [fresh.id]
+
+    def test_replay_twice_is_idempotent(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        _, job = make_job(fingerprint="fp-open")
+        journal.record_submitted(job)
+        journal.close()
+
+        first = JobJournal(tmp_path)
+        assert len(first.replay()) == 1
+        # Crash before forget_replayed: the next startup still sees the
+        # open job exactly once.
+        first.close()
+        second = JobJournal(tmp_path)
+        assert len(second.replay()) == 1
+        second.forget_replayed()
+        second.close()
+        third = JobJournal(tmp_path)
+        assert third.replay() == []
+
+
+class TestTornRecords:
+    def test_torn_tail_is_skipped_and_counted(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        queue = JobQueue()
+        _, job = make_job(queue, fingerprint="fp-ok")
+        journal.record_submitted(job)
+        journal.close()
+        (segment,) = segments(tmp_path)
+        with open(segment, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "finished", "id": "job-to')  # torn
+
+        recovered = JobJournal(tmp_path)
+        replayed = recovered.replay()
+        assert [r["fingerprint"] for r in replayed] == ["fp-ok"]
+        assert recovered.torn_records == 1
+
+    def test_append_after_torn_tail_stays_parseable(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        _, job = make_job(fingerprint="fp-1")
+        journal.record_submitted(job)
+        journal.close()
+        (segment,) = segments(tmp_path)
+        with open(segment, "a", encoding="utf-8") as handle:
+            handle.write('{"torn": ')  # no trailing newline
+
+        # Reopening terminates the torn line before appending, so the
+        # next record is not glued onto the garbage.
+        recovered = JobJournal(tmp_path)
+        _, fresh = make_job(fingerprint="fp-2")
+        recovered.record_submitted(fresh)
+        recovered.close()
+        fingerprints = [
+            r.get("fingerprint")
+            for s in segments(tmp_path) for r in records(s)
+        ]
+        assert "fp-1" in fingerprints and "fp-2" in fingerprints
+
+
+class TestCompaction:
+    def test_compaction_drops_terminal_jobs(self, tmp_path):
+        # segment_records=2 forces rotations, so earlier segments close
+        # and become compactable.
+        journal = JobJournal(tmp_path, segment_records=2)
+        queue = JobQueue()
+        _, a = make_job(queue, fingerprint="fp-a")
+        _, b = make_job(queue, fingerprint="fp-b")
+        journal.record_submitted(a)   # seg1: submitted a
+        journal.record_submitted(b)   # seg1 full -> rotate
+        journal.record_finished(a)    # seg2: finished a
+        journal.record_started(b)     # seg2 full -> rotate; compaction
+        # drops a's records (terminal) from all closed segments.
+        journal.close()
+
+        survivors = [r for s in segments(tmp_path) for r in records(s)]
+        ids = {r["id"] for r in survivors}
+        assert a.id not in ids
+        assert b.id in ids
+        assert journal.compacted >= 1
+
+    def test_fully_terminal_segment_is_deleted(self, tmp_path):
+        journal = JobJournal(tmp_path, segment_records=2)
+        queue = JobQueue()
+        _, a = make_job(queue, fingerprint="fp-a")
+        journal.record_submitted(a)
+        journal.record_finished(a)    # seg1 full -> rotate
+        journal.record_submitted(
+            make_job(queue, fingerprint="fp-b")[1]
+        )
+        journal.close()
+        names = [s.name for s in segments(tmp_path)]
+        assert "segment-000001.jsonl" not in names
+
+
+class TestCounters:
+    def test_counters_shape(self, tmp_path):
+        journal = JobJournal(tmp_path)
+        _, job = make_job()
+        journal.record_submitted(job)
+        counters = journal.counters()
+        assert counters["enabled"] == 1
+        assert counters["appended"] == 1
+        assert counters["segments"] == 1
+        assert set(counters) == {
+            "enabled", "appended", "replayed", "torn_records",
+            "compacted", "rotations", "write_errors", "segments",
+        }

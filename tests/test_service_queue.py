@@ -133,6 +133,65 @@ class TestLifecycle:
         fresh, coalesced = submit(queue, "a")
         assert not coalesced and fresh is not job
 
+    def test_timeout_while_queued_expires_instead_of_dispatching(self):
+        queue = JobQueue()
+        stale, _ = submit(queue, "stale", timeout=5.0)
+        fresh, _ = submit(queue, "fresh", timeout=5.0)
+        stale.submitted_at -= 10.0  # out-waited its own budget in queue
+
+        assert queue.next_job() is fresh
+        assert stale.status is JobStatus.FAILED
+        assert stale.error["kind"] == "timeout"
+        assert queue.expired == [stale]
+        assert queue.pending == 0  # expiring decrements pending too
+
+    def test_expired_fingerprint_resubmits_fresh(self):
+        queue = JobQueue()
+        stale, _ = submit(queue, "a", timeout=5.0)
+        stale.submitted_at -= 10.0
+        assert queue.next_job() is None
+        again, coalesced = submit(queue, "a")
+        assert not coalesced and again is not stale
+
+    def test_cancel_coalesced_job_detaches_one_waiter(self):
+        """Cancelling one waiter of a shared job must not cancel the
+        solve the other submitters still expect."""
+        queue = JobQueue()
+        shared, _ = submit(queue, "same")
+        again, coalesced = submit(queue, "same")
+        assert coalesced and again is shared
+
+        live = queue.cancel(shared.id)
+        assert live is shared
+        assert shared.status is JobStatus.PENDING  # still dispatchable
+        assert shared.coalesced == 0
+        # The last remaining waiter cancels for real.
+        cancelled = queue.cancel(shared.id)
+        assert cancelled.status is JobStatus.CANCELLED
+
+    def test_cancel_coalesced_running_job_detaches_then_conflicts(self):
+        queue = JobQueue()
+        shared, _ = submit(queue, "same")
+        queue.next_job()
+        submit(queue, "same")  # coalesces onto the running job
+
+        live = queue.cancel(shared.id)
+        assert live is shared and shared.status is JobStatus.RUNNING
+        with pytest.raises(ServiceError) as err:
+            queue.cancel(shared.id)  # last waiter: running, not cancellable
+        assert err.value.status == 409
+
+    def test_force_submit_bypasses_backpressure(self):
+        """Journal replay re-enqueues acknowledged jobs past the 429
+        bound — a recovered job must never be dropped on the floor."""
+        queue = JobQueue(capacity=1)
+        submit(queue, "a")
+        with pytest.raises(ServiceError):
+            submit(queue, "b")
+        job, coalesced = queue.submit("b", {"fingerprint": "b"}, force=True)
+        assert not coalesced and job.status is JobStatus.PENDING
+        assert queue.pending == 2
+
     def test_history_pruned_to_bound(self):
         queue = JobQueue(history=4)
         for n in range(8):

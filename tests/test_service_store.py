@@ -11,7 +11,7 @@ from repro.hls.context import SynthesisContext
 from repro.hls.pipeline import SynthesisPipeline
 from repro.io import json_result_equal
 from repro.io.json_io import result_to_json
-from repro.service import STORE_SCHEMA, ResultStore
+from repro.service import STORE_SCHEMA, ResultStore, payload_checksum
 
 
 def payload(n: int) -> dict:
@@ -26,7 +26,7 @@ class TestInMemory:
         assert store.get("fp0") == payload(0)
         assert store.counters() == {
             "entries": 1, "capacity": 256, "hits": 1, "misses": 1,
-            "puts": 1, "evictions": 0,
+            "puts": 1, "evictions": 0, "corruptions": 0, "quarantined": 0,
         }
 
     def test_lru_eviction_prefers_recently_used(self):
@@ -94,6 +94,80 @@ class TestOnDisk:
         (root / "index.json").unlink()
         reloaded = ResultStore(str(root))
         assert reloaded.get("fp1") == payload(1)
+
+
+class TestIntegrity:
+    """Checksummed envelopes: corruption is detected, quarantined, and
+    read as a miss — never a crash."""
+
+    def test_entries_carry_payload_checksum(self, tmp_path):
+        root = tmp_path / "store"
+        ResultStore(str(root)).put("fp1", payload(1))
+        envelope = json.loads((root / "fp1.json").read_text())
+        assert envelope["checksum"] == payload_checksum(payload(1))
+
+    def test_tampered_payload_is_quarantined(self, tmp_path):
+        root = tmp_path / "store"
+        ResultStore(str(root)).put("fp1", payload(1))
+        envelope = json.loads((root / "fp1.json").read_text())
+        envelope["payload"] = payload(999)  # checksum now stale
+        (root / "fp1.json").write_text(json.dumps(envelope))
+
+        store = ResultStore(str(root))
+        assert store.get("fp1") is None
+        assert store.corruptions == 1
+        assert store.counters()["misses"] == 1
+        assert store.quarantined() == ["fp1.json"]
+        assert not (root / "fp1.json").exists()
+        # The quarantined original is preserved for post-mortem.
+        kept = json.loads((root / "quarantine" / "fp1.json").read_text())
+        assert kept["payload"] == payload(999)
+
+    def test_zero_byte_entry_reads_as_miss(self, tmp_path):
+        """Regression: a torn write used to surface as a crash on read;
+        with fsync-before-replace it cannot appear at all, and if forced
+        onto disk it must quarantine as a corruption."""
+        root = tmp_path / "store"
+        ResultStore(str(root)).put("fp1", payload(1))
+        (root / "fp1.json").write_text("")
+
+        store = ResultStore(str(root))
+        assert store.get("fp1") is None
+        assert store.corruptions == 1
+        assert store.quarantined() == ["fp1.json"]
+
+    def test_truncated_entry_is_quarantined(self, tmp_path):
+        root = tmp_path / "store"
+        ResultStore(str(root)).put("fp1", payload(1))
+        text = (root / "fp1.json").read_text()
+        (root / "fp1.json").write_text(text[: len(text) // 2])
+
+        store = ResultStore(str(root))
+        assert store.get("fp1") is None
+        assert store.corruptions == 1
+        assert store.quarantined() == ["fp1.json"]
+
+    def test_foreign_schema_is_dropped_not_quarantined(self, tmp_path):
+        root = tmp_path / "store"
+        ResultStore(str(root)).put("fp1", payload(1))
+        envelope = json.loads((root / "fp1.json").read_text())
+        envelope["schema"] = STORE_SCHEMA + 1
+        (root / "fp1.json").write_text(json.dumps(envelope))
+
+        store = ResultStore(str(root))
+        assert store.get("fp1") is None
+        assert store.corruptions == 0
+        assert store.quarantined() == []
+
+    def test_corruption_then_reput_recovers(self, tmp_path):
+        root = tmp_path / "store"
+        store = ResultStore(str(root))
+        store.put("fp1", payload(1))
+        (root / "fp1.json").write_text("{not json")
+        assert store.get("fp1") is None
+        store.put("fp1", payload(2))
+        assert store.get("fp1") == payload(2)
+        assert store.counters()["quarantined"] == 1
 
 
 class TestResultRoundTrip:
