@@ -59,6 +59,7 @@ def _spec_from_args(args: argparse.Namespace) -> SynthesisSpec:
         max_iterations=args.max_iterations,
         backend=args.backend,
         mip_gap=getattr(args, "mip_gap", 0.0),
+        scheduler=getattr(args, "scheduler", "portfolio"),
         jobs=getattr(args, "jobs", 1),
     )
 
@@ -81,6 +82,14 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
         "--mip-gap", type=float, default=0.0,
         help="relative MIP gap at which a layer solve stops (0 = optimal)",
     )
+    from .hls.backends import available_schedulers
+
+    parser.add_argument(
+        "--scheduler", default="portfolio", choices=available_schedulers(),
+        help="per-layer scheduler backend (default: portfolio — the paper "
+             "flow; lp-bound/approx-lp trade exactness for certified "
+             "LP-relaxation bounds)",
+    )
 
 
 def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
@@ -89,6 +98,23 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
         help="worker processes for speculative re-synthesis layer solves "
              "(results are identical for any value)",
     )
+
+
+def _print_certificate(result) -> None:
+    """One line of certified quality, when the run proved any.
+
+    Conventional-baseline results have no layer solves (and therefore no
+    certificates); the attributes are simply absent there.
+    """
+    import math as _math
+
+    gap = getattr(result, "integrality_gap", None)
+    bound = getattr(result, "lower_bound", None)
+    if gap is None or bound is None:
+        return
+    if not (_math.isfinite(gap) and _math.isfinite(bound)):
+        return
+    print(f"certified gap  : {gap * 100:.2f}% (lower bound {bound:.1f})")
 
 
 def _cmd_synthesize(args: argparse.Namespace) -> int:
@@ -102,6 +128,7 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
     print(f"execution time : {result.makespan_expression}")
     print(f"devices        : {result.num_devices}")
     print(f"paths          : {result.num_paths}")
+    _print_certificate(result)
     for record in result.history:
         print(
             f"  {record.label:<9} makespan={record.fixed_makespan} "
@@ -200,6 +227,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     report = storage_report(result)
     print(f"storage crossings: {report.total_crossings} "
           f"(peak demand {report.peak_demand})")
+    _print_certificate(result)
     if args.profile or args.profile_json:
         profile = synthesis_profile(result)
         if args.profile:
@@ -355,6 +383,17 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     print(f"execution time : {report['makespan']}")
     print(f"devices        : {report['num_devices']}")
     print(f"paths          : {report['num_paths']}")
+    quality = payload.get("quality") or {}
+    gap = quality.get("integrality_gap")
+    if payload.get("degraded"):
+        note = (
+            f"certified within {gap * 100:.2f}% of optimal"
+            if gap is not None
+            else "no certified bound"
+        )
+        print(f"degraded result: {note}")
+    elif gap is not None:
+        print(f"certified gap  : {gap * 100:.2f}%")
     if args.out:
         # Same bytes as `synthesize --deterministic --out` writes: the
         # worker serializes with result_to_json(deterministic=True).

@@ -73,6 +73,15 @@ def _finite(value: float) -> float:
     return float(value) if math.isfinite(value) else 0.0
 
 
+def _finite_or_none(value: "float | None") -> "float | None":
+    """Like :func:`_finite`, but for nullable certificates: an absent or
+    non-finite bound/gap is ``None`` (JSON ``null``) — never clamped to
+    0.0, which would read as "proven optimal"."""
+    if value is None or not math.isfinite(value):
+        return None
+    return float(value)
+
+
 def synthesis_profile(result: SynthesisResult) -> dict:
     """Solve telemetry of one synthesis run as a JSON-serializable dict.
 
@@ -95,6 +104,8 @@ def synthesis_profile(result: SynthesisResult) -> dict:
                 "cache_hits": record.cache_hits,
                 "ilp_solves": record.ilp_solves,
                 "speculative_solves": record.speculative_solves,
+                "lower_bound": _finite_or_none(record.lower_bound),
+                "integrality_gap": _finite_or_none(record.integrality_gap),
                 "stage_timings": dict(record.stage_timings),
                 "layers": [s.to_dict() for s in record.layer_stats],
             }
@@ -105,6 +116,8 @@ def synthesis_profile(result: SynthesisResult) -> dict:
             "cache_hits": result.cache_hits,
             "ilp_solves": result.ilp_solves,
             "speculative_solves": result.speculative_solves,
+            "lower_bound": _finite_or_none(result.lower_bound),
+            "integrality_gap": _finite_or_none(result.integrality_gap),
             "nodes": result.total_nodes,
             "simplex_iterations": sum(
                 s.simplex_iterations for s in result.solve_stats
@@ -147,12 +160,27 @@ def deterministic_profile(profile: dict) -> dict:
     return out
 
 
+def _format_bound(value: "float | None") -> str:
+    """A bound cell: ``-`` for absent or non-finite values (a NaN/inf
+    certificate proves nothing and must not render as a number)."""
+    if value is None or not math.isfinite(value):
+        return "-"
+    return f"{value:.1f}"
+
+
+def _format_gap(value: "float | None") -> str:
+    """A gap cell, guarded like :func:`_format_bound`."""
+    if value is None or not math.isfinite(value):
+        return "-"
+    return f"{value * 100:.1f}%"
+
+
 def format_profile(profile: dict) -> str:
     """Render a :func:`synthesis_profile` dict as an aligned text table."""
     lines = [
         f"{'pass':<9} {'layer':>5} {'backend':<9} {'status':<10} "
         f"{'cache':<5} {'warm':<4} {'nodes':>7} {'simplex':>8} "
-        f"{'build':>8} {'solve':>8}"
+        f"{'build':>8} {'solve':>8} {'bound':>9} {'gap':>6}"
     ]
     for record in profile.get("passes", []):
         for layer in record.get("layers", []):
@@ -165,7 +193,9 @@ def format_profile(profile: dict) -> str:
                 f"{stats.status:<10} {source:<5} "
                 f"{'yes' if stats.warm_started else 'no':<4} "
                 f"{stats.nodes:>7} {stats.simplex_iterations:>8} "
-                f"{stats.build_time:>7.3f}s {stats.solve_time:>7.3f}s"
+                f"{stats.build_time:>7.3f}s {stats.solve_time:>7.3f}s "
+                f"{_format_bound(stats.lower_bound):>9} "
+                f"{_format_gap(stats.integrality_gap):>6}"
             )
         timings = record.get("stage_timings") or {}
         if timings:
@@ -178,6 +208,10 @@ def format_profile(profile: dict) -> str:
     speculative_note = (
         f", {speculative} speculative solve(s)" if speculative else ""
     )
+    gap = totals.get("integrality_gap")
+    certified_note = (
+        f", certified gap {_format_gap(gap)}" if gap is not None else ""
+    )
     lines.append(
         f"totals: {totals.get('ilp_solves', 0)} layer solve(s), "
         f"{totals.get('cache_hits', 0)} cache hit(s){speculative_note}, "
@@ -186,6 +220,7 @@ def format_profile(profile: dict) -> str:
         f"build {totals.get('build_time', 0.0):.3f}s, "
         f"solve {totals.get('solve_time', 0.0):.3f}s, "
         f"wall {format_runtime(totals.get('runtime', 0.0))}"
+        f"{certified_note}"
     )
     return "\n".join(lines)
 

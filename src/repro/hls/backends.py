@@ -9,9 +9,19 @@ along).  A :class:`SchedulerBackend` turns a
 
 * ``ilp-highs`` / ``ilp-bnb`` — the layer ILP on a pinned solver backend;
 * ``greedy`` — the list-scheduling heuristic alone;
+* ``lp-bound`` — the greedy schedule plus a certified LP-relaxation lower
+  bound (no ILP search; the degraded service path pins this one);
+* ``approx-lp`` — LP relaxation, deterministic rounding, greedy repair,
+  raced against the plain greedy schedule (never worse than greedy);
 * ``portfolio`` (default) — the paper flow: ILP with warm start, raced
   against previous-pass reuse and the greedy schedule on
   :func:`layer_cost`, with the seed's fallback ladder.
+
+Every backend attaches certified-quality telemetry to its
+:class:`~repro.ilp.SolveStats`: the achieved layer objective, a proven
+lower bound when one exists (the LP-relaxation optimum or the MIP dual
+bound — never the requested ``spec.mip_gap`` tolerance echoed back), and
+the resulting integrality gap.
 
 Uid discipline: backends allocate device uids for *the returned result
 only* (never for discarded race candidates), so the caller's allocator
@@ -22,20 +32,28 @@ is what makes parallel speculation's uid prediction exact — see
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import replace
 from typing import TYPE_CHECKING, Callable, Protocol
 
 from ..errors import InfeasibleError, ReproError, SchedulingError, SolverError
-from ..ilp import Solution, SolveStats, SolveStatus
+from ..ilp import Solution, SolveStats, SolveStatus, relative_gap, solve_relaxation
 from .decode import LayerSolveResult, decode_layer_solution
 from .heuristic import schedule_layer_greedy
-from .milp_model import LayerProblem, build_layer_model, encode_layer_start
+from .milp_model import LayerModel, LayerProblem, build_layer_model, encode_layer_start
+from .rounding import derive_rounding_guide
 from .schedule import LayerSchedule
 from .transport import path_key
 
 if TYPE_CHECKING:
     from .spec import SynthesisSpec
+
+#: Wall-clock cap (seconds) on one LP-relaxation bound solve.  The LP is
+#: polynomial — far cheaper than the ILP it bounds — so a short budget is
+#: enough on the paper cases, and keeps the bound from eating the layer's
+#: solve budget on pathological models.
+LP_BOUND_BUDGET = 10.0
 
 
 def layer_cost(
@@ -73,6 +91,70 @@ def layer_cost(
         + weights.processing * processing
         + weights.paths * len(new_paths)
     )
+
+
+def _relaxation_bound(
+    layer_model: LayerModel, spec: "SynthesisSpec"
+) -> Solution | None:
+    """Solve the layer LP relaxation; the optimum certifies a lower bound.
+
+    Returns the LP :class:`Solution` when it solved to optimality, else
+    ``None`` — a time- or iteration-limited LP proves nothing and must not
+    be reported as a bound.
+    """
+    try:
+        relaxed = solve_relaxation(
+            layer_model.model,
+            backend=spec.backend,
+            time_limit=min(spec.time_limit, LP_BOUND_BUDGET),
+        )
+    except SolverError:
+        return None
+    if relaxed.status is not SolveStatus.OPTIMAL or relaxed.objective is None:
+        return None
+    if not math.isfinite(relaxed.objective):
+        return None
+    return relaxed
+
+
+def _solution_bound(solution: Solution | None) -> float | None:
+    """The proven dual bound a MIP solve carries, if any.
+
+    An OPTIMAL solve without an explicit dual bound is its own bound; a
+    time-limited solve only certifies what its solver proved (which may be
+    nothing — then ``None``, never the incumbent objective).
+    """
+    if solution is None:
+        return None
+    bound = solution.bound
+    if bound is None and solution.status is SolveStatus.OPTIMAL:
+        bound = solution.objective
+    if bound is None or not math.isfinite(bound):
+        return None
+    return bound
+
+
+def _certify(
+    stats: SolveStats,
+    result: LayerSolveResult,
+    problem: LayerProblem,
+    spec: "SynthesisSpec",
+    bound: float | None,
+) -> SolveStats:
+    """Attach the achieved objective and the certified bound to ``stats``.
+
+    ``bound`` is a proven lower bound on the layer objective or ``None``;
+    the recorded gap is the *achieved* one, computed from the result, never
+    the requested ``spec.mip_gap`` tolerance.  A bound a hair above the
+    achieved cost (LP/ILP tolerance noise) is clamped down to it, so
+    ``lower_bound <= objective`` holds exactly.
+    """
+    cost = layer_cost(result, problem, spec)
+    stats.objective = cost if math.isfinite(cost) else None
+    if bound is not None and math.isfinite(bound) and stats.objective is not None:
+        stats.lower_bound = min(bound, cost)
+        stats.integrality_gap = relative_gap(cost, stats.lower_bound)
+    return stats
 
 
 def _candidate_allocator() -> Callable[[], str]:
@@ -163,6 +245,7 @@ class GreedyBackend:
             status=result.solver_status,
             build_time=time.monotonic() - build_started,
         )
+        _certify(result.stats, result, problem, spec, None)
         return result
 
 
@@ -204,6 +287,10 @@ class IlpBackend:
                 build_time=build_time,
                 solve_time=base.solve_time if base else 0.0,
                 warm_started=base.warm_started if base else False,
+            )
+            _certify(
+                result.stats, result, problem, spec,
+                _solution_bound(solution),
             )
             return result
         if solution.status is SolveStatus.INFEASIBLE:
@@ -282,6 +369,20 @@ class PortfolioBackend:
             reused.solver_status = "warm"
             return reused
 
+        # The certified bound for this layer, resolved at most once: the
+        # ILP's proven dual bound when it has one, else the LP-relaxation
+        # optimum (so even all-heuristic outcomes leave with a certificate).
+        bound_cache: dict[str, float | None] = {}
+
+        def certified_bound(solution: Solution | None) -> float | None:
+            if "bound" not in bound_cache:
+                bound = _solution_bound(solution)
+                if bound is None:
+                    relaxed = _relaxation_bound(layer_model, spec)
+                    bound = relaxed.objective if relaxed is not None else None
+                bound_cache["bound"] = bound
+            return bound_cache["bound"]
+
         def finalize(
             result: LayerSolveResult, solution: Solution | None = None
         ) -> LayerSolveResult:
@@ -297,6 +398,9 @@ class PortfolioBackend:
                 solve_time=base.solve_time if base else 0.0,
                 cache_hit=False,
                 warm_started=base.warm_started if base else False,
+            )
+            _certify(
+                result.stats, result, problem, spec, certified_bound(solution)
             )
             return result
 
@@ -345,6 +449,128 @@ class PortfolioBackend:
         )
 
 
+class LpBoundBackend:
+    """The greedy schedule plus a certified LP-relaxation lower bound.
+
+    No ILP search runs: the schedule is the list scheduler's (always
+    feasible, runtime bounded by the layer size), and the LP relaxation of
+    the layer ILP supplies a proven lower bound on the layer objective —
+    so the result reports "within X% of optimal" without ever exposing the
+    run to the exact solver's wall clock.  The degraded service path pins
+    this backend for exactly that trade.
+    """
+
+    name = "lp-bound"
+
+    def solve(
+        self,
+        problem: LayerProblem,
+        spec: "SynthesisSpec",
+        allocate_uid: Callable[[], str],
+        warm_from: LayerSolveResult | None = None,
+    ) -> LayerSolveResult:
+        build_started = time.monotonic()
+        try:
+            result = schedule_layer_greedy(problem, spec, allocate_uid)
+        except SchedulingError as exc:
+            raise SolverError(
+                f"layer {problem.layer_index}: greedy scheduler failed: {exc}"
+            ) from exc
+        layer_model = build_layer_model(problem, spec)
+        build_time = time.monotonic() - build_started
+        relaxed = _relaxation_bound(layer_model, spec)
+        result.stats = SolveStats(
+            layer=problem.layer_index,
+            backend="lp-bound",
+            status=result.solver_status,
+            simplex_iterations=(
+                relaxed.stats.simplex_iterations
+                if relaxed is not None and relaxed.stats is not None
+                else 0
+            ),
+            build_time=build_time,
+            solve_time=relaxed.runtime if relaxed is not None else 0.0,
+        )
+        _certify(
+            result.stats, result, problem, spec,
+            relaxed.objective if relaxed is not None else None,
+        )
+        return result
+
+
+class ApproxLpBackend:
+    """LP relaxation + deterministic rounding + greedy repair.
+
+    Solves the layer LP (polynomial, no branching), rounds the fractional
+    binding and slot configurations into a
+    :class:`~repro.hls.rounding.RoundingGuide`, and replays the greedy
+    list scheduler under that guide — every rounding decision that would
+    break feasibility falls back to the plain greedy rule, so the result
+    is always a valid layer schedule.  The unguided greedy schedule stays
+    in the race as a floor, so on any single layer problem approx-lp is
+    never worse than greedy on :func:`layer_cost`; the LP optimum is
+    attached as the certified lower bound.
+    """
+
+    name = "approx-lp"
+
+    def solve(
+        self,
+        problem: LayerProblem,
+        spec: "SynthesisSpec",
+        allocate_uid: Callable[[], str],
+        warm_from: LayerSolveResult | None = None,
+    ) -> LayerSolveResult:
+        build_started = time.monotonic()
+        layer_model = build_layer_model(problem, spec)
+        build_time = time.monotonic() - build_started
+        relaxed = _relaxation_bound(layer_model, spec)
+
+        candidates: list[LayerSolveResult] = []
+        if relaxed is not None:
+            guide = derive_rounding_guide(layer_model, relaxed.values)
+            try:
+                rounded = schedule_layer_greedy(
+                    problem, spec, _candidate_allocator(), guide=guide
+                )
+                rounded.solver_status = "rounded"
+                candidates.append(rounded)
+            except SchedulingError:
+                pass
+        try:
+            candidates.append(
+                schedule_layer_greedy(problem, spec, _candidate_allocator())
+            )
+        except SchedulingError as exc:
+            if not candidates:
+                raise SolverError(
+                    f"layer {problem.layer_index}: greedy scheduler failed: "
+                    f"{exc}"
+                ) from exc
+
+        # Rounded first: on a cost tie the LP-guided schedule wins, and the
+        # plain greedy floor guarantees "never worse than greedy".
+        winner = min(candidates, key=lambda c: layer_cost(c, problem, spec))
+        winner = rename_new_devices(winner, allocate_uid)
+        winner.stats = SolveStats(
+            layer=problem.layer_index,
+            backend="approx-lp",
+            status=winner.solver_status,
+            simplex_iterations=(
+                relaxed.stats.simplex_iterations
+                if relaxed is not None and relaxed.stats is not None
+                else 0
+            ),
+            build_time=build_time,
+            solve_time=relaxed.runtime if relaxed is not None else 0.0,
+        )
+        _certify(
+            winner.stats, winner, problem, spec,
+            relaxed.objective if relaxed is not None else None,
+        )
+        return winner
+
+
 _SCHEDULERS: dict[str, Callable[[], SchedulerBackend]] = {}
 
 
@@ -373,13 +599,16 @@ register_scheduler("portfolio", PortfolioBackend)
 register_scheduler("greedy", GreedyBackend)
 register_scheduler("ilp-highs", lambda: IlpBackend("highs"))
 register_scheduler("ilp-bnb", lambda: IlpBackend("bnb"))
+register_scheduler("lp-bound", LpBoundBackend)
+register_scheduler("approx-lp", ApproxLpBackend)
 
 
 #: The scheduler a degraded (timeout-fallback) re-run pins: the greedy
-#: list scheduler never builds an ILP, so its runtime is bounded by the
-#: layer size alone — it cannot hit the wall-clock budget that failed
-#: the original solve.
-DEGRADED_SCHEDULER = "greedy"
+#: list scheduler plus a short-budget LP bound — it never runs the exact
+#: ILP search, so its runtime is bounded by the layer size alone, and the
+#: re-run still leaves with a certified integrality gap instead of a
+#: blind "degraded" flag.
+DEGRADED_SCHEDULER = "lp-bound"
 
 
 def degraded_spec(spec: "SynthesisSpec") -> "SynthesisSpec":
@@ -391,12 +620,16 @@ def degraded_spec(spec: "SynthesisSpec") -> "SynthesisSpec":
     per-layer scheduler for :data:`DEGRADED_SCHEDULER` and skips
     re-synthesis refinement passes, trading solution quality for a
     bounded, predictable runtime.  Results produced this way are flagged
-    ``degraded`` on the wire and never stored as the run's canonical
-    result.
+    ``degraded`` on the wire — with the certified gap the LP bound proves
+    — and never stored as the run's canonical result.
     """
     return replace(
         spec,
         scheduler=DEGRADED_SCHEDULER,
         max_iterations=0,
         improvement_threshold=max(0.0, spec.improvement_threshold),
+        # The degraded path never runs the exact ILP, so ``time_limit``
+        # only caps the LP bound solve — don't let the (too-small) budget
+        # that failed the original run starve the certificate as well.
+        time_limit=max(spec.time_limit, LP_BOUND_BUDGET),
     )

@@ -269,6 +269,10 @@ class _CachedSolve:
     solver_status: str
     solver_runtime: float
     backend: str
+    #: certified lower bound on the layer objective, carried across replays
+    #: so a cache hit keeps its quality certificate (None = uncertified).
+    #: Defaulted for pickle-compat with entries exported by older builds.
+    lower_bound: float | None = None
 
 
 def encode_layer_result(
@@ -312,6 +316,7 @@ def encode_layer_result(
         solver_status=result.solver_status,
         solver_runtime=result.solver_runtime,
         backend=result.stats.backend if result.stats else "",
+        lower_bound=result.stats.lower_bound if result.stats else None,
     )
 
 
@@ -464,6 +469,11 @@ class LayerSolveCache:
             solve_time=0.0,
             cache_hit=True,
         )
+        # A hit poses the identical layer problem (same fingerprint), so
+        # the original solve's certificate transfers to the replay as-is.
+        from .backends import _certify
+
+        _certify(result.stats, result, problem, spec, entry.lower_bound)
         return result
 
     def export_entries(

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..devices.device import GeneralDevice
-from ..errors import SchedulingError
+from ..errors import SchedulingError, SpecificationError
 from .decode import LayerSolveResult
 from .milp_model import LayerProblem
 from .schedule import LayerSchedule, OpPlacement
@@ -43,9 +43,18 @@ class _Timeline:
 
 
 def schedule_layer_greedy(
-    problem: LayerProblem, spec: SynthesisSpec, uid_allocator
+    problem: LayerProblem, spec: SynthesisSpec, uid_allocator, guide=None
 ) -> LayerSolveResult:
-    """Greedy feasible schedule for ``problem`` (see module docstring)."""
+    """Greedy feasible schedule for ``problem`` (see module docstring).
+
+    ``guide`` optionally supplies rounded LP-relaxation decisions (a
+    :class:`repro.hls.rounding.RoundingGuide`): a preferred binding per
+    operation and a device configuration per new slot.  Each preference is
+    honored only when it keeps the schedule feasible under the exact rules
+    below — anything illegal falls back to the plain greedy choice, so a
+    guided run is exactly as safe as an unguided one.  With ``guide=None``
+    the behavior is byte-identical to the historical heuristic.
+    """
     mode = spec.binding_mode
     by_uid = {op.uid: op for op in problem.ops}
     children: dict[str, list[str]] = {op.uid: [] for op in problem.ops}
@@ -101,13 +110,73 @@ def schedule_layer_greedy(
                 matched.add(choice)
         return len(uncovered_sigs) + unmatched_ind
 
-    def create_device(op) -> str:
+    # Guide slot index -> uid of the device materialized for that slot.
+    slot_uid: dict[int, str] = {}
+
+    def guide_template(op, slot: int):
+        """The guide's device config for ``slot`` when it can run ``op``."""
+        if guide is None:
+            return None
+        template = guide.slot_config.get(slot)
+        if template is None:
+            return None
+        kind, capacity, accessories, signature = template
+        try:
+            probe = GeneralDevice(
+                uid="guide-probe",
+                container=kind,
+                capacity=capacity,
+                accessories=frozenset(accessories),
+                signature=signature,
+            )
+        except SpecificationError:
+            return None
+        return probe if probe.can_execute(op, mode) else None
+
+    def create_device(op, slot: int | None = None) -> str:
         nonlocal slots_left
-        device = GeneralDevice.for_operation(uid_allocator(), op, mode)
+        probe = guide_template(op, slot) if slot is not None else None
+        if probe is not None:
+            device = GeneralDevice(
+                uid=uid_allocator(),
+                container=probe.container,
+                capacity=probe.capacity,
+                accessories=probe.accessories,
+                signature=probe.signature,
+            )
+        else:
+            device = GeneralDevice.for_operation(uid_allocator(), op, mode)
         timelines[device.uid] = _Timeline(device)
         new_devices.append(device)
         slots_left -= 1
+        if slot is not None:
+            slot_uid[slot] = device.uid
         return device.uid
+
+    def preferred_choice(
+        uid: str, ready: int, exclude: set[str], can_create: bool
+    ) -> tuple[str, int] | None:
+        """The guide's binding for ``uid``, when it is legal right now."""
+        pref = guide.choice.get(uid)
+        op = by_uid[uid]
+        if isinstance(pref, int):
+            target = slot_uid.get(pref)
+            if target is None:
+                # The preferred slot is not materialized yet: create it on
+                # demand, under the same slot-budget rule as any creation.
+                if can_create and guide_template(op, pref) is not None:
+                    return create_device(op, slot=pref), ready
+                return None
+        elif isinstance(pref, str):
+            target = pref if pref in timelines else None
+        else:
+            return None
+        if target is None or target in exclude:
+            return None
+        timeline = timelines[target]
+        if not timeline.device.can_execute(op, mode):
+            return None
+        return target, timeline.earliest_fit(ready, occupancy(uid))
 
     def acquire_device(uid: str, ready: int, exclude: set[str]) -> tuple[str, int]:
         """Choose a device and start time; creates a device if needed.
@@ -126,6 +195,13 @@ def schedule_layer_greedy(
             start = timeline.earliest_fit(ready, occupancy(uid))
             if best is None or (start, dev_uid) < best:
                 best = (start, dev_uid)
+        if guide is not None:
+            can_create = slots_left > 0 and (
+                best is None or slots_left - 1 >= slots_reserved(exclude_uid=uid)
+            )
+            preferred = preferred_choice(uid, ready, exclude, can_create)
+            if preferred is not None:
+                return preferred
         # Prefer reuse unless a fresh device starts strictly earlier.
         if best is not None and best[0] <= ready:
             return best[1], best[0]

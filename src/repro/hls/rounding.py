@@ -1,0 +1,113 @@
+"""Deterministic rounding of a layer LP relaxation into a schedule guide.
+
+The LP relaxation of the layer ILP assigns fractional values to the
+binding (``od``), configuration (``conf``/``acc``/``sig``) and usage
+(``used``) binaries.  :func:`derive_rounding_guide` rounds them into a
+:class:`RoundingGuide` — a preferred device per operation and a concrete
+device configuration per slot — which the greedy list scheduler
+(:func:`repro.hls.heuristic.schedule_layer_greedy`) honors whenever doing
+so keeps the schedule feasible.  Every rounding decision is an argmax
+with first-wins tie breaking over the model's insertion order, so the
+same LP solution always rounds to the same guide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..devices.device import BindingMode
+from .milp_model import LEGAL_COMBOS, LayerModel, _realized_combo, is_slot
+
+
+@dataclass
+class RoundingGuide:
+    """Rounded LP decisions for one layer.
+
+    ``choice`` maps an operation uid to its preferred binding: a fixed
+    device uid (str) or a new-slot index (int).  ``slot_config`` maps a
+    slot index to the ``(container, capacity, accessories, signature)``
+    template the slot should materialize as.
+    """
+
+    choice: dict[str, "str | int"] = field(default_factory=dict)
+    slot_config: dict[int, tuple] = field(default_factory=dict)
+
+
+def derive_rounding_guide(
+    layer_model: LayerModel, values: dict
+) -> RoundingGuide:
+    """Round fractional LP ``values`` over ``layer_model`` into a guide."""
+    problem = layer_model.problem
+    mode = layer_model.spec.binding_mode
+
+    def val(var) -> float:
+        return float(values.get(var, 0.0)) if var is not None else 0.0
+
+    # Per-op binding: argmax over the op's legal device keys, first-max
+    # wins (od insertion order follows the model build, so this is stable).
+    op_keys: dict[str, list] = {}
+    for uid, key in layer_model.od:
+        op_keys.setdefault(uid, []).append(key)
+
+    choice: dict[str, "str | int"] = {}
+    slot_members: dict[int, list] = {}
+    for op in problem.ops:
+        keys = op_keys.get(op.uid)
+        if not keys:
+            continue
+        best_key = max(keys, key=lambda k: val(layer_model.od[op.uid, k]))
+        if is_slot(best_key):
+            slot = best_key[1]
+            choice[op.uid] = slot
+            slot_members.setdefault(slot, []).append(op)
+        else:
+            choice[op.uid] = best_key
+
+    # Per-slot configuration template.
+    slot_config: dict[int, tuple] = {}
+    for j in range(problem.free_slots):
+        members = slot_members.get(j, [])
+        if not members and val(layer_model.used.get(j)) < 0.5:
+            continue
+        if mode is BindingMode.EXACT:
+            member_sigs = {op.requirement_signature() for op in members}
+            if len(member_sigs) == 1:
+                signature = next(iter(member_sigs))
+            else:
+                candidates = [s for (jj, s) in layer_model.sig if jj == j]
+                if not candidates:
+                    continue
+                signature = max(
+                    candidates, key=lambda s: val(layer_model.sig[j, s])
+                )
+            kind, capacity = _realized_combo(signature)
+            accessories = frozenset(signature[2])
+        else:
+            allowed = [
+                combo for combo in LEGAL_COMBOS
+                if all(
+                    combo[0] in op.allowed_container_kinds
+                    and combo[1] is op.capacity
+                    for op in members
+                )
+            ]
+            if not allowed:
+                allowed = list(LEGAL_COMBOS)
+            kind, capacity = max(
+                allowed, key=lambda combo: val(layer_model.conf.get((j, *combo)))
+            )
+            accessories = {
+                name
+                for (jj, name) in layer_model.acc
+                if jj == j and val(layer_model.acc[jj, name]) >= 0.5
+            }
+            for op in members:
+                accessories |= op.accessories
+            accessories = frozenset(accessories)
+            signature = None
+        slot_config[j] = (kind, capacity, accessories, signature)
+
+    return RoundingGuide(choice=choice, slot_config=slot_config)
+
+
+__all__ = ["RoundingGuide", "derive_rounding_guide"]

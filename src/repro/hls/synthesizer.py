@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 
 from ..devices.device import GeneralDevice
 from ..devices.inventory import DeviceInventory
-from ..ilp import SolveStats
+from ..ilp import SolveStats, relative_gap
 from ..layering import LayeringResult
 from ..operations.assay import Assay
 from .backends import layer_cost
@@ -89,6 +89,40 @@ class IterationRecord:
     def speculative_solves(self) -> int:
         """Layers adopted from a parallel worker's speculative solve."""
         return sum(1 for s in self.layer_stats if s.speculative)
+
+    @property
+    def lower_bound(self) -> float | None:
+        """Certified lower bound on this pass's total layer objective.
+
+        The sum of the per-layer bounds — valid only when *every* layer
+        solve carried one, so a single uncertified layer voids the pass's
+        certificate (``None``), never weakens it silently.
+        """
+        if not self.layer_stats:
+            return None
+        bounds = [s.lower_bound for s in self.layer_stats]
+        if any(b is None for b in bounds):
+            return None
+        return sum(bounds)
+
+    @property
+    def total_objective(self) -> float | None:
+        """Sum of the per-layer achieved objectives, when all are known."""
+        if not self.layer_stats:
+            return None
+        objectives = [s.objective for s in self.layer_stats]
+        if any(o is None for o in objectives):
+            return None
+        return sum(objectives)
+
+    @property
+    def integrality_gap(self) -> float | None:
+        """Certified relative gap of this pass's schedule, or ``None``.
+
+        ``(total objective - total lower bound) / total objective`` over
+        the per-layer solves; 0.0 means every layer was proven optimal.
+        """
+        return relative_gap(self.total_objective, self.lower_bound)
 
 
 @dataclass
@@ -155,6 +189,34 @@ class SynthesisResult:
     @property
     def total_solve_time(self) -> float:
         return sum(s.solve_time for s in self.solve_stats)
+
+    @property
+    def _certified_record(self) -> "IterationRecord | None":
+        """The pass with the tightest quality certificate, if any."""
+        certified = [
+            r for r in self.history if r.integrality_gap is not None
+        ]
+        if not certified:
+            return None
+        return min(certified, key=lambda r: r.integrality_gap)
+
+    @property
+    def lower_bound(self) -> float | None:
+        """Certified lower bound of the best-certified pass (see
+        :attr:`integrality_gap`); ``None`` when no pass was certified."""
+        record = self._certified_record
+        return record.lower_bound if record is not None else None
+
+    @property
+    def integrality_gap(self) -> float | None:
+        """The tightest certified gap any pass achieved, or ``None``.
+
+        A pass is certified when every one of its layer solves carried a
+        proven lower bound; its gap certifies that pass's schedule was
+        within that fraction of the per-layer optima.
+        """
+        record = self._certified_record
+        return record.integrality_gap if record is not None else None
 
     def validate(self) -> None:
         validate_result(self)

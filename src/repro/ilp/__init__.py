@@ -27,8 +27,9 @@ Typical use::
 
 from .expr import LinExpr, Variable, VarType
 from .model import Constraint, Model
+from .relaxation import solve_relaxation
 from .solve import available_backends, solve
-from .status import Solution, SolveStats, SolveStatus
+from .status import Solution, SolveStats, SolveStatus, relative_gap
 
 __all__ = [
     "LinExpr",
@@ -40,5 +41,7 @@ __all__ = [
     "SolveStats",
     "SolveStatus",
     "solve",
+    "solve_relaxation",
+    "relative_gap",
     "available_backends",
 ]

@@ -21,7 +21,7 @@ import numpy as np
 from .expr import Variable
 from .model import Model, StandardForm
 from .simplex import LPStatus, solve_lp
-from .status import Solution, SolveStats, SolveStatus
+from .status import Solution, SolveStats, SolveStatus, relative_gap
 
 _INT_TOL = 1e-6
 
@@ -127,6 +127,11 @@ def solve_bnb(
     nodes = 0
     simplex_iterations = 0
     proven_optimal = True
+    # Parent bounds of subtrees abandoned on a simplex iteration limit.
+    # Their nodes leave the stack without being explored, so the final dual
+    # bound must still account for them — otherwise the bound computed from
+    # the surviving stack overstates what was actually proven.
+    dropped_bounds: list[float] = []
 
     while stack:
         if time_limit is not None and time.monotonic() - start > time_limit:
@@ -165,6 +170,7 @@ def solve_bnb(
             continue
         if lp.status is LPStatus.ITERATION_LIMIT:
             proven_optimal = False
+            dropped_bounds.append(node.bound)
             continue
 
         assert lp.x is not None and lp.objective is not None
@@ -222,10 +228,12 @@ def solve_bnb(
     if status is SolveStatus.OPTIMAL:
         bound = objective
     else:
-        # Dual bound from the open nodes.  Unprocessed roots carry a -inf
-        # sentinel — they prove nothing, so they must not be reported.
-        open_bounds = [n.bound for n in stack if math.isfinite(n.bound)]
-        if open_bounds and len(open_bounds) == len(stack):
+        # Dual bound from every unexplored subtree: the open stack plus any
+        # subtrees dropped on an LP iteration limit.  An unprocessed root
+        # carries a -inf sentinel — it proves nothing, so a single one voids
+        # the certificate (bound absent, never the incumbent objective).
+        open_bounds = dropped_bounds + [n.bound for n in stack]
+        if open_bounds and all(math.isfinite(b) for b in open_bounds):
             bound = form.sense * min(min(open_bounds), incumbent_obj) + form.c0
         else:
             bound = None
@@ -243,6 +251,9 @@ def solve_bnb(
             simplex_iterations=simplex_iterations,
             solve_time=runtime,
             warm_started=warm_accepted,
+            objective=objective,
+            lower_bound=bound,
+            integrality_gap=relative_gap(objective, bound),
         ),
     )
 

@@ -8,6 +8,7 @@ small instances.
 
 from __future__ import annotations
 
+import math
 import time
 
 import numpy as np
@@ -16,7 +17,7 @@ from scipy.optimize import Bounds, LinearConstraint, milp
 from ..errors import SolverError
 from .expr import Variable
 from .model import Model
-from .status import Solution, SolveStats, SolveStatus
+from .status import Solution, SolveStats, SolveStatus, relative_gap
 
 
 def solve_highs(
@@ -81,9 +82,22 @@ def solve_highs(
     values = {var: float(x[i]) for i, var in enumerate(form.variables)}
     objective = form.sense * float(form.c @ x) + form.c0
     bound = None
-    if getattr(result, "mip_dual_bound", None) is not None:
-        bound = form.sense * float(result.mip_dual_bound) + form.c0
+    dual = getattr(result, "mip_dual_bound", None)
+    if dual is not None and math.isfinite(dual):
+        bound = form.sense * float(dual) + form.c0
     status = SolveStatus.OPTIMAL if result.status == 0 else SolveStatus.FEASIBLE
+    if bound is None and status is SolveStatus.OPTIMAL:
+        # Pure-LP models report no dual bound; optimality certifies one.
+        bound = objective
+    stats = _stats(status)
+    stats.objective = objective
+    stats.lower_bound = bound
+    # Prefer the solver's own achieved gap; fall back to the bound we have.
+    achieved = getattr(result, "mip_gap", None)
+    if achieved is not None and math.isfinite(achieved) and bound is not None:
+        stats.integrality_gap = max(0.0, float(achieved))
+    else:
+        stats.integrality_gap = relative_gap(objective, bound)
     return Solution(
         status=status,
         objective=objective,
@@ -91,5 +105,5 @@ def solve_highs(
         bound=bound,
         runtime=runtime,
         backend="highs",
-        stats=_stats(status),
+        stats=stats,
     )

@@ -199,8 +199,13 @@ class Model:
 
     # -- export -------------------------------------------------------------
 
-    def to_standard_form(self) -> StandardForm:
-        """Export to the matrix form used by the backends."""
+    def to_standard_form(self, relax_integrality: bool = False) -> StandardForm:
+        """Export to the matrix form used by the backends.
+
+        With ``relax_integrality=True`` every variable is exported as
+        continuous — the LP relaxation of the model, whose optimum is a
+        certified lower bound on the (minimization) ILP objective.
+        """
         from scipy.sparse import csr_matrix
 
         n = len(self.variables)
@@ -233,9 +238,12 @@ class Model:
         )
         var_lower = np.array([v.lb for v in self.variables], dtype=float)
         var_upper = np.array([v.ub for v in self.variables], dtype=float)
-        integrality = np.array(
-            [0 if v.vtype is VarType.CONTINUOUS else 1 for v in self.variables]
-        )
+        if relax_integrality:
+            integrality = np.zeros(n, dtype=int)
+        else:
+            integrality = np.array(
+                [0 if v.vtype is VarType.CONTINUOUS else 1 for v in self.variables]
+            )
         return StandardForm(
             c=c,
             a_matrix=a_matrix,

@@ -3,9 +3,28 @@
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import asdict, dataclass, field, fields
 
 from .expr import LinExpr, Variable
+
+
+def relative_gap(objective: float | None, bound: float | None) -> float | None:
+    """Certified relative optimality gap ``|objective - bound| / |objective|``.
+
+    Returns ``None`` when either side is missing or non-finite — an absent
+    bound proves nothing, and must never masquerade as a 0.0 gap (the bug
+    this helper exists to prevent: a timed-out solve reporting "optimal").
+    Gaps below integrality noise collapse to exactly 0.0.
+    """
+    if objective is None or bound is None:
+        return None
+    if not (math.isfinite(objective) and math.isfinite(bound)):
+        return None
+    spread = abs(objective - bound)
+    denom = max(abs(objective), 1e-9)
+    gap = spread / denom
+    return 0.0 if gap < 1e-9 else gap
 
 
 class SolveStatus(enum.Enum):
@@ -54,6 +73,18 @@ class SolveStats:
     #: the solve ran ahead of time in a parallel worker (hls/parallel.py)
     #: and was adopted after its predicted inputs were confirmed.
     speculative: bool = False
+    #: the layer objective the returned schedule achieves (layer_cost
+    #: units); None when the backend did not evaluate one.
+    objective: float | None = None
+    #: certified lower bound on this layer's objective — the LP-relaxation
+    #: optimum or the MIP solver's proven dual bound.  None when nothing
+    #: was proven (never an incumbent echo).
+    lower_bound: float | None = None
+    #: achieved relative gap between ``objective`` and ``lower_bound``
+    #: (:func:`relative_gap`); 0.0 means proven optimal, None means
+    #: uncertified.  This is the *achieved* gap, not the requested
+    #: ``spec.mip_gap`` tolerance.
+    integrality_gap: float | None = None
 
     def to_dict(self) -> dict:
         """Plain-JSON representation (round-trips via :meth:`from_dict`)."""

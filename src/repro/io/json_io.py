@@ -7,6 +7,7 @@ one-way report (schedules, devices, paths, history) for downstream tools.
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Any
 
@@ -177,6 +178,14 @@ def spec_from_json(data: dict[str, Any]) -> "SynthesisSpec":
         raise SerializationError(f"malformed spec JSON: {exc}") from exc
 
 
+def _finite_or_none(value: "float | None") -> "float | None":
+    """Nullable-float guard: NaN/inf certificates serialize as ``null``
+    (they prove nothing), keeping the report strict-JSON clean."""
+    if value is None or not math.isfinite(value):
+        return None
+    return float(value)
+
+
 #: Result-report keys that vary run to run without the synthesis outcome
 #: differing (wall clock); ignored by :func:`json_result_equal`.
 _VOLATILE_RESULT_KEYS = ("runtime_seconds",)
@@ -219,6 +228,11 @@ def result_to_json(
         "fixed_makespan": result.fixed_makespan,
         "num_devices": result.num_devices,
         "num_paths": result.num_paths,
+        # Certified quality: the best pass's proven lower bound on the
+        # total layer objective and the resulting relative gap; null when
+        # no pass carried a full certificate.
+        "lower_bound": _finite_or_none(result.lower_bound),
+        "integrality_gap": _finite_or_none(result.integrality_gap),
         "binding_mode": result.spec.binding_mode.value,
         "devices": [
             {
@@ -256,6 +270,8 @@ def result_to_json(
                 "num_devices": record.num_devices,
                 "num_paths": record.num_paths,
                 "layer_statuses": record.layer_statuses,
+                "lower_bound": _finite_or_none(record.lower_bound),
+                "integrality_gap": _finite_or_none(record.integrality_gap),
             }
             for record in result.history
         ],

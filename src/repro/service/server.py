@@ -88,10 +88,11 @@ class ServerConfig:
     #: records per journal segment before rotation + compaction.
     journal_segment_records: int = 1024
     #: after an ILP job exceeds its wall-clock budget, re-run it once on
-    #: the greedy scheduler and return the result flagged ``degraded``
+    #: the LP-bound scheduler (greedy schedule + certified LP lower bound)
+    #: and return the result flagged ``degraded`` with its integrality gap
     #: (each submission may opt out with ``degrade: false``).
     enable_degrade: bool = True
-    #: wall-clock budget for the degraded (greedy) re-run, seconds.
+    #: wall-clock budget for the degraded (LP-bound) re-run, seconds.
     degraded_timeout: float = 120.0
     #: ``/health`` reports ``degraded_mode`` once the worker pool was
     #: rebuilt more than this many times inside ``restart_window``.

@@ -15,6 +15,7 @@ different pool worker.
 
 from __future__ import annotations
 
+import math
 import os
 from typing import Any
 
@@ -25,6 +26,14 @@ from ..hls.cache import LayerSolveCache
 _DEBUG_CRASH = "debug-crash"
 
 
+def _certificate(value: "float | None") -> "float | None":
+    """Nullable-float guard: a NaN/inf certificate proves nothing and
+    travels as ``null``, never as an unparseable JSON token."""
+    if value is None or not math.isfinite(value):
+        return None
+    return float(value)
+
+
 def run_job(request: dict[str, Any]) -> tuple:
     """Solve one synthesis job; returns ``("ok", payload, cache_export)``
     or ``("error", kind, message)``.
@@ -33,9 +42,10 @@ def run_job(request: dict[str, Any]) -> tuple:
     None), ``method`` ("hls" | "conventional"), ``cache`` (entries from
     :meth:`LayerSolveCache.export_entries` or None), ``deterministic``
     (bool, default True), ``degraded`` (bool: re-run after a wall-clock
-    timeout — the spec is pinned to the greedy scheduler via
-    :func:`repro.hls.backends.degraded_spec` and the payload is flagged
-    ``"degraded": true``).
+    timeout — the spec is pinned to the LP-bound scheduler via
+    :func:`repro.hls.backends.degraded_spec`, so the payload carries a
+    certified integrality gap in ``"quality"`` alongside the
+    ``"degraded": true`` flag).
     """
     if request.get("method") == _DEBUG_CRASH:
         # Test hook (gated behind ServerConfig.allow_debug): die the way a
@@ -76,6 +86,14 @@ def run_job(request: dict[str, Any]) -> tuple:
                 result, deterministic=request.get("deterministic", True)
             ),
             "profile": synthesis_profile(result),
+            # Certified quality of the run: proven lower bound on the total
+            # layer objective and the relative gap (null = uncertified).
+            # Degraded re-runs in particular report "within X% of optimal"
+            # here instead of only a bare flag.
+            "quality": {
+                "lower_bound": _certificate(result.lower_bound),
+                "integrality_gap": _certificate(result.integrality_gap),
+            },
         }
         if degraded:
             payload["degraded"] = True

@@ -20,12 +20,16 @@ def body_for(assay, **spec_kwargs) -> dict:
 
 
 class TestDegradedSpec:
-    def test_forces_greedy_single_pass(self):
+    def test_forces_lp_bound_single_pass(self):
         spec = SynthesisSpec(threshold=4, max_iterations=3)
         fallback = degraded_spec(spec)
-        assert fallback.scheduler == DEGRADED_SCHEDULER == "greedy"
+        assert fallback.scheduler == DEGRADED_SCHEDULER == "lp-bound"
         assert fallback.max_iterations == 0
         assert fallback.threshold == spec.threshold  # layering unchanged
+        # The degraded pass never runs the exact ILP, so the wall-clock
+        # limit only caps the LP bound solve — it must not inherit the
+        # tiny budget that caused the degradation in the first place.
+        assert fallback.time_limit >= 10.0
 
     def test_idempotent(self):
         spec = degraded_spec(SynthesisSpec())
