@@ -61,6 +61,8 @@ def _spec_from_args(args: argparse.Namespace) -> SynthesisSpec:
         mip_gap=getattr(args, "mip_gap", 0.0),
         scheduler=getattr(args, "scheduler", "portfolio"),
         jobs=getattr(args, "jobs", 1),
+        storage_mode=getattr(args, "storage", None) or "off",
+        storage_capacity=getattr(args, "storage_capacity", 4),
     )
 
 
@@ -90,6 +92,19 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
              "flow; lp-bound/approx-lp trade exactness for certified "
              "LP-relaxation bounds)",
     )
+    from .hls.spec import STORAGE_MODES
+
+    parser.add_argument(
+        "--storage", nargs="?", const="auto", default=None,
+        choices=STORAGE_MODES, metavar="MODE",
+        help="storage synthesis mode for layer-crossing reagents "
+             "(off|reservoir|channel|auto; bare --storage means auto; "
+             "default: off — the storage-oblivious paper flow)",
+    )
+    parser.add_argument(
+        "--storage-capacity", type=int, default=4,
+        help="reagent slots per dedicated storage reservoir",
+    )
 
 
 def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
@@ -117,6 +132,18 @@ def _print_certificate(result) -> None:
     print(f"certified gap  : {gap * 100:.2f}% (lower bound {bound:.1f})")
 
 
+def _print_storage_plan(result) -> None:
+    """One-line storage plan summary, when one was synthesized."""
+    plan = getattr(result, "storage_plan", None)
+    if plan is None:
+        return
+    print(
+        f"storage        : mode={plan.mode} hold={plan.held_count} "
+        f"channel={plan.channel_count} reservoir={plan.reservoir_count} "
+        f"({len(plan.reservoirs)} reservoir(s), cost {plan.total_cost:g})"
+    )
+
+
 def _cmd_synthesize(args: argparse.Namespace) -> int:
     assay = _resolve_assay(args)
     spec = _spec_from_args(args)
@@ -128,6 +155,7 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
     print(f"execution time : {result.makespan_expression}")
     print(f"devices        : {result.num_devices}")
     print(f"paths          : {result.num_paths}")
+    _print_storage_plan(result)
     _print_certificate(result)
     for record in result.history:
         print(
@@ -227,6 +255,20 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     report = storage_report(result)
     print(f"storage crossings: {report.total_crossings} "
           f"(peak demand {report.peak_demand})")
+    if getattr(args, "storage", None) is not None:
+        boundaries = sorted({r.boundary for r in report.reagents})
+        if boundaries:
+            print("\nstorage demand by boundary:")
+            print(f"  {'boundary':>8} {'crossings':>9} {'held':>5} "
+                  f"{'buffered':>8}")
+            for boundary in boundaries:
+                reagents = report.at_boundary(boundary)
+                held = sum(1 for r in reagents if r.held_in_place)
+                print(f"  {boundary:>8} {len(reagents):>9} {held:>5} "
+                      f"{report.demand(boundary):>8}")
+        else:
+            print("\nno layer-crossing reagents: nothing to store")
+        _print_storage_plan(result)
     _print_certificate(result)
     if args.profile or args.profile_json:
         profile = synthesis_profile(result)
@@ -383,6 +425,14 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     print(f"execution time : {report['makespan']}")
     print(f"devices        : {report['num_devices']}")
     print(f"paths          : {report['num_paths']}")
+    storage = payload.get("storage")
+    if storage:
+        print(
+            f"storage        : mode={storage['mode']} "
+            f"hold={storage['held']} channel={storage['channel']} "
+            f"reservoir={storage['reservoir']} "
+            f"(cost {storage['total_cost']:g})"
+        )
     quality = payload.get("quality") or {}
     gap = quality.get("integrality_gap")
     if payload.get("degraded"):

@@ -10,6 +10,10 @@ Components split into two categories:
 
 :class:`repro.components.costs.CostModel` carries the constant tables
 (``A_x``, ``A'_y``, ``Pr_z`` in the paper's objective).
+
+The storage extension adds a third category — passive
+:class:`repro.components.storage.StorageReservoir` units that buffer
+layer-crossing reagents (see :mod:`repro.storage`).
 """
 
 from .accessories import (
@@ -24,6 +28,7 @@ from .accessories import (
 )
 from .containers import Capacity, ContainerKind, allowed_capacities
 from .costs import CostModel
+from .storage import StorageReservoir, reservoirs_needed
 
 __all__ = [
     "Accessory",
@@ -38,4 +43,6 @@ __all__ = [
     "ContainerKind",
     "allowed_capacities",
     "CostModel",
+    "StorageReservoir",
+    "reservoirs_needed",
 ]

@@ -1,0 +1,63 @@
+"""Dedicated storage reservoirs (extension).
+
+The paper's component catalog has no place for an intermediate fluid to
+wait: containers execute operations and accessories augment them.  The
+storage extension (after "Transport or Store?" and "Storage and
+Caching", see PAPERS.md) adds a third component category — a passive
+reservoir that buffers layer-crossing reagents between the production
+layer and the consumption layer.
+
+A reservoir holds up to ``capacity`` reagents per layer boundary and
+costs chip area plus fabrication processing proportional to that
+capacity.  The per-unit constants play the role of ``A_x``/``Pr_z`` in
+the paper's objective for this new component kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SpecificationError
+
+#: chip area per reagent slot (same unit as ``CostModel.area``).
+RESERVOIR_UNIT_AREA = 2.0
+#: fabrication processing effort per reagent slot.
+RESERVOIR_UNIT_PROCESSING = 0.5
+
+
+@dataclass(frozen=True)
+class StorageReservoir:
+    """One dedicated storage reservoir on the chip."""
+
+    uid: str
+    capacity: int
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise SpecificationError(
+                f"reservoir {self.uid}: capacity must be >= 1"
+            )
+
+    @property
+    def area(self) -> float:
+        """Exclusive chip area of the reservoir."""
+        return RESERVOIR_UNIT_AREA * self.capacity
+
+    @property
+    def processing_cost(self) -> float:
+        """Fabrication processing effort of the reservoir."""
+        return RESERVOIR_UNIT_PROCESSING * self.capacity
+
+    @property
+    def build_cost(self) -> float:
+        """Total one-off cost of adding the reservoir to the chip."""
+        return self.area + self.processing_cost
+
+
+def reservoirs_needed(peak_demand: int, capacity: int) -> int:
+    """Reservoir count covering ``peak_demand`` concurrent reagents."""
+    if peak_demand < 0:
+        raise SpecificationError("peak demand must be >= 0")
+    if capacity < 1:
+        raise SpecificationError("capacity must be >= 1")
+    return -(-peak_demand // capacity)

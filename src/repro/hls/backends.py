@@ -85,11 +85,24 @@ def layer_cost(
     for parent, child_device in problem.outgoing:
         note(result.binding[parent], child_device)
 
+    # Storage pressure, mirroring the ILP objective exactly: ``w`` per
+    # crossing edge bound apart (the model charges ``w * (1 - od)`` when
+    # co-binding is legal and the constant ``w`` when it is not — both
+    # reduce to "charged unless bound together").
+    storage = 0.0
+    for (parent_device, child), weight in problem.storage_in.items():
+        if result.binding[child] != parent_device:
+            storage += weight
+    for (parent, child_device), weight in problem.storage_out.items():
+        if result.binding[parent] != child_device:
+            storage += weight
+
     return (
         weights.time * result.schedule.makespan
         + weights.area * area
         + weights.processing * processing
         + weights.paths * len(new_paths)
+        + storage
     )
 
 

@@ -76,6 +76,17 @@ def _spec_token(spec: SynthesisSpec) -> tuple:
         tuple(sorted(costs.accessory_processing.items())),
         costs.default_accessory_processing,
         tuple(sorted(spec.registry.names)),
+        # Storage knobs (extension): modes must never share cached solves
+        # or stored run results — the pressure terms change objectives.
+        (
+            spec.storage_mode,
+            spec.storage_capacity,
+            (
+                spec.storage_weights.hold,
+                spec.storage_weights.channel,
+                spec.storage_weights.reservoir,
+            ),
+        ),
     )
 
 
@@ -182,6 +193,20 @@ def fingerprint_layer_problem(problem: LayerProblem, spec: SynthesisSpec) -> str
             for a, b in problem.existing_paths
         )
     )
+    storage_token = (
+        tuple(
+            sorted(
+                (canon_uid(dev), child, weight)
+                for (dev, child), weight in problem.storage_in.items()
+            )
+        ),
+        tuple(
+            sorted(
+                (parent, canon_uid(dev), weight)
+                for (parent, dev), weight in problem.storage_out.items()
+            )
+        ),
+    )
     payload = (
         "layer-solve-v1",
         problem.layer_index,
@@ -193,6 +218,7 @@ def fingerprint_layer_problem(problem: LayerProblem, spec: SynthesisSpec) -> str
         incoming_token,
         outgoing_token,
         paths_token,
+        storage_token,
         _spec_token(spec),
     )
     return hashlib.sha256(repr(payload).encode()).hexdigest()
@@ -240,6 +266,10 @@ def strict_fingerprint_layer_problem(
         tuple(sorted(problem.incoming)),
         tuple(sorted(problem.outgoing)),
         tuple(sorted(problem.existing_paths)),
+        (
+            tuple(sorted(problem.storage_in.items())),
+            tuple(sorted(problem.storage_out.items())),
+        ),
         _spec_token(spec),
     )
     return hashlib.sha256(repr(payload).encode()).hexdigest()

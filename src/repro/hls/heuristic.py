@@ -110,6 +110,38 @@ def schedule_layer_greedy(
                 matched.add(choice)
         return len(uncovered_sigs) + unmatched_ind
 
+    # Storage pressure (extension): ops with layer-crossing edges prefer
+    # the fixed device already holding (or later consuming) their reagent,
+    # weighted by the buffering cost a co-binding avoids.  Empty when
+    # ``storage_mode`` is off, leaving the heuristic byte-identical.
+    pressure: dict[str, dict[str, float]] = {}
+    for (parent_device, child), weight in problem.storage_in.items():
+        by_dev = pressure.setdefault(child, {})
+        by_dev[parent_device] = by_dev.get(parent_device, 0.0) + weight
+    for (parent, child_device), weight in problem.storage_out.items():
+        by_dev = pressure.setdefault(parent, {})
+        by_dev[child_device] = by_dev.get(child_device, 0.0) + weight
+
+    def pressured_choice(
+        uid: str, ready: int, exclude: set[str]
+    ) -> tuple[int, str] | None:
+        """Pressured device whose extra wait costs less than the storage
+        it avoids (``C_t * delay <= pressure``), earliest-start first."""
+        op = by_uid[uid]
+        best_pref: tuple[int, str] | None = None
+        for dev_uid, weight in sorted(pressure[uid].items()):
+            if dev_uid in exclude or dev_uid not in timelines:
+                continue
+            timeline = timelines[dev_uid]
+            if not timeline.device.can_execute(op, mode):
+                continue
+            start = timeline.earliest_fit(ready, occupancy(uid))
+            if spec.weights.time * (start - ready) > weight:
+                continue
+            if best_pref is None or (start, dev_uid) < best_pref:
+                best_pref = (start, dev_uid)
+        return best_pref
+
     # Guide slot index -> uid of the device materialized for that slot.
     slot_uid: dict[int, str] = {}
 
@@ -202,6 +234,10 @@ def schedule_layer_greedy(
             preferred = preferred_choice(uid, ready, exclude, can_create)
             if preferred is not None:
                 return preferred
+        if uid in pressure:
+            pressured = pressured_choice(uid, ready, exclude)
+            if pressured is not None:
+                return pressured[1], pressured[0]
         # Prefer reuse unless a fresh device starts strictly earlier.
         if best is not None and best[0] <= ready:
             return best[1], best[0]

@@ -89,6 +89,15 @@ class LayerProblem:
     outgoing: list[tuple[str, str]] = field(default_factory=list)
     #: transportation paths already integrated by other layers (free).
     existing_paths: set[tuple[str, str]] = field(default_factory=set)
+    #: storage pressure on arriving cross-layer edges, keyed like
+    #: ``incoming`` entries (parent device uid, child uid): the weighted
+    #: cost charged when the child binds away from the parent's device
+    #: (the buffered reagent then needs channel/reservoir storage).
+    #: Empty when ``storage_mode`` is ``off``.
+    storage_in: dict[tuple[str, str], float] = field(default_factory=dict)
+    #: storage pressure on departing cross-layer edges, keyed like
+    #: ``outgoing`` entries (parent uid, child device uid).
+    storage_out: dict[tuple[str, str], float] = field(default_factory=dict)
 
 
 @dataclass
@@ -468,12 +477,31 @@ def build_layer_model(problem: LayerProblem, spec: SynthesisSpec) -> LayerModel:
     )
     paths_expr = LinExpr.sum(path_vars.values())
 
+    # Storage pressure (extension): a crossing edge whose endpoints bind
+    # apart buffers its reagent, charged ``w`` per edge.  ``w * (1 - od)``
+    # when co-binding is legal (pure objective term — LP relaxations and
+    # warm starts are untouched); the unavoidable constant ``w`` when it
+    # is not, so integral model objectives keep matching ``layer_cost``.
+    storage_terms = []
+    for (parent_device, child), weight in sorted(problem.storage_in.items()):
+        var = od.get((child, parent_device))
+        storage_terms.append(
+            weight * (1 - var) if var is not None else weight
+        )
+    for (parent, child_device), weight in sorted(problem.storage_out.items()):
+        var = od.get((parent, child_device))
+        storage_terms.append(
+            weight * (1 - var) if var is not None else weight
+        )
+    storage_expr = LinExpr.sum(storage_terms)
+
     weights = spec.weights
     model.minimize(
         weights.time * makespan
         + weights.area * area_expr
         + weights.processing * processing_expr
         + weights.paths * paths_expr
+        + storage_expr
     )
 
     return LayerModel(

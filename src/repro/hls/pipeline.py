@@ -8,6 +8,7 @@ stages over a :class:`~repro.hls.context.SynthesisContext`:
     LayeringStage
       → PassLoop( TransportRefineStage
                   → LayerSolveStage per layer
+                  → StoragePlanStage
                   → ConvergenceStage )
       → ValidateStage
 
@@ -105,6 +106,26 @@ def prepare_layer_problem(
     ]
     existing_paths = paths_excluding_layer(assay, state.binding, uids)
 
+    # Storage pressure (extension): each cross-layer edge whose endpoints
+    # bind apart will have to buffer its reagent once per spanned layer
+    # boundary; charge that as a linear objective bias so layer solves
+    # prefer co-locating long-lived intermediates.  Empty in off mode,
+    # keeping every downstream code path byte-identical to the paper flow.
+    storage_in: dict[tuple[str, str], float] = {}
+    storage_out: dict[tuple[str, str], float] = {}
+    pressure = spec.storage_pressure_weight()
+    if pressure > 0:
+        layer_of = layering.layer_of
+        for p, c in assay.edges:
+            if c in uids and p not in uids and p in state.binding:
+                span = layer.index - layer_of[p]
+                key = (state.binding[p], c)
+                storage_in[key] = storage_in.get(key, 0.0) + pressure * span
+            elif p in uids and c not in uids and c in state.binding:
+                span = layer_of[c] - layer.index
+                key = (p, state.binding[c])
+                storage_out[key] = storage_out.get(key, 0.0) + pressure * span
+
     return LayerProblem(
         layer_index=layer.index,
         ops=ops,
@@ -116,6 +137,8 @@ def prepare_layer_problem(
         incoming=incoming,
         outgoing=outgoing,
         existing_paths=existing_paths,
+        storage_in=storage_in,
+        storage_out=storage_out,
     )
 
 
@@ -271,6 +294,27 @@ class LayerSolveStage:
         return result
 
 
+class StoragePlanStage:
+    """Synthesize the storage plan of a scheduled pass (extension).
+
+    Runs between layer solving and the next transport refinement: every
+    layer-crossing reagent gets a hold / channel / reservoir decision
+    (see :mod:`repro.storage`).  A no-op returning ``None`` when
+    ``storage_mode`` is ``off``.
+    """
+
+    name = "storage_plan"
+
+    def run(self, context: SynthesisContext, state: PassState):
+        if context.spec.storage_mode == "off":
+            return None
+        from ..storage import plan_storage
+
+        return plan_storage(
+            context.assay, context.layering, state.schedule(), context.spec
+        )
+
+
 class ConvergenceStage:
     """The paper's iteration rule plus full-cache-convergence early stop."""
 
@@ -301,6 +345,7 @@ class PassLoop:
     def __init__(self, layer_solve: LayerSolveStage | None = None) -> None:
         self.layer_solve = layer_solve or LayerSolveStage()
         self.transport_refine = TransportRefineStage()
+        self.storage_plan = StoragePlanStage()
         self.convergence = ConvergenceStage()
 
     def run(self, context: SynthesisContext) -> None:
@@ -438,6 +483,7 @@ class PassLoop:
         from .synthesizer import IterationRecord
 
         schedule = state.schedule()
+        plan = self.storage_plan.run(context, state)
         return IterationRecord(
             index=index,
             fixed_makespan=state.fixed_makespan,
@@ -445,6 +491,8 @@ class PassLoop:
             num_paths=len(
                 schedule.transportation_paths(context.assay.edges)
             ),
+            storage_demand=None if plan is None else plan.demand,
+            storage_cost=None if plan is None else plan.total_cost,
             layer_statuses=[
                 state.results[i].solver_status for i in sorted(state.results)
             ],
@@ -469,6 +517,7 @@ class ValidateStage:
         best = context.best
         schedule = best.schedule()
         paths = schedule.transportation_paths(context.assay.edges)
+        storage_plan = StoragePlanStage().run(context, best)
         result = SynthesisResult(
             assay=context.assay,
             spec=context.spec,
@@ -483,6 +532,7 @@ class ValidateStage:
             cache_counters=(
                 context.cache.counters() if context.cache is not None else {}
             ),
+            storage_plan=storage_plan,
         )
         result.validate()
         return result

@@ -80,6 +80,38 @@ class TransportProgression:
         return values[min(rank, len(values) - 1)]
 
 
+#: storage synthesis modes: ``off`` reproduces the storage-oblivious
+#: paper flow byte-for-byte; ``reservoir`` buffers layer-crossing
+#: reagents in dedicated storage reservoirs only; ``channel`` parks them
+#: in transport channels (reservoir fallback when the channel is taken);
+#: ``auto`` picks the cheapest of hold-in-place / channel / reservoir
+#: per reagent.
+STORAGE_MODES = ("off", "reservoir", "channel", "auto")
+
+
+@dataclass(frozen=True)
+class StorageWeights:
+    """Per-boundary storage cost weights (extension, after the
+    "Transport or Store?" / "Storage and Caching" line of work).
+
+    Each layer-crossing reagent is charged its weight once per layer
+    boundary it crosses: ``hold`` for occupying its producer's device,
+    ``channel`` for parking in a transport channel, ``reservoir`` for a
+    slot in a dedicated storage reservoir.  Defaults order the options
+    hold < channel < reservoir, matching the physical intuition that
+    reusing existing structure is cheaper than dedicating new area.
+    """
+
+    hold: float = 1.0
+    channel: float = 2.0
+    reservoir: float = 4.0
+
+    def __post_init__(self) -> None:
+        for name in ("hold", "channel", "reservoir"):
+            if getattr(self, name) < 0:
+                raise SpecificationError(f"storage weight {name} must be >= 0")
+
+
 @dataclass
 class SynthesisSpec:
     """All knobs of a synthesis run."""
@@ -133,6 +165,12 @@ class SynthesisSpec:
     #: worker processes for re-synthesis layer solves (1 = sequential;
     #: results are identical for any value — see hls/parallel.py).
     jobs: int = 1
+    #: storage synthesis mode (see :data:`STORAGE_MODES`).  ``off`` keeps
+    #: every code path byte-identical to the storage-oblivious flow.
+    storage_mode: str = "off"
+    #: reagent slots per dedicated storage reservoir.
+    storage_capacity: int = 4
+    storage_weights: StorageWeights = field(default_factory=StorageWeights)
 
     def __post_init__(self) -> None:
         if self.max_devices < 1:
@@ -156,6 +194,13 @@ class SynthesisSpec:
             raise SpecificationError(
                 "solve_cache_capacity must be >= 1 (or None for unbounded)"
             )
+        if self.storage_mode not in STORAGE_MODES:
+            choices = "|".join(STORAGE_MODES)
+            raise SpecificationError(
+                f"unknown storage_mode {self.storage_mode!r} (choices: {choices})"
+            )
+        if self.storage_capacity < 1:
+            raise SpecificationError("storage_capacity must be >= 1")
         from .backends import available_schedulers
 
         if self.scheduler not in available_schedulers():
@@ -163,3 +208,17 @@ class SynthesisSpec:
             raise SpecificationError(
                 f"unknown scheduler {self.scheduler!r} (choices: {choices})"
             )
+
+    def storage_pressure_weight(self) -> float:
+        """Per-boundary pressure charged in layer objectives when a
+        crossing edge binds its endpoints apart.
+
+        A linear proxy for the eventual plan cost: the reservoir weight
+        when reservoirs are the only buffer, else the (cheaper) channel
+        weight.  Zero disables storage pressure entirely.
+        """
+        if self.storage_mode == "off":
+            return 0.0
+        if self.storage_mode == "reservoir":
+            return self.storage_weights.reservoir
+        return min(self.storage_weights.channel, self.storage_weights.reservoir)

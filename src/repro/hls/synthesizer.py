@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..devices.device import GeneralDevice
 from ..devices.inventory import DeviceInventory
@@ -39,6 +40,9 @@ from .schedule import HybridSchedule
 from .spec import SynthesisSpec
 from .transport import TransportEstimator
 from .validate import validate_result
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..storage.plan import StoragePlan
 
 #: Backwards-compatible aliases — the pass machinery moved to
 #: hls/context.py and hls/backends.py in the pipeline refactor.
@@ -71,6 +75,10 @@ class IterationRecord:
     #: (``prepare`` / ``solve`` / ``apply``, plus ``transport_refine`` on
     #: re-synthesis passes).
     stage_timings: dict[str, float] = field(default_factory=dict)
+    #: storage-plan summary of the pass (``None`` when storage_mode=off):
+    #: reagents needing storage structure, and the plan's weighted cost.
+    storage_demand: int | None = None
+    storage_cost: float | None = None
 
     @property
     def label(self) -> str:
@@ -145,6 +153,9 @@ class SynthesisResult:
     #: misses/evictions — see :meth:`LayerSolveCache.counters`); empty when
     #: the run had no cache.
     cache_counters: dict[str, int] = field(default_factory=dict)
+    #: synthesized storage decisions of the selected pass (see
+    #: :mod:`repro.storage`); ``None`` when ``storage_mode`` is ``off``.
+    storage_plan: "StoragePlan | None" = None
 
     @property
     def fixed_makespan(self) -> int:
@@ -220,6 +231,16 @@ class SynthesisResult:
 
     def validate(self) -> None:
         validate_result(self)
+        if self.storage_plan is not None:
+            from ..storage import validate_storage_plan
+
+            validate_storage_plan(
+                self.storage_plan,
+                self.assay,
+                self.layering,
+                self.schedule,
+                self.spec,
+            )
 
 
 def synthesize(

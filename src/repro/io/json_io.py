@@ -108,6 +108,8 @@ _SPEC_SCALAR_FIELDS = (
     "enable_warm_start",
     "scheduler",
     "jobs",
+    "storage_mode",
+    "storage_capacity",
 )
 
 
@@ -136,6 +138,12 @@ def spec_to_json(spec: "SynthesisSpec") -> dict[str, Any]:
         "terms": progression.terms,
     }
     data["binding_mode"] = spec.binding_mode.value
+    storage_weights = spec.storage_weights
+    data["storage_weights"] = {
+        "hold": storage_weights.hold,
+        "channel": storage_weights.channel,
+        "reservoir": storage_weights.reservoir,
+    }
     return data
 
 
@@ -143,7 +151,12 @@ def spec_from_json(data: dict[str, Any]) -> "SynthesisSpec":
     """Deserialize a spec; raises SerializationError on malformed input."""
     from ..devices.device import BindingMode
     from ..errors import ReproError
-    from ..hls.spec import SynthesisSpec, TransportProgression, Weights
+    from ..hls.spec import (
+        StorageWeights,
+        SynthesisSpec,
+        TransportProgression,
+        Weights,
+    )
 
     try:
         if data.get("format", FORMAT_VERSION) != FORMAT_VERSION:
@@ -152,6 +165,7 @@ def spec_from_json(data: dict[str, Any]) -> "SynthesisSpec":
             )
         known = set(_SPEC_SCALAR_FIELDS) | {
             "format", "weights", "transport_progression", "binding_mode",
+            "storage_weights",
         }
         unknown = sorted(set(data) - known)
         if unknown:
@@ -169,6 +183,8 @@ def spec_from_json(data: dict[str, Any]) -> "SynthesisSpec":
             )
         if "binding_mode" in data:
             kwargs["binding_mode"] = BindingMode(data["binding_mode"])
+        if "storage_weights" in data:
+            kwargs["storage_weights"] = StorageWeights(**data["storage_weights"])
         return SynthesisSpec(**kwargs)
     except SerializationError:
         raise
@@ -277,6 +293,10 @@ def result_to_json(
         ],
         "runtime_seconds": result.runtime,
     }
+    # Storage plan (extension): emitted only when one was synthesized, so
+    # storage_mode=off reports stay byte-identical to the paper flow.
+    if result.storage_plan is not None:
+        report["storage"] = result.storage_plan.to_json()
     if deterministic:
         del report["runtime_seconds"]
     return report

@@ -95,6 +95,22 @@ def run_job(request: dict[str, Any]) -> tuple:
                 "integrality_gap": _certificate(result.integrality_gap),
             },
         }
+        storage_plan = getattr(result, "storage_plan", None)
+        if storage_plan is not None:
+            # Summary of the synthesized storage decisions (full plan is
+            # inside payload["result"]["storage"]); absent in off mode so
+            # pre-storage payloads are unchanged.
+            payload["storage"] = {
+                "mode": storage_plan.mode,
+                "held": storage_plan.held_count,
+                "channel": storage_plan.channel_count,
+                "reservoir": storage_plan.reservoir_count,
+                "demand": storage_plan.demand,
+                "reservoirs": len(storage_plan.reservoirs),
+                "total_cost": storage_plan.total_cost,
+            }
+            payload["quality"]["storage_demand"] = storage_plan.demand
+            payload["quality"]["storage_cost"] = storage_plan.total_cost
         if degraded:
             payload["degraded"] = True
         return ("ok", payload, cache.export_entries())

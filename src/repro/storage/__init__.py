@@ -1,0 +1,39 @@
+"""Storage-aware transport synthesis (extension).
+
+Turns :mod:`repro.analysis.storage`'s passive cross-layer report into a
+synthesized decision: every layer-crossing reagent is assigned
+hold-in-place, distributed channel storage, or a dedicated storage
+reservoir (see PAPERS.md: "Transport or Store?" arXiv:1705.04998 and
+"Storage and Caching" arXiv:1705.04988).  Enabled by
+``SynthesisSpec.storage_mode``; ``off`` keeps the paper flow untouched.
+"""
+
+from .plan import (
+    CHANNEL,
+    DECISION_MODES,
+    HOLD,
+    RESERVOIR,
+    StorageDecision,
+    StoragePlan,
+    channel_location,
+)
+from .planner import (
+    StoragePlanner,
+    evicted_edges,
+    plan_storage,
+    validate_storage_plan,
+)
+
+__all__ = [
+    "HOLD",
+    "CHANNEL",
+    "RESERVOIR",
+    "DECISION_MODES",
+    "StorageDecision",
+    "StoragePlan",
+    "StoragePlanner",
+    "channel_location",
+    "evicted_edges",
+    "plan_storage",
+    "validate_storage_plan",
+]

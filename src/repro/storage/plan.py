@@ -1,0 +1,156 @@
+"""Storage plan data model.
+
+A :class:`StoragePlan` assigns every layer-crossing reagent of a hybrid
+schedule one storage decision: **hold** in the producer's device,
+**channel** (park in the transport channel between the producer's and
+consumer's devices), or **reservoir** (a slot in a dedicated
+:class:`~repro.components.storage.StorageReservoir`).  Boundary indices
+follow :mod:`repro.analysis.storage`: boundary ``b`` is the real-time
+decision point at the end of layer ``b``, so an edge from layer ``i`` to
+layer ``j`` occupies its storage location at boundaries ``i .. j-1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..components.storage import StorageReservoir
+
+#: reagent stays in its producer's device until consumption.
+HOLD = "hold"
+#: reagent parks inside the producer↔consumer transport channel.
+CHANNEL = "channel"
+#: reagent moves into a dedicated storage reservoir.
+RESERVOIR = "reservoir"
+
+DECISION_MODES = (HOLD, CHANNEL, RESERVOIR)
+
+
+def channel_location(device_a: str, device_b: str) -> str:
+    """Printable location name of the channel between two devices."""
+    a, b = (device_a, device_b) if device_a <= device_b else (device_b, device_a)
+    return f"{a}<->{b}"
+
+
+@dataclass(frozen=True)
+class StorageDecision:
+    """Where one layer-crossing reagent waits, and what that costs."""
+
+    producer: str
+    consumer: str
+    #: first layer boundary crossed (= producer's layer index).
+    first_boundary: int
+    #: last layer boundary crossed (= consumer's layer index - 1).
+    last_boundary: int
+    mode: str
+    #: device uid (hold), ``a<->b`` channel name, or reservoir uid.
+    location: str
+    cost: float
+
+    @property
+    def boundaries(self) -> range:
+        return range(self.first_boundary, self.last_boundary + 1)
+
+    @property
+    def span(self) -> int:
+        """Number of layer boundaries the reagent is buffered across."""
+        return self.last_boundary - self.first_boundary + 1
+
+    @property
+    def held(self) -> bool:
+        return self.mode == HOLD
+
+
+@dataclass
+class StoragePlan:
+    """The synthesized storage decisions of one pass."""
+
+    mode: str  # the spec's storage_mode that produced the plan
+    decisions: list[StorageDecision] = field(default_factory=list)
+    reservoirs: list[StorageReservoir] = field(default_factory=list)
+
+    def count(self, mode: str) -> int:
+        return sum(1 for d in self.decisions if d.mode == mode)
+
+    @property
+    def held_count(self) -> int:
+        return self.count(HOLD)
+
+    @property
+    def channel_count(self) -> int:
+        return self.count(CHANNEL)
+
+    @property
+    def reservoir_count(self) -> int:
+        return self.count(RESERVOIR)
+
+    @property
+    def demand(self) -> int:
+        """Reagents needing storage structure (non-hold decisions)."""
+        return len(self.decisions) - self.held_count
+
+    def at_boundary(self, boundary: int) -> list[StorageDecision]:
+        return [d for d in self.decisions if boundary in d.boundaries]
+
+    def boundary_demand(self, boundary: int) -> int:
+        """Non-hold reagents buffered across one boundary."""
+        return sum(1 for d in self.at_boundary(boundary) if not d.held)
+
+    @property
+    def boundaries(self) -> list[int]:
+        """All boundaries any decision occupies, ascending."""
+        out: set[int] = set()
+        for decision in self.decisions:
+            out.update(decision.boundaries)
+        return sorted(out)
+
+    @property
+    def decision_cost(self) -> float:
+        return sum(d.cost for d in self.decisions)
+
+    @property
+    def reservoir_cost(self) -> float:
+        return sum(r.build_cost for r in self.reservoirs)
+
+    @property
+    def total_cost(self) -> float:
+        """Weighted storage objective: decisions + reservoir builds."""
+        return self.decision_cost + self.reservoir_cost
+
+    def sorted_decisions(self) -> list[StorageDecision]:
+        """Deterministic report order."""
+        return sorted(
+            self.decisions,
+            key=lambda d: (d.first_boundary, d.producer, d.consumer),
+        )
+
+    def to_json(self) -> dict:
+        """JSON-ready dict (deterministic ordering throughout)."""
+        return {
+            "mode": self.mode,
+            "held": self.held_count,
+            "channel": self.channel_count,
+            "reservoir": self.reservoir_count,
+            "demand": self.demand,
+            "decision_cost": round(self.decision_cost, 9),
+            "reservoir_cost": round(self.reservoir_cost, 9),
+            "total_cost": round(self.total_cost, 9),
+            "reservoirs": [
+                {"uid": r.uid, "capacity": r.capacity}
+                for r in self.reservoirs
+            ],
+            "decisions": [
+                {
+                    "producer": d.producer,
+                    "consumer": d.consumer,
+                    "boundaries": [d.first_boundary, d.last_boundary],
+                    "mode": d.mode,
+                    "location": d.location,
+                    "cost": round(d.cost, 9),
+                }
+                for d in self.sorted_decisions()
+            ],
+            "demand_by_boundary": [
+                [b, self.boundary_demand(b)] for b in self.boundaries
+            ],
+        }

@@ -81,6 +81,82 @@ class TestRefinement:
         assert est.edge_time("a", "c") != 99
 
 
+class TestRankTieBreaking:
+    def test_equal_usage_breaks_ties_by_path_key(self):
+        # c->d crosses (dev0,dev1), c->e crosses (dev0,dev2): both paths
+        # used exactly once, so ranking falls back to the lexicographic
+        # path key — (dev0,dev1) takes rank 0 (term 1), (dev0,dev2)
+        # rank 1 (term 2) — deterministically, not by dict order.
+        assay, est = make_estimator(
+            transport_progression=TransportProgression(1, 5, 5)
+        )
+        binding = {"a": "dev0", "c": "dev0", "d": "dev1", "e": "dev2"}
+        est.refine(binding)
+        assert est.edge_time("c", "d") == 1
+        assert est.edge_time("c", "e") == 2
+        # Renaming the devices to invert the key order flips the ranks.
+        assay2, est2 = make_estimator(
+            transport_progression=TransportProgression(1, 5, 5)
+        )
+        est2.refine({"a": "dev0", "c": "dev0", "d": "dev2", "e": "dev1"})
+        assert est2.edge_time("c", "e") == 1
+        assert est2.edge_time("c", "d") == 2
+
+
+class TestReleaseTimeFiltering:
+    def test_within_ignores_non_children(self):
+        _, est = make_estimator(transport_default=3)
+        # "a" is c's parent, not child: filtering to it leaves no
+        # outgoing edges, so release falls back to 0.
+        assert est.release_time("c", within={"a"}) == 0
+        assert est.release_time("c", within={"unknown"}) == 0
+
+    def test_within_none_counts_all_children(self):
+        _, est = make_estimator(transport_default=3)
+        assert est.release_time("c") == est.release_time(
+            "c", within={"d", "e"}
+        )
+
+    def test_within_after_refinement(self):
+        assay, est = make_estimator(
+            transport_progression=TransportProgression(1, 5, 5)
+        )
+        # d shares c's device (transport 0), e crosses (term 1): the
+        # filtered release times expose each edge individually.
+        est.refine({"a": "dev0", "c": "dev0", "d": "dev0", "e": "dev1"})
+        assert est.release_time("c", within={"d"}) == 0
+        assert est.release_time("c", within={"e"}) == 1
+        assert est.release_time("c") == 1
+
+
+class TestRefinementIdempotence:
+    def test_same_binding_twice_is_stable(self):
+        assay, est = make_estimator(
+            transport_progression=TransportProgression(1, 5, 5)
+        )
+        binding = {"a": "dev1", "c": "dev0", "d": "dev1", "e": "dev2"}
+        est.refine(binding)
+        first = est.snapshot()
+        first_usage = dict(est.path_usage)
+        est.refine(binding)
+        assert est.snapshot() == first
+        assert dict(est.path_usage) == first_usage
+
+    def test_refine_overwrites_previous_pass(self):
+        # Pass 2 re-estimates from the new binding only — no residue from
+        # pass 1's path usage leaks into the times.
+        assay, est = make_estimator(
+            transport_progression=TransportProgression(1, 5, 5)
+        )
+        est.refine({"a": "dev1", "c": "dev0", "d": "dev1", "e": "dev2"})
+        est.refine({uid: "dev0" for uid in assay.uids})
+        fresh_assay, fresh = make_estimator(
+            transport_progression=TransportProgression(1, 5, 5)
+        )
+        fresh.refine({uid: "dev0" for uid in fresh_assay.uids})
+        assert est.snapshot() == fresh.snapshot()
+
+
 class TestPathKey:
     def test_canonical_ordering(self):
         assert path_key("b", "a") == ("a", "b")

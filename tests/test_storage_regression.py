@@ -1,0 +1,42 @@
+"""Regression lock: ``storage_mode="off"`` is byte-identical to the
+pre-storage synthesis flow.
+
+The goldens in ``tests/data/storage_off_case*.json`` were captured with
+``save_result(..., deterministic=True)`` before the storage subsystem
+existed.  Every storage hook (pressure terms, planner stage, report
+block) is gated on the mode, so an off-mode run must reproduce them
+byte for byte — any diff means storage leaked into the paper flow.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.assays import benchmark_assay
+from repro.hls import SynthesisSpec, synthesize
+from repro.io import result_to_json
+
+DATA = Path(__file__).parent / "data"
+
+#: The capture spec: pure-Python greedy scheduling, one pass — fully
+#: deterministic on any machine, no solver in the loop.
+SPEC = SynthesisSpec(threshold=4, max_iterations=1, scheduler="greedy")
+
+
+@pytest.mark.parametrize("case", [1, 2, 3])
+def test_storage_off_matches_pre_storage_golden(case):
+    golden = (DATA / f"storage_off_case{case}.json").read_text()
+    result = synthesize(benchmark_assay(case), SPEC)
+    assert result.storage_plan is None
+    report = result_to_json(result, deterministic=True)
+    assert "storage" not in report
+    assert json.dumps(report, indent=2) == golden
+
+
+def test_default_spec_is_storage_off():
+    spec = SynthesisSpec()
+    assert spec.storage_mode == "off"
+    assert spec.storage_pressure_weight() == 0.0
