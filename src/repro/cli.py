@@ -61,6 +61,9 @@ def _spec_from_args(args: argparse.Namespace) -> SynthesisSpec:
         mip_gap=getattr(args, "mip_gap", 0.0),
         scheduler=getattr(args, "scheduler", "portfolio"),
         jobs=getattr(args, "jobs", 1),
+        conflict_mode=getattr(args, "conflicts", "eager"),
+        enable_solver_sessions=not getattr(args, "no_solver_sessions", False),
+        warm_cutoff=getattr(args, "warm_cutoff", False),
         storage_mode=getattr(args, "storage", None) or "off",
         storage_capacity=getattr(args, "storage_capacity", 4),
     )
@@ -91,6 +94,26 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
         help="per-layer scheduler backend (default: portfolio — the paper "
              "flow; lp-bound/approx-lp trade exactness for certified "
              "LP-relaxation bounds)",
+    )
+    from .hls.spec import CONFLICT_MODES
+
+    parser.add_argument(
+        "--conflicts", default="eager", choices=CONFLICT_MODES,
+        help="device-conflict encoding: eager emits every disjunction row "
+             "up front (the reference flow); lazy separates violated "
+             "conflict groups on demand during the solve",
+    )
+    parser.add_argument(
+        "--no-solver-sessions", action="store_true",
+        help="disable persistent per-layer solver sessions (forces "
+             "from-scratch model encoding every pass; results are "
+             "identical either way)",
+    )
+    parser.add_argument(
+        "--warm-cutoff", action="store_true",
+        help="bound each warm-started layer solve by the warm point's "
+             "objective (optimality-preserving; changes within-gap "
+             "tie-breaking, so it participates in solve fingerprints)",
     )
     from .hls.spec import STORAGE_MODES
 

@@ -125,6 +125,9 @@ def synthesis_profile(result: SynthesisResult) -> dict:
             "build_time": _finite(
                 sum(s.build_time for s in result.solve_stats)
             ),
+            "encode_time": _finite(
+                sum(s.encode_time for s in result.solve_stats)
+            ),
             "solve_time": total_solve_time,
             "mean_solve_time": (
                 _finite(total_solve_time / solves) if solves else 0.0
@@ -136,9 +139,9 @@ def synthesis_profile(result: SynthesisResult) -> dict:
 
 #: Profile keys (per layer / totals) that record wall-clock time and
 #: therefore differ between byte-identical solves.
-_VOLATILE_LAYER_KEYS = ("build_time", "solve_time")
+_VOLATILE_LAYER_KEYS = ("build_time", "encode_time", "solve_time")
 _VOLATILE_TOTAL_KEYS = (
-    "build_time", "solve_time", "mean_solve_time", "runtime",
+    "build_time", "encode_time", "solve_time", "mean_solve_time", "runtime",
 )
 
 
@@ -180,7 +183,7 @@ def format_profile(profile: dict) -> str:
     lines = [
         f"{'pass':<9} {'layer':>5} {'backend':<9} {'status':<10} "
         f"{'cache':<5} {'warm':<4} {'nodes':>7} {'simplex':>8} "
-        f"{'build':>8} {'solve':>8} {'bound':>9} {'gap':>6}"
+        f"{'build':>8} {'encode':>8} {'solve':>8} {'bound':>9} {'gap':>6}"
     ]
     for record in profile.get("passes", []):
         for layer in record.get("layers", []):
@@ -193,7 +196,8 @@ def format_profile(profile: dict) -> str:
                 f"{stats.status:<10} {source:<5} "
                 f"{'yes' if stats.warm_started else 'no':<4} "
                 f"{stats.nodes:>7} {stats.simplex_iterations:>8} "
-                f"{stats.build_time:>7.3f}s {stats.solve_time:>7.3f}s "
+                f"{stats.build_time:>7.3f}s {stats.encode_time:>7.3f}s "
+                f"{stats.solve_time:>7.3f}s "
                 f"{_format_bound(stats.lower_bound):>9} "
                 f"{_format_gap(stats.integrality_gap):>6}"
             )
@@ -218,6 +222,7 @@ def format_profile(profile: dict) -> str:
         f"{totals.get('nodes', 0)} node(s), "
         f"{totals.get('simplex_iterations', 0)} simplex iteration(s), "
         f"build {totals.get('build_time', 0.0):.3f}s, "
+        f"encode {totals.get('encode_time', 0.0):.3f}s, "
         f"solve {totals.get('solve_time', 0.0):.3f}s, "
         f"wall {format_runtime(totals.get('runtime', 0.0))}"
         f"{certified_note}"

@@ -26,10 +26,12 @@ from .cache import (
     fingerprint_layer_problem,
     fingerprint_run,
     strict_fingerprint_layer_problem,
+    structural_fingerprint_layer_problem,
 )
 from .context import PassState, SynthesisContext, UidAllocator
 from .pipeline import SynthesisPipeline
 from .schedule import HybridSchedule, LayerSchedule, OpPlacement
+from .session import LayerSession, SessionPool
 from .spec import SynthesisSpec, TransportProgression, Weights
 from .synthesizer import (
     IterationRecord,
@@ -48,6 +50,9 @@ __all__ = [
     "fingerprint_layer_problem",
     "fingerprint_run",
     "strict_fingerprint_layer_problem",
+    "structural_fingerprint_layer_problem",
+    "LayerSession",
+    "SessionPool",
     "SynthesisSpec",
     "TransportProgression",
     "Weights",

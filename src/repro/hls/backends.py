@@ -38,15 +38,30 @@ from dataclasses import replace
 from typing import TYPE_CHECKING, Callable, Protocol
 
 from ..errors import InfeasibleError, ReproError, SchedulingError, SolverError
-from ..ilp import Solution, SolveStats, SolveStatus, relative_gap, solve_relaxation
+from ..ilp import (
+    Solution,
+    SolverSession,
+    SolveStats,
+    SolveStatus,
+    relative_gap,
+    relaxation_bound,
+)
 from .decode import LayerSolveResult, decode_layer_solution
 from .heuristic import schedule_layer_greedy
-from .milp_model import LayerModel, LayerProblem, build_layer_model, encode_layer_start
+from .milp_model import (
+    LayerModel,
+    LayerProblem,
+    build_layer_model,
+    encode_layer_start,
+    ensure_fully_separated,
+    separate_conflicts,
+)
 from .rounding import derive_rounding_guide
 from .schedule import LayerSchedule
 from .transport import path_key
 
 if TYPE_CHECKING:
+    from .session import SessionPool
     from .spec import SynthesisSpec
 
 #: Wall-clock cap (seconds) on one LP-relaxation bound solve.  The LP is
@@ -114,20 +129,18 @@ def _relaxation_bound(
     Returns the LP :class:`Solution` when it solved to optimality, else
     ``None`` — a time- or iteration-limited LP proves nothing and must not
     be reported as a bound.
+
+    Certificates are only issued on fully separated models: a lazily built
+    layer model gets its pending conflict rows emitted here before the LP
+    runs, so every recorded bound is attributable to the complete paper
+    encoding (see :mod:`repro.ilp.relaxation`).
     """
-    try:
-        relaxed = solve_relaxation(
-            layer_model.model,
-            backend=spec.backend,
-            time_limit=min(spec.time_limit, LP_BOUND_BUDGET),
-        )
-    except SolverError:
-        return None
-    if relaxed.status is not SolveStatus.OPTIMAL or relaxed.objective is None:
-        return None
-    if not math.isfinite(relaxed.objective):
-        return None
-    return relaxed
+    ensure_fully_separated(layer_model)
+    return relaxation_bound(
+        layer_model.model,
+        backend=spec.backend,
+        time_limit=min(spec.time_limit, LP_BOUND_BUDGET),
+    )
 
 
 def _solution_bound(solution: Solution | None) -> float | None:
@@ -168,6 +181,126 @@ def _certify(
         stats.lower_bound = min(bound, cost)
         stats.integrality_gap = relative_gap(cost, stats.lower_bound)
     return stats
+
+
+def _acquire_layer_model(
+    problem: LayerProblem,
+    spec: "SynthesisSpec",
+    sessions: "SessionPool | None",
+    backend: str | None = None,
+) -> tuple[LayerModel, SolverSession | None]:
+    """The layer model for ``problem`` plus its solver session, if any.
+
+    With a session pool (and ``spec.enable_solver_sessions``), the model
+    comes from the pool — delta-mutated in place when the previous pass's
+    session can absorb the change, freshly built otherwise — and solves go
+    through the attached :class:`~repro.ilp.SolverSession`.  Without one,
+    the model is built from scratch and solved statelessly; results are
+    identical either way (the session re-assembles the same standard form).
+    """
+    if sessions is not None and spec.enable_solver_sessions:
+        session = sessions.acquire(problem, spec, backend=backend)
+        return session.layer_model, session.solver
+    layer_model = build_layer_model(
+        problem, spec, lazy_conflicts=spec.conflict_mode == "lazy"
+    )
+    return layer_model, None
+
+
+#: row name of the transient warm-start objective cutoff.
+_WARM_CUTOFF_ROW = "warm_cutoff"
+
+
+def _run_layer_solve(
+    layer_model: LayerModel,
+    solver: SolverSession | None,
+    spec: "SynthesisSpec",
+    warm_start=None,
+    backend: str | None = None,
+) -> Solution:
+    """One layer MIP solve, with lazy conflict separation when enabled.
+
+    Eager models solve once.  Lazy models loop: solve the relaxed model,
+    detect same-device operation pairs that actually overlap
+    (:func:`separate_conflicts`), emit only those conflict groups, and
+    re-solve — in-session when ``solver`` is given, so only the new rows
+    are extracted.  When the layer's time budget runs dry mid-loop, the
+    remaining groups are emitted wholesale and one final solve runs on the
+    complete model (any incumbent of the full model is valid, so the
+    fallback ladder above stays sound).
+
+    With ``spec.warm_cutoff`` and a warm start, the solve runs under a
+    transient objective cutoff row at the warm point's cost.  The warm
+    vector has already been validated against every row — including, via
+    :func:`encode_layer_start`'s unemitted-violation guard, the conflict
+    groups a lazy model has not emitted yet — so the cutoff stays valid
+    across separation iterations and is removed before returning, leaving
+    the (session-held) model canonical.
+
+    The returned solution's ``runtime``/``stats.solve_time`` accumulate
+    across separation iterations — the caller sees the layer's true solver
+    cost, not the last iteration's.
+    """
+    started = time.monotonic()
+
+    model = layer_model.model
+    cutoff = spec.warm_cutoff and warm_start is not None
+    if cutoff:
+        model.add(
+            model.objective.copy() <= model.objective.value(warm_start),
+            name=_WARM_CUTOFF_ROW,
+        )
+    try:
+        return _run_layer_solve_inner(
+            layer_model, solver, spec, warm_start, backend, started
+        )
+    finally:
+        if cutoff:
+            model.remove_constraint(_WARM_CUTOFF_ROW)
+
+
+def _run_layer_solve_inner(
+    layer_model: LayerModel,
+    solver: SolverSession | None,
+    spec: "SynthesisSpec",
+    warm_start,
+    backend: str | None,
+    started: float,
+) -> Solution:
+    def run(time_limit: float) -> Solution:
+        if solver is not None:
+            return solver.solve(
+                time_limit=time_limit,
+                mip_gap=spec.mip_gap,
+                warm_start=warm_start,
+            )
+        return layer_model.model.solve(
+            backend=backend or spec.backend,
+            time_limit=time_limit,
+            mip_gap=spec.mip_gap,
+            warm_start=warm_start,
+        )
+
+    solution = run(spec.time_limit)
+    if not layer_model.lazy_conflicts or layer_model.fully_separated:
+        return solution
+    total_runtime = solution.runtime
+    while solution.status.has_solution:
+        if not separate_conflicts(layer_model, solution.values):
+            break
+        remaining = spec.time_limit - (time.monotonic() - started)
+        if remaining <= 0.5:
+            # Budget exhausted: stop separating incrementally, complete the
+            # model, and give the final solve a token budget so it returns
+            # an incumbent that is valid against *all* conflict rows.
+            ensure_fully_separated(layer_model)
+            remaining = 1.0
+        solution = run(remaining)
+        total_runtime += solution.runtime
+    solution.runtime = total_runtime
+    if solution.stats is not None:
+        solution.stats.solve_time = total_runtime
+    return solution
 
 
 def _candidate_allocator() -> Callable[[], str]:
@@ -219,7 +352,9 @@ class SchedulerBackend(Protocol):
     ``solve`` must draw uids for the returned result's new devices (and
     nothing else) from ``allocate_uid``; ``warm_from`` is the previous
     pass's result for this layer, already rebased onto the problem's fixed
-    devices, or ``None``.
+    devices, or ``None``.  ``sessions`` is the run's solver-session pool
+    (or ``None``); backends that build the layer MIP acquire their model
+    through it so re-solves mutate a live model instead of re-encoding.
     """
 
     name: str
@@ -230,6 +365,7 @@ class SchedulerBackend(Protocol):
         spec: "SynthesisSpec",
         allocate_uid: Callable[[], str],
         warm_from: LayerSolveResult | None = None,
+        sessions: "SessionPool | None" = None,
     ) -> LayerSolveResult: ...
 
 
@@ -244,6 +380,7 @@ class GreedyBackend:
         spec: "SynthesisSpec",
         allocate_uid: Callable[[], str],
         warm_from: LayerSolveResult | None = None,
+        sessions: "SessionPool | None" = None,
     ) -> LayerSolveResult:
         build_started = time.monotonic()
         try:
@@ -275,18 +412,19 @@ class IlpBackend:
         spec: "SynthesisSpec",
         allocate_uid: Callable[[], str],
         warm_from: LayerSolveResult | None = None,
+        sessions: "SessionPool | None" = None,
     ) -> LayerSolveResult:
         build_started = time.monotonic()
-        layer_model = build_layer_model(problem, spec)
+        layer_model, solver = _acquire_layer_model(
+            problem, spec, sessions, backend=self.solver
+        )
+        encode_time = time.monotonic() - build_started
         warm_start = None
         if spec.enable_warm_start and warm_from is not None:
             warm_start = encode_layer_start(layer_model, warm_from)
         build_time = time.monotonic() - build_started
-        solution = layer_model.model.solve(
-            backend=self.solver,
-            time_limit=spec.time_limit,
-            mip_gap=spec.mip_gap,
-            warm_start=warm_start,
+        solution = _run_layer_solve(
+            layer_model, solver, spec, warm_start, backend=self.solver
         )
         if solution.status.has_solution:
             result = decode_layer_solution(layer_model, solution, allocate_uid)
@@ -298,6 +436,7 @@ class IlpBackend:
                 nodes=base.nodes if base else 0,
                 simplex_iterations=base.simplex_iterations if base else 0,
                 build_time=build_time,
+                encode_time=encode_time,
                 solve_time=base.solve_time if base else 0.0,
                 warm_started=base.warm_started if base else False,
             )
@@ -342,6 +481,7 @@ class PortfolioBackend:
         spec: "SynthesisSpec",
         allocate_uid: Callable[[], str],
         warm_from: LayerSolveResult | None = None,
+        sessions: "SessionPool | None" = None,
     ) -> LayerSolveResult:
         build_started = time.monotonic()
         greedy: LayerSolveResult | None = None
@@ -353,7 +493,9 @@ class PortfolioBackend:
             except SchedulingError:
                 greedy = None
 
-        layer_model = build_layer_model(problem, spec)
+        encode_started = time.monotonic()
+        layer_model, solver = _acquire_layer_model(problem, spec, sessions)
+        encode_time = time.monotonic() - encode_started
 
         warm_values = None
         warm_start = None
@@ -408,6 +550,7 @@ class PortfolioBackend:
                 nodes=base.nodes if base else 0,
                 simplex_iterations=base.simplex_iterations if base else 0,
                 build_time=build_time,
+                encode_time=encode_time,
                 solve_time=base.solve_time if base else 0.0,
                 cache_hit=False,
                 warm_started=base.warm_started if base else False,
@@ -418,12 +561,7 @@ class PortfolioBackend:
             return result
 
         try:
-            solution = layer_model.model.solve(
-                backend=spec.backend,
-                time_limit=spec.time_limit,
-                mip_gap=spec.mip_gap,
-                warm_start=warm_start,
-            )
+            solution = _run_layer_solve(layer_model, solver, spec, warm_start)
         except SolverError:
             fallback = warm_candidate() or greedy
             if fallback is not None:
@@ -481,6 +619,7 @@ class LpBoundBackend:
         spec: "SynthesisSpec",
         allocate_uid: Callable[[], str],
         warm_from: LayerSolveResult | None = None,
+        sessions: "SessionPool | None" = None,
     ) -> LayerSolveResult:
         build_started = time.monotonic()
         try:
@@ -489,7 +628,11 @@ class LpBoundBackend:
             raise SolverError(
                 f"layer {problem.layer_index}: greedy scheduler failed: {exc}"
             ) from exc
+        # The model exists only to be relaxed once — no re-solves to
+        # amortize, so this backend stays eager and session-free.
+        encode_started = time.monotonic()
         layer_model = build_layer_model(problem, spec)
+        encode_time = time.monotonic() - encode_started
         build_time = time.monotonic() - build_started
         relaxed = _relaxation_bound(layer_model, spec)
         result.stats = SolveStats(
@@ -502,6 +645,7 @@ class LpBoundBackend:
                 else 0
             ),
             build_time=build_time,
+            encode_time=encode_time,
             solve_time=relaxed.runtime if relaxed is not None else 0.0,
         )
         _certify(
@@ -533,6 +677,7 @@ class ApproxLpBackend:
         spec: "SynthesisSpec",
         allocate_uid: Callable[[], str],
         warm_from: LayerSolveResult | None = None,
+        sessions: "SessionPool | None" = None,
     ) -> LayerSolveResult:
         build_started = time.monotonic()
         layer_model = build_layer_model(problem, spec)
@@ -575,6 +720,7 @@ class ApproxLpBackend:
                 else 0
             ),
             build_time=build_time,
+            encode_time=build_time,
             solve_time=relaxed.runtime if relaxed is not None else 0.0,
         )
         _certify(

@@ -65,6 +65,16 @@ def _spec_token(spec: SynthesisSpec) -> tuple:
         spec.mip_gap,
         spec.allow_heuristic_fallback,
         spec.enable_warm_start,
+        # The warm-start cutoff row steers which within-gap optimum the
+        # solver returns, so cutoff and non-cutoff solves must not share
+        # cache entries.
+        spec.warm_cutoff,
+        # Lazy conflict separation converges to conflict-free schedules but
+        # may land on a different within-gap optimum than the eager
+        # encoding, so the modes must not share cached solves.  Solver
+        # sessions are deliberately absent: a session re-assembles the
+        # exact standard form a scratch build produces.
+        spec.conflict_mode,
         (weights.time, weights.area, weights.processing, weights.paths),
         tuple(sorted((k[0].value, k[1].value, v) for k, v in costs.area.items())),
         tuple(
@@ -261,6 +271,51 @@ def strict_fingerprint_layer_problem(
         ops_token,
         edges_token,
         tuple(sorted(problem.release.items())),
+        devices_token,
+        problem.free_slots,
+        tuple(sorted(problem.incoming)),
+        tuple(sorted(problem.outgoing)),
+        tuple(sorted(problem.existing_paths)),
+        (
+            tuple(sorted(problem.storage_in.items())),
+            tuple(sorted(problem.storage_out.items())),
+        ),
+        _spec_token(spec),
+    )
+    return hashlib.sha256(repr(payload).encode()).hexdigest()
+
+
+def structural_fingerprint_layer_problem(
+    problem: LayerProblem, spec: SynthesisSpec
+) -> str:
+    """Fingerprint of a layer problem's *structure* — everything except the
+    transportation estimates and release margins.
+
+    This is the session-pool key (:mod:`repro.hls.session`): two problems
+    that match structurally build models with identical variables and rows
+    whose only differences are coefficient/rhs/bound *values* derived from
+    ``edge_transport`` and ``release`` — exactly what
+    :func:`repro.hls.milp_model.encode_layer_delta` can patch in place.
+    Raw device uids are used (like the strict fingerprint) because the
+    model's variable layout depends on them.
+    """
+    ops_token = tuple(
+        (
+            op.uid,
+            op.duration.scheduled,
+            op.is_indeterminate,
+            op.requirement_signature(),
+        )
+        for op in problem.ops
+    )
+    devices_token = tuple(
+        (d.uid, _device_token(d)) for d in problem.fixed_devices
+    )
+    payload = (
+        "layer-session-v1",
+        problem.layer_index,
+        ops_token,
+        tuple(sorted(problem.in_layer_edges)),
         devices_token,
         problem.free_slots,
         tuple(sorted(problem.incoming)),

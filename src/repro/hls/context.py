@@ -20,6 +20,7 @@ from ..operations.assay import Assay
 from .cache import LayerSolveCache
 from .decode import LayerSolveResult
 from .schedule import HybridSchedule
+from .session import SessionPool
 from .spec import SynthesisSpec
 from .transport import TransportEstimator
 
@@ -152,6 +153,9 @@ class SynthesisContext:
     #: worker processes for re-synthesis layer solves; ``None`` inherits
     #: ``spec.jobs``.
     jobs: int | None = None
+    #: per-layer solver sessions, reused across re-synthesis passes;
+    #: defaulted per ``spec.enable_solver_sessions`` when omitted.
+    sessions: SessionPool | None = None
 
     # -- populated by the pipeline stages --------------------------------
     layering: LayeringResult | None = None
@@ -170,3 +174,5 @@ class SynthesisContext:
             )
         if self.jobs is None:
             self.jobs = self.spec.jobs
+        if self.sessions is None and self.spec.enable_solver_sessions:
+            self.sessions = SessionPool()

@@ -66,6 +66,29 @@ def is_slot(key) -> bool:
     return isinstance(key, tuple) and len(key) == 2 and key[0] == "slot"
 
 
+@dataclass(frozen=True)
+class ConflictGroup:
+    """One op pair's device-conflict disjunction (constraints (10)–(13)).
+
+    Groups are enumerated for every unordered, dependency-unrelated pair
+    that could share a device.  Their rows are emitted either eagerly at
+    build time or lazily by :func:`separate_conflicts` when a solution
+    actually violates them; both paths go through
+    :func:`_emit_conflict_group`, the single source of truth for the rows.
+    """
+
+    #: "fixed" (both determinate), "mixed" (one indeterminate), or "ind".
+    kind: str
+    #: op uids in pair-enumeration order (``a`` before ``b`` in the layer).
+    a: str
+    b: str
+    #: the determinate / indeterminate op of a "mixed" pair, else None.
+    fixed: str | None
+    ind: str | None
+    #: device keys both ops could legally bind.
+    shared: tuple
+
+
 @dataclass
 class LayerProblem:
     """Everything one layer's ILP needs to know."""
@@ -122,6 +145,22 @@ class LayerModel:
     #: after b completes (+release)", q1 relaxes "a completes (+release)
     #: before b starts", q2 permits a and b to share one device.
     disj: list[tuple[str, Variable, str, str]] = field(default_factory=list)
+    #: every conflict group of the layer, in pair-enumeration order.
+    conflict_groups: list[ConflictGroup] = field(default_factory=list)
+    #: (a, b) pairs whose conflict rows are present in the model.
+    emitted: set[tuple[str, str]] = field(default_factory=set)
+    #: conflict escape binaries by ("q0"|"q1"|"q2", a, b) — the handles
+    #: delta encoding needs to retarget big-M coefficients.
+    qvars: dict[tuple[str, str, str], Variable] = field(default_factory=dict)
+    #: legal device keys per op uid (delta encoding re-derives row names).
+    legal_keys: dict[str, list] = field(default_factory=dict)
+    #: conflict rows are generated lazily by separation instead of eagerly.
+    lazy_conflicts: bool = False
+
+    @property
+    def fully_separated(self) -> bool:
+        """True when every conflict group's rows are in the model."""
+        return len(self.emitted) >= len(self.conflict_groups)
 
 
 def _op_combos(op: Operation) -> list[tuple[ContainerKind, Capacity]]:
@@ -165,8 +204,19 @@ def _in_layer_reachability(
     return closed
 
 
-def build_layer_model(problem: LayerProblem, spec: SynthesisSpec) -> LayerModel:
-    """Construct the layer ILP (see module docstring)."""
+def build_layer_model(
+    problem: LayerProblem,
+    spec: SynthesisSpec,
+    lazy_conflicts: bool = False,
+) -> LayerModel:
+    """Construct the layer ILP (see module docstring).
+
+    With ``lazy_conflicts=True`` the device-conflict disjunctions
+    ((10)–(13)) are enumerated but *not* emitted; the solve loop calls
+    :func:`separate_conflicts` to add only the groups a trial solution
+    violates.  The relaxed model's solutions are only valid layer schedules
+    once separation converges (no violated group remains).
+    """
     ops = problem.ops
     by_uid = {op.uid: op for op in ops}
     mode = spec.binding_mode
@@ -331,7 +381,6 @@ def build_layer_model(problem: LayerProblem, spec: SynthesisSpec) -> LayerModel:
 
     # ---- device conflicts ((10)-(13)) ----------------------------------------
     reach = _in_layer_reachability(ops, problem.in_layer_edges)
-    disj: list[tuple[str, Variable, str, str]] = []
 
     def shared_keys(a: Operation, b: Operation) -> list:
         keys = []
@@ -348,6 +397,27 @@ def build_layer_model(problem: LayerProblem, spec: SynthesisSpec) -> LayerModel:
             keys.append(key)
         return keys
 
+    # The LayerModel exists from here on so the conflict emitter (shared
+    # with the lazy separation loop) can register rows and escape binaries
+    # on it; path_vars is filled below, the objective is set last.
+    layer_model = LayerModel(
+        model=model,
+        problem=problem,
+        spec=spec,
+        horizon=horizon,
+        device_keys=device_keys,
+        start=start,
+        makespan=makespan,
+        od=od,
+        conf=conf,
+        acc=acc,
+        used=used,
+        sig=sig,
+        path_vars={},
+        legal_keys=legal_keys,
+        lazy_conflicts=lazy_conflicts,
+    )
+
     for i, op_a in enumerate(ops):
         for op_b in ops[i + 1 :]:
             a, b = op_a.uid, op_b.uid
@@ -357,65 +427,24 @@ def build_layer_model(problem: LayerProblem, spec: SynthesisSpec) -> LayerModel:
             if not shared:
                 continue  # cannot share a device; overlap is harmless
             if op_a.is_indeterminate and op_b.is_indeterminate:
-                for key in shared:
-                    model.add(
-                        od[a, key] + od[b, key] <= 1,
-                        name=f"ind_apart[{a},{b},{key}]",
-                    )
-                continue
-            if op_a.is_indeterminate or op_b.is_indeterminate:
+                group = ConflictGroup("ind", a, b, None, None, tuple(shared))
+            elif op_a.is_indeterminate or op_b.is_indeterminate:
                 # fixed op must fully precede the indeterminate one, or they
                 # bind apart.
                 fixed_op, ind_op = (
                     (op_b, op_a) if op_a.is_indeterminate else (op_a, op_b)
                 )
-                q1 = model.binary(f"q1[{a},{b}]")
-                q2 = model.binary(f"q2[{a},{b}]")
-                disj.append(("q1", q1, fixed_op.uid, ind_op.uid))
-                disj.append(("q2", q2, a, b))
-                release = problem.release.get(fixed_op.uid, 0)
-                model.add(
-                    start[fixed_op.uid]
-                    + fixed_op.duration.scheduled
-                    + release
-                    - q1 * big_m
-                    <= start[ind_op.uid],
-                    name=f"before_ind[{a},{b}]",
+                group = ConflictGroup(
+                    "mixed", a, b, fixed_op.uid, ind_op.uid, tuple(shared)
                 )
-                for key in shared:
-                    model.add(
-                        od[a, key] + od[b, key] - q2 <= 1,
-                        name=f"conflict[{a},{b},{key}]",
-                    )
-                model.add(q1 + q2 <= 1, name=f"disj[{a},{b}]")
-                continue
-            q0 = model.binary(f"q0[{a},{b}]")
-            q1 = model.binary(f"q1[{a},{b}]")
-            q2 = model.binary(f"q2[{a},{b}]")
-            disj.append(("q0", q0, a, b))
-            disj.append(("q1", q1, a, b))
-            disj.append(("q2", q2, a, b))
-            rel_a = problem.release.get(a, 0)
-            rel_b = problem.release.get(b, 0)
-            model.add(
-                start[a] + q0 * big_m
-                >= start[b] + op_b.duration.scheduled + rel_b,
-                name=f"after[{a},{b}]",
-            )
-            model.add(
-                start[a] + op_a.duration.scheduled + rel_a - q1 * big_m
-                <= start[b],
-                name=f"before[{a},{b}]",
-            )
-            for key in shared:
-                model.add(
-                    od[a, key] + od[b, key] - q2 <= 1,
-                    name=f"conflict[{a},{b},{key}]",
-                )
-            model.add(q0 + q1 + q2 <= 2, name=f"disj[{a},{b}]")
+            else:
+                group = ConflictGroup("fixed", a, b, None, None, tuple(shared))
+            layer_model.conflict_groups.append(group)
+            if not lazy_conflicts:
+                _emit_conflict_group(layer_model, group)
 
     # ---- transportation paths ((21)) -------------------------------------------
-    path_vars: dict[tuple, Variable] = {}
+    path_vars: dict[tuple, Variable] = layer_model.path_vars
 
     def get_path_var(key_a, key_b) -> Variable | None:
         """Path variable for a device-key pair; None when the path is free."""
@@ -504,22 +533,347 @@ def build_layer_model(problem: LayerProblem, spec: SynthesisSpec) -> LayerModel:
         + storage_expr
     )
 
-    return LayerModel(
-        model=model,
-        problem=problem,
-        spec=spec,
-        horizon=horizon,
-        device_keys=device_keys,
-        start=start,
-        makespan=makespan,
-        od=od,
-        conf=conf,
-        acc=acc,
-        used=used,
-        sig=sig,
-        path_vars=path_vars,
-        disj=disj,
+    return layer_model
+
+
+def _emit_shared_device_rows(
+    layer_model: LayerModel,
+    a: str,
+    b: str,
+    shared: tuple,
+    escape: Variable | None,
+    prefix: str,
+) -> None:
+    """The per-key "bind apart" rows every conflict kind shares.
+
+    ``od[a,key] + od[b,key] <= 1`` per shared key, minus the ``escape``
+    binary when the pair has a timing alternative (q2 permits sharing).
+    """
+    model = layer_model.model
+    od = layer_model.od
+    for key in shared:
+        expr = od[a, key] + od[b, key]
+        if escape is not None:
+            expr = expr - escape
+        model.add(expr <= 1, name=f"{prefix}[{a},{b},{key}]")
+
+
+def _emit_conflict_group(layer_model: LayerModel, group: ConflictGroup) -> None:
+    """Emit one conflict group's rows ((10)–(13)) into the model.
+
+    Single source of truth for eager builds and the lazy separation loop;
+    row and variable names are identical either way.
+    """
+    model = layer_model.model
+    problem = layer_model.problem
+    start = layer_model.start
+    big_m = layer_model.horizon
+    by_uid = {op.uid: op for op in problem.ops}
+    a, b = group.a, group.b
+
+    if group.kind == "ind":
+        _emit_shared_device_rows(layer_model, a, b, group.shared, None, "ind_apart")
+    elif group.kind == "mixed":
+        q1 = model.binary(f"q1[{a},{b}]")
+        q2 = model.binary(f"q2[{a},{b}]")
+        layer_model.disj.append(("q1", q1, group.fixed, group.ind))
+        layer_model.disj.append(("q2", q2, a, b))
+        layer_model.qvars[("q1", a, b)] = q1
+        layer_model.qvars[("q2", a, b)] = q2
+        fixed_op = by_uid[group.fixed]
+        release = problem.release.get(group.fixed, 0)
+        model.add(
+            start[group.fixed]
+            + fixed_op.duration.scheduled
+            + release
+            - q1 * big_m
+            <= start[group.ind],
+            name=f"before_ind[{a},{b}]",
+        )
+        _emit_shared_device_rows(layer_model, a, b, group.shared, q2, "conflict")
+        model.add(q1 + q2 <= 1, name=f"disj[{a},{b}]")
+    else:
+        q0 = model.binary(f"q0[{a},{b}]")
+        q1 = model.binary(f"q1[{a},{b}]")
+        q2 = model.binary(f"q2[{a},{b}]")
+        layer_model.disj.append(("q0", q0, a, b))
+        layer_model.disj.append(("q1", q1, a, b))
+        layer_model.disj.append(("q2", q2, a, b))
+        layer_model.qvars[("q0", a, b)] = q0
+        layer_model.qvars[("q1", a, b)] = q1
+        layer_model.qvars[("q2", a, b)] = q2
+        rel_a = problem.release.get(a, 0)
+        rel_b = problem.release.get(b, 0)
+        model.add(
+            start[a] + q0 * big_m
+            >= start[b] + by_uid[b].duration.scheduled + rel_b,
+            name=f"after[{a},{b}]",
+        )
+        model.add(
+            start[a] + by_uid[a].duration.scheduled + rel_a - q1 * big_m
+            <= start[b],
+            name=f"before[{a},{b}]",
+        )
+        _emit_shared_device_rows(layer_model, a, b, group.shared, q2, "conflict")
+        model.add(q0 + q1 + q2 <= 2, name=f"disj[{a},{b}]")
+    layer_model.emitted.add((a, b))
+
+
+def _group_violated(
+    group: ConflictGroup,
+    starts: dict[str, float],
+    key_of: dict[str, object],
+    by_uid: dict[str, Operation],
+    release: dict[str, int],
+) -> bool:
+    """Does an assignment (starts + chosen device keys) violate the group?"""
+    key_a = key_of.get(group.a)
+    if key_a is None or key_a != key_of.get(group.b):
+        return False  # bound apart: every kind is satisfied
+    if group.kind == "ind":
+        return True  # two indeterminate ops may never share a device
+    if group.kind == "mixed":
+        fixed, ind = group.fixed, group.ind
+        done = (
+            starts[fixed]
+            + by_uid[fixed].duration.scheduled
+            + release.get(fixed, 0)
+        )
+        return not done <= starts[ind]
+    a, b = group.a, group.b
+    done_a = starts[a] + by_uid[a].duration.scheduled + release.get(a, 0)
+    done_b = starts[b] + by_uid[b].duration.scheduled + release.get(b, 0)
+    return not (starts[a] >= done_b or done_a <= starts[b])
+
+
+def _solution_assignment(
+    layer_model: LayerModel, values: dict[Variable, float]
+) -> tuple[dict[str, float], dict[str, object]]:
+    """Extract (start times, chosen device key per op) from variable values."""
+    starts = {
+        uid: float(round(values[var]))
+        for uid, var in layer_model.start.items()
+    }
+    key_of: dict[str, object] = {}
+    for (uid, key), var in layer_model.od.items():
+        if values[var] > 0.5:
+            key_of[uid] = key
+    return starts, key_of
+
+
+def unemitted_violations(
+    layer_model: LayerModel, values: dict[Variable, float]
+) -> list[ConflictGroup]:
+    """Conflict groups not yet in the model that ``values`` violates."""
+    pending = [
+        g
+        for g in layer_model.conflict_groups
+        if (g.a, g.b) not in layer_model.emitted
+    ]
+    if not pending:
+        return []
+    problem = layer_model.problem
+    by_uid = {op.uid: op for op in problem.ops}
+    starts, key_of = _solution_assignment(layer_model, values)
+    return [
+        g
+        for g in pending
+        if _group_violated(g, starts, key_of, by_uid, problem.release)
+    ]
+
+
+def separate_conflicts(
+    layer_model: LayerModel, values: dict[Variable, float]
+) -> list[ConflictGroup]:
+    """One round of lazy separation: emit the groups ``values`` violates.
+
+    Returns the newly emitted groups (empty means the solution is clean —
+    feasible for the *fully* separated model, not just the relaxed one).
+    """
+    violated = unemitted_violations(layer_model, values)
+    for group in violated:
+        _emit_conflict_group(layer_model, group)
+    return violated
+
+
+def ensure_fully_separated(layer_model: LayerModel) -> int:
+    """Emit every remaining conflict group; returns how many were added.
+
+    Certificates (LP relaxation bounds) are only issued off fully separated
+    models — the relaxed model's LP bound would still be valid (fewer rows
+    = a relaxation of the full model), but the certificate invariant is
+    stated, tested, and documented against the complete encoding.
+    """
+    remaining = [
+        g
+        for g in layer_model.conflict_groups
+        if (g.a, g.b) not in layer_model.emitted
+    ]
+    for group in remaining:
+        _emit_conflict_group(layer_model, group)
+    return len(remaining)
+
+
+def _delta_structure_token(problem: LayerProblem) -> tuple:
+    """What must be unchanged for a delta re-encode to be sound.
+
+    Everything except the numeric transport/release constants: op identity
+    and durations (they shape rows, not just numbers — durations appear in
+    makespan and tail rows that the delta does not touch), edges, devices,
+    slots, cross-layer wiring, and the storage key/weight maps (weights are
+    objective coefficients tied to od variables created at build time).
+    """
+    return (
+        problem.layer_index,
+        tuple(
+            (
+                op.uid,
+                op.duration.scheduled,
+                op.is_indeterminate,
+                op.requirement_signature(),
+            )
+            for op in problem.ops
+        ),
+        tuple(problem.in_layer_edges),
+        tuple((d.uid, d.signature) for d in problem.fixed_devices),
+        problem.free_slots,
+        tuple(problem.incoming),
+        tuple(problem.outgoing),
+        tuple(sorted(problem.existing_paths)),
+        tuple(sorted(problem.storage_in.items())),
+        tuple(sorted(problem.storage_out.items())),
     )
+
+
+def _dep_rel_pattern(
+    problem: LayerProblem, legal_keys: dict[str, list]
+) -> list[tuple[str, str, object]]:
+    """The ``dep_rel`` rows a problem emits: (parent, child, shared key)."""
+    pattern: list[tuple[str, str, object]] = []
+    for parent, child in problem.in_layer_edges:
+        transport = problem.edge_transport[(parent, child)]
+        release = problem.release.get(parent, 0)
+        if release <= transport:
+            continue
+        for key in legal_keys[parent]:
+            if key in legal_keys[child]:
+                pattern.append((parent, child, key))
+    return pattern
+
+
+def encode_layer_delta(
+    layer_model: LayerModel, problem: LayerProblem, spec: SynthesisSpec
+):
+    """Map a changed :class:`LayerProblem` onto model mutations.
+
+    Returns ``(delta, new_horizon)`` when the change is purely numeric —
+    shifted transport/release constants, which move dependency right-hand
+    sides, the horizon (variable upper bounds), and every big-M coefficient
+    derived from it — or ``None`` when the change is structural (different
+    ops/devices/slots/edges/storage), in which case the caller rebuilds.
+
+    The mutated model is element-identical to ``build_layer_model(problem,
+    spec)`` restricted to the emitted conflict groups: a delta-solved layer
+    is byte-identical to a from-scratch solve.
+    """
+    from ..ilp.model import ModelDelta
+
+    old = layer_model.problem
+    if spec != layer_model.spec:
+        return None
+    if _delta_structure_token(problem) != _delta_structure_token(old):
+        return None
+    legal_keys = layer_model.legal_keys
+    pattern = _dep_rel_pattern(problem, legal_keys)
+    if pattern != _dep_rel_pattern(old, legal_keys):
+        return None
+
+    ops = problem.ops
+    by_uid = {op.uid: op for op in ops}
+    new_horizon = sum(
+        op.duration.scheduled + problem.release.get(op.uid, 0) for op in ops
+    ) + sum(problem.edge_transport.values()) + 1
+    big_m = new_horizon
+    horizon_changed = new_horizon != layer_model.horizon
+
+    model = layer_model.model
+    od = layer_model.od
+    delta = ModelDelta()
+
+    if horizon_changed:
+        for var in layer_model.start.values():
+            delta.set_variable_bounds(var, ub=new_horizon)
+        delta.set_variable_bounds(layer_model.makespan, ub=new_horizon)
+
+    def retarget(name: str, var: Variable, coeff: float) -> None:
+        if model.constraint(name).expr.terms.get(var) != coeff:
+            delta.set_coefficient(name, var, coeff)
+
+    def move_rhs(name: str, rhs: float) -> None:
+        if model.constraint(name).rhs != rhs:
+            delta.set_rhs(name, rhs)
+
+    for parent, child in problem.in_layer_edges:
+        move_rhs(
+            f"dep[{parent}->{child}]",
+            by_uid[parent].duration.scheduled
+            + problem.edge_transport[(parent, child)],
+        )
+    for parent, child, key in pattern:
+        name = f"dep_rel[{parent}->{child},{key}]"
+        retarget(name, od[parent, key], -big_m)
+        retarget(name, od[child, key], -big_m)
+        move_rhs(
+            name,
+            by_uid[parent].duration.scheduled
+            + problem.release.get(parent, 0)
+            - 2 * big_m,
+        )
+
+    for group in layer_model.conflict_groups:
+        a, b = group.a, group.b
+        if (a, b) not in layer_model.emitted or group.kind == "ind":
+            continue
+        if group.kind == "mixed":
+            fixed = group.fixed
+            name = f"before_ind[{a},{b}]"
+            retarget(name, layer_model.qvars[("q1", a, b)], -big_m)
+            move_rhs(
+                name,
+                -(
+                    by_uid[fixed].duration.scheduled
+                    + problem.release.get(fixed, 0)
+                ),
+            )
+            continue
+        rel_a = problem.release.get(a, 0)
+        rel_b = problem.release.get(b, 0)
+        name = f"after[{a},{b}]"
+        retarget(name, layer_model.qvars[("q0", a, b)], big_m)
+        move_rhs(name, by_uid[b].duration.scheduled + rel_b)
+        name = f"before[{a},{b}]"
+        retarget(name, layer_model.qvars[("q1", a, b)], -big_m)
+        move_rhs(name, -(by_uid[a].duration.scheduled + rel_a))
+
+    return delta, new_horizon
+
+
+def apply_layer_delta(
+    layer_model: LayerModel,
+    problem: LayerProblem,
+    delta,
+    new_horizon: int,
+    apply: bool = True,
+) -> None:
+    """Finalize a delta re-encode: swap the problem and horizon in.
+
+    ``apply=False`` skips mutating the model (a solver session already
+    applied the delta through its own :meth:`apply`).
+    """
+    if apply:
+        delta.apply_to(layer_model.model)
+    layer_model.problem = problem
+    layer_model.horizon = new_horizon
 
 
 def encode_layer_start(
@@ -628,6 +982,10 @@ def encode_layer_start(
         values = _repair_layer_timing(layer_model, values)
         if values is None or model.check(values):
             return None
+    if unemitted_violations(layer_model, values):
+        # A lazily built model is missing conflict rows; a start that only
+        # passes because those rows are absent is not a valid schedule.
+        return None
     return values
 
 

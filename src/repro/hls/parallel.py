@@ -42,7 +42,7 @@ from __future__ import annotations
 
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ..errors import ReproError
 from ..ilp import SolveStats
@@ -61,6 +61,9 @@ from .decode import LayerSolveResult
 from .milp_model import LayerProblem
 from .spec import SynthesisSpec
 from .transport import TransportEstimator
+
+if TYPE_CHECKING:
+    from .session import SessionPool
 
 
 @dataclass
@@ -84,6 +87,26 @@ def _temp_allocator() -> Callable[[], str]:
     return allocate
 
 
+#: Per-worker-process solver-session pool.  Worker processes are reused
+#: across waves and passes, so a worker that re-speculates the same layer
+#: gets the delta-mutation fast path exactly like the sequential driver.
+#: Safe to share across runs: the session key includes the solve-relevant
+#: spec fields, and sessions rebuild the exact standard form a scratch
+#: build produces, so results stay byte-identical.
+_worker_sessions: "SessionPool | None" = None
+
+
+def _worker_session_pool(spec: SynthesisSpec) -> "SessionPool | None":
+    global _worker_sessions
+    if not spec.enable_solver_sessions:
+        return None
+    if _worker_sessions is None:
+        from .session import SessionPool
+
+        _worker_sessions = SessionPool()
+    return _worker_sessions
+
+
 def solve_layer_work(work: LayerWork):
     """Worker entry point: solve and encode, or report the failure kind.
 
@@ -94,7 +117,11 @@ def solve_layer_work(work: LayerWork):
     try:
         backend = create_scheduler(work.spec.scheduler)
         result = backend.solve(
-            work.problem, work.spec, _temp_allocator(), work.warm_from
+            work.problem,
+            work.spec,
+            _temp_allocator(),
+            work.warm_from,
+            sessions=_worker_session_pool(work.spec),
         )
         entry = encode_layer_result(work.problem, result)
         if entry is None:

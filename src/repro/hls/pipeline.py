@@ -42,6 +42,7 @@ from .transport import TransportEstimator, path_key
 
 if TYPE_CHECKING:
     from .parallel import PassSpeculator
+    from .session import SessionPool
     from .synthesizer import SynthesisResult
 
 
@@ -278,6 +279,7 @@ class LayerSolveStage:
         cache: LayerSolveCache | None = None,
         warm_from: LayerSolveResult | None = None,
         speculator: "PassSpeculator | None" = None,
+        sessions: "SessionPool | None" = None,
     ) -> LayerSolveResult:
         if cache is not None:
             replayed = cache.lookup(problem, spec, allocate_uid)
@@ -288,7 +290,9 @@ class LayerSolveStage:
             result = speculator.take(problem, allocate_uid)
         if result is None:
             backend = create_scheduler(spec.scheduler)
-            result = backend.solve(problem, spec, allocate_uid, warm_from)
+            result = backend.solve(
+                problem, spec, allocate_uid, warm_from, sessions=sessions
+            )
         if cache is not None:
             cache.store(problem, spec, result)
         return result
@@ -459,6 +463,7 @@ class PassLoop:
                 cache=context.cache,
                 warm_from=warm_from,
                 speculator=speculator,
+                sessions=context.sessions,
             )
             timings["solve"] += time.monotonic() - stamp
 

@@ -88,6 +88,14 @@ class TransportProgression:
 #: per reagent.
 STORAGE_MODES = ("off", "reservoir", "channel", "auto")
 
+#: device-conflict encoding modes: ``eager`` emits every disjunction row
+#: of paper (10)-(13) up front (the reference encoding); ``lazy`` starts
+#: without them and separates only the violated conflict groups during the
+#: solve loop (see hls/milp_model.py).  Both converge to conflict-free
+#: schedules; within the MIP-gap tolerance the solver may return different
+#: (equally valid) optima, so the mode participates in solve fingerprints.
+CONFLICT_MODES = ("eager", "lazy")
+
 
 @dataclass(frozen=True)
 class StorageWeights:
@@ -158,6 +166,15 @@ class SynthesisSpec:
     #: seed each layer ILP with an incumbent (previous pass's result, or
     #: the greedy fallback) on backends that support warm starts.
     enable_warm_start: bool = True
+    #: add an objective cutoff row (``c.x <= c.warm``) from the validated
+    #: warm start before each layer solve.  The warm point is feasible, so
+    #: the true optimum survives the cut and any incumbent still lands
+    #: within ``mip_gap`` of it — but the search path (and hence the
+    #: within-gap tie-breaking) changes, so the flag participates in solve
+    #: fingerprints.  This is the HiGHS-side analogue of the pure-Python
+    #: solver's incumbent carry: SciPy's ``milp`` cannot inject a start
+    #: vector, but it can be told not to search above one.
+    warm_cutoff: bool = False
     #: scheduler backend for per-layer solves ("portfolio" races the ILP
     #: against warm-start reuse and the greedy list scheduler; "ilp-highs",
     #: "ilp-bnb", and "greedy" pin a single strategy).
@@ -165,6 +182,15 @@ class SynthesisSpec:
     #: worker processes for re-synthesis layer solves (1 = sequential;
     #: results are identical for any value — see hls/parallel.py).
     jobs: int = 1
+    #: device-conflict encoding (see :data:`CONFLICT_MODES`): ``eager``
+    #: emits all disjunction rows up front; ``lazy`` separates violated
+    #: conflict groups on demand inside the solve loop.
+    conflict_mode: str = "eager"
+    #: keep per-layer solver sessions alive across re-synthesis passes and
+    #: mutate them with deltas instead of re-encoding from scratch.
+    #: Results are byte-identical either way (sessions rebuild the same
+    #: standard form); disable to force from-scratch encoding for A/B.
+    enable_solver_sessions: bool = True
     #: storage synthesis mode (see :data:`STORAGE_MODES`).  ``off`` keeps
     #: every code path byte-identical to the storage-oblivious flow.
     storage_mode: str = "off"
@@ -193,6 +219,11 @@ class SynthesisSpec:
         if self.solve_cache_capacity is not None and self.solve_cache_capacity < 1:
             raise SpecificationError(
                 "solve_cache_capacity must be >= 1 (or None for unbounded)"
+            )
+        if self.conflict_mode not in CONFLICT_MODES:
+            choices = "|".join(CONFLICT_MODES)
+            raise SpecificationError(
+                f"unknown conflict_mode {self.conflict_mode!r} (choices: {choices})"
             )
         if self.storage_mode not in STORAGE_MODES:
             choices = "|".join(STORAGE_MODES)

@@ -26,9 +26,9 @@ Typical use::
 """
 
 from .expr import LinExpr, Variable, VarType
-from .model import Constraint, Model
-from .relaxation import solve_relaxation
-from .solve import available_backends, solve
+from .model import Constraint, Model, ModelDelta
+from .relaxation import relaxation_bound, solve_relaxation
+from .solve import SolverSession, attach, available_backends, solve
 from .status import Solution, SolveStats, SolveStatus, relative_gap
 
 __all__ = [
@@ -37,11 +37,15 @@ __all__ = [
     "VarType",
     "Constraint",
     "Model",
+    "ModelDelta",
     "Solution",
     "SolveStats",
     "SolveStatus",
+    "SolverSession",
+    "attach",
     "solve",
     "solve_relaxation",
+    "relaxation_bound",
     "relative_gap",
     "available_backends",
 ]

@@ -266,3 +266,42 @@ def _most_fractional(x: np.ndarray, int_mask: np.ndarray) -> int | None:
     if frac[best] <= _INT_TOL:
         return None
     return best
+
+
+class BnbSession:
+    """A persistent branch-and-bound solve attached to one mutable model.
+
+    The session keeps the last incumbent and re-offers it as the warm start
+    of the next solve.  :func:`_seed_incumbent` validates it against the
+    mutated model, so an incumbent invalidated by a delta (tightened bound,
+    new conflict row) is silently dropped rather than trusted.
+    """
+
+    def __init__(self, model) -> None:
+        self.model = model
+        self._incumbent: dict[Variable, float] | None = None
+
+    def apply(self, delta) -> None:
+        delta.apply_to(self.model)
+
+    def solve(
+        self,
+        time_limit: float | None = None,
+        mip_gap: float | None = None,
+        warm_start: dict[Variable, float] | None = None,
+    ) -> Solution:
+        start = warm_start if warm_start is not None else self._incumbent
+        kwargs: dict = {}
+        if time_limit is not None:
+            kwargs["time_limit"] = time_limit
+        if mip_gap is not None:
+            kwargs["mip_gap"] = mip_gap
+        if start is not None:
+            kwargs["warm_start"] = start
+        solution = solve_bnb(self.model, **kwargs)
+        if solution.status.has_solution and solution.values:
+            self._incumbent = dict(solution.values)
+        return solution
+
+    def close(self) -> None:
+        self._incumbent = None

@@ -99,6 +99,19 @@ class Model:
         self.constraints: list[Constraint] = []
         self.objective: LinExpr = LinExpr()
         self._names: set[str] = set()
+        #: monotone revision counter, bumped by every mutation (variable or
+        #: constraint added/removed, coefficient/bound/objective updated).
+        self.revision: int = 0
+        # Append-only mutation log consumed by solver sessions; each session
+        # keeps its own cursor into this list.  Entries:
+        #   ("add_var", var) ("add_con", con) ("remove_con", con)
+        #   ("row", con)     ("var", var)     ("obj",)
+        self._log: list[tuple] = []
+        self._named: dict[str, Constraint] = {}
+
+    def _record(self, *entry) -> None:
+        self.revision += 1
+        self._log.append(entry)
 
     # -- variable creation ---------------------------------------------------
 
@@ -110,6 +123,7 @@ class Model:
         self._names.add(name)
         var = Variable(name, len(self.variables), vtype, lb, ub)
         self.variables.append(var)
+        self._record("add_var", var)
         return var
 
     def binary(self, name: str = "") -> Variable:
@@ -144,7 +158,79 @@ class Model:
         if name:
             constraint.name = name
         self.constraints.append(constraint)
+        if constraint.name:
+            # Names are not required to be unique; lookup returns the most
+            # recently added constraint with the name.
+            self._named[constraint.name] = constraint
+        self._record("add_con", constraint)
         return constraint
+
+    # -- mutation (delta encoding) ------------------------------------------
+
+    def constraint(self, name: str) -> Constraint:
+        """Look up a named constraint (the most recently added on duplicates)."""
+        con = self._named.get(name)
+        if con is None:
+            raise ModelError(f"no constraint named {name!r}")
+        return con
+
+    def has_constraint(self, name: str) -> bool:
+        return name in self._named
+
+    def remove_constraint(self, name: str) -> Constraint:
+        """Remove a named constraint; removing it twice is a :class:`ModelError`."""
+        con = self._named.pop(name, None)
+        if con is None:
+            raise ModelError(f"no constraint named {name!r} (already removed?)")
+        for i, candidate in enumerate(self.constraints):
+            if candidate is con:
+                del self.constraints[i]
+                break
+        self._record("remove_con", con)
+        return con
+
+    def set_rhs(self, name: str, rhs: Number) -> None:
+        """Update the right-hand side of a named constraint."""
+        con = self.constraint(name)
+        con.rhs = float(rhs)
+        self._record("row", con)
+
+    def set_coefficient(self, name: str, var: Variable, coeff: Number) -> None:
+        """Update ``var``'s coefficient in a named constraint."""
+        self._check_owned(var)
+        con = self.constraint(name)
+        con.expr.set_term(var, coeff)
+        self._record("row", con)
+
+    def set_variable_bounds(
+        self, var: Variable, lb: Number | None = None, ub: Number | None = None
+    ) -> None:
+        """Update a variable's bounds in place."""
+        self._check_owned(var)
+        new_lb = var.lb if lb is None else float(lb)
+        new_ub = var.ub if ub is None else float(ub)
+        if new_lb > new_ub:
+            raise ModelError(f"variable {var.name!r}: lb {new_lb} > ub {new_ub}")
+        var.lb = new_lb
+        var.ub = new_ub
+        self._record("var", var)
+
+    def set_objective_coefficient(self, var: Variable, coeff: Number) -> None:
+        """Update ``var``'s coefficient in the objective."""
+        self._check_owned(var)
+        self.objective.set_term(var, coeff)
+        self._record("obj")
+
+    def set_objective_constant(self, value: Number) -> None:
+        """Update the objective's constant term."""
+        self.objective.constant = float(value)
+        self._record("obj")
+
+    def _check_owned(self, var: Variable) -> None:
+        if not isinstance(var, Variable):
+            raise ModelError(f"expected a Variable, got {type(var).__name__}")
+        if var.index >= len(self.variables) or self.variables[var.index] is not var:
+            raise ModelError(f"foreign variable {var.name!r}")
 
     def minimize(self, expr: LinExpr | Variable | Number) -> None:
         self.sense = "min"
@@ -282,3 +368,68 @@ class Model:
             f"Model({self.name!r}, vars={self.num_variables}, "
             f"cons={self.num_constraints}, sense={self.sense})"
         )
+
+
+class ModelDelta:
+    """A recorded batch of model mutations.
+
+    Deltas are built by an encoder (e.g. ``encode_layer_delta``) without a
+    model in hand and applied later — either directly via :meth:`apply_to`
+    or through :meth:`SolverSession.apply <repro.ilp.solve.SolverSession>`,
+    which lets the session re-extract only the dirtied rows.
+    """
+
+    def __init__(self) -> None:
+        self._ops: list[tuple] = []
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    @property
+    def empty(self) -> bool:
+        return not self._ops
+
+    def add(self, constraint: Constraint, name: str = "") -> None:
+        self._ops.append(("add", constraint, name))
+
+    def remove(self, name: str) -> None:
+        self._ops.append(("remove", name))
+
+    def set_rhs(self, name: str, rhs: Number) -> None:
+        self._ops.append(("rhs", name, rhs))
+
+    def set_coefficient(self, name: str, var: Variable, coeff: Number) -> None:
+        self._ops.append(("coeff", name, var, coeff))
+
+    def set_variable_bounds(
+        self, var: Variable, lb: Number | None = None, ub: Number | None = None
+    ) -> None:
+        self._ops.append(("bounds", var, lb, ub))
+
+    def set_objective_coefficient(self, var: Variable, coeff: Number) -> None:
+        self._ops.append(("obj_coeff", var, coeff))
+
+    def set_objective_constant(self, value: Number) -> None:
+        self._ops.append(("obj_const", value))
+
+    def apply_to(self, model: Model) -> None:
+        """Replay the recorded mutations onto ``model`` in order."""
+        for op in self._ops:
+            kind = op[0]
+            if kind == "add":
+                model.add(op[1], name=op[2])
+            elif kind == "remove":
+                model.remove_constraint(op[1])
+            elif kind == "rhs":
+                model.set_rhs(op[1], op[2])
+            elif kind == "coeff":
+                model.set_coefficient(op[1], op[2], op[3])
+            elif kind == "bounds":
+                model.set_variable_bounds(op[1], lb=op[2], ub=op[3])
+            elif kind == "obj_coeff":
+                model.set_objective_coefficient(op[1], op[2])
+            else:
+                model.set_objective_constant(op[1])
+
+    def __repr__(self) -> str:
+        return f"ModelDelta(ops={len(self._ops)})"

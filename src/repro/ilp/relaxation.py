@@ -9,6 +9,15 @@ layer optimum" instead of a blind quality flag.
 Only an *optimal* LP solve certifies anything.  A time- or iteration-
 limited LP has a primal value but no proof, so those solves report
 ``TIMEOUT`` with no bound attached.
+
+Certificates are only issued on fully separated models.  A lazily built
+layer model (``build_layer_model(..., lazy_conflicts=True)``) may be
+missing conflict rows; callers must call
+:func:`repro.hls.milp_model.ensure_fully_separated` before asking
+:func:`relaxation_bound` for a certificate.  (The relaxed model's LP bound
+would still be a valid lower bound — fewer rows is itself a relaxation —
+but the invariant keeps every recorded certificate attributable to the
+complete paper encoding.)
 """
 
 from __future__ import annotations
@@ -50,6 +59,34 @@ def solve_relaxation(
     if backend == "bnb":
         return _relax_simplex(model, max_iterations)
     raise SolverError(f"unknown relaxation backend {backend!r}")
+
+
+def relaxation_bound(
+    model: Model,
+    backend: str = "auto",
+    time_limit: float | None = None,
+    max_iterations: int = 20000,
+) -> Solution | None:
+    """Solve the LP relaxation; the optimum certifies a lower bound.
+
+    Returns the LP :class:`Solution` when it solved to optimality with a
+    finite objective, else ``None`` — a time- or iteration-limited LP (or a
+    solver failure) proves nothing and must not be reported as a bound.
+    """
+    try:
+        relaxed = solve_relaxation(
+            model,
+            backend=backend,
+            time_limit=time_limit,
+            max_iterations=max_iterations,
+        )
+    except SolverError:
+        return None
+    if relaxed.status is not SolveStatus.OPTIMAL or relaxed.objective is None:
+        return None
+    if not math.isfinite(relaxed.objective):
+        return None
+    return relaxed
 
 
 def _relax_highs(model: Model, time_limit: float | None) -> Solution:

@@ -1,21 +1,39 @@
-"""Backend registry and dispatch for ILP solving."""
+"""Backend registry and dispatch for ILP solving.
+
+Besides the one-shot :func:`solve` entry point this module defines the
+:class:`SolverSession` protocol for persistent, incrementally mutated
+models: ``attach(model)`` returns a session bound to the model, deltas are
+applied with ``session.apply(delta)`` (or by mutating the model directly
+through its mutation API), and ``session.solve(...)`` re-extracts only what
+changed since the previous solve instead of re-exporting the whole model.
+"""
 
 from __future__ import annotations
 
 from collections.abc import Callable
+from typing import Protocol, runtime_checkable
 
 from ..errors import SolverError
 from .expr import Variable
-from .model import Model
+from .model import Model, ModelDelta
 from .status import Solution
 
 _BackendFn = Callable[..., Solution]
 
 
-def _highs_backend(model: Model, **kwargs) -> Solution:
-    from .highs import solve_highs
+def _import_highs():
+    try:
+        from . import highs
+    except ImportError as exc:  # pragma: no cover - scipy is baked in here
+        raise SolverError(
+            f"backend 'highs' requires SciPy ({exc}); "
+            f"available backends: {available_backends()}"
+        ) from exc
+    return highs
 
-    return solve_highs(model, **kwargs)
+
+def _highs_backend(model: Model, **kwargs) -> Solution:
+    return _import_highs().solve_highs(model, **kwargs)
 
 
 def _bnb_backend(model: Model, **kwargs) -> Solution:
@@ -74,3 +92,50 @@ def solve(
     if warm_start is not None:
         kwargs["warm_start"] = warm_start
     return fn(model, **kwargs)
+
+
+@runtime_checkable
+class SolverSession(Protocol):
+    """A persistent solver attached to one (mutable) model.
+
+    Sessions observe the model's mutation log: between solves only the
+    dirtied rows/bounds are re-extracted into backend form, and backends
+    that support it carry solver state (e.g. the branch-and-bound
+    incumbent) across deltas.
+    """
+
+    model: Model
+
+    def apply(self, delta: ModelDelta) -> None:
+        """Apply a recorded delta to the attached model."""
+        ...  # pragma: no cover - protocol
+
+    def solve(
+        self,
+        time_limit: float | None = None,
+        mip_gap: float | None = None,
+        warm_start: dict[Variable, float] | None = None,
+    ) -> Solution:
+        """Solve the model in its current state."""
+        ...  # pragma: no cover - protocol
+
+    def close(self) -> None:
+        """Release cached backend state."""
+        ...  # pragma: no cover - protocol
+
+
+def attach(model: Model, backend: str = "auto") -> SolverSession:
+    """Attach a persistent solver session to ``model``.
+
+    ``backend="auto"`` resolves exactly like :func:`solve` so a session
+    solve and a one-shot solve of the same model pick the same backend.
+    """
+    if backend == "auto":
+        backend = available_backends()[0]
+    if backend == "highs":
+        return _import_highs().HighsSession(model)
+    if backend == "bnb":
+        from .bnb import BnbSession
+
+        return BnbSession(model)
+    raise SolverError(f"unknown backend {backend!r}; available: {sorted(_BACKENDS)}")

@@ -62,8 +62,13 @@ class SolveStats:
     nodes: int = 0
     #: total simplex iterations across all LP relaxations (bnb backend).
     simplex_iterations: int = 0
-    #: wall-clock seconds spent building the model (driver-level).
+    #: wall-clock seconds spent building the model (driver-level; includes
+    #: heuristic candidates and warm-start encoding around the encoder).
     build_time: float = 0.0
+    #: wall-clock seconds spent encoding: building the ILP model from the
+    #: layer problem, or mutating a session's model via a delta.  A subset
+    #: of ``build_time``; 0.0 when a session replayed a cached encoding.
+    encode_time: float = 0.0
     #: wall-clock seconds spent inside the solver backend.
     solve_time: float = 0.0
     #: the result was replayed from the layer-solve cache (no solve ran).

@@ -1,0 +1,541 @@
+"""Incremental-ILP tests: model mutation, solver sessions, layer deltas,
+and lazy conflict separation (repro.ilp.model / repro.hls.session /
+repro.hls.milp_model)."""
+
+import itertools
+import sys
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, SolverError
+from repro.hls import SessionPool, SynthesisSpec
+from repro.hls.backends import _relaxation_bound, _run_layer_solve
+from repro.hls.cache import structural_fingerprint_layer_problem
+from repro.hls.milp_model import (
+    LayerProblem,
+    apply_layer_delta,
+    build_layer_model,
+    encode_layer_delta,
+    ensure_fully_separated,
+    separate_conflicts,
+    unemitted_violations,
+)
+from repro.ilp import Model, ModelDelta, SolveStatus, attach, available_backends
+from repro.ilp.solve import solve
+
+COUNTER = itertools.count()
+
+
+def fresh_uid():
+    return f"nd{next(COUNTER)}"
+
+
+def forms_equal(a, b):
+    """Byte-identical standard forms (same rows, bounds, objective)."""
+    if [v.name for v in a.variables] != [v.name for v in b.variables]:
+        return False
+    if a.a_matrix.shape != b.a_matrix.shape:
+        return False
+    dense_a, dense_b = a.a_matrix.toarray(), b.a_matrix.toarray()
+    return (
+        np.array_equal(dense_a, dense_b)
+        and np.array_equal(a.c, b.c)
+        and np.array_equal(a.row_lower, b.row_lower)
+        and np.array_equal(a.row_upper, b.row_upper)
+        and np.array_equal(a.var_lower, b.var_lower)
+        and np.array_equal(a.var_upper, b.var_upper)
+        and np.array_equal(a.integrality, b.integrality)
+        and a.sense == b.sense
+        and a.c0 == b.c0
+    )
+
+
+# ---------------------------------------------------------------------------
+# Model mutation API
+# ---------------------------------------------------------------------------
+
+
+class TestModelMutation:
+    def build(self):
+        m = Model("mut")
+        x = m.integer("x", lb=0, ub=10)
+        y = m.integer("y", lb=0, ub=10)
+        m.add(x + y >= 4, name="cover")
+        m.minimize(3 * x + 2 * y)
+        return m, x, y
+
+    def test_revision_strictly_monotonic(self):
+        m, x, y = self.build()
+        seen = [m.revision]
+        m.set_rhs("cover", 5)
+        seen.append(m.revision)
+        m.set_coefficient("cover", x, 2.0)
+        seen.append(m.revision)
+        m.set_variable_bounds(x, ub=8)
+        seen.append(m.revision)
+        m.set_objective_coefficient(y, 5.0)
+        seen.append(m.revision)
+        m.set_objective_constant(7.0)
+        seen.append(m.revision)
+        m.add(x - y <= 3, name="extra")
+        seen.append(m.revision)
+        m.remove_constraint("extra")
+        seen.append(m.revision)
+        assert seen == sorted(seen)
+        assert len(set(seen)) == len(seen)
+
+    def test_remove_named_constraint_twice_raises(self):
+        m, x, y = self.build()
+        m.remove_constraint("cover")
+        assert not m.has_constraint("cover")
+        with pytest.raises(ModelError):
+            m.remove_constraint("cover")
+
+    def test_unknown_constraint_lookup_raises(self):
+        m, _, _ = self.build()
+        with pytest.raises(ModelError):
+            m.constraint("nope")
+
+    def test_duplicate_names_resolve_to_most_recent(self):
+        # The layer model emits duplicate-named rows (path_in/path_out with
+        # several cross-layer parents); the named index must not reject
+        # them, and mutation addresses the most recently added row.
+        m = Model()
+        x = m.binary("x")
+        first = m.add(x <= 1, name="dup")
+        second = m.add(x >= 0, name="dup")
+        assert m.constraint("dup") is second
+        assert first in m.constraints
+
+    def test_set_rhs_and_coefficient_reach_standard_form(self):
+        m, x, y = self.build()
+        m.set_rhs("cover", 6)
+        m.set_coefficient("cover", x, 3.0)
+        scratch = Model("scratch")
+        sx = scratch.integer("x", lb=0, ub=10)
+        sy = scratch.integer("y", lb=0, ub=10)
+        scratch.add(3 * sx + sy >= 6, name="cover")
+        scratch.minimize(3 * sx + 2 * sy)
+        assert forms_equal(m.to_standard_form(), scratch.to_standard_form())
+
+    def test_bounds_validation(self):
+        m, x, _ = self.build()
+        with pytest.raises(ModelError):
+            m.set_variable_bounds(x, lb=5, ub=3)
+
+    def test_foreign_variable_rejected(self):
+        m, x, _ = self.build()
+        other = Model()
+        z = other.binary("z")
+        with pytest.raises(ModelError):
+            m.set_objective_coefficient(z, 1.0)
+        with pytest.raises(ModelError):
+            m.set_coefficient("cover", z, 1.0)
+
+    def test_delta_batches_mutations(self):
+        m, x, y = self.build()
+        delta = ModelDelta()
+        assert delta.empty and len(delta) == 0
+        delta.set_rhs("cover", 6)
+        delta.set_variable_bounds(x, ub=7)
+        delta.set_objective_constant(1.5)
+        assert len(delta) == 3 and not delta.empty
+        before = m.revision
+        delta.apply_to(m)
+        assert m.revision == before + 3
+        solution = solve(m, backend=available_backends()[0])
+        assert solution.status is SolveStatus.OPTIMAL
+        # min 3x+2y+1.5 s.t. x+y>=6 -> all y.
+        assert solution.objective == pytest.approx(13.5)
+
+    def test_update_coefficient_on_presolved_away_variable(self):
+        # Presolve folds the singleton row on x into its bounds and can
+        # eliminate the variable from the reduced form; mutating that
+        # coefficient afterwards must still re-solve correctly because
+        # each solve re-extracts from the (mutated) model, not from the
+        # earlier presolve reduction.
+        m = Model("pre")
+        x = m.integer("x", lb=0, ub=100)
+        y = m.integer("y", lb=0, ub=100)
+        m.add(2 * x <= 9, name="cap")  # singleton: folds to x <= 4
+        m.add(x + y >= 6, name="cover")
+        m.minimize(x + 3 * y)
+        first = solve(m, backend="bnb")
+        assert first.objective == pytest.approx(4 + 3 * 2)
+        m.set_coefficient("cap", x, 4.0)  # now x <= 2
+        second = solve(m, backend="bnb")
+        assert second.objective == pytest.approx(2 + 3 * 4)
+
+
+# ---------------------------------------------------------------------------
+# Solver sessions on plain ILP models
+# ---------------------------------------------------------------------------
+
+
+def session_backends():
+    return list(available_backends())
+
+
+class TestSolverSessions:
+    def knapsack(self):
+        m = Model("knap")
+        xs = [m.binary(f"x{i}") for i in range(4)]
+        weights = [4, 3, 2, 5]
+        values = [5, 4, 3, 7]
+        m.add(
+            sum(w * x for w, x in zip(weights, xs)) <= 7, name="weight"
+        )
+        m.maximize(sum(v * x for v, x in zip(values, xs)))
+        return m, xs
+
+    @pytest.mark.parametrize("backend", session_backends())
+    def test_session_matches_direct_solve(self, backend):
+        m, _ = self.knapsack()
+        direct = solve(m, backend=backend)
+        m2, _ = self.knapsack()
+        session = attach(m2, backend=backend)
+        via_session = session.solve()
+        assert via_session.objective == pytest.approx(direct.objective)
+        session.close()
+
+    @pytest.mark.parametrize("backend", session_backends())
+    def test_delta_resolve_matches_scratch(self, backend):
+        m, xs = self.knapsack()
+        session = attach(m, backend=backend)
+        session.solve()
+        delta = ModelDelta()
+        delta.set_rhs("weight", 9)
+        delta.set_objective_coefficient(xs[0], 9.0)
+        session.apply(delta)
+        mutated = session.solve()
+        scratch = Model("scratch")
+        ys = [scratch.binary(f"x{i}") for i in range(4)]
+        scratch.add(
+            4 * ys[0] + 3 * ys[1] + 2 * ys[2] + 5 * ys[3] <= 9, name="weight"
+        )
+        scratch.maximize(9 * ys[0] + 4 * ys[1] + 3 * ys[2] + 7 * ys[3])
+        expected = solve(scratch, backend=backend)
+        assert mutated.objective == pytest.approx(expected.objective)
+        session.close()
+
+    def test_highs_session_form_identity_after_mutations(self):
+        pytest.importorskip("scipy")
+        m, xs = self.knapsack()
+        session = attach(m, backend="highs")
+        delta = ModelDelta()
+        delta.set_rhs("weight", 8)
+        delta.set_coefficient("weight", xs[2], 1.0)
+        delta.add(xs[0] + xs[1] <= 1, name="pick_one")
+        session.apply(delta)
+        assert forms_equal(session._form(), m.to_standard_form())
+        # Row removal re-indexes the cached extraction.
+        removal = ModelDelta()
+        removal.remove("pick_one")
+        session.apply(removal)
+        assert forms_equal(session._form(), m.to_standard_form())
+        session.close()
+
+    def test_bnb_session_carries_incumbent(self):
+        m, _ = self.knapsack()
+        session = attach(m, backend="bnb")
+        first = session.solve()
+        assert first.status is SolveStatus.OPTIMAL
+        assert session._incumbent is not None
+        follow = session.solve()
+        assert follow.objective == pytest.approx(first.objective)
+        assert follow.stats is not None and follow.stats.warm_started
+        session.close()
+        assert session._incumbent is None
+
+    def test_bnb_session_drops_invalidated_incumbent(self):
+        m, xs = self.knapsack()
+        session = attach(m, backend="bnb")
+        session.solve()
+        delta = ModelDelta()
+        # Forbid everything the incumbent picked: it no longer validates.
+        delta.set_rhs("weight", 2)
+        session.apply(delta)
+        follow = session.solve()
+        assert follow.status is SolveStatus.OPTIMAL
+        assert follow.objective == pytest.approx(3.0)  # only x2 fits
+        session.close()
+
+    def test_attach_unknown_backend(self):
+        m, _ = self.knapsack()
+        with pytest.raises(SolverError, match="unknown"):
+            attach(m, backend="gurobi")
+
+    def test_missing_scipy_reports_backend_choices(self, monkeypatch):
+        # Satellite: backend="highs" without SciPy must raise SolverError
+        # naming the missing dependency and the available backends, not a
+        # bare ImportError from deep inside the import chain.
+        import repro.ilp as ilp_pkg
+        import repro.ilp.solve as solve_mod
+
+        monkeypatch.delattr(ilp_pkg, "highs", raising=False)
+        monkeypatch.setitem(sys.modules, "repro.ilp.highs", None)
+        monkeypatch.setattr(solve_mod, "_HAS_SCIPY", None, raising=False)
+        m, _ = self.knapsack()
+        with pytest.raises(SolverError, match="SciPy") as excinfo:
+            solve(m, backend="highs")
+        assert "bnb" in str(excinfo.value)
+
+
+# ---------------------------------------------------------------------------
+# Layer deltas + session pool
+# ---------------------------------------------------------------------------
+
+
+def layer_problem(transport=2, durations=(3, 4, 5), slots=2):
+    from repro.operations import Fixed, Operation
+
+    ops = [
+        Operation(f"o{i}", Fixed(d)) for i, d in enumerate(durations)
+    ]
+    edges = [("o0", "o1"), ("o1", "o2")]
+    edge_transport = {e: transport for e in edges}
+    release = {
+        op.uid: max(
+            (edge_transport[e] for e in edges if e[0] == op.uid), default=0
+        )
+        for op in ops
+    }
+    return LayerProblem(
+        layer_index=0,
+        ops=ops,
+        in_layer_edges=edges,
+        edge_transport=edge_transport,
+        release=release,
+        fixed_devices=[],
+        free_slots=slots,
+    )
+
+
+class TestLayerDelta:
+    def spec(self, **kwargs):
+        kwargs.setdefault("max_devices", 6)
+        kwargs.setdefault("time_limit", 10.0)
+        return SynthesisSpec(**kwargs)
+
+    def test_delta_model_equals_scratch_build(self):
+        spec = self.spec()
+        layer_model = build_layer_model(layer_problem(transport=2), spec)
+        changed = layer_problem(transport=4)
+        encoded = encode_layer_delta(layer_model, changed, spec)
+        assert encoded is not None
+        delta, horizon = encoded
+        assert not delta.empty
+        apply_layer_delta(layer_model, changed, delta, horizon)
+        scratch = build_layer_model(changed, spec)
+        assert forms_equal(
+            layer_model.model.to_standard_form(),
+            scratch.model.to_standard_form(),
+        )
+        assert layer_model.problem is changed
+        assert layer_model.horizon == scratch.horizon
+
+    def test_delta_declines_structural_change(self):
+        spec = self.spec()
+        layer_model = build_layer_model(layer_problem(), spec)
+        changed = layer_problem(durations=(3, 4, 9))
+        assert encode_layer_delta(layer_model, changed, spec) is None
+
+    def test_noop_delta_is_empty(self):
+        spec = self.spec()
+        problem = layer_problem()
+        layer_model = build_layer_model(problem, spec)
+        encoded = encode_layer_delta(layer_model, layer_problem(), spec)
+        assert encoded is not None
+        delta, _ = encoded
+        assert delta.empty
+
+    def test_pool_reuses_and_rebuilds(self):
+        spec = self.spec()
+        pool = SessionPool(capacity=4)
+        first = pool.acquire(layer_problem(transport=2), spec)
+        assert pool.created == 1 and pool.reused == 0
+        again = pool.acquire(layer_problem(transport=5), spec)
+        assert again is first
+        assert pool.reused == 1
+        # A structurally different problem keys a second session.
+        other = pool.acquire(layer_problem(durations=(3, 4, 9)), spec)
+        assert other is not first
+        assert pool.created == 2
+        pool.close()
+        assert len(pool) == 0
+
+    def test_pool_session_solves_like_scratch(self):
+        spec = self.spec()
+        pool = SessionPool()
+        pool.acquire(layer_problem(transport=2), spec)
+        changed = layer_problem(transport=4)
+        session = pool.acquire(changed, spec)
+        via_session = _run_layer_solve(session.layer_model, session.solver, spec)
+        scratch = build_layer_model(changed, spec)
+        direct = scratch.model.solve(
+            backend=spec.backend, time_limit=spec.time_limit
+        )
+        assert via_session.status is SolveStatus.OPTIMAL
+        assert via_session.objective == pytest.approx(direct.objective)
+        pool.close()
+
+    def test_structural_fingerprint_ignores_transport_values(self):
+        spec = self.spec()
+        a = structural_fingerprint_layer_problem(layer_problem(transport=2), spec)
+        b = structural_fingerprint_layer_problem(layer_problem(transport=7), spec)
+        c = structural_fingerprint_layer_problem(
+            layer_problem(durations=(3, 4, 9)), spec
+        )
+        assert a == b
+        assert a != c
+
+    def test_pool_lru_eviction_closes_sessions(self):
+        spec = self.spec()
+        pool = SessionPool(capacity=1)
+        pool.acquire(layer_problem(), spec)
+        pool.acquire(layer_problem(durations=(1, 2, 3)), spec)
+        assert len(pool) == 1
+        assert pool.evictions == 1
+
+
+# ---------------------------------------------------------------------------
+# Lazy conflict separation
+# ---------------------------------------------------------------------------
+
+
+def contention_problem(n=3, duration=4):
+    """n identical ops, no edges, one free slot: all share one device, so
+    every pair is a conflict group the solver must sequence."""
+    from repro.operations import Fixed, Operation
+
+    ops = [Operation(f"c{i}", Fixed(duration)) for i in range(n)]
+    return LayerProblem(
+        layer_index=0,
+        ops=ops,
+        in_layer_edges=[],
+        edge_transport={},
+        release={op.uid: 0 for op in ops},
+        fixed_devices=[],
+        free_slots=1,
+    )
+
+
+class TestLazySeparation:
+    def spec(self, **kwargs):
+        kwargs.setdefault("max_devices", 4)
+        kwargs.setdefault("time_limit", 10.0)
+        return SynthesisSpec(**kwargs)
+
+    def test_lazy_model_starts_relaxed(self):
+        spec = self.spec()
+        eager = build_layer_model(contention_problem(), spec)
+        lazy = build_layer_model(contention_problem(), spec, lazy_conflicts=True)
+        assert eager.fully_separated
+        assert not lazy.fully_separated
+        assert len(lazy.model.constraints) < len(eager.model.constraints)
+        assert len(lazy.conflict_groups) == len(eager.conflict_groups) == 3
+
+    def test_separation_converges_to_conflict_free(self):
+        spec = self.spec()
+        lazy = build_layer_model(contention_problem(), spec, lazy_conflicts=True)
+        solution = _run_layer_solve(lazy, None, spec)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert not unemitted_violations(lazy, solution.values)
+        # All three ops on one device: optimal makespan is serial.
+        eager = build_layer_model(contention_problem(), spec)
+        reference = eager.model.solve(
+            backend=spec.backend, time_limit=spec.time_limit
+        )
+        assert solution.objective == pytest.approx(reference.objective)
+
+    def test_separate_conflicts_emits_only_violated_groups(self):
+        spec = self.spec()
+        lazy = build_layer_model(contention_problem(), spec, lazy_conflicts=True)
+        solution = lazy.model.solve(
+            backend=spec.backend, time_limit=spec.time_limit
+        )
+        assert solution.status.has_solution
+        emitted = separate_conflicts(lazy, solution.values)
+        # The relaxed optimum stacks everything at t=0, so at least one
+        # pair overlaps; emission is bounded by the total group count.
+        assert 0 < len(emitted) <= len(lazy.conflict_groups)
+        assert len(lazy.emitted) == len(emitted)
+
+    def test_ensure_fully_separated_completes_model(self):
+        spec = self.spec()
+        lazy = build_layer_model(contention_problem(), spec, lazy_conflicts=True)
+        added = ensure_fully_separated(lazy)
+        assert added == 3
+        assert lazy.fully_separated
+        eager = build_layer_model(contention_problem(), spec)
+        assert len(lazy.model.constraints) == len(eager.model.constraints)
+
+    def test_relaxation_bound_separates_first(self):
+        spec = self.spec()
+        lazy = build_layer_model(contention_problem(), spec, lazy_conflicts=True)
+        eager = build_layer_model(contention_problem(), spec)
+        relaxed = _relaxation_bound(lazy, spec)
+        assert lazy.fully_separated
+        assert len(lazy.model.constraints) == len(eager.model.constraints)
+        reference = _relaxation_bound(eager, spec)
+        assert relaxed is not None and reference is not None
+        assert relaxed.objective == pytest.approx(reference.objective)
+
+
+# ---------------------------------------------------------------------------
+# Warm-start objective cutoff
+# ---------------------------------------------------------------------------
+
+
+class TestWarmCutoff:
+    def spec(self, **kwargs):
+        kwargs.setdefault("max_devices", 4)
+        kwargs.setdefault("time_limit", 10.0)
+        return SynthesisSpec(**kwargs)
+
+    def test_cutoff_preserves_optimum_and_leaves_model_canonical(self):
+        spec = self.spec(warm_cutoff=True)
+        layer_model = build_layer_model(contention_problem(), spec)
+        rows_before = len(layer_model.model.constraints)
+        plain = _run_layer_solve(
+            layer_model, None, self.spec()  # cutoff off, no warm start
+        )
+        assert plain.status is SolveStatus.OPTIMAL
+        # Re-solve the same model under a cutoff at its own optimum: the
+        # bound is achievable, so the optimum survives the cut.
+        bounded = _run_layer_solve(
+            layer_model, None, spec, warm_start=plain.values
+        )
+        assert bounded.status is SolveStatus.OPTIMAL
+        assert bounded.objective == pytest.approx(plain.objective)
+        # The transient cutoff row is gone afterwards.
+        assert not layer_model.model.has_constraint("warm_cutoff")
+        assert len(layer_model.model.constraints) == rows_before
+
+    def test_cutoff_row_flows_through_session(self):
+        spec = self.spec(warm_cutoff=True)
+        pool = SessionPool()
+        session = pool.acquire(contention_problem(), spec)
+        plain = _run_layer_solve(session.layer_model, session.solver, spec)
+        bounded = _run_layer_solve(
+            session.layer_model, session.solver, spec, warm_start=plain.values
+        )
+        assert bounded.objective == pytest.approx(plain.objective)
+        assert not session.layer_model.model.has_constraint("warm_cutoff")
+        pool.close()
+
+    def test_cutoff_participates_in_solve_fingerprint(self):
+        from repro.hls.cache import _spec_token
+
+        base = self.spec()
+        assert _spec_token(base) != _spec_token(self.spec(warm_cutoff=True))
+
+    def test_end_to_end_with_cutoff_validates(self, linear_assay, fast_spec):
+        import dataclasses
+
+        from repro.hls import synthesize
+
+        spec = dataclasses.replace(fast_spec, warm_cutoff=True, max_iterations=2)
+        result = synthesize(linear_assay, spec)
+        result.validate()
