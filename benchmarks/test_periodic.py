@@ -1,0 +1,103 @@
+"""Throughput mode on the paper cases: II vs one-shot makespan.
+
+For each benchmark case the one-shot result is re-timed as a steady-state
+pipeline twice — through the modulo-ILP search (``auto``) and through the
+pure greedy modulo scheduler — and the achieved initiation intervals are
+recorded against the one-shot makespan and the certified ResMII lower
+bound.  A second section ablates multi-variant sharing: the full case-1
+protocol plus its half-length topological prefix synthesized onto one
+shared binding vs independently, comparing device counts and per-variant
+IIs.
+
+Assertions (the CI throughput-smoke job runs this file in check mode):
+
+* II <= one-shot makespan for every case and scheduler — pipelining can
+  never be worse than back-to-back one-shot runs;
+* II strictly below the makespan on at least one case;
+* the certified lower bound never exceeds the achieved II;
+* the ILP-backed search never lands above the greedy II;
+* the shared binding never needs more devices than the per-variant fleet.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.assays import benchmark_assay
+from repro.hls import SynthesisSpec, synthesize
+from repro.periodic import (
+    derive_variants,
+    schedule_throughput,
+    synthesize_shared,
+)
+
+CASES = (1, 2, 3)
+BASE = SynthesisSpec(
+    threshold=4,
+    time_limit=20.0,
+    mip_gap=0.05,
+    max_iterations=1,
+    throughput_mode="periodic",
+)
+SCHEDULERS = ("auto", "greedy")
+
+_CACHE: dict = {}
+
+
+def _throughput(case: int, scheduler: str):
+    key = (case, scheduler)
+    if key not in _CACHE:
+        spec = dataclasses.replace(BASE, throughput_scheduler=scheduler)
+        result = synthesize(benchmark_assay(case), spec)
+        _CACHE[key] = schedule_throughput(result, spec)
+    return _CACHE[key]
+
+
+def test_periodic_report(benchmark, record_rows):
+    benchmark.pedantic(
+        lambda: [_throughput(c, s) for c in CASES for s in SCHEDULERS],
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        f"{'case':<5} {'scheduler':<10} {'makespan':>9} {'II':>5} "
+        f"{'bound':>6} {'gap':>7} {'speedup':>8} {'probes':>7}"
+    ]
+    strict = 0
+    for case in CASES:
+        for scheduler in SCHEDULERS:
+            tr = _throughput(case, scheduler)
+            assert tr.ii <= tr.base_makespan, (case, scheduler, tr.ii)
+            assert tr.lower_bound is not None
+            assert tr.lower_bound <= tr.ii + 1e-6, (case, scheduler)
+            gap = tr.integrality_gap
+            lines.append(
+                f"{case:<5} {scheduler:<10} {tr.base_makespan:>9} "
+                f"{tr.ii:>5} {tr.lower_bound:>6g} "
+                f"{(f'{gap:.1%}' if gap is not None else 'n/a'):>7} "
+                f"{tr.speedup:>7.2f}x {len(tr.probes):>7}"
+            )
+        auto = _throughput(case, "auto")
+        greedy = _throughput(case, "greedy")
+        assert auto.ii <= greedy.ii, (case, auto.ii, greedy.ii)
+        strict += auto.ii < auto.base_makespan
+    assert strict >= 1, "periodic re-timing never beat the one-shot flow"
+
+    lines.append("")
+    lines.append("variant sharing (case 1 + its 0.5 topological prefix):")
+    variants = derive_variants(benchmark_assay(1), (0.5,))
+    shared = synthesize_shared(variants, BASE)
+    assert shared.shared_devices <= shared.independent_devices
+    lines.append(
+        f"  devices: shared {shared.shared_devices} vs independent "
+        f"{shared.independent_devices} "
+        f"(skeleton {len(shared.skeleton)} ops)"
+    )
+    for report in shared.reports:
+        lines.append(
+            f"  {report.name:<24} ops={report.num_ops:<3} "
+            f"shared II={report.shared_ii:<5} "
+            f"independent II={report.independent_ii:<5} "
+            f"independent devices={report.independent_devices}"
+        )
+    record_rows("periodic", "\n".join(lines))

@@ -4,6 +4,8 @@ Usage examples::
 
     repro-hls synthesize my_assay.json --max-devices 25 --out result.json
     repro-hls synthesize my_assay.json --conventional --gantt
+    repro-hls throughput --case 2 --target-ii 40
+    repro-hls throughput my_assay.json --variant-prefixes 0.5 0.75
     repro-hls layer my_assay.json --threshold 10
     repro-hls simulate my_assay.json --runs 32 --jobs 4 \\
         --faults exhaust:cap0 --policy resynth --trace-out trace.jsonl
@@ -66,6 +68,12 @@ def _spec_from_args(args: argparse.Namespace) -> SynthesisSpec:
         warm_cutoff=getattr(args, "warm_cutoff", False),
         storage_mode=getattr(args, "storage", None) or "off",
         storage_capacity=getattr(args, "storage_capacity", 4),
+        throughput_mode=getattr(args, "throughput", None) or "off",
+        target_ii=getattr(args, "target_ii", None),
+        throughput_scheduler=getattr(args, "periodic_scheduler", "auto"),
+        throughput_variants=tuple(
+            getattr(args, "variant_prefixes", None) or ()
+        ),
     )
 
 
@@ -95,13 +103,12 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
              "flow; lp-bound/approx-lp trade exactness for certified "
              "LP-relaxation bounds)",
     )
-    from .hls.spec import CONFLICT_MODES
-
     parser.add_argument(
-        "--conflicts", default="eager", choices=CONFLICT_MODES,
-        help="device-conflict encoding: eager emits every disjunction row "
-             "up front (the reference flow); lazy separates violated "
-             "conflict groups on demand during the solve",
+        "--conflicts", default="eager", metavar="MODE",
+        help="device-conflict encoding (eager|lazy): eager emits every "
+             "disjunction row up front (the reference flow); lazy "
+             "separates violated conflict groups on demand during the "
+             "solve",
     )
     parser.add_argument(
         "--no-solver-sessions", action="store_true",
@@ -115,11 +122,8 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
              "objective (optimality-preserving; changes within-gap "
              "tie-breaking, so it participates in solve fingerprints)",
     )
-    from .hls.spec import STORAGE_MODES
-
     parser.add_argument(
-        "--storage", nargs="?", const="auto", default=None,
-        choices=STORAGE_MODES, metavar="MODE",
+        "--storage", nargs="?", const="auto", default=None, metavar="MODE",
         help="storage synthesis mode for layer-crossing reagents "
              "(off|reservoir|channel|auto; bare --storage means auto; "
              "default: off — the storage-oblivious paper flow)",
@@ -127,6 +131,24 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--storage-capacity", type=int, default=4,
         help="reagent slots per dedicated storage reservoir",
+    )
+    parser.add_argument(
+        "--throughput", nargs="?", const="periodic", default=None,
+        metavar="MODE",
+        help="throughput mode (off|periodic; bare --throughput means "
+             "periodic): re-time the one-shot result as a steady-state "
+             "pipeline minimizing the initiation interval",
+    )
+    parser.add_argument(
+        "--target-ii", type=int, default=None,
+        help="stop the periodic II search at this initiation interval "
+             "instead of pushing to the certified lower bound",
+    )
+    parser.add_argument(
+        "--periodic-scheduler", default="auto", metavar="NAME",
+        help="periodic scheduler backend (auto|ilp|greedy; auto runs the "
+             "modulo ILP and degrades to the greedy modulo list scheduler "
+             "when no MIP backend is usable)",
     )
 
 
@@ -167,6 +189,29 @@ def _print_storage_plan(result) -> None:
     )
 
 
+def _print_throughput(tr) -> None:
+    """The periodic block every throughput-aware verb prints."""
+    stats = tr.stats
+    gap = stats.integrality_gap
+    gap_note = f", gap {gap * 100:.2f}%" if gap is not None else ""
+    degraded = " [degraded to greedy]" if tr.degraded else ""
+    print(
+        f"initiation II  : {tr.ii} (one-shot makespan {tr.base_makespan}, "
+        f"{tr.speedup:.2f}x steady-state throughput)"
+    )
+    print(
+        f"periodic       : latency {tr.latency}, lower bound "
+        f"{stats.lower_bound:g}{gap_note}, {stats.status}{degraded}"
+    )
+    counters = tr.pool_counters
+    print(
+        f"II search      : {len(tr.probes)} probe(s) via {tr.scheduler} "
+        f"(sessions created {counters.get('created', 0)} "
+        f"reused {counters.get('reused', 0)} "
+        f"rebuilt {counters.get('rebuilt', 0)})"
+    )
+
+
 def _cmd_synthesize(args: argparse.Namespace) -> int:
     assay = _resolve_assay(args)
     spec = _spec_from_args(args)
@@ -180,6 +225,10 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
     print(f"paths          : {result.num_paths}")
     _print_storage_plan(result)
     _print_certificate(result)
+    if spec.throughput_mode == "periodic" and not args.conventional:
+        from .periodic import schedule_throughput
+
+        _print_throughput(schedule_throughput(result, spec))
     for record in result.history:
         print(
             f"  {record.label:<9} makespan={record.fixed_makespan} "
@@ -196,6 +245,48 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
     if args.out:
         save_result(result, args.out, deterministic=args.deterministic)
         print(f"result written to {args.out}")
+    return 0
+
+
+def _cmd_throughput(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from .periodic import (
+        derive_variants,
+        schedule_throughput,
+        synthesize_shared,
+    )
+
+    assay = _resolve_assay(args)
+    spec = _spec_from_args(args)
+    if spec.throughput_mode == "off":
+        # The verb implies periodic mode; --throughput off is still
+        # honored as an explicit no-op guard elsewhere, not here.
+        spec = dataclasses.replace(spec, throughput_mode="periodic")
+
+    variants = derive_variants(assay, spec.throughput_variants)
+    for path in args.variants or ():
+        variants.append(load_assay(path))
+
+    if len(variants) == 1:
+        result = synthesize(assay, spec)
+        print(f"assay          : {assay.name} ({len(assay)} ops)")
+        print(f"one-shot       : {result.makespan_expression}, "
+              f"{result.num_devices} devices")
+        _print_throughput(schedule_throughput(result, spec))
+        return 0
+
+    shared = synthesize_shared(variants, spec)
+    print(f"variants       : {len(variants)} "
+          f"(shared skeleton: {len(shared.skeleton)} ops)")
+    print(f"devices        : {shared.shared_devices} shared vs "
+          f"{shared.independent_devices} independently synthesized")
+    for report in shared.reports:
+        print(
+            f"  {report.name:<24} ops={report.num_ops:<3} "
+            f"shared II={report.shared_ii:<4} "
+            f"independent II={report.independent_ii}"
+        )
     return 0
 
 
@@ -456,6 +547,15 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             f"reservoir={storage['reservoir']} "
             f"(cost {storage['total_cost']:g})"
         )
+    periodic = payload.get("periodic")
+    if periodic:
+        bound = periodic.get("lower_bound")
+        bound_note = f", lower bound {bound:g}" if bound is not None else ""
+        print(
+            f"initiation II  : {periodic['ii']} "
+            f"(one-shot makespan {periodic['base_makespan']}"
+            f"{bound_note})"
+        )
     quality = payload.get("quality") or {}
     gap = quality.get("integrality_gap")
     if payload.get("degraded"):
@@ -558,6 +658,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_spec_arguments(p_syn)
     _add_jobs_argument(p_syn)
     p_syn.set_defaults(func=_cmd_synthesize)
+
+    p_tp = sub.add_parser(
+        "throughput",
+        help="synthesize an assay and minimize its steady-state "
+             "initiation interval (periodic scheduling)",
+    )
+    p_tp.add_argument("assay", nargs="?", help="path to assay JSON")
+    p_tp.add_argument("--case", type=int,
+                      help="use benchmark case N instead of a file")
+    p_tp.add_argument(
+        "--variants", nargs="+", metavar="ASSAY",
+        help="additional assay variant JSON files sharing one chip "
+             "(triggers shared-binding multi-variant synthesis)",
+    )
+    p_tp.add_argument(
+        "--variant-prefixes", type=float, nargs="+", metavar="FRACTION",
+        help="derive topological-prefix variants at these fractions of "
+             "the assay, e.g. 0.5 0.75",
+    )
+    _add_spec_arguments(p_tp)
+    _add_jobs_argument(p_tp)
+    p_tp.set_defaults(func=_cmd_throughput)
 
     p_layer = sub.add_parser("layer", help="show the layering of an assay")
     p_layer.add_argument("assay")

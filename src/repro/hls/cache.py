@@ -118,6 +118,16 @@ def _run_spec_token(spec: SynthesisSpec) -> tuple:
         spec.improvement_threshold,
         spec.transport_default,
         (progression.minimum, progression.maximum, progression.terms),
+        # Throughput knobs (extension): they never change the one-shot
+        # synthesis result, but they do change what a *job* produces (the
+        # periodic payload block), so runs must not share fingerprints
+        # across modes.
+        (
+            spec.throughput_mode,
+            spec.target_ii,
+            spec.throughput_scheduler,
+            spec.throughput_variants,
+        ),
     )
 
 

@@ -96,6 +96,19 @@ STORAGE_MODES = ("off", "reservoir", "channel", "auto")
 #: (equally valid) optima, so the mode participates in solve fingerprints.
 CONFLICT_MODES = ("eager", "lazy")
 
+#: throughput modes (extension, see :mod:`repro.periodic`): ``off`` keeps
+#: the one-shot paper flow byte-identical; ``periodic`` additionally
+#: computes a steady-state modulo schedule that pipelines back-to-back
+#: runs of the assay, minimizing the initiation interval (II).
+THROUGHPUT_MODES = ("off", "periodic")
+
+#: periodic scheduler backends (see repro/periodic/scheduler.py): ``ilp``
+#: probes each candidate II with a modulo ILP over the ``ilp/`` model
+#: layer, ``greedy`` uses the modulo list scheduler, ``auto`` prefers the
+#: ILP and degrades to greedy when no MIP backend is usable or a probe
+#: exhausts its budget.
+PERIODIC_SCHEDULERS = ("auto", "ilp", "greedy")
+
 
 @dataclass(frozen=True)
 class StorageWeights:
@@ -197,6 +210,21 @@ class SynthesisSpec:
     #: reagent slots per dedicated storage reservoir.
     storage_capacity: int = 4
     storage_weights: StorageWeights = field(default_factory=StorageWeights)
+    #: throughput mode (see :data:`THROUGHPUT_MODES`).  ``off`` keeps every
+    #: code path byte-identical to the one-shot flow; ``periodic``
+    #: additionally derives a steady-state pipelined schedule.
+    throughput_mode: str = "off"
+    #: desired initiation interval: the periodic search stops improving
+    #: once it certifies an II at or below this (``None`` = minimize).
+    target_ii: int | None = None
+    #: periodic scheduler backend (see :data:`PERIODIC_SCHEDULERS`).
+    throughput_scheduler: str = "auto"
+    #: multi-variant sharing ablation: each fraction ``f`` in (0, 1]
+    #: derives a dependency-closed topological-prefix variant containing
+    #: the first ``ceil(f * n)`` operations of the assay; a non-empty
+    #: tuple makes periodic throughput jobs also report per-variant IIs
+    #: under one shared binding versus independent synthesis.
+    throughput_variants: tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
         if self.max_devices < 1:
@@ -232,6 +260,28 @@ class SynthesisSpec:
             )
         if self.storage_capacity < 1:
             raise SpecificationError("storage_capacity must be >= 1")
+        if self.throughput_mode not in THROUGHPUT_MODES:
+            choices = "|".join(THROUGHPUT_MODES)
+            raise SpecificationError(
+                f"unknown throughput_mode {self.throughput_mode!r} "
+                f"(choices: {choices})"
+            )
+        if self.target_ii is not None and self.target_ii < 1:
+            raise SpecificationError("target_ii must be >= 1 (or None)")
+        if self.throughput_scheduler not in PERIODIC_SCHEDULERS:
+            choices = "|".join(PERIODIC_SCHEDULERS)
+            raise SpecificationError(
+                f"unknown throughput_scheduler "
+                f"{self.throughput_scheduler!r} (choices: {choices})"
+            )
+        if not isinstance(self.throughput_variants, tuple):
+            self.throughput_variants = tuple(self.throughput_variants)
+        for fraction in self.throughput_variants:
+            if not 0 < fraction <= 1:
+                raise SpecificationError(
+                    f"throughput variant fraction {fraction!r} must be "
+                    f"in (0, 1]"
+                )
         from .backends import available_schedulers
 
         if self.scheduler not in available_schedulers():

@@ -110,6 +110,9 @@ _SPEC_SCALAR_FIELDS = (
     "jobs",
     "storage_mode",
     "storage_capacity",
+    "throughput_mode",
+    "target_ii",
+    "throughput_scheduler",
 )
 
 
@@ -144,6 +147,7 @@ def spec_to_json(spec: "SynthesisSpec") -> dict[str, Any]:
         "channel": storage_weights.channel,
         "reservoir": storage_weights.reservoir,
     }
+    data["throughput_variants"] = list(spec.throughput_variants)
     return data
 
 
@@ -165,7 +169,7 @@ def spec_from_json(data: dict[str, Any]) -> "SynthesisSpec":
             )
         known = set(_SPEC_SCALAR_FIELDS) | {
             "format", "weights", "transport_progression", "binding_mode",
-            "storage_weights",
+            "storage_weights", "throughput_variants",
         }
         unknown = sorted(set(data) - known)
         if unknown:
@@ -185,6 +189,10 @@ def spec_from_json(data: dict[str, Any]) -> "SynthesisSpec":
             kwargs["binding_mode"] = BindingMode(data["binding_mode"])
         if "storage_weights" in data:
             kwargs["storage_weights"] = StorageWeights(**data["storage_weights"])
+        if "throughput_variants" in data:
+            kwargs["throughput_variants"] = tuple(
+                float(f) for f in data["throughput_variants"]
+            )
         return SynthesisSpec(**kwargs)
     except SerializationError:
         raise

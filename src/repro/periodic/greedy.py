@@ -1,0 +1,146 @@
+"""Greedy modulo list scheduling.
+
+The heuristic counterpart of the modulo ILP: operations are placed in
+topological order at the earliest start that clears every resource
+circularly.  Two concrete half-open intervals collide modulo II exactly
+when either start falls inside the other interval's residue arc:
+
+    overlap  <=>  (b0 - a0) mod II < len_a  or  (a0 - b0) mod II < len_b
+
+On a conflict the candidate start jumps to the conflicting interval's
+circular end (never less than one step), bounded by one full period of
+candidates — failing to place an operation makes the probe infeasible,
+which the II search treats as "try a larger II" (greedy incompleteness
+only ever costs quality, not correctness: every accepted schedule is
+re-validated independently).
+
+Storage intervals whose length depends on the operation being placed
+(a buffer ``[E_p, S_c)`` closing at the consumer's start) are resolved
+at the consumer: moving the consumer later *grows* them, so a buffer
+that already overflows one period can never be repaired by shifting and
+aborts the probe immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .problem import AffineInterval, PeriodicProblem
+
+
+def circular_overlap(
+    a_start: int, a_length: int, b_start: int, b_length: int, ii: int
+) -> bool:
+    """Whether two intervals of the given lengths collide modulo ``ii``."""
+    if a_length <= 0 or b_length <= 0:
+        return False
+    if a_length + b_length > ii:
+        return True
+    return (b_start - a_start) % ii < a_length or (
+        a_start - b_start
+    ) % ii < b_length
+
+
+@dataclass
+class _Placed:
+    start: int
+    length: int
+    label: str
+
+
+def _conflicts(
+    state: dict[str, list[_Placed]],
+    resource: str,
+    start: int,
+    length: int,
+    ii: int,
+) -> list[_Placed]:
+    return [
+        placed
+        for placed in state.get(resource, ())
+        if circular_overlap(start, length, placed.start, placed.length, ii)
+    ]
+
+
+def greedy_modulo_schedule(
+    problem: PeriodicProblem, ii: int
+) -> dict[str, int] | None:
+    """Concrete starts for every operation at interval ``ii``, or ``None``
+    when the heuristic finds no placement."""
+    starts: dict[str, int] = {}
+    state: dict[str, list[_Placed]] = {}
+
+    # Intervals become concrete once their *latest* anchor is placed;
+    # topological order guarantees start anchors precede end anchors.
+    resolved_at: dict[str, list[AffineInterval]] = {uid: [] for uid in problem.order}
+    position = {uid: k for k, uid in enumerate(problem.order)}
+    for interval in problem.intervals:
+        later = max(
+            interval.start_anchor,
+            interval.end_anchor,
+            key=lambda uid: position[uid],
+        )
+        resolved_at[later].append(interval)
+    parents: dict[str, list[str]] = {uid: [] for uid in problem.order}
+    for parent, child in problem.edges:
+        parents[child].append(parent)
+
+    for uid in problem.order:
+        earliest = 0
+        for parent in parents[uid]:
+            earliest = max(
+                earliest,
+                starts[parent]
+                + problem.durations[parent]
+                + problem.delays[(parent, uid)],
+            )
+
+        placed_here = _try_place(
+            problem, uid, earliest, resolved_at[uid], starts, state, ii
+        )
+        if placed_here is None:
+            return None
+        starts[uid] = placed_here
+        for interval in resolved_at[uid]:
+            begin, end = interval.concrete(starts)
+            if end > begin:
+                state.setdefault(interval.resource, []).append(
+                    _Placed(start=begin, length=end - begin, label=interval.label)
+                )
+    return starts
+
+
+def _try_place(
+    problem: PeriodicProblem,
+    uid: str,
+    earliest: int,
+    intervals: list[AffineInterval],
+    starts: dict[str, int],
+    state: dict[str, list[_Placed]],
+    ii: int,
+) -> int | None:
+    candidate = earliest
+    deadline = earliest + ii  # one full period of residues
+    while candidate < deadline:
+        starts[uid] = candidate
+        jump = 0
+        feasible = True
+        for interval in intervals:
+            begin, end = interval.concrete(starts)
+            length = end - begin
+            if length <= 0:
+                continue
+            if length > ii:
+                # A buffer longer than one period self-collides; moving
+                # this operation later only grows it.
+                del starts[uid]
+                return None
+            for hit in _conflicts(state, interval.resource, begin, length, ii):
+                feasible = False
+                clearance = (hit.start + hit.length - begin) % ii
+                jump = max(jump, clearance, 1)
+        del starts[uid]
+        if feasible:
+            return candidate
+        candidate += jump
+    return None

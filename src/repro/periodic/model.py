@@ -1,0 +1,222 @@
+"""The modulo ILP: absolute starts, wrap variables, circular exclusivity.
+
+For a candidate initiation interval ``II`` the model keeps one integer
+start ``S_i`` per operation (bounded by the one-shot horizon) and one
+integer *wrap* variable ``w`` per pair of intervals sharing a resource.
+Two half-open intervals ``[s_i, e_i)`` and ``[s_j, e_j)`` are disjoint
+modulo ``II`` exactly when some integer ``w`` satisfies
+
+    0  <=  s_j - e_i + II*w  <=  II - len_i - len_j
+
+i.e. iteration-shifted copies of ``i`` leave a gap that fits ``j``.
+Substituting ``len = e - s`` collapses the upper branch to the tidy
+``e_j - s_i + II*w <= II``, so each pair costs two rows:
+
+    pair_lo:  s_j - e_i + II*w  >=  0
+    pair_hi:  e_j - s_i + II*w  <=  II
+
+Because the interval endpoints are affine in operation starts
+(:class:`~repro.periodic.problem.AffineInterval`), both rows are linear.
+``II`` appears only as the coefficient of ``w``, the right-hand side of
+``pair_hi``, the right-hand side of the per-interval fit rows
+(``len <= II``), and the wrap-variable bounds — so re-probing a new II
+against a live :class:`~repro.ilp.SolverSession` is a small
+:class:`~repro.ilp.ModelDelta`, not a re-encode (the PR-8 machinery).
+
+The delta path re-assembles exactly the standard form a scratch build at
+the new II produces, so search results are byte-identical with sessions
+on or off (asserted by tests/test_periodic_sessions.py).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..ilp import LinExpr, Model, ModelDelta, Solution, Variable
+from .problem import AffineInterval, PeriodicProblem
+
+
+def wrap_bound(horizon: int, ii: int) -> int:
+    """Bound on a wrap variable: intervals live in ``[0, horizon]``, so no
+    pair ever needs to shift by more than the horizon's worth of periods."""
+    return max(1, math.ceil(horizon / max(ii, 1)) + 1)
+
+
+@dataclass
+class _PairRow:
+    lo_name: str
+    hi_name: str
+    wrap: Variable
+    #: II-free part of the pair_hi right-hand side (from the interval
+    #: endpoint offsets): rhs = II + hi_rhs_offset.
+    hi_rhs_offset: int
+    first: AffineInterval
+    second: AffineInterval
+
+
+@dataclass
+class _FitRow:
+    name: str
+    #: rhs = II + rhs_offset.
+    rhs_offset: int
+
+
+@dataclass
+class PeriodicModel:
+    """A live modulo model for one :class:`PeriodicProblem` at one II."""
+
+    problem: PeriodicProblem
+    ii: int
+    model: Model
+    starts: dict[str, Variable]
+    pairs: list[_PairRow] = field(default_factory=list)
+    fits: list[_FitRow] = field(default_factory=list)
+
+    def decode(self, solution: Solution) -> dict[str, int]:
+        return {
+            uid: solution.int_value(var) for uid, var in self.starts.items()
+        }
+
+
+def _endpoint(
+    starts: dict[str, Variable], anchor: str, offset: int
+) -> tuple[Variable, int]:
+    return starts[anchor], offset
+
+
+def build_periodic_model(problem: PeriodicProblem, ii: int) -> PeriodicModel:
+    """Encode ``problem`` at candidate interval ``ii``.
+
+    Deterministic: operations in topological order, intervals in problem
+    order, pairs in (resource, index) order — the same construction a
+    delta-mutated session re-assembles.
+    """
+    model = Model(name=f"periodic[{problem.name}]@{ii}", sense="min")
+    horizon = problem.horizon
+    starts = {
+        uid: model.integer(f"S[{uid}]", lb=0, ub=horizon)
+        for uid in problem.order
+    }
+
+    for parent, child in problem.edges:
+        delay = problem.delays[(parent, child)]
+        model.add(
+            starts[child]
+            >= starts[parent] + problem.durations[parent] + delay,
+            name=f"dep[{parent}->{child}]",
+        )
+
+    fits: list[_FitRow] = []
+    for interval in problem.intervals:
+        if interval.fixed_length is not None:
+            # Constant-length intervals get their fit check at probe time
+            # (feasible_lengths) — an empty row would be degenerate.
+            continue
+        name = f"fit[{interval.label}]"
+        expr = (
+            starts[interval.end_anchor] - starts[interval.start_anchor]
+        )
+        offset = interval.start_offset - interval.end_offset
+        model.add(expr <= ii + offset, name=name)
+        fits.append(_FitRow(name=name, rhs_offset=offset))
+
+    bound = wrap_bound(horizon, ii)
+    pairs: list[_PairRow] = []
+    grouped = problem.intervals_by_resource()
+    for resource in sorted(grouped):
+        intervals = grouped[resource]
+        for a in range(len(intervals)):
+            for b in range(a + 1, len(intervals)):
+                first, second = intervals[a], intervals[b]
+                wrap = model.integer(
+                    f"w[{first.label}|{second.label}]", lb=-bound, ub=bound
+                )
+                lo_name = f"pair_lo[{first.label}|{second.label}]"
+                hi_name = f"pair_hi[{first.label}|{second.label}]"
+                # s_second - e_first + II*w >= 0
+                model.add(
+                    starts[second.start_anchor]
+                    - starts[first.end_anchor]
+                    + wrap * ii
+                    >= first.end_offset - second.start_offset,
+                    name=lo_name,
+                )
+                # e_second - s_first + II*w <= II
+                hi_offset = first.start_offset - second.end_offset
+                model.add(
+                    starts[second.end_anchor]
+                    - starts[first.start_anchor]
+                    + wrap * ii
+                    <= ii + hi_offset,
+                    name=hi_name,
+                )
+                pairs.append(
+                    _PairRow(
+                        lo_name=lo_name,
+                        hi_name=hi_name,
+                        wrap=wrap,
+                        hi_rhs_offset=hi_offset,
+                        first=first,
+                        second=second,
+                    )
+                )
+
+    model.minimize(LinExpr.sum(starts[uid] for uid in problem.order))
+    return PeriodicModel(
+        problem=problem, ii=ii, model=model, starts=starts, pairs=pairs,
+        fits=fits,
+    )
+
+
+def encode_ii_delta(pmodel: PeriodicModel, ii: int) -> ModelDelta:
+    """The :class:`ModelDelta` that re-targets ``pmodel`` to a new II.
+
+    Touches exactly the II-dependent entries (wrap coefficients and
+    bounds, ``pair_hi`` and fit right-hand sides); applying it leaves the
+    model equal to a scratch :func:`build_periodic_model` at ``ii``.
+    """
+    delta = ModelDelta()
+    bound = wrap_bound(pmodel.problem.horizon, ii)
+    for fit in pmodel.fits:
+        delta.set_rhs(fit.name, ii + fit.rhs_offset)
+    for pair in pmodel.pairs:
+        delta.set_coefficient(pair.lo_name, pair.wrap, ii)
+        delta.set_coefficient(pair.hi_name, pair.wrap, ii)
+        delta.set_rhs(pair.hi_name, ii + pair.hi_rhs_offset)
+        delta.set_variable_bounds(pair.wrap, lb=-bound, ub=bound)
+    return delta
+
+
+def feasible_lengths(problem: PeriodicProblem, ii: int) -> bool:
+    """Whether every fixed-length interval fits one period at all —
+    a constant-time reject cheaper than any solve."""
+    for interval in problem.intervals:
+        length = interval.fixed_length
+        if length is not None and length > ii:
+            return False
+    return True
+
+
+def warm_start_values(
+    pmodel: PeriodicModel, starts: dict[str, int]
+) -> dict[Variable, float]:
+    """A complete feasible assignment of ``pmodel`` from concrete starts.
+
+    Picks each wrap variable as the (unique, when one exists) integer
+    placing the pair's gap inside ``[0, II - len_i - len_j]``; used to
+    warm-start MIP probes from the previous feasible schedule.
+    """
+    ii = pmodel.ii
+    values: dict[Variable, float] = {
+        var: float(starts[uid]) for uid, var in pmodel.starts.items()
+    }
+    for pair in pmodel.pairs:
+        gap = (
+            pair.second.concrete(starts)[0] - pair.first.concrete(starts)[1]
+        )
+        # The smallest w with gap + II*w >= 0 lands the circular gap at
+        # (gap mod II); for a schedule feasible at this II that w also
+        # satisfies the pair's upper row.
+        values[pair.wrap] = float(-(gap // ii)) if ii else 0.0
+    return values

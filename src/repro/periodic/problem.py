@@ -1,0 +1,319 @@
+"""The periodic scheduling problem: what must not collide modulo II.
+
+A one-shot synthesis result fixes *where* every operation runs (the
+binding) and what every inter-device move costs (the transport
+estimates).  Throughput mode keeps those decisions and re-times the
+operations so back-to-back iterations of the whole assay can overlap: a
+steady-state schedule with initiation interval ``II`` starts iteration
+``k`` at time ``k * II``, so two absolute intervals collide exactly when
+their *residues modulo II* collide.
+
+This module reduces the synthesized result to that timing problem: a set
+of operations with durations, precedence edges with delays, and a set of
+**resource intervals** — device occupancy, channel shipments, and
+storage occupancy — whose endpoints are affine in the operation start
+times.  The formulation deliberately mirrors the one-shot model's
+accounting (see :mod:`repro.hls.validate`):
+
+* an operation occupies its device for its scheduled duration plus the
+  release margin (the device keeps shipping to same-layer children bound
+  apart before it frees up);
+* a same-layer dependency delays the child by the edge's transportation
+  estimate and, when the endpoints are bound apart, ships through the
+  channel between the two devices for that long;
+* a layer-crossing dependency carries **no** transport delay — the
+  one-shot flow absorbs cross-layer moves into the real-time decision
+  point between layers and charges nothing for them — but when a storage
+  plan exists (``storage_mode != off``) the crossing reagent's buffer
+  becomes a real interval: the producer's device (hold), the channel
+  (channel storage), or a reservoir slot, occupied from the producer's
+  end to the consumer's start.
+
+Indeterminate operations participate with their scheduled (minimum)
+durations: the steady state is the nominal pipeline, and the runtime
+machinery still governs individual runs.  Reservoir capacity is modeled
+by pinning each reservoir decision to a concrete slot (first-fit over
+the baseline timing), which is conservative — the independent validator
+checks the true per-reservoir capacity instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..errors import SchedulingError
+from ..operations.assay import Assay
+from ..storage.plan import CHANNEL, HOLD, RESERVOIR
+from ..hls.spec import SynthesisSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hls.synthesizer import SynthesisResult
+    from ..storage.plan import StoragePlan
+
+
+@dataclass(frozen=True)
+class AffineInterval:
+    """A half-open resource occupancy ``[start, end)`` whose endpoints are
+    an operation start plus a constant offset.
+
+    ``start_anchor``/``end_anchor`` name the operations whose start times
+    the endpoints ride on.  When both anchors agree the interval has fixed
+    length; otherwise the length varies with the schedule (storage
+    buffers).  ``concrete(starts)`` instantiates the endpoints.
+    """
+
+    resource: str
+    label: str
+    start_anchor: str
+    start_offset: int
+    end_anchor: str
+    end_offset: int
+
+    @property
+    def fixed_length(self) -> int | None:
+        """The interval's length when it does not depend on the schedule."""
+        if self.start_anchor == self.end_anchor:
+            return self.end_offset - self.start_offset
+        return None
+
+    def concrete(self, starts: dict[str, int]) -> tuple[int, int]:
+        return (
+            starts[self.start_anchor] + self.start_offset,
+            starts[self.end_anchor] + self.end_offset,
+        )
+
+
+@dataclass
+class PeriodicProblem:
+    """Everything a periodic scheduler needs, detached from the one-shot
+    machinery."""
+
+    name: str
+    #: operation uids in deterministic topological order.
+    order: list[str]
+    durations: dict[str, int]
+    binding: dict[str, str]
+    #: dependency edges with their start-to-start slack contribution:
+    #: child start >= parent end + delay.
+    edges: list[tuple[str, str]]
+    delays: dict[tuple[str, str], int]
+    intervals: list[AffineInterval]
+    #: a known-feasible absolute schedule (the one-shot timing): it
+    #: validates at ``II = horizon`` and anchors the II search from above.
+    baseline_starts: dict[str, int]
+    #: the one-shot fixed makespan; every baseline interval fits [0, horizon].
+    horizon: int
+    spec: SynthesisSpec
+    #: reservoir slot resource -> reservoir uid (for capacity validation).
+    slot_reservoirs: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def num_ops(self) -> int:
+        return len(self.order)
+
+    def intervals_by_resource(self) -> dict[str, list[AffineInterval]]:
+        grouped: dict[str, list[AffineInterval]] = {}
+        for interval in self.intervals:
+            grouped.setdefault(interval.resource, []).append(interval)
+        return grouped
+
+    def restrict(self, keep: set[str], name: str | None = None) -> "PeriodicProblem":
+        """The sub-problem over the operations in ``keep``.
+
+        Used by multi-variant sharing: the union assay's periodic problem,
+        cut down to one variant's operations.  The baseline (a restriction
+        of a feasible schedule) stays feasible, and the horizon is kept so
+        the restricted baseline still fits ``[0, horizon]``.
+        """
+        missing = keep - set(self.order)
+        if missing:
+            raise SchedulingError(
+                f"cannot restrict to unknown operations {sorted(missing)}"
+            )
+        return PeriodicProblem(
+            name=name or self.name,
+            order=[uid for uid in self.order if uid in keep],
+            durations={u: d for u, d in self.durations.items() if u in keep},
+            binding={u: b for u, b in self.binding.items() if u in keep},
+            edges=[(p, c) for p, c in self.edges if p in keep and c in keep],
+            delays={
+                e: d
+                for e, d in self.delays.items()
+                if e[0] in keep and e[1] in keep
+            },
+            intervals=[
+                i
+                for i in self.intervals
+                if i.start_anchor in keep and i.end_anchor in keep
+            ],
+            baseline_starts={
+                u: s for u, s in self.baseline_starts.items() if u in keep
+            },
+            horizon=self.horizon,
+            spec=self.spec,
+            slot_reservoirs=dict(self.slot_reservoirs),
+        )
+
+
+def device_resource(device_uid: str) -> str:
+    return f"dev:{device_uid}"
+
+
+def channel_resource(device_a: str, device_b: str) -> str:
+    a, b = (device_a, device_b) if device_a <= device_b else (device_b, device_a)
+    return f"chan:{a}<->{b}"
+
+
+def slot_resource(reservoir_uid: str, slot: int) -> str:
+    return f"slot:{reservoir_uid}:{slot}"
+
+
+def _assign_reservoir_slots(
+    decisions: list,
+    ends: dict[str, int],
+    starts: dict[str, int],
+    capacity: int,
+) -> dict[tuple[str, str], str]:
+    """First-fit slot assignment per reservoir over the baseline timing.
+
+    Deterministic: decisions are processed in (producer, consumer) order;
+    each takes the lowest slot whose previous occupant released (baseline
+    consumer start) at or before this reagent's arrival (baseline producer
+    end).  Overlapping demand beyond ``capacity`` opens further slots —
+    the validator, not this assignment, enforces the true capacity.
+    """
+    assignment: dict[tuple[str, str], str] = {}
+    per_reservoir: dict[str, list[int]] = {}  # slot -> busy-until
+    for decision in sorted(decisions, key=lambda d: (d.producer, d.consumer)):
+        arrival = ends[decision.producer]
+        departure = starts[decision.consumer]
+        slots = per_reservoir.setdefault(decision.location, [])
+        for index, busy_until in enumerate(slots):
+            if busy_until <= arrival:
+                slots[index] = departure
+                break
+        else:
+            index = len(slots)
+            slots.append(departure)
+        assignment[(decision.producer, decision.consumer)] = slot_resource(
+            decision.location, index
+        )
+    return assignment
+
+
+def build_periodic_problem(result: "SynthesisResult") -> PeriodicProblem:
+    """Reduce a validated one-shot synthesis result to its periodic
+    scheduling problem (fixed binding, affine resource intervals)."""
+    assay = result.assay
+    schedule = result.schedule
+    spec = result.spec
+    edge_t = result.edge_transport
+
+    durations = {}
+    binding = {}
+    layer_of: dict[str, int] = {}
+    baseline: dict[str, int] = {}
+    for layer in schedule.layers:
+        for uid, placement in layer.placements.items():
+            durations[uid] = placement.duration
+            binding[uid] = placement.device_uid
+            layer_of[uid] = layer.index
+            baseline[uid] = schedule.global_start(uid)[0]
+
+    order = [uid for uid in assay.topological_order() if uid in durations]
+    ends = {uid: baseline[uid] + durations[uid] for uid in order}
+
+    edges: list[tuple[str, str]] = []
+    delays: dict[tuple[str, str], int] = {}
+    release: dict[str, int] = {uid: 0 for uid in order}
+    intervals: list[AffineInterval] = []
+
+    storage_plan: "StoragePlan | None" = result.storage_plan
+    storage_by_edge = {}
+    if storage_plan is not None:
+        storage_by_edge = {
+            (d.producer, d.consumer): d for d in storage_plan.decisions
+        }
+        slot_of = _assign_reservoir_slots(
+            [d for d in storage_plan.decisions if d.mode == RESERVOIR],
+            ends,
+            baseline,
+            spec.storage_capacity,
+        )
+
+    slot_reservoirs: dict[str, str] = {}
+    for parent, child in sorted(assay.edges):
+        if parent not in durations or child not in durations:
+            continue
+        same_layer = layer_of[parent] == layer_of[child]
+        transport = edge_t.get((parent, child), 0)
+        apart = binding[parent] != binding[child]
+        edges.append((parent, child))
+        # Cross-layer moves happen at the decision point between layers
+        # and are not charged in the one-shot makespan; mirroring that
+        # keeps the baseline schedule feasible here.
+        delays[(parent, child)] = transport if same_layer else 0
+        if same_layer and apart:
+            release[parent] = max(release[parent], transport)
+            if transport > 0:
+                intervals.append(
+                    AffineInterval(
+                        resource=channel_resource(
+                            binding[parent], binding[child]
+                        ),
+                        label=f"ship:{parent}->{child}",
+                        start_anchor=parent,
+                        start_offset=durations[parent],
+                        end_anchor=parent,
+                        end_offset=durations[parent] + transport,
+                    )
+                )
+        decision = storage_by_edge.get((parent, child))
+        if decision is None or same_layer:
+            continue
+        # A layer-crossing reagent with a storage decision occupies its
+        # buffer from the producer's end to the consumer's start.
+        if decision.mode == HOLD:
+            resource = device_resource(binding[parent])
+        elif decision.mode == CHANNEL:
+            resource = channel_resource(binding[parent], binding[child])
+        else:  # RESERVOIR
+            resource = slot_of[(parent, child)]
+            slot_reservoirs[resource] = decision.location
+        intervals.append(
+            AffineInterval(
+                resource=resource,
+                label=f"store:{parent}->{child}",
+                start_anchor=parent,
+                start_offset=durations[parent],
+                end_anchor=child,
+                end_offset=0,
+            )
+        )
+
+    for uid in order:
+        intervals.append(
+            AffineInterval(
+                resource=device_resource(binding[uid]),
+                label=f"op:{uid}",
+                start_anchor=uid,
+                start_offset=0,
+                end_anchor=uid,
+                end_offset=durations[uid] + release[uid],
+            )
+        )
+
+    return PeriodicProblem(
+        name=assay.name,
+        order=order,
+        durations=durations,
+        binding=binding,
+        edges=edges,
+        delays=delays,
+        intervals=intervals,
+        baseline_starts=baseline,
+        horizon=schedule.fixed_makespan,
+        spec=spec,
+        slot_reservoirs=slot_reservoirs,
+    )

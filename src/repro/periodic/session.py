@@ -1,0 +1,89 @@
+"""Persistent solver sessions across II probes.
+
+The II search solves the *same* modulo model a handful of times with
+only the candidate interval changing.  Re-encoding the model per probe
+wastes exactly the work PR-8's :class:`~repro.ilp.SolverSession`
+machinery exists to save: this pool keeps one live session per periodic
+problem and re-targets it between probes with
+:func:`~repro.periodic.model.encode_ii_delta` — the solver re-extracts
+only the dirtied wrap coefficients, bounds, and right-hand sides.
+
+Mirrors :class:`repro.hls.session.SessionPool`'s contract and counters
+(``created`` / ``reused`` / ``rebuilt``): with
+``spec.enable_solver_sessions`` off, every probe rebuilds from scratch
+(``rebuilt`` counts them) and the search returns byte-identical results,
+because an applied delta re-assembles exactly the scratch standard form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ilp import SolverSession, attach
+from .model import PeriodicModel, build_periodic_model, encode_ii_delta
+from .problem import PeriodicProblem
+
+
+@dataclass
+class PeriodicSession:
+    """One live modulo model plus the solver attached to it."""
+
+    pmodel: PeriodicModel
+    solver: SolverSession
+
+    def close(self) -> None:
+        self.solver.close()
+
+
+@dataclass
+class PeriodicSessionPool:
+    """Session reuse across the II probes of one periodic search."""
+
+    enabled: bool = True
+    backend: str = "auto"
+    created: int = 0
+    reused: int = 0
+    rebuilt: int = 0
+    _session: PeriodicSession | None = field(default=None, repr=False)
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "created": self.created,
+            "reused": self.reused,
+            "rebuilt": self.rebuilt,
+        }
+
+    def acquire(self, problem: PeriodicProblem, ii: int) -> PeriodicSession:
+        """A session whose model encodes ``problem`` at ``ii``.
+
+        Raises :class:`~repro.errors.SolverError` when the requested
+        backend is unusable (e.g. ``highs`` without SciPy) — the caller
+        decides whether to degrade to the greedy modulo scheduler.
+        """
+        if self.enabled and self._session is not None:
+            session = self._session
+            if session.pmodel.ii != ii:
+                delta = encode_ii_delta(session.pmodel, ii)
+                session.solver.apply(delta)
+                session.pmodel.ii = ii
+            self.reused += 1
+            return session
+
+        if self._session is not None:
+            self._session.close()
+            self._session = None
+        pmodel = build_periodic_model(problem, ii)
+        solver = attach(pmodel.model, backend=self.backend)
+        session = PeriodicSession(pmodel=pmodel, solver=solver)
+        if self.enabled:
+            self.created += 1
+            self._session = session
+        else:
+            self.rebuilt += 1
+            self._session = session  # still tracked so close() releases it
+        return session
+
+    def close(self) -> None:
+        if self._session is not None:
+            self._session.close()
+            self._session = None

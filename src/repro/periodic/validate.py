@@ -1,0 +1,171 @@
+"""Independent replay validation of a periodic schedule.
+
+Deliberately shares no arithmetic with the schedulers: instead of the
+modulo overlap test the schedulers optimize against, this module
+*unrolls* the steady state — instantiates every resource interval for
+enough consecutive iterations to reach saturation, then sweeps one full
+steady-state period for collisions (unit resources) and capacity
+overflows (storage reservoirs).  A bug in the wrap-variable algebra or
+the greedy residue arcs cannot hide behind itself here.
+
+Checked per schedule:
+
+* every operation placed exactly once, at a non-negative integer start;
+* every dependency satisfied: child start >= parent end + delay;
+* device and channel occupancy collision-free across overlapping
+  iterations (the unrolled window covers at least two full iterations of
+  every interval);
+* per-reservoir storage occupancy within ``spec.storage_capacity`` —
+  note this is *weaker* than the schedulers' conservative fixed
+  slot-assignment, so a valid schedule never fails here spuriously.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ValidationError
+from .problem import PeriodicProblem
+
+
+@dataclass
+class PeriodicSchedule:
+    """A steady-state schedule: one iteration's starts plus the II."""
+
+    problem: PeriodicProblem
+    ii: int
+    starts: dict[str, int]
+
+    @property
+    def latency(self) -> int:
+        """One iteration's span (start of first op to last interval end)."""
+        ends = [
+            interval.concrete(self.starts)[1]
+            for interval in self.problem.intervals
+        ]
+        return max(ends, default=0)
+
+    def iteration_offset(self, k: int) -> int:
+        return k * self.ii
+
+
+def collect_periodic_violations(schedule: PeriodicSchedule) -> list[str]:
+    """All steady-state violations in ``schedule`` (empty = valid)."""
+    problem = schedule.problem
+    starts = schedule.starts
+    ii = schedule.ii
+    violations: list[str] = []
+
+    if ii < 1:
+        return [f"initiation interval {ii} must be >= 1"]
+
+    # -- completeness ------------------------------------------------------
+    for uid in problem.order:
+        if uid not in starts:
+            violations.append(f"{uid} never placed")
+        elif not isinstance(starts[uid], int) or starts[uid] < 0:
+            violations.append(f"{uid} has invalid start {starts[uid]!r}")
+    extra = sorted(set(starts) - set(problem.order))
+    if extra:
+        violations.append(f"unknown operations placed: {extra}")
+    if violations:
+        return violations  # downstream checks assume completeness
+
+    # -- dependencies ------------------------------------------------------
+    for parent, child in problem.edges:
+        needed = (
+            starts[parent]
+            + problem.durations[parent]
+            + problem.delays[(parent, child)]
+        )
+        if starts[child] < needed:
+            violations.append(
+                f"{child} starts at {starts[child]} < {parent} end "
+                f"{starts[parent] + problem.durations[parent]} + delay "
+                f"{problem.delays[(parent, child)]}"
+            )
+
+    # -- unrolled occupancy ------------------------------------------------
+    concrete: dict[str, list[tuple[int, int, str]]] = {}
+    max_end = 0
+    for interval in problem.intervals:
+        begin, end = interval.concrete(starts)
+        if end < begin:
+            violations.append(
+                f"{interval.label}: negative occupancy [{begin}, {end})"
+            )
+            continue
+        if end == begin:
+            continue
+        concrete.setdefault(interval.resource, []).append(
+            (begin, end, interval.label)
+        )
+        max_end = max(max_end, end)
+
+    if violations:
+        return violations
+
+    # Enough iterations that the window [window_lo, window_hi) sees every
+    # interval copy that can intersect a steady-state period — at least
+    # two full unrolled iterations of everything.
+    iterations = max(2, math.ceil(max_end / ii) + 2)
+    window_lo = (iterations - 1) * ii
+    window_hi = iterations * ii
+
+    def unrolled(entries: list[tuple[int, int, str]]):
+        for begin, end, label in entries:
+            for k in range(iterations + 1):
+                lo = begin + k * ii
+                hi = end + k * ii
+                if hi <= window_lo or lo >= window_hi:
+                    continue
+                yield (lo, hi, f"{label}@{k}")
+
+    capacity = problem.spec.storage_capacity
+    for resource in sorted(concrete):
+        instances = sorted(unrolled(concrete[resource]))
+        reservoir = problem.slot_reservoirs.get(resource)
+        if reservoir is not None:
+            continue  # slots are grouped and checked per reservoir below
+        busy_until = None
+        busy_label = ""
+        for lo, hi, label in instances:
+            if busy_until is not None and lo < busy_until:
+                violations.append(
+                    f"{resource}: {busy_label} overlaps {label} "
+                    f"(II={ii}, window [{window_lo}, {window_hi}))"
+                )
+            if busy_until is None or hi > busy_until:
+                busy_until, busy_label = hi, label
+    # -- reservoir capacity ------------------------------------------------
+    by_reservoir: dict[str, list[tuple[int, int, str]]] = {}
+    for resource, reservoir in problem.slot_reservoirs.items():
+        for entry in concrete.get(resource, ()):
+            by_reservoir.setdefault(reservoir, []).append(entry)
+    for reservoir in sorted(by_reservoir):
+        events: list[tuple[int, int]] = []
+        for lo, hi, _label in unrolled(by_reservoir[reservoir]):
+            events.append((lo, 1))
+            events.append((hi, -1))
+        level = 0
+        for _time, delta in sorted(events):
+            level += delta
+            if level > capacity:
+                violations.append(
+                    f"reservoir {reservoir}: {level} concurrent reagents "
+                    f"exceed capacity {capacity} (II={ii})"
+                )
+                break
+
+    return violations
+
+
+def validate_periodic_schedule(schedule: PeriodicSchedule) -> None:
+    """Raise :class:`ValidationError` listing every violation, if any."""
+    violations = collect_periodic_violations(schedule)
+    if violations:
+        raise ValidationError(
+            f"{len(violations)} periodic violation(s):\n  "
+            + "\n  ".join(violations)
+        )

@@ -1,0 +1,206 @@
+"""Multi-variant shared-schedule synthesis.
+
+Labs rarely run one assay: they run *families* of variants sharing most
+of their DAG (a full protocol, a shortened QC pass, a calibration
+subset).  Synthesizing each variant independently wastes chip area —
+every variant gets its own device set — and forbids interleaving them on
+one chip.  This module instead synthesizes **one** binding that serves
+every variant:
+
+1. the variants are merged into a *union assay* (operations identical by
+   uid across variants merge; a uid with conflicting definitions is
+   rejected — rename per variant);
+2. one one-shot synthesis of the union fixes devices, binding, and
+   transport for everything any variant executes;
+3. each variant's periodic problem is the union's, restricted to the
+   variant's operations (:meth:`~repro.periodic.problem.
+   PeriodicProblem.restrict`) — the union schedule restricted to the
+   variant stays feasible, anchoring each per-variant II search;
+4. the ablation compares each variant's II under the shared binding
+   against an independently synthesized baseline (own devices, own II).
+
+The *shared skeleton* — operations present in every variant with
+identical definitions — quantifies how much of the DAG the family
+actually shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil
+from typing import TYPE_CHECKING
+
+from ..errors import SpecificationError
+from ..operations.assay import Assay
+from ..hls.spec import SynthesisSpec
+from .problem import build_periodic_problem
+from .scheduler import ThroughputResult, schedule_throughput
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hls.synthesizer import SynthesisResult
+
+
+def _op_token(op) -> tuple:
+    return (
+        op.duration.minimum,
+        op.is_indeterminate,
+        op.capacity.value,
+        op.container.value if op.container else None,
+        tuple(sorted(op.accessories)),
+        op.function,
+    )
+
+
+def shared_skeleton(assays: list[Assay]) -> list[str]:
+    """Uids present in *every* variant with identical definitions."""
+    if not assays:
+        return []
+    common: set[str] | None = None
+    for assay in assays:
+        uids = set(assay.uids)
+        common = uids if common is None else common & uids
+    assert common is not None
+    first = assays[0]
+    return sorted(
+        uid
+        for uid in common
+        if all(_op_token(a[uid]) == _op_token(first[uid]) for a in assays[1:])
+    )
+
+
+def union_assay(assays: list[Assay], name: str = "") -> Assay:
+    """Merge variants into one assay; same-uid operations must agree.
+
+    Raises :class:`SpecificationError` on a uid whose definition differs
+    between variants (rename it per variant) and on a dependency cycle
+    introduced by the merge (via :meth:`Assay.validate`).
+    """
+    if not assays:
+        raise SpecificationError("union of zero assay variants")
+    union = Assay(name or "+".join(a.name for a in assays))
+    seen: dict[str, tuple] = {}
+    for assay in assays:
+        for op in assay:
+            token = _op_token(op)
+            if op.uid in seen:
+                if seen[op.uid] != token:
+                    raise SpecificationError(
+                        f"variant operation {op.uid!r} has conflicting "
+                        f"definitions across variants; rename it per variant"
+                    )
+                continue
+            seen[op.uid] = token
+            union.add(op)
+    edges: set[tuple[str, str]] = set()
+    for assay in assays:
+        edges.update(assay.edges)
+    for parent, child in sorted(edges):
+        union.add_dependency(parent, child)
+    union.validate()
+    return union
+
+
+def prefix_variant(assay: Assay, fraction: float, name: str = "") -> Assay:
+    """The dependency-closed variant of the first ``ceil(fraction * n)``
+    operations in topological order.
+
+    A topological prefix contains every ancestor of each member, so the
+    subset is always a valid DAG — the canonical way to derive a
+    "shortened run" variant for ablations (and the
+    ``spec.throughput_variants`` wire format).
+    """
+    if not 0 < fraction <= 1:
+        raise SpecificationError(
+            f"prefix fraction {fraction!r} must be in (0, 1]"
+        )
+    order = assay.topological_order()
+    count = max(1, ceil(fraction * len(order)))
+    keep = order[:count]
+    return assay.subset(keep, name or f"{assay.name}[{fraction:g}]")
+
+
+@dataclass
+class VariantReport:
+    """One variant's shared-binding vs independent-synthesis comparison."""
+
+    name: str
+    num_ops: int
+    shared: ThroughputResult
+    independent: ThroughputResult
+    independent_devices: int
+
+    @property
+    def shared_ii(self) -> int:
+        return self.shared.ii
+
+    @property
+    def independent_ii(self) -> int:
+        return self.independent.ii
+
+
+@dataclass
+class SharedThroughput:
+    """The union synthesis plus per-variant periodic results."""
+
+    union_result: "SynthesisResult"
+    skeleton: list[str]
+    reports: list[VariantReport] = field(default_factory=list)
+
+    @property
+    def shared_devices(self) -> int:
+        return self.union_result.num_devices
+
+    @property
+    def independent_devices(self) -> int:
+        """Devices a per-variant synthesis fleet would build in total."""
+        return sum(r.independent_devices for r in self.reports)
+
+
+def synthesize_shared(
+    assays: list[Assay],
+    spec: SynthesisSpec | None = None,
+) -> SharedThroughput:
+    """One binding for all variants, with per-variant periodic IIs and
+    independently-synthesized baselines."""
+    from ..hls import synthesize
+
+    spec = spec or SynthesisSpec()
+    union = union_assay(assays)
+    union_result = synthesize(union, spec)
+    union_problem = build_periodic_problem(union_result)
+
+    reports: list[VariantReport] = []
+    for assay in assays:
+        keep = set(assay.uids)
+        shared_problem = union_problem.restrict(keep, name=assay.name)
+        shared = schedule_throughput(shared_problem, spec)
+        independent_result = synthesize(assay, spec)
+        independent = schedule_throughput(independent_result, spec)
+        reports.append(
+            VariantReport(
+                name=assay.name,
+                num_ops=len(assay),
+                shared=shared,
+                independent=independent,
+                independent_devices=independent_result.num_devices,
+            )
+        )
+    return SharedThroughput(
+        union_result=union_result,
+        skeleton=shared_skeleton(assays),
+        reports=reports,
+    )
+
+
+def derive_variants(assay: Assay, fractions: tuple[float, ...]) -> list[Assay]:
+    """The assay itself plus its topological-prefix variants.
+
+    The materialization of ``spec.throughput_variants``: fraction 1.0 is
+    skipped (the full assay is always included first).
+    """
+    variants = [assay]
+    for fraction in fractions:
+        if fraction >= 1:
+            continue
+        variants.append(prefix_variant(assay, fraction))
+    return variants

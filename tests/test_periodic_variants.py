@@ -1,0 +1,116 @@
+"""Multi-variant shared-schedule synthesis tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.operations import AssayBuilder
+from repro.periodic import (
+    derive_variants,
+    prefix_variant,
+    shared_skeleton,
+    synthesize_shared,
+    union_assay,
+)
+
+
+def _family():
+    """Two variants sharing a prep/capture core with different tails."""
+    full = AssayBuilder("full")
+    prep = full.op("prep", 4, container="chamber", function="load")
+    cap = full.op(
+        "capture", 6, indeterminate=True, accessories=["cell_trap"],
+        function="capture", after=[prep],
+    )
+    lyse = full.op("lyse", 5, container="chamber", function="lyse",
+                   after=[cap])
+    full.op("detect", 3, accessories=["optical_system"], function="detect",
+            after=[lyse])
+
+    qc = AssayBuilder("qc")
+    prep2 = qc.op("prep", 4, container="chamber", function="load")
+    cap2 = qc.op(
+        "capture", 6, indeterminate=True, accessories=["cell_trap"],
+        function="capture", after=[prep2],
+    )
+    qc.op("qc_scan", 2, accessories=["optical_system"], function="detect",
+          after=[cap2])
+    return full.build(), qc.build()
+
+
+class TestUnion:
+    def test_merges_shared_operations(self):
+        full, qc = _family()
+        union = union_assay([full, qc])
+        assert set(union.uids) == {
+            "prep", "capture", "lyse", "detect", "qc_scan"
+        }
+        assert ("prep", "capture") in union.edges
+        assert ("capture", "qc_scan") in union.edges
+
+    def test_conflicting_definition_rejected(self):
+        full, _qc = _family()
+        other = AssayBuilder("other")
+        other.op("prep", 9, container="chamber", function="load")
+        with pytest.raises(SpecificationError, match="rename it per variant"):
+            union_assay([full, other.build()])
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(SpecificationError):
+            union_assay([])
+
+
+class TestSkeleton:
+    def test_common_core(self):
+        full, qc = _family()
+        assert shared_skeleton([full, qc]) == ["capture", "prep"]
+
+    def test_single_variant_is_its_own_skeleton(self):
+        full, _qc = _family()
+        assert shared_skeleton([full]) == sorted(full.uids)
+
+
+class TestPrefix:
+    def test_prefix_is_dependency_closed(self, indeterminate_assay):
+        half = prefix_variant(indeterminate_assay, 0.5)
+        kept = set(half.uids)
+        for parent, child in indeterminate_assay.edges:
+            if child in kept:
+                assert parent in kept
+
+    def test_fraction_validated(self, linear_assay):
+        with pytest.raises(SpecificationError):
+            prefix_variant(linear_assay, 0.0)
+        with pytest.raises(SpecificationError):
+            prefix_variant(linear_assay, 1.5)
+
+    def test_derive_skips_full_fraction(self, linear_assay):
+        variants = derive_variants(linear_assay, (1.0, 0.5))
+        assert len(variants) == 2
+        assert variants[0] is linear_assay
+        assert len(variants[1]) == 2
+
+
+class TestSharedSynthesis:
+    def test_one_binding_serves_every_variant(self, fast_spec):
+        full, qc = _family()
+        shared = synthesize_shared([full, qc], fast_spec)
+        assert len(shared.reports) == 2
+        assert shared.skeleton == ["capture", "prep"]
+        # The whole point: one shared device set vs one set per variant.
+        assert shared.shared_devices <= shared.independent_devices
+        for report in shared.reports:
+            assert report.shared_ii >= 1
+            assert report.independent_ii >= 1
+            assert report.shared.ii <= report.shared.base_makespan
+            assert report.independent.ii <= report.independent.base_makespan
+
+    def test_prefix_family_end_to_end(self, indeterminate_assay, fast_spec):
+        variants = derive_variants(indeterminate_assay, (0.5,))
+        shared = synthesize_shared(variants, fast_spec)
+        by_name = {r.name: r for r in shared.reports}
+        assert set(by_name) == {"ind", "ind[0.5]"}
+        # The shortened variant can never need a longer interval than the
+        # full protocol under the same binding.
+        assert by_name["ind[0.5]"].shared_ii <= by_name["ind"].shared_ii
