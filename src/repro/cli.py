@@ -12,9 +12,14 @@ Usage examples::
     repro-hls table2 --cases 1 --time-limit 10
     repro-hls table3 --cases 2 3 --jobs 4 --profile
     repro-hls serve --port 8642 --store-dir ~/.cache/repro-hls
+    repro-hls serve --port 8643 --store-dir /srv/repro --fleet \\
+        --replica-id r2
     repro-hls submit --case 2 --server 127.0.0.1:8642 --out result.json
+    repro-hls submit --case 2 --server 127.0.0.1:8642,127.0.0.1:8643 \\
+        --hedge-after 0.5
     repro-hls jobs --server 127.0.0.1:8642 --metrics
     repro-hls chaos --seed 7 --jobs 2 --cases 1 2
+    repro-hls chaos --scenario fleet --cases 1
     repro-hls demo
 
 Exit codes: 0 success, 1 synthesis/service failure, 2 bad input
@@ -483,6 +488,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service import ServerConfig, run_server
 
+    if (args.fleet or args.replica_id) and not args.store_dir:
+        print("error: --fleet requires --store-dir (the shared store)",
+              file=sys.stderr)
+        return 2
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -493,14 +502,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         job_timeout=args.job_timeout,
         journal_dir=args.journal_dir,
         enable_degrade=not args.no_degrade,
+        fleet=args.fleet,
+        replica_id=args.replica_id,
+        lease_ttl=args.lease_ttl,
+        heartbeat_interval=args.heartbeat_interval,
+        compact_min_bytes=args.compact_min_bytes,
+        compact_min_age=args.compact_min_age,
     )
+    fleet_note = ""
+    if args.fleet or args.replica_id:
+        fleet_note = f", fleet replica {args.replica_id or 'replica-<pid>'}"
     run_server(
         config,
         announce=lambda server: print(
             f"synthesis server listening on "
             f"{config.host}:{server.port} "
             f"({config.workers} worker(s), "
-            f"store: {config.store_dir or 'in-memory'})",
+            f"store: {config.store_dir or 'in-memory'}"
+            f"{fleet_note})",
             flush=True,
         ),
     )
@@ -510,9 +529,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_submit(args: argparse.Namespace) -> int:
     import json as _json
 
-    from .service import ServiceClient
+    from .service import FleetClient, HedgePolicy, ServiceClient
 
-    client = ServiceClient.from_address(args.server)
+    if "," in args.server:
+        hedge = None
+        if args.hedge_after is not None:
+            hedge = HedgePolicy(delay=args.hedge_after)
+        client = FleetClient.from_addresses(args.server, hedge=hedge)
+    else:
+        client = ServiceClient.from_address(args.server)
     assay = _resolve_assay(args)
     spec = _spec_from_args(args)
     method = "conventional" if args.conventional else "hls"
@@ -599,6 +624,33 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import json as _json
+
+    if args.scenario == "fleet":
+        from .service.chaos import (
+            FleetChaosConfig,
+            format_fleet_chaos,
+            run_fleet_chaos,
+        )
+
+        fleet_config = FleetChaosConfig(
+            seed=args.seed,
+            cases=tuple(args.cases),
+            workdir=args.workdir,
+            workers=args.workers,
+            time_limit=args.time_limit,
+            deadline=args.deadline,
+            lease_ttl=args.lease_ttl,
+            claim_ttl=args.claim_ttl,
+            partition=not args.no_partition,
+        )
+        fleet_report = run_fleet_chaos(fleet_config)
+        if args.json:
+            print(_json.dumps(
+                fleet_report.to_json(), indent=2, sort_keys=True
+            ))
+        else:
+            print(format_fleet_chaos(fleet_report))
+        return 0 if fleet_report.ok else 1
 
     from .service.chaos import ChaosConfig, format_chaos, run_chaos
 
@@ -800,6 +852,24 @@ def build_parser() -> argparse.ArgumentParser:
                               "jobs that exceed their wall-clock budget")
     p_serve.add_argument("--job-timeout", type=float, default=900.0,
                          help="wall-clock seconds allowed per job")
+    p_serve.add_argument("--fleet", action="store_true",
+                         help="share --store-dir with peer replicas via "
+                              "the lease/fencing protocol")
+    p_serve.add_argument("--replica-id",
+                         help="stable fleet identity (implies --fleet; "
+                              "default: replica-<pid>)")
+    p_serve.add_argument("--lease-ttl", type=float, default=10.0,
+                         help="seconds before an unrefreshed store lease "
+                              "is considered stale and taken over")
+    p_serve.add_argument("--heartbeat-interval", type=float, default=2.0,
+                         help="seconds between lease heartbeats")
+    p_serve.add_argument("--compact-min-bytes", type=int,
+                         default=64 * 1024,
+                         help="closed journal bytes that trigger "
+                              "background compaction")
+    p_serve.add_argument("--compact-min-age", type=float, default=300.0,
+                         help="oldest closed-segment age (seconds) that "
+                              "triggers background compaction")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_sub = sub.add_parser(
@@ -809,7 +879,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_sub.add_argument("--case", type=int,
                        help="submit benchmark case N instead of a file")
     p_sub.add_argument("--server", default="127.0.0.1:8642",
-                       metavar="HOST:PORT")
+                       metavar="HOST:PORT[,HOST:PORT...]",
+                       help="one server, or a comma-separated fleet "
+                            "(submissions are hedged across replicas)")
+    p_sub.add_argument("--hedge-after", type=float, default=None,
+                       metavar="SECONDS",
+                       help="with a fleet --server list: fire a duplicate "
+                            "submit to a second replica after this fixed "
+                            "delay (default: adaptive p95)")
     p_sub.add_argument("--conventional", action="store_true",
                        help="request the conventional baseline method")
     p_sub.add_argument("--priority", type=int, default=0,
@@ -840,6 +917,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a deterministic fault-injection campaign against a "
              "real in-process synthesis server",
     )
+    p_chaos.add_argument("--scenario", choices=("classic", "fleet"),
+                         default="classic",
+                         help="classic: single server, four fault kinds; "
+                              "fleet: multiple replicas over one store "
+                              "(lease takeover, fencing, coalescing)")
     p_chaos.add_argument("--seed", type=int, default=0,
                          help="campaign seed (fault placement + jitter)")
     p_chaos.add_argument("--jobs", type=int, default=2,
@@ -856,6 +938,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="client-side wait per job, seconds")
     p_chaos.add_argument("--json", action="store_true",
                          help="print the report as JSON")
+    p_chaos.add_argument("--lease-ttl", type=float, default=2.0,
+                         help="fleet scenario: store-lease TTL, seconds")
+    p_chaos.add_argument("--claim-ttl", type=float, default=3.0,
+                         help="fleet scenario: in-flight claim TTL")
+    p_chaos.add_argument("--no-partition", action="store_true",
+                         help="fleet scenario: skip the partition/"
+                              "fencing phase")
     p_chaos.set_defaults(func=_cmd_chaos)
 
     p_demo = sub.add_parser("demo", help="synthesize benchmark case 1 and show it")

@@ -65,14 +65,49 @@ class SerializationError(ReproError):
 
 
 class ServiceError(ReproError):
-    """A synthesis-service request failed (client- or server-side)."""
+    """A synthesis-service request failed (client- or server-side).
 
-    def __init__(self, message: str, status: int = 500, kind: str = "error"):
+    ``context`` carries the attempt history a resilient client attaches
+    before re-raising (retries used, hedge fired, breaker state,
+    replicas tried), so a fleet failure is debuggable from the exception
+    alone — it is folded into ``str(exc)``.
+    """
+
+    def __init__(self, message: str, status: int = 500, kind: str = "error",
+                 context: "dict | None" = None):
         super().__init__(message)
         #: HTTP status code the failure maps to.
         self.status = status
         #: machine-readable failure kind (``queue-full``, ``timeout``, ...).
         self.kind = kind
+        #: attempt context attached by the client (None until attached).
+        self.context = dict(context) if context else None
+
+    def with_context(self, **fields) -> "ServiceError":
+        """Attach (or extend) attempt context; returns ``self``."""
+        if self.context is None:
+            self.context = {}
+        self.context.update(fields)
+        return self
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if not self.context:
+            return base
+        detail = ", ".join(
+            f"{key}={value}" for key, value in sorted(self.context.items())
+        )
+        return f"{base} [{detail}]"
+
+
+class LeaseFencedError(ServiceError):
+    """A replica tried to write shared state with a superseded fencing
+    token: another replica took over the store lease (this one's
+    heartbeats went stale), so the write was refused and the replica
+    must degrade to read-only store access."""
+
+    def __init__(self, message: str):
+        super().__init__(message, status=409, kind="lease-fenced")
 
 
 class CircuitOpenError(ServiceError):

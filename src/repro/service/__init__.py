@@ -25,7 +25,12 @@ Fault tolerance (this layer's robustness contract):
 * :mod:`~repro.service.chaos` — deterministic fault-injection campaigns
   (worker kills, slow solves, store corruption, journal-tearing
   crashes) against a real in-process server, with a byte-identity
-  verdict against fault-free solves.
+  verdict against fault-free solves; the ``fleet`` scenario runs the
+  same campaign across multiple replicas sharing one store.
+* :mod:`~repro.service.lease` — crash-safe lease/fencing protocol that
+  lets several replicas share one store directory: a single epoch-fenced
+  index writer, stale-lease takeover, and a shared in-flight claim table
+  for cross-replica request coalescing.
 
 Pieces: :mod:`~repro.service.store` (atomic, versioned, LRU-bounded
 result store), :mod:`~repro.service.queue` (priority queue, coalescing,
@@ -38,9 +43,32 @@ cross-process layer-solve-cache warm starts).  CLI verbs: ``serve``,
 ``--via-server``.
 """
 
-from .chaos import ChaosConfig, ChaosReport, format_chaos, run_chaos
-from .client import CircuitBreaker, JobHandle, RetryPolicy, ServiceClient
+from .chaos import (
+    ChaosConfig,
+    ChaosReport,
+    FleetChaosConfig,
+    FleetChaosReport,
+    format_chaos,
+    format_fleet_chaos,
+    run_chaos,
+    run_fleet_chaos,
+)
+from .client import (
+    CircuitBreaker,
+    FleetClient,
+    HedgePolicy,
+    JobHandle,
+    RetryPolicy,
+    ServiceClient,
+)
 from .journal import JOURNAL_SCHEMA, JobJournal
+from .lease import (
+    LEASE_SCHEMA,
+    FileLock,
+    FleetCoordinator,
+    InflightTable,
+    StoreLease,
+)
 from .metrics import ServiceMetrics
 from .queue import Job, JobQueue, JobStatus
 from .server import ServerConfig, SynthesisServer, run_server
@@ -51,22 +79,33 @@ __all__ = [
     "ChaosConfig",
     "ChaosReport",
     "CircuitBreaker",
+    "FileLock",
+    "FleetChaosConfig",
+    "FleetChaosReport",
+    "FleetClient",
+    "FleetCoordinator",
+    "HedgePolicy",
+    "InflightTable",
     "Job",
     "JobHandle",
     "JobJournal",
     "JobQueue",
     "JobStatus",
     "JOURNAL_SCHEMA",
+    "LEASE_SCHEMA",
     "ResultStore",
     "RetryPolicy",
     "STORE_SCHEMA",
     "ServerConfig",
     "ServiceClient",
     "ServiceMetrics",
+    "StoreLease",
     "SynthesisServer",
     "format_chaos",
+    "format_fleet_chaos",
     "payload_checksum",
     "run_chaos",
+    "run_fleet_chaos",
     "run_server",
     "run_job",
 ]

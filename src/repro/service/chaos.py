@@ -294,13 +294,21 @@ class _ServerHarness:
         assert self._server is not None
         return self._server.port
 
-    def hard_stop(self) -> None:
+    @property
+    def server(self) -> SynthesisServer:
+        assert self._server is not None
+        return self._server
+
+    def hard_stop(self, crash: bool = False) -> None:
         """Stop without draining: pending/running jobs stay open —
-        exactly what a crash leaves behind for the journal to replay."""
+        exactly what a crash leaves behind for the journal to replay.
+        ``crash=True`` additionally keeps the store lease and in-flight
+        claims on disk (a dead replica releases nothing), forcing peers
+        through stale-lease takeover and orphaned-claim reclaim."""
         assert self._loop is not None and self._server is not None
         server = self._server
         self._loop.call_soon_threadsafe(
-            lambda: asyncio.ensure_future(server.stop())
+            lambda: asyncio.ensure_future(server.stop(crash=crash))
         )
         self._thread.join(30)
 
@@ -598,4 +606,475 @@ def run_chaos(config: ChaosConfig) -> ChaosReport:
     return report
 
 
-__all__ = ["ChaosConfig", "ChaosReport", "format_chaos", "run_chaos"]
+# -- fleet scenario ------------------------------------------------------
+
+#: distinct-fingerprint variants for the fleet phases (same inert knob).
+_VARIANT_COALESCE = 0.011
+_VARIANT_FLEET_WAVE2 = 0.013
+_VARIANT_PARTITION = 0.017
+
+
+@dataclass
+class FleetChaosConfig:
+    """One deterministic multi-replica chaos campaign."""
+
+    seed: int = 0
+    #: paper benchmark cases (ignored when ``requests`` is given).
+    cases: tuple[int, ...] = (1,)
+    #: explicit submission bodies (tests use tiny fixture assays).
+    requests: "list[dict] | None" = None
+    workdir: str | None = None
+    workers: int = 1
+    time_limit: float = 30.0
+    deadline: float = 600.0
+    # -- fleet protocol tuning (small values keep the campaign fast) ----
+    lease_ttl: float = 2.0
+    heartbeat_interval: float = 0.2
+    claim_ttl: float = 3.0
+    peer_poll_interval: float = 0.1
+    #: run the partition/fencing phase (suspend the holder's heartbeats,
+    #: let a peer take over, resume → the old holder must self-fence).
+    partition: bool = True
+    #: journal-segment size + compaction pressure for the bounded-bytes
+    #: check (tiny values make compaction fire during the campaign).
+    journal_segment_records: int = 4
+    compact_interval: float = 0.2
+    #: closed journal bytes the campaign tolerates at the end (the
+    #: compactor must keep the footprint bounded under sustained load).
+    journal_bytes_bound: int = 65536
+
+
+@dataclass
+class FleetChaosReport:
+    """Multi-replica campaign outcome; ``ok`` is the CI verdict."""
+
+    workdir: str = ""
+    replicas: int = 2
+    submitted: int = 0
+    verified: int = 0
+    lost: int = 0
+    mismatched: int = 0
+    #: fleet-wide solve count for the cross-replica-coalesced
+    #: fingerprint (must be exactly 1 — exactly-once computation).
+    coalesce_solves: int = -1
+    #: submissions answered from a peer's in-flight solve or its shared
+    #: store entry (informational).
+    peer_served: int = 0
+    #: stale-lease takeovers observed across the fleet.
+    takeovers: int = 0
+    #: store writes rejected on the fenced replica.
+    fenced_writes: int = 0
+    fenced_expected: int = 0
+    replayed: int = 0
+    replayed_expected: int = 0
+    torn_records: int = 0
+    corruptions: int = 0
+    quarantined: int = 0
+    #: threshold-triggered background compaction runs across the fleet.
+    compaction_runs: int = 0
+    #: closed journal bytes across all replica journals at the end.
+    journal_bytes: int = 0
+    journal_bytes_bound: int = 65536
+    #: final fencing epoch of the surviving holder.
+    epoch_final: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.lost == 0
+            and self.mismatched == 0
+            and self.verified == self.submitted
+            and self.coalesce_solves == 1
+            and self.takeovers >= 1
+            and self.fenced_writes >= self.fenced_expected
+            and self.replayed == self.replayed_expected
+            and self.corruptions == 0
+            and self.quarantined == 0
+            and self.compaction_runs >= 1
+            and self.journal_bytes <= self.journal_bytes_bound
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "workdir": self.workdir,
+            "replicas": self.replicas,
+            "submitted": self.submitted,
+            "verified": self.verified,
+            "lost": self.lost,
+            "mismatched": self.mismatched,
+            "coalesce_solves": self.coalesce_solves,
+            "peer_served": self.peer_served,
+            "takeovers": self.takeovers,
+            "fenced_writes": self.fenced_writes,
+            "fenced_expected": self.fenced_expected,
+            "replayed": self.replayed,
+            "replayed_expected": self.replayed_expected,
+            "torn_records": self.torn_records,
+            "corruptions": self.corruptions,
+            "quarantined": self.quarantined,
+            "compaction_runs": self.compaction_runs,
+            "journal_bytes": self.journal_bytes,
+            "journal_bytes_bound": self.journal_bytes_bound,
+            "epoch_final": self.epoch_final,
+            "notes": self.notes,
+        }
+
+
+def format_fleet_chaos(report: FleetChaosReport) -> str:
+    lines = [
+        f"verdict        : {'OK' if report.ok else 'FAILED'}",
+        f"jobs           : {report.submitted} unique requests, "
+        f"{report.verified} verified, {report.lost} lost, "
+        f"{report.mismatched} mismatched",
+        f"coalescing     : {report.coalesce_solves} solve(s) for the "
+        f"shared fingerprint (expected exactly 1), "
+        f"{report.peer_served} peer-served submission(s)",
+        f"lease          : {report.takeovers} takeover(s), final epoch "
+        f"{report.epoch_final}, {report.fenced_writes} fenced write(s) "
+        f"(expected >= {report.fenced_expected})",
+        f"journal        : {report.replayed} replayed "
+        f"(expected {report.replayed_expected}), "
+        f"{report.torn_records} torn record(s), "
+        f"{report.compaction_runs} compaction run(s), "
+        f"{report.journal_bytes} closed byte(s) "
+        f"(bound {report.journal_bytes_bound})",
+        f"store          : {report.corruptions} corruption(s), "
+        f"{report.quarantined} quarantined (both must be 0)",
+        f"workdir        : {report.workdir}",
+    ]
+    lines.extend(f"note           : {note}" for note in report.notes)
+    return "\n".join(lines)
+
+
+def _poll(predicate, timeout: float, interval: float = 0.05) -> bool:
+    """Spin until ``predicate()`` or ``timeout`` seconds elapse."""
+    import time as _time
+
+    end = _time.monotonic() + timeout
+    while _time.monotonic() < end:
+        if predicate():
+            return True
+        _time.sleep(interval)
+    return bool(predicate())
+
+
+def run_fleet_chaos(config: FleetChaosConfig) -> FleetChaosReport:
+    """Run one deterministic multi-replica chaos campaign.
+
+    Phases: (1) two replicas over one store, wave-1 traffic on the
+    holder; (2) cross-replica coalescing — the same fingerprint
+    submitted to both replicas must compute exactly once fleet-wide;
+    (3) kill the lease holder with jobs in flight — the follower must
+    take over the lease, reclaim the orphaned in-flight claims, and
+    finish everything; a restart of the dead replica must replay its
+    journal losslessly over crash artifacts (torn tail, stale tmp);
+    (4) partition the new holder — a peer takes over, the resumed
+    holder must fence itself and degrade to read-only store access
+    while still serving its own results; (5) resubmit everything and
+    byte-compare against fault-free single-process baselines.
+    """
+    report = FleetChaosReport(
+        journal_bytes_bound=config.journal_bytes_bound
+    )
+
+    if config.requests is not None:
+        bodies_base = [dict(body) for body in config.requests]
+    else:
+        bodies_base = [
+            _case_body(case, config.time_limit) for case in config.cases
+        ]
+    if not bodies_base:
+        raise ServiceError("fleet chaos needs at least one request",
+                           status=400, kind="bad-request")
+
+    coalesce_body = _variant(bodies_base[0], _VARIANT_COALESCE)
+    wave2 = [_variant(body, _VARIANT_FLEET_WAVE2) for body in bodies_base]
+    partition_body = _variant(bodies_base[0], _VARIANT_PARTITION)
+
+    def _baseline_solve(body: dict) -> str:
+        outcome = run_job({
+            "assay": body["assay"], "spec": body.get("spec"),
+            "method": "hls", "deterministic": True,
+        })
+        if not outcome or outcome[0] != "ok":
+            raise ServiceError(
+                f"baseline solve failed: {outcome!r}", status=500
+            )
+        return _result_bytes(outcome[1])
+
+    # One fault-free single-process baseline per solve class: the
+    # improvement-threshold variants provably share their base body's
+    # result (max_iterations=0), so each base solve verifies its whole
+    # variant family byte-for-byte.
+    baseline: dict[str, str] = {}
+    for index, body in enumerate(bodies_base):
+        truth = _baseline_solve(body)
+        variants = [body, wave2[index]]
+        if index == 0:
+            variants.extend([coalesce_body, partition_body])
+        for variant in variants:
+            baseline[_body_key(variant)] = truth
+
+    workdir = Path(tempfile.mkdtemp(
+        prefix="repro-fleet-chaos-", dir=config.workdir
+    ))
+    report.workdir = str(workdir)
+    store_dir = workdir / "store"
+
+    def _replica_config(replica_id: str) -> ServerConfig:
+        return ServerConfig(
+            port=0,
+            workers=config.workers,
+            store_dir=str(store_dir),
+            job_timeout=max(config.deadline, 120.0),
+            replica_id=replica_id,
+            fleet=True,
+            lease_ttl=config.lease_ttl,
+            heartbeat_interval=config.heartbeat_interval,
+            claim_ttl=config.claim_ttl,
+            peer_poll_interval=config.peer_poll_interval,
+            journal_segment_records=config.journal_segment_records,
+            compact_interval=config.compact_interval,
+            compact_min_bytes=1,
+            compact_min_age=3600.0,
+        )
+
+    def _client(harness: _ServerHarness, salt: int) -> ServiceClient:
+        return ServiceClient(
+            port=harness.port, timeout=60.0,
+            retry=RetryPolicy(seed=config.seed + salt),
+        )
+
+    def _wait(client: ServiceClient, job_id: str, label: str):
+        try:
+            done = client.wait(job_id, deadline=config.deadline)
+        except ServiceError as exc:
+            report.lost += 1
+            report.notes.append(
+                f"{label} job {job_id} never finished: {exc}"
+            )
+            return None
+        if done.status != "done":
+            report.lost += 1
+            report.notes.append(
+                f"{label} job {done.id} ended {done.status!r}: "
+                f"{done.error!r}"
+            )
+            return None
+        return done
+
+    def _solve_count(client: ServiceClient) -> int:
+        counters = client.metrics().get("counters", {})
+        return int(counters.get("solve_jobs", 0))
+
+    # ---- phase 1: two replicas over one store --------------------------
+    harness_1 = _ServerHarness(_replica_config("r1"))
+    harness_1.start()
+    client_1 = _client(harness_1, 0)
+    if not _poll(lambda: harness_1.server.fleet.lease.held, 10.0):
+        report.notes.append("replica r1 never acquired the lease")
+    harness_2 = _ServerHarness(_replica_config("r2"))
+    harness_2.start()
+    client_2 = _client(harness_2, 1)
+
+    for body in bodies_base:
+        handle = client_1.submit(body["assay"], body.get("spec"))
+        _wait(client_1, handle.id, "wave-1")
+
+    # ---- phase 2: cross-replica coalescing -----------------------------
+    solves_before = _solve_count(client_1) + _solve_count(client_2)
+    handle_a = client_1.submit(
+        coalesce_body["assay"], coalesce_body.get("spec")
+    )
+    # Submit the identical fingerprint to the peer immediately: r1 holds
+    # the in-flight claim, so r2 must await r1's shared result instead
+    # of recomputing (or, if r1 already finished, serve its store entry).
+    handle_b = client_2.submit(
+        coalesce_body["assay"], coalesce_body.get("spec")
+    )
+    done_a = _wait(client_1, handle_a.id, "coalesce-r1")
+    done_b = _wait(client_2, handle_b.id, "coalesce-r2")
+    if done_b is not None and done_b.source in ("peer", "store"):
+        report.peer_served += 1
+    report.coalesce_solves = (
+        _solve_count(client_1) + _solve_count(client_2) - solves_before
+    )
+    if done_a is not None and done_b is not None:
+        payload_a = client_1.result(done_a.id)
+        payload_b = client_2.result(done_b.id)
+        if _result_bytes(payload_a) != _result_bytes(payload_b):
+            report.mismatched += 1
+            report.notes.append(
+                "coalesced fingerprint returned different bytes on the "
+                "two replicas"
+            )
+
+    # ---- phase 3: kill the lease holder with jobs in flight ------------
+    for body in wave2:
+        client_1.submit(body["assay"], body.get("spec"))
+    harness_1.hard_stop(crash=True)
+    journal_1 = store_dir / "journal-r1"
+    report.replayed_expected = _open_jobs_in_journal(journal_1)
+
+    # The follower must notice the stale lease and take over.
+    if not _poll(
+        lambda: harness_2.server.fleet.lease.held,
+        timeout=max(10.0, config.lease_ttl * 10),
+    ):
+        report.notes.append("replica r2 never took over the lease")
+    report.takeovers = harness_2.server.fleet.lease.takeovers
+
+    # Resubmit the in-flight wave to the survivor: the dead replica's
+    # claims must go stale and be reclaimed, never waited on forever.
+    for body in wave2:
+        handle = client_2.submit(body["assay"], body.get("spec"))
+        done = _wait(client_2, handle.id, "takeover")
+        if done is None:
+            continue
+        payload = client_2.result(done.id)
+        if _result_bytes(payload) != baseline[_body_key(body)]:
+            report.mismatched += 1
+            report.notes.append("takeover result mismatch")
+
+    # Crash artifacts: a torn journal tail + a stale index tmp; the
+    # restarted replica must replay losslessly over both.
+    report.torn_records = _tear_journal(journal_1, None)
+    (store_dir / "index.json.tmp").write_text("{\"torn\": tr")
+
+    harness_1b = _ServerHarness(_replica_config("r1"))
+    harness_1b.start()
+    client_1b = _client(harness_1b, 2)
+    replay_counters = client_1b.metrics().get("counters", {})
+    report.replayed = int(replay_counters.get("journal_replayed", 0))
+    # Replayed jobs resolve from the shared store (r2 already finished
+    # them); wait until none are open so the verdict is race-free.
+    _poll(
+        lambda: all(
+            handle.finished for handle in client_1b.jobs()
+        ),
+        timeout=config.deadline,
+    )
+
+    # ---- phase 4: partition the holder → fencing -----------------------
+    if config.partition:
+        report.fenced_expected = 1
+        holder = harness_2.server
+        survivor = harness_1b.server
+        holder.fleet.lease.suspend()
+        if not _poll(
+            lambda: survivor.fleet.lease.held,
+            timeout=max(10.0, config.lease_ttl * 10),
+        ):
+            report.notes.append(
+                "replica r1 never took the lease from the partitioned "
+                "holder"
+            )
+        report.takeovers += survivor.fleet.lease.takeovers
+        holder.fleet.lease.resume()
+        if not _poll(
+            lambda: holder.fleet.lease.fenced,
+            timeout=max(10.0, config.lease_ttl * 10),
+        ):
+            report.notes.append(
+                "partitioned replica never fenced itself after resume"
+            )
+        # The fenced replica must still answer fresh work — from its
+        # process-local overflow, without writing shared files.
+        handle = client_2.submit(
+            partition_body["assay"], partition_body.get("spec")
+        )
+        done = _wait(client_2, handle.id, "fenced")
+        if done is not None:
+            payload = client_2.result(done.id)
+            if _result_bytes(payload) != baseline[_body_key(partition_body)]:
+                report.mismatched += 1
+                report.notes.append("fenced-replica result mismatch")
+        store_block = client_2.metrics().get("store", {})
+        report.fenced_writes = int(store_block.get("rejected_writes", 0))
+        report.epoch_final = survivor.fleet.lease.epoch
+    else:
+        report.epoch_final = harness_2.server.fleet.lease.epoch
+
+    # ---- phase 5: full verification on the surviving holder ------------
+    expected = list(bodies_base) + [coalesce_body] + list(wave2)
+    if config.partition:
+        expected.append(partition_body)
+    report.submitted = len(expected)
+    verify_client = client_1b if config.partition else client_2
+    for body in expected:
+        key = _body_key(body)
+        try:
+            handle = verify_client.submit(body["assay"], body.get("spec"))
+        except ServiceError as exc:
+            report.lost += 1
+            report.notes.append(f"verification submit failed: {exc}")
+            continue
+        done = _wait(verify_client, handle.id, "verification")
+        if done is None:
+            continue
+        payload = verify_client.result(done.id)
+        if _result_bytes(payload) == baseline[key]:
+            report.verified += 1
+        else:
+            report.mismatched += 1
+            report.notes.append(f"result mismatch for {key[:48]}…")
+
+    # Compaction quiesce: with ``compact_min_bytes=1`` any rotation arms
+    # the compactor, so wait until every closed segment has been drained
+    # before reading the journal verdict — otherwise the bounded-bytes
+    # and runs>=1 checks race the maintenance tick.
+    # (A replica whose closed segments all vanished can only have got
+    # there through the compactor, so ``not pending`` also implies the
+    # runs>=1 verdict input on any replica that rotated.)
+    for harness in (harness_1b, harness_2):
+        server = harness.server
+        if not _poll(
+            lambda s=server: not s.journal.pending_compaction(),
+            timeout=30.0,
+        ):
+            report.notes.append(
+                f"replica {server.replica_id} compactor never quiesced"
+            )
+
+    # ---- verdict inputs across the fleet -------------------------------
+    for client in (client_1b, client_2):
+        try:
+            metrics = client.metrics()
+        except ServiceError:
+            continue
+        store_block = metrics.get("store", {})
+        journal_block = metrics.get("journal", {})
+        counters = metrics.get("counters", {})
+        report.corruptions += int(store_block.get("corruptions", 0))
+        report.quarantined += int(store_block.get("quarantined", 0))
+        report.compaction_runs += int(
+            journal_block.get("compaction_runs", 0)
+        )
+        report.journal_bytes += int(journal_block.get("closed_bytes", 0))
+        report.peer_served += int(counters.get("peer_coalesce_hits", 0))
+        report.torn_records = max(
+            report.torn_records, int(journal_block.get("torn_records", 0))
+        )
+
+    quarantine_dir = store_dir / "quarantine"
+    if quarantine_dir.is_dir() and any(quarantine_dir.glob("*.json")):
+        report.quarantined = max(report.quarantined, 1)
+        report.notes.append("quarantine directory is not empty")
+
+    harness_2.graceful_stop(client_2)
+    harness_1b.graceful_stop(client_1b)
+    return report
+
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosReport",
+    "FleetChaosConfig",
+    "FleetChaosReport",
+    "format_chaos",
+    "format_fleet_chaos",
+    "run_chaos",
+    "run_fleet_chaos",
+]

@@ -35,8 +35,11 @@ from __future__ import annotations
 import http.client
 import json
 import random
+import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
+from queue import Empty, SimpleQueue
 from typing import Any, Callable
 
 from ..errors import CircuitOpenError, ServiceError
@@ -244,6 +247,9 @@ class ServiceClient:
                 f"circuit open for {self.host}:{self.port} "
                 f"(cooling down after {self.breaker.threshold} "
                 f"consecutive failures)"
+            ).with_context(
+                replica=f"{self.host}:{self.port}",
+                breaker=self.breaker.state,
             )
         payload = json.dumps(body).encode() if body is not None else None
         attempt = 0
@@ -251,12 +257,20 @@ class ServiceClient:
             try:
                 data = self._attempt(method, path, payload)
             except ServiceError as exc:
+                # Attach the attempt history so a fleet failure is
+                # debuggable from the exception alone.
+                exc.with_context(
+                    replica=f"{self.host}:{self.port}",
+                    retries_used=attempt,
+                    breaker=self.breaker.state,
+                )
                 if not self._retryable(exc):
                     # The server answered; only its answer was a 4xx.
                     self.breaker.record_success()
                     raise
                 self.breaker.record_failure()
                 if attempt >= self.retry.retries or not self.breaker.allow():
+                    exc.with_context(breaker=self.breaker.state)
                     raise
                 self._sleep(self.retry.backoff(attempt))
                 attempt += 1
@@ -412,8 +426,447 @@ class ServiceClient:
                 )
 
 
+class HedgePolicy:
+    """When to fire a duplicate request at a second replica.
+
+    The hedge delay adapts to observed latency: once ``min_samples``
+    request durations have been recorded, the delay is the configured
+    ``percentile`` of the recent sample window; before that (or with a
+    fixed ``delay``) the static value applies.  ``clock`` is injectable
+    so tests control both the measured latencies and the firing time.
+    """
+
+    def __init__(
+        self,
+        delay: float | None = None,
+        percentile: float = 0.95,
+        min_samples: int = 8,
+        initial_delay: float = 1.0,
+        max_samples: int = 128,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if delay is not None and delay < 0:
+            raise ServiceError("hedge delay must be >= 0", status=400)
+        if not 0.0 < percentile <= 1.0:
+            raise ServiceError(
+                "hedge percentile must be in (0, 1]", status=400
+            )
+        if min_samples < 1 or max_samples < min_samples:
+            raise ServiceError("bad hedge sample bounds", status=400)
+        #: fixed hedge delay, seconds; ``None`` adapts to the percentile.
+        self.delay = delay
+        self.percentile = percentile
+        self.min_samples = min_samples
+        #: delay used until enough samples accumulate.
+        self.initial_delay = initial_delay
+        self.clock = clock
+        self._samples: deque[float] = deque(maxlen=max_samples)
+        #: hedges actually fired.
+        self.fired = 0
+        #: hedges whose duplicate finished first.
+        self.won = 0
+
+    def observe(self, seconds: float) -> None:
+        """Record one completed request's duration."""
+        self._samples.append(seconds)
+
+    def current_delay(self) -> float:
+        """Seconds to wait before hedging the in-flight request."""
+        if self.delay is not None:
+            return self.delay
+        if len(self._samples) < self.min_samples:
+            return self.initial_delay
+        ordered = sorted(self._samples)
+        index = min(
+            len(ordered) - 1,
+            max(0, int(self.percentile * len(ordered)) - 1)
+            if self.percentile < 1.0
+            else len(ordered) - 1,
+        )
+        return ordered[index]
+
+    def counters(self) -> dict[str, Any]:
+        return {
+            "fired": self.fired,
+            "won": self.won,
+            "samples": len(self._samples),
+            "current_delay": self.current_delay(),
+        }
+
+
+class _HedgedAttempt:
+    """One request on one replica whose socket a peer thread can close.
+
+    Unlike :meth:`ServiceClient._attempt`, the connection is held on the
+    instance so the losing side of a hedge race can be cancelled from
+    the winner's thread — closing the socket makes the blocked read
+    raise, and the connection is still closed in a ``finally`` on every
+    path.
+    """
+
+    def __init__(
+        self,
+        client: "ServiceClient",
+        method: str,
+        path: str,
+        payload: bytes | None,
+        hedged: bool,
+    ) -> None:
+        self.client = client
+        self.method = method
+        self.path = path
+        self.payload = payload
+        self.hedged = hedged
+        self._connection: http.client.HTTPConnection | None = None
+        self._cancelled = False
+        self._lock = threading.Lock()
+
+    def cancel(self) -> None:
+        """Abort the attempt: close its socket out from under it."""
+        with self._lock:
+            self._cancelled = True
+            if self._connection is not None:
+                try:
+                    self._connection.close()
+                except OSError:  # pragma: no cover - close is best-effort
+                    pass
+
+    def execute(self) -> dict[str, Any]:
+        connection = http.client.HTTPConnection(
+            self.client.host, self.client.port,
+            timeout=self.client.timeout,
+        )
+        with self._lock:
+            if self._cancelled:
+                connection.close()
+                raise ServiceError(
+                    "hedged attempt cancelled before start",
+                    status=499, kind="hedge-cancelled",
+                )
+            self._connection = connection
+        try:
+            headers = (
+                {"Content-Type": "application/json"} if self.payload else {}
+            )
+            if self.hedged:
+                headers["X-Repro-Hedge"] = "1"
+            try:
+                connection.request(
+                    self.method, self.path, body=self.payload,
+                    headers=headers,
+                )
+                response = connection.getresponse()
+                raw = response.read()
+            except (OSError, http.client.HTTPException) as exc:
+                if self._cancelled:
+                    raise ServiceError(
+                        "hedged attempt cancelled mid-flight",
+                        status=499, kind="hedge-cancelled",
+                    ) from exc
+                raise ServiceError(
+                    f"cannot reach synthesis server at "
+                    f"{self.client.host}:{self.client.port}: {exc}",
+                    status=503, kind="unreachable",
+                ) from exc
+            try:
+                data = json.loads(raw) if raw else {}
+            except json.JSONDecodeError as exc:
+                raise ServiceError(
+                    f"non-JSON response from server: {exc}",
+                    status=502, kind="bad-response",
+                ) from exc
+            if response.status >= 400:
+                error = data.get("error") or {}
+                raise ServiceError(
+                    error.get("message", f"HTTP {response.status}"),
+                    status=response.status,
+                    kind=error.get("kind", "error"),
+                )
+            return data
+        finally:
+            connection.close()
+
+
+class FleetClient:
+    """Client over N replicas: hedged submits, pinned follow-ups.
+
+    Submissions (``POST /jobs``) are safe to hedge — the fleet coalesces
+    them on the run fingerprint across replicas, so a duplicate attaches
+    to the in-flight solve instead of recomputing.  Job *ids* however
+    are replica-local, so every status/result/cancel call is pinned to
+    the replica that issued the handle.
+
+    Per-replica :class:`CircuitBreaker` instances keep one dead replica
+    from absorbing traffic; the outer :class:`RetryPolicy` composes
+    *around* hedged attempts (one backoff cycle may span two replicas).
+    """
+
+    def __init__(
+        self,
+        clients: "list[ServiceClient]",
+        hedge: "HedgePolicy | None" = None,
+        retry: "RetryPolicy | None" = None,
+    ) -> None:
+        if not clients:
+            raise ServiceError(
+                "fleet client needs at least one replica", status=400
+            )
+        self.clients = list(clients)
+        self.hedge = hedge if hedge is not None else HedgePolicy()
+        self.retry = retry if retry is not None else RetryPolicy()
+        #: job id -> index of the replica that issued it.
+        self._pin: dict[str, int] = {}
+        #: injectable for tests.
+        self._sleep: Callable[[float], None] = time.sleep
+
+    @classmethod
+    def from_addresses(
+        cls,
+        addresses: str,
+        timeout: float = 120.0,
+        hedge: "HedgePolicy | None" = None,
+    ) -> "FleetClient":
+        """Parse ``host:port,host:port,...`` into a fleet client."""
+        clients = [
+            ServiceClient.from_address(part.strip(), timeout=timeout)
+            for part in addresses.split(",") if part.strip()
+        ]
+        return cls(clients, hedge=hedge)
+
+    # -- hedged transport -------------------------------------------------
+
+    def _launch(
+        self,
+        index: int,
+        method: str,
+        path: str,
+        payload: bytes | None,
+        hedged: bool,
+        attempts: dict,
+        results: SimpleQueue,
+    ) -> None:
+        attempt = _HedgedAttempt(
+            self.clients[index], method, path, payload, hedged
+        )
+        attempts[index] = attempt
+
+        def _run() -> None:
+            try:
+                results.put((index, True, attempt.execute()))
+            except ServiceError as exc:
+                results.put((index, False, exc))
+
+        threading.Thread(target=_run, daemon=True).start()
+
+    def _hedged_once(
+        self, method: str, path: str, body: dict | None
+    ) -> tuple[dict[str, Any], int]:
+        """One hedged round: primary attempt, duplicate after the hedge
+        delay, first success wins, loser cancelled.  Returns ``(data,
+        replica_index)``."""
+        payload = json.dumps(body).encode() if body is not None else None
+        order = [
+            index for index, client in enumerate(self.clients)
+            if client.breaker.allow()
+        ]
+        if not order:
+            raise CircuitOpenError(
+                "every replica's circuit is open"
+            ).with_context(replicas=len(self.clients))
+        results: SimpleQueue = SimpleQueue()
+        attempts: dict[int, _HedgedAttempt] = {}
+        started = self.hedge.clock()
+        primary = order[0]
+        self._launch(primary, method, path, payload, False,
+                     attempts, results)
+        can_hedge = len(order) > 1
+        hedge_delay = self.hedge.current_delay() if can_hedge else None
+        hedge_fired = False
+        failures: list[ServiceError] = []
+        outstanding = 1
+
+        def _fire_hedge() -> None:
+            nonlocal hedge_fired, outstanding
+            self._launch(order[1], method, path, payload, True,
+                         attempts, results)
+            hedge_fired = True
+            outstanding += 1
+            self.hedge.fired += 1
+
+        while True:
+            timeout = None
+            if hedge_delay is not None and not hedge_fired:
+                remaining = started + hedge_delay - self.hedge.clock()
+                if remaining <= 0:
+                    _fire_hedge()
+                    continue
+                timeout = remaining
+            try:
+                index, ok, value = results.get(timeout=timeout)
+            except Empty:
+                continue
+            client = self.clients[index]
+            if ok:
+                client.breaker.record_success()
+                self.hedge.observe(self.hedge.clock() - started)
+                if hedge_fired and index != primary:
+                    self.hedge.won += 1
+                for other, attempt in attempts.items():
+                    if other != index:
+                        attempt.cancel()
+                return value, index
+            exc = value
+            if exc.kind == "hedge-cancelled":
+                outstanding -= 1
+                continue  # the loser we cancelled ourselves
+            if not ServiceClient._retryable(exc):
+                # An authoritative 4xx answer — the request itself is
+                # wrong on every replica; cancel the race and raise.
+                client.breaker.record_success()
+                for other, attempt in attempts.items():
+                    if other != index:
+                        attempt.cancel()
+                raise exc.with_context(
+                    replica=f"{client.host}:{client.port}",
+                    hedge_fired=hedge_fired,
+                )
+            client.breaker.record_failure()
+            failures.append(exc.with_context(
+                replica=f"{client.host}:{client.port}",
+            ))
+            outstanding -= 1
+            if not hedge_fired and can_hedge:
+                # Primary failed fast: promote the hedge immediately.
+                _fire_hedge()
+                continue
+            if outstanding == 0:
+                raise failures[-1].with_context(
+                    hedge_fired=hedge_fired,
+                    replicas_tried=len(failures),
+                )
+
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[dict[str, Any], int]:
+        attempt = 0
+        while True:
+            try:
+                return self._hedged_once(method, path, body)
+            except CircuitOpenError:
+                raise
+            except ServiceError as exc:
+                if (
+                    not ServiceClient._retryable(exc)
+                    or attempt >= self.retry.retries
+                ):
+                    raise exc.with_context(retries_used=attempt)
+                self._sleep(self.retry.backoff(attempt))
+                attempt += 1
+
+    # -- endpoints --------------------------------------------------------
+
+    def _pinned(self, job_id: str) -> "ServiceClient":
+        return self.clients[self._pin.get(job_id, 0)]
+
+    def submit(
+        self,
+        assay: Any,
+        spec: Any = None,
+        method: str = "hls",
+        priority: int = 0,
+        timeout: float | None = None,
+        degrade: bool | None = None,
+    ) -> JobHandle:
+        body = self.clients[0]._submit_body(
+            assay, spec, method=method, priority=priority,
+            timeout=timeout, degrade=degrade,
+        )
+        data, index = self._request("POST", "/jobs", body)
+        handle = JobHandle.from_json(data["job"])
+        self._pin[handle.id] = index
+        return handle
+
+    def status(self, job_id: str, wait: float = 0.0) -> JobHandle:
+        return self._pinned(job_id).status(job_id, wait=wait)
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        return self._pinned(job_id).result(job_id)
+
+    def cancel(self, job_id: str) -> JobHandle:
+        return self._pinned(job_id).cancel(job_id)
+
+    def wait(self, job_id: str, deadline: float = 600.0) -> JobHandle:
+        return self._pinned(job_id).wait(job_id, deadline=deadline)
+
+    def health(self, index: int = 0) -> dict[str, Any]:
+        return self.clients[index].health()
+
+    def metrics(self, index: int = 0) -> dict[str, Any]:
+        return self.clients[index].metrics()
+
+    def synthesize(
+        self,
+        assay: Any,
+        spec: Any = None,
+        method: str = "hls",
+        deadline: float = 600.0,
+        degrade: bool | None = None,
+    ) -> dict[str, Any]:
+        """Hedged submit + pinned wait + result, with unknown-job
+        resubmission (a restarted or failed-over replica knows the
+        fingerprint, not our job id — the re-hedged resubmission lands
+        wherever the fleet answers first)."""
+        body = self.clients[0]._submit_body(
+            assay, spec, method=method, degrade=degrade,
+        )
+        end = time.monotonic() + deadline
+        resubmissions = 0
+        data, index = self._request("POST", "/jobs", body)
+        handle = JobHandle.from_json(data["job"])
+        self._pin[handle.id] = index
+        while True:
+            remaining = end - time.monotonic()
+            if remaining <= 0:
+                raise ServiceError(
+                    f"job {handle.id} not finished within {deadline:g}s",
+                    status=408, kind="wait-timeout",
+                )
+            client = self.clients[index]
+            try:
+                handle = client.wait(handle.id, deadline=remaining)
+                if handle.status != "done":
+                    error = handle.error or {}
+                    raise ServiceError(
+                        error.get(
+                            "message", f"job {handle.id} {handle.status}"
+                        ),
+                        status=500,
+                        kind=error.get("kind", handle.status),
+                    )
+                return client.result(handle.id)
+            except ServiceError as exc:
+                if exc.kind not in ("unknown-job", "unreachable") \
+                        or resubmissions >= 3:
+                    raise
+                resubmissions += 1
+                data, index = self._request("POST", "/jobs", body)
+                handle = JobHandle.from_json(data["job"])
+                self._pin[handle.id] = index
+
+    def counters(self) -> dict[str, Any]:
+        return {
+            "replicas": [
+                f"{client.host}:{client.port}" for client in self.clients
+            ],
+            "breakers": [client.breaker.state for client in self.clients],
+            "hedge": self.hedge.counters(),
+        }
+
+
 __all__ = [
     "CircuitBreaker",
+    "FleetClient",
+    "HedgePolicy",
     "JobHandle",
     "RetryPolicy",
     "ServiceClient",

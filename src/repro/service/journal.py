@@ -19,12 +19,23 @@ Durability discipline:
   line; replay skips it (counted in ``torn_records``) instead of
   failing.  Only the final line of a segment can be torn, because every
   earlier line was fsync'd as a prefix of the file.
-* **Atomic rotation + compaction** — when the active segment reaches
-  ``segment_records`` records it is closed and a new one started; closed
-  segments are then compacted (records of terminal jobs dropped, the
-  survivor rewritten via ``tmp + fsync + os.replace``, empty segments
-  deleted) so the journal's footprint tracks the *open* job set, not the
-  server's lifetime traffic.
+* **Atomic rotation** — when the active segment reaches
+  ``segment_records`` records it is closed and a new one started;
+  rotation itself is O(1) (no scan).
+* **Incremental background compaction** — the journal tracks the set of
+  terminal job ids in memory (seeded by one startup scan, updated on
+  every terminal append).  :meth:`JobJournal.maybe_compact` fires only
+  when closed segments exceed a byte or age threshold, and then rewrites
+  a bounded number of segments per run, strictly oldest-first, dropping
+  records of terminal jobs (survivors rewritten via ``tmp + fsync +
+  os.replace``, empty segments deleted).  Oldest-first order makes
+  per-segment compaction crash-safe against job *resurrection*: a job's
+  ``submitted`` record always precedes its terminal record in segment
+  order, so by the time a terminal record could be dropped the
+  submission is already gone; a leftover orphan terminal record is
+  harmless (replay only re-enqueues from ``submitted``).  Stale ``.tmp``
+  files from a crash mid-compaction are swept at startup; a torn
+  rewrite is never visible because of the atomic replace.
 
 ``root=None`` disables the journal entirely: every method is a cheap
 no-op and :meth:`replay` returns ``[]`` — the in-memory server
@@ -73,9 +84,18 @@ class JobJournal:
         self,
         root: "str | Path | None" = None,
         segment_records: int = 1024,
+        compact_min_bytes: int = 64 * 1024,
+        compact_min_age: float = 300.0,
+        compact_segments_per_run: int = 8,
     ) -> None:
         self.root = Path(root) if root is not None else None
         self.segment_records = max(1, segment_records)
+        #: closed-segment bytes that arm :meth:`maybe_compact`.
+        self.compact_min_bytes = max(0, compact_min_bytes)
+        #: oldest-closed-segment age (seconds) that arms it too.
+        self.compact_min_age = max(0.0, compact_min_age)
+        #: closed segments rewritten per :meth:`maybe_compact` run.
+        self.compact_segments_per_run = max(1, compact_segments_per_run)
         #: records appended by this instance (all events).
         self.appended = 0
         #: torn (partial) trailing lines skipped during replay.
@@ -86,18 +106,26 @@ class JobJournal:
         self.compacted = 0
         #: segment rotations performed by this instance.
         self.rotations = 0
+        #: threshold-triggered incremental compaction runs.
+        self.compaction_runs = 0
         #: append failures swallowed (disk full, EIO); the server keeps
         #: serving but durability is degraded — surfaced at /metrics.
         self.write_errors = 0
         self._active: Path | None = None
         self._active_count = 0
         self._handle = None
+        #: job ids whose terminal event has been journalled — the
+        #: incremental compactor's working set (seeded by one startup
+        #: scan, then maintained on every terminal append).
+        self._terminal: set[str] = set()
         #: segments frozen by :meth:`replay`, deleted by
         #: :meth:`forget_replayed`.
         self._frozen: list[Path] = []
         if self.root is not None:
             self.root.mkdir(parents=True, exist_ok=True)
+            self._sweep_tmp()
             self._open_active()
+            self._seed_terminal()
 
     @property
     def enabled(self) -> bool:
@@ -149,8 +177,35 @@ class JobJournal:
             self._active_count = 0
         self._handle = open(self._active, "a", encoding="utf-8")
 
+    def _sweep_tmp(self) -> None:
+        """Remove tmp files a crash mid-compaction left behind.
+
+        A ``.tmp`` is only ever a partially written rewrite whose atomic
+        replace never happened — the original segment is still intact.
+        """
+        assert self.root is not None
+        for tmp in self.root.glob(f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}.tmp"):
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+    def _seed_terminal(self) -> None:
+        """One startup scan seeding the terminal-id set for incremental
+        compaction; afterwards :meth:`_append` keeps it current."""
+        assert self.root is not None
+        self._terminal = set()
+        for segment in self._segments():
+            records, _ = _read_records(segment)
+            for record in records:
+                if record.get("event") in TERMINAL_EVENTS:
+                    job_id = record.get("id")
+                    if job_id:
+                        self._terminal.add(job_id)
+
     def _rotate(self) -> None:
-        """Close the active segment and start the next one, then compact."""
+        """Close the active segment and start the next one (O(1) — the
+        background compactor owns scanning, not the append path)."""
         assert self.root is not None and self._active is not None
         if self._handle is not None:
             self._handle.flush()
@@ -162,7 +217,6 @@ class JobJournal:
         self._handle = open(self._active, "a", encoding="utf-8")
         _fsync_path(self.root)
         self.rotations += 1
-        self.compact()
 
     # -- appends ---------------------------------------------------------
 
@@ -178,6 +232,8 @@ class JobJournal:
             self.write_errors += 1
             return
         self.appended += 1
+        if record.get("event") in TERMINAL_EVENTS and record.get("id"):
+            self._terminal.add(record["id"])
         self._active_count += 1
         if self._active_count >= self.segment_records:
             try:
@@ -288,51 +344,127 @@ class JobJournal:
                 pass
         self._frozen = []
         _fsync_path(self.root)
+        # The deleted segments carried most of the tracked terminal ids;
+        # re-seed from what actually remains on disk.
+        self._seed_terminal()
 
     # -- compaction ------------------------------------------------------
 
-    def compact(self) -> None:
-        """Drop terminal-job records from closed segments.
+    def _closed_segments(self) -> list[Path]:
+        """Closed (non-active, non-frozen) segments, oldest first."""
+        frozen = set(self._frozen)
+        return [
+            segment for segment in self._segments()
+            if segment != self._active and segment not in frozen
+        ]
 
-        The active segment is never rewritten (it is mid-append); closed
-        segments are rewritten atomically without records of jobs whose
-        terminal event has been journalled anywhere, and deleted outright
-        when nothing survives.
+    def closed_bytes(self) -> int:
+        """Total on-disk bytes across closed segments."""
+        if self.root is None:
+            return 0
+        total = 0
+        for segment in self._closed_segments():
+            try:
+                total += segment.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def pending_compaction(self) -> bool:
+        """Whether closed segments exceed the byte or age threshold."""
+        if self.root is None:
+            return False
+        closed = self._closed_segments()
+        if not closed:
+            return False
+        if self.closed_bytes() >= self.compact_min_bytes:
+            return True
+        try:
+            oldest_age = time.time() - closed[0].stat().st_mtime
+        except OSError:
+            return False
+        return oldest_age >= self.compact_min_age
+
+    def _compact_segment(self, segment: Path, terminal: set[str]) -> None:
+        """Rewrite one closed segment without terminal-job records.
+
+        Crash-tolerant: survivors land in a ``.tmp`` that is fsync'd and
+        atomically replaces the original — a crash mid-rewrite leaves
+        the intact original plus a stale tmp (swept at next startup).
+        """
+        records, _ = _read_records(segment)
+        survivors = [
+            record for record in records
+            if record.get("id") not in terminal
+        ]
+        if len(survivors) == len(records):
+            return
+        self.compacted += len(records) - len(survivors)
+        if not survivors:
+            try:
+                segment.unlink()
+            except OSError:
+                pass
+            return
+        tmp = segment.with_name(segment.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for record in survivors:
+                handle.write(json.dumps(record) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, segment)
+
+    def compact_step(self, max_segments: "int | None" = None) -> int:
+        """Incrementally compact up to ``max_segments`` closed segments.
+
+        Segments are processed strictly **oldest-first**: a job's
+        ``submitted`` record always precedes its terminal record in
+        segment order, so dropping terminal jobs per-segment in this
+        order can never resurrect one on replay — at worst an orphan
+        terminal record survives in a newer segment, and replay only
+        re-enqueues from ``submitted`` records.  Returns the number of
+        segments examined.
+        """
+        if self.root is None:
+            return 0
+        if max_segments is None:
+            max_segments = self.compact_segments_per_run
+        done = 0
+        for segment in self._closed_segments():
+            if done >= max_segments:
+                break
+            try:
+                self._compact_segment(segment, self._terminal)
+            except OSError:
+                self.write_errors += 1
+            done += 1
+        if done:
+            _fsync_path(self.root)
+        return done
+
+    def maybe_compact(self) -> "float | None":
+        """Run one bounded compaction step iff a threshold is armed.
+
+        Returns the step's wall-clock duration in seconds, or ``None``
+        when nothing was due — the server's maintenance loop feeds the
+        duration into the compaction histogram.
+        """
+        if not self.pending_compaction():
+            return None
+        start = time.perf_counter()
+        self.compact_step()
+        self.compaction_runs += 1
+        return time.perf_counter() - start
+
+    def compact(self) -> None:
+        """Full compaction: every closed segment, terminal set rebuilt
+        from a complete scan.  Kept for explicit/administrative use; the
+        hot path uses :meth:`maybe_compact` instead.
         """
         if self.root is None:
             return
-        segments = self._segments()
-        terminal: set[str] = set()
-        for segment in segments:
-            records, _ = _read_records(segment)
-            for record in records:
-                if record.get("event") in TERMINAL_EVENTS:
-                    terminal.add(record.get("id", ""))
-        for segment in segments:
-            if segment == self._active:
-                continue
-            records, _ = _read_records(segment)
-            survivors = [
-                record for record in records
-                if record.get("id") not in terminal
-            ]
-            if len(survivors) == len(records):
-                continue
-            self.compacted += len(records) - len(survivors)
-            if not survivors:
-                try:
-                    segment.unlink()
-                except OSError:
-                    pass
-                continue
-            tmp = segment.with_name(segment.name + ".tmp")
-            with open(tmp, "w", encoding="utf-8") as handle:
-                for record in survivors:
-                    handle.write(json.dumps(record) + "\n")
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp, segment)
-        _fsync_path(self.root)
+        self._seed_terminal()
+        self.compact_step(max_segments=len(self._closed_segments()))
 
     # -- introspection ---------------------------------------------------
 
@@ -353,9 +485,11 @@ class JobJournal:
             "replayed": self.replayed,
             "torn_records": self.torn_records,
             "compacted": self.compacted,
+            "compaction_runs": self.compaction_runs,
             "rotations": self.rotations,
             "write_errors": self.write_errors,
             "segments": len(self._segments()) if self.enabled else 0,
+            "closed_bytes": self.closed_bytes(),
         }
 
 

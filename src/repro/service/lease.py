@@ -1,0 +1,582 @@
+"""Crash-safe lease/fencing protocol for multi-replica store sharing.
+
+N synthesis servers may point at one checksummed
+:class:`~repro.service.store.ResultStore` directory.  Entry files are
+content-addressed (fingerprint-keyed, checksummed, written via
+``tmp + fsync + os.replace``), so concurrent writers of the *same*
+fingerprint are harmless — the only real mutual-exclusion hazard is
+``index.json`` (LRU recency + eviction decisions).  This module provides
+the fleet's coordination primitives:
+
+* :class:`FileLock` — an advisory cross-process lock file
+  (``O_CREAT | O_EXCL``) with stale-lock breaking, guarding the short
+  read-modify-write critical sections below.  Lock *files* are broken
+  after ``stale_after`` seconds so a crashed holder never wedges the
+  fleet.
+* :class:`StoreLease` — a single-writer lease over the store directory.
+  The lease record (``lease.json``) carries the owner, a monotonically
+  increasing **epoch** (the fencing token), and a heartbeat timestamp.
+  A replica whose heartbeats go stale for longer than ``ttl`` loses the
+  lease: any peer may take over, bumping the epoch.  Every index write
+  must present the current epoch; a replica holding a superseded epoch
+  *fences itself* and degrades to read-only store access instead of
+  corrupting shared state.  Epochs never decrease, even across release /
+  re-acquire cycles, so a resurrected stale writer can always be told
+  apart from the live one.
+* :class:`InflightTable` — a small shared sidecar file
+  (``inflight.json``, guarded by the same advisory-lock discipline)
+  mapping fingerprints to the replica currently computing them.  Before
+  enqueueing, a replica claims the fingerprint; a claim already held by
+  a live peer means the job is awaited (polling the shared store)
+  rather than recomputed.  Claims carry heartbeats too: a claim whose
+  owner died is reclaimed after ``ttl`` seconds, so an orphaned
+  in-flight job never blocks the fleet.
+* :class:`FleetCoordinator` — the per-server glue: one lease + one
+  in-flight table + the periodic maintenance step the server's
+  heartbeat loop drives.
+
+All timestamps use a wall clock (``time.time``) because they are
+compared *across processes*; the clock is injectable for tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+from ..errors import ServiceError
+
+#: Bump on any incompatible change to the lease / in-flight layouts.
+LEASE_SCHEMA = 1
+
+_LEASE_NAME = "lease.json"
+_LEASE_LOCK = "lease.lock"
+_INFLIGHT_NAME = "inflight.json"
+_INFLIGHT_LOCK = "inflight.lock"
+
+
+def _fsync_dir(path: Path) -> None:
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _atomic_write_json(path: Path, data: dict) -> None:
+    """Durably replace ``path`` with ``data`` (tmp + fsync + replace)."""
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(data))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    _fsync_dir(path.parent)
+
+
+def _read_json(path: Path) -> "dict | None":
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
+class FileLock:
+    """Advisory cross-process lock: an ``O_EXCL``-created lock file.
+
+    The critical sections it guards are millisecond-long read-modify-
+    writes, so ``stale_after`` (seconds before a leftover lock file from
+    a crashed holder is broken) can be far above any legitimate hold
+    time while still unwedging the fleet quickly.
+    """
+
+    def __init__(
+        self,
+        path: "str | Path",
+        timeout: float = 10.0,
+        stale_after: float = 10.0,
+        pause: float = 0.005,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.path = Path(path)
+        self.timeout = timeout
+        self.stale_after = stale_after
+        self.pause = pause
+        self._clock = clock
+        #: stale lock files broken (crashed holder evidence).
+        self.broken = 0
+
+    def acquire(self) -> None:
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                fd = os.open(
+                    self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                self._break_if_stale()
+                if time.monotonic() >= deadline:
+                    raise ServiceError(
+                        f"could not acquire {self.path.name} within "
+                        f"{self.timeout:g}s",
+                        status=503, kind="lock-timeout",
+                    )
+                time.sleep(self.pause)
+                continue
+            try:
+                os.write(
+                    fd, f"{os.getpid()} {self._clock():.6f}".encode()
+                )
+            finally:
+                os.close(fd)
+            return
+
+    def release(self) -> None:
+        try:
+            self.path.unlink(missing_ok=True)
+        except OSError:
+            pass
+
+    def _break_if_stale(self) -> None:
+        """Unlink a lock file whose holder stopped making progress."""
+        try:
+            age = self._clock() - self.path.stat().st_mtime
+        except OSError:
+            return  # already gone
+        if age > self.stale_after:
+            try:
+                self.path.unlink(missing_ok=True)
+                self.broken += 1
+            except OSError:
+                pass
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class StoreLease:
+    """Single-writer lease with epoch fencing over a store directory.
+
+    States:
+
+    * ``held`` — this replica owns the lease (its epoch is current); it
+      may write ``index.json`` and evict entries.
+    * ``follower`` — a live peer owns the lease; this replica reads the
+      shared store, writes only content-addressed entry files, and keeps
+      trying to acquire (it takes over the moment the holder's
+      heartbeats go stale).
+    * ``fenced`` — this replica *was* the holder but its epoch has been
+      superseded (a peer took over after its heartbeats went stale, or a
+      newer epoch appeared in ``index.json`` mid-write).  A fenced
+      replica degrades to read-only store access for the rest of its
+      life: it never writes shared files again, but keeps serving
+      results from memory.
+    """
+
+    HELD = "held"
+    FOLLOWER = "follower"
+    FENCED = "fenced"
+
+    def __init__(
+        self,
+        root: "str | Path",
+        replica_id: str,
+        ttl: float = 10.0,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if ttl <= 0:
+            raise ServiceError("lease ttl must be > 0", status=400)
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.replica_id = replica_id
+        self.ttl = ttl
+        self._clock = clock
+        self._lock = FileLock(
+            self.root / _LEASE_LOCK, stale_after=ttl, clock=clock
+        )
+        #: this replica's fencing token while held (0 = never held).
+        self.epoch = 0
+        self._state = self.FOLLOWER
+        #: acquisitions that displaced a different (stale) owner.
+        self.takeovers = 0
+        self.acquisitions = 0
+        self.heartbeats = 0
+        #: times this replica fenced itself (observed a newer epoch).
+        self.fences = 0
+        #: chaos hook: a "partitioned" replica cannot reach the shared
+        #: directory — heartbeats and acquisitions silently stop landing.
+        self._suspended = False
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def held(self) -> bool:
+        return self._state == self.HELD
+
+    @property
+    def fenced(self) -> bool:
+        return self._state == self.FENCED
+
+    def may_write_entries(self) -> bool:
+        """Content-addressed entry files may be written by any replica
+        that has not been fenced (identical-content replaces are benign;
+        a fenced replica must stop touching shared state entirely)."""
+        return self._state != self.FENCED
+
+    def may_write_index(self) -> bool:
+        return self._state == self.HELD
+
+    def fence(self) -> None:
+        """Demote to read-only: our fencing token was superseded."""
+        if self._state != self.FENCED:
+            self._state = self.FENCED
+            self.fences += 1
+
+    # -- chaos hooks ------------------------------------------------------
+
+    def suspend(self) -> None:
+        """Simulate a network partition from the shared directory."""
+        self._suspended = True
+
+    def resume(self) -> None:
+        self._suspended = False
+
+    # -- protocol ---------------------------------------------------------
+
+    def _path(self) -> Path:
+        return self.root / _LEASE_NAME
+
+    def _expired(self, record: dict, now: float) -> bool:
+        beat = float(record.get("heartbeat_at") or 0.0)
+        return now - beat > self.ttl
+
+    def try_acquire(self) -> bool:
+        """Acquire the lease if it is free, ours, or stale.
+
+        Every takeover bumps the epoch, so a previous holder that comes
+        back from the dead holds a provably superseded token.  A fenced
+        replica stays fenced — it must restart (fresh process, follower
+        state) to rejoin the fleet as a writer.
+        """
+        if self._suspended or self._state == self.FENCED:
+            return self.held
+        with self._lock:
+            now = self._clock()
+            record = _read_json(self._path())
+            owner = record.get("owner") if record else None
+            epoch = int(record.get("epoch", 0)) if record else 0
+            if record is not None and owner == self.replica_id:
+                if self.held and epoch == self.epoch:
+                    # Still ours: refresh the heartbeat in passing.
+                    record["heartbeat_at"] = now
+                    _atomic_write_json(self._path(), record)
+                    return True
+                # Our id but not our epoch (a previous incarnation of
+                # this replica): take over with a fresh token.
+                owner = None if self._expired(record, now) else owner
+            if record is None or not owner or self._expired(record, now):
+                new_epoch = epoch + 1
+                _atomic_write_json(self._path(), {
+                    "schema": LEASE_SCHEMA,
+                    "owner": self.replica_id,
+                    "epoch": new_epoch,
+                    "acquired_at": now,
+                    "heartbeat_at": now,
+                    "ttl": self.ttl,
+                })
+                if record is not None and owner not in (
+                    None, "", self.replica_id
+                ):
+                    self.takeovers += 1
+                self.epoch = new_epoch
+                self._state = self.HELD
+                self.acquisitions += 1
+                return True
+            return False
+
+    def heartbeat(self) -> bool:
+        """Refresh the heartbeat; returns False (and fences) when the
+        on-disk lease no longer carries our owner+epoch."""
+        if not self.held:
+            return False
+        if self._suspended:
+            # Partitioned: the write never lands, but the replica still
+            # *believes* it is the holder — exactly the stale writer the
+            # fencing checks must catch later.
+            return True
+        with self._lock:
+            record = _read_json(self._path())
+            if (
+                record is None
+                or record.get("owner") != self.replica_id
+                or int(record.get("epoch", -1)) != self.epoch
+            ):
+                self.fence()
+                return False
+            record["heartbeat_at"] = self._clock()
+            _atomic_write_json(self._path(), record)
+            self.heartbeats += 1
+            return True
+
+    def release(self) -> None:
+        """Give the lease up cleanly (graceful shutdown): the record
+        keeps its epoch (monotonicity) but drops the owner, so a peer
+        acquires immediately instead of waiting out the ttl."""
+        if not self.held or self._suspended:
+            self._state = (
+                self.FOLLOWER if self._state == self.HELD else self._state
+            )
+            return
+        with self._lock:
+            record = _read_json(self._path())
+            if (
+                record is not None
+                and record.get("owner") == self.replica_id
+                and int(record.get("epoch", -1)) == self.epoch
+            ):
+                _atomic_write_json(self._path(), {
+                    "schema": LEASE_SCHEMA,
+                    "owner": None,
+                    "epoch": self.epoch,
+                    "released_at": self._clock(),
+                    "ttl": self.ttl,
+                })
+        self._state = self.FOLLOWER
+
+    def lock(self) -> FileLock:
+        """The advisory lock guarding lease + index read-modify-writes."""
+        return self._lock
+
+    def counters(self) -> dict[str, Any]:
+        return {
+            "state": self._state,
+            "epoch": self.epoch,
+            "ttl": self.ttl,
+            "acquisitions": self.acquisitions,
+            "takeovers": self.takeovers,
+            "heartbeats": self.heartbeats,
+            "fences": self.fences,
+            "locks_broken": self._lock.broken,
+        }
+
+
+class InflightTable:
+    """Shared fingerprint → computing-replica claims (coalescing sidecar).
+
+    One small JSON file, every mutation a locked read-modify-write with
+    an atomic replace — the same durability discipline as the lease.
+    Claims carry heartbeats; :meth:`claim` reclaims entries whose owner
+    stopped beating for longer than ``ttl`` (a crashed replica's orphan
+    never blocks the fingerprint for good).
+    """
+
+    def __init__(
+        self,
+        root: "str | Path",
+        replica_id: str,
+        ttl: float = 30.0,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.replica_id = replica_id
+        self.ttl = ttl
+        self._clock = clock
+        self._lock = FileLock(
+            self.root / _INFLIGHT_LOCK, stale_after=max(ttl, 5.0),
+            clock=clock,
+        )
+        self.claims = 0
+        #: claim attempts refused because a live peer holds the entry.
+        self.conflicts = 0
+        #: stale (dead-replica) claims taken over.
+        self.reclaims = 0
+        self.releases = 0
+
+    def _path(self) -> Path:
+        return self.root / _INFLIGHT_NAME
+
+    def _load(self) -> dict[str, dict]:
+        data = _read_json(self._path())
+        table = data.get("claims") if data else None
+        return dict(table) if isinstance(table, dict) else {}
+
+    def _store(self, table: dict[str, dict]) -> None:
+        _atomic_write_json(
+            self._path(), {"schema": LEASE_SCHEMA, "claims": table}
+        )
+
+    def _stale(self, entry: dict, now: float) -> bool:
+        beat = float(entry.get("heartbeat_at") or 0.0)
+        return now - beat > self.ttl
+
+    def claim(self, fingerprint: str) -> "tuple[bool, dict | None]":
+        """Try to claim ``fingerprint``; returns ``(granted, entry)``.
+
+        Denied (``granted=False``) only when a *live* peer holds the
+        claim — the returned entry names it.  Stale claims are taken
+        over; re-claiming our own entry refreshes it.
+        """
+        with self._lock:
+            now = self._clock()
+            table = self._load()
+            entry = table.get(fingerprint)
+            if entry is not None:
+                if (
+                    entry.get("replica") != self.replica_id
+                    and not self._stale(entry, now)
+                ):
+                    self.conflicts += 1
+                    return False, dict(entry)
+                if (
+                    entry.get("replica") != self.replica_id
+                    and self._stale(entry, now)
+                ):
+                    self.reclaims += 1
+            table[fingerprint] = {
+                "replica": self.replica_id,
+                "claimed_at": now,
+                "heartbeat_at": now,
+            }
+            self._store(table)
+            self.claims += 1
+            return True, dict(table[fingerprint])
+
+    def peek(self, fingerprint: str) -> "dict | None":
+        """The current claim for ``fingerprint`` (no lock, read only)."""
+        entry = self._load().get(fingerprint)
+        return dict(entry) if entry is not None else None
+
+    def release(self, fingerprint: str) -> None:
+        """Drop our claim (no-op when a peer re-claimed it meanwhile)."""
+        with self._lock:
+            table = self._load()
+            entry = table.get(fingerprint)
+            if entry is not None and entry.get("replica") == self.replica_id:
+                del table[fingerprint]
+                self._store(table)
+                self.releases += 1
+
+    def release_all(self) -> None:
+        """Graceful shutdown: drop every claim this replica holds."""
+        with self._lock:
+            table = self._load()
+            ours = [
+                fp for fp, entry in table.items()
+                if entry.get("replica") == self.replica_id
+            ]
+            for fp in ours:
+                del table[fp]
+            if ours:
+                self._store(table)
+                self.releases += len(ours)
+
+    def beat(self, fingerprints: Iterable[str]) -> None:
+        """Refresh the heartbeat on our live claims."""
+        wanted = set(fingerprints)
+        if not wanted:
+            return
+        with self._lock:
+            now = self._clock()
+            table = self._load()
+            touched = False
+            for fp in wanted:
+                entry = table.get(fp)
+                if entry is not None and entry.get("replica") == self.replica_id:
+                    entry["heartbeat_at"] = now
+                    touched = True
+            if touched:
+                self._store(table)
+
+    def counters(self) -> dict[str, Any]:
+        return {
+            "claims": self.claims,
+            "conflicts": self.conflicts,
+            "reclaims": self.reclaims,
+            "releases": self.releases,
+            "entries": len(self._load()),
+        }
+
+
+class FleetCoordinator:
+    """Per-server fleet glue: one lease + one in-flight table.
+
+    The server calls :meth:`start` once, :meth:`maintain` from its
+    heartbeat loop, :meth:`claim`/:meth:`release` around job dispatch,
+    and :meth:`stop` on shutdown (``crash=True`` simulates a dead
+    replica: nothing is released, so peers must exercise the stale-lease
+    takeover and orphaned-claim reclaim paths).
+    """
+
+    def __init__(
+        self,
+        store_dir: "str | Path",
+        replica_id: str,
+        lease_ttl: float = 10.0,
+        claim_ttl: float = 30.0,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.replica_id = replica_id
+        self.lease = StoreLease(
+            store_dir, replica_id, ttl=lease_ttl, clock=clock
+        )
+        self.inflight = InflightTable(
+            store_dir, replica_id, ttl=claim_ttl, clock=clock
+        )
+
+    def start(self) -> bool:
+        return self.lease.try_acquire()
+
+    def maintain(self, running_fingerprints: Iterable[str] = ()) -> None:
+        """One heartbeat tick: renew (or chase) the lease, refresh our
+        in-flight claims."""
+        if self.lease.held:
+            self.lease.heartbeat()
+        elif not self.lease.fenced:
+            self.lease.try_acquire()
+        self.inflight.beat(running_fingerprints)
+
+    def claim(self, fingerprint: str) -> "tuple[bool, dict | None]":
+        return self.inflight.claim(fingerprint)
+
+    def release(self, fingerprint: str) -> None:
+        self.inflight.release(fingerprint)
+
+    def stop(self, crash: bool = False) -> None:
+        if crash:
+            return
+        self.inflight.release_all()
+        self.lease.release()
+
+    def counters(self) -> dict[str, Any]:
+        return {
+            "replica_id": self.replica_id,
+            "lease": self.lease.counters(),
+            "inflight": self.inflight.counters(),
+        }
+
+
+__all__ = [
+    "LEASE_SCHEMA",
+    "FileLock",
+    "FleetCoordinator",
+    "InflightTable",
+    "StoreLease",
+]

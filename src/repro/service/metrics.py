@@ -64,8 +64,10 @@ class Histogram:
 class ServiceMetrics:
     """All counters/gauges/histograms of one server instance."""
 
-    def __init__(self) -> None:
+    def __init__(self, replica_id: str = "solo") -> None:
         self.started = time.monotonic()
+        #: stable replica identity (fleet mode); "solo" otherwise.
+        self.replica_id = replica_id
         self._counters: dict[str, int] = {}
         self._histograms: dict[str, Histogram] = {}
         #: seconds of worker-slot occupancy, accumulated per finished job.
@@ -107,6 +109,7 @@ class ServiceMetrics:
             except Exception:
                 gauges[name] = None
         return {
+            "replica_id": self.replica_id,
             "uptime_seconds": round(uptime, 3),
             "counters": dict(sorted(self._counters.items())),
             "gauges": gauges,

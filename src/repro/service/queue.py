@@ -58,6 +58,10 @@ class Job:
     payload: dict[str, Any] | None = None
     #: additional submissions coalesced onto this job.
     coalesced: int = 0
+    #: True when the fingerprint is being computed by a peer replica —
+    #: the job never dispatches locally; the server polls the shared
+    #: store (or reclaims the orphaned claim) until it resolves.
+    remote: bool = False
     submitted_at: float = field(default_factory=time.time)
     started_at: float | None = None
     finished_at: float | None = None
@@ -71,6 +75,7 @@ class Job:
             "priority": self.priority,
             "source": self.source,
             "coalesced": self.coalesced,
+            "remote": self.remote,
             "error": self.error,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
@@ -156,6 +161,56 @@ class JobQueue:
             request=request,
             priority=priority,
         )
+
+    def submit_remote(
+        self,
+        fingerprint: str,
+        request: dict[str, Any],
+        priority: int = 0,
+        timeout: float | None = None,
+    ) -> Job:
+        """Register a job whose fingerprint a peer replica is computing.
+
+        The job starts RUNNING (it occupies no pending slot and never
+        dispatches to a local worker) but joins the coalesce map, so
+        further local submissions of the fingerprint attach to it.  The
+        server's peer-await task resolves it from the shared store or
+        requeues it via :meth:`requeue` if the peer dies.
+        """
+        job = Job(
+            id=f"job-{next(self._ids)}",
+            fingerprint=fingerprint,
+            request=request,
+            priority=priority,
+            timeout=timeout,
+            status=JobStatus.RUNNING,
+            remote=True,
+        )
+        job.started_at = time.time()
+        self._jobs[job.id] = job
+        self._inflight[fingerprint] = job.id
+        self._prune_history()
+        return job
+
+    def requeue(self, job: Job) -> None:
+        """Put a peer-awaited job back on the local dispatch heap.
+
+        Called when the peer computing the fingerprint died and this
+        replica reclaimed the orphaned claim: the job converts from
+        remote-await to an ordinary pending job.
+        """
+        job.remote = False
+        job.status = JobStatus.PENDING
+        job.started_at = None
+        self._jobs[job.id] = job
+        self._inflight[job.fingerprint] = job.id
+        heapq.heappush(self._heap, (-job.priority, next(self._seq), job.id))
+        self.pending += 1
+
+    def inflight_job(self, fingerprint: str) -> Job | None:
+        """The pending/running job holding ``fingerprint``, if any."""
+        job_id = self._inflight.get(fingerprint)
+        return self._jobs.get(job_id) if job_id is not None else None
 
     # -- dispatch --------------------------------------------------------
 

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import time
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
@@ -47,6 +48,7 @@ from ..hls import SynthesisSpec, fingerprint_run
 from ..hls.cache import LayerSolveCache
 from ..io.json_io import assay_from_json, spec_from_json, spec_to_json
 from .journal import JobJournal
+from .lease import FleetCoordinator
 from .metrics import ServiceMetrics
 from .queue import Job, JobQueue, JobStatus
 from .store import ResultStore
@@ -98,6 +100,30 @@ class ServerConfig:
     #: rebuilt more than this many times inside ``restart_window``.
     restart_threshold: int = 3
     restart_window: float = 300.0
+    #: stable replica identity for fleet mode (``None`` derives
+    #: ``replica-<pid>``); setting it implies ``fleet=True``.
+    replica_id: str | None = None
+    #: share the store directory with peer replicas: lease/fencing on
+    #: ``index.json``, cross-replica coalescing via the in-flight table.
+    #: Requires ``store_dir``.
+    fleet: bool = False
+    #: store-lease heartbeat timeout — a holder silent this long may be
+    #: taken over by a peer (epoch bump fences the old holder).
+    lease_ttl: float = 10.0
+    #: lease/claim heartbeat cadence of the maintenance loop, seconds.
+    heartbeat_interval: float = 2.0
+    #: in-flight claim liveness timeout — a claim whose owner stopped
+    #: beating this long is reclaimed by a peer.
+    claim_ttl: float = 30.0
+    #: store-poll cadence while awaiting a peer's in-flight result.
+    peer_poll_interval: float = 0.25
+    #: how often the maintenance loop checks the journal's compaction
+    #: thresholds, seconds.
+    compact_interval: float = 5.0
+    #: closed-segment bytes that trigger a background compaction step.
+    compact_min_bytes: int = 64 * 1024
+    #: oldest-closed-segment age (seconds) that triggers one too.
+    compact_min_age: float = 300.0
 
 
 class SynthesisServer:
@@ -106,22 +132,55 @@ class SynthesisServer:
     def __init__(self, config: ServerConfig | None = None) -> None:
         self.config = config or ServerConfig()
         self.queue = JobQueue(capacity=self.config.queue_capacity)
+        fleet_on = bool(
+            (self.config.fleet or self.config.replica_id)
+            and self.config.store_dir
+        )
+        self.replica_id = self.config.replica_id or (
+            f"replica-{os.getpid()}" if fleet_on else "solo"
+        )
+        self.fleet: FleetCoordinator | None = None
+        if fleet_on:
+            assert self.config.store_dir is not None
+            self.fleet = FleetCoordinator(
+                self.config.store_dir,
+                self.replica_id,
+                lease_ttl=self.config.lease_ttl,
+                claim_ttl=self.config.claim_ttl,
+            )
         self.store = ResultStore(
-            self.config.store_dir, capacity=self.config.store_capacity
+            self.config.store_dir,
+            capacity=self.config.store_capacity,
+            lease=self.fleet.lease if self.fleet is not None else None,
         )
         journal_dir = self.config.journal_dir
         if journal_dir is None and self.config.store_dir is not None:
-            journal_dir = str(Path(self.config.store_dir) / "journal")
+            # Fleet replicas keep per-replica journals: the journal is a
+            # single-writer append log, unlike the shared store.
+            name = f"journal-{self.replica_id}" if fleet_on else "journal"
+            journal_dir = str(Path(self.config.store_dir) / name)
         self.journal = JobJournal(
             journal_dir,
             segment_records=self.config.journal_segment_records,
+            compact_min_bytes=self.config.compact_min_bytes,
+            compact_min_age=self.config.compact_min_age,
         )
-        self.metrics = ServiceMetrics()
+        self.metrics = ServiceMetrics(replica_id=self.replica_id)
         self.metrics.workers = self.config.workers
         self.metrics.gauge("queue_depth", lambda: self.queue.depth)
         self.metrics.gauge("jobs_running", lambda: self._running)
         self.metrics.gauge("store_entries", lambda: len(self.store))
         self.metrics.gauge("shared_cache_entries", lambda: len(self._cache))
+        if self.fleet is not None:
+            self.metrics.gauge(
+                "lease_state", lambda: self.fleet.lease.state
+            )
+            self.metrics.gauge(
+                "lease_epoch", lambda: self.fleet.lease.epoch
+            )
+            self.metrics.gauge(
+                "lease_takeovers", lambda: self.fleet.lease.takeovers
+            )
         #: cross-job layer-solve cache (canonical entries, see hls/cache).
         self._cache = LayerSolveCache(
             capacity=max(1024, self.config.cache_export_limit)
@@ -129,10 +188,14 @@ class SynthesisServer:
         self._pool: ProcessPoolExecutor | None = None
         self._server: asyncio.AbstractServer | None = None
         self._dispatcher: asyncio.Task | None = None
+        self._maintenance: asyncio.Task | None = None
         self._sem: asyncio.Semaphore | None = None
         self._work_available: asyncio.Event | None = None
         self._stopped: asyncio.Event | None = None
         self._events: dict[str, asyncio.Event] = {}
+        #: fingerprints this replica claimed in the shared in-flight
+        #: table (released when the owning job finishes).
+        self._claims: set[str] = set()
         self._running = 0
         self._stopping = False
         #: monotonic timestamps of recent pool rebuilds (degraded-mode
@@ -150,11 +213,15 @@ class SynthesisServer:
         self._sem = asyncio.Semaphore(self.config.workers)
         self._work_available = asyncio.Event()
         self._stopped = asyncio.Event()
+        if self.fleet is not None:
+            self.fleet.start()
         self._replay_journal()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
         self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        if self.fleet is not None or self.journal.enabled:
+            self._maintenance = asyncio.create_task(self._maintenance_loop())
         if self.queue.depth:
             self._work_available.set()
 
@@ -177,6 +244,18 @@ class SynthesisServer:
                 self.queue.finish(job, payload, source="journal-store")
                 self.queue.admit_finished(job)
                 self.metrics.inc("store_hits")
+            elif self._peer_owns(fingerprint):
+                # A live peer is already computing this fingerprint:
+                # await its shared-store result instead of re-solving.
+                job = self.queue.submit_remote(
+                    fingerprint,
+                    entry.get("request") or {},
+                    priority=int(entry.get("priority") or 0),
+                    timeout=entry.get("timeout"),
+                )
+                self.journal.record_submitted(job)
+                self.metrics.inc("peer_coalesce_hits")
+                asyncio.create_task(self._await_peer(job))
             else:
                 job, coalesced = self.queue.submit(
                     fingerprint,
@@ -190,29 +269,89 @@ class SynthesisServer:
             self.metrics.inc("journal_replayed")
         self.journal.forget_replayed()
 
+    def _peer_owns(self, fingerprint: str) -> bool:
+        """Claim the fingerprint in the shared in-flight table; True when
+        a *live* peer already holds it (we must await, not compute).
+
+        No-op (False) outside fleet mode or when a local job already
+        holds the fingerprint (plain local coalescing applies).  A
+        granted claim — including a stale claim reclaimed from a dead
+        replica — is remembered in ``_claims`` for heartbeats + release.
+        """
+        if self.fleet is None or not fingerprint:
+            return False
+        if self.queue.inflight_job(fingerprint) is not None:
+            return False
+        granted, _entry = self.fleet.claim(fingerprint)
+        if granted:
+            self._claims.add(fingerprint)
+            return False
+        return True
+
     async def serve_until_stopped(self) -> None:
         assert self._stopped is not None
         await self._stopped.wait()
 
-    async def stop(self) -> None:
+    async def stop(self, crash: bool = False) -> None:
+        """Stop serving.  ``crash=True`` simulates a dead replica: the
+        lease and in-flight claims are *not* released, so peers must
+        exercise stale-lease takeover and orphaned-claim reclaim (the
+        chaos harness uses this)."""
         if self._stopping:
             return
         self._stopping = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        if self._dispatcher is not None:
-            self._dispatcher.cancel()
-            try:
-                await self._dispatcher
-            except asyncio.CancelledError:
-                pass
+        for task in (self._dispatcher, self._maintenance):
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+        self._dispatcher = None
+        self._maintenance = None
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
+        if self.fleet is not None:
+            self.fleet.stop(crash=crash)
         self.journal.close()
         if self._stopped is not None:
             self._stopped.set()
+
+    async def _maintenance_loop(self) -> None:
+        """Background heartbeat + threshold-gated journal compaction.
+
+        Lease/claim heartbeats are inline (sub-millisecond file ops);
+        compaction steps run in a worker thread so a large segment
+        rewrite never stalls the event loop.
+        """
+        interval = self.config.compact_interval
+        if self.fleet is not None:
+            interval = min(interval, self.config.heartbeat_interval)
+        interval = max(0.05, interval)
+        last_compact = time.monotonic()
+        while True:
+            await asyncio.sleep(interval)
+            if self.fleet is not None:
+                held_before = self.fleet.lease.held
+                self.fleet.maintain(self._claims)
+                if self.fleet.lease.held and not held_before:
+                    self.metrics.inc("lease_acquired")
+            if (
+                self.journal.enabled
+                and time.monotonic() - last_compact
+                >= self.config.compact_interval
+            ):
+                last_compact = time.monotonic()
+                duration = await asyncio.to_thread(
+                    self.journal.maybe_compact
+                )
+                if duration is not None:
+                    self.metrics.observe("compaction_seconds", duration)
+                    self.metrics.inc("journal_compactions")
 
     def _get_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -373,11 +512,76 @@ class SynthesisServer:
         self.queue.finish(job, payload, source="solve")
         self.journal.record_finished(job)
         self.metrics.inc("jobs_completed")
+        #: actual local solves — the fleet's exactly-once accounting.
+        self.metrics.inc("solve_jobs")
         totals = (payload.get("profile") or {}).get("totals") or {}
         self.metrics.inc("solve_ilp_solves", int(totals.get("ilp_solves", 0)))
         self.metrics.inc("solve_cache_hits", int(totals.get("cache_hits", 0)))
 
+    async def _await_peer(self, job: Job) -> None:
+        """Resolve a job whose fingerprint a peer replica is computing.
+
+        Polls the shared store until the peer's result lands; if the
+        peer dies instead (its claim goes stale), this replica reclaims
+        the claim and converts the job into an ordinary local solve —
+        zero lost jobs either way.
+        """
+        assert self.fleet is not None
+        interval = max(0.01, self.config.peer_poll_interval)
+        deadline = (
+            time.monotonic() + job.timeout
+            if job.timeout is not None else None
+        )
+        while not self._stopping:
+            payload = self.store.get(job.fingerprint)
+            if payload is not None:
+                self.queue.finish(job, payload, source="peer")
+                self.journal.record_finished(job)
+                self.metrics.inc("peer_results")
+                self.metrics.inc("jobs_completed")
+                self._signal_done(job)
+                return
+            if deadline is not None and time.monotonic() > deadline:
+                self.queue.fail(
+                    job, "timeout",
+                    f"peer-awaited job exceeded its "
+                    f"{job.timeout:g}s budget",
+                )
+                self.journal.record_failed(job)
+                self.metrics.inc("jobs_failed")
+                self._signal_done(job)
+                return
+            granted, _entry = self.fleet.claim(job.fingerprint)
+            if granted:
+                self._claims.add(job.fingerprint)
+                payload = self.store.get(job.fingerprint)
+                if payload is not None:
+                    # The peer finished and released its claim between
+                    # our store probe and the claim — serve the stored
+                    # result, don't recompute.
+                    self.queue.finish(job, payload, source="peer")
+                    self.journal.record_finished(job)
+                    self.metrics.inc("peer_results")
+                    self.metrics.inc("jobs_completed")
+                    self._signal_done(job)
+                    return
+                # The peer's claim went stale (it died): the orphan is
+                # ours now — compute locally.
+                self.queue.requeue(job)
+                self.metrics.inc("peer_reclaims")
+                assert self._work_available is not None
+                self._work_available.set()
+                return
+            await asyncio.sleep(interval)
+
     def _signal_done(self, job: Job) -> None:
+        if (
+            self.fleet is not None
+            and job.status.finished
+            and job.fingerprint in self._claims
+        ):
+            self._claims.discard(job.fingerprint)
+            self.fleet.release(job.fingerprint)
         event = self._events.pop(job.id, None)
         if event is not None:
             event.set()
@@ -426,9 +630,19 @@ class SynthesisServer:
         }
         if body.get("degrade") is False:
             request["degrade"] = False
+        timeout_value = float(timeout) if timeout else None
+        if self._peer_owns(fingerprint):
+            job = self.queue.submit_remote(
+                fingerprint, request, priority=priority,
+                timeout=timeout_value,
+            )
+            self.journal.record_submitted(job)
+            self.metrics.inc("peer_coalesce_hits")
+            asyncio.create_task(self._await_peer(job))
+            return 202, {"job": job.describe()}
         job, coalesced = self.queue.submit(
             fingerprint, request, priority=priority,
-            timeout=float(timeout) if timeout else None,
+            timeout=timeout_value,
         )
         if coalesced:
             self.metrics.inc("coalesce_hits")
@@ -505,6 +719,10 @@ class SynthesisServer:
                 break
             name, _, value = line.partition(":")
             headers[name.strip().lower()] = value.strip()
+        if headers.get("x-repro-hedge"):
+            # The client's hedge policy fired this as a duplicate of a
+            # slow request to a peer — counted for fleet observability.
+            self.metrics.inc("hedged_requests")
         length = int(headers.get("content-length", 0) or 0)
         if length > MAX_BODY_BYTES:
             raise ServiceError(
@@ -534,11 +752,16 @@ class SynthesisServer:
         if segments == ["health"] and method == "GET":
             return 200, self._health()
         if segments == ["metrics"] and method == "GET":
-            return 200, self.metrics.snapshot() | {
+            snapshot = self.metrics.snapshot() | {
                 "store": self.store.counters(),
                 "solve_cache": self._cache.counters(),
                 "journal": self.journal.counters(),
             }
+            if self.fleet is not None:
+                snapshot["replica"] = self.fleet.counters()
+            else:
+                snapshot["replica"] = {"replica_id": self.replica_id}
+            return 200, snapshot
         if segments == ["shutdown"] and method == "POST":
             asyncio.get_running_loop().call_soon(
                 lambda: asyncio.ensure_future(self.stop())
@@ -594,6 +817,10 @@ class SynthesisServer:
             "store_entries": len(self.store),
             "persistent_store": self.store.root is not None,
             "journal": self.journal.enabled,
+            "replica_id": self.replica_id,
+            "lease": (
+                self.fleet.lease.state if self.fleet is not None else None
+            ),
         }
 
     async def _job_status(

@@ -24,6 +24,19 @@ Guarantees:
 * **LRU size bound** — at most ``capacity`` entries on disk; the
   least-recently-*used* entry is evicted first, with recency persisted in
   a small index file so restarts keep the order.
+* **Fleet sharing** — pass a :class:`~repro.service.lease.StoreLease`
+  and N replicas may point at one directory.  Entry files are
+  content-addressed + checksummed + atomically replaced, so any
+  non-fenced replica may write them; ``index.json`` (recency/eviction)
+  is written only by the lease *holder*, under the lease's advisory
+  lock, with the holder's epoch embedded — a holder that observes a
+  newer epoch on disk fences itself and skips the write instead of
+  clobbering the live holder's index.  Fenced replicas keep results in
+  a process-local memory overflow (``rejected_writes`` counts them) so
+  their own waiters are still served.
+* **Verified-fingerprint cache** — the SHA-256 verification runs on the
+  first read of each fingerprint per process; repeat ``get()`` hits
+  skip re-hashing (``verifications`` counts actual checksum runs).
 
 ``root=None`` gives a purely in-memory store with identical semantics —
 used when the server runs without ``--store`` and by unit tests.
@@ -36,9 +49,12 @@ import json
 import os
 import time
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from ..errors import SerializationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .lease import StoreLease
 
 #: Bump on any incompatible change to the entry layout.
 #: 2: entries carry a ``checksum`` (SHA-256 of the canonical payload).
@@ -89,18 +105,32 @@ class ResultStore:
     """On-disk (or in-memory) LRU store of synthesis-result payloads."""
 
     def __init__(
-        self, root: "str | Path | None" = None, capacity: int = 256
+        self,
+        root: "str | Path | None" = None,
+        capacity: int = 256,
+        lease: "StoreLease | None" = None,
     ) -> None:
         if capacity < 1:
             raise SerializationError("store capacity must be >= 1")
         self.root = Path(root) if root is not None else None
         self.capacity = capacity
+        #: fleet lease (None for the classic single-writer store).
+        self.lease = lease
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.puts = 0
         #: corrupted/truncated entries detected on read (and quarantined).
         self.corruptions = 0
+        #: checksum verifications actually performed (first read per
+        #: fingerprint per process; repeat hits skip re-hashing).
+        self.verifications = 0
+        #: writes refused because this replica's lease was fenced.
+        self.rejected_writes = 0
+        #: entries written by a peer replica and adopted on read.
+        self.adoptions = 0
+        #: fingerprints whose payload this process has already verified.
+        self._verified: set[str] = set()
         #: fingerprint -> last-use stamp, oldest first; doubles as the
         #: in-memory payload map when ``root`` is None.
         self._recency: dict[str, int] = {}
@@ -140,10 +170,46 @@ class ResultStore:
     def _save_index(self) -> None:
         if self.root is None:
             return
+        if self.lease is not None:
+            if not self.lease.may_write_index():
+                # Followers/fenced replicas keep recency in memory only;
+                # the holder owns eviction order for the shared files.
+                return
+            self._save_index_fenced()
+            return
         _atomic_write_text(
             self._index_path(),
             json.dumps({"schema": STORE_SCHEMA, "recency": self._recency}),
         )
+
+    def _save_index_fenced(self) -> None:
+        """Holder-only index write with the lost-update guard.
+
+        Under the lease's advisory lock: read the epoch embedded in the
+        on-disk index; a *newer* epoch means another replica took over
+        while we weren't looking — fence ourselves and skip the write
+        rather than clobbering the live holder's index.
+        """
+        assert self.lease is not None
+        with self.lease.lock():
+            try:
+                data = json.loads(self._index_path().read_text())
+                disk_epoch = int(data.get("epoch", 0))
+            except (OSError, json.JSONDecodeError, AttributeError,
+                    TypeError, ValueError):
+                disk_epoch = 0
+            if disk_epoch > self.lease.epoch:
+                self.lease.fence()
+                self.rejected_writes += 1
+                return
+            _atomic_write_text(
+                self._index_path(),
+                json.dumps({
+                    "schema": STORE_SCHEMA,
+                    "epoch": self.lease.epoch,
+                    "recency": self._recency,
+                }),
+            )
 
     # -- core API --------------------------------------------------------
 
@@ -173,7 +239,8 @@ class ResultStore:
         Raises ``SerializationError`` for *foreign* entries (schema
         mismatch — drop silently) and ``ValueError`` for *corrupted*
         ones (unparseable, truncated, empty, checksum mismatch —
-        quarantine).
+        quarantine).  The checksum is hashed only on the first read per
+        fingerprint per process; later reads trust the verified cache.
         """
         path = self._entry_path(fingerprint)
         text = path.read_text()
@@ -192,8 +259,11 @@ class ResultStore:
         if "payload" not in envelope or "checksum" not in envelope:
             raise ValueError("entry envelope is missing required fields")
         payload = envelope["payload"]
-        if payload_checksum(payload) != envelope["checksum"]:
-            raise ValueError("payload checksum mismatch")
+        if fingerprint not in self._verified:
+            self.verifications += 1
+            if payload_checksum(payload) != envelope["checksum"]:
+                raise ValueError("payload checksum mismatch")
+            self._verified.add(fingerprint)
         return payload
 
     def get(self, fingerprint: str) -> dict[str, Any] | None:
@@ -201,9 +271,18 @@ class ResultStore:
 
         A hit refreshes the entry's recency.  Schema-incompatible entries
         are dropped; corrupted or truncated entries are moved to
-        ``quarantine/`` and counted — both read as misses.
+        ``quarantine/`` and counted — both read as misses.  With a fleet
+        lease, unindexed entries a peer replica wrote are probed on disk
+        and adopted, and the fenced-replica memory overflow is consulted.
         """
         if fingerprint not in self._recency:
+            if fingerprint in self._memory and self.root is not None:
+                # Fenced-replica overflow: computed here but refused a
+                # shared write; still a hit for our own waiters.
+                self.hits += 1
+                return self._memory[fingerprint]
+            if self.lease is not None and self.root is not None:
+                return self._adopt(fingerprint)
             self.misses += 1
             return None
         if self.root is None:
@@ -224,9 +303,45 @@ class ResultStore:
         self._touch(fingerprint)
         return payload
 
+    def _adopt(self, fingerprint: str) -> dict[str, Any] | None:
+        """Probe the shared directory for an entry a peer wrote.
+
+        Fleet replicas keep recency in memory (only the lease holder
+        writes the index), so a fingerprint a peer just stored is not in
+        ``_recency`` — but its checksummed entry file is on disk.  A
+        successful read verifies and adopts it.
+        """
+        path = self._entry_path(fingerprint)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            payload = self._read_entry(fingerprint)
+        except (SerializationError, OSError):
+            self.misses += 1
+            return None
+        except ValueError:
+            self._quarantine(fingerprint)
+            self.misses += 1
+            return None
+        self.hits += 1
+        self.adoptions += 1
+        self._touch(fingerprint)
+        return payload
+
     def put(self, fingerprint: str, payload: dict[str, Any]) -> None:
-        """Store ``payload`` under ``fingerprint`` (atomic, LRU-evicting)."""
+        """Store ``payload`` under ``fingerprint`` (atomic, LRU-evicting).
+
+        A fenced fleet replica never writes shared files: the payload
+        lands in a process-local memory overflow instead (counted in
+        ``rejected_writes``) so this replica's own waiters still get it.
+        """
         self.puts += 1
+        if self.root is not None and self.lease is not None \
+                and not self.lease.may_write_entries():
+            self.rejected_writes += 1
+            self._memory[fingerprint] = payload
+            return
         if self.root is None:
             self._memory[fingerprint] = payload
         else:
@@ -245,9 +360,13 @@ class ResultStore:
                 raise SerializationError(
                     f"cannot write store entry {fingerprint[:12]}…: {exc}"
                 ) from exc
+            # We just hashed + wrote the canonical envelope ourselves.
+            self._verified.add(fingerprint)
         self._touch(fingerprint)
         while len(self._recency) > self.capacity:
             oldest = next(iter(self._recency))
+            # _drop is lease-aware: followers only forget local recency,
+            # unlinking shared files is the lease holder's job.
             self._drop(oldest)
             self.evictions += 1
 
@@ -255,7 +374,13 @@ class ResultStore:
         """Move a corrupted entry aside for post-mortem, never delete it."""
         self.corruptions += 1
         self._recency.pop(fingerprint, None)
+        self._verified.discard(fingerprint)
         if self.root is None:
+            return
+        if self.lease is not None and not self.lease.may_write_index():
+            # Non-holders never move shared files (a move could race the
+            # holder replacing the entry with a fresh good write); the
+            # holder quarantines it on its own next read.
             return
         source = self._entry_path(fingerprint)
         target_dir = self.quarantine_dir()
@@ -272,6 +397,9 @@ class ResultStore:
     def _drop(self, fingerprint: str) -> None:
         self._recency.pop(fingerprint, None)
         self._memory.pop(fingerprint, None)
+        self._verified.discard(fingerprint)
+        if self.lease is not None and not self.lease.may_write_index():
+            return  # non-holders never unlink shared files
         if self.root is not None:
             try:
                 self._entry_path(fingerprint).unlink(missing_ok=True)
@@ -298,6 +426,9 @@ class ResultStore:
             "puts": self.puts,
             "corruptions": self.corruptions,
             "quarantined": len(self.quarantined()),
+            "verifications": self.verifications,
+            "rejected_writes": self.rejected_writes,
+            "adoptions": self.adoptions,
         }
 
 

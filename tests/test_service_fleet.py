@@ -1,0 +1,183 @@
+"""Tests for fleet mode: leased store sharing, cross-replica
+coalescing, holder takeover/fencing, and the multi-replica chaos
+campaign (repro.service.server fleet config + repro.service.chaos)."""
+
+import json
+
+import pytest
+
+from repro.hls import SynthesisSpec
+from repro.io.json_io import assay_to_json, spec_to_json
+from repro.service import (
+    FleetChaosConfig,
+    ServiceClient,
+    format_fleet_chaos,
+    run_fleet_chaos,
+)
+from repro.service.chaos import _ServerHarness, _poll
+from repro.service.client import RetryPolicy
+from repro.service.server import ServerConfig
+
+
+def body_for(assay, **spec_kwargs) -> dict:
+    spec = SynthesisSpec(
+        max_devices=6, threshold=2, time_limit=10.0, max_iterations=0,
+        **spec_kwargs,
+    )
+    return {"assay": assay_to_json(assay), "spec": spec_to_json(spec)}
+
+
+def result_bytes(payload: dict) -> str:
+    return json.dumps(payload["result"], sort_keys=True)
+
+
+def fleet_config(store_dir, replica_id: str) -> ServerConfig:
+    return ServerConfig(
+        port=0, workers=1, store_dir=str(store_dir), fleet=True,
+        replica_id=replica_id, lease_ttl=1.0, heartbeat_interval=0.1,
+        claim_ttl=1.5, peer_poll_interval=0.05, job_timeout=120.0,
+    )
+
+
+@pytest.fixture
+def fleet_pair(tmp_path):
+    """Two replicas over one shared store; r1 starts first and holds
+    the lease, r2 joins as a follower."""
+    store = tmp_path / "store"
+    pairs = []
+    try:
+        for replica_id in ("r1", "r2"):
+            harness = _ServerHarness(fleet_config(store, replica_id))
+            harness.start()
+            client = ServiceClient(
+                port=harness.port, timeout=30.0,
+                retry=RetryPolicy(seed=0),
+            )
+            pairs.append((harness, client))
+            if replica_id == "r1":
+                assert _poll(lambda: harness.server.fleet.lease.held, 10.0)
+        yield pairs
+    finally:
+        for harness, client in pairs:
+            if harness._thread.is_alive():
+                harness.graceful_stop(client)
+
+
+class TestFleetRoles:
+    def test_holder_and_follower(self, fleet_pair):
+        (harness_1, client_1), (harness_2, client_2) = fleet_pair
+        assert harness_1.server.fleet.lease.held
+        assert not harness_2.server.fleet.lease.held
+        assert not harness_2.server.fleet.lease.fenced
+        # Each replica reports its own identity on /metrics.
+        assert client_1.metrics()["replica"]["replica_id"] == "r1"
+        assert client_2.metrics()["replica"]["replica_id"] == "r2"
+
+    def test_lease_gauges_exported(self, fleet_pair):
+        (_, client_1), (_, client_2) = fleet_pair
+        gauges_1 = client_1.metrics()["gauges"]
+        gauges_2 = client_2.metrics()["gauges"]
+        assert gauges_1["lease_state"] == "held"
+        assert gauges_2["lease_state"] == "follower"
+        assert gauges_1["lease_epoch"] >= 1
+
+
+class TestCrossReplicaCoalescing:
+    def test_shared_fingerprint_computes_exactly_once(
+        self, fleet_pair, linear_assay
+    ):
+        (_, client_1), (_, client_2) = fleet_pair
+        body = body_for(linear_assay)
+
+        def solves() -> int:
+            return sum(
+                int(c.metrics()["counters"].get("solve_jobs", 0))
+                for c in (client_1, client_2)
+            )
+
+        before = solves()
+        handle_a = client_1.submit(body["assay"], body["spec"])
+        handle_b = client_2.submit(body["assay"], body["spec"])
+        done_a = client_1.wait(handle_a.id, deadline=120.0)
+        done_b = client_2.wait(handle_b.id, deadline=120.0)
+        assert done_a.status == "done"
+        assert done_b.status == "done"
+        assert handle_a.fingerprint == handle_b.fingerprint
+        # Exactly-once fleet-wide, regardless of which replica ran it.
+        assert solves() - before == 1
+        # The duplicate was answered from the peer's solve or the
+        # shared store entry, never recomputed.
+        assert done_b.source in ("peer", "store")
+        assert result_bytes(client_1.result(done_a.id)) == result_bytes(
+            client_2.result(done_b.id)
+        )
+
+
+class TestTakeoverAndFencing:
+    def test_holder_crash_promotes_follower(self, fleet_pair, linear_assay):
+        (harness_1, client_1), (harness_2, client_2) = fleet_pair
+        body = body_for(linear_assay)
+        handle = client_1.submit(body["assay"], body["spec"])
+        assert client_1.wait(handle.id, deadline=120.0).status == "done"
+        baseline = result_bytes(client_1.result(handle.id))
+
+        harness_1.hard_stop(crash=True)
+        assert _poll(lambda: harness_2.server.fleet.lease.held, 20.0)
+        assert harness_2.server.fleet.lease.takeovers >= 1
+
+        # The survivor serves the dead holder's persisted result.
+        again = client_2.submit(body["assay"], body["spec"])
+        done = client_2.wait(again.id, deadline=120.0)
+        assert done.status == "done"
+        assert result_bytes(client_2.result(done.id)) == baseline
+
+    def test_partitioned_holder_fences_but_keeps_serving(
+        self, fleet_pair, linear_assay
+    ):
+        (harness_1, client_1), (harness_2, client_2) = fleet_pair
+        lease_1 = harness_1.server.fleet.lease
+
+        lease_1.suspend()
+        assert _poll(lambda: harness_2.server.fleet.lease.held, 20.0)
+        lease_1.resume()
+        assert _poll(lambda: lease_1.fenced, 20.0)
+
+        # A fenced replica degrades to read-only shared state: it still
+        # answers its own submissions but rejects every store write.
+        body = body_for(linear_assay, improvement_threshold=0.019)
+        handle = client_1.submit(body["assay"], body["spec"])
+        done = client_1.wait(handle.id, deadline=120.0)
+        assert done.status == "done"
+        assert client_1.result(handle.id)["result"]["makespan"]
+        assert client_1.metrics()["store"]["rejected_writes"] >= 1
+        assert client_1.metrics()["gauges"]["lease_state"] == "fenced"
+
+
+class TestFleetChaosSmoke:
+    def test_campaign_is_ok(self, linear_assay, tmp_path):
+        """The full multi-replica campaign — coalescing, holder kill +
+        takeover, journal replay over crash artifacts, partition +
+        fencing, background compaction — over one tiny fixture assay."""
+        config = FleetChaosConfig(
+            seed=0,
+            requests=[body_for(linear_assay)],
+            workdir=str(tmp_path),
+            workers=1,
+            deadline=120.0,
+            lease_ttl=1.0,
+            heartbeat_interval=0.1,
+            claim_ttl=1.5,
+            peer_poll_interval=0.05,
+        )
+        report = run_fleet_chaos(config)
+        assert report.ok, format_fleet_chaos(report)
+        assert report.submitted == 4  # base + coalesce + wave2 + partition
+        assert report.coalesce_solves == 1
+        assert report.takeovers >= 2  # crash takeover + partition takeover
+        assert report.fenced_writes >= 1
+        assert report.replayed == report.replayed_expected
+        assert report.compaction_runs >= 1
+        assert report.journal_bytes <= report.journal_bytes_bound
+        assert report.corruptions == 0 and report.quarantined == 0
+        round_trip = json.loads(json.dumps(report.to_json()))
+        assert round_trip["ok"] is True

@@ -1,0 +1,267 @@
+"""Tests for hedged fleet requests (repro.service.client.HedgePolicy /
+FleetClient) and the attempt-context satellite on ServiceError."""
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.errors import CircuitOpenError, ServiceError
+from repro.service.client import (
+    CircuitBreaker,
+    FleetClient,
+    HedgePolicy,
+    RetryPolicy,
+    ServiceClient,
+)
+
+
+class StubReplica:
+    """A minimal /jobs endpoint with a configurable response delay."""
+
+    def __init__(self, name: str, delay: float = 0.0, status: int = 200,
+                 error_kind: str = "error"):
+        self.name = name
+        self.delay = delay
+        self.status = status
+        self.error_kind = error_kind
+        #: headers of every request that reached this replica.
+        self.requests: list[dict] = []
+        stub = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_POST(self):  # noqa: N802 - http.server API
+                stub.requests.append(dict(self.headers))
+                time.sleep(stub.delay)
+                if stub.status >= 400:
+                    body = json.dumps({
+                        "error": {
+                            "kind": stub.error_kind,
+                            "message": f"{stub.name} says no",
+                        }
+                    }).encode()
+                else:
+                    body = json.dumps({
+                        "job": {
+                            "id": f"job-{stub.name}",
+                            "fingerprint": "fp",
+                            "status": "pending",
+                        }
+                    }).encode()
+                try:
+                    self.send_response(stub.status)
+                    self.send_header("Content-Type", "application/json")
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                except OSError:
+                    pass  # client cancelled us mid-write
+
+            def log_message(self, *args):  # silence
+                pass
+
+        self.server = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+        self.port = self.server.server_address[1]
+        self.thread = threading.Thread(
+            target=self.server.serve_forever, daemon=True
+        )
+        self.thread.start()
+
+    def close(self):
+        self.server.shutdown()
+        self.server.server_close()
+
+    def client(self, **kwargs) -> ServiceClient:
+        kwargs.setdefault("retry", RetryPolicy(retries=0, seed=0))
+        return ServiceClient(port=self.port, timeout=10.0, **kwargs)
+
+
+@pytest.fixture
+def replicas():
+    created = []
+
+    def make(*args, **kwargs):
+        stub = StubReplica(*args, **kwargs)
+        created.append(stub)
+        return stub
+
+    yield make
+    for stub in created:
+        stub.close()
+
+
+class TestHedgePolicy:
+    def test_validation(self):
+        with pytest.raises(ServiceError):
+            HedgePolicy(delay=-1.0)
+        with pytest.raises(ServiceError):
+            HedgePolicy(percentile=0.0)
+        with pytest.raises(ServiceError):
+            HedgePolicy(percentile=1.5)
+        with pytest.raises(ServiceError):
+            HedgePolicy(min_samples=0)
+        with pytest.raises(ServiceError):
+            HedgePolicy(min_samples=8, max_samples=4)
+
+    def test_fixed_delay_wins(self):
+        policy = HedgePolicy(delay=0.25)
+        for value in (1.0, 2.0, 3.0):
+            policy.observe(value)
+        assert policy.current_delay() == 0.25
+
+    def test_initial_delay_until_enough_samples(self):
+        policy = HedgePolicy(min_samples=3, initial_delay=0.7)
+        policy.observe(0.1)
+        policy.observe(0.2)
+        assert policy.current_delay() == 0.7
+
+    def test_percentile_of_samples(self):
+        policy = HedgePolicy(min_samples=5, percentile=0.5)
+        for value in (5.0, 1.0, 4.0, 2.0, 3.0, 6.0, 7.0, 8.0, 9.0, 10.0):
+            policy.observe(value)
+        # 10 samples, p50 -> sorted index int(0.5*10)-1 = 4 -> 5.0
+        assert policy.current_delay() == 5.0
+        policy.percentile = 1.0
+        assert policy.current_delay() == 10.0
+
+    def test_sample_window_is_bounded(self):
+        policy = HedgePolicy(min_samples=1, max_samples=4)
+        for value in range(10):
+            policy.observe(float(value))
+        assert policy.counters()["samples"] == 4
+
+
+class TestFleetHedging:
+    def test_hedge_fires_and_duplicate_wins(self, replicas):
+        slow = replicas("slow", delay=1.5)
+        fast = replicas("fast", delay=0.0)
+        fleet = FleetClient(
+            [slow.client(), fast.client()],
+            hedge=HedgePolicy(delay=0.1),
+            retry=RetryPolicy(retries=0, seed=0),
+        )
+        handle = fleet.submit({"format": 1})
+        assert handle.id == "job-fast"
+        assert fleet.hedge.fired == 1
+        assert fleet.hedge.won == 1
+        # The duplicate (and only it) carried the hedge marker.
+        assert all(
+            "X-Repro-Hedge" not in req for req in slow.requests
+        )
+        assert all(
+            req.get("X-Repro-Hedge") == "1" for req in fast.requests
+        )
+        # Follow-ups pin to the issuing replica.
+        assert fleet._pinned(handle.id) is fleet.clients[1]
+
+    def test_fast_primary_never_hedges(self, replicas):
+        fast = replicas("fast", delay=0.0)
+        other = replicas("other", delay=0.0)
+        fleet = FleetClient(
+            [fast.client(), other.client()],
+            hedge=HedgePolicy(delay=5.0),
+            retry=RetryPolicy(retries=0, seed=0),
+        )
+        handle = fleet.submit({"format": 1})
+        assert handle.id == "job-fast"
+        assert fleet.hedge.fired == 0
+        assert other.requests == []
+
+    def test_dead_primary_promotes_hedge_immediately(self, replicas):
+        fast = replicas("fast", delay=0.0)
+        dead = ServiceClient(
+            port=1, timeout=1.0, retry=RetryPolicy(retries=0, seed=0),
+        )  # nothing listens on port 1
+        fleet = FleetClient(
+            [dead, fast.client()],
+            hedge=HedgePolicy(delay=30.0),  # would never fire by timer
+            retry=RetryPolicy(retries=0, seed=0),
+        )
+        handle = fleet.submit({"format": 1})
+        assert handle.id == "job-fast"
+        assert fleet.hedge.fired == 1
+
+    def test_all_replicas_down_raises_with_context(self):
+        dead_a = ServiceClient(
+            port=1, timeout=1.0, retry=RetryPolicy(retries=0, seed=0),
+        )
+        dead_b = ServiceClient(
+            port=2, timeout=1.0, retry=RetryPolicy(retries=0, seed=0),
+        )
+        fleet = FleetClient(
+            [dead_a, dead_b],
+            hedge=HedgePolicy(delay=0.0),
+            retry=RetryPolicy(retries=0, seed=0),
+        )
+        fleet._sleep = lambda _seconds: None
+        with pytest.raises(ServiceError) as err:
+            fleet.submit({"format": 1})
+        assert err.value.kind == "unreachable"
+        assert err.value.context["replicas_tried"] == 2
+        assert err.value.context["hedge_fired"] is True
+        assert err.value.context["retries_used"] == 0
+        # The satellite contract: the message alone tells the story.
+        assert "replicas_tried=2" in str(err.value)
+
+    def test_authoritative_4xx_is_not_retried(self, replicas):
+        bad = replicas("bad", status=400, error_kind="bad-request")
+        other = replicas("other", delay=5.0)
+        fleet = FleetClient(
+            [bad.client(), other.client()],
+            hedge=HedgePolicy(delay=10.0),
+            retry=RetryPolicy(retries=3, seed=0),
+        )
+        started = time.monotonic()
+        with pytest.raises(ServiceError) as err:
+            fleet.submit({"format": 1})
+        assert err.value.status == 400
+        assert err.value.kind == "bad-request"
+        assert "replica=" in str(err.value)
+        assert time.monotonic() - started < 4.0  # no retry backoff
+        assert len(bad.requests) == 1
+        # A 4xx is a healthy server answering: the breaker stays closed.
+        assert fleet.clients[0].breaker.state == "closed"
+
+    def test_all_breakers_open_fails_fast(self, replicas):
+        fast = replicas("fast")
+        tripped = CircuitBreaker(threshold=1, cooldown=60.0)
+        tripped.record_failure()
+        fleet = FleetClient(
+            [fast.client(breaker=tripped)],
+            hedge=HedgePolicy(delay=0.0),
+        )
+        with pytest.raises(CircuitOpenError) as err:
+            fleet.submit({"format": 1})
+        assert err.value.context["replicas"] == 1
+        assert fast.requests == []
+
+
+class TestAttemptContext:
+    """Satellite: ServiceError carries the attempt history."""
+
+    def test_with_context_folds_into_message(self):
+        exc = ServiceError("boom", status=503, kind="unreachable")
+        assert exc.with_context(replica="h:1", retries_used=2) is exc
+        assert exc.context == {"replica": "h:1", "retries_used": 2}
+        assert str(exc) == "boom [replica=h:1, retries_used=2]"
+
+    def test_single_client_attaches_context(self):
+        client = ServiceClient(
+            port=1, timeout=1.0, retry=RetryPolicy(retries=1, seed=0),
+        )
+        client._sleep = lambda _seconds: None
+        with pytest.raises(ServiceError) as err:
+            client.health()
+        assert err.value.context["retries_used"] == 1
+        assert err.value.context["replica"] == "127.0.0.1:1"
+        assert "breaker" in err.value.context
+
+    def test_circuit_open_error_carries_breaker_state(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=60.0)
+        breaker.record_failure()
+        client = ServiceClient(port=1, breaker=breaker)
+        with pytest.raises(CircuitOpenError) as err:
+            client.health()
+        assert err.value.context["breaker"] == "open"

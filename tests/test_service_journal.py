@@ -69,8 +69,9 @@ class TestAppend:
             _, job = make_job(queue, fingerprint=f"fp{n}")
             journal.record_submitted(job)
         journal.close()
-        # 4 appends filled segment 1; rotation opened segment 2 (empty,
-        # then compaction found nothing terminal so segment 1 survives).
+        # 4 appends filled segment 1; rotation opened segment 2.  No
+        # compaction happens on rotation (it is O(1)); segment 1 stays
+        # closed until the background compactor's thresholds fire.
         assert journal.rotations == 1
         assert [s.name for s in segments(tmp_path)] == [
             "segment-000001.jsonl", "segment-000002.jsonl",
@@ -183,18 +184,37 @@ class TestTornRecords:
 
 
 class TestCompaction:
-    def test_compaction_drops_terminal_jobs(self, tmp_path):
-        # segment_records=2 forces rotations, so earlier segments close
-        # and become compactable.
+    def test_rotation_does_not_compact(self, tmp_path):
+        """Rotation is O(1): terminal records survive in closed segments
+        until the background compactor fires."""
         journal = JobJournal(tmp_path, segment_records=2)
+        queue = JobQueue()
+        _, a = make_job(queue, fingerprint="fp-a")
+        journal.record_submitted(a)
+        journal.record_finished(a)    # seg1 full -> rotate
+        journal.record_submitted(make_job(queue, fingerprint="fp-b")[1])
+        assert journal.compacted == 0
+        assert journal.compaction_runs == 0
+        survivors = [r for s in segments(tmp_path) for r in records(s)]
+        assert a.id in {r["id"] for r in survivors}
+        journal.close()
+
+    def test_maybe_compact_drops_terminal_jobs(self, tmp_path):
+        journal = JobJournal(
+            tmp_path, segment_records=2, compact_min_bytes=1,
+            compact_min_age=3600.0,
+        )
         queue = JobQueue()
         _, a = make_job(queue, fingerprint="fp-a")
         _, b = make_job(queue, fingerprint="fp-b")
         journal.record_submitted(a)   # seg1: submitted a
         journal.record_submitted(b)   # seg1 full -> rotate
         journal.record_finished(a)    # seg2: finished a
-        journal.record_started(b)     # seg2 full -> rotate; compaction
-        # drops a's records (terminal) from all closed segments.
+        journal.record_started(b)     # seg2 full -> rotate
+
+        assert journal.pending_compaction()
+        duration = journal.maybe_compact()
+        assert duration is not None and duration >= 0.0
         journal.close()
 
         survivors = [r for s in segments(tmp_path) for r in records(s)]
@@ -202,9 +222,13 @@ class TestCompaction:
         assert a.id not in ids
         assert b.id in ids
         assert journal.compacted >= 1
+        assert journal.compaction_runs == 1
 
     def test_fully_terminal_segment_is_deleted(self, tmp_path):
-        journal = JobJournal(tmp_path, segment_records=2)
+        journal = JobJournal(
+            tmp_path, segment_records=2, compact_min_bytes=1,
+            compact_min_age=3600.0,
+        )
         queue = JobQueue()
         _, a = make_job(queue, fingerprint="fp-a")
         journal.record_submitted(a)
@@ -212,9 +236,139 @@ class TestCompaction:
         journal.record_submitted(
             make_job(queue, fingerprint="fp-b")[1]
         )
+        assert journal.maybe_compact() is not None
         journal.close()
         names = [s.name for s in segments(tmp_path)]
         assert "segment-000001.jsonl" not in names
+
+    def test_thresholds_gate_maybe_compact(self, tmp_path):
+        """Below both the byte and age thresholds, maybe_compact is a
+        cheap no-op even with compactable closed segments on disk."""
+        journal = JobJournal(
+            tmp_path, segment_records=2,
+            compact_min_bytes=1024 * 1024, compact_min_age=3600.0,
+        )
+        queue = JobQueue()
+        _, a = make_job(queue, fingerprint="fp-a")
+        journal.record_submitted(a)
+        journal.record_finished(a)    # rotate: one closed segment
+        assert not journal.pending_compaction()
+        assert journal.maybe_compact() is None
+        assert journal.compaction_runs == 0
+        # The age trigger alone arms it (same bytes, zero min age).
+        journal.compact_min_age = 0.0
+        assert journal.pending_compaction()
+        assert journal.maybe_compact() is not None
+        journal.close()
+
+    def test_compact_step_is_bounded_and_oldest_first(self, tmp_path):
+        journal = JobJournal(
+            tmp_path, segment_records=1, compact_min_bytes=1,
+            compact_min_age=3600.0, compact_segments_per_run=2,
+        )
+        queue = JobQueue()
+        jobs = []
+        for n in range(3):
+            _, job = make_job(queue, fingerprint=f"fp-{n}")
+            jobs.append(job)
+            journal.record_submitted(job)  # rotate after every record
+        for job in jobs:
+            journal.record_finished(job)
+        # 6 closed segments; one run rewrites at most 2 (the oldest).
+        closed_before = len(journal._closed_segments())
+        assert journal.compact_step() == 2
+        assert len(journal._closed_segments()) == closed_before - 2
+        # Full administrative compaction drains the rest.
+        journal.compact()
+        assert journal.closed_bytes() == 0
+        journal.close()
+
+
+class TestCompactionCrashWindows:
+    """Satellite coverage: crashes in and around compaction windows."""
+
+    def test_stale_tmp_from_crashed_compaction_is_swept(self, tmp_path):
+        journal = JobJournal(tmp_path, segment_records=2)
+        queue = JobQueue()
+        _, a = make_job(queue, fingerprint="fp-open")
+        journal.record_submitted(a)
+        journal.record_started(a)     # rotate: seg1 closes
+        journal.close()
+        # Fabricate a crash mid-compaction: a partially written rewrite
+        # whose atomic replace never happened.
+        stale = tmp_path / "segment-000001.jsonl.tmp"
+        stale.write_text('{"schema": 1, "event": "subm')
+
+        recovered = JobJournal(tmp_path)
+        assert not stale.exists()
+        # The intact original still replays the open job.
+        replayed = recovered.replay()
+        assert [r["fingerprint"] for r in replayed] == ["fp-open"]
+        assert replayed[0]["was_running"]
+        recovered.close()
+
+    def test_replay_over_compacted_plus_torn_tail(self, tmp_path):
+        """A compacted history plus a crash-torn active tail replays
+        exactly the open jobs: compaction dropped only terminal ids, and
+        the torn line is skipped, not fatal."""
+        journal = JobJournal(
+            tmp_path, segment_records=2, compact_min_bytes=1,
+            compact_min_age=3600.0,
+        )
+        queue = JobQueue()
+        _, done = make_job(queue, fingerprint="fp-done")
+        _, open_job = make_job(queue, fingerprint="fp-open")
+        journal.record_submitted(done)
+        journal.record_finished(done)      # seg1 full -> rotate
+        journal.record_submitted(open_job)
+        assert journal.maybe_compact() is not None  # seg1 deleted
+        journal.close()
+        active = segments(tmp_path)[-1]
+        with open(active, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "finished", "id": "job-to')  # torn
+
+        recovered = JobJournal(tmp_path)
+        replayed = recovered.replay()
+        assert [r["fingerprint"] for r in replayed] == ["fp-open"]
+        assert recovered.torn_records == 1
+
+    def test_forget_replayed_keeps_concurrent_appends(self, tmp_path):
+        """forget_replayed deletes only the frozen pre-crash segments —
+        records appended *between* replay() and forget_replayed() (the
+        re-journalled replacements plus any brand-new traffic racing the
+        recovery) all survive, and the terminal set is re-seeded from
+        what remains."""
+        journal = JobJournal(tmp_path, segment_records=100)
+        queue = JobQueue()
+        _, stale = make_job(queue, fingerprint="fp-replay")
+        journal.record_submitted(stale)
+        journal.close()
+
+        recovered = JobJournal(
+            tmp_path, segment_records=100, compact_min_bytes=1,
+            compact_min_age=3600.0,
+        )
+        (entry,) = recovered.replay()
+        fresh_queue = JobQueue()
+        _, fresh = make_job(fresh_queue, fingerprint=entry["fingerprint"])
+        recovered.record_submitted(fresh)
+        # New traffic lands while recovery is still in flight.
+        _, racer = make_job(fresh_queue, fingerprint="fp-racer")
+        recovered.record_submitted(racer)
+        recovered.record_finished(racer)
+        recovered.forget_replayed()
+
+        survivors = [r for s in segments(tmp_path) for r in records(s)]
+        assert [r["id"] for r in survivors] == [
+            fresh.id, racer.id, racer.id
+        ]
+        # forget_replayed re-seeded the terminal set from disk, so a
+        # compaction right after recovery drops exactly the racer.
+        recovered._rotate()
+        assert recovered.maybe_compact() is not None
+        recovered.close()
+        survivors = [r for s in segments(tmp_path) for r in records(s)]
+        assert [r["id"] for r in survivors] == [fresh.id]
 
 
 class TestCounters:
@@ -226,7 +380,9 @@ class TestCounters:
         assert counters["enabled"] == 1
         assert counters["appended"] == 1
         assert counters["segments"] == 1
+        assert counters["closed_bytes"] == 0
         assert set(counters) == {
             "enabled", "appended", "replayed", "torn_records",
-            "compacted", "rotations", "write_errors", "segments",
+            "compacted", "compaction_runs", "rotations", "write_errors",
+            "segments", "closed_bytes",
         }

@@ -1,0 +1,321 @@
+"""Tests for the lease/fencing protocol (repro.service.lease)."""
+
+import json
+import time
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.lease import (
+    FileLock,
+    FleetCoordinator,
+    InflightTable,
+    StoreLease,
+)
+from repro.service.store import ResultStore
+
+
+class Clock:
+    """Injectable wall clock anchored at real time (lock-file staleness
+    compares against real mtimes, so the fake must only run *ahead*)."""
+
+    def __init__(self):
+        self.now = time.time()
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+class TestFileLock:
+    def test_acquire_creates_and_release_removes(self, tmp_path):
+        lock = FileLock(tmp_path / "x.lock")
+        with lock:
+            assert (tmp_path / "x.lock").exists()
+        assert not (tmp_path / "x.lock").exists()
+
+    def test_contention_times_out(self, tmp_path, clock):
+        first = FileLock(tmp_path / "x.lock", clock=clock)
+        second = FileLock(
+            tmp_path / "x.lock", timeout=0.05, stale_after=60.0,
+            clock=clock,
+        )
+        first.acquire()
+        try:
+            with pytest.raises(ServiceError) as err:
+                second.acquire()
+            assert err.value.kind == "lock-timeout"
+            assert err.value.status == 503
+        finally:
+            first.release()
+
+    def test_stale_lock_is_broken(self, tmp_path, clock):
+        crashed = FileLock(tmp_path / "x.lock", clock=clock)
+        crashed.acquire()  # holder "dies" without releasing
+        clock.advance(30.0)
+        survivor = FileLock(
+            tmp_path / "x.lock", timeout=1.0, stale_after=10.0,
+            clock=clock,
+        )
+        survivor.acquire()  # breaks the stale file instead of wedging
+        assert survivor.broken == 1
+        survivor.release()
+
+
+class TestStoreLease:
+    def test_first_acquire_holds_epoch_one(self, tmp_path, clock):
+        lease = StoreLease(tmp_path, "r1", ttl=5.0, clock=clock)
+        assert lease.try_acquire()
+        assert lease.held and lease.state == "held"
+        assert lease.epoch == 1
+        assert lease.may_write_index() and lease.may_write_entries()
+
+    def test_live_holder_blocks_peer(self, tmp_path, clock):
+        holder = StoreLease(tmp_path, "r1", ttl=5.0, clock=clock)
+        peer = StoreLease(tmp_path, "r2", ttl=5.0, clock=clock)
+        assert holder.try_acquire()
+        assert not peer.try_acquire()
+        assert peer.state == "follower"
+        assert not peer.may_write_index()
+        assert peer.may_write_entries()  # entry files are fine
+
+    def test_stale_holder_is_taken_over_with_epoch_bump(
+        self, tmp_path, clock
+    ):
+        holder = StoreLease(tmp_path, "r1", ttl=5.0, clock=clock)
+        peer = StoreLease(tmp_path, "r2", ttl=5.0, clock=clock)
+        holder.try_acquire()
+        clock.advance(6.0)  # heartbeat goes stale
+        assert peer.try_acquire()
+        assert peer.epoch == 2
+        assert peer.takeovers == 1
+        # The resurrected old holder fences on its next heartbeat.
+        assert not holder.heartbeat()
+        assert holder.fenced
+        assert holder.fences == 1
+        assert not holder.may_write_entries()
+
+    def test_fenced_stays_fenced(self, tmp_path, clock):
+        holder = StoreLease(tmp_path, "r1", ttl=5.0, clock=clock)
+        peer = StoreLease(tmp_path, "r2", ttl=5.0, clock=clock)
+        holder.try_acquire()
+        clock.advance(6.0)
+        peer.try_acquire()
+        holder.heartbeat()  # fences
+        clock.advance(6.0)  # even with the new holder stale...
+        assert not holder.try_acquire()  # ...a fenced replica never rejoins
+        assert holder.fenced
+
+    def test_heartbeat_refreshes_ttl(self, tmp_path, clock):
+        holder = StoreLease(tmp_path, "r1", ttl=5.0, clock=clock)
+        peer = StoreLease(tmp_path, "r2", ttl=5.0, clock=clock)
+        holder.try_acquire()
+        for _ in range(3):
+            clock.advance(3.0)
+            assert holder.heartbeat()
+            assert not peer.try_acquire()  # never stale under heartbeats
+        assert holder.heartbeats == 3
+
+    def test_release_keeps_epoch_monotonic(self, tmp_path, clock):
+        holder = StoreLease(tmp_path, "r1", ttl=5.0, clock=clock)
+        peer = StoreLease(tmp_path, "r2", ttl=5.0, clock=clock)
+        holder.try_acquire()
+        holder.release()
+        assert holder.state == "follower"
+        record = json.loads((tmp_path / "lease.json").read_text())
+        assert record["owner"] is None and record["epoch"] == 1
+        # The peer acquires immediately (no ttl wait) above the old epoch.
+        assert peer.try_acquire()
+        assert peer.epoch == 2
+        assert peer.takeovers == 0  # clean handoff, not a takeover
+
+    def test_suspended_holder_believes_but_does_not_write(
+        self, tmp_path, clock
+    ):
+        holder = StoreLease(tmp_path, "r1", ttl=5.0, clock=clock)
+        peer = StoreLease(tmp_path, "r2", ttl=5.0, clock=clock)
+        holder.try_acquire()
+        holder.suspend()
+        # The partitioned holder still thinks it heartbeats...
+        clock.advance(6.0)
+        assert holder.heartbeat()
+        assert holder.held
+        # ...but nothing landed, so the peer takes over for real.
+        assert peer.try_acquire()
+        holder.resume()
+        assert not holder.heartbeat()
+        assert holder.fenced
+
+
+class TestInflightTable:
+    def test_claim_grant_conflict_release(self, tmp_path, clock):
+        mine = InflightTable(tmp_path, "r1", ttl=5.0, clock=clock)
+        theirs = InflightTable(tmp_path, "r2", ttl=5.0, clock=clock)
+        granted, _ = mine.claim("fp1")
+        assert granted
+        denied, entry = theirs.claim("fp1")
+        assert not denied
+        assert entry["replica"] == "r1"
+        assert theirs.conflicts == 1
+        mine.release("fp1")
+        granted, _ = theirs.claim("fp1")
+        assert granted
+
+    def test_own_reclaim_refreshes(self, tmp_path, clock):
+        table = InflightTable(tmp_path, "r1", ttl=5.0, clock=clock)
+        table.claim("fp1")
+        clock.advance(3.0)
+        granted, entry = table.claim("fp1")
+        assert granted
+        assert entry["heartbeat_at"] == clock.now
+        assert table.reclaims == 0
+
+    def test_stale_peer_claim_is_reclaimed(self, tmp_path, clock):
+        dead = InflightTable(tmp_path, "r1", ttl=5.0, clock=clock)
+        survivor = InflightTable(tmp_path, "r2", ttl=5.0, clock=clock)
+        dead.claim("fp1")  # then the replica crashes: no release
+        clock.advance(6.0)
+        granted, entry = survivor.claim("fp1")
+        assert granted
+        assert entry["replica"] == "r2"
+        assert survivor.reclaims == 1
+
+    def test_beat_keeps_claims_live(self, tmp_path, clock):
+        mine = InflightTable(tmp_path, "r1", ttl=5.0, clock=clock)
+        peer = InflightTable(tmp_path, "r2", ttl=5.0, clock=clock)
+        mine.claim("fp1")
+        for _ in range(3):
+            clock.advance(3.0)
+            mine.beat(["fp1"])
+            granted, _ = peer.claim("fp1")
+            assert not granted
+
+    def test_release_all_drops_only_ours(self, tmp_path, clock):
+        mine = InflightTable(tmp_path, "r1", ttl=5.0, clock=clock)
+        peer = InflightTable(tmp_path, "r2", ttl=5.0, clock=clock)
+        mine.claim("fp1")
+        mine.claim("fp2")
+        peer.claim("fp3")
+        mine.release_all()
+        assert mine.peek("fp1") is None and mine.peek("fp2") is None
+        assert peer.peek("fp3")["replica"] == "r2"
+        assert mine.releases == 2
+
+
+class TestLeasedStore:
+    """ResultStore behavior under the three lease states."""
+
+    def payload(self, n):
+        return {"result": {"value": n}}
+
+    def test_holder_index_carries_epoch(self, tmp_path, clock):
+        lease = StoreLease(tmp_path, "r1", ttl=5.0, clock=clock)
+        lease.try_acquire()
+        store = ResultStore(str(tmp_path), lease=lease)
+        store.put("fp1", self.payload(1))
+        index = json.loads((tmp_path / "index.json").read_text())
+        assert index["epoch"] == 1
+
+    def test_follower_writes_entries_not_index(self, tmp_path, clock):
+        holder_lease = StoreLease(tmp_path, "r1", ttl=5.0, clock=clock)
+        holder_lease.try_acquire()
+        holder = ResultStore(str(tmp_path), lease=holder_lease)
+        holder.put("fp1", self.payload(1))
+        index_before = (tmp_path / "index.json").read_text()
+
+        follower_lease = StoreLease(tmp_path, "r2", ttl=5.0, clock=clock)
+        follower_lease.try_acquire()  # denied -> follower
+        follower = ResultStore(str(tmp_path), lease=follower_lease)
+        follower.put("fp2", self.payload(2))
+        # The entry file is shared; the index is untouched.
+        assert (tmp_path / "fp2.json").exists()
+        assert (tmp_path / "index.json").read_text() == index_before
+        # The holder adopts the peer's entry on a miss.
+        assert holder.get("fp2") == self.payload(2)
+        assert holder.adoptions == 1
+
+    def test_fenced_put_falls_back_to_memory(self, tmp_path, clock):
+        holder_lease = StoreLease(tmp_path, "r1", ttl=5.0, clock=clock)
+        peer_lease = StoreLease(tmp_path, "r2", ttl=5.0, clock=clock)
+        holder_lease.try_acquire()
+        store = ResultStore(str(tmp_path), lease=holder_lease)
+        clock.advance(6.0)
+        peer_lease.try_acquire()
+        holder_lease.heartbeat()  # fences
+        assert holder_lease.fenced
+
+        store.put("fp1", self.payload(1))
+        assert not (tmp_path / "fp1.json").exists()
+        assert store.rejected_writes == 1
+        # The fenced replica still serves its own result from memory.
+        assert store.get("fp1") == self.payload(1)
+
+    def test_stale_holder_fences_on_index_epoch_guard(
+        self, tmp_path, clock
+    ):
+        """A holder that lost the lease without noticing (no heartbeat
+        ran yet) is caught by the index write's epoch check — the
+        lost-update guard — and self-fences instead of clobbering."""
+        old_lease = StoreLease(tmp_path, "r1", ttl=5.0, clock=clock)
+        old_lease.try_acquire()
+        old_store = ResultStore(str(tmp_path), lease=old_lease)
+
+        clock.advance(6.0)
+        new_lease = StoreLease(tmp_path, "r2", ttl=5.0, clock=clock)
+        new_lease.try_acquire()  # epoch 2
+        new_store = ResultStore(str(tmp_path), lease=new_lease)
+        new_store.put("fp-new", self.payload(2))  # index now epoch 2
+
+        # r1 still believes it holds epoch 1; its next index write must
+        # observe the newer epoch and fence.
+        old_store.put("fp-old", self.payload(1))
+        assert old_lease.fenced
+        index = json.loads((tmp_path / "index.json").read_text())
+        assert index["epoch"] == 2
+        assert "fp-old" not in index["recency"]
+
+
+class TestFleetCoordinator:
+    def test_maintain_chases_and_beats(self, tmp_path, clock):
+        a = FleetCoordinator(
+            tmp_path, "r1", lease_ttl=5.0, claim_ttl=5.0, clock=clock
+        )
+        b = FleetCoordinator(
+            tmp_path, "r2", lease_ttl=5.0, claim_ttl=5.0, clock=clock
+        )
+        assert a.start()
+        assert not b.start()
+        granted, _ = a.claim("fp1")
+        assert granted
+        # a crashes: nothing released.
+        a.stop(crash=True)
+        clock.advance(6.0)
+        b.maintain()
+        assert b.lease.held
+        assert b.lease.takeovers == 1
+        granted, entry = b.claim("fp1")  # orphan reclaimed
+        assert granted and entry["replica"] == "r2"
+        assert b.counters()["inflight"]["reclaims"] == 1
+
+    def test_graceful_stop_releases_everything(self, tmp_path, clock):
+        a = FleetCoordinator(
+            tmp_path, "r1", lease_ttl=5.0, claim_ttl=5.0, clock=clock
+        )
+        b = FleetCoordinator(
+            tmp_path, "r2", lease_ttl=5.0, claim_ttl=5.0, clock=clock
+        )
+        a.start()
+        a.claim("fp1")
+        a.stop()
+        # No ttl wait needed: the peer takes over immediately.
+        assert b.start()
+        granted, _ = b.claim("fp1")
+        assert granted
+        assert b.counters()["inflight"]["reclaims"] == 0

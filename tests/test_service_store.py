@@ -27,6 +27,7 @@ class TestInMemory:
         assert store.counters() == {
             "entries": 1, "capacity": 256, "hits": 1, "misses": 1,
             "puts": 1, "evictions": 0, "corruptions": 0, "quarantined": 0,
+            "verifications": 0, "rejected_writes": 0, "adoptions": 0,
         }
 
     def test_lru_eviction_prefers_recently_used(self):
@@ -168,6 +169,54 @@ class TestIntegrity:
         store.put("fp1", payload(2))
         assert store.get("fp1") == payload(2)
         assert store.counters()["quarantined"] == 1
+
+
+class TestVerifiedFingerprintCache:
+    """Satellite: repeat disk hits skip re-hashing the payload — the
+    checksum is verified once per process per fingerprint."""
+
+    def test_repeat_hits_verify_once(self, tmp_path):
+        root = tmp_path / "store"
+        ResultStore(str(root)).put("fp1", payload(1))
+
+        store = ResultStore(str(root))
+        assert store.get("fp1") == payload(1)
+        assert store.verifications == 1
+        for _ in range(3):
+            assert store.get("fp1") == payload(1)
+        assert store.verifications == 1
+        assert store.counters()["verifications"] == 1
+
+    def test_own_puts_are_pre_verified(self, tmp_path):
+        """A payload this process just wrote needs no checksum pass."""
+        root = tmp_path / "store"
+        store = ResultStore(str(root))
+        store.put("fp1", payload(1))
+        assert store.get("fp1") == payload(1)
+        assert store.verifications == 0
+
+    def test_first_read_verification_still_quarantines(self, tmp_path):
+        """The cache must not weaken integrity: corruption on the first
+        read of a fingerprint is still caught and quarantined."""
+        root = tmp_path / "store"
+        ResultStore(str(root)).put("fp1", payload(1))
+        envelope = json.loads((root / "fp1.json").read_text())
+        envelope["payload"] = payload(999)
+        (root / "fp1.json").write_text(json.dumps(envelope))
+
+        store = ResultStore(str(root))
+        assert store.get("fp1") is None
+        assert store.corruptions == 1
+        assert store.quarantined() == ["fp1.json"]
+
+    def test_eviction_forgets_verification(self, tmp_path):
+        """Evicting an entry drops its verified mark, so a later adopted
+        file with the same fingerprint is re-verified from scratch."""
+        root = tmp_path / "store"
+        store = ResultStore(str(root), capacity=1)
+        store.put("fp1", payload(1))
+        store.put("fp2", payload(2))  # evicts fp1 (file + verified mark)
+        assert "fp1" not in store._verified
 
 
 class TestResultRoundTrip:
