@@ -37,7 +37,7 @@ import json
 import random
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from queue import Empty, SimpleQueue
 from typing import Any, Callable
@@ -614,8 +614,12 @@ class FleetClient:
         self.clients = list(clients)
         self.hedge = hedge if hedge is not None else HedgePolicy()
         self.retry = retry if retry is not None else RetryPolicy()
-        #: job id -> index of the replica that issued it.
-        self._pin: dict[str, int] = {}
+        #: job id -> index of the replica that issued it.  Bounded LRU
+        #: (plus explicit eviction when a result is retrieved) so a
+        #: long-lived campaign client never leaks one entry per job.
+        self._pin: "OrderedDict[str, int]" = OrderedDict()
+        #: most pinned job ids retained before the oldest are dropped.
+        self.pin_limit = 4096
         #: injectable for tests.
         self._sleep: Callable[[float], None] = time.sleep
 
@@ -765,8 +769,25 @@ class FleetClient:
 
     # -- endpoints --------------------------------------------------------
 
+    def _remember_pin(self, job_id: str, index: int) -> None:
+        self._pin[job_id] = index
+        self._pin.move_to_end(job_id)
+        while len(self._pin) > self.pin_limit:
+            self._pin.popitem(last=False)
+
     def _pinned(self, job_id: str) -> "ServiceClient":
-        return self.clients[self._pin.get(job_id, 0)]
+        index = self._pin.get(job_id)
+        if index is None:
+            # Job ids are replica-local: guessing a replica would turn a
+            # client-side lookup bug into a misleading unknown-job 404.
+            raise ServiceError(
+                f"job {job_id} is not pinned to any replica (it was not "
+                f"submitted through this client, or its pin was dropped "
+                f"after the result was retrieved)",
+                status=404, kind="unpinned-job",
+            )
+        self._pin.move_to_end(job_id)
+        return self.clients[index]
 
     def submit(
         self,
@@ -783,14 +804,17 @@ class FleetClient:
         )
         data, index = self._request("POST", "/jobs", body)
         handle = JobHandle.from_json(data["job"])
-        self._pin[handle.id] = index
+        self._remember_pin(handle.id, index)
         return handle
 
     def status(self, job_id: str, wait: float = 0.0) -> JobHandle:
         return self._pinned(job_id).status(job_id, wait=wait)
 
     def result(self, job_id: str) -> dict[str, Any]:
-        return self._pinned(job_id).result(job_id)
+        data = self._pinned(job_id).result(job_id)
+        # Terminal: the payload is in hand, the pin has done its job.
+        self._pin.pop(job_id, None)
+        return data
 
     def cancel(self, job_id: str) -> JobHandle:
         return self._pinned(job_id).cancel(job_id)
@@ -823,7 +847,7 @@ class FleetClient:
         resubmissions = 0
         data, index = self._request("POST", "/jobs", body)
         handle = JobHandle.from_json(data["job"])
-        self._pin[handle.id] = index
+        self._remember_pin(handle.id, index)
         while True:
             remaining = end - time.monotonic()
             if remaining <= 0:
@@ -843,7 +867,9 @@ class FleetClient:
                         status=500,
                         kind=error.get("kind", handle.status),
                     )
-                return client.result(handle.id)
+                payload = client.result(handle.id)
+                self._pin.pop(handle.id, None)
+                return payload
             except ServiceError as exc:
                 if exc.kind not in ("unknown-job", "unreachable") \
                         or resubmissions >= 3:
@@ -851,7 +877,7 @@ class FleetClient:
                 resubmissions += 1
                 data, index = self._request("POST", "/jobs", body)
                 handle = JobHandle.from_json(data["job"])
-                self._pin[handle.id] = index
+                self._remember_pin(handle.id, index)
 
     def counters(self) -> dict[str, Any]:
         return {

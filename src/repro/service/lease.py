@@ -41,6 +41,7 @@ compared *across processes*; the clock is injectable for tests.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import time
@@ -56,6 +57,9 @@ _LEASE_NAME = "lease.json"
 _LEASE_LOCK = "lease.lock"
 _INFLIGHT_NAME = "inflight.json"
 _INFLIGHT_LOCK = "inflight.lock"
+
+#: process-unique suffix source for lock tokens + stale-break renames.
+_LOCK_IDS = itertools.count(1)
 
 
 def _fsync_dir(path: Path) -> None:
@@ -112,8 +116,14 @@ class FileLock:
         self.stale_after = stale_after
         self.pause = pause
         self._clock = clock
+        #: this acquisition's identity, written into the lock file so
+        #: release() never unlinks a lock it does not own.
+        self._token: str | None = None
         #: stale lock files broken (crashed holder evidence).
         self.broken = 0
+
+    def _new_token(self) -> str:
+        return f"{os.getpid()}-{next(_LOCK_IDS)} {self._clock():.6f}"
 
     def acquire(self) -> None:
         deadline = time.monotonic() + self.timeout
@@ -132,32 +142,74 @@ class FileLock:
                     )
                 time.sleep(self.pause)
                 continue
+            self._token = self._new_token()
             try:
-                os.write(
-                    fd, f"{os.getpid()} {self._clock():.6f}".encode()
-                )
+                os.write(fd, self._token.encode())
             finally:
                 os.close(fd)
             return
 
     def release(self) -> None:
+        token, self._token = self._token, None
         try:
+            # Unlink only our own lock file: if a peer judged us stale
+            # and broke the lock (we held past ``stale_after``), the file
+            # at ``path`` now belongs to a new holder — leave it alone.
+            if token is not None and self.path.read_text() != token:
+                return
             self.path.unlink(missing_ok=True)
         except OSError:
             pass
 
     def _break_if_stale(self) -> None:
-        """Unlink a lock file whose holder stopped making progress."""
+        """Break a lock file whose holder stopped making progress.
+
+        Breaking is rename-then-verify: the file is atomically renamed
+        to a breaker-unique name, the staleness decision is re-checked
+        on the renamed file (rename preserves mtime), and only then is
+        it unlinked.  Two waiters can both judge the same file stale,
+        but ``os.rename`` lets exactly one of them move it; the loser's
+        rename fails with ENOENT instead of unlinking a fresh lock a
+        racing acquirer created in the meantime.  If the verify step
+        finds a *fresh* mtime (we moved a live holder's lock created
+        after our stat), the file is linked straight back.
+        """
         try:
             age = self._clock() - self.path.stat().st_mtime
         except OSError:
             return  # already gone
-        if age > self.stale_after:
+        if age <= self.stale_after:
+            return
+        doomed = self.path.with_name(
+            f"{self.path.name}.break-{os.getpid()}-{next(_LOCK_IDS)}"
+        )
+        try:
+            os.rename(self.path, doomed)
+        except OSError:
+            return  # another waiter broke it first
+        try:
+            moved_age = self._clock() - doomed.stat().st_mtime
+        except OSError:
+            return
+        if moved_age > self.stale_after:
             try:
-                self.path.unlink(missing_ok=True)
-                self.broken += 1
+                doomed.unlink()
             except OSError:
                 pass
+            self.broken += 1
+            return
+        # Our staleness decision predates a racing break + re-acquire:
+        # the file we moved is a live holder's fresh lock.  Restore it
+        # via ``os.link`` (which, unlike rename, never clobbers a lock
+        # an even-faster acquirer created at ``path`` meanwhile).
+        try:
+            os.link(doomed, self.path)
+        except OSError:
+            pass
+        try:
+            doomed.unlink()
+        except OSError:
+            pass
 
     def __enter__(self) -> "FileLock":
         self.acquire()

@@ -340,6 +340,12 @@ class SynthesisServer:
                 self.fleet.maintain(self._claims)
                 if self.fleet.lease.held and not held_before:
                     self.metrics.inc("lease_acquired")
+                if self.fleet.lease.held:
+                    # Fold entries follower replicas wrote into the LRU
+                    # bound — only the holder sees + enforces eviction.
+                    swept = self.store.sweep()
+                    if swept:
+                        self.metrics.inc("store_sweep_adoptions", swept)
             if (
                 self.journal.enabled
                 and time.monotonic() - last_compact
@@ -533,7 +539,13 @@ class SynthesisServer:
             if job.timeout is not None else None
         )
         while not self._stopping:
-            payload = self.store.get(job.fingerprint)
+            # probe() is a dict lookup + stat — safe on the event loop
+            # every poll tick; the full read + checksum verification in
+            # get() runs once, when the peer's entry file appears.
+            payload = (
+                self.store.get(job.fingerprint)
+                if self.store.probe(job.fingerprint) else None
+            )
             if payload is not None:
                 self.queue.finish(job, payload, source="peer")
                 self.journal.record_finished(job)
@@ -640,10 +652,19 @@ class SynthesisServer:
             self.metrics.inc("peer_coalesce_hits")
             asyncio.create_task(self._await_peer(job))
             return 202, {"job": job.describe()}
-        job, coalesced = self.queue.submit(
-            fingerprint, request, priority=priority,
-            timeout=timeout_value,
-        )
+        try:
+            job, coalesced = self.queue.submit(
+                fingerprint, request, priority=priority,
+                timeout=timeout_value,
+            )
+        except ServiceError:
+            # Queue-full (429): give back the in-flight claim _peer_owns
+            # just granted us, or the maintenance loop would heartbeat it
+            # forever and peers would await a solve nobody is running.
+            if self.fleet is not None and fingerprint in self._claims:
+                self._claims.discard(fingerprint)
+                self.fleet.release(fingerprint)
+            raise
         if coalesced:
             self.metrics.inc("coalesce_hits")
         else:

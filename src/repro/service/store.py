@@ -33,7 +33,10 @@ Guarantees:
   newer epoch on disk fences itself and skips the write instead of
   clobbering the live holder's index.  Fenced replicas keep results in
   a process-local memory overflow (``rejected_writes`` counts them) so
-  their own waiters are still served.
+  their own waiters are still served.  The holder's periodic
+  :meth:`~ResultStore.sweep` folds entries follower replicas wrote into
+  its recency map, so the LRU size bound holds fleet-wide, not just for
+  the holder's own writes.
 * **Verified-fingerprint cache** — the SHA-256 verification runs on the
   first read of each fingerprint per process; repeat ``get()`` hits
   skip re-hashing (``verifications`` counts actual checksum runs).
@@ -62,6 +65,10 @@ STORE_SCHEMA = 2
 
 _INDEX_NAME = "index.json"
 _QUARANTINE_DIR = "quarantine"
+
+#: non-entry ``*.json`` files sharing the store directory in fleet mode
+#: (lease record + in-flight table) — never adopted, never evicted.
+_RESERVED_NAMES = {_INDEX_NAME, "lease.json", "inflight.json"}
 
 
 def _fsync_dir(path: Path) -> None:
@@ -154,7 +161,7 @@ class ResultStore:
             entries = {}
         known = {
             path.stem for path in self.root.glob("*.json")
-            if path.name != _INDEX_NAME
+            if path.name not in _RESERVED_NAMES
         }
         ordered = sorted(
             (stamp, fp) for fp, stamp in entries.items() if fp in known
@@ -265,6 +272,21 @@ class ResultStore:
                 raise ValueError("payload checksum mismatch")
             self._verified.add(fingerprint)
         return payload
+
+    def probe(self, fingerprint: str) -> bool:
+        """Cheap presence probe: is an entry likely available for get()?
+
+        A dictionary lookup plus at most one ``stat`` — no file reads,
+        no checksum work — so an event loop may poll it tightly while
+        awaiting a peer's in-flight result.  ``True`` is a hint, not a
+        promise: the subsequent :meth:`get` still performs the full
+        read + verification and may miss.
+        """
+        if fingerprint in self._recency or fingerprint in self._memory:
+            return True
+        if self.root is None:
+            return False
+        return self._entry_path(fingerprint).exists()
 
     def get(self, fingerprint: str) -> dict[str, Any] | None:
         """The stored payload for ``fingerprint``, or ``None`` (a miss).
@@ -406,6 +428,54 @@ class ResultStore:
             except OSError:
                 pass
             self._save_index()
+
+    def sweep(self) -> int:
+        """Fold peer-written entries into the LRU bound (holder only).
+
+        Follower replicas write entry files but never the index, so the
+        lease holder's ``_recency`` map does not see them — without this
+        the shared directory would grow past ``capacity``.  The holder's
+        maintenance loop calls this periodically: unindexed entry files
+        are adopted as least-recently-used (oldest mtime first, so a
+        peer write nobody ever read is the first eviction candidate) and
+        the capacity bound is then enforced as usual.  Returns the
+        number of entries adopted.
+        """
+        if self.root is None:
+            return 0
+        if self.lease is not None and not self.lease.may_write_index():
+            return 0
+        unindexed: list[tuple[float, str]] = []
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return 0
+        for name in names:
+            if not name.endswith(".json") or name in _RESERVED_NAMES:
+                continue
+            fingerprint = name[: -len(".json")]
+            if fingerprint in self._recency:
+                continue
+            try:
+                mtime = (self.root / name).stat().st_mtime
+            except OSError:
+                continue  # evicted/quarantined mid-scan
+            unindexed.append((mtime, fingerprint))
+        if not unindexed:
+            return 0
+        self._recency = {
+            fp: 0 for _mtime, fp in sorted(unindexed)
+        } | self._recency
+        self.adoptions += len(unindexed)
+        evicted = False
+        while len(self._recency) > self.capacity:
+            oldest = next(iter(self._recency))
+            self._drop(oldest)
+            self.evictions += 1
+            evicted = True
+        if not evicted:
+            self._save_index()  # _drop persists; adoption-only must too
+        return len(unindexed)
 
     def quarantined(self) -> list[str]:
         """Names of quarantined entry files (empty for in-memory stores)."""

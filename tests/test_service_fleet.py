@@ -2,12 +2,19 @@
 coalescing, holder takeover/fencing, and the multi-replica chaos
 campaign (repro.service.server fleet config + repro.service.chaos)."""
 
+import asyncio
 import json
 
 import pytest
 
-from repro.hls import SynthesisSpec
-from repro.io.json_io import assay_to_json, spec_to_json
+from repro.errors import ServiceError
+from repro.hls import SynthesisSpec, fingerprint_run
+from repro.io.json_io import (
+    assay_from_json,
+    assay_to_json,
+    spec_from_json,
+    spec_to_json,
+)
 from repro.service import (
     FleetChaosConfig,
     ServiceClient,
@@ -16,7 +23,8 @@ from repro.service import (
 )
 from repro.service.chaos import _ServerHarness, _poll
 from repro.service.client import RetryPolicy
-from repro.service.server import ServerConfig
+from repro.service.lease import FleetCoordinator
+from repro.service.server import ServerConfig, SynthesisServer
 
 
 def body_for(assay, **spec_kwargs) -> dict:
@@ -111,6 +119,48 @@ class TestCrossReplicaCoalescing:
         assert result_bytes(client_1.result(done_a.id)) == result_bytes(
             client_2.result(done_b.id)
         )
+
+
+class TestQueueFullReleasesClaim:
+    def test_429_gives_back_the_inflight_claim(
+        self, tmp_path, linear_assay
+    ):
+        """A submission that wins the shared in-flight claim but then
+        bounces off queue backpressure must release the claim — a
+        leaked claim would be heartbeated forever and peers would await
+        a solve nobody is running."""
+        store = tmp_path / "store"
+        config = fleet_config(store, "r1")
+        config.queue_capacity = 1
+        server = SynthesisServer(config)
+        server._work_available = asyncio.Event()
+        try:
+            assert server.fleet.start()
+            first = body_for(linear_assay)
+            second = body_for(linear_assay, improvement_threshold=0.019)
+            status, _ = server._submit(first)  # fills the queue
+            assert status == 202
+            with pytest.raises(ServiceError) as err:
+                server._submit(second)
+            assert err.value.status == 429
+
+            fp2 = fingerprint_run(
+                assay_from_json(second["assay"]),
+                spec_from_json(second["spec"]),
+                "hls",
+            )
+            assert fp2 not in server._claims
+            assert server.fleet.inflight.peek(fp2) is None
+            # A peer replica is not wedged: it can claim and compute
+            # the bounced fingerprint itself.
+            peer = FleetCoordinator(
+                store, "r2", lease_ttl=1.0, claim_ttl=1.5
+            )
+            granted, entry = peer.claim(fp2)
+            assert granted and entry["replica"] == "r2"
+        finally:
+            server.journal.close()
+            server.fleet.stop()
 
 
 class TestTakeoverAndFencing:

@@ -238,6 +238,55 @@ class TestFleetHedging:
         assert fast.requests == []
 
 
+class TestFleetPins:
+    """The job-id -> replica pin table is bounded and loud on misses."""
+
+    def _fleet(self) -> FleetClient:
+        clients = [
+            ServiceClient(
+                port=1, timeout=1.0, retry=RetryPolicy(retries=0, seed=0),
+            ),
+            ServiceClient(
+                port=2, timeout=1.0, retry=RetryPolicy(retries=0, seed=0),
+            ),
+        ]
+        return FleetClient(
+            clients, hedge=HedgePolicy(delay=0.0),
+            retry=RetryPolicy(retries=0, seed=0),
+        )
+
+    def test_unknown_job_id_raises_instead_of_guessing(self):
+        """Job ids are replica-local: falling back to replica 0 would
+        turn a client-side lookup bug into a misleading 404 from an
+        arbitrary server."""
+        fleet = self._fleet()
+        with pytest.raises(ServiceError) as err:
+            fleet.status("job-nope")
+        assert err.value.kind == "unpinned-job"
+        assert err.value.status == 404
+
+    def test_result_evicts_pin(self, monkeypatch):
+        fleet = self._fleet()
+        fleet._remember_pin("job-1", 1)
+        monkeypatch.setattr(
+            ServiceClient, "result", lambda self, job_id: {"ok": True}
+        )
+        assert fleet.result("job-1") == {"ok": True}
+        assert "job-1" not in fleet._pin
+        with pytest.raises(ServiceError) as err:
+            fleet.result("job-1")
+        assert err.value.kind == "unpinned-job"
+
+    def test_pin_table_is_bounded(self):
+        fleet = self._fleet()
+        fleet.pin_limit = 8
+        for n in range(20):
+            fleet._remember_pin(f"job-{n}", n % 2)
+        assert len(fleet._pin) == 8
+        assert "job-19" in fleet._pin
+        assert "job-11" not in fleet._pin
+
+
 class TestAttemptContext:
     """Satellite: ServiceError carries the attempt history."""
 

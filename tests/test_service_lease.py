@@ -68,6 +68,36 @@ class TestFileLock:
         assert survivor.broken == 1
         survivor.release()
 
+    def test_break_leaves_no_debris(self, tmp_path, clock):
+        crashed = FileLock(tmp_path / "x.lock", clock=clock)
+        crashed.acquire()
+        clock.advance(30.0)
+        survivor = FileLock(
+            tmp_path / "x.lock", timeout=1.0, stale_after=10.0,
+            clock=clock,
+        )
+        survivor.acquire()
+        survivor.release()
+        # No leftover rename artifacts from the break.
+        assert list(tmp_path.iterdir()) == []
+
+    def test_release_after_break_spares_new_holder(self, tmp_path, clock):
+        """A holder judged stale and broken must not, on its own late
+        release(), unlink the lock the breaker has since acquired."""
+        slow = FileLock(tmp_path / "x.lock", clock=clock)
+        slow.acquire()
+        clock.advance(30.0)
+        breaker = FileLock(
+            tmp_path / "x.lock", timeout=1.0, stale_after=10.0,
+            clock=clock,
+        )
+        breaker.acquire()  # broke the stale file and re-created it
+        assert breaker.broken == 1
+        slow.release()  # token mismatch: leaves the new lock alone
+        assert (tmp_path / "x.lock").exists()
+        breaker.release()  # the real owner's release still removes it
+        assert not (tmp_path / "x.lock").exists()
+
 
 class TestStoreLease:
     def test_first_acquire_holds_epoch_one(self, tmp_path, clock):
@@ -280,6 +310,37 @@ class TestLeasedStore:
         index = json.loads((tmp_path / "index.json").read_text())
         assert index["epoch"] == 2
         assert "fp-old" not in index["recency"]
+
+    def test_holder_sweep_bounds_follower_writes(self, tmp_path, clock):
+        """Entries follower replicas write (and the holder never reads)
+        still count against the LRU capacity: the holder's periodic
+        sweep adopts them and evicts down to the bound."""
+        holder_lease = StoreLease(tmp_path, "r1", ttl=5.0, clock=clock)
+        holder_lease.try_acquire()
+        holder = ResultStore(str(tmp_path), capacity=3, lease=holder_lease)
+        follower_lease = StoreLease(tmp_path, "r2", ttl=5.0, clock=clock)
+        follower_lease.try_acquire()  # denied -> follower
+        follower = ResultStore(
+            str(tmp_path), capacity=3, lease=follower_lease
+        )
+
+        holder.put("fp-own", self.payload(0))
+        for n in range(5):
+            follower.put(f"fp-peer-{n}", self.payload(n))
+        # Peer writes are invisible to the holder's recency map...
+        assert len(holder) == 1
+        # ...until the sweep folds them in and enforces the bound.
+        assert holder.sweep() == 5
+        assert len(holder) == 3
+        on_disk = {path.stem for path in tmp_path.glob("fp-*.json")}
+        assert len(on_disk) == 3
+        assert "fp-own" in on_disk  # the holder's live entry survives
+        # The lease record sharing the directory is never swept up.
+        assert (tmp_path / "lease.json").exists()
+        # Followers never sweep (eviction is the holder's job).
+        assert follower.sweep() == 0
+        # A second sweep with nothing new to fold is a no-op.
+        assert holder.sweep() == 0
 
 
 class TestFleetCoordinator:

@@ -96,6 +96,35 @@ class TestOnDisk:
         reloaded = ResultStore(str(root))
         assert reloaded.get("fp1") == payload(1)
 
+    def test_probe_checks_presence_without_reading(self, tmp_path):
+        root = tmp_path / "store"
+        store = ResultStore(str(root))
+        store.put("fp1", payload(1))
+        # A peer-written entry this instance has never seen: probe finds
+        # the file without reading or hashing it.
+        (root / "fp2.json").write_text("{}")
+        assert store.probe("fp1")
+        assert store.probe("fp2")
+        assert not store.probe("fp-missing")
+        assert store.verifications == 0
+        assert store.hits == 0 and store.misses == 0
+
+    def test_fleet_sidecars_never_load_as_entries(self, tmp_path):
+        """lease.json / inflight.json share the store directory in fleet
+        mode; they must never be adopted as fingerprints (an eviction
+        would unlink the fleet's lease record)."""
+        root = tmp_path / "store"
+        store = ResultStore(str(root))
+        store.put("fp1", payload(1))
+        (root / "lease.json").write_text("{}")
+        (root / "inflight.json").write_text("{}")
+        reloaded = ResultStore(str(root), capacity=1)
+        assert len(reloaded) == 1
+        assert "lease" not in reloaded
+        assert reloaded.sweep() == 0
+        assert (root / "lease.json").exists()
+        assert (root / "inflight.json").exists()
+
 
 class TestIntegrity:
     """Checksummed envelopes: corruption is detected, quarantined, and
